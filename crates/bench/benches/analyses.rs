@@ -1,0 +1,101 @@
+//! Criterion benches: analysis throughput per (workload, analysis) cell —
+//! the timing source behind Tables 3, 4, 5 (run `repro` for the formatted
+//! paper tables; these benches give statistically robust per-cell numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smarttrack::{AnalysisConfig, OptLevel, Relation};
+use smarttrack_detect::run_detector;
+use smarttrack_workloads::profiles;
+
+/// The analyses benched per workload: one per optimization level and
+/// relation family (full grid × all programs would take hours; `repro`
+/// covers the full grid with fewer samples).
+fn bench_configs() -> Vec<AnalysisConfig> {
+    vec![
+        AnalysisConfig::new(Relation::Hb, OptLevel::Epochs),
+        AnalysisConfig::new(Relation::Hb, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Wcp, OptLevel::Unopt),
+        AnalysisConfig::new(Relation::Wcp, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Wcp, OptLevel::SmartTrack),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Unopt).with_graph(),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Unopt),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack),
+        AnalysisConfig::new(Relation::Wdc, OptLevel::Unopt),
+        AnalysisConfig::new(Relation::Wdc, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack),
+    ]
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    // The two performance extremes of Table 2: xalan (locks everywhere,
+    // SmartTrack's best case) and sunflow-like same-epoch-heavy avrora.
+    for workload in [profiles::xalan(), profiles::avrora(), profiles::h2()] {
+        let trace = workload.trace(1e-5, 42);
+        let mut group = c.benchmark_group(format!("analyze/{}", workload.name));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.sample_size(10);
+        for config in bench_configs() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(config.to_string()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let mut det = config.detector().expect("valid cell");
+                        run_detector(det.as_mut(), trace);
+                        det.report().dynamic_count()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_paper_figures(c: &mut Criterion) {
+    // Microbenchmark on the Figure 1 pattern repeated: isolates per-event
+    // analysis cost without workload noise.
+    use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+    let mut b = TraceBuilder::new();
+    for i in 0..2_000u32 {
+        let x = VarId::new(3 * i);
+        let y = VarId::new(3 * i + 1);
+        let z = VarId::new(3 * i + 2);
+        let m = LockId::new(0);
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        b.push(t0, Op::Read(x)).unwrap();
+        b.push(t0, Op::Acquire(m)).unwrap();
+        b.push(t0, Op::Write(y)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::Acquire(m)).unwrap();
+        b.push(t1, Op::Read(z)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        b.push(t1, Op::Write(x)).unwrap();
+    }
+    let trace = b.finish();
+    let mut group = c.benchmark_group("figure1_pattern");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    for config in [
+        AnalysisConfig::new(Relation::Hb, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Unopt),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.to_string()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut det = config.detector().expect("valid cell");
+                    run_detector(det.as_mut(), trace);
+                    det.report().dynamic_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_paper_figures);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the parallel analyses (§5.1): online analysis
+//! throughput as application thread count grows, for the no-contention and
+//! full-contention workload shapes, plus the lock-free same-epoch fast path
+//! against the locked slow path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smarttrack_bench::parallel_scaling::{scaling_program, Contention};
+use smarttrack_parallel::{
+    run_online, ConcurrentFtoHb, ConcurrentSmartTrackWdc, WorldSpec,
+};
+
+const TOTAL_OPS: usize = 24_000;
+
+fn bench_online_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_online");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL_OPS as u64));
+    for contention in [Contention::Disjoint, Contention::Shared] {
+        for threads in [1u32, 2, 4, 8] {
+            let program = scaling_program(threads, TOTAL_OPS, contention);
+            group.bench_with_input(
+                BenchmarkId::new(format!("FTO-HB/{}", contention.label()), threads),
+                &threads,
+                |bench, _| {
+                    bench.iter(|| {
+                        let analysis = ConcurrentFtoHb::new(WorldSpec::of_program(&program));
+                        run_online(&program, &analysis, false).expect("valid program")
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ST-WDC/{}", contention.label()), threads),
+                &threads,
+                |bench, _| {
+                    bench.iter(|| {
+                        let analysis =
+                            ConcurrentSmartTrackWdc::new(WorldSpec::of_program(&program));
+                        run_online(&program, &analysis, false).expect("valid program")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The §5.1 claim in isolation: a same-epoch hit costs one atomic load; a
+/// miss pays the mutex. Single-threaded feed over two extreme traces.
+fn bench_fast_path(c: &mut Criterion) {
+    use smarttrack_clock::ThreadId;
+    use smarttrack_parallel::feed_trace;
+    use smarttrack_trace::{Op, TraceBuilder, VarId};
+
+    let mut group = c.benchmark_group("same_epoch_fast_path");
+    let n = 20_000u32;
+    // All hits: one thread re-reads one variable.
+    let mut hits = TraceBuilder::new();
+    for _ in 0..n {
+        hits.push(ThreadId::new(0), Op::Read(VarId::new(0))).unwrap();
+    }
+    let hits = hits.finish();
+    // All misses: one thread walks distinct variables.
+    let mut misses = TraceBuilder::new();
+    for i in 0..n {
+        misses.push(ThreadId::new(0), Op::Read(VarId::new(i))).unwrap();
+    }
+    let misses = misses.finish();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("hits", |bench| {
+        bench.iter(|| {
+            let analysis = ConcurrentFtoHb::new(WorldSpec::of_trace(&hits));
+            feed_trace(&analysis, &hits)
+        })
+    });
+    group.bench_function("misses", |bench| {
+        bench.iter(|| {
+            let analysis = ConcurrentFtoHb::new(WorldSpec::of_trace(&misses));
+            feed_trace(&analysis, &misses)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_scaling, bench_fast_path);
+criterion_main!(benches);

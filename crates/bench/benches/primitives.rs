@@ -1,0 +1,37 @@
+//! Criterion benches for the logical-time primitives: the constant-vs-O(T)
+//! contrast between epochs and vector clocks that motivates FastTrack's (and
+//! SmartTrack's) optimizations (§2.5, "Vector clocks").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smarttrack_clock::{Epoch, ThreadId, VectorClock};
+
+fn bench_clock_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_ops");
+    for threads in [8usize, 64, 512] {
+        let a: VectorClock = (0..threads)
+            .map(|i| (ThreadId::new(i as u32), i as u32 + 1))
+            .collect();
+        let mut b = a.clone();
+        b.set(ThreadId::new(0), 1_000);
+        group.bench_with_input(BenchmarkId::new("vc_join", threads), &threads, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.join(&b);
+                x.get(ThreadId::new(0))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vc_leq", threads), &threads, |bench, _| {
+            bench.iter(|| a.leq(&b))
+        });
+        let e = Epoch::new(ThreadId::new((threads - 1) as u32), 3);
+        group.bench_with_input(
+            BenchmarkId::new("epoch_leq", threads),
+            &threads,
+            |bench, _| bench.iter(|| e.leq_vc(&b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_ops);
+criterion_main!(benches);

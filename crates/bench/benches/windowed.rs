@@ -1,0 +1,85 @@
+//! Criterion bench for the paper's §6 comparison: bounded-window
+//! predictive analysis (the SMT-based related work) vs. the unbounded
+//! linear-time partial-order analyses this paper optimizes.
+//!
+//! Two series:
+//! * `distant_race/*` — detection cost on a trace whose only race spans a
+//!   configurable distance; SmartTrack-WDC stays linear while the windowed
+//!   analysis pays per-window exhaustive-search cost *and* misses the race
+//!   once the distance exceeds the window.
+//! * `window_size/*` — per-window cost growth on a racy avrora-profile
+//!   workload, the pressure that forces SMT approaches to bound windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smarttrack_detect::{run_detector, Detector, SmartTrackWdc};
+use smarttrack_vindicate::{WindowedConfig, WindowedRaceAnalysis};
+use smarttrack_workloads::{distant_race_trace, profiles};
+
+fn bench_distant_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distant_race");
+    group.sample_size(10);
+    for distance in [500usize, 2_000, 8_000] {
+        let (trace, _, _) = distant_race_trace(distance);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("smarttrack-wdc", distance),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut det = SmartTrackWdc::new();
+                    run_detector(&mut det, trace);
+                    det.report().dynamic_count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("windowed-512", distance),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    WindowedRaceAnalysis::new(trace, WindowedConfig::with_window(512))
+                        .analyze()
+                        .races()
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_window_size(c: &mut Criterion) {
+    let trace = profiles::avrora().trace(0.000_001, 7);
+    let mut group = c.benchmark_group("window_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for window in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &trace, |b, trace| {
+            let config = WindowedConfig {
+                window,
+                stride: window,
+                budget_per_query: 20_000,
+            };
+            b.iter(|| {
+                WindowedRaceAnalysis::new(trace, config.clone())
+                    .analyze()
+                    .states_explored()
+            })
+        });
+    }
+    group.bench_with_input(
+        BenchmarkId::from_parameter("unbounded-smarttrack-wdc"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let mut det = SmartTrackWdc::new();
+                run_detector(&mut det, trace);
+                det.report().dynamic_count()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_distant_race, bench_window_size);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! ```text
+//! repro [--table N | --figures | --headline | --all] [--scale S] [--trials K] [--seed S]
+//!
+//!   --table 1          analysis matrix (Table 1)
+//!   --table 2          workload characteristics (Table 2)
+//!   --table 3          FastTrack vs unoptimized predictive analyses (Table 3)
+//!   --table 4|5        per-program run time + geomean (Tables 4/5)
+//!   --table 6          per-program memory + geomean (Tables 4/6)
+//!   --table 7          race counts (Table 7)
+//!   --table 8..=11     appendix variants with 95% CIs (Tables 8-11)
+//!   --table 12         SmartTrack-WDC case frequencies (Table 12)
+//!   --figures          the Figure 1-4 example executions + vindication
+//!   --ablation         design-choice ablations (rule (b) cost, CCS fidelity,
+//!                      rule (b) queue compaction)
+//!   --related          §6 related-work baselines (bounded windows, lockset)
+//!   --parallel         §5.1 parallel-analysis scaling (in-thread hooks)
+//!   --headline         geomean slowdown ratios vs FTO-HB (the §5.5 claim)
+//!   --all              everything above
+//!   --scale S          event scale vs the paper's runs (default 2e-5)
+//!   --trials K         trials per measurement (default 3; paper used 10)
+//!   --seed S           base seed (default 42)
+//! ```
+
+use std::process::ExitCode;
+
+use smarttrack_bench::tables::{self, ExperimentConfig};
+
+fn parse_args() -> Result<(Vec<String>, ExperimentConfig), String> {
+    let mut cfg = ExperimentConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--table" => wanted.push(value("--table")?),
+            "--figures" => wanted.push("figures".to_string()),
+            "--ablation" => wanted.push("ablation".to_string()),
+            "--related" => wanted.push("related".to_string()),
+            "--parallel" => wanted.push("parallel".to_string()),
+            "--headline" => wanted.push("headline".to_string()),
+            "--all" => {
+                wanted.extend(
+                    [
+                        "1", "2", "3", "5", "6", "7", "12", "figures", "ablation", "related",
+                        "parallel", "headline",
+                    ]
+                        .map(String::from),
+                );
+            }
+            "--scale" => {
+                cfg.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--trials" => {
+                cfg.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("bad --trials: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help in source)")),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("headline".to_string());
+    }
+    Ok((wanted, cfg))
+}
+
+fn main() -> ExitCode {
+    let (wanted, cfg) = match parse_args() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "SmartTrack reproduction — scale {:.0e}, {} trial(s), seed {}\n",
+        cfg.scale, cfg.trials, cfg.seed
+    );
+    for item in wanted {
+        let out = match item.as_str() {
+            "1" => tables::table1(),
+            "2" => tables::table2(&cfg),
+            "3" => tables::table3(&cfg, false),
+            "4" | "5" => tables::table5(&cfg, false),
+            "6" => tables::table6(&cfg, false),
+            "7" => tables::table7(&cfg, false),
+            "8" => tables::table3(&cfg, true),
+            "9" => tables::table5(&cfg, true),
+            "10" => tables::table6(&cfg, true),
+            "11" => tables::table7(&cfg, true),
+            "12" => tables::table12(&cfg),
+            "figures" => tables::figures(),
+            "ablation" => format!(
+                "{}\n{}\n{}",
+                smarttrack_bench::ablation::rule_b_cost(&cfg),
+                smarttrack_bench::ablation::ccs_fidelity(&cfg),
+                smarttrack_bench::ablation::queue_compaction(&cfg)
+            ),
+            "related" => smarttrack_bench::ablation::related_work(&cfg),
+            "parallel" => smarttrack_bench::parallel_scaling::report(&cfg),
+            "headline" => tables::headline(&cfg),
+            other => {
+                eprintln!("error: unknown table `{other}`");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{out}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,188 @@
+//! Parallel-analysis scalability (§5.1 deployment model).
+//!
+//! The paper's implementations run their analysis hooks inside the
+//! application threads, synchronizing on fine-grained metadata. This
+//! experiment measures how analysis throughput scales with application
+//! thread count for the two parallel analyses
+//! ([`ConcurrentFtoHb`](smarttrack_parallel::ConcurrentFtoHb) and
+//! [`ConcurrentSmartTrackWdc`](smarttrack_parallel::ConcurrentSmartTrackWdc)),
+//! holding the *total work* fixed: `N` threads each execute `W / N`
+//! operations.
+//!
+//! Two workload shapes bracket the contention range:
+//!
+//! * **disjoint** — threads touch thread-private variables and disjoint
+//!   locks: the fine-grained metadata never contends, so throughput should
+//!   scale with cores (the common case the paper's same-epoch fast paths
+//!   target);
+//! * **shared** — all threads hammer one lock and one variable: every hook
+//!   serializes on the same metadata, the worst case.
+
+use std::time::Instant;
+
+use smarttrack_parallel::{run_online, ConcurrentFtoHb, ConcurrentSmartTrackWdc, WorldSpec};
+use smarttrack_runtime::{Program, ThreadSpec};
+use smarttrack_trace::{LockId, VarId};
+
+use crate::tables::ExperimentConfig;
+
+/// Workload shape for the scaling experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contention {
+    /// Thread-private variables, per-thread locks (no metadata contention).
+    Disjoint,
+    /// One lock, one shared variable (maximal metadata contention).
+    Shared,
+}
+
+impl Contention {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Contention::Disjoint => "disjoint",
+            Contention::Shared => "shared",
+        }
+    }
+}
+
+/// Builds the scaling program: `threads` threads, ~`total_ops` operations in
+/// total, with the given contention shape. Lock acquisition order is globally
+/// consistent (no real-deadlock potential).
+pub fn scaling_program(threads: u32, total_ops: usize, contention: Contention) -> Program {
+    let per_thread = total_ops / threads as usize;
+    // Each round is 8 operations.
+    let rounds = (per_thread / 8).max(1);
+    let specs = (0..threads)
+        .map(|i| {
+            let mut spec = ThreadSpec::new();
+            let (lock, var, private) = match contention {
+                Contention::Disjoint => (LockId::new(i), VarId::new(i), VarId::new(1000 + i)),
+                Contention::Shared => (LockId::new(0), VarId::new(0), VarId::new(1000 + i)),
+            };
+            for _ in 0..rounds {
+                spec = spec
+                    .acquire(lock)
+                    .read(var)
+                    .write(var)
+                    .release(lock)
+                    .read(private)
+                    .write(private)
+                    .read(private)
+                    .write(private);
+            }
+            spec
+        })
+        .collect();
+    Program::new(specs)
+}
+
+/// One measured cell: thread count → events/second.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Application (= analysis) thread count.
+    pub threads: u32,
+    /// Analyzed events per second (best of `trials`).
+    pub events_per_sec: f64,
+}
+
+fn best_throughput(program: &Program, analysis_name: &str, trials: usize) -> f64 {
+    let mut best = 0f64;
+    for _ in 0..trials.max(1) {
+        let eps = match analysis_name {
+            "hb" => {
+                let analysis = ConcurrentFtoHb::new(WorldSpec::of_program(program));
+                let start = Instant::now();
+                let run = run_online(program, &analysis, false).expect("valid program");
+                run.events as f64 / start.elapsed().as_secs_f64()
+            }
+            "wdc" => {
+                let analysis = ConcurrentSmartTrackWdc::new(WorldSpec::of_program(program));
+                let start = Instant::now();
+                let run = run_online(program, &analysis, false).expect("valid program");
+                run.events as f64 / start.elapsed().as_secs_f64()
+            }
+            other => unreachable!("unknown analysis {other}"),
+        };
+        best = best.max(eps);
+    }
+    best
+}
+
+/// Runs the scaling sweep for one analysis and contention shape.
+pub fn sweep(
+    analysis_name: &str,
+    contention: Contention,
+    total_ops: usize,
+    trials: usize,
+) -> Vec<ScalePoint> {
+    [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let program = scaling_program(threads, total_ops, contention);
+            ScalePoint {
+                threads,
+                events_per_sec: best_throughput(&program, analysis_name, trials),
+            }
+        })
+        .collect()
+}
+
+/// Renders the full parallel-scaling report (`repro --parallel`).
+pub fn report(cfg: &ExperimentConfig) -> String {
+    // The scale knob maps the paper's ~1e9-event runs to a local budget the
+    // same way the table experiments do, with a floor that keeps timings
+    // meaningful.
+    let total_ops = ((1.0e9 * cfg.scale) as usize).max(40_000);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Parallel analysis scaling (§5.1) — fixed total work {total_ops} ops, best of {} trial(s)\n\n",
+        cfg.trials
+    ));
+    out.push_str("analysis          workload   1 thr        2 thr        4 thr        8 thr    (events/s; speedup vs 1 thr)\n");
+    for (name, label) in [("hb", "FTO-HB"), ("wdc", "ST-WDC")] {
+        for contention in [Contention::Disjoint, Contention::Shared] {
+            let points = sweep(name, contention, total_ops, cfg.trials);
+            let base = points[0].events_per_sec;
+            out.push_str(&format!("{label:<17} {:<9}", contention.label()));
+            for p in &points {
+                out.push_str(&format!(
+                    " {:>7.2}M({:>4.2}x)",
+                    p.events_per_sec / 1e6,
+                    p.events_per_sec / base
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "\nExpected shape: disjoint workloads scale up to the machine's core\n\
+         count ({} available here) — fine-grained metadata and lock-free\n\
+         same-epoch fast paths never contend; shared workloads plateau (every\n\
+         hook serializes on one variable's mutex, §5.1's worst case). Thread\n\
+         counts beyond the core count only add scheduling overhead.\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_program_splits_work() {
+        let p = scaling_program(4, 8000, Contention::Disjoint);
+        assert_eq!(p.num_threads(), 4);
+        let per_thread = p.threads()[0].len();
+        assert!((1000..=2100).contains(&per_thread), "{per_thread}");
+    }
+
+    #[test]
+    fn sweep_produces_positive_throughput() {
+        let points = sweep("wdc", Contention::Shared, 4000, 1);
+        assert_eq!(points.len(), 4);
+        for p in points {
+            assert!(p.events_per_sec > 0.0);
+        }
+    }
+}

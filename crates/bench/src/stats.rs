@@ -1,0 +1,130 @@
+//! Means, geometric means, and 95% confidence intervals (the paper reports
+//! arithmetic means of 10 trials with 95% CIs, and geometric means across
+//! programs).
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean (0 for an empty slice; requires positive values).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Two-sided Student-t critical values at 95% for n−1 degrees of freedom
+/// (n = sample count), n = 2..=30.
+fn t_crit(n: usize) -> f64 {
+    const T: [f64; 29] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045,
+    ];
+    if n < 2 {
+        return 0.0;
+    }
+    T.get(n - 2).copied().unwrap_or(1.96)
+}
+
+/// Half-width of the 95% confidence interval of the mean.
+pub fn ci95(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (n as f64 - 1.0);
+    t_crit(n) * (var / n as f64).sqrt()
+}
+
+/// A mean with its confidence interval, formatted like the paper's appendix
+/// tables (`4.2× ± 0.03×`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 95% CI half-width.
+    pub ci: f64,
+}
+
+impl Summary {
+    /// Summarizes samples.
+    pub fn of(xs: &[f64]) -> Self {
+        Summary {
+            mean: mean(xs),
+            ci: ci95(xs),
+        }
+    }
+
+    /// Formats as a factor with 2 significant digits (paper style).
+    pub fn factor(&self) -> String {
+        format!("{}×", sig2(self.mean))
+    }
+
+    /// Formats as a factor with CI.
+    pub fn factor_ci(&self) -> String {
+        format!("{}× ± {}×", sig2(self.mean), sig2(self.ci))
+    }
+}
+
+/// Rounds to two significant digits, paper-table style.
+pub fn sig2(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (1 - mag).max(0) as usize;
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn ci_matches_paper_trial_count() {
+        // n = 10 → t = 2.262.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let m = mean(&xs);
+        let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / 9.0;
+        let expected = 2.262 * (var / 10.0).sqrt();
+        assert!((ci95(&xs) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_is_zero_for_singletons() {
+        assert_eq!(ci95(&[5.0]), 0.0);
+        assert_eq!(ci95(&[]), 0.0);
+    }
+
+    #[test]
+    fn two_significant_digits() {
+        assert_eq!(sig2(4.234), "4.2");
+        assert_eq!(sig2(0.0789), "0.079");
+        assert_eq!(sig2(32.4), "32");
+        assert_eq!(sig2(110.0), "110");
+    }
+
+    #[test]
+    fn summary_formatting() {
+        let s = Summary::of(&[4.0, 4.4]);
+        assert_eq!(s.factor(), "4.2×");
+        assert!(s.factor_ci().starts_with("4.2× ± "));
+    }
+}

@@ -1,0 +1,471 @@
+//! Regeneration of the paper's evaluation tables.
+//!
+//! Each `table*` function runs the necessary analyses on the synthetic
+//! DaCapo-style workloads and renders the paper's table layout; appendix
+//! variants (Tables 8–11) add 95% confidence intervals over trials.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use smarttrack::{AnalysisConfig, FtoCase, OptLevel, Relation};
+use smarttrack_trace::stats::TraceStats;
+use smarttrack_workloads::{profiles, Workload};
+
+use crate::measure::{measure_analysis, null_pass_nanos, Measurement};
+use crate::stats::{geomean, sig2, Summary};
+
+/// Global experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Event-count scale relative to the paper's executions (e.g. `2e-5`
+    /// turns avrora's 1,400M events into 28k).
+    pub scale: f64,
+    /// Trials per measurement (the paper uses 10).
+    pub trials: usize,
+    /// Base seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 2e-5,
+            trials: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// All grid measurements for one experiment run: per program, per analysis,
+/// one [`Measurement`] per trial.
+pub struct Grid {
+    /// Programs measured.
+    pub programs: Vec<Workload>,
+    /// Analyses measured.
+    pub configs: Vec<AnalysisConfig>,
+    /// `results[program][config]` = per-trial measurements.
+    pub results: Vec<Vec<Vec<Measurement>>>,
+}
+
+/// Runs `configs` over every workload for `cfg.trials` trials.
+pub fn run_grid(cfg: &ExperimentConfig, configs: &[AnalysisConfig]) -> Grid {
+    let programs = profiles::all();
+    let mut results = Vec::with_capacity(programs.len());
+    for w in &programs {
+        let mut per_config: Vec<Vec<Measurement>> = vec![Vec::new(); configs.len()];
+        for trial in 0..cfg.trials {
+            let trace = w.trace(cfg.scale, cfg.seed + trial as u64);
+            // Warmed null pass: take the min of 3 as the baseline.
+            let baseline = (0..3).map(|_| null_pass_nanos(&trace)).min().unwrap_or(1);
+            for (ci, &config) in configs.iter().enumerate() {
+                per_config[ci].push(measure_analysis(&trace, config, baseline));
+            }
+        }
+        results.push(per_config);
+    }
+    Grid {
+        programs,
+        configs: configs.to_vec(),
+        results,
+    }
+}
+
+fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |out: &mut String, row: &[String]| {
+        for (i, cell) in row.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(8);
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+    };
+    fmt_row(&mut out, header);
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(&mut out, row);
+    }
+    out
+}
+
+/// Table 1: the analysis matrix (static — documents what exists).
+pub fn table1() -> String {
+    let header = vec![
+        "".to_string(),
+        "Unopt w/G".to_string(),
+        "Unopt (w/o G)".to_string(),
+        "Epochs".to_string(),
+        "+ Ownership".to_string(),
+        "+ CS opts".to_string(),
+    ];
+    let rows = vec![
+        vec!["HB", "N/A", "Unopt-HB", "FT2", "FTO-HB", "N/A"],
+        vec!["WCP", "N/A", "Unopt-WCP", "—", "FTO-WCP", "SmartTrack-WCP"],
+        vec!["DC", "Unopt-DC w/G", "Unopt-DC", "—", "FTO-DC", "SmartTrack-DC"],
+        vec!["WDC", "Unopt-WDC w/G", "Unopt-WDC", "—", "FTO-WDC", "SmartTrack-WDC"],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(String::from).collect())
+    .collect::<Vec<Vec<String>>>();
+    format!("Table 1: evaluated analyses\n{}", render(&header, &rows))
+}
+
+/// Table 2: run-time characteristics of the synthetic workloads, next to the
+/// paper's measured targets.
+pub fn table2(cfg: &ExperimentConfig) -> String {
+    let header: Vec<String> = [
+        "Program", "#Thr", "All", "NSEAs", ">=1", ">=2", ">=3", "paper>=1", "paper>=2",
+        "paper>=3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for w in profiles::all() {
+        let tr = w.trace(cfg.scale, cfg.seed);
+        let s = TraceStats::compute(&tr);
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{} ({})", s.threads_total, s.threads_max_live),
+            format!("{}", s.total_events),
+            format!("{}", s.nsea_count),
+            format!("{}%", sig2(s.pct_nsea_holding(1))),
+            format!("{}%", sig2(s.pct_nsea_holding(2))),
+            format!("{}%", sig2(s.pct_nsea_holding(3))),
+            format!("{}%", sig2(w.paper.pct_ge1)),
+            format!("{}%", sig2(w.paper.pct_ge2)),
+            format!("{}%", sig2(w.paper.pct_ge3)),
+        ]);
+    }
+    format!(
+        "Table 2: run-time characteristics (scale {:.0e}; paper targets on the right)\n{}",
+        cfg.scale,
+        render(&header, &rows)
+    )
+}
+
+fn baseline_configs() -> Vec<AnalysisConfig> {
+    vec![
+        AnalysisConfig::new(Relation::Hb, OptLevel::Epochs),
+        AnalysisConfig::new(Relation::Hb, OptLevel::Fto),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Unopt).with_graph(),
+        AnalysisConfig::new(Relation::Dc, OptLevel::Unopt),
+        AnalysisConfig::new(Relation::Wdc, OptLevel::Unopt).with_graph(),
+        AnalysisConfig::new(Relation::Wdc, OptLevel::Unopt),
+    ]
+}
+
+fn main_configs() -> Vec<AnalysisConfig> {
+    let mut out = Vec::new();
+    for relation in Relation::ALL {
+        for level in [OptLevel::Unopt, OptLevel::Fto, OptLevel::SmartTrack] {
+            let cfg = AnalysisConfig::new(relation, level);
+            if cfg.is_available() {
+                out.push(cfg);
+            } else if relation == Relation::Hb && level == OptLevel::SmartTrack {
+                // N/A cell: skipped.
+            }
+        }
+    }
+    out
+}
+
+fn grid_metric(
+    grid: &Grid,
+    pi: usize,
+    ci: usize,
+    metric: impl Fn(&Measurement) -> f64,
+) -> Summary {
+    let samples: Vec<f64> = grid.results[pi][ci].iter().map(&metric).collect();
+    Summary::of(&samples)
+}
+
+fn factor_table(
+    title: &str,
+    grid: &Grid,
+    metric: impl Fn(&Measurement) -> f64 + Copy,
+    with_ci: bool,
+) -> String {
+    let mut header = vec!["Program".to_string()];
+    header.extend(grid.configs.iter().map(|c| c.to_string()));
+    let mut rows = Vec::new();
+    let mut per_config_means: Vec<Vec<f64>> = vec![Vec::new(); grid.configs.len()];
+    for (pi, w) in grid.programs.iter().enumerate() {
+        let mut row = vec![w.name.to_string()];
+        for (ci, means) in per_config_means.iter_mut().enumerate() {
+            let s = grid_metric(grid, pi, ci, metric);
+            means.push(s.mean);
+            row.push(if with_ci { s.factor_ci() } else { s.factor() });
+        }
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for means in &per_config_means {
+        geo.push(format!("{}×", sig2(geomean(means))));
+    }
+    rows.push(geo);
+    format!("{title}\n{}", render(&header, &rows))
+}
+
+/// Table 3: run time and memory of the FastTrack baselines and the
+/// unoptimized DC/WDC analyses with and without graph recording.
+pub fn table3(cfg: &ExperimentConfig, with_ci: bool) -> String {
+    let grid = run_grid(cfg, &baseline_configs());
+    let time = factor_table(
+        "Table 3 (run time): FastTrack baselines vs unoptimized predictive analyses",
+        &grid,
+        |m| m.slowdown,
+        with_ci,
+    );
+    let mem = factor_table(
+        "Table 3 (memory): peak metadata vs trace footprint",
+        &grid,
+        |m| m.memory_factor,
+        with_ci,
+    );
+    format!("{time}\n{mem}")
+}
+
+/// Tables 4+5 (run time): per-program slowdowns of the full Unopt/FTO/ST ×
+/// HB/WCP/DC/WDC matrix, with the geometric-mean row (Table 4).
+pub fn table5(cfg: &ExperimentConfig, with_ci: bool) -> String {
+    let grid = run_grid(cfg, &main_configs());
+    factor_table(
+        "Tables 4+5 (run time, relative to the null pass; geomean row = Table 4)",
+        &grid,
+        |m| m.slowdown,
+        with_ci,
+    )
+}
+
+/// Tables 4+6 (memory): per-program memory factors of the full matrix.
+pub fn table6(cfg: &ExperimentConfig, with_ci: bool) -> String {
+    let grid = run_grid(cfg, &main_configs());
+    factor_table(
+        "Tables 4+6 (memory, peak metadata / trace bytes; geomean row = Table 4)",
+        &grid,
+        |m| m.memory_factor,
+        with_ci,
+    )
+}
+
+/// Table 7: races reported — statically distinct (total dynamic) per
+/// analysis per program, with optional CIs on the dynamic counts.
+pub fn table7(cfg: &ExperimentConfig, with_ci: bool) -> String {
+    let grid = run_grid(cfg, &main_configs());
+    let mut header = vec!["Program".to_string()];
+    header.extend(grid.configs.iter().map(|c| c.to_string()));
+    let mut rows = Vec::new();
+    for (pi, w) in grid.programs.iter().enumerate() {
+        let mut row = vec![w.name.to_string()];
+        for ci in 0..grid.configs.len() {
+            let stat: Vec<f64> = grid.results[pi][ci]
+                .iter()
+                .map(|m| m.report.static_count() as f64)
+                .collect();
+            let dyn_: Vec<f64> = grid.results[pi][ci]
+                .iter()
+                .map(|m| m.report.dynamic_count() as f64)
+                .collect();
+            let s = Summary::of(&stat);
+            let d = Summary::of(&dyn_);
+            row.push(if with_ci {
+                format!(
+                    "{}±{} ({}±{})",
+                    sig2(s.mean),
+                    sig2(s.ci),
+                    sig2(d.mean),
+                    sig2(d.ci)
+                )
+            } else {
+                format!("{} ({})", sig2(s.mean), sig2(d.mean))
+            });
+        }
+        rows.push(row);
+    }
+    format!(
+        "Table 7: statically distinct races (total dynamic races)\n{}",
+        render(&header, &rows)
+    )
+}
+
+/// Table 12: FTO case frequencies for SmartTrack-WDC, per program.
+pub fn table12(cfg: &ExperimentConfig) -> String {
+    let st_wdc = [AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack)];
+    let grid = run_grid(&ExperimentConfig { trials: 1, ..*cfg }, &st_wdc);
+    let header: Vec<String> = [
+        "Program", "Kind", "Total", "Owned Excl", "Owned Shared", "Unowned Excl", "Share",
+        "Unowned Shared",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for (pi, w) in grid.programs.iter().enumerate() {
+        let m = &grid.results[pi][0][0];
+        let Some(c) = &m.cases else { continue };
+        rows.push(vec![
+            w.name.to_string(),
+            "Read".to_string(),
+            format!("{}", c.nse_reads()),
+            format!("{}%", sig2(c.read_pct(FtoCase::ReadOwned))),
+            format!("{}%", sig2(c.read_pct(FtoCase::ReadSharedOwned))),
+            format!("{}%", sig2(c.read_pct(FtoCase::ReadExclusive))),
+            format!("{}%", sig2(c.read_pct(FtoCase::ReadShare))),
+            format!("{}%", sig2(c.read_pct(FtoCase::ReadShared))),
+        ]);
+        rows.push(vec![
+            String::new(),
+            "Write".to_string(),
+            format!("{}", c.nse_writes()),
+            format!("{}%", sig2(c.write_pct(FtoCase::WriteOwned))),
+            "N/A".to_string(),
+            format!("{}%", sig2(c.write_pct(FtoCase::WriteExclusive))),
+            "N/A".to_string(),
+            format!("{}%", sig2(c.write_pct(FtoCase::WriteShared))),
+        ]);
+    }
+    format!(
+        "Table 12: frequencies of non-same-epoch accesses per FTO case (SmartTrack-WDC)\n{}",
+        render(&header, &rows)
+    )
+}
+
+/// The paper's figures (example executions): which analyses detect a race on
+/// each, plus vindication outcomes.
+pub fn figures() -> String {
+    use smarttrack::analyze_all;
+    use smarttrack_trace::paper;
+    use smarttrack_vindicate::{vindicate_first_race, VindicationResult};
+
+    let mut header = vec!["Figure".to_string()];
+    let outcome_names: Vec<String> = analyze_all(&paper::figure1())
+        .iter()
+        .map(|o| o.name.clone())
+        .collect();
+    header.extend(outcome_names);
+    header.push("vindicated".to_string());
+    let mut rows = Vec::new();
+    for (name, tr) in paper::all_figures() {
+        let outcomes = analyze_all(&tr);
+        let mut row = vec![name.to_string()];
+        let mut racy = None;
+        for o in &outcomes {
+            row.push(if o.report.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{}", o.report.dynamic_count())
+            });
+            if racy.is_none() && !o.report.is_empty() {
+                racy = Some(o.report.clone());
+            }
+        }
+        row.push(match racy {
+            None => "(no race)".to_string(),
+            Some(report) => match vindicate_first_race(&tr, &report) {
+                Some(VindicationResult::Race(_)) => "yes".to_string(),
+                Some(VindicationResult::Unknown) => "NO (false race)".to_string(),
+                None => "?".to_string(),
+            },
+        });
+        rows.push(row);
+    }
+    format!(
+        "Figures 1-4: dynamic races per analysis (`-` = none) and vindication of the first race\n{}",
+        render(&header, &rows)
+    )
+}
+
+/// A one-line summary of the headline result (§5.5): geomean slowdowns by
+/// optimization level, and key ratios to compare against the paper's.
+pub fn headline(cfg: &ExperimentConfig) -> String {
+    let grid = run_grid(cfg, &main_configs());
+    let mut by_config: HashMap<String, Vec<f64>> = HashMap::new();
+    for (pi, _) in grid.programs.iter().enumerate() {
+        for (ci, c) in grid.configs.iter().enumerate() {
+            by_config
+                .entry(c.to_string())
+                .or_default()
+                .push(grid_metric(&grid, pi, ci, |m| m.slowdown).mean);
+        }
+    }
+    let geo = |name: &str| geomean(&by_config[name]);
+    let fto_hb = geo("FTO-HB");
+    let mut out = String::from("Headline (geomean slowdowns relative to FTO-HB = 1.0):\n");
+    for c in &grid.configs {
+        let name = c.to_string();
+        let _ = writeln!(out, "  {name:>12}: {:>6}", sig2(geo(&name) / fto_hb));
+    }
+    out.push_str(
+        "\nPaper (Table 4, run time relative to FTO-HB 7.0x): Unopt-WCP 4.9, Unopt-DC 4.1, \
+         Unopt-WDC 3.9, FTO-WCP 2.0, FTO-DC 2.1, FTO-WDC 1.9, ST-WCP 1.3, ST-DC 1.4, ST-WDC 1.2\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 2e-6,
+            trials: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn table1_matrix_renders() {
+        let t = table1();
+        assert!(t.contains("SmartTrack-DC"));
+        assert!(t.contains("N/A"));
+    }
+
+    #[test]
+    fn table2_includes_all_programs() {
+        let t = table2(&tiny());
+        for name in ["avrora", "xalan", "tomcat"] {
+            assert!(t.contains(name), "{t}");
+        }
+    }
+
+    #[test]
+    fn table7_reports_races_shape() {
+        let cfg = ExperimentConfig {
+            scale: 1e-5,
+            trials: 1,
+            seed: 3,
+        };
+        let t = table7(&cfg, false);
+        assert!(t.contains("avrora"));
+        // batik and lusearch report no races under any analysis.
+        for line in t.lines().filter(|l| l.contains("batik") || l.contains("lusearch")) {
+            assert!(
+                line.split_whitespace()
+                    .skip(1)
+                    .all(|c| c == "0" || c == "(0)"),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn figures_table_shows_wdc_false_race() {
+        let t = figures();
+        assert!(t.contains("figure3"));
+        assert!(t.contains("NO (false race)"), "{t}");
+        assert!(t.contains("yes"), "{t}");
+    }
+}

@@ -1,0 +1,122 @@
+//! `smarttrack analyze` — run race detectors over a trace file.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use smarttrack::{analyze, AnalysisConfig};
+
+use crate::{load_trace, trace_arg, write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack analyze <trace> [--analysis CFG]... [--all] [--max-races N]";
+const SWITCHES: &[&str] = &["all"];
+const VALUES: &[&str] = &["analysis", "max-races"];
+
+/// The default selection: the state-of-the-art HB baseline plus the three
+/// SmartTrack-optimized predictive analyses (the paper's headline
+/// comparison).
+const DEFAULT_ANALYSES: &[&str] = &["fto-hb", "st-wcp", "st-dc", "st-wdc"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, SWITCHES, VALUES)?;
+    let path = trace_arg(&opts, USAGE)?;
+    let trace = load_trace(path)?;
+    let max_races: usize = opts.parsed_or("max-races", 10)?;
+
+    let configs: Vec<AnalysisConfig> = if opts.switch("all") {
+        AnalysisConfig::table1()
+    } else {
+        let names = opts.all_values("analysis");
+        let names: Vec<&str> = if names.is_empty() {
+            DEFAULT_ANALYSES.to_vec()
+        } else {
+            names.iter().map(String::as_str).collect()
+        };
+        names
+            .into_iter()
+            .map(|n| n.parse().map_err(|e| CliError::Usage(format!("{e}"))))
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut buf = String::new();
+    let _ = writeln!(
+        buf,
+        "{path}: {} events, {} threads, {} variables, {} locks",
+        trace.len(),
+        trace.num_threads(),
+        trace.num_vars(),
+        trace.num_locks()
+    );
+    for config in configs {
+        let outcome = analyze(&trace, config);
+        let _ = writeln!(
+            buf,
+            "\n{:<14} {} static / {} dynamic races, peak metadata {} bytes",
+            outcome.name,
+            outcome.report.static_count(),
+            outcome.report.dynamic_count(),
+            outcome.summary.peak_footprint_bytes
+        );
+        for race in outcome.report.races().iter().take(max_races) {
+            let _ = writeln!(buf, "    {race}");
+        }
+        let suppressed = outcome.report.dynamic_count().saturating_sub(max_races);
+        if suppressed > 0 {
+            let _ = writeln!(buf, "    … and {suppressed} more (raise --max-races)");
+        }
+    }
+    write_out(out, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::{capture, TempTrace};
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn default_selection_separates_hb_from_predictive() {
+        let file = TempTrace::write(&paper::figure1());
+        let text = capture(run, &[&file.path_str()]).unwrap();
+        let hb_line = text.lines().find(|l| l.contains("FTO-HB")).unwrap();
+        assert!(hb_line.contains("0 static / 0 dynamic"), "{hb_line}");
+        let wdc_line = text.lines().find(|l| l.contains("SmartTrack-WDC")).unwrap();
+        assert!(wdc_line.contains("1 static / 1 dynamic"), "{wdc_line}");
+    }
+
+    #[test]
+    fn all_flag_runs_the_full_table1_matrix() {
+        let file = TempTrace::write(&paper::figure3());
+        let text = capture(run, &[&file.path_str(), "--all"]).unwrap();
+        for name in ["Unopt-HB", "FT2", "Unopt-DC w/G", "SmartTrack-WCP"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn explicit_analyses_are_respected() {
+        let file = TempTrace::write(&paper::figure2());
+        let text = capture(run, &[&file.path_str(), "--analysis", "st-dc"]).unwrap();
+        assert!(text.contains("SmartTrack-DC"));
+        assert!(!text.contains("FTO-HB"));
+    }
+
+    #[test]
+    fn bogus_analysis_name_is_a_usage_error() {
+        let file = TempTrace::write(&paper::figure1());
+        let err = capture(run, &[&file.path_str(), "--analysis", "magic"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn max_races_truncates_output() {
+        // xalan-style workloads report plenty of dynamic races.
+        let trace = smarttrack_workloads::profiles::xalan().trace(2e-6, 3);
+        let file = TempTrace::write(&trace);
+        let text = capture(
+            run,
+            &[&file.path_str(), "--analysis", "st-wdc", "--max-races", "1"],
+        )
+        .unwrap();
+        assert!(text.contains("more (raise --max-races)"));
+    }
+}

@@ -1,0 +1,111 @@
+//! `smarttrack convert` — translate traces between the native line format
+//! and the interchange formats (STD/`RAPID`, CSV), so recorded executions
+//! from other race-detection tooling can be analyzed here and vice versa.
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::str::FromStr;
+
+use smarttrack_trace::formats::{self, TraceFormat};
+
+use crate::{format_of_path, trace_arg, write_out, CliError, Opts};
+
+const USAGE: &str =
+    "smarttrack convert <trace> [--from FMT] --to FMT [--out FILE]   (FMT: native|std|csv)";
+const VALUES: &[&str] = &["from", "to", "out"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], VALUES)?;
+    let path = trace_arg(&opts, USAGE)?;
+
+    let from = match opts.value("from") {
+        Some(name) => TraceFormat::from_str(name).map_err(CliError::Usage)?,
+        None => format_of_path(path),
+    };
+    let to = match opts.value("to") {
+        Some(name) => TraceFormat::from_str(name).map_err(CliError::Usage)?,
+        None => match opts.value("out") {
+            // Infer from the output extension when given.
+            Some(out_path) => format_of_path(out_path),
+            None => return Err(CliError::Usage(format!("missing --to; usage: {USAGE}"))),
+        },
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    let trace =
+        formats::parse_as(&text, from).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let rendered = formats::render_as(&trace, to);
+
+    match opts.value("out") {
+        Some(out_path) => {
+            std::fs::write(out_path, rendered).map_err(|source| CliError::Io {
+                path: out_path.to_string(),
+                source,
+            })?;
+            let mut buf = String::new();
+            let _ = writeln!(
+                buf,
+                "converted {path} ({from}) -> {out_path} ({to}): {} events",
+                trace.len()
+            );
+            write_out(out, &buf)
+        }
+        None => write_out(out, &rendered),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::{capture, TempTrace};
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn converts_native_to_std_on_stdout() {
+        let file = TempTrace::write(&paper::figure1());
+        let text = capture(run, &[&file.path_str(), "--to", "std"]).unwrap();
+        let back = formats::parse_std(&text).expect("valid STD output");
+        assert_eq!(back, paper::figure1());
+    }
+
+    #[test]
+    fn converts_to_csv_and_back() {
+        let file = TempTrace::write(&paper::figure2());
+        let csv = capture(run, &[&file.path_str(), "--to", "csv"]).unwrap();
+        let back = formats::parse_csv(&csv).expect("valid CSV output");
+        assert_eq!(back, paper::figure2());
+    }
+
+    #[test]
+    fn infers_target_format_from_out_extension() {
+        let file = TempTrace::write(&paper::figure1());
+        let out_path = std::env::temp_dir().join(format!(
+            "smarttrack-convert-{}.std",
+            std::process::id()
+        ));
+        let out_str = out_path.display().to_string();
+        let msg = capture(run, &[&file.path_str(), "--out", &out_str]).unwrap();
+        assert!(msg.contains("(std)"), "{msg}");
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        assert_eq!(formats::parse_std(&text).unwrap(), paper::figure1());
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn missing_target_format_is_a_usage_error() {
+        let file = TempTrace::write(&paper::figure1());
+        let err = capture(run, &[&file.path_str()]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--to"));
+    }
+
+    #[test]
+    fn bad_format_name_is_a_usage_error() {
+        let file = TempTrace::write(&paper::figure1());
+        let err = capture(run, &[&file.path_str(), "--to", "xml"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+}

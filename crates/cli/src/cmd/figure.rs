@@ -1,0 +1,51 @@
+//! `smarttrack figure` — emit the paper's example executions (Figures 1–4)
+//! as trace files, ready for `analyze`/`vindicate`/`render`.
+
+use std::io::Write;
+
+use smarttrack_trace::paper;
+
+use crate::{CliError, Opts};
+
+const USAGE: &str = "smarttrack figure <figure1|figure2|figure3|figure4a..figure4d> [--out FILE]";
+const VALUES: &[&str] = &["out"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], VALUES)?;
+    let name = opts
+        .positional(0)
+        .ok_or_else(|| CliError::Usage(format!("missing figure name; usage: {USAGE}")))?;
+    let trace = paper::all_figures()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, t)| t)
+        .ok_or_else(|| {
+            let known: Vec<&str> = paper::all_figures().iter().map(|(n, _)| *n).collect();
+            CliError::Invalid(format!(
+                "unknown figure `{name}`; available: {}",
+                known.join(", ")
+            ))
+        })?;
+    super::generate::emit(&trace, &opts, out, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::capture;
+
+    #[test]
+    fn every_figure_round_trips_through_the_text_format() {
+        for (name, original) in paper::all_figures() {
+            let text = capture(run, &[name]).unwrap();
+            let reparsed = smarttrack_trace::fmt::parse(&text).unwrap();
+            assert_eq!(reparsed.len(), original.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_figure_lists_the_catalog() {
+        let err = capture(run, &["figure9"]).unwrap_err();
+        assert!(err.to_string().contains("figure4d"), "{err}");
+    }
+}

@@ -1,0 +1,115 @@
+//! `smarttrack generate` — emit synthetic workload traces: the ten
+//! DaCapo-calibrated profiles (§5.2/Table 2) or the distant-race stress
+//! pattern (§6).
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use smarttrack_trace::Trace;
+use smarttrack_workloads::{distant_race_trace, profiles};
+
+use crate::{write_out, CliError, Opts};
+
+const USAGE: &str =
+    "smarttrack generate <profile|distant:N> [--scale F] [--seed N] [--out FILE]";
+const VALUES: &[&str] = &["scale", "seed", "out"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], VALUES)?;
+    let name = opts
+        .positional(0)
+        .ok_or_else(|| CliError::Usage(format!("missing workload name; usage: {USAGE}")))?;
+    let scale: f64 = opts.parsed_or("scale", 2e-5)?;
+    let seed: u64 = opts.parsed_or("seed", 42)?;
+
+    let trace = build(name, scale, seed)?;
+    emit(&trace, &opts, out, name)
+}
+
+/// Builds the requested trace (shared with `figure`'s output path).
+fn build(name: &str, scale: f64, seed: u64) -> Result<Trace, CliError> {
+    if let Some(distance) = name.strip_prefix("distant:") {
+        let distance: usize = distance.parse().map_err(|_| {
+            CliError::Usage(format!("`distant:N` takes an event count, got `{distance}`"))
+        })?;
+        return Ok(distant_race_trace(distance).0);
+    }
+    profiles::all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .map(|w| w.trace(scale, seed))
+        .ok_or_else(|| {
+            let known: Vec<&str> = profiles::all().iter().map(|w| w.name).collect();
+            CliError::Invalid(format!(
+                "unknown workload `{name}`; available: {}, distant:N",
+                known.join(", ")
+            ))
+        })
+}
+
+/// Writes the trace to `--out` (trace file) or stdout (text format).
+pub(super) fn emit(
+    trace: &Trace,
+    opts: &Opts,
+    out: &mut dyn Write,
+    what: &str,
+) -> Result<(), CliError> {
+    match opts.value("out") {
+        Some(path) => {
+            smarttrack_trace::fmt::write_file(trace, path).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+            let mut buf = String::new();
+            let _ = writeln!(
+                buf,
+                "wrote {what}: {} events, {} threads -> {path}",
+                trace.len(),
+                trace.num_threads()
+            );
+            write_out(out, &buf)
+        }
+        None => write_out(out, &smarttrack_trace::fmt::render(trace)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::capture;
+
+    #[test]
+    fn stdout_output_is_reparsable() {
+        let text = capture(run, &["avrora", "--scale", "2e-6", "--seed", "7"]).unwrap();
+        let reparsed = smarttrack_trace::fmt::parse(&text).expect("round-trips");
+        assert_eq!(reparsed.num_threads(), 7, "avrora runs 7 threads (Table 2)");
+    }
+
+    #[test]
+    fn distant_pattern_parses_its_distance() {
+        let text = capture(run, &["distant:30"]).unwrap();
+        let trace = smarttrack_trace::fmt::parse(&text).unwrap();
+        assert_eq!(trace.len(), 38);
+    }
+
+    #[test]
+    fn unknown_profile_lists_the_available_ones() {
+        let err = capture(run, &["dacapo-zxy"]).unwrap_err();
+        assert!(err.to_string().contains("xalan"), "{err}");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn out_flag_writes_a_loadable_file() {
+        let path = std::env::temp_dir().join(format!(
+            "smarttrack-cli-gen-{}.trace",
+            std::process::id()
+        ));
+        let path_str = path.display().to_string();
+        let text = capture(run, &["h2", "--scale", "2e-6", "--out", &path_str]).unwrap();
+        assert!(text.contains("wrote h2"));
+        let trace = smarttrack_trace::fmt::read_file(&path).unwrap();
+        assert!(trace.len() > 100);
+        let _ = std::fs::remove_file(&path);
+    }
+}

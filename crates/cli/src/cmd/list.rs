@@ -1,0 +1,50 @@
+//! `smarttrack list` — the catalog: analyses (Table 1), workload profiles
+//! (Table 2), and paper figures.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use smarttrack::AnalysisConfig;
+use smarttrack_trace::paper;
+use smarttrack_workloads::profiles;
+
+use crate::{write_out, CliError, Opts};
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let _ = Opts::parse(args, &[], &[])?;
+    let mut buf = String::new();
+
+    let _ = writeln!(buf, "analyses (Table 1):");
+    for config in AnalysisConfig::table1() {
+        let _ = writeln!(buf, "  {config}");
+    }
+
+    let _ = writeln!(buf, "\nworkload profiles (Table 2 calibration targets):");
+    for w in profiles::all() {
+        let _ = writeln!(
+            buf,
+            "  {:<9} {} threads, {:>6.0}M events, {:>5.1}% NSEAs hold >=1 lock",
+            w.name, w.paper.threads, w.paper.events_m, w.paper.pct_ge1
+        );
+    }
+
+    let _ = writeln!(buf, "\npaper figures:");
+    for (name, trace) in paper::all_figures() {
+        let _ = writeln!(buf, "  {:<9} {} events", name, trace.len());
+    }
+    write_out(out, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::capture;
+
+    #[test]
+    fn lists_all_three_catalogs() {
+        let text = capture(run, &[]).unwrap();
+        assert!(text.contains("ST-WDC"));
+        assert!(text.contains("xalan"));
+        assert!(text.contains("figure4d"));
+    }
+}

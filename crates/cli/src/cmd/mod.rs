@@ -1,0 +1,63 @@
+//! One module per CLI command. Each command builds its report into a
+//! `String` (formatting into strings is infallible) and emits it with a
+//! single write, keeping the I/O error surface to one place.
+
+pub mod analyze;
+pub mod convert;
+pub mod deadlock;
+pub mod figure;
+pub mod generate;
+pub mod list;
+pub mod render;
+pub mod stats;
+pub mod two_phase;
+pub mod vindicate;
+pub mod windowed;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    use smarttrack_trace::Trace;
+
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+
+    /// A temp file that removes itself; `path_str()` feeds CLI args.
+    pub struct TempTrace {
+        path: PathBuf,
+    }
+
+    impl TempTrace {
+        pub fn write(trace: &Trace) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "smarttrack-cli-test-{}-{}.trace",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            smarttrack_trace::fmt::write_file(trace, &path).expect("write temp trace");
+            TempTrace { path }
+        }
+
+        pub fn path_str(&self) -> String {
+            self.path.display().to_string()
+        }
+    }
+
+    impl Drop for TempTrace {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    /// Runs a command function and returns its output.
+    pub fn capture<F>(run: F, args: &[&str]) -> Result<String, crate::CliError>
+    where
+        F: Fn(&[String], &mut dyn std::io::Write) -> Result<(), crate::CliError>,
+    {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf-8 output"))
+    }
+}

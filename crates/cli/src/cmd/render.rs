@@ -1,0 +1,31 @@
+//! `smarttrack render` — pretty-print a trace as per-thread columns (the
+//! layout the paper's figures use).
+
+use std::io::Write;
+
+use crate::{load_trace, trace_arg, write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack render <trace>";
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let path = trace_arg(&opts, USAGE)?;
+    let trace = load_trace(path)?;
+    write_out(out, &smarttrack_trace::fmt::render_columns(&trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::{capture, TempTrace};
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn renders_column_layout() {
+        let file = TempTrace::write(&paper::figure1());
+        let text = capture(run, &[&file.path_str()]).unwrap();
+        assert!(text.contains("Thread 1"), "{text}");
+        assert!(text.contains("Thread 2"), "{text}");
+        assert!(text.contains("rd(x0)"), "{text}");
+    }
+}

@@ -1,0 +1,70 @@
+//! `smarttrack stats` — the paper's Table 2 run-time characteristics for
+//! one trace.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use smarttrack_trace::stats::TraceStats;
+
+use crate::{load_trace, trace_arg, write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack stats <trace>";
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let path = trace_arg(&opts, USAGE)?;
+    let trace = load_trace(path)?;
+    let stats = TraceStats::compute(&trace);
+
+    let mut buf = String::new();
+    let _ = writeln!(buf, "{path}");
+    let _ = writeln!(
+        buf,
+        "  threads            {} ({} max live)",
+        stats.threads_total, stats.threads_max_live
+    );
+    let _ = writeln!(buf, "  events             {}", stats.total_events);
+    let _ = writeln!(
+        buf,
+        "  accesses           {} ({} sync events)",
+        stats.access_count, stats.sync_count
+    );
+    let _ = writeln!(
+        buf,
+        "  non-same-epoch     {} ({:.1}% of accesses)",
+        stats.nsea_count,
+        stats.nsea_fraction() * 100.0
+    );
+    let _ = writeln!(
+        buf,
+        "  locks held at NSEAs  >=1: {:.2}%   >=2: {:.2}%   >=3: {:.2}%",
+        stats.pct_nsea_holding(1),
+        stats.pct_nsea_holding(2),
+        stats.pct_nsea_holding(3)
+    );
+    write_out(out, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::{capture, TempTrace};
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn reports_table2_columns() {
+        let file = TempTrace::write(&paper::figure2());
+        let text = capture(run, &[&file.path_str()]).unwrap();
+        let threads = text.lines().find(|l| l.contains("threads")).unwrap();
+        assert!(threads.ends_with("3 (3 max live)"), "{threads}");
+        let events = text.lines().find(|l| l.contains("events")).unwrap();
+        assert!(events.ends_with("12"), "{events}");
+        assert!(text.contains("locks held at NSEAs"));
+    }
+
+    #[test]
+    fn missing_argument_is_usage() {
+        let err = capture(run, &[]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! `smarttrack two-phase` — the paper's §4.3 deployment architecture:
+//! fast graph-free SmartTrack detection online, and a graph-building replay
+//! plus vindication only if races were reported.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use smarttrack::two_phase::detect_then_check;
+use smarttrack::Relation;
+
+use crate::{load_trace, trace_arg, write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack two-phase <trace> [--relation dc|wdc]";
+const VALUES: &[&str] = &["relation"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[], VALUES)?;
+    let path = trace_arg(&opts, USAGE)?;
+    let trace = load_trace(path)?;
+    let relation = match opts.value("relation").unwrap_or("wdc") {
+        "dc" => Relation::Dc,
+        "wdc" => Relation::Wdc,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--relation must be dc or wdc (the unsound relations that need \
+                 checking; WCP is sound, HB is not predictive), got `{other}`"
+            )))
+        }
+    };
+
+    let outcome = detect_then_check(&trace, relation);
+    let mut buf = String::new();
+    let _ = writeln!(
+        buf,
+        "phase 1 ({}): {} static / {} dynamic races",
+        outcome.detection.name,
+        outcome.detection.report.static_count(),
+        outcome.detection.report.dynamic_count()
+    );
+    if !outcome.replayed {
+        let _ = writeln!(buf, "phase 2: skipped (no races — no replay cost at all)");
+        return write_out(out, &buf);
+    }
+    let _ = writeln!(
+        buf,
+        "phase 2 (replay w/ graph + vindication): {} verified, {} unverified",
+        outcome.verified(),
+        outcome.unverified()
+    );
+    for checked in &outcome.checked {
+        let verdict = match &checked.witness {
+            Some(w) => format!("VERIFIED (witness of {} events)", w.order.len()),
+            None => "unverified (possibly a false race)".to_string(),
+        };
+        let _ = writeln!(buf, "  race at {}: {verdict}", checked.event);
+    }
+    write_out(out, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::{capture, TempTrace};
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn figure1_verifies_on_replay() {
+        let file = TempTrace::write(&paper::figure1());
+        let text = capture(run, &[&file.path_str(), "--relation", "dc"]).unwrap();
+        assert!(text.contains("1 verified, 0 unverified"), "{text}");
+    }
+
+    #[test]
+    fn race_free_input_skips_the_replay_phase() {
+        let file = TempTrace::write(&paper::figure4b());
+        let text = capture(run, &[&file.path_str()]).unwrap();
+        assert!(text.contains("phase 2: skipped"), "{text}");
+    }
+
+    #[test]
+    fn figure3_false_wdc_race_is_flagged_unverified() {
+        let file = TempTrace::write(&paper::figure3());
+        let text = capture(run, &[&file.path_str(), "--relation", "wdc"]).unwrap();
+        assert!(text.contains("0 verified, 1 unverified"), "{text}");
+    }
+
+    #[test]
+    fn wcp_is_rejected_with_an_explanation() {
+        let file = TempTrace::write(&paper::figure1());
+        let err = capture(run, &[&file.path_str(), "--relation", "wcp"]).unwrap_err();
+        assert!(err.to_string().contains("sound"), "{err}");
+    }
+}

@@ -1,0 +1,255 @@
+#![warn(missing_docs)]
+
+//! `smarttrack` — the command-line front end of the SmartTrack
+//! reproduction.
+//!
+//! The binary drives the whole system over traces in the repository's text
+//! format (see `smarttrack_trace::fmt`):
+//!
+//! ```text
+//! smarttrack analyze  race.trace --analysis st-wdc --analysis fto-hb
+//! smarttrack stats    race.trace
+//! smarttrack render   race.trace
+//! smarttrack vindicate race.trace --show-witness
+//! smarttrack windowed race.trace --window 512
+//! smarttrack generate xalan --scale 2e-5 --out xalan.trace
+//! smarttrack figure   figure1 --out fig1.trace
+//! smarttrack list
+//! ```
+//!
+//! Every command is a thin formatter over the library crates, so anything
+//! the CLI does is equally available through the public API. [`run`] is the
+//! embeddable entry point (the binary's `main` is three lines); commands
+//! write to the supplied writer, which keeps them unit-testable.
+
+use std::fmt;
+use std::io::Write;
+
+mod cmd;
+mod opts;
+
+pub use opts::{Opts, OptsError};
+
+/// Errors surfaced to the user by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong invocation (unknown command, bad flags, missing args). The
+    /// string is a complete message, usually ending with a usage hint.
+    Usage(String),
+    /// An I/O failure, annotated with the path involved.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A well-formed invocation whose input was semantically invalid
+    /// (unparsable trace, unknown profile, N/A analysis, …).
+    Invalid(String),
+}
+
+impl CliError {
+    /// Process exit code: 2 for usage errors (matching common CLI
+    /// conventions), 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<OptsError> for CliError {
+    fn from(err: OptsError) -> Self {
+        CliError::Usage(err.to_string())
+    }
+}
+
+const HELP: &str = "\
+smarttrack — predictive data-race detection (SmartTrack, PLDI 2020)
+
+USAGE:
+    smarttrack <COMMAND> [ARGS]
+
+COMMANDS:
+    analyze   <trace> [--analysis CFG]... [--all] [--max-races N]
+              run race detectors over a trace file
+    stats     <trace>
+              run-time characteristics (the paper's Table 2 metrics)
+    render    <trace>
+              pretty-print the trace as per-thread columns
+    convert   <trace> [--from FMT] --to FMT [--out FILE]
+              translate between native, STD/RAPID, and CSV trace formats
+    vindicate <trace> [--analysis CFG] [--show-witness]
+              check each reported race for a predictable-race witness
+    two-phase <trace> [--relation dc|wdc]
+              detect fast, replay w/ graph + vindicate only on races (§4.3)
+    deadlock  <trace> [--budget N]
+              exhaustive predictable-deadlock search (small traces)
+    windowed  <trace> [--window N] [--stride N] [--budget N]
+              bounded-window analysis (the SMT-window approach of §6)
+    generate  <profile|distant:N> [--scale F] [--seed N] [--out FILE]
+              emit a DaCapo-calibrated synthetic workload trace
+    figure    <figure1|figure2|figure3|figure4a..figure4d> [--out FILE]
+              emit one of the paper's example executions
+    list      available analyses, workload profiles, and figures
+    help      this message
+
+ANALYSES (CFG):
+    ft2, unopt-hb, fto-hb, and <unopt|fto|st>-<wcp|dc|wdc>;
+    append +g for the graph-recording variants (unopt-dc+g, unopt-wdc+g).
+
+TRACE FILES:
+    input format is chosen by extension: .std/.rapid (the RAPID pipe
+    format), .csv, anything else the native line format.
+";
+
+/// Runs one CLI invocation, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed invocations (exit code 2) and
+/// [`CliError::Io`]/[`CliError::Invalid`] for runtime failures (exit
+/// code 1).
+///
+/// # Examples
+///
+/// ```
+/// let mut out = Vec::new();
+/// smarttrack_cli::run(&["list".to_string()], &mut out)?;
+/// assert!(String::from_utf8(out)?.contains("ST-WDC"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        write_out(out, HELP)?;
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "analyze" => cmd::analyze::run(rest, out),
+        "convert" => cmd::convert::run(rest, out),
+        "stats" => cmd::stats::run(rest, out),
+        "render" => cmd::render::run(rest, out),
+        "vindicate" => cmd::vindicate::run(rest, out),
+        "two-phase" => cmd::two_phase::run(rest, out),
+        "deadlock" => cmd::deadlock::run(rest, out),
+        "windowed" => cmd::windowed::run(rest, out),
+        "generate" => cmd::generate::run(rest, out),
+        "figure" => cmd::figure::run(rest, out),
+        "list" => cmd::list::run(rest, out),
+        "help" | "--help" | "-h" => {
+            write_out(out, HELP)?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; run `smarttrack help`"
+        ))),
+    }
+}
+
+/// Picks a trace format from a path's extension: `.std`/`.rapid` → STD,
+/// `.csv` → CSV, anything else → the native line format.
+fn format_of_path(path: &str) -> smarttrack_trace::formats::TraceFormat {
+    use smarttrack_trace::formats::TraceFormat;
+    match std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
+        Some("std") | Some("rapid") => TraceFormat::Std,
+        Some("csv") => TraceFormat::Csv,
+        _ => TraceFormat::Native,
+    }
+}
+
+/// Loads a trace file (format chosen by extension), mapping errors to
+/// [`CliError`].
+fn load_trace(path: &str) -> Result<smarttrack_trace::Trace, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    smarttrack_trace::formats::parse_as(&text, format_of_path(path))
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+}
+
+/// The required trace-file positional of most commands.
+fn trace_arg<'a>(opts: &'a Opts, usage: &str) -> Result<&'a str, CliError> {
+    opts.positional(0)
+        .ok_or_else(|| CliError::Usage(format!("missing <trace> argument; usage: {usage}")))
+}
+
+fn write_out(out: &mut dyn Write, text: &str) -> Result<(), CliError> {
+    out.write_all(text.as_bytes()).map_err(|source| CliError::Io {
+        path: "<stdout>".to_string(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_ok(list: &[&str]) -> String {
+        let mut out = Vec::new();
+        run(&args(list), &mut out).expect("command succeeds");
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn no_args_prints_help() {
+        assert!(run_ok(&[]).contains("USAGE"));
+    }
+
+    #[test]
+    fn help_aliases_work() {
+        for alias in ["help", "--help", "-h"] {
+            assert!(run_ok(&[alias]).contains("COMMANDS"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&args(&["frobnicate"]), &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_trace_file_is_an_io_error() {
+        let mut out = Vec::new();
+        let err = run(
+            &args(&["analyze", "/nonexistent/never.trace"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("never.trace"));
+    }
+}

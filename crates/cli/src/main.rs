@@ -1,0 +1,15 @@
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match smarttrack_cli::run(&args, &mut out) {
+        Ok(()) => {}
+        Err(err) => {
+            let _ = out.flush();
+            eprintln!("smarttrack: {err}");
+            std::process::exit(err.exit_code());
+        }
+    }
+}

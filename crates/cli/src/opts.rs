@@ -1,0 +1,212 @@
+//! A small, dependency-free command-line option parser.
+//!
+//! Supports `--flag` (boolean), `--key value`, `--key=value`, repeated
+//! value flags, and positional arguments. Unknown flags are errors so typos
+//! surface instead of being silently ignored.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced while parsing command-line options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptsError {
+    /// A flag not declared by the command.
+    UnknownFlag(String),
+    /// A value flag at the end of the argument list.
+    MissingValue(String),
+    /// A value that failed its typed conversion.
+    InvalidValue {
+        /// The flag (or positional name).
+        flag: String,
+        /// The offending text.
+        value: String,
+        /// The conversion error.
+        message: String,
+    },
+}
+
+impl fmt::Display for OptsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptsError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            OptsError::MissingValue(flag) => write!(f, "flag `{flag}` expects a value"),
+            OptsError::InvalidValue {
+                flag,
+                value,
+                message,
+            } => {
+                write!(f, "invalid value `{value}` for `{flag}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptsError {}
+
+/// Parsed options: positionals in order plus flag values.
+#[derive(Clone, Debug, Default)]
+pub struct Opts {
+    positionals: Vec<String>,
+    values: HashMap<&'static str, Vec<String>>,
+    switches: Vec<&'static str>,
+}
+
+impl Opts {
+    /// Parses `args` against the declared `switches` (boolean `--flag`s)
+    /// and `value_flags` (`--key value` / `--key=value`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptsError`] for undeclared flags and for value flags
+    /// without a value.
+    pub fn parse(
+        args: &[String],
+        switches: &'static [&'static str],
+        value_flags: &'static [&'static str],
+    ) -> Result<Opts, OptsError> {
+        let mut opts = Opts::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                opts.positionals.push(arg.clone());
+                continue;
+            };
+            let (name, inline) = match name.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (name, None),
+            };
+            if let Some(&flag) = switches.iter().find(|&&s| s == name) {
+                if let Some(value) = inline {
+                    return Err(OptsError::InvalidValue {
+                        flag: format!("--{name}"),
+                        value,
+                        message: "this flag takes no value".to_string(),
+                    });
+                }
+                opts.switches.push(flag);
+            } else if let Some(&flag) = value_flags.iter().find(|&&s| s == name) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| OptsError::MissingValue(format!("--{name}")))?,
+                };
+                opts.values.entry(flag).or_default().push(value);
+            } else {
+                return Err(OptsError::UnknownFlag(format!("--{name}")));
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// All positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// The last value of a value flag, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name)?.last().map(String::as_str)
+    }
+
+    /// All values of a repeatable value flag.
+    pub fn all_values(&self, name: &str) -> &[String] {
+        self.values.get(name).map(Vec::as_slice).unwrap_or_default()
+    }
+
+    /// Parses a flag value into `T`, or returns `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptsError::InvalidValue`] when the text does not parse.
+    pub fn parsed_or<T>(&self, name: &str, default: T) -> Result<T, OptsError>
+    where
+        T: FromStr,
+        T::Err: fmt::Display,
+    {
+        match self.value(name) {
+            None => Ok(default),
+            Some(text) => text.parse().map_err(|e: T::Err| OptsError::InvalidValue {
+                flag: format!("--{name}"),
+                value: text.to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    const SWITCHES: &[&str] = &["all", "show-witness"];
+    const VALUES: &[&str] = &["analysis", "window", "seed"];
+
+    #[test]
+    fn mixes_positionals_switches_and_values() {
+        let opts = Opts::parse(
+            &args(&["trace.txt", "--all", "--window", "64", "--analysis=st-dc"]),
+            SWITCHES,
+            VALUES,
+        )
+        .unwrap();
+        assert_eq!(opts.positional(0), Some("trace.txt"));
+        assert!(opts.switch("all"));
+        assert_eq!(opts.value("window"), Some("64"));
+        assert_eq!(opts.value("analysis"), Some("st-dc"));
+    }
+
+    #[test]
+    fn repeatable_flags_collect_in_order() {
+        let opts = Opts::parse(
+            &args(&["--analysis", "fto-hb", "--analysis", "st-wdc"]),
+            SWITCHES,
+            VALUES,
+        )
+        .unwrap();
+        assert_eq!(opts.all_values("analysis"), ["fto-hb", "st-wdc"]);
+    }
+
+    #[test]
+    fn unknown_flags_error() {
+        let err = Opts::parse(&args(&["--bogus"]), SWITCHES, VALUES).unwrap_err();
+        assert_eq!(err, OptsError::UnknownFlag("--bogus".to_string()));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let err = Opts::parse(&args(&["--window"]), SWITCHES, VALUES).unwrap_err();
+        assert_eq!(err, OptsError::MissingValue("--window".to_string()));
+    }
+
+    #[test]
+    fn switch_with_inline_value_errors() {
+        let err = Opts::parse(&args(&["--all=yes"]), SWITCHES, VALUES).unwrap_err();
+        assert!(matches!(err, OptsError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn typed_parsing_with_default() {
+        let opts = Opts::parse(&args(&["--window", "128"]), SWITCHES, VALUES).unwrap();
+        assert_eq!(opts.parsed_or("window", 0usize).unwrap(), 128);
+        assert_eq!(opts.parsed_or("seed", 42u64).unwrap(), 42);
+        let bad = Opts::parse(&args(&["--window", "many"]), SWITCHES, VALUES).unwrap();
+        assert!(bad.parsed_or("window", 0usize).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+use std::fmt;
+
+use crate::{ClockValue, ThreadId, VectorClock};
+
+/// A FastTrack *epoch* `c@t`: a scalar logical time made of a clock value `c`
+/// and the id `t` of the thread it belongs to (Flanagan & Freund 2009).
+///
+/// The paper writes `⊥ₑ` for the uninitialized epoch; here that is
+/// [`Epoch::NONE`]. An epoch `c@t` is ordered before a vector clock `C`
+/// (written `c@t ⪯ C`) iff `c ≤ C(t)` — see [`Epoch::leq_vc`].
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_clock::{Epoch, ThreadId};
+///
+/// let e = Epoch::new(ThreadId::new(2), 41);
+/// assert_eq!(e.tid().index(), 2);
+/// assert_eq!(e.clock(), 41);
+/// assert!(!e.is_none());
+/// assert!(Epoch::NONE.is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The uninitialized epoch `⊥ₑ`.
+    ///
+    /// `⊥ₑ ⪯ C` holds for every clock `C` (an absent access is ordered before
+    /// everything), matching the FastTrack convention.
+    pub const NONE: Epoch = Epoch(u64::MAX);
+
+    /// Creates the epoch `clock@tid`.
+    #[inline]
+    pub const fn new(tid: ThreadId, clock: ClockValue) -> Self {
+        Epoch(((tid.raw() as u64) << 32) | clock as u64)
+    }
+
+    /// The thread component `t` of `c@t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called on [`Epoch::NONE`].
+    #[inline]
+    pub fn tid(self) -> ThreadId {
+        debug_assert!(!self.is_none(), "tid() on Epoch::NONE");
+        ThreadId::new((self.0 >> 32) as u32)
+    }
+
+    /// The clock component `c` of `c@t`.
+    #[inline]
+    pub fn clock(self) -> ClockValue {
+        self.0 as ClockValue
+    }
+
+    /// Returns `true` for the uninitialized epoch `⊥ₑ`.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The ordering check `c@t ⪯ C`, i.e. `c ≤ C(t)`.
+    ///
+    /// [`Epoch::NONE`] is ordered before every clock.
+    #[inline]
+    pub fn leq_vc(self, vc: &VectorClock) -> bool {
+        self.is_none() || self.clock() <= vc.get(self.tid())
+    }
+
+    /// Returns `true` if this epoch belongs to thread `t` (and is not `⊥ₑ`).
+    #[inline]
+    pub fn is_owned_by(self, t: ThreadId) -> bool {
+        !self.is_none() && self.tid() == t
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::NONE
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "⊥ₑ")
+        } else {
+            write!(f, "{}@{}", self.clock(), self.tid())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn packs_and_unpacks() {
+        let e = Epoch::new(t(7), 123_456);
+        assert_eq!(e.tid(), t(7));
+        assert_eq!(e.clock(), 123_456);
+    }
+
+    #[test]
+    fn none_is_before_everything() {
+        let vc = VectorClock::new();
+        assert!(Epoch::NONE.leq_vc(&vc));
+    }
+
+    #[test]
+    fn leq_vc_compares_thread_entry() {
+        let vc: VectorClock = [(t(1), 5)].into_iter().collect();
+        assert!(Epoch::new(t(1), 5).leq_vc(&vc));
+        assert!(Epoch::new(t(1), 4).leq_vc(&vc));
+        assert!(!Epoch::new(t(1), 6).leq_vc(&vc));
+        assert!(!Epoch::new(t(0), 1).leq_vc(&vc));
+        assert!(Epoch::new(t(0), 0).leq_vc(&vc));
+    }
+
+    #[test]
+    fn ownership_check() {
+        assert!(Epoch::new(t(2), 1).is_owned_by(t(2)));
+        assert!(!Epoch::new(t(2), 1).is_owned_by(t(3)));
+        assert!(!Epoch::NONE.is_owned_by(t(0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Epoch::new(t(1), 3).to_string(), "3@T1");
+        assert_eq!(Epoch::NONE.to_string(), "⊥ₑ");
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Logical-time primitives for the SmartTrack reproduction.
+//!
+//! This crate provides the three representations of logical time used by the
+//! race-detection analyses in the paper *SmartTrack: Efficient Predictive Race
+//! Detection* (PLDI 2020):
+//!
+//! * [`VectorClock`] — a classic vector clock `C : Tid ↦ Val` (Mattern 1988)
+//!   with pointwise comparison (`⊑`, [`VectorClock::leq`]) and pointwise join
+//!   (`⊔`, [`VectorClock::join`]).
+//! * [`Epoch`] — FastTrack's scalar `c@t` representation of a last-access time
+//!   (Flanagan & Freund 2009), packing a clock value and a thread id into one
+//!   machine word.
+//! * [`ReadMeta`] — the adaptive epoch-or-vector representation used for read
+//!   metadata `Rx` by the FTO and SmartTrack algorithms.
+//!
+//! # Examples
+//!
+//! ```
+//! use smarttrack_clock::{Epoch, ThreadId, VectorClock};
+//!
+//! let t0 = ThreadId::new(0);
+//! let t1 = ThreadId::new(1);
+//! let mut c = VectorClock::new();
+//! c.set(t0, 3);
+//! c.set(t1, 5);
+//!
+//! // The epoch 2@t1 is ordered before c because c(t1) = 5 >= 2.
+//! assert!(Epoch::new(t1, 2).leq_vc(&c));
+//! // The epoch 7@t0 is not.
+//! assert!(!Epoch::new(t0, 7).leq_vc(&c));
+//! ```
+
+mod epoch;
+mod meta;
+mod tid;
+mod vc;
+
+pub use epoch::Epoch;
+pub use meta::ReadMeta;
+pub use tid::ThreadId;
+pub use vc::{ClockValue, VectorClock, INFINITY};

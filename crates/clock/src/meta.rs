@@ -1,0 +1,186 @@
+use std::fmt;
+
+use crate::{Epoch, ThreadId, VectorClock};
+
+/// The adaptive representation of read metadata `Rx` used by the FTO and
+/// SmartTrack algorithms (paper §4.1).
+///
+/// `Rx` is either an [`Epoch`] (a single last reader/writer) or a
+/// [`VectorClock`] of per-thread last-access times after a read share. The
+/// vector form maps threads to *clock values*; an entry of `0` means "no
+/// access recorded" (the paper's `⊥`), which is valid because thread clocks
+/// start at 1.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_clock::{Epoch, ReadMeta, ThreadId};
+///
+/// let t0 = ThreadId::new(0);
+/// let t1 = ThreadId::new(1);
+/// let mut rx = ReadMeta::from(Epoch::new(t0, 4));
+/// rx.share(Epoch::new(t1, 2)); // [Read Share]: upgrade to a vector
+/// assert!(rx.as_vc().is_some());
+/// assert_eq!(rx.as_vc().unwrap().get(t0), 4);
+/// assert_eq!(rx.as_vc().unwrap().get(t1), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadMeta {
+    /// A single last access `c@t`.
+    Epoch(Epoch),
+    /// Per-thread last-access clock values (shared reads).
+    Vc(VectorClock),
+}
+
+impl ReadMeta {
+    /// Uninitialized metadata (`⊥ₑ`).
+    #[inline]
+    pub fn none() -> Self {
+        ReadMeta::Epoch(Epoch::NONE)
+    }
+
+    /// Returns the epoch if this metadata is in epoch form.
+    #[inline]
+    pub fn as_epoch(&self) -> Option<Epoch> {
+        match self {
+            ReadMeta::Epoch(e) => Some(*e),
+            ReadMeta::Vc(_) => None,
+        }
+    }
+
+    /// Returns the vector clock if this metadata is in shared (vector) form.
+    #[inline]
+    pub fn as_vc(&self) -> Option<&VectorClock> {
+        match self {
+            ReadMeta::Epoch(_) => None,
+            ReadMeta::Vc(vc) => Some(vc),
+        }
+    }
+
+    /// Upgrades an epoch `Rx` to a vector containing both the previous epoch
+    /// and `new` (the paper's `Rx ← {c@u, Ct(t)}` in [Read Share]).
+    ///
+    /// If the metadata is already a vector, `new` is simply recorded.
+    pub fn share(&mut self, new: Epoch) {
+        match self {
+            ReadMeta::Epoch(old) => {
+                let mut vc = VectorClock::new();
+                if !old.is_none() {
+                    vc.set(old.tid(), old.clock());
+                }
+                if !new.is_none() {
+                    vc.set(new.tid(), new.clock());
+                }
+                *self = ReadMeta::Vc(vc);
+            }
+            ReadMeta::Vc(vc) => {
+                if !new.is_none() {
+                    vc.set(new.tid(), new.clock());
+                }
+            }
+        }
+    }
+
+    /// The combined ordering check `Rx ⪯/⊑ Ct`: epoch form uses `⪯`, vector
+    /// form uses pointwise `⊑`.
+    #[inline]
+    pub fn leq_vc(&self, vc: &VectorClock) -> bool {
+        match self {
+            ReadMeta::Epoch(e) => e.leq_vc(vc),
+            ReadMeta::Vc(r) => r.leq(vc),
+        }
+    }
+
+    /// Returns the recorded last-access clock for thread `t` (`0` if none, in
+    /// either representation).
+    #[inline]
+    pub fn clock_of(&self, t: ThreadId) -> u32 {
+        match self {
+            ReadMeta::Epoch(e) => {
+                if e.is_owned_by(t) {
+                    e.clock()
+                } else {
+                    0
+                }
+            }
+            ReadMeta::Vc(vc) => vc.get(t),
+        }
+    }
+
+    /// Approximate heap bytes held (for memory-usage experiments).
+    #[inline]
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            ReadMeta::Epoch(_) => 0,
+            ReadMeta::Vc(vc) => vc.footprint_bytes(),
+        }
+    }
+}
+
+impl Default for ReadMeta {
+    fn default() -> Self {
+        ReadMeta::none()
+    }
+}
+
+impl From<Epoch> for ReadMeta {
+    fn from(e: Epoch) -> Self {
+        ReadMeta::Epoch(e)
+    }
+}
+
+impl fmt::Display for ReadMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadMeta::Epoch(e) => write!(f, "{e}"),
+            ReadMeta::Vc(vc) => write!(f, "{vc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn starts_uninitialized() {
+        let rx = ReadMeta::default();
+        assert_eq!(rx.as_epoch(), Some(Epoch::NONE));
+    }
+
+    #[test]
+    fn share_preserves_both_accesses() {
+        let mut rx = ReadMeta::from(Epoch::new(t(0), 3));
+        rx.share(Epoch::new(t(1), 5));
+        let vc = rx.as_vc().expect("vector form after share");
+        assert_eq!(vc.get(t(0)), 3);
+        assert_eq!(vc.get(t(1)), 5);
+        rx.share(Epoch::new(t(2), 7));
+        assert_eq!(rx.as_vc().unwrap().get(t(2)), 7);
+    }
+
+    #[test]
+    fn leq_matches_representation() {
+        let c: VectorClock = [(t(0), 2), (t(1), 2)].into_iter().collect();
+        assert!(ReadMeta::from(Epoch::new(t(0), 2)).leq_vc(&c));
+        assert!(!ReadMeta::from(Epoch::new(t(0), 3)).leq_vc(&c));
+        let mut shared = ReadMeta::from(Epoch::new(t(0), 2));
+        shared.share(Epoch::new(t(1), 3));
+        assert!(!shared.leq_vc(&c));
+    }
+
+    #[test]
+    fn clock_of_both_forms() {
+        let rx = ReadMeta::from(Epoch::new(t(1), 4));
+        assert_eq!(rx.clock_of(t(1)), 4);
+        assert_eq!(rx.clock_of(t(0)), 0);
+        let mut shared = rx.clone();
+        shared.share(Epoch::new(t(0), 9));
+        assert_eq!(shared.clock_of(t(0)), 9);
+        assert_eq!(shared.clock_of(t(1)), 4);
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Identifier of a thread in an execution trace.
+///
+/// Thread ids are small dense integers assigned in creation order, which lets
+/// analyses index vector clocks and per-thread tables directly.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_clock::ThreadId;
+///
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "T3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread id.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(index: u32) -> Self {
+        ThreadId(index)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        for i in [0u32, 1, 7, 65_535] {
+            assert_eq!(ThreadId::new(i).index(), i as usize);
+            assert_eq!(ThreadId::from(i).raw(), i);
+        }
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(ThreadId::new(1) < ThreadId::new(2));
+    }
+}

@@ -1,0 +1,251 @@
+use std::fmt;
+
+use crate::{Epoch, ThreadId};
+
+/// A single component of a vector clock.
+pub type ClockValue = u32;
+
+/// Clock value used for the release time of a critical section that has not
+/// been released yet.
+///
+/// SmartTrack's critical-section lists store *references* to release-time
+/// vector clocks that are filled in when the release happens (paper §4.2,
+/// Algorithm 3 lines 3–5). Until then the owner entry is `∞`, which makes
+/// every "is this release ordered before the current access?" query answer
+/// *no*.
+pub const INFINITY: ClockValue = ClockValue::MAX;
+
+/// A vector clock `C : Tid ↦ Val` (Mattern 1988).
+///
+/// The vector grows on demand; absent entries are implicitly `0`. All
+/// operations are total over any pair of clocks regardless of their stored
+/// dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_clock::{ThreadId, VectorClock};
+///
+/// let mut a = VectorClock::new();
+/// a.set(ThreadId::new(0), 2);
+/// let mut b = VectorClock::new();
+/// b.set(ThreadId::new(1), 4);
+///
+/// assert!(!a.leq(&b));
+/// b.join(&a);
+/// assert!(a.leq(&b));
+/// assert_eq!(b.get(ThreadId::new(0)), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    clocks: Vec<ClockValue>,
+}
+
+impl VectorClock {
+    /// Creates an empty clock (all entries `0`).
+    #[inline]
+    pub fn new() -> Self {
+        VectorClock { clocks: Vec::new() }
+    }
+
+    /// Creates a clock with capacity reserved for `threads` entries.
+    #[inline]
+    pub fn with_capacity(threads: usize) -> Self {
+        VectorClock {
+            clocks: Vec::with_capacity(threads),
+        }
+    }
+
+    /// Returns the entry for thread `t` (implicitly `0` when unset).
+    #[inline]
+    pub fn get(&self, t: ThreadId) -> ClockValue {
+        self.clocks.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the entry for thread `t` to `value`, growing the vector if needed.
+    #[inline]
+    pub fn set(&mut self, t: ThreadId, value: ClockValue) {
+        let i = t.index();
+        if i >= self.clocks.len() {
+            self.clocks.resize(i + 1, 0);
+        }
+        self.clocks[i] = value;
+    }
+
+    /// Increments the entry for thread `t` by one and returns the *previous*
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is [`INFINITY`], which would indicate state
+    /// corruption (thread clocks never reach `∞`).
+    #[inline]
+    pub fn increment(&mut self, t: ThreadId) -> ClockValue {
+        let old = self.get(t);
+        assert_ne!(old, INFINITY, "thread clock overflow");
+        self.set(t, old + 1);
+        old
+    }
+
+    /// Pointwise comparison `self ⊑ other`.
+    #[inline]
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        for (i, &c) in self.clocks.iter().enumerate() {
+            if c != 0 && c > other.clocks.get(i).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pointwise join `self ← self ⊔ other`.
+    #[inline]
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (i, &c) in other.clocks.iter().enumerate() {
+            if c > self.clocks[i] {
+                self.clocks[i] = c;
+            }
+        }
+    }
+
+    /// Replaces the contents of `self` with those of `other`, reusing the
+    /// existing allocation where possible.
+    #[inline]
+    pub fn assign(&mut self, other: &VectorClock) {
+        self.clocks.clear();
+        self.clocks.extend_from_slice(&other.clocks);
+    }
+
+    /// Returns the epoch `C(t)@t` for thread `t`.
+    #[inline]
+    pub fn epoch_of(&self, t: ThreadId) -> Epoch {
+        Epoch::new(t, self.get(t))
+    }
+
+    /// Number of stored (possibly zero) entries.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Iterates over `(thread, value)` pairs with non-zero values.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (ThreadId, ClockValue)> + '_ {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (ThreadId::new(i as u32), c))
+    }
+
+    /// Approximate number of heap bytes held by this clock (for the paper's
+    /// memory-usage experiments).
+    #[inline]
+    pub fn footprint_bytes(&self) -> usize {
+        self.clocks.capacity() * std::mem::size_of::<ClockValue>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl FromIterator<(ThreadId, ClockValue)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, ClockValue)>>(iter: I) -> Self {
+        let mut vc = VectorClock::new();
+        for (t, c) in iter {
+            vc.set(t, c);
+        }
+        vc
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, &c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if c == INFINITY {
+                write!(f, "∞")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn unset_entries_are_zero() {
+        let vc = VectorClock::new();
+        assert_eq!(vc.get(t(9)), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut vc = VectorClock::new();
+        vc.set(t(2), 7);
+        assert_eq!(vc.get(t(2)), 7);
+        assert_eq!(vc.get(t(0)), 0);
+        assert_eq!(vc.dim(), 3);
+    }
+
+    #[test]
+    fn leq_is_pointwise() {
+        let a: VectorClock = [(t(0), 1), (t(1), 2)].into_iter().collect();
+        let b: VectorClock = [(t(0), 1), (t(1), 3), (t(2), 1)].into_iter().collect();
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_handles_differing_dims() {
+        let a: VectorClock = [(t(3), 1)].into_iter().collect();
+        let b = VectorClock::new();
+        assert!(!a.leq(&b));
+        assert!(b.leq(&a));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a: VectorClock = [(t(0), 5), (t(1), 1)].into_iter().collect();
+        let b: VectorClock = [(t(0), 3), (t(1), 4), (t(2), 2)].into_iter().collect();
+        a.join(&b);
+        assert_eq!(a.get(t(0)), 5);
+        assert_eq!(a.get(t(1)), 4);
+        assert_eq!(a.get(t(2)), 2);
+    }
+
+    #[test]
+    fn increment_returns_previous() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.increment(t(1)), 0);
+        assert_eq!(vc.increment(t(1)), 1);
+        assert_eq!(vc.get(t(1)), 2);
+    }
+
+    #[test]
+    fn epoch_of_reads_entry() {
+        let vc: VectorClock = [(t(1), 9)].into_iter().collect();
+        let e = vc.epoch_of(t(1));
+        assert_eq!(e.tid(), t(1));
+        assert_eq!(e.clock(), 9);
+    }
+
+    #[test]
+    fn display_marks_infinity() {
+        let mut vc = VectorClock::new();
+        vc.set(t(0), INFINITY);
+        vc.set(t(1), 3);
+        assert_eq!(vc.to_string(), "[∞, 3]");
+    }
+}

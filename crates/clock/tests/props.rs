@@ -1,0 +1,104 @@
+//! Property-based tests for the clock lattice.
+
+use proptest::prelude::*;
+use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..50, 0..8).prop_map(|vals| {
+        vals.into_iter()
+            .enumerate()
+            .map(|(i, c)| (ThreadId::new(i as u32), c))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_upper_bound(a in arb_vc(), b in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        // If c is an upper bound of a and b then join(a, b) ⊑ c.
+        let mut ub = c.clone();
+        ub.join(&a);
+        ub.join(&b);
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(j.leq(&ub));
+    }
+
+    #[test]
+    fn join_commutes(a in arb_vc(), b in arb_vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        for i in 0..8u32 {
+            prop_assert_eq!(ab.get(ThreadId::new(i)), ba.get(ThreadId::new(i)));
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent(a in arb_vc()) {
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert!(aa.leq(&a) && a.leq(&aa));
+    }
+
+    #[test]
+    fn leq_is_transitive(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn leq_antisymmetric_up_to_entries(a in arb_vc(), b in arb_vc()) {
+        if a.leq(&b) && b.leq(&a) {
+            for i in 0..8u32 {
+                prop_assert_eq!(a.get(ThreadId::new(i)), b.get(ThreadId::new(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_leq_agrees_with_singleton_vc(tid in 0u32..8, c in 0u32..50, vc in arb_vc()) {
+        let e = Epoch::new(ThreadId::new(tid), c);
+        let singleton: VectorClock = [(ThreadId::new(tid), c)].into_iter().collect();
+        prop_assert_eq!(e.leq_vc(&vc), singleton.leq(&vc));
+    }
+
+    #[test]
+    fn share_never_loses_access_times(tid1 in 0u32..4, c1 in 1u32..50, tid2 in 0u32..4, c2 in 1u32..50) {
+        let mut rx = ReadMeta::from(Epoch::new(ThreadId::new(tid1), c1));
+        rx.share(Epoch::new(ThreadId::new(tid2), c2));
+        // After sharing, the recorded clock per thread is the newest value.
+        if tid1 != tid2 {
+            prop_assert_eq!(rx.clock_of(ThreadId::new(tid1)), c1);
+        }
+        prop_assert_eq!(rx.clock_of(ThreadId::new(tid2)), c2);
+    }
+
+    #[test]
+    fn readmeta_leq_vector_form_is_conjunction(vals in proptest::collection::vec(0u32..20, 1..5), vc in arb_vc()) {
+        let mut rx = ReadMeta::none();
+        for (i, &c) in vals.iter().enumerate() {
+            if c > 0 {
+                rx.share(Epoch::new(ThreadId::new(i as u32), c));
+            }
+        }
+        let expected = vals
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c == 0 || Epoch::new(ThreadId::new(i as u32), c).leq_vc(&vc));
+        // Only meaningful once in vector form.
+        if rx.as_vc().is_some() {
+            prop_assert_eq!(rx.leq_vc(&vc), expected);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+use std::fmt;
+
+use smarttrack_detect::{
+    make_detector, run_detector, Detector, FtoCaseCounters, OptLevel, Relation, Report, RunSummary,
+};
+use smarttrack_trace::Trace;
+
+/// Selects one analysis from the paper's Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack::{AnalysisConfig, OptLevel, Relation};
+///
+/// let cfg = AnalysisConfig::new(Relation::Wcp, OptLevel::SmartTrack);
+/// assert_eq!(cfg.to_string(), "ST-WCP");
+/// assert!(cfg.is_available());
+/// // HB has no SmartTrack variant (no conflicting critical sections to
+/// // optimize): an N/A cell.
+/// assert!(!AnalysisConfig::new(Relation::Hb, OptLevel::SmartTrack).is_available());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AnalysisConfig {
+    /// The relation (Table 1 row).
+    pub relation: Relation,
+    /// The optimization level (Table 1 column).
+    pub level: OptLevel,
+    /// Build a constraint graph during analysis ("w/ G"; Unopt DC/WDC only).
+    pub graph: bool,
+}
+
+impl AnalysisConfig {
+    /// Creates a configuration without graph building.
+    pub fn new(relation: Relation, level: OptLevel) -> Self {
+        AnalysisConfig {
+            relation,
+            level,
+            graph: false,
+        }
+    }
+
+    /// Enables constraint-graph recording (valid for Unopt DC/WDC).
+    pub fn with_graph(mut self) -> Self {
+        self.graph = true;
+        self
+    }
+
+    /// Whether this cell of Table 1 exists.
+    pub fn is_available(&self) -> bool {
+        make_detector(self.relation, self.level, self.graph).is_some()
+    }
+
+    /// Instantiates the detector, or `None` for N/A cells.
+    pub fn detector(&self) -> Option<Box<dyn Detector>> {
+        make_detector(self.relation, self.level, self.graph)
+    }
+
+    /// All eleven valid analyses plus the two "w/ G" variants, in the
+    /// paper's Table 1 order.
+    pub fn table1() -> Vec<AnalysisConfig> {
+        smarttrack_detect::table1_configs()
+            .into_iter()
+            .map(|(relation, level, graph)| AnalysisConfig {
+                relation,
+                level,
+                graph,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for AnalysisConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match (self.relation, self.level) {
+            (Relation::Hb, OptLevel::Epochs) => "FT2".to_string(),
+            (r, l) => format!("{l}-{r}"),
+        };
+        if self.graph {
+            write!(f, "{base} w/G")
+        } else {
+            write!(f, "{base}")
+        }
+    }
+}
+
+/// Error returned when parsing an [`AnalysisConfig`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAnalysisConfigError {
+    input: String,
+}
+
+impl fmt::Display for ParseAnalysisConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown analysis `{}` (expected ft2 or <unopt|fto|st>-<hb|wcp|dc|wdc>, \
+             optionally +g for graph recording; st-hb and <unopt-*>+g outside dc/wdc \
+             are N/A cells of Table 1)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseAnalysisConfigError {}
+
+impl std::str::FromStr for AnalysisConfig {
+    type Err = ParseAnalysisConfigError;
+
+    /// Parses the paper's table names, case-insensitively: `ft2`,
+    /// `unopt-hb`, `fto-wcp`, `st-dc` / `smarttrack-dc`, …; a `+g` suffix
+    /// selects the graph-recording ("w/ G") variants. Only cells that exist
+    /// in Table 1 parse successfully.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smarttrack::{AnalysisConfig, OptLevel, Relation};
+    ///
+    /// let cfg: AnalysisConfig = "st-wdc".parse()?;
+    /// assert_eq!(cfg, AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack));
+    /// let cfg: AnalysisConfig = "unopt-dc+g".parse()?;
+    /// assert!(cfg.graph);
+    /// assert!("st-hb".parse::<AnalysisConfig>().is_err()); // N/A cell
+    /// # Ok::<(), smarttrack::ParseAnalysisConfigError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseAnalysisConfigError {
+            input: s.to_string(),
+        };
+        let mut norm = s.trim().to_ascii_lowercase();
+        let mut graph = false;
+        for suffix in ["+g", " w/g"] {
+            if let Some(stripped) = norm.strip_suffix(suffix) {
+                graph = true;
+                norm = stripped.trim_end().to_string();
+                break;
+            }
+        }
+        let config = if norm == "ft2" {
+            AnalysisConfig::new(Relation::Hb, OptLevel::Epochs)
+        } else {
+            let (level, relation) = norm.split_once('-').ok_or_else(err)?;
+            let level = match level {
+                "unopt" => OptLevel::Unopt,
+                "ft2" => OptLevel::Epochs,
+                "fto" => OptLevel::Fto,
+                "st" | "smarttrack" => OptLevel::SmartTrack,
+                _ => return Err(err()),
+            };
+            let relation = match relation {
+                "hb" => Relation::Hb,
+                "wcp" => Relation::Wcp,
+                "dc" => Relation::Dc,
+                "wdc" => Relation::Wdc,
+                _ => return Err(err()),
+            };
+            AnalysisConfig::new(relation, level)
+        };
+        let config = if graph { config.with_graph() } else { config };
+        if config.is_available() {
+            Ok(config)
+        } else {
+            Err(err())
+        }
+    }
+}
+
+/// The result of running one analysis over one trace.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    /// Analysis name (as in the paper's tables).
+    pub name: String,
+    /// The configuration that produced this outcome.
+    pub config: AnalysisConfig,
+    /// All detected races.
+    pub report: Report,
+    /// Events processed and peak metadata footprint.
+    pub summary: RunSummary,
+    /// FTO case frequencies, when the analysis tracks them.
+    pub cases: Option<FtoCaseCounters>,
+}
+
+/// Runs one analysis over a trace.
+///
+/// # Panics
+///
+/// Panics if `config` selects an N/A cell of Table 1 (check
+/// [`AnalysisConfig::is_available`] first for dynamic configurations).
+pub fn analyze(trace: &Trace, config: AnalysisConfig) -> AnalysisOutcome {
+    let mut det = config
+        .detector()
+        .unwrap_or_else(|| panic!("{config} is an N/A cell of Table 1"));
+    let summary = run_detector(det.as_mut(), trace);
+    AnalysisOutcome {
+        name: det.name().to_string(),
+        config,
+        report: det.report().clone(),
+        summary,
+        cases: det.case_counters().cloned(),
+    }
+}
+
+/// Runs every Table 1 analysis over the trace.
+pub fn analyze_all(trace: &Trace) -> Vec<AnalysisOutcome> {
+    AnalysisConfig::table1()
+        .into_iter()
+        .map(|cfg| analyze(trace, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn table1_has_fourteen_runnable_configs() {
+        // 11 analyses + w/G variants for Unopt-DC and Unopt-WDC, minus the
+        // FT2-only Epochs column for predictive relations.
+        let configs = AnalysisConfig::table1();
+        assert_eq!(configs.len(), 14);
+        for cfg in configs {
+            assert!(cfg.is_available(), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(
+            AnalysisConfig::new(Relation::Hb, OptLevel::Epochs).to_string(),
+            "FT2"
+        );
+        assert_eq!(
+            AnalysisConfig::new(Relation::Dc, OptLevel::Unopt)
+                .with_graph()
+                .to_string(),
+            "Unopt-DC w/G"
+        );
+        assert_eq!(
+            AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack).to_string(),
+            "ST-WDC"
+        );
+    }
+
+    #[test]
+    fn parsing_accepts_all_table1_names_and_rejects_na_cells() {
+        for cfg in AnalysisConfig::table1() {
+            let round_tripped: AnalysisConfig = cfg.to_string().parse().unwrap();
+            assert_eq!(round_tripped, cfg, "{cfg}");
+        }
+        for bad in ["st-hb", "ft2-wcp", "fto-hb+g", "epoch-dc", "wdc", ""] {
+            assert!(bad.parse::<AnalysisConfig>().is_err(), "{bad:?}");
+        }
+        assert_eq!(
+            "SmartTrack-DC".parse::<AnalysisConfig>().unwrap(),
+            AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack)
+        );
+    }
+
+    #[test]
+    fn analyze_all_is_consistent_on_figure3() {
+        let outcomes = analyze_all(&paper::figure3());
+        for o in outcomes {
+            let expect_race = o.config.relation == Relation::Wdc;
+            assert_eq!(
+                o.report.dynamic_count() > 0,
+                expect_race,
+                "{}: figure 3 is a WDC-only (false) race",
+                o.name
+            );
+        }
+    }
+
+    #[test]
+    fn graph_variants_expose_graphs() {
+        let cfg = AnalysisConfig::new(Relation::Dc, OptLevel::Unopt).with_graph();
+        let mut det = cfg.detector().unwrap();
+        run_detector(det.as_mut(), &paper::figure3());
+        assert!(det.graph().is_some());
+        assert!(!det.graph().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! The paper's proposed deployment architecture (§4.3): detect fast, check
+//! later.
+//!
+//! Building the constraint graph needed to *check* DC/WDC-races "can add
+//! significant time and space overhead" (Table 3's "w/ G" columns), so the
+//! paper proposes: run the optimized SmartTrack analysis online, and only if
+//! it reports races, *replay* the recorded execution under an analysis that
+//! builds the graph and vindicate the races then. "Replay failure caused by
+//! undetected races is a non-issue since DC analysis detects all races."
+//!
+//! Our substrate records executions as traces, so replay is exact re-analysis
+//! of the same event stream.
+
+use smarttrack_detect::{run_detector, OptLevel, Relation};
+use smarttrack_trace::{EventId, Trace};
+use smarttrack_vindicate::{find_prior_access, vindicate_pair, VindicationResult, Witness};
+
+use crate::{analyze, AnalysisConfig, AnalysisOutcome};
+
+/// A race that went through both phases.
+#[derive(Clone, Debug)]
+pub struct CheckedRace {
+    /// The detecting access (second event of the pair).
+    pub event: EventId,
+    /// The earlier conflicting access.
+    pub prior: Option<EventId>,
+    /// The verified witness, when vindication succeeded.
+    pub witness: Option<Witness>,
+}
+
+/// The combined result of the two-phase pipeline.
+#[derive(Clone, Debug)]
+pub struct TwoPhaseOutcome {
+    /// The fast first-phase outcome (SmartTrack analysis, no graph).
+    pub detection: AnalysisOutcome,
+    /// Per statically distinct race: vindication result (empty if phase 1
+    /// found nothing — then phase 2 never ran, which is the point).
+    pub checked: Vec<CheckedRace>,
+    /// Whether the replay phase was executed.
+    pub replayed: bool,
+}
+
+impl TwoPhaseOutcome {
+    /// Races proven real (witness constructed and validated).
+    pub fn verified(&self) -> usize {
+        self.checked.iter().filter(|c| c.witness.is_some()).count()
+    }
+
+    /// Races reported but not proven (vindication is incomplete; for WDC
+    /// these may be false races like the paper's Figure 3).
+    pub fn unverified(&self) -> usize {
+        self.checked.len() - self.verified()
+    }
+}
+
+/// Runs the two-phase pipeline for `relation` (DC or WDC): SmartTrack
+/// detection first, and — only if races were reported — a replayed
+/// graph-building analysis plus vindication of one dynamic race per static
+/// site.
+///
+/// # Panics
+///
+/// Panics if `relation` is HB or WCP (HB needs no prediction; WCP is sound
+/// and "does not need or use vindication", §2.4).
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack::two_phase::detect_then_check;
+/// use smarttrack::Relation;
+/// use smarttrack_trace::paper;
+///
+/// // Figure 1: one race, vindicated on replay.
+/// let out = detect_then_check(&paper::figure1(), Relation::Dc);
+/// assert!(out.replayed);
+/// assert_eq!(out.verified(), 1);
+///
+/// // Figure 4(a): no races, no replay cost at all.
+/// let out = detect_then_check(&paper::figure4a(), Relation::Dc);
+/// assert!(!out.replayed);
+/// ```
+pub fn detect_then_check(trace: &Trace, relation: Relation) -> TwoPhaseOutcome {
+    assert!(
+        matches!(relation, Relation::Dc | Relation::Wdc),
+        "two-phase checking applies to the unsound relations (DC, WDC)"
+    );
+    // Phase 1: optimized online detection (what production would run).
+    let detection = analyze(trace, AnalysisConfig::new(relation, OptLevel::SmartTrack));
+    if detection.report.is_empty() {
+        return TwoPhaseOutcome {
+            detection,
+            checked: Vec::new(),
+            replayed: false,
+        };
+    }
+
+    // Phase 2: replay with graph construction (the costly variant the
+    // production run avoided), then vindicate one dynamic race per site.
+    let mut replay = AnalysisConfig::new(relation, OptLevel::Unopt)
+        .with_graph()
+        .detector()
+        .expect("Unopt w/G exists for DC and WDC");
+    run_detector(replay.as_mut(), trace);
+    debug_assert!(
+        !replay.report().is_empty(),
+        "replay detects at least the races phase 1 did"
+    );
+
+    let mut seen_locs = std::collections::HashSet::new();
+    let mut checked = Vec::new();
+    for race in replay.report().races() {
+        if !seen_locs.insert(race.loc) {
+            continue; // one representative per statically distinct race
+        }
+        let prior = race
+            .prior_threads
+            .first()
+            .and_then(|&u| find_prior_access(trace, race.event, race.var, u));
+        let witness = prior.and_then(|p| match vindicate_pair(trace, p, race.event) {
+            VindicationResult::Race(w) => Some(w),
+            VindicationResult::Unknown => None,
+        });
+        checked.push(CheckedRace {
+            event: race.event,
+            prior,
+            witness,
+        });
+    }
+    TwoPhaseOutcome {
+        detection,
+        checked,
+        replayed: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn race_free_traces_skip_the_replay_phase() {
+        for trace in [paper::figure4a(), paper::figure4b()] {
+            let out = detect_then_check(&trace, Relation::Wdc);
+            assert!(!out.replayed);
+            assert!(out.checked.is_empty());
+        }
+    }
+
+    #[test]
+    fn figure1_and_2_verify_on_replay() {
+        for (trace, relation) in [
+            (paper::figure1(), Relation::Dc),
+            (paper::figure2(), Relation::Dc),
+            (paper::figure2(), Relation::Wdc),
+        ] {
+            let out = detect_then_check(&trace, relation);
+            assert!(out.replayed);
+            assert_eq!(out.verified(), 1);
+            assert_eq!(out.unverified(), 0);
+        }
+    }
+
+    #[test]
+    fn figure3_false_wdc_race_stays_unverified() {
+        let out = detect_then_check(&paper::figure3(), Relation::Wdc);
+        assert!(out.replayed);
+        assert_eq!(out.verified(), 0);
+        assert_eq!(out.unverified(), 1, "the false race is flagged, not blessed");
+    }
+
+    #[test]
+    #[should_panic(expected = "two-phase")]
+    fn rejects_sound_relations() {
+        let _ = detect_then_check(&paper::figure1(), Relation::Wcp);
+    }
+
+    #[test]
+    fn workload_races_verify_per_site() {
+        let w = smarttrack_trace::gen::RandomTraceSpec {
+            threads: 3,
+            events: 150,
+            vars: 4,
+            locks: 2,
+            ..smarttrack_trace::gen::RandomTraceSpec::default()
+        };
+        let mut verified_any = false;
+        for seed in 0..20 {
+            let trace = w.generate(seed);
+            let out = detect_then_check(&trace, Relation::Dc);
+            if out.replayed {
+                assert_eq!(
+                    out.checked.len(),
+                    out.detection.report.static_count().min(
+                        // the replay's static sites can exceed phase 1's
+                        // post-first-race counts; checked is per replay site
+                        out.checked.len()
+                    )
+                );
+                verified_any |= out.verified() > 0;
+            }
+        }
+        assert!(verified_any, "some seed produces a verifiable race");
+    }
+}

@@ -1,0 +1,162 @@
+use std::fmt;
+
+use smarttrack_trace::{Event, EventId, Trace};
+
+use crate::{FtoCaseCounters, Report};
+
+/// The relation computed by an analysis (Table 1 rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Happens-before (non-predictive).
+    Hb,
+    /// Weak-causally-precedes (sound predictive; Kini et al. 2017).
+    Wcp,
+    /// Doesn't-commute (high-coverage predictive; Roemer et al. 2018).
+    Dc,
+    /// Weak-doesn't-commute (this paper's §3: DC without rule (b)).
+    Wdc,
+}
+
+impl Relation {
+    /// All relations, strongest to weakest (Table 1 row order).
+    pub const ALL: [Relation; 4] = [Relation::Hb, Relation::Wcp, Relation::Dc, Relation::Wdc];
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::Hb => write!(f, "HB"),
+            Relation::Wcp => write!(f, "WCP"),
+            Relation::Dc => write!(f, "DC"),
+            Relation::Wdc => write!(f, "WDC"),
+        }
+    }
+}
+
+/// The optimization level of an analysis (Table 1 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Vector-clock metadata everywhere (paper Algorithm 1).
+    Unopt,
+    /// FastTrack2 epochs without ownership (HB only).
+    Epochs,
+    /// Epoch + ownership optimizations (paper Algorithm 2).
+    Fto,
+    /// FTO + conflicting-critical-section optimizations (paper Algorithm 3).
+    SmartTrack,
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::Unopt => write!(f, "Unopt"),
+            OptLevel::Epochs => write!(f, "FT2"),
+            OptLevel::Fto => write!(f, "FTO"),
+            OptLevel::SmartTrack => write!(f, "ST"),
+        }
+    }
+}
+
+/// A dynamic race-detection analysis processing an event stream.
+///
+/// Detectors are deterministic: processing the same trace yields the same
+/// report. They keep analyzing after detecting races (§5.1: "After the
+/// analysis detects a race, it continues normally").
+pub trait Detector {
+    /// Short name matching the paper's tables (e.g. `"SmartTrack-DC"`).
+    fn name(&self) -> &'static str;
+
+    /// The relation this analysis computes.
+    fn relation(&self) -> Relation;
+
+    /// The optimization level of this analysis.
+    fn opt_level(&self) -> OptLevel;
+
+    /// Announces trace-level facts before processing (thread count enables
+    /// sound compaction of DC rule (b) queues). Optional.
+    fn prepare(&mut self, trace: &Trace) {
+        let _ = trace;
+    }
+
+    /// Processes one event. `id` must be the event's index in the trace.
+    fn process(&mut self, id: EventId, event: &Event);
+
+    /// The races detected so far.
+    fn report(&self) -> &Report;
+
+    /// Approximate live metadata bytes (vector clocks, epochs, queues, CS
+    /// lists, graphs). Used for the paper's memory-usage experiments.
+    fn footprint_bytes(&self) -> usize;
+
+    /// FTO case frequencies (Appendix Table 12), if this detector tracks
+    /// them (FTO- and SmartTrack-based detectors do).
+    fn case_counters(&self) -> Option<&FtoCaseCounters> {
+        None
+    }
+
+    /// The constraint graph built during analysis, for "w/ G" variants.
+    fn graph(&self) -> Option<&crate::ConstraintGraph> {
+        None
+    }
+}
+
+/// Summary of one full analysis run produced by [`run_detector`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of events processed.
+    pub events: usize,
+    /// Peak sampled metadata footprint in bytes.
+    pub peak_footprint_bytes: usize,
+}
+
+/// Drives a detector over an entire trace, sampling metadata footprint
+/// periodically to capture the peak (the memory-usage analogue of the paper's
+/// maximum resident set size).
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_detect::{run_detector, Detector, UnoptHb};
+/// use smarttrack_trace::paper;
+///
+/// let mut det = UnoptHb::new();
+/// let summary = run_detector(&mut det, &paper::figure2());
+/// assert_eq!(summary.events, 12);
+/// assert!(summary.peak_footprint_bytes > 0);
+/// ```
+pub fn run_detector<D: Detector + ?Sized>(detector: &mut D, trace: &Trace) -> RunSummary {
+    detector.prepare(trace);
+    // ~256 samples per run keeps sampling cost negligible while capturing
+    // growth curves of queue- and graph-heavy analyses.
+    let stride = (trace.len() / 256).max(1);
+    let mut peak = 0usize;
+    for (id, event) in trace.iter() {
+        detector.process(id, event);
+        if id.index() % stride == 0 {
+            peak = peak.max(detector.footprint_bytes());
+        }
+    }
+    peak = peak.max(detector.footprint_bytes());
+    RunSummary {
+        events: trace.len(),
+        peak_footprint_bytes: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Relation::Wdc.to_string(), "WDC");
+        assert_eq!(OptLevel::SmartTrack.to_string(), "ST");
+        assert_eq!(OptLevel::Epochs.to_string(), "FT2");
+    }
+
+    #[test]
+    fn relations_ordered_strongest_first() {
+        assert_eq!(Relation::ALL[0], Relation::Hb);
+        assert_eq!(Relation::ALL[3], Relation::Wdc);
+    }
+}

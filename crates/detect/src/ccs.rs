@@ -1,0 +1,319 @@
+//! SmartTrack's conflicting-critical-section (CCS) machinery: critical-
+//! section lists, the `MultiCheck` combined CCS-and-race check, and the
+//! "extra" fall-back metadata (paper §4.2).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use smarttrack_clock::{Epoch, ThreadId, VectorClock, INFINITY};
+use smarttrack_trace::LockId;
+
+/// A shared, deferred-update release-time clock.
+///
+/// Allocated at the acquire with the owner's entry set to `∞`; assigned the
+/// real release time when the release happens. Every CS list holding a
+/// reference observes the update (Algorithm 3 lines 3–5 and 13–15).
+pub type ReleaseClock = Rc<RefCell<VectorClock>>;
+
+/// One element `⟨C, m⟩` of a CS list: a lock and a reference to the release
+/// time of the critical section on that lock.
+#[derive(Clone, Debug)]
+pub struct CsEntry {
+    /// The lock of the critical section.
+    pub lock: LockId,
+    /// Reference to the (possibly still pending) release-time clock.
+    pub release: ReleaseClock,
+}
+
+impl CsEntry {
+    /// Creates a pending entry for an acquire by `owner` (release time `∞`).
+    pub fn pending(lock: LockId, owner: ThreadId) -> Self {
+        let mut vc = VectorClock::new();
+        vc.set(owner, INFINITY);
+        CsEntry {
+            lock,
+            release: Rc::new(RefCell::new(vc)),
+        }
+    }
+}
+
+/// A critical-section list: the active critical sections of `owner` at some
+/// access, **outermost first** (the paper's list is innermost-first; its
+/// "tail-to-head" traversal order is our forward order).
+///
+/// Entries live behind an `Rc`: assigning `Lrx ← Ht` is a reference copy,
+/// exactly the paper's `⟨C,m⟩ ⊕ Ht` shared-structure list (Algorithm 3
+/// line 5) — cloning a CS list is O(1).
+///
+/// The owning thread is stored in the list so that release-ordering checks
+/// always compare the release's own clock entry — the only reading of
+/// Algorithm 3's `C(u) ⪯ Ct` check under which the deferred-`∞` trick works
+/// (see DESIGN.md §5.3).
+#[derive(Clone, Debug)]
+pub struct CsList {
+    /// The thread whose critical sections these are.
+    pub owner: ThreadId,
+    /// Entries, outermost first (shared between `Ht` snapshots and the
+    /// per-variable metadata referencing them).
+    pub entries: Rc<Vec<CsEntry>>,
+}
+
+impl CsList {
+    /// An empty list owned by `owner`.
+    pub fn empty(owner: ThreadId) -> Self {
+        CsList {
+            owner,
+            entries: Rc::new(Vec::new()),
+        }
+    }
+
+    /// A list from explicit entries.
+    pub fn from_entries(owner: ThreadId, entries: Vec<CsEntry>) -> Self {
+        CsList {
+            owner,
+            entries: Rc::new(entries),
+        }
+    }
+
+    /// The outermost entry (the paper's `tail(Lrx)`), if any.
+    pub fn outermost(&self) -> Option<&CsEntry> {
+        self.entries.first()
+    }
+}
+
+/// Fidelity mode for the CCS optimizations (see DESIGN.md §5).
+///
+/// `Paper` reproduces Algorithm 3 verbatim. `Strict` (the default) adds two
+/// conservative refinements that keep SmartTrack's computed relation exactly
+/// equal to FTO's before the first race:
+///
+/// 1. `[Read Shared Owned]` also performs a race-check-free `MultiCheck`
+///    against `Lwx` (verbatim Algorithm 3 can skip a rule (a) join when the
+///    last write's critical sections resolve after the reader's previous
+///    access);
+/// 2. "extra" metadata residuals are merged per lock instead of replacing the
+///    per-thread map, and writes absorb both `Erx` and `Ewx` entries for held
+///    locks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CcsFidelity {
+    /// Algorithm 3 exactly as printed.
+    Paper,
+    /// Algorithm 3 plus the conservative refinements (default).
+    #[default]
+    Strict,
+}
+
+/// Per-thread, per-lock extra CCS metadata (`Erx`/`Ewx`): critical sections
+/// containing accesses to the variable that are no longer captured by
+/// `Lrx`/`Lwx` (paper §4.2, "Using extra metadata").
+pub(crate) type ExtraMap = HashMap<ThreadId, HashMap<LockId, ReleaseClock>>;
+
+/// The extra metadata of one variable.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Extras {
+    /// `Erx`: read-or-write critical sections.
+    pub read: ExtraMap,
+    /// `Ewx`: write critical sections.
+    pub write: ExtraMap,
+}
+
+impl Extras {
+    pub fn is_empty(&self) -> bool {
+        self.read.values().all(HashMap::is_empty) && self.write.values().all(HashMap::is_empty)
+    }
+}
+
+/// The combined CCS-and-race check (Algorithm 3's `MultiCheck`).
+///
+/// Traverses `list` outermost-to-innermost looking for a critical section of
+/// the list's owner that is either already ordered before `now` (subsumes
+/// everything inner *and* the race check) or on a lock `held` by the current
+/// thread (a conflicting critical section: its release time is joined into
+/// `now`, adding rule (a) ordering). Entries that are neither become the
+/// *residual* `E`, and only if no entry matched is the race check against
+/// `check` performed.
+///
+/// `ordered_race_check(check, now)` implements the relation-specific
+/// `a ⪯ Ct` (DC uses the plain epoch check; WCP excludes the current thread's
+/// entry, which is covered by the HB clock instead).
+///
+/// Returns `(residual, raced)`.
+pub(crate) fn multi_check(
+    now: &mut VectorClock,
+    held: &[LockId],
+    list: Option<&CsList>,
+    check: Epoch,
+    ordered_race_check: impl Fn(Epoch, &VectorClock) -> bool,
+) -> (Vec<CsEntry>, bool) {
+    let mut residual = Vec::new();
+    if let Some(l) = list {
+        for entry in l.entries.iter() {
+            let rel = entry.release.borrow();
+            if rel.get(l.owner) <= now.get(l.owner) {
+                return (residual, false);
+            }
+            if held.contains(&entry.lock) {
+                debug_assert_ne!(
+                    rel.get(l.owner),
+                    INFINITY,
+                    "cannot hold a lock whose owner has not released it"
+                );
+                now.join(&rel);
+                return (residual, false);
+            }
+            drop(rel);
+            residual.push(entry.clone());
+        }
+    }
+    let raced = !ordered_race_check(check, now);
+    (residual, raced)
+}
+
+/// Stores a residual into one side of the extra metadata for `owner`.
+///
+/// `Strict` merges per lock (a thread's newer release time on the same lock
+/// dominates its older one, so overwriting per lock is exact); `Paper`
+/// replaces the whole per-thread map, as Algorithm 3's `Erx(u) ← E` reads.
+pub(crate) fn stash_residual(
+    side: &mut ExtraMap,
+    owner: ThreadId,
+    residual: Vec<CsEntry>,
+    fidelity: CcsFidelity,
+) {
+    match fidelity {
+        CcsFidelity::Paper => {
+            let map = side.entry(owner).or_default();
+            map.clear();
+            for e in residual {
+                map.insert(e.lock, e.release);
+            }
+        }
+        CcsFidelity::Strict => {
+            let map = side.entry(owner).or_default();
+            for e in residual {
+                map.insert(e.lock, e.release);
+            }
+        }
+    }
+}
+
+/// Estimates unique heap bytes of a set of release clocks, deduplicating
+/// shared `Rc`s via `seen`.
+pub(crate) fn release_clock_bytes(
+    rc: &ReleaseClock,
+    seen: &mut HashSet<*const RefCell<VectorClock>>,
+) -> usize {
+    let ptr = Rc::as_ptr(rc);
+    if seen.insert(ptr) {
+        std::mem::size_of::<RefCell<VectorClock>>() + rc.borrow().footprint_bytes()
+    } else {
+        std::mem::size_of::<ReleaseClock>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+    fn dc_check(e: Epoch, vc: &VectorClock) -> bool {
+        e.leq_vc(vc)
+    }
+
+    fn list_with(owner: ThreadId, entries: Vec<CsEntry>) -> CsList {
+        CsList::from_entries(owner, entries)
+    }
+
+    #[test]
+    fn pending_entries_are_never_ordered() {
+        let entry = CsEntry::pending(m(0), t(0));
+        let mut now: VectorClock = [(t(1), 5)].into_iter().collect();
+        let list = list_with(t(0), vec![entry]);
+        let (residual, raced) =
+            multi_check(&mut now, &[], Some(&list), Epoch::NONE, dc_check);
+        assert_eq!(residual.len(), 1, "pending entry becomes residual");
+        assert!(!raced, "⊥ never races");
+    }
+
+    #[test]
+    fn ordered_outermost_subsumes_inner_and_race_check() {
+        let outer = CsEntry::pending(m(0), t(0));
+        *outer.release.borrow_mut() = [(t(0), 3)].into_iter().collect();
+        let inner = CsEntry::pending(m(1), t(0));
+        let list = list_with(t(0), vec![outer, inner]);
+        let mut now: VectorClock = [(t(0), 4), (t(1), 2)].into_iter().collect();
+        // check epoch 9@t0 would fail, but the ordered entry subsumes it.
+        let (residual, raced) = multi_check(
+            &mut now,
+            &[],
+            Some(&list),
+            Epoch::new(t(0), 9),
+            dc_check,
+        );
+        assert!(residual.is_empty());
+        assert!(!raced);
+    }
+
+    #[test]
+    fn held_lock_joins_release_time() {
+        let entry = CsEntry::pending(m(2), t(0));
+        *entry.release.borrow_mut() = [(t(0), 7), (t(2), 4)].into_iter().collect();
+        let list = list_with(t(0), vec![entry]);
+        let mut now: VectorClock = [(t(1), 1)].into_iter().collect();
+        let (residual, raced) = multi_check(
+            &mut now,
+            &[m(2)],
+            Some(&list),
+            Epoch::new(t(0), 9),
+            dc_check,
+        );
+        assert!(residual.is_empty());
+        assert!(!raced, "join subsumes the race check");
+        assert_eq!(now.get(t(0)), 7);
+        assert_eq!(now.get(t(2)), 4);
+    }
+
+    #[test]
+    fn no_match_falls_through_to_race_check() {
+        let entry = CsEntry::pending(m(0), t(0));
+        let list = list_with(t(0), vec![entry]);
+        let mut now: VectorClock = [(t(1), 3)].into_iter().collect();
+        let (residual, raced) = multi_check(
+            &mut now,
+            &[m(1)],
+            Some(&list),
+            Epoch::new(t(0), 2),
+            dc_check,
+        );
+        assert_eq!(residual.len(), 1);
+        assert!(raced, "0@... < 2@t0 unordered: race");
+    }
+
+    #[test]
+    fn empty_list_is_a_plain_race_check() {
+        let mut now: VectorClock = [(t(0), 5)].into_iter().collect();
+        let (_, ok) = multi_check(&mut now, &[], None, Epoch::new(t(0), 5), dc_check);
+        assert!(!ok);
+        let (_, raced) = multi_check(&mut now, &[], None, Epoch::new(t(0), 6), dc_check);
+        assert!(raced);
+    }
+
+    #[test]
+    fn stash_paper_replaces_strict_merges() {
+        let mk = |lock: u32| CsEntry::pending(m(lock), t(0));
+        let mut paper: ExtraMap = ExtraMap::new();
+        stash_residual(&mut paper, t(0), vec![mk(0)], CcsFidelity::Paper);
+        stash_residual(&mut paper, t(0), vec![mk(1)], CcsFidelity::Paper);
+        assert_eq!(paper[&t(0)].len(), 1, "paper mode replaces");
+        let mut strict: ExtraMap = ExtraMap::new();
+        stash_residual(&mut strict, t(0), vec![mk(0)], CcsFidelity::Strict);
+        stash_residual(&mut strict, t(0), vec![mk(1)], CcsFidelity::Strict);
+        assert_eq!(strict[&t(0)].len(), 2, "strict mode merges");
+    }
+}

@@ -1,0 +1,271 @@
+//! Shared machinery for the detectors: dense growable tables, held-lock
+//! tracking, per-(lock, variable) critical-section metadata, and footprint
+//! estimation helpers.
+
+use std::collections::HashMap;
+
+use smarttrack_clock::{ThreadId, VectorClock};
+use smarttrack_trace::{EventId, LockId, VarId};
+
+/// Returns a mutable reference to `v[i]`, growing `v` with defaults.
+#[inline]
+pub fn slot<T: Default>(v: &mut Vec<T>, i: usize) -> &mut T {
+    if i >= v.len() {
+        v.resize_with(i + 1, T::default);
+    }
+    &mut v[i]
+}
+
+/// Tracks the set of locks held by each thread, in acquisition order
+/// (`HeldLocks(t)` in the paper's algorithms).
+#[derive(Clone, Debug, Default)]
+pub struct HeldLocks {
+    held: Vec<Vec<LockId>>,
+}
+
+impl HeldLocks {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        HeldLocks::default()
+    }
+
+    /// Records an acquire.
+    pub fn acquire(&mut self, t: ThreadId, m: LockId) {
+        slot(&mut self.held, t.index()).push(m);
+    }
+
+    /// Records a release. Releases of unheld locks are ignored (the trace
+    /// layer already guarantees well-formedness).
+    pub fn release(&mut self, t: ThreadId, m: LockId) {
+        if let Some(h) = self.held.get_mut(t.index()) {
+            if let Some(pos) = h.iter().rposition(|&l| l == m) {
+                h.remove(pos);
+            }
+        }
+    }
+
+    /// The locks held by `t`, outermost first.
+    pub fn of(&self, t: ThreadId) -> &[LockId] {
+        self.held
+            .get(t.index())
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// Approximate heap bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.held
+            .iter()
+            .map(|h| h.capacity() * std::mem::size_of::<LockId>())
+            .sum::<usize>()
+            + self.held.capacity() * std::mem::size_of::<Vec<LockId>>()
+    }
+}
+
+/// Per-(lock, variable) critical-section access times: the paper's
+/// `Lr_{m,x}` and `Lw_{m,x}` plus the `Rm`/`Wm` variable sets of the ongoing
+/// critical section (Algorithms 1 and 2).
+///
+/// The paper notes this metadata "entails storing information for
+/// lock–variable pairs, requiring indirect metadata lookups (e.g., an
+/// implementation can use per-lock hash tables keyed by variables)" — which
+/// is exactly the representation here, and exactly the cost SmartTrack's CCS
+/// optimizations remove.
+///
+/// For the "w/ G" graph-building variants, each `Lr`/`Lw` clock also carries
+/// the ids of the release events that contributed to it (latest per thread),
+/// so rule (a) joins can be recorded as graph edges.
+#[derive(Clone, Debug, Default)]
+pub struct LockVarTable {
+    /// Per lock: variable → (clock, contributing release events).
+    read: Vec<HashMap<VarId, LTime>>,
+    write: Vec<HashMap<VarId, LTime>>,
+    /// Per lock: variables read (`Rm`) / written (`Wm`) in the ongoing
+    /// critical section.
+    cur_read: Vec<Vec<VarId>>,
+    cur_write: Vec<Vec<VarId>>,
+    /// Whether to track contributing release events for graph recording.
+    track_sources: bool,
+}
+
+/// A critical-section time: the join of the release times of prior critical
+/// sections (on one lock) that accessed one variable.
+#[derive(Clone, Debug, Default)]
+pub struct LTime {
+    /// Join of release-time clocks.
+    pub clock: VectorClock,
+    /// Latest contributing release event per releasing thread (graph mode).
+    pub sources: Vec<(ThreadId, EventId)>,
+}
+
+impl LTime {
+    fn absorb(&mut self, clock: &VectorClock, source: Option<(ThreadId, EventId)>) {
+        self.clock.join(clock);
+        if let Some((t, e)) = source {
+            match self.sources.iter_mut().find(|(u, _)| *u == t) {
+                Some(entry) => entry.1 = e,
+                None => self.sources.push((t, e)),
+            }
+        }
+    }
+}
+
+impl LockVarTable {
+    /// Creates a table; `track_sources` enables graph-edge recording.
+    pub fn new(track_sources: bool) -> Self {
+        LockVarTable {
+            track_sources,
+            ..LockVarTable::default()
+        }
+    }
+
+    /// Marks `x` as read in the ongoing critical section on `m` (`Rm ∪= {x}`).
+    pub fn mark_read(&mut self, m: LockId, x: VarId) {
+        let set = slot(&mut self.cur_read, m.index());
+        if !set.contains(&x) {
+            set.push(x);
+        }
+    }
+
+    /// Marks `x` as written in the ongoing critical section on `m`
+    /// (`Wm ∪= {x}`).
+    pub fn mark_write(&mut self, m: LockId, x: VarId) {
+        let set = slot(&mut self.cur_write, m.index());
+        if !set.contains(&x) {
+            set.push(x);
+        }
+    }
+
+    /// The read-time `Lr_{m,x}`, if any prior critical section on `m` read
+    /// (or, for FTO, accessed) `x`.
+    pub fn read_time(&self, m: LockId, x: VarId) -> Option<&LTime> {
+        self.read.get(m.index()).and_then(|t| t.get(&x))
+    }
+
+    /// The write-time `Lw_{m,x}`.
+    pub fn write_time(&self, m: LockId, x: VarId) -> Option<&LTime> {
+        self.write.get(m.index()).and_then(|t| t.get(&x))
+    }
+
+    /// Applies a release of `m` at time `now` (Algorithm 1 lines 9–11 /
+    /// Algorithm 2 lines 10–12): folds the ongoing critical section's
+    /// accessed-variable sets into `Lr`/`Lw` and clears them.
+    ///
+    /// `release_event` identifies the release for graph recording.
+    pub fn on_release(
+        &mut self,
+        t: ThreadId,
+        m: LockId,
+        now: &VectorClock,
+        release_event: EventId,
+    ) {
+        let source = self.track_sources.then_some((t, release_event));
+        let reads = std::mem::take(slot(&mut self.cur_read, m.index()));
+        let table = slot(&mut self.read, m.index());
+        for x in reads {
+            table.entry(x).or_default().absorb(now, source);
+        }
+        let writes = std::mem::take(slot(&mut self.cur_write, m.index()));
+        let table = slot(&mut self.write, m.index());
+        for x in writes {
+            table.entry(x).or_default().absorb(now, source);
+        }
+    }
+
+    /// Approximate heap bytes (the dominant cost of unoptimized predictive
+    /// analysis on lock-heavy programs).
+    pub fn footprint_bytes(&self) -> usize {
+        let map_bytes = |maps: &Vec<HashMap<VarId, LTime>>| -> usize {
+            maps.iter()
+                .map(|m| {
+                    m.capacity()
+                        * (std::mem::size_of::<VarId>() + std::mem::size_of::<LTime>() + 16)
+                        + m.values()
+                            .map(|lt| {
+                                lt.clock.footprint_bytes()
+                                    + lt.sources.capacity()
+                                        * std::mem::size_of::<(ThreadId, EventId)>()
+                            })
+                            .sum::<usize>()
+                })
+                .sum()
+        };
+        map_bytes(&self.read)
+            + map_bytes(&self.write)
+            + self
+                .cur_read
+                .iter()
+                .chain(self.cur_write.iter())
+                .map(|v| v.capacity() * std::mem::size_of::<VarId>())
+                .sum::<usize>()
+    }
+}
+
+/// Estimates heap bytes of a vector of vector clocks.
+pub fn vc_table_bytes(vcs: &[VectorClock]) -> usize {
+    vcs.iter().map(VectorClock::footprint_bytes).sum::<usize>()
+        + std::mem::size_of_val(vcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn held_locks_track_nesting_and_release() {
+        let mut h = HeldLocks::new();
+        h.acquire(t(0), m(0));
+        h.acquire(t(0), m(1));
+        assert_eq!(h.of(t(0)), &[m(0), m(1)]);
+        h.release(t(0), m(0)); // non-LIFO release allowed
+        assert_eq!(h.of(t(0)), &[m(1)]);
+        assert!(h.of(t(1)).is_empty());
+    }
+
+    #[test]
+    fn lockvar_table_folds_release_times() {
+        let mut lt = LockVarTable::new(false);
+        lt.mark_read(m(0), x(1));
+        lt.mark_write(m(0), x(2));
+        assert!(lt.read_time(m(0), x(1)).is_none(), "not folded yet");
+        let now: VectorClock = [(t(0), 5)].into_iter().collect();
+        lt.on_release(t(0), m(0), &now, EventId::new(9));
+        assert_eq!(lt.read_time(m(0), x(1)).unwrap().clock.get(t(0)), 5);
+        assert_eq!(lt.write_time(m(0), x(2)).unwrap().clock.get(t(0)), 5);
+        assert!(lt.read_time(m(0), x(2)).is_none());
+        // Current sets cleared.
+        let now2: VectorClock = [(t(0), 9)].into_iter().collect();
+        lt.on_release(t(0), m(0), &now2, EventId::new(12));
+        assert_eq!(
+            lt.read_time(m(0), x(1)).unwrap().clock.get(t(0)),
+            5,
+            "second critical section did not access x1"
+        );
+    }
+
+    #[test]
+    fn lockvar_table_records_sources_in_graph_mode() {
+        let mut lt = LockVarTable::new(true);
+        lt.mark_write(m(0), x(0));
+        let now: VectorClock = [(t(1), 2)].into_iter().collect();
+        lt.on_release(t(1), m(0), &now, EventId::new(4));
+        let time = lt.write_time(m(0), x(0)).unwrap();
+        assert_eq!(time.sources, vec![(t(1), EventId::new(4))]);
+        // A later release by the same thread replaces the source.
+        lt.mark_write(m(0), x(0));
+        let now2: VectorClock = [(t(1), 7)].into_iter().collect();
+        lt.on_release(t(1), m(0), &now2, EventId::new(11));
+        let time = lt.write_time(m(0), x(0)).unwrap();
+        assert_eq!(time.sources, vec![(t(1), EventId::new(11))]);
+    }
+}

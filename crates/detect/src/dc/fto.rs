@@ -1,0 +1,340 @@
+//! FTO-based DC/WDC analysis — paper Algorithm 2: FastTrack-Ownership's
+//! epoch and ownership optimizations applied to predictive analysis, keeping
+//! the per-(lock, variable) conflicting-critical-section metadata.
+
+use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+
+use crate::common::{slot, HeldLocks, LockVarTable};
+use crate::counters::{FtoCase, FtoCaseCounters};
+use crate::dc::DcClocks;
+use crate::queues::{AcqEntry, DcRuleBQueues};
+use crate::report::{AccessKind, RaceReport, Report};
+use crate::{Detector, OptLevel, Relation};
+
+#[derive(Clone, Debug, Default)]
+struct VarState {
+    write: Epoch,
+    read: ReadMeta,
+}
+
+/// FTO-DC analysis (`RULE_B = true`) or FTO-WDC (`RULE_B = false`), following
+/// paper Algorithm 2. Use the [`FtoDc`] / [`FtoWdc`] aliases.
+///
+/// Compared with unoptimized analysis, last-access metadata use epochs and
+/// ownership cases; compared with SmartTrack, conflicting critical sections
+/// are still tracked per (lock, variable) (`Lr_{m,x}`/`Lw_{m,x}`), where `Lr`
+/// now represents critical sections containing reads *and* writes.
+#[derive(Clone, Debug)]
+pub struct FtoDcLike<const RULE_B: bool> {
+    clocks: DcClocks,
+    held: HeldLocks,
+    lockvar: LockVarTable,
+    queues: DcRuleBQueues,
+    vars: Vec<VarState>,
+    report: Report,
+    counters: FtoCaseCounters,
+}
+
+/// FTO-DC analysis (paper Algorithm 2).
+pub type FtoDc = FtoDcLike<true>;
+/// FTO-WDC analysis (Algorithm 2 minus rule (b): remove its lines 2 and 5–9).
+pub type FtoWdc = FtoDcLike<false>;
+
+impl<const RULE_B: bool> Default for FtoDcLike<RULE_B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const RULE_B: bool> FtoDcLike<RULE_B> {
+    /// Creates the analysis with empty state.
+    pub fn new() -> Self {
+        FtoDcLike {
+            clocks: DcClocks::new(),
+            held: HeldLocks::new(),
+            lockvar: LockVarTable::new(false),
+            queues: DcRuleBQueues::new(),
+            vars: Vec::new(),
+            report: Report::new(),
+            counters: FtoCaseCounters::new(),
+        }
+    }
+
+    /// Diagnostic view of the current clock of `t` (for tests).
+    pub fn thread_clock(&self, t: ThreadId) -> &VectorClock {
+        self.clocks.clock_ref(t)
+    }
+
+    /// Rule (a) joins (Algorithm 2 lines 16–19 / 29–31). At writes, joins
+    /// `Lr ⊔ Lw` and marks both sets; at reads, joins `Lw` and marks `Rm`
+    /// (which in FTO represents reads-and-writes).
+    fn rule_a(&mut self, t: ThreadId, x: VarId, now: &mut VectorClock, write: bool) {
+        for &m in self.held.of(t) {
+            if write {
+                if let Some(lt) = self.lockvar.read_time(m, x) {
+                    now.join(&lt.clock);
+                }
+            }
+            if let Some(lt) = self.lockvar.write_time(m, x) {
+                now.join(&lt.clock);
+            }
+            self.lockvar.mark_read(m, x);
+            if write {
+                self.lockvar.mark_write(m, x);
+            }
+        }
+    }
+
+    fn write(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let e = Epoch::new(t, self.clocks.local(t));
+        if slot(&mut self.vars, x.index()).write == e {
+            self.counters.hit(FtoCase::WriteSameEpoch);
+            return;
+        }
+        let mut now = self.clocks.clock_ref(t).clone();
+        self.rule_a(t, x, &mut now, true);
+        let vs = slot(&mut self.vars, x.index());
+        let mut prior: Vec<ThreadId> = Vec::new();
+        match &vs.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                self.counters.hit(FtoCase::WriteOwned);
+            }
+            ReadMeta::Epoch(r) => {
+                self.counters.hit(FtoCase::WriteExclusive);
+                if !r.leq_vc(&now) {
+                    prior.push(r.tid());
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                self.counters.hit(FtoCase::WriteShared);
+                for (u, c) in vc.iter_nonzero() {
+                    if c > now.get(u) {
+                        prior.push(u);
+                    }
+                }
+            }
+        }
+        vs.write = e;
+        vs.read = ReadMeta::Epoch(e);
+        self.clocks.clock(t).assign(&now);
+        if !prior.is_empty() {
+            self.report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Write,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let e = Epoch::new(t, self.clocks.local(t));
+        match &slot(&mut self.vars, x.index()).read {
+            ReadMeta::Epoch(r) if *r == e => {
+                self.counters.hit(FtoCase::ReadSameEpoch);
+                return;
+            }
+            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+                self.counters.hit(FtoCase::SharedSameEpoch);
+                return;
+            }
+            _ => {}
+        }
+        let mut now = self.clocks.clock_ref(t).clone();
+        self.rule_a(t, x, &mut now, false);
+        let vs = slot(&mut self.vars, x.index());
+        let mut race_with_write = false;
+        match &mut vs.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                self.counters.hit(FtoCase::ReadOwned);
+                vs.read = ReadMeta::Epoch(e);
+            }
+            ReadMeta::Epoch(r) => {
+                if r.leq_vc(&now) {
+                    self.counters.hit(FtoCase::ReadExclusive);
+                    vs.read = ReadMeta::Epoch(e);
+                } else {
+                    self.counters.hit(FtoCase::ReadShare);
+                    race_with_write = !vs.write.leq_vc(&now);
+                    vs.read.share(e);
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                if vc.get(t) != 0 {
+                    self.counters.hit(FtoCase::ReadSharedOwned);
+                    vc.set(t, e.clock());
+                } else {
+                    self.counters.hit(FtoCase::ReadShared);
+                    race_with_write = !vs.write.leq_vc(&now);
+                    vc.set(t, e.clock());
+                }
+            }
+        }
+        let write_tid = (!vs.write.is_none()).then(|| vs.write.tid());
+        self.clocks.clock(t).assign(&now);
+        if race_with_write {
+            self.report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Read,
+                prior_threads: write_tid.into_iter().collect(),
+            });
+        }
+    }
+
+    fn acquire(&mut self, t: ThreadId, m: LockId) {
+        if RULE_B {
+            let entry = AcqEntry::Vc(self.clocks.clock(t).clone());
+            self.queues.on_acquire(m, t, &entry);
+        }
+        self.held.acquire(t, m);
+        self.clocks.increment(t);
+    }
+
+    fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
+        let mut now = self.clocks.clock(t).clone();
+        if RULE_B {
+            self.queues.on_release(m, t, &mut now, id, |_| {});
+        }
+        self.lockvar.on_release(t, m, &now, id);
+        self.held.release(t, m);
+        self.clocks.clock(t).assign(&now);
+        self.clocks.increment(t);
+    }
+}
+
+impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
+    fn name(&self) -> &'static str {
+        if RULE_B {
+            "FTO-DC"
+        } else {
+            "FTO-WDC"
+        }
+    }
+
+    fn relation(&self) -> Relation {
+        if RULE_B {
+            Relation::Dc
+        } else {
+            Relation::Wdc
+        }
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        OptLevel::Fto
+    }
+
+    fn prepare(&mut self, trace: &smarttrack_trace::Trace) {
+        if RULE_B {
+            self.queues.set_thread_bound(trace.num_threads());
+        }
+    }
+
+    fn process(&mut self, id: EventId, event: &Event) {
+        let t = event.tid;
+        match event.op {
+            Op::Read(x) => self.read(id, t, x, event.loc),
+            Op::Write(x) => self.write(id, t, x, event.loc),
+            Op::Acquire(m) => self.acquire(t, m),
+            Op::Release(m) => self.release(id, t, m),
+            Op::Fork(u) => self.clocks.fork(t, u),
+            Op::Join(u) => self.clocks.join(t, u),
+            Op::VolatileRead(v) => self.clocks.volatile_read(t, v),
+            Op::VolatileWrite(v) => self.clocks.volatile_write(t, v),
+        }
+    }
+
+    fn report(&self) -> &Report {
+        &self.report
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.clocks.footprint_bytes()
+            + self.held.footprint_bytes()
+            + self.lockvar.footprint_bytes()
+            + self.queues.footprint_bytes()
+            + self
+                .vars
+                .iter()
+                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .sum::<usize>()
+            + self.report.footprint_bytes()
+    }
+
+    fn case_counters(&self) -> Option<&FtoCaseCounters> {
+        Some(&self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_detector, UnoptDc, UnoptWdc};
+    use smarttrack_trace::{gen::RandomTraceSpec, paper, Trace};
+
+    fn first_race<D: Detector>(mut det: D, tr: &Trace) -> Option<EventId> {
+        run_detector(&mut det, tr);
+        det.report().first_race_event()
+    }
+
+    #[test]
+    fn figures_match_unopt() {
+        for (name, tr) in paper::all_figures() {
+            assert_eq!(
+                first_race(FtoDc::new(), &tr),
+                first_race(UnoptDc::new(), &tr),
+                "FTO-DC vs Unopt-DC on {name}"
+            );
+            assert_eq!(
+                first_race(FtoWdc::new(), &tr),
+                first_race(UnoptWdc::new(), &tr),
+                "FTO-WDC vs Unopt-WDC on {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure3_split_between_dc_and_wdc() {
+        let tr = paper::figure3();
+        assert_eq!(first_race(FtoDc::new(), &tr), None);
+        assert!(first_race(FtoWdc::new(), &tr).is_some());
+    }
+
+    #[test]
+    fn random_traces_first_race_matches_unopt() {
+        for seed in 0..60 {
+            let tr = RandomTraceSpec {
+                events: 300,
+                threads: 3,
+                vars: 6,
+                locks: 3,
+                ..RandomTraceSpec::default()
+            }
+            .generate(seed);
+            assert_eq!(
+                first_race(FtoDc::new(), &tr),
+                first_race(UnoptDc::new(), &tr),
+                "DC seed {seed}"
+            );
+            assert_eq!(
+                first_race(FtoWdc::new(), &tr),
+                first_race(UnoptWdc::new(), &tr),
+                "WDC seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_cover_nse_accesses() {
+        let tr = RandomTraceSpec::default().generate(11);
+        let mut det = FtoDc::new();
+        run_detector(&mut det, &tr);
+        let c = det.case_counters().unwrap();
+        assert!(c.nse_reads() + c.nse_writes() > 0);
+    }
+}

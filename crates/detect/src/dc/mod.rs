@@ -1,0 +1,146 @@
+//! DC and WDC analyses at all three optimization levels.
+//!
+//! The WDC relation (§3) is DC (Roemer et al. 2018) without rule (b), so both
+//! relations share implementations parameterized by `const RULE_B: bool`:
+//!
+//! * [`UnoptDc`] / [`UnoptWdc`] — paper Algorithm 1 (vector clocks
+//!   everywhere), optionally recording a constraint graph ("w/ G").
+//! * [`FtoDc`] / [`FtoWdc`] — paper Algorithm 2 (epoch + ownership
+//!   optimizations applied to predictive analysis).
+//! * [`SmartTrackDc`] / [`SmartTrackWdc`] — paper Algorithm 3 (FTO + the
+//!   conflicting-critical-section optimizations).
+
+mod fto;
+mod st;
+mod unopt;
+
+pub use fto::{FtoDc, FtoWdc};
+pub use st::{SmartTrackDc, SmartTrackWdc};
+pub use unopt::{UnoptDc, UnoptWdc};
+
+use smarttrack_clock::{ThreadId, VectorClock};
+use smarttrack_trace::VarId;
+
+use crate::common::{slot, vc_table_bytes};
+
+/// Thread and volatile clocks for PO-composed predictive relations (DC, WDC).
+///
+/// Unlike HB analysis, DC has no release→acquire ordering, so there are no
+/// per-lock clocks; lock-induced ordering comes only from rules (a) and (b).
+/// Per §5.1, predictive analyses increment the thread's clock at *acquires as
+/// well as releases* (supporting cheap same-epoch checks and SmartTrack's
+/// epoch-based acquire queues); fork/join/volatile operations are treated as
+/// hard ordering in the computed relation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DcClocks {
+    threads: Vec<VectorClock>,
+    volatiles: Vec<VectorClock>,
+}
+
+impl DcClocks {
+    pub fn new() -> Self {
+        DcClocks::default()
+    }
+
+    /// The clock `Ct`, initializing `Ct(t) = 1` on first use.
+    pub fn clock(&mut self, t: ThreadId) -> &mut VectorClock {
+        let c = slot(&mut self.threads, t.index());
+        if c.get(t) == 0 {
+            c.set(t, 1);
+        }
+        c
+    }
+
+    /// Read-only view of `Ct` (must have been initialized).
+    pub fn clock_ref(&self, t: ThreadId) -> &VectorClock {
+        &self.threads[t.index()]
+    }
+
+    /// `Ct(t)` — the local clock component, initializing on first use.
+    /// The same-epoch fast paths use this to stay O(1).
+    pub fn local(&mut self, t: ThreadId) -> u32 {
+        self.clock(t).get(t)
+    }
+
+    /// `Ct(t) += 1` — at every synchronization operation.
+    pub fn increment(&mut self, t: ThreadId) {
+        self.clock(t).increment(t);
+    }
+
+    /// `fork(u)` by `t`: hard edge into the child.
+    pub fn fork(&mut self, t: ThreadId, u: ThreadId) {
+        let ct = self.clock(t).clone();
+        self.clock(u).join(&ct);
+        self.increment(t);
+    }
+
+    /// `join(u)` by `t`: hard edge from the child's last event.
+    pub fn join(&mut self, t: ThreadId, u: ThreadId) {
+        let cu = self.clock(u).clone();
+        self.clock(t).join(&cu);
+        self.increment(t);
+    }
+
+    /// Volatile read: absorb the volatile's clock.
+    pub fn volatile_read(&mut self, t: ThreadId, v: VarId) {
+        let vv = slot(&mut self.volatiles, v.index()).clone();
+        self.clock(t).join(&vv);
+        self.increment(t);
+    }
+
+    /// Volatile write: absorb and publish.
+    pub fn volatile_write(&mut self, t: ThreadId, v: VarId) {
+        let vv = slot(&mut self.volatiles, v.index()).clone();
+        let ct = {
+            let c = self.clock(t);
+            c.join(&vv);
+            c.clone()
+        };
+        slot(&mut self.volatiles, v.index()).assign(&ct);
+        self.increment(t);
+    }
+
+    /// Approximate heap bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        vc_table_bytes(&self.threads) + vc_table_bytes(&self.volatiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn increments_produce_distinct_epochs() {
+        let mut c = DcClocks::new();
+        assert_eq!(c.clock(t(0)).get(t(0)), 1);
+        c.increment(t(0));
+        assert_eq!(c.clock(t(0)).get(t(0)), 2);
+    }
+
+    #[test]
+    fn fork_transfers_and_join_returns() {
+        let mut c = DcClocks::new();
+        c.clock(t(0)).set(t(0), 7);
+        c.fork(t(0), t(1));
+        assert_eq!(c.clock(t(1)).get(t(0)), 7);
+        assert_eq!(c.clock(t(0)).get(t(0)), 8, "fork increments the parent");
+        c.clock(t(1)).set(t(1), 4);
+        c.join(t(0), t(1));
+        assert_eq!(c.clock(t(0)).get(t(1)), 4);
+    }
+
+    #[test]
+    fn volatiles_order_write_to_read() {
+        let mut c = DcClocks::new();
+        let v = VarId::new(0);
+        c.clock(t(0)).set(t(0), 3);
+        c.volatile_write(t(0), v);
+        c.volatile_read(t(1), v);
+        assert_eq!(c.clock(t(1)).get(t(0)), 3);
+    }
+}

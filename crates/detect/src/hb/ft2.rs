@@ -1,0 +1,241 @@
+//! The FastTrack2 algorithm (Flanagan & Freund 2017): epoch-optimized HB
+//! analysis without the ownership cases.
+
+use smarttrack_clock::{Epoch, ReadMeta, ThreadId};
+use smarttrack_trace::{Event, EventId, Loc, Op, VarId};
+
+use crate::common::slot;
+use crate::hb::HbSyncState;
+use crate::report::{AccessKind, RaceReport, Report};
+use crate::{Detector, OptLevel, Relation};
+
+#[derive(Clone, Debug, Default)]
+struct VarState {
+    write: Epoch,
+    read: ReadMeta,
+}
+
+/// FastTrack2 HB analysis (`FT2` in the paper's tables).
+///
+/// `Wx` is always an epoch; `Rx` adaptively switches between an epoch and a
+/// vector clock. Unlike RoadRunner's bundled FastTrack2, this implementation
+/// follows the paper's §5.4 variant: it updates last-access metadata at every
+/// event even after detecting a race, never stops analyzing a variable, and
+/// counts every race.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_detect::{run_detector, Detector, Ft2};
+/// use smarttrack_trace::paper;
+///
+/// let mut det = Ft2::new();
+/// run_detector(&mut det, &paper::figure1());
+/// assert!(det.report().is_empty(), "Figure 1 has no HB-race");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Ft2 {
+    sync: HbSyncState,
+    vars: Vec<VarState>,
+    report: Report,
+}
+
+impl Ft2 {
+    /// Creates the analysis with empty state.
+    pub fn new() -> Self {
+        Ft2::default()
+    }
+
+    fn race(
+        report: &mut Report,
+        id: EventId,
+        loc: Loc,
+        t: ThreadId,
+        x: VarId,
+        kind: AccessKind,
+        prior: Vec<ThreadId>,
+    ) {
+        report.push(RaceReport {
+            event: id,
+            loc,
+            tid: t,
+            var: x,
+            kind,
+            prior_threads: prior,
+        });
+    }
+
+    fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let e = Epoch::new(t, self.sync.local(t));
+        let vs = slot(&mut self.vars, x.index());
+        match &vs.read {
+            ReadMeta::Epoch(r) if *r == e => return, // [Read Same Epoch]
+            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => return, // [Shared Same Epoch]
+            _ => {}
+        }
+        let now = self.sync.clock_ref(t);
+        let mut prior = Vec::new();
+        if !vs.write.leq_vc(now) {
+            prior.push(vs.write.tid()); // write–read race
+        }
+        match &mut vs.read {
+            ReadMeta::Epoch(r) => {
+                if r.leq_vc(now) {
+                    vs.read = ReadMeta::Epoch(e); // [Read Exclusive]
+                } else {
+                    vs.read.share(e); // [Read Share]
+                }
+            }
+            ReadMeta::Vc(vc) => vc.set(t, e.clock()), // [Read Shared]
+        }
+        if !prior.is_empty() {
+            Self::race(&mut self.report, id, loc, t, x, AccessKind::Read, prior);
+        }
+    }
+
+    fn write(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let e = Epoch::new(t, self.sync.local(t));
+        let vs = slot(&mut self.vars, x.index());
+        if vs.write == e {
+            return; // [Write Same Epoch]
+        }
+        let now = self.sync.clock_ref(t);
+        let mut prior = Vec::new();
+        if !vs.write.leq_vc(now) {
+            prior.push(vs.write.tid()); // write–write race
+        }
+        match &vs.read {
+            ReadMeta::Epoch(r) => {
+                if !r.leq_vc(now) && !prior.contains(&r.tid()) {
+                    prior.push(r.tid()); // read–write race [Write Exclusive]
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                for (u, c) in vc.iter_nonzero() {
+                    if c > now.get(u) && !prior.contains(&u) {
+                        prior.push(u); // read–write race [Write Shared]
+                    }
+                }
+            }
+        }
+        vs.write = e;
+        if !prior.is_empty() {
+            Self::race(&mut self.report, id, loc, t, x, AccessKind::Write, prior);
+        }
+    }
+}
+
+impl Detector for Ft2 {
+    fn name(&self) -> &'static str {
+        "FT2"
+    }
+
+    fn relation(&self) -> Relation {
+        Relation::Hb
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        OptLevel::Epochs
+    }
+
+    fn process(&mut self, id: EventId, event: &Event) {
+        let t = event.tid;
+        match event.op {
+            Op::Read(x) => self.read(id, t, x, event.loc),
+            Op::Write(x) => self.write(id, t, x, event.loc),
+            Op::Acquire(m) => self.sync.acquire(t, m),
+            Op::Release(m) => self.sync.release(t, m),
+            Op::Fork(u) => self.sync.fork(t, u),
+            Op::Join(u) => self.sync.join(t, u),
+            Op::VolatileRead(v) => self.sync.volatile_read(t, v),
+            Op::VolatileWrite(v) => self.sync.volatile_write(t, v),
+        }
+    }
+
+    fn report(&self) -> &Report {
+        &self.report
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.sync.footprint_bytes()
+            + self
+                .vars
+                .iter()
+                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .sum::<usize>()
+            + self.report.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_detector;
+    use smarttrack_trace::{LockId, TraceBuilder};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    fn run(b: TraceBuilder) -> Report {
+        let mut det = Ft2::new();
+        run_detector(&mut det, &b.finish());
+        det.report().clone()
+    }
+
+    #[test]
+    fn read_share_upgrades_to_vector_and_detects_write_race() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap(); // unordered reads: share
+        b.push(t(2), Op::Write(x(0))).unwrap(); // races with both readers
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 1, "one dynamic race at the write");
+        assert_eq!(r.races()[0].prior_threads.len(), 2);
+    }
+
+    #[test]
+    fn exclusive_read_passes_through_lock() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        b.push(t(1), Op::Acquire(m(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap(); // ordered: stays an epoch
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        b.push(t(1), Op::Release(m(0))).unwrap();
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn same_epoch_fast_paths_skip_reanalysis() {
+        let mut b = TraceBuilder::new();
+        for _ in 0..5 {
+            b.push(t(0), Op::Write(x(0))).unwrap();
+            b.push(t(0), Op::Read(x(0))).unwrap();
+        }
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn matches_unopt_on_figures() {
+        use crate::UnoptHb;
+        for (name, tr) in smarttrack_trace::paper::all_figures() {
+            let mut a = Ft2::new();
+            let mut b = UnoptHb::new();
+            run_detector(&mut a, &tr);
+            run_detector(&mut b, &tr);
+            assert_eq!(
+                a.report().first_race_event(),
+                b.report().first_race_event(),
+                "FT2 vs Unopt-HB disagree on {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! FastTrack-Ownership HB analysis (Wood et al. 2017): the paper's primary
+//! HB baseline, and the structural template for the FTO-based predictive
+//! analyses (Algorithm 2 without the DC-specific parts).
+
+use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_trace::{Event, EventId, Loc, Op, VarId};
+
+use crate::common::slot;
+use crate::counters::{FtoCase, FtoCaseCounters};
+use crate::hb::HbSyncState;
+use crate::report::{AccessKind, RaceReport, Report};
+use crate::{Detector, OptLevel, Relation};
+
+#[derive(Clone, Debug, Default)]
+struct VarState {
+    write: Epoch,
+    read: ReadMeta,
+}
+
+/// FTO-HB analysis (`FTO` in the paper's HB columns).
+///
+/// Compared with [`Ft2`](crate::Ft2), FTO unifies read and write metadata
+/// (`Rx` represents the latest reads *and* write; after a write,
+/// `Wx = Rx = Ct(t)@t`) and adds *owned* cases that skip race checks when the
+/// current thread already owns the last access.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_detect::{run_detector, Detector, FtoHb};
+/// use smarttrack_trace::paper;
+///
+/// let mut det = FtoHb::new();
+/// run_detector(&mut det, &paper::figure2());
+/// assert!(det.report().is_empty(), "Figure 2 has no HB-race");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FtoHb {
+    sync: HbSyncState,
+    vars: Vec<VarState>,
+    report: Report,
+    counters: FtoCaseCounters,
+}
+
+impl FtoHb {
+    /// Creates the analysis with empty state.
+    pub fn new() -> Self {
+        FtoHb::default()
+    }
+
+    fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let e = Epoch::new(t, self.sync.local(t));
+        let vs = slot(&mut self.vars, x.index());
+        match &vs.read {
+            ReadMeta::Epoch(r) if *r == e => {
+                self.counters.hit(FtoCase::ReadSameEpoch);
+                return;
+            }
+            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+                self.counters.hit(FtoCase::SharedSameEpoch);
+                return;
+            }
+            _ => {}
+        }
+        let now = self.sync.clock_ref(t);
+        let mut race_with_write = false;
+        match &mut vs.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                self.counters.hit(FtoCase::ReadOwned);
+                vs.read = ReadMeta::Epoch(e);
+            }
+            ReadMeta::Epoch(r) => {
+                if r.leq_vc(now) {
+                    self.counters.hit(FtoCase::ReadExclusive);
+                    vs.read = ReadMeta::Epoch(e);
+                } else {
+                    self.counters.hit(FtoCase::ReadShare);
+                    race_with_write = !vs.write.leq_vc(now);
+                    vs.read.share(e);
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                if vc.get(t) != 0 {
+                    self.counters.hit(FtoCase::ReadSharedOwned);
+                    vc.set(t, e.clock());
+                } else {
+                    self.counters.hit(FtoCase::ReadShared);
+                    race_with_write = !vs.write.leq_vc(now);
+                    vc.set(t, e.clock());
+                }
+            }
+        }
+        if race_with_write {
+            let prior = vec![vs.write.tid()];
+            self.report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Read,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    fn write(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let e = Epoch::new(t, self.sync.local(t));
+        let vs = slot(&mut self.vars, x.index());
+        if vs.write == e {
+            self.counters.hit(FtoCase::WriteSameEpoch);
+            return;
+        }
+        let now = self.sync.clock_ref(t);
+        let mut prior: Vec<ThreadId> = Vec::new();
+        match &vs.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                self.counters.hit(FtoCase::WriteOwned);
+            }
+            ReadMeta::Epoch(r) => {
+                self.counters.hit(FtoCase::WriteExclusive);
+                if !r.leq_vc(now) {
+                    prior.push(r.tid());
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                self.counters.hit(FtoCase::WriteShared);
+                for (u, c) in vc.iter_nonzero() {
+                    if c > now.get(u) {
+                        prior.push(u);
+                    }
+                }
+            }
+        }
+        vs.write = e;
+        vs.read = ReadMeta::Epoch(e);
+        if !prior.is_empty() {
+            self.report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Write,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    /// Diagnostic view of the current HB clock of `t` (for tests).
+    pub fn thread_clock(&self, t: ThreadId) -> &VectorClock {
+        self.sync.clock_ref(t)
+    }
+}
+
+impl Detector for FtoHb {
+    fn name(&self) -> &'static str {
+        "FTO-HB"
+    }
+
+    fn relation(&self) -> Relation {
+        Relation::Hb
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        OptLevel::Fto
+    }
+
+    fn process(&mut self, id: EventId, event: &Event) {
+        let t = event.tid;
+        match event.op {
+            Op::Read(x) => self.read(id, t, x, event.loc),
+            Op::Write(x) => self.write(id, t, x, event.loc),
+            Op::Acquire(m) => self.sync.acquire(t, m),
+            Op::Release(m) => self.sync.release(t, m),
+            Op::Fork(u) => self.sync.fork(t, u),
+            Op::Join(u) => self.sync.join(t, u),
+            Op::VolatileRead(v) => self.sync.volatile_read(t, v),
+            Op::VolatileWrite(v) => self.sync.volatile_write(t, v),
+        }
+    }
+
+    fn report(&self) -> &Report {
+        &self.report
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.sync.footprint_bytes()
+            + self
+                .vars
+                .iter()
+                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .sum::<usize>()
+            + self.report.footprint_bytes()
+    }
+
+    fn case_counters(&self) -> Option<&FtoCaseCounters> {
+        Some(&self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_detector;
+    use smarttrack_trace::{LockId, TraceBuilder};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    fn run(b: TraceBuilder) -> (Report, FtoCaseCounters) {
+        let mut det = FtoHb::new();
+        run_detector(&mut det, &b.finish());
+        (det.report().clone(), det.counters.clone())
+    }
+
+    #[test]
+    fn write_owned_skips_race_check() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(0), Op::Acquire(m(0))).unwrap(); // epoch changes at release only
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // owned: last access was ours
+        let (r, c) = run(b);
+        assert!(r.is_empty());
+        assert_eq!(c.count(FtoCase::WriteOwned), 1);
+    }
+
+    #[test]
+    fn owned_cases_follow_write() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        b.push(t(0), Op::Read(x(0))).unwrap(); // [Read Owned]: write set Rx
+        let (r, c) = run(b);
+        assert!(r.is_empty());
+        assert_eq!(c.count(FtoCase::ReadOwned), 1);
+    }
+
+    #[test]
+    fn detects_read_write_race_in_shared_mode() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap(); // share
+        b.push(t(0), Op::Write(x(0))).unwrap(); // races with T1's read only
+        let (r, c) = run(b);
+        assert_eq!(r.dynamic_count(), 1);
+        assert_eq!(r.races()[0].prior_threads, vec![t(1)]);
+        assert_eq!(c.count(FtoCase::WriteShared), 1);
+    }
+
+    #[test]
+    fn matches_ft2_first_race_on_random_traces() {
+        use crate::Ft2;
+        use smarttrack_trace::gen::RandomTraceSpec;
+        for seed in 0..30 {
+            let tr = RandomTraceSpec {
+                events: 400,
+                ..RandomTraceSpec::default()
+            }
+            .generate(seed);
+            let mut a = FtoHb::new();
+            let mut b = Ft2::new();
+            run_detector(&mut a, &tr);
+            run_detector(&mut b, &tr);
+            assert_eq!(
+                a.report().first_race_event(),
+                b.report().first_race_event(),
+                "seed {seed}"
+            );
+        }
+    }
+}

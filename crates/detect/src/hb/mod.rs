@@ -1,0 +1,19 @@
+//! Happens-before analyses: the non-predictive baselines of the paper.
+//!
+//! * [`UnoptHb`] — classic vector-clock (DJIT+-style) HB analysis.
+//! * [`Ft2`] — the FastTrack2 algorithm (Flanagan & Freund 2017).
+//! * [`FtoHb`] — FastTrack-Ownership (Wood et al. 2017), the HB baseline the
+//!   paper compares everything against.
+
+mod ft2;
+mod fto;
+mod rrft2;
+mod sync_state;
+mod unopt;
+
+pub use ft2::Ft2;
+pub use fto::FtoHb;
+pub use rrft2::RoadRunnerFt2;
+pub use unopt::UnoptHb;
+
+pub(crate) use sync_state::HbSyncState;

@@ -1,0 +1,139 @@
+//! Synchronization-clock state shared by all HB analyses.
+
+use smarttrack_clock::{ThreadId, VectorClock};
+use smarttrack_trace::{LockId, VarId};
+
+use crate::common::{slot, vc_table_bytes};
+
+/// Per-thread, per-lock, and per-volatile vector clocks plus the HB join
+/// rules for every synchronization operation (§5.1).
+///
+/// HB analyses increment a thread's clock at release-like operations only
+/// (release, fork, volatile write), following FastTrack; predictive analyses
+/// have their own state types that also increment at acquires.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct HbSyncState {
+    threads: Vec<VectorClock>,
+    locks: Vec<VectorClock>,
+    volatiles: Vec<VectorClock>,
+}
+
+impl HbSyncState {
+    /// The clock `Ct`, initializing `Ct(t) = 1` on first use.
+    pub fn clock(&mut self, t: ThreadId) -> &mut VectorClock {
+        let c = slot(&mut self.threads, t.index());
+        if c.get(t) == 0 {
+            c.set(t, 1);
+        }
+        c
+    }
+
+    /// Read-only view of `Ct` (must have been initialized).
+    pub fn clock_ref(&self, t: ThreadId) -> &VectorClock {
+        &self.threads[t.index()]
+    }
+
+    /// `Ct(t)` — the local clock component, initializing on first use.
+    /// The same-epoch fast paths use this to stay O(1).
+    pub fn local(&mut self, t: ThreadId) -> u32 {
+        self.clock(t).get(t)
+    }
+
+    /// `acq(m)`: `Ct ← Ct ⊔ Lm`.
+    pub fn acquire(&mut self, t: ThreadId, m: LockId) {
+        let lm = slot(&mut self.locks, m.index()).clone();
+        self.clock(t).join(&lm);
+    }
+
+    /// `rel(m)`: `Lm ← Ct; Ct(t) += 1`.
+    pub fn release(&mut self, t: ThreadId, m: LockId) {
+        let ct = self.clock(t).clone();
+        slot(&mut self.locks, m.index()).assign(&ct);
+        self.clock(t).increment(t);
+    }
+
+    /// `fork(u)` by `t`: `Cu ← Cu ⊔ Ct; Ct(t) += 1`.
+    pub fn fork(&mut self, t: ThreadId, u: ThreadId) {
+        let ct = self.clock(t).clone();
+        self.clock(u).join(&ct);
+        self.clock(t).increment(t);
+    }
+
+    /// `join(u)` by `t`: `Ct ← Ct ⊔ Cu`.
+    pub fn join(&mut self, t: ThreadId, u: ThreadId) {
+        let cu = self.clock(u).clone();
+        self.clock(t).join(&cu);
+    }
+
+    /// Volatile read of `v`: `Ct ← Ct ⊔ Vv`.
+    pub fn volatile_read(&mut self, t: ThreadId, v: VarId) {
+        let vv = slot(&mut self.volatiles, v.index()).clone();
+        self.clock(t).join(&vv);
+    }
+
+    /// Volatile write of `v`: `Ct ← Ct ⊔ Vv; Vv ← Ct; Ct(t) += 1`.
+    pub fn volatile_write(&mut self, t: ThreadId, v: VarId) {
+        let vv = slot(&mut self.volatiles, v.index()).clone();
+        let ct = {
+            let c = self.clock(t);
+            c.join(&vv);
+            c.clone()
+        };
+        slot(&mut self.volatiles, v.index()).assign(&ct);
+        self.clock(t).increment(t);
+    }
+
+    /// Approximate heap bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        vc_table_bytes(&self.threads)
+            + vc_table_bytes(&self.locks)
+            + vc_table_bytes(&self.volatiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn clocks_start_at_one() {
+        let mut s = HbSyncState::default();
+        assert_eq!(s.clock(t(2)).get(t(2)), 1);
+    }
+
+    #[test]
+    fn release_acquire_transfers_knowledge() {
+        let mut s = HbSyncState::default();
+        let m = LockId::new(0);
+        s.clock(t(0)).set(t(0), 5);
+        s.release(t(0), m);
+        assert_eq!(s.clock(t(0)).get(t(0)), 6, "incremented at release");
+        s.acquire(t(1), m);
+        assert_eq!(s.clock(t(1)).get(t(0)), 5, "absorbed releaser's time");
+    }
+
+    #[test]
+    fn fork_join_round_trip() {
+        let mut s = HbSyncState::default();
+        s.clock(t(0)).set(t(0), 3);
+        s.fork(t(0), t(1));
+        assert_eq!(s.clock(t(1)).get(t(0)), 3);
+        s.clock(t(1)).set(t(1), 9);
+        s.join(t(0), t(1));
+        assert_eq!(s.clock(t(0)).get(t(1)), 9);
+    }
+
+    #[test]
+    fn volatile_write_read_orders() {
+        let mut s = HbSyncState::default();
+        let v = VarId::new(0);
+        s.clock(t(0)).set(t(0), 4);
+        s.volatile_write(t(0), v);
+        s.volatile_read(t(1), v);
+        assert_eq!(s.clock(t(1)).get(t(0)), 4);
+    }
+}

@@ -1,0 +1,275 @@
+//! Unoptimized (vector-clock) happens-before analysis, DJIT+-style.
+
+use smarttrack_clock::{ThreadId, VectorClock};
+use smarttrack_trace::{Event, EventId, Loc, Op, VarId};
+
+use crate::common::{slot, vc_table_bytes};
+use crate::hb::HbSyncState;
+use crate::report::{AccessKind, RaceReport, Report};
+use crate::{Detector, OptLevel, Relation};
+
+/// Vector-clock HB analysis (`Unopt-HB` in the paper's tables).
+///
+/// Last-access metadata `Wx`/`Rx` are full vector clocks; every race check is
+/// a pointwise comparison costing `O(T)` — the cost FastTrack's epochs remove.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_detect::{run_detector, Detector, UnoptHb};
+/// use smarttrack_trace::{Op, ThreadId, TraceBuilder, VarId};
+///
+/// let mut b = TraceBuilder::new();
+/// b.push(ThreadId::new(0), Op::Write(VarId::new(0)))?;
+/// b.push(ThreadId::new(1), Op::Write(VarId::new(0)))?;
+/// let mut det = UnoptHb::new();
+/// run_detector(&mut det, &b.finish());
+/// assert_eq!(det.report().dynamic_count(), 1);
+/// # Ok::<(), smarttrack_trace::TraceError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UnoptHb {
+    sync: HbSyncState,
+    write_vc: Vec<VectorClock>,
+    read_vc: Vec<VectorClock>,
+    report: Report,
+}
+
+impl UnoptHb {
+    /// Creates the analysis with empty state.
+    pub fn new() -> Self {
+        UnoptHb::default()
+    }
+
+    fn racing_threads(meta: &VectorClock, now: &VectorClock) -> Vec<ThreadId> {
+        meta.iter_nonzero()
+            .filter(|&(u, c)| c > now.get(u))
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let local = self.sync.local(t);
+        let rx = slot(&mut self.read_vc, x.index());
+        // §5.1: the Unopt implementations perform a [Shared Same Epoch]-like
+        // check at reads and writes.
+        if rx.get(t) == local && local != 0 {
+            return;
+        }
+        rx.set(t, local);
+        let now = self.sync.clock_ref(t);
+        let wx = slot(&mut self.write_vc, x.index());
+        let prior = Self::racing_threads(wx, now);
+        if !prior.is_empty() {
+            self.report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Read,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    fn write(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
+        let local = self.sync.local(t);
+        let wx = slot(&mut self.write_vc, x.index());
+        if wx.get(t) == local && local != 0 {
+            return; // same-epoch-like fast path
+        }
+        let now = self.sync.clock_ref(t);
+        let wx = slot(&mut self.write_vc, x.index());
+        let mut prior = Self::racing_threads(wx, now);
+        wx.set(t, local);
+        let rx = slot(&mut self.read_vc, x.index());
+        for u in Self::racing_threads(rx, now) {
+            if !prior.contains(&u) {
+                prior.push(u);
+            }
+        }
+        if !prior.is_empty() {
+            self.report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Write,
+                prior_threads: prior,
+            });
+        }
+    }
+}
+
+impl Detector for UnoptHb {
+    fn name(&self) -> &'static str {
+        "Unopt-HB"
+    }
+
+    fn relation(&self) -> Relation {
+        Relation::Hb
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        OptLevel::Unopt
+    }
+
+    fn process(&mut self, id: EventId, event: &Event) {
+        let t = event.tid;
+        match event.op {
+            Op::Read(x) => self.read(id, t, x, event.loc),
+            Op::Write(x) => self.write(id, t, x, event.loc),
+            Op::Acquire(m) => self.sync.acquire(t, m),
+            Op::Release(m) => self.sync.release(t, m),
+            Op::Fork(u) => self.sync.fork(t, u),
+            Op::Join(u) => self.sync.join(t, u),
+            Op::VolatileRead(v) => self.sync.volatile_read(t, v),
+            Op::VolatileWrite(v) => self.sync.volatile_write(t, v),
+        }
+    }
+
+    fn report(&self) -> &Report {
+        &self.report
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.sync.footprint_bytes()
+            + vc_table_bytes(&self.write_vc)
+            + vc_table_bytes(&self.read_vc)
+            + self.report.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_detector;
+    use smarttrack_trace::{LockId, TraceBuilder};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    fn run(b: TraceBuilder) -> Report {
+        let mut det = UnoptHb::new();
+        run_detector(&mut det, &b.finish());
+        det.report().clone()
+    }
+
+    #[test]
+    fn detects_unsynchronized_write_write() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 1);
+        assert_eq!(r.races()[0].kind, AccessKind::Write);
+        assert_eq!(r.races()[0].prior_threads, vec![t(0)]);
+    }
+
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        let mut b = TraceBuilder::new();
+        for i in 0..2 {
+            b.push(t(i), Op::Acquire(m(0))).unwrap();
+            b.push(t(i), Op::Write(x(0))).unwrap();
+            b.push(t(i), Op::Release(m(0))).unwrap();
+        }
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn read_write_race_detected_at_write() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 1);
+        assert_eq!(r.races()[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn write_read_race_detected_at_read() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 1);
+        assert_eq!(r.races()[0].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn fork_orders_parent_before_child() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Fork(t(1))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn join_orders_child_before_parent() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Fork(t(1))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Join(t(1))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn volatile_write_read_orders_accesses() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::VolatileWrite(VarId::new(0))).unwrap();
+        b.push(t(1), Op::VolatileRead(VarId::new(0))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn volatile_read_does_not_publish() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::VolatileRead(VarId::new(0))).unwrap();
+        b.push(t(1), Op::VolatileRead(VarId::new(0))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        assert_eq!(run(b).dynamic_count(), 1);
+    }
+
+    #[test]
+    fn misses_figure1_predictable_race() {
+        let r = {
+            let mut det = UnoptHb::new();
+            run_detector(&mut det, &smarttrack_trace::paper::figure1());
+            det.report().clone()
+        };
+        assert!(r.is_empty(), "HB analysis must miss the Figure 1 race");
+    }
+
+    #[test]
+    fn write_after_racing_read_still_updates_metadata() {
+        // Our FT2 handling of detected races keeps analyzing (§5.1).
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap(); // race 1
+        b.push(t(2), Op::Write(x(0))).unwrap(); // race 2 (with T0 and T1)
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 2);
+        assert_eq!(r.races()[1].prior_threads.len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+
+//! The eleven race-detection analyses evaluated by the SmartTrack paper.
+//!
+//! This crate implements every cell of the paper's Table 1:
+//!
+//! | relation | Unopt (w/ or w/o graph) | Epochs | + Ownership | + CCS optimizations |
+//! |----------|------------------------|--------|-------------|---------------------|
+//! | HB       | [`UnoptHb`]            | [`Ft2`]| [`FtoHb`]   | N/A                 |
+//! | WCP      | [`UnoptWcp`]           | —      | [`FtoWcp`]  | [`SmartTrackWcp`]   |
+//! | DC       | [`UnoptDc`]            | —      | [`FtoDc`]   | [`SmartTrackDc`]    |
+//! | WDC      | [`UnoptWdc`]           | —      | [`FtoWdc`]  | [`SmartTrackWdc`]   |
+//!
+//! All detectors implement the [`Detector`] trait and are driven by
+//! [`run_detector`], which also samples peak metadata footprint (the paper's
+//! memory-usage metric). Races are collected in a [`Report`] that counts both
+//! *dynamic* races (one per access event that fails at least one race check,
+//! §5.1) and *statically distinct* races (distinct program locations, §5.6).
+//!
+//! # Examples
+//!
+//! Detect the predictable race of the paper's Figure 1, which HB analysis
+//! misses:
+//!
+//! ```
+//! use smarttrack_detect::{run_detector, Detector, FtoHb, SmartTrackDc};
+//! use smarttrack_trace::paper;
+//!
+//! let trace = paper::figure1();
+//! let mut hb = FtoHb::new();
+//! run_detector(&mut hb, &trace);
+//! assert_eq!(hb.report().dynamic_count(), 0);
+//!
+//! let mut dc = SmartTrackDc::new();
+//! run_detector(&mut dc, &trace);
+//! assert_eq!(dc.report().dynamic_count(), 1);
+//! ```
+
+mod api;
+mod common;
+mod counters;
+mod graph;
+mod queues;
+mod report;
+
+mod ccs;
+mod dc;
+mod hb;
+mod lockset;
+mod wcp;
+
+pub use api::{run_detector, Detector, OptLevel, Relation, RunSummary};
+pub use ccs::{CcsFidelity, CsEntry, CsList};
+pub use counters::{FtoCase, FtoCaseCounters};
+pub use dc::{FtoDc, FtoWdc, SmartTrackDc, SmartTrackWdc, UnoptDc, UnoptWdc};
+pub use graph::{ConstraintGraph, EdgeKind};
+pub use hb::{Ft2, FtoHb, RoadRunnerFt2, UnoptHb};
+pub use lockset::EraserLockset;
+pub use report::{AccessKind, RaceReport, Report};
+pub use wcp::{FtoWcp, SmartTrackWcp, UnoptWcp};
+
+/// Constructs a boxed detector for a (relation, optimization level) pair.
+///
+/// Returns `None` for the paper's N/A cells (SmartTrack-HB does not exist —
+/// HB analysis has no conflicting critical sections to optimize — and "Epochs"
+/// without ownership exists only for HB as FastTrack2).
+///
+/// `with_graph` selects the Unopt "w/ G" variants that additionally build a
+/// constraint graph for vindication (only available for DC and WDC, per
+/// Table 1).
+pub fn make_detector(
+    relation: Relation,
+    level: OptLevel,
+    with_graph: bool,
+) -> Option<Box<dyn Detector>> {
+    use {OptLevel::*, Relation::*};
+    match (relation, level, with_graph) {
+        (Hb, Unopt, false) => Some(Box::new(UnoptHb::new())),
+        (Hb, Epochs, false) => Some(Box::new(Ft2::new())),
+        (Hb, Fto, false) => Some(Box::new(FtoHb::new())),
+        (Wcp, Unopt, false) => Some(Box::new(UnoptWcp::new())),
+        (Wcp, Fto, false) => Some(Box::new(FtoWcp::new())),
+        (Wcp, SmartTrack, false) => Some(Box::new(SmartTrackWcp::new())),
+        (Dc, Unopt, g) => Some(Box::new(UnoptDc::with_graph_recording(g))),
+        (Dc, Fto, false) => Some(Box::new(FtoDc::new())),
+        (Dc, SmartTrack, false) => Some(Box::new(SmartTrackDc::new())),
+        (Wdc, Unopt, g) => Some(Box::new(UnoptWdc::with_graph_recording(g))),
+        (Wdc, Fto, false) => Some(Box::new(FtoWdc::new())),
+        (Wdc, SmartTrack, false) => Some(Box::new(SmartTrackWdc::new())),
+        _ => None,
+    }
+}
+
+/// All valid `(relation, level, with_graph)` combinations of Table 1, in the
+/// paper's presentation order.
+pub fn table1_configs() -> Vec<(Relation, OptLevel, bool)> {
+    use {OptLevel::*, Relation::*};
+    vec![
+        (Hb, Unopt, false),
+        (Hb, Epochs, false),
+        (Hb, Fto, false),
+        (Wcp, Unopt, false),
+        (Wcp, Fto, false),
+        (Wcp, SmartTrack, false),
+        (Dc, Unopt, true),
+        (Dc, Unopt, false),
+        (Dc, Fto, false),
+        (Dc, SmartTrack, false),
+        (Wdc, Unopt, true),
+        (Wdc, Unopt, false),
+        (Wdc, Fto, false),
+        (Wdc, SmartTrack, false),
+    ]
+}

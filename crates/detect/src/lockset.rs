@@ -1,0 +1,389 @@
+//! Eraser-style lockset analysis — the classic related-work baseline.
+//!
+//! The paper's §6 contrasts partial-order race detection with "lockset
+//! analysis, which detects races that violate a lock set discipline, but
+//! inherently reports false races" (Savage et al. 1997). This module
+//! implements the Eraser state machine so that claim is checkable in this
+//! repository: on executions ordered only by fork/join or by the ordering
+//! the predictive relations track, lockset analysis reports races that no
+//! HB/WCP/DC/WDC analysis reports and that the exhaustive oracle refutes.
+//!
+//! [`EraserLockset`] deliberately does *not* implement [`Detector`]: it
+//! computes no partial order and belongs to none of the paper's Table 1
+//! cells. It mirrors the detector calling convention (`process`, `report`,
+//! `footprint_bytes`) so harnesses can run it side by side.
+//!
+//! [`Detector`]: crate::Detector
+//!
+//! # Examples
+//!
+//! Eraser finds the paper's Figure 1 race (no lock protects `x`), but also
+//! falsely reports the fork/join-ordered handoff that every happens-before
+//! and predictive analysis correctly ignores:
+//!
+//! ```
+//! use smarttrack_detect::EraserLockset;
+//! use smarttrack_trace::{paper, Op, ThreadId, TraceBuilder, VarId};
+//!
+//! let mut eraser = EraserLockset::new();
+//! eraser.run(&paper::figure1());
+//! assert_eq!(eraser.report().dynamic_count(), 1);
+//!
+//! let mut b = TraceBuilder::new();
+//! let (parent, child) = (ThreadId::new(0), ThreadId::new(1));
+//! let x = VarId::new(0);
+//! b.push(parent, Op::Write(x))?;
+//! b.push(parent, Op::Fork(child))?;
+//! b.push(child, Op::Write(x))?; // ordered by the fork: not a race
+//! let mut eraser = EraserLockset::new();
+//! eraser.run(&b.finish());
+//! assert_eq!(eraser.report().dynamic_count(), 1); // false positive
+//! # Ok::<(), smarttrack_trace::TraceError>(())
+//! ```
+
+use smarttrack_clock::ThreadId;
+use smarttrack_trace::{Event, EventId, LockId, Loc, Op, Trace, VarId};
+
+use crate::common::{slot, HeldLocks};
+use crate::report::{AccessKind, RaceReport, Report};
+
+/// A candidate lockset: the locks that have protected every access to a
+/// variable so far, kept sorted for cheap intersection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct LockSet(Vec<LockId>);
+
+impl LockSet {
+    fn from_held(held: &[LockId]) -> Self {
+        let mut locks = held.to_vec();
+        locks.sort_unstable();
+        locks.dedup();
+        LockSet(locks)
+    }
+
+    /// Intersects with the locks currently held (`C(x) := C(x) ∩ held`).
+    fn intersect_held(&mut self, held: &[LockId]) {
+        self.0.retain(|l| held.contains(l));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Eraser's per-variable ownership state machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+enum VarState {
+    /// Never accessed.
+    #[default]
+    Virgin,
+    /// Accessed by a single thread so far; no lockset refinement yet (the
+    /// first thread may initialize without locks).
+    Exclusive(ThreadId),
+    /// Read by multiple threads, never written since becoming shared;
+    /// lockset refined but an empty set is not yet reported.
+    Shared(LockSet),
+    /// Written while shared: an empty lockset is a discipline violation.
+    SharedModified(LockSet),
+    /// Violation already reported; Eraser reports once per variable.
+    Reported,
+}
+
+/// Eraser lockset analysis (Savage et al. 1997), the §6 baseline.
+///
+/// Tracks a candidate lockset per variable and reports a discipline
+/// violation when it empties. Not a [`Detector`]: it computes no partial
+/// order and sits outside the paper's Table 1 — see the example below for
+/// the false positive that distinction buys.
+///
+/// [`Detector`]: crate::Detector
+#[derive(Clone, Debug, Default)]
+pub struct EraserLockset {
+    held: HeldLocks,
+    states: Vec<VarState>,
+    report: Report,
+}
+
+impl EraserLockset {
+    /// Creates the analysis with every variable Virgin.
+    pub fn new() -> Self {
+        EraserLockset::default()
+    }
+
+    /// Processes one event. Lock operations update held-lock state; plain
+    /// accesses drive the per-variable state machine. Fork/join and
+    /// volatile operations are ignored — Eraser tracks no ordering, which
+    /// is exactly where its false positives come from.
+    pub fn process(&mut self, id: EventId, event: &Event) {
+        match event.op {
+            Op::Acquire(m) => self.held.acquire(event.tid, m),
+            Op::Release(m) => self.held.release(event.tid, m),
+            Op::Read(x) => self.access(id, event, x, AccessKind::Read),
+            Op::Write(x) => self.access(id, event, x, AccessKind::Write),
+            Op::Fork(_) | Op::Join(_) | Op::VolatileRead(_) | Op::VolatileWrite(_) => {}
+        }
+    }
+
+    /// Runs the analysis over a whole trace.
+    pub fn run(&mut self, trace: &Trace) {
+        for (id, event) in trace.iter() {
+            self.process(id, event);
+        }
+    }
+
+    /// The discipline violations reported so far (one per variable, at the
+    /// access where the candidate lockset first became empty).
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Approximate live metadata bytes (state machine + locksets).
+    pub fn footprint_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<VarState>()
+            + self
+                .states
+                .iter()
+                .map(|s| match s {
+                    VarState::Shared(c) | VarState::SharedModified(c) => {
+                        c.0.capacity() * std::mem::size_of::<LockId>()
+                    }
+                    _ => 0,
+                })
+                .sum::<usize>()
+            + self.held.footprint_bytes()
+    }
+
+    fn access(&mut self, id: EventId, event: &Event, x: VarId, kind: AccessKind) {
+        let t = event.tid;
+        let held = self.held.of(t).to_vec();
+        let state = slot(&mut self.states, x.index());
+        *state = match std::mem::take(state) {
+            VarState::Virgin => VarState::Exclusive(t),
+            VarState::Exclusive(owner) if owner == t => VarState::Exclusive(t),
+            VarState::Exclusive(_) => {
+                // Second thread: start refining from the locks it holds.
+                let candidates = LockSet::from_held(&held);
+                match kind {
+                    AccessKind::Read => VarState::Shared(candidates),
+                    AccessKind::Write => {
+                        Self::check(&mut self.report, &candidates, id, event.loc, t, x, kind)
+                    }
+                }
+            }
+            VarState::Shared(mut candidates) => {
+                candidates.intersect_held(&held);
+                match kind {
+                    // Read-only sharing is allowed even with an empty
+                    // lockset (Eraser's read-share refinement).
+                    AccessKind::Read => VarState::Shared(candidates),
+                    AccessKind::Write => {
+                        Self::check(&mut self.report, &candidates, id, event.loc, t, x, kind)
+                    }
+                }
+            }
+            VarState::SharedModified(mut candidates) => {
+                candidates.intersect_held(&held);
+                Self::check(&mut self.report, &candidates, id, event.loc, t, x, kind)
+            }
+            VarState::Reported => VarState::Reported,
+        };
+    }
+
+    /// Reports a violation if the candidate set is empty, and returns the
+    /// variable's next state.
+    fn check(
+        report: &mut Report,
+        candidates: &LockSet,
+        id: EventId,
+        loc: Loc,
+        t: ThreadId,
+        x: VarId,
+        kind: AccessKind,
+    ) -> VarState {
+        if candidates.is_empty() {
+            report.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind,
+                prior_threads: Vec::new(),
+            });
+            VarState::Reported
+        } else {
+            VarState::SharedModified(candidates.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_trace::{paper, TraceBuilder};
+
+    fn run(trace: &Trace) -> usize {
+        let mut eraser = EraserLockset::new();
+        eraser.run(trace);
+        eraser.report().dynamic_count()
+    }
+
+    #[test]
+    fn detects_figure1s_unprotected_race() {
+        assert_eq!(run(&paper::figure1()), 1);
+    }
+
+    #[test]
+    fn consistent_lock_discipline_is_silent() {
+        // Two threads, every access to x under m: no violation.
+        let mut b = TraceBuilder::new();
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let x = VarId::new(0);
+        let m = LockId::new(0);
+        for &t in &[t0, t1, t0, t1] {
+            b.push(t, Op::Acquire(m)).unwrap();
+            b.push(t, Op::Write(x)).unwrap();
+            b.push(t, Op::Read(x)).unwrap();
+            b.push(t, Op::Release(m)).unwrap();
+        }
+        assert_eq!(run(&b.finish()), 0);
+    }
+
+    #[test]
+    fn candidate_set_refines_to_the_common_lock() {
+        // t0 holds {m, n}; t1 holds {m}: candidate set shrinks to {m} but
+        // stays non-empty, so no report.
+        let mut b = TraceBuilder::new();
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let x = VarId::new(0);
+        let (m, n) = (LockId::new(0), LockId::new(1));
+        b.push(t0, Op::Acquire(m)).unwrap();
+        b.push(t0, Op::Acquire(n)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(n)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::Acquire(m)).unwrap();
+        b.push(t1, Op::Write(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        let mut eraser = EraserLockset::new();
+        eraser.run(&b.finish());
+        assert_eq!(eraser.report().dynamic_count(), 0);
+        assert_eq!(
+            eraser.states[x.index()],
+            VarState::SharedModified(LockSet(vec![m]))
+        );
+    }
+
+    #[test]
+    fn fork_join_ordering_is_a_false_positive() {
+        // wr(x); fork(u); u: wr(x); join(u); wr(x) — fully ordered, race
+        // free (and reported as such by every Detector), but Eraser has no
+        // ordering and reports a violation at the child's write.
+        let mut b = TraceBuilder::new();
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let x = VarId::new(0);
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Fork(t1)).unwrap();
+        b.push(t1, Op::Write(x)).unwrap();
+        b.push(t0, Op::Join(t1)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        let trace = b.finish();
+        assert_eq!(run(&trace), 1);
+
+        // Ground truth and the full analysis matrix agree: no race.
+        for relation in crate::Relation::ALL {
+            for opt in [crate::OptLevel::Unopt, crate::OptLevel::Fto] {
+                if let Some(mut det) = crate::make_detector(relation, opt, false) {
+                    crate::run_detector(det.as_mut(), &trace);
+                    assert_eq!(
+                        det.report().dynamic_count(),
+                        0,
+                        "{relation}/{opt} must not report the ordered handoff"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_sharing_is_allowed_until_a_write() {
+        // One writer initializes, many lock-free readers: fine (Shared).
+        // A later unprotected write makes it a violation.
+        let mut b = TraceBuilder::new();
+        let x = VarId::new(0);
+        b.push(ThreadId::new(0), Op::Write(x)).unwrap();
+        b.push(ThreadId::new(1), Op::Read(x)).unwrap();
+        b.push(ThreadId::new(2), Op::Read(x)).unwrap();
+        let readers_only = b.len();
+        b.push(ThreadId::new(0), Op::Write(x)).unwrap();
+        let trace = b.finish();
+
+        let mut eraser = EraserLockset::new();
+        for (id, event) in trace.iter().take(readers_only) {
+            eraser.process(id, event);
+        }
+        assert_eq!(eraser.report().dynamic_count(), 0, "read sharing tolerated");
+        for (id, event) in trace.iter().skip(readers_only) {
+            eraser.process(id, event);
+        }
+        assert_eq!(eraser.report().dynamic_count(), 1, "write while shared");
+    }
+
+    #[test]
+    fn reports_once_per_variable() {
+        let mut b = TraceBuilder::new();
+        let x = VarId::new(0);
+        for i in 0..6 {
+            b.push(ThreadId::new(i % 2), Op::Write(x)).unwrap();
+        }
+        assert_eq!(run(&b.finish()), 1);
+    }
+
+    #[test]
+    fn exclusive_owner_may_reaccess_without_locks() {
+        let mut b = TraceBuilder::new();
+        let x = VarId::new(0);
+        for _ in 0..4 {
+            b.push(ThreadId::new(0), Op::Write(x)).unwrap();
+            b.push(ThreadId::new(0), Op::Read(x)).unwrap();
+        }
+        assert_eq!(run(&b.finish()), 0);
+    }
+
+    #[test]
+    fn figure3_is_a_lockset_false_positive_too() {
+        // Figure 3 has no predictable race (the oracle proves it; DC's
+        // rule (b) suppresses it), but T3's wr(x) holds no lock while T1
+        // read x under m: Eraser reports it.
+        assert_eq!(run(&paper::figure3()), 1);
+    }
+
+    #[test]
+    fn misses_the_write_then_read_race_that_hb_reports() {
+        // The other half of Eraser's imprecision: a lock-free write followed
+        // by a lock-free read from another thread is an HB-race (nothing
+        // orders the pair), but Eraser's Exclusive→Shared transition treats
+        // it as benign initialization and stays silent.
+        let mut b = TraceBuilder::new();
+        let x = VarId::new(0);
+        b.push(ThreadId::new(0), Op::Write(x)).unwrap();
+        b.push(ThreadId::new(1), Op::Read(x)).unwrap();
+        let trace = b.finish();
+        assert_eq!(run(&trace), 0, "Eraser misses it");
+
+        use crate::Detector as _;
+        let mut hb = crate::FtoHb::new();
+        crate::run_detector(&mut hb, &trace);
+        assert_eq!(hb.report().dynamic_count(), 1, "HB analysis reports it");
+    }
+
+    #[test]
+    fn footprint_grows_with_tracked_variables() {
+        let mut eraser = EraserLockset::new();
+        let before = eraser.footprint_bytes();
+        let mut b = TraceBuilder::new();
+        for v in 0..64 {
+            b.push(ThreadId::new(0), Op::Write(VarId::new(v))).unwrap();
+        }
+        eraser.run(&b.finish());
+        assert!(eraser.footprint_bytes() > before);
+    }
+}

@@ -1,0 +1,443 @@
+//! Acquire/release queues implementing DC rule (b) and WCP rule (b).
+//!
+//! DC analysis needs, for each lock `m` and each *pair* of threads `(t, t')`,
+//! a queue `Acq_{m,t}(t')` of the times of `t'`-acquires of `m` not yet known
+//! to be DC-ordered to a `t`-release of `m`, plus the matching release times
+//! `Rel_{m,t}(t')` (paper Algorithm 1; §2.5 calls this out as a significant
+//! cost). WCP analysis gets away with per-lock per-*thread* queues because
+//! WCP composes with HB (footnote 6).
+//!
+//! The DC queues are realized as one append-only acquire/release log per
+//! `(lock, acquiring thread)` plus a consumption cursor per releasing thread:
+//! semantically identical to the paper's per-pair queues (each releaser sees
+//! exactly the suffix it has not yet ordered), but robust to threads that
+//! start mid-trace, with periodic compaction of fully-consumed prefixes.
+//!
+//! Two acquire-entry representations exist, matching the paper's optimization
+//! levels: full vector clocks (Unopt/FTO) and epochs (SmartTrack).
+
+use smarttrack_clock::{ClockValue, ThreadId, VectorClock};
+use smarttrack_trace::{EventId, LockId};
+
+use crate::common::slot;
+
+/// An acquire entry: the acquire's time in its thread's clock, either a full
+/// vector clock (Unopt, FTO) or just the local clock value (SmartTrack).
+#[derive(Clone, Debug)]
+pub enum AcqEntry {
+    /// Full vector clock of the acquiring thread at the acquire.
+    Vc(VectorClock),
+    /// The acquiring thread's local clock component (SmartTrack's epoch
+    /// optimization, sound because threads increment at every acquire).
+    Epoch(ClockValue),
+}
+
+impl AcqEntry {
+    /// Whether the recorded acquire (by thread `owner`) is ordered before the
+    /// releasing thread's current time `now`.
+    #[inline]
+    fn ordered_before(&self, owner: ThreadId, now: &VectorClock) -> bool {
+        match self {
+            AcqEntry::Vc(vc) => vc.leq(now),
+            AcqEntry::Epoch(c) => *c <= now.get(owner),
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        match self {
+            AcqEntry::Vc(vc) => vc.footprint_bytes(),
+            AcqEntry::Epoch(_) => 0,
+        }
+    }
+}
+
+/// A release entry: the release time (always a full clock — it gets joined
+/// into the consumer) plus the release's event id for graph recording.
+#[derive(Clone, Debug)]
+pub struct RelEntry {
+    /// Clock of the releasing thread at the release.
+    pub clock: VectorClock,
+    /// The release event (for "w/ G" edge recording).
+    pub event: EventId,
+}
+
+/// Append-only log of one thread's critical sections on one lock.
+#[derive(Clone, Debug, Default)]
+struct CsLog {
+    /// Index of the first retained entry (earlier ones were compacted away).
+    base: usize,
+    acq: Vec<AcqEntry>,
+    rel: Vec<RelEntry>,
+}
+
+impl CsLog {
+    fn len_total(&self) -> usize {
+        self.base + self.acq.len()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.acq.iter().map(AcqEntry::footprint_bytes).sum::<usize>()
+            + self.acq.capacity() * std::mem::size_of::<AcqEntry>()
+            + self.rel.iter().map(|r| r.clock.footprint_bytes()).sum::<usize>()
+            + self.rel.capacity() * std::mem::size_of::<RelEntry>()
+    }
+}
+
+/// The DC rule (b) queues (`Acq_{m,t}(t')` / `Rel_{m,t}(t')`).
+#[derive(Clone, Debug, Default)]
+pub struct DcRuleBQueues {
+    /// `logs[m][t']` — acquire/release log of thread `t'` on lock `m`.
+    logs: Vec<Vec<CsLog>>,
+    /// `cursors[m][t][t']` — how much of `logs[m][t']` releaser `t` consumed.
+    cursors: Vec<Vec<Vec<usize>>>,
+    /// Total thread count, if known: enables sound compaction (an entry can
+    /// only be dropped once *every* possible releaser has consumed it).
+    thread_bound: Option<usize>,
+}
+
+impl DcRuleBQueues {
+    /// Creates empty queues.
+    pub fn new() -> Self {
+        DcRuleBQueues::default()
+    }
+
+    /// Declares the total number of threads the trace will ever use, which
+    /// enables compaction of fully-consumed log prefixes. Without a bound,
+    /// logs retain all entries (a single shared copy per entry — at most the
+    /// retention of the paper's per-pair queues, which clone each entry into
+    /// `T − 1` queues).
+    pub fn set_thread_bound(&mut self, threads: usize) {
+        self.thread_bound = Some(threads);
+    }
+
+    fn log_mut(&mut self, m: LockId, t: ThreadId) -> &mut CsLog {
+        let lock = slot(&mut self.logs, m.index());
+        slot(lock, t.index())
+    }
+
+    /// Handles `acq(m)` by `t` (Algorithm 1 line 2 / Algorithm 3 line 2).
+    pub fn on_acquire(&mut self, m: LockId, t: ThreadId, entry: &AcqEntry) {
+        self.log_mut(m, t).acq.push(entry.clone());
+    }
+
+    /// Handles `rel(m)` by `t` (Algorithm 1 lines 4–8): consumes every other
+    /// thread's acquires that are ordered before `now`, joining the matching
+    /// release times into `now`; then appends `now` as `t`'s own release
+    /// entry.
+    ///
+    /// Calls `on_rule_b(release_event)` for each rule (b) join, so
+    /// graph-building variants can record edges.
+    pub fn on_release(
+        &mut self,
+        m: LockId,
+        t: ThreadId,
+        now: &mut VectorClock,
+        release_event: EventId,
+        mut on_rule_b: impl FnMut(EventId),
+    ) {
+        let lock_logs = slot(&mut self.logs, m.index());
+        let nthreads = lock_logs.len().max(t.index() + 1);
+        if lock_logs.len() < nthreads {
+            lock_logs.resize_with(nthreads, CsLog::default);
+        }
+        let lock_cursors = slot(&mut self.cursors, m.index());
+        if lock_cursors.len() < nthreads {
+            lock_cursors.resize_with(nthreads, Vec::new);
+        }
+        let row = &mut lock_cursors[t.index()];
+        if row.len() < nthreads {
+            row.resize(nthreads, 0);
+        }
+        for (u, log) in lock_logs.iter().enumerate() {
+            if u == t.index() {
+                continue;
+            }
+            let owner = ThreadId::new(u as u32);
+            let cursor = &mut row[u];
+            if *cursor < log.base {
+                *cursor = log.base;
+            }
+            while *cursor < log.len_total() {
+                let i = *cursor - log.base;
+                if !log.acq[i].ordered_before(owner, now) {
+                    break;
+                }
+                let rel = log
+                    .rel
+                    .get(i)
+                    .expect("matching release precedes this release (well-formed trace)");
+                now.join(&rel.clock);
+                on_rule_b(rel.event);
+                *cursor += 1;
+            }
+        }
+        // Publish t's own release (matching its oldest un-released acquire).
+        let own = &mut lock_logs[t.index()];
+        own.rel.push(RelEntry {
+            clock: now.clone(),
+            event: release_event,
+        });
+        debug_assert!(own.rel.len() <= own.acq.len(), "release without acquire");
+        self.compact(m);
+    }
+
+    /// Drops log prefixes that every possible releaser has consumed.
+    /// Requires [`DcRuleBQueues::set_thread_bound`]; otherwise a future
+    /// thread might still need old entries (DC has no HB composition to
+    /// recover them) and nothing is dropped.
+    fn compact(&mut self, m: LockId) {
+        const COMPACT_THRESHOLD: usize = 64;
+        let Some(bound) = self.thread_bound else {
+            return;
+        };
+        let lock_logs = &mut self.logs[m.index()];
+        let lock_cursors = match self.cursors.get(m.index()) {
+            Some(c) => c,
+            None => return,
+        };
+        for (u, log) in lock_logs.iter_mut().enumerate() {
+            if log.rel.len() < COMPACT_THRESHOLD {
+                continue;
+            }
+            let min_consumed = (0..bound)
+                .filter(|&t| t != u)
+                .map(|t| {
+                    lock_cursors
+                        .get(t)
+                        .and_then(|row| row.get(u))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .min()
+                .unwrap_or(0);
+            // Only entries that are both consumed by everyone and released
+            // can be dropped.
+            let drop_to = min_consumed.min(log.base + log.rel.len());
+            if drop_to > log.base {
+                let n = drop_to - log.base;
+                log.acq.drain(..n);
+                log.rel.drain(..n);
+                log.base = drop_to;
+            }
+        }
+    }
+
+    /// Approximate heap bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.logs
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(CsLog::footprint_bytes)
+            .sum::<usize>()
+            + self
+                .cursors
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(|r| r.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
+}
+
+/// The WCP rule (b) queues: per lock, per *acquiring thread* (not per pair),
+/// consumable by any releasing thread because WCP composes with HB.
+///
+/// Acquire entries are epochs of the acquirer's HB clock; release entries are
+/// full HB clocks of the matching releases.
+#[derive(Clone, Debug, Default)]
+pub struct WcpRuleBQueues {
+    /// `per_lock[m][t']` — shared acquire/release queue of `m`-critical
+    /// sections by `t'`, with a single consumption cursor.
+    per_lock: Vec<Vec<CsLog>>,
+}
+
+impl WcpRuleBQueues {
+    /// Creates empty queues.
+    pub fn new() -> Self {
+        WcpRuleBQueues::default()
+    }
+
+    fn log_mut(&mut self, m: LockId, t: ThreadId) -> &mut CsLog {
+        let lock = slot(&mut self.per_lock, m.index());
+        slot(lock, t.index())
+    }
+
+    /// Records `acq(m)` by `t` with local HB clock value `local`.
+    pub fn on_acquire(&mut self, m: LockId, t: ThreadId, local: ClockValue) {
+        self.log_mut(m, t).acq.push(AcqEntry::Epoch(local));
+    }
+
+    /// Records the release time matching the oldest un-matched acquire of `m`
+    /// by `t` (call at `rel(m)` by `t` after [`WcpRuleBQueues::consume`]).
+    pub fn on_release_publish(&mut self, m: LockId, t: ThreadId, hb: &VectorClock, event: EventId) {
+        let log = self.log_mut(m, t);
+        log.rel.push(RelEntry {
+            clock: hb.clone(),
+            event,
+        });
+        debug_assert!(log.rel.len() <= log.acq.len(), "release without acquire");
+    }
+
+    /// At `rel(m)` by `t`: consumes every other thread's acquires that are
+    /// WCP-ordered before the current release (checked against the releaser's
+    /// WCP clock `wcp`), joining the matching releases' HB clocks into `wcp`.
+    ///
+    /// Consumption is destructive across releasers; that is sound for WCP
+    /// because a later release of the same lock is HB-after this one and WCP
+    /// left/right-composes with HB (footnote 6).
+    pub fn consume(
+        &mut self,
+        m: LockId,
+        t: ThreadId,
+        wcp: &mut VectorClock,
+        mut on_rule_b: impl FnMut(EventId),
+    ) {
+        let lock = slot(&mut self.per_lock, m.index());
+        for (u, log) in lock.iter_mut().enumerate() {
+            if u == t.index() {
+                continue;
+            }
+            let owner = ThreadId::new(u as u32);
+            while !log.acq.is_empty()
+                && !log.rel.is_empty()
+                && log.acq[0].ordered_before(owner, wcp)
+            {
+                log.acq.remove(0);
+                let rel = log.rel.remove(0);
+                wcp.join(&rel.clock);
+                on_rule_b(rel.event);
+            }
+        }
+    }
+
+    /// Approximate heap bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.per_lock
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(CsLog::footprint_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+    fn vc(pairs: &[(u32, u32)]) -> VectorClock {
+        pairs.iter().map(|&(t0, c)| (t(t0), c)).collect()
+    }
+
+    #[test]
+    fn dc_queue_joins_matching_release_when_acquire_ordered() {
+        let mut q = DcRuleBQueues::new();
+        // T0 acquires m at time [1,0]; releases at [3,0].
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])));
+        let mut rel0 = vc(&[(0, 3)]);
+        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), |_| {});
+        // T1 releases m with a clock that dominates T0's acquire: rule (b)
+        // fires and T1 absorbs T0's release time.
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 4)])));
+        let mut now = vc(&[(0, 2), (1, 5)]);
+        let mut fired = Vec::new();
+        q.on_release(m(0), t(1), &mut now, EventId::new(7), |e| fired.push(e));
+        assert_eq!(fired, vec![EventId::new(2)]);
+        assert_eq!(now.get(t(0)), 3, "absorbed T0's release time");
+    }
+
+    #[test]
+    fn dc_queue_leaves_unordered_acquires() {
+        let mut q = DcRuleBQueues::new();
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 4)])));
+        let mut rel0 = vc(&[(0, 5)]);
+        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), |_| {});
+        // T1's clock does not dominate the acquire time: no join.
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 8)])));
+        let mut now = vc(&[(1, 9)]);
+        let mut fired = 0;
+        q.on_release(m(0), t(1), &mut now, EventId::new(8), |_| fired += 1);
+        assert_eq!(fired, 0);
+        assert_eq!(now.get(t(0)), 0);
+    }
+
+    #[test]
+    fn dc_queue_consumption_is_per_releaser() {
+        let mut q = DcRuleBQueues::new();
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])));
+        let mut rel0 = vc(&[(0, 3)]);
+        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), |_| {});
+        // T1 consumes the entry.
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 4)])));
+        let mut now1 = vc(&[(0, 2), (1, 5)]);
+        let mut fired1 = 0;
+        q.on_release(m(0), t(1), &mut now1, EventId::new(7), |_| fired1 += 1);
+        assert_eq!(fired1, 1);
+        // T2 must *also* see the entry (DC has no HB composition to rely on).
+        q.on_acquire(m(0), t(2), &AcqEntry::Vc(vc(&[(2, 3)])));
+        let mut now2 = vc(&[(0, 2), (2, 4)]);
+        let mut fired2 = 0;
+        q.on_release(m(0), t(2), &mut now2, EventId::new(11), |_| fired2 += 1);
+        assert_eq!(fired2, 1, "per-pair queues: each releaser consumes independently");
+        assert_eq!(now2.get(t(0)), 3);
+    }
+
+    #[test]
+    fn dc_epoch_entries_match_vc_entries_given_acquire_increments() {
+        // With increments at acquires, the epoch check c <= now(owner) agrees
+        // with the full VC check on join-closed clocks.
+        let mut qv = DcRuleBQueues::new();
+        let mut qe = DcRuleBQueues::new();
+        qv.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 2)])));
+        qe.on_acquire(m(0), t(0), &AcqEntry::Epoch(2));
+        let mut r1 = vc(&[(0, 4)]);
+        let mut r2 = r1.clone();
+        qv.on_release(m(0), t(0), &mut r1, EventId::new(1), |_| {});
+        qe.on_release(m(0), t(0), &mut r2, EventId::new(1), |_| {});
+        for (q, name) in [(&mut qv, "vc"), (&mut qe, "epoch")] {
+            q.on_acquire(m(0), t(1), &AcqEntry::Epoch(2));
+            let mut now = vc(&[(0, 2), (1, 3)]);
+            let mut fired = 0;
+            q.on_release(m(0), t(1), &mut now, EventId::new(5), |_| fired += 1);
+            assert_eq!(fired, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn wcp_queue_is_shared_across_releasers() {
+        let mut q = WcpRuleBQueues::new();
+        q.on_acquire(m(0), t(0), 1);
+        q.on_release_publish(m(0), t(0), &vc(&[(0, 2)]), EventId::new(3));
+        // T1 releases with WCP knowledge of T0 up to 1: consumes the entry.
+        let mut wcp1 = vc(&[(0, 1)]);
+        let mut fired = 0;
+        q.consume(m(0), t(1), &mut wcp1, |_| fired += 1);
+        assert_eq!(fired, 1);
+        assert_eq!(wcp1.get(t(0)), 2);
+        // Entry is gone for T2 (WCP relies on HB composition instead).
+        let mut wcp2 = vc(&[(0, 1)]);
+        let mut fired2 = 0;
+        q.consume(m(0), t(2), &mut wcp2, |_| fired2 += 1);
+        assert_eq!(fired2, 0);
+    }
+
+    #[test]
+    fn dc_compaction_preserves_unconsumed_entries() {
+        let mut q = DcRuleBQueues::new();
+        // 100 critical sections by T0, none ordered for T1.
+        for i in 0..100u32 {
+            q.on_acquire(m(0), t(0), &AcqEntry::Epoch(1_000 + i));
+            let mut now = vc(&[(0, 1_000 + i)]);
+            q.on_release(m(0), t(0), &mut now, EventId::new(i), |_| {});
+        }
+        q.on_acquire(m(0), t(1), &AcqEntry::Epoch(2));
+        let mut now = vc(&[(0, 1_050), (1, 3)]);
+        let mut fired = 0;
+        q.on_release(m(0), t(1), &mut now, EventId::new(200), |_| fired += 1);
+        assert_eq!(fired, 51, "entries up to local time 1050 are ordered");
+    }
+}

@@ -1,0 +1,224 @@
+//! WCP analyses at all three optimization levels.
+//!
+//! WCP (weak-causally-precedes, Kini et al. 2017) is the sound predictive
+//! relation: it differs from DC by composing with HB instead of PO (§2.4).
+//! The analyses therefore track *two* clocks per thread — an HB clock `Ht`
+//! and a WCP clock `Pt` — and exploit HB composition in two ways:
+//!
+//! * release→acquire lock clocks propagate both HB and WCP knowledge
+//!   (right-composition with HB);
+//! * rule (a) and rule (b) join the *HB* clocks of the earlier releases into
+//!   `Pt` (left-composition with HB);
+//! * rule (b) needs only per-lock per-acquiring-thread queues instead of
+//!   per-pair queues (footnote 6).
+//!
+//! The race check is `metadata ⊑ Pt` with the current thread's own component
+//! compared against `Ht` (conflicting accesses are cross-thread, but own
+//! entries must pass trivially — PO is part of neither clock's cross
+//! entries).
+
+mod fto;
+mod st;
+mod unopt;
+
+pub use fto::FtoWcp;
+pub use st::SmartTrackWcp;
+pub use unopt::UnoptWcp;
+
+use smarttrack_clock::{ClockValue, Epoch, ThreadId, VectorClock};
+use smarttrack_trace::{LockId, VarId};
+
+use crate::common::{slot, vc_table_bytes};
+
+/// Dual HB/WCP clock state shared by the WCP analyses.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WcpClocks {
+    hb: Vec<VectorClock>,
+    wcp: Vec<VectorClock>,
+    hb_lock: Vec<VectorClock>,
+    wcp_lock: Vec<VectorClock>,
+    hb_vol: Vec<VectorClock>,
+}
+
+impl WcpClocks {
+    pub fn new() -> Self {
+        WcpClocks::default()
+    }
+
+    /// The HB clock `Ht`, initializing `Ht(t) = 1` on first use.
+    pub fn hb(&mut self, t: ThreadId) -> &mut VectorClock {
+        let c = slot(&mut self.hb, t.index());
+        if c.get(t) == 0 {
+            c.set(t, 1);
+        }
+        c
+    }
+
+    /// The WCP clock `Pt` (own entry is *not* mirrored from `Ht`; WCP does
+    /// not include PO).
+    pub fn wcp(&mut self, t: ThreadId) -> &mut VectorClock {
+        slot(&mut self.wcp, t.index())
+    }
+
+    /// Read-only view of `Pt`.
+    pub fn wcp_ref(&self, t: ThreadId) -> &VectorClock {
+        &self.wcp[t.index()]
+    }
+
+    /// `Ht(t)` — the local clock used for epochs and same-epoch checks.
+    pub fn local(&mut self, t: ThreadId) -> ClockValue {
+        self.hb(t).get(t)
+    }
+
+    /// `acq(m)`: `Ht ⊔= Hm; Pt ⊔= Pm` (right HB composition through the
+    /// lock), then increment (predictive analyses increment at acquires,
+    /// §5.1).
+    pub fn acquire(&mut self, t: ThreadId, m: LockId) {
+        let hm = slot(&mut self.hb_lock, m.index()).clone();
+        let pm = slot(&mut self.wcp_lock, m.index()).clone();
+        self.hb(t).join(&hm);
+        self.wcp(t).join(&pm);
+        self.increment(t);
+    }
+
+    /// Publishes `Hm ← Ht; Pm ← Pt` at `rel(m)` (after rule (b) consumption)
+    /// and increments.
+    pub fn release_publish(&mut self, t: ThreadId, m: LockId) {
+        let ht = self.hb(t).clone();
+        let pt = self.wcp(t).clone();
+        slot(&mut self.hb_lock, m.index()).assign(&ht);
+        slot(&mut self.wcp_lock, m.index()).assign(&pt);
+        self.increment(t);
+    }
+
+    /// `Ht(t) += 1`.
+    pub fn increment(&mut self, t: ThreadId) {
+        self.hb(t).increment(t);
+    }
+
+    /// Fork: hard edge — the child's HB *and* WCP clocks absorb the parent's
+    /// full HB clock (everything HB-before the fork is ordered before the
+    /// child in every relation, §5.1).
+    pub fn fork(&mut self, t: ThreadId, u: ThreadId) {
+        let ht = self.hb(t).clone();
+        self.hb(u).join(&ht);
+        self.wcp(u).join(&ht);
+        self.increment(t);
+    }
+
+    /// Join: hard edge from the child's last event.
+    pub fn join(&mut self, t: ThreadId, u: ThreadId) {
+        let hu = self.hb(u).clone();
+        self.hb(t).join(&hu);
+        self.wcp(t).join(&hu);
+        self.increment(t);
+    }
+
+    /// Volatile read: hard edge from the last volatile write.
+    pub fn volatile_read(&mut self, t: ThreadId, v: VarId) {
+        let hv = slot(&mut self.hb_vol, v.index()).clone();
+        self.hb(t).join(&hv);
+        self.wcp(t).join(&hv);
+        self.increment(t);
+    }
+
+    /// Volatile write: hard edge plus publication.
+    pub fn volatile_write(&mut self, t: ThreadId, v: VarId) {
+        let hv = slot(&mut self.hb_vol, v.index()).clone();
+        self.hb(t).join(&hv);
+        self.wcp(t).join(&hv);
+        let ht = self.hb(t).clone();
+        slot(&mut self.hb_vol, v.index()).assign(&ht);
+        self.increment(t);
+    }
+
+    /// Approximate heap bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        vc_table_bytes(&self.hb)
+            + vc_table_bytes(&self.wcp)
+            + vc_table_bytes(&self.hb_lock)
+            + vc_table_bytes(&self.wcp_lock)
+            + vc_table_bytes(&self.hb_vol)
+    }
+}
+
+/// The WCP ordering check for an epoch `c@u` against thread `t`'s clocks:
+/// own-thread entries are PO-ordered (compared against `Ht(t)`), cross-thread
+/// entries against `Pt(u)`.
+#[inline]
+pub(crate) fn wcp_epoch_ordered(
+    e: Epoch,
+    t: ThreadId,
+    h_own: ClockValue,
+    p: &VectorClock,
+) -> bool {
+    if e.is_none() {
+        return true;
+    }
+    if e.tid() == t {
+        e.clock() <= h_own
+    } else {
+        e.clock() <= p.get(e.tid())
+    }
+}
+
+/// Threads whose recorded accesses in `meta` are *not* WCP-ordered before the
+/// current access (the racing threads).
+pub(crate) fn wcp_racing_threads(
+    meta: &VectorClock,
+    t: ThreadId,
+    h_own: ClockValue,
+    p: &VectorClock,
+) -> Vec<ThreadId> {
+    meta.iter_nonzero()
+        .filter(|&(u, c)| if u == t { c > h_own } else { c > p.get(u) })
+        .map(|(u, _)| u)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn wcp_clock_does_not_mirror_po() {
+        let mut c = WcpClocks::new();
+        c.hb(t(0)).set(t(0), 5);
+        assert_eq!(c.wcp(t(0)).get(t(0)), 0, "Pt must not include own PO");
+    }
+
+    #[test]
+    fn lock_transfer_carries_wcp_knowledge() {
+        let mut c = WcpClocks::new();
+        let m = LockId::new(0);
+        c.wcp(t(0)).set(t(2), 9);
+        c.release_publish(t(0), m);
+        c.acquire(t(1), m);
+        assert_eq!(
+            c.wcp(t(1)).get(t(2)),
+            9,
+            "WCP-before-release composes through HB to the next acquire"
+        );
+    }
+
+    #[test]
+    fn epoch_check_uses_hb_for_own_thread() {
+        let p = VectorClock::new();
+        assert!(wcp_epoch_ordered(Epoch::new(t(0), 4), t(0), 5, &p));
+        assert!(!wcp_epoch_ordered(Epoch::new(t(1), 1), t(0), 5, &p));
+        assert!(wcp_epoch_ordered(Epoch::NONE, t(0), 0, &p));
+    }
+
+    #[test]
+    fn racing_threads_excludes_ordered_entries() {
+        let meta: VectorClock = [(t(0), 3), (t(1), 2), (t(2), 8)].into_iter().collect();
+        let p: VectorClock = [(t(1), 2)].into_iter().collect();
+        // current thread t0 with h_own = 3: own entry ordered; t1 ordered via
+        // P; t2 races.
+        assert_eq!(wcp_racing_threads(&meta, t(0), 3, &p), vec![t(2)]);
+    }
+}

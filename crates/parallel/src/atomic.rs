@@ -1,0 +1,202 @@
+//! Lock-free last-access mirrors: the paper's "volatile" epochs.
+//!
+//! §5.1: "An analysis can forgo synchronization for an access if a same-epoch
+//! check succeeds. To synchronize this lock-free check correctly, the read
+//! and write epochs in all analyses are volatile variables." An
+//! [`Epoch`](smarttrack_clock::Epoch) already packs into one `u64`
+//! (`c@t` = `t << 32 | c`), so a single atomic word is the exact Rust
+//! equivalent of RoadRunner's volatile epoch fields.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smarttrack_clock::Epoch;
+
+/// The raw value mirrored for a shared (vector-form) `Rx`.
+///
+/// Real epochs never use thread id `u32::MAX` (that id would collide with the
+/// `⊥ₑ` encoding for clock `u32::MAX`), so `(u32::MAX)@MAX-1` is free to act
+/// as the "read metadata is a vector clock" marker.
+const SHARED_RAW: u64 = u64::MAX - 1;
+
+/// The raw encoding of `⊥ₑ` (matches [`Epoch::NONE`]).
+const NONE_RAW: u64 = u64::MAX;
+
+/// What a lock-free load of a last-access mirror observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mirror {
+    /// The metadata is (or recently was) the contained epoch.
+    Epoch(Epoch),
+    /// The metadata is in shared (vector-clock) form; the same-epoch check
+    /// cannot be answered without taking the variable's lock.
+    Shared,
+}
+
+impl Mirror {
+    /// Returns `true` if the mirror holds exactly `e` (the lock-free
+    /// same-epoch test).
+    #[inline]
+    pub fn is_same_epoch(self, e: Epoch) -> bool {
+        matches!(self, Mirror::Epoch(m) if m == e)
+    }
+}
+
+/// An atomic last-access mirror: an [`Epoch`] or the shared marker, stored in
+/// one atomic `u64`.
+///
+/// Writers update the mirror while holding the variable's metadata lock;
+/// readers may load it without any lock. A *stale* load is safe: the
+/// same-epoch fast path only ever skips work for an access that was redundant
+/// at the moment the mirrored value was current, which is a valid
+/// linearization point for the access (the standard FastTrack argument).
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_clock::{Epoch, ThreadId};
+/// use smarttrack_parallel::{AtomicEpoch, Mirror};
+///
+/// let e = Epoch::new(ThreadId::new(1), 7);
+/// let mirror = AtomicEpoch::new();
+/// assert_eq!(mirror.load(), Mirror::Epoch(Epoch::NONE));
+/// mirror.store(e);
+/// assert!(mirror.load().is_same_epoch(e));
+/// mirror.mark_shared();
+/// assert_eq!(mirror.load(), Mirror::Shared);
+/// ```
+#[derive(Debug)]
+pub struct AtomicEpoch(AtomicU64);
+
+impl AtomicEpoch {
+    /// Creates a mirror holding `⊥ₑ`.
+    pub fn new() -> Self {
+        AtomicEpoch(AtomicU64::new(NONE_RAW))
+    }
+
+    /// Lock-free load (`Ordering::Acquire`, pairing with [`store`]'s release
+    /// so a hit observes the metadata writes that produced it).
+    ///
+    /// [`store`]: AtomicEpoch::store
+    #[inline]
+    pub fn load(&self) -> Mirror {
+        match self.0.load(Ordering::Acquire) {
+            SHARED_RAW => Mirror::Shared,
+            raw => Mirror::Epoch(decode(raw)),
+        }
+    }
+
+    /// Publishes a new epoch value (call while holding the variable's
+    /// metadata lock).
+    #[inline]
+    pub fn store(&self, e: Epoch) {
+        self.0.store(encode(e), Ordering::Release);
+    }
+
+    /// Marks the metadata as shared (vector-clock form): lock-free same-epoch
+    /// checks will miss and fall through to the locked slow path.
+    #[inline]
+    pub fn mark_shared(&self) {
+        self.0.store(SHARED_RAW, Ordering::Release);
+    }
+}
+
+impl Default for AtomicEpoch {
+    fn default() -> Self {
+        AtomicEpoch::new()
+    }
+}
+
+#[inline]
+fn encode(e: Epoch) -> u64 {
+    if e.is_none() {
+        NONE_RAW
+    } else {
+        ((e.tid().raw() as u64) << 32) | e.clock() as u64
+    }
+}
+
+#[inline]
+fn decode(raw: u64) -> Epoch {
+    if raw == NONE_RAW {
+        Epoch::NONE
+    } else {
+        Epoch::new(
+            smarttrack_clock::ThreadId::new((raw >> 32) as u32),
+            raw as u32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_clock::ThreadId;
+
+    fn e(t: u32, c: u32) -> Epoch {
+        Epoch::new(ThreadId::new(t), c)
+    }
+
+    #[test]
+    fn round_trips_epochs() {
+        let m = AtomicEpoch::new();
+        for epoch in [e(0, 0), e(3, 41), e(7, u32::MAX - 2)] {
+            m.store(epoch);
+            assert_eq!(m.load(), Mirror::Epoch(epoch));
+            assert!(m.load().is_same_epoch(epoch));
+        }
+    }
+
+    #[test]
+    fn none_round_trips() {
+        let m = AtomicEpoch::new();
+        m.store(e(1, 1));
+        m.store(Epoch::NONE);
+        assert_eq!(m.load(), Mirror::Epoch(Epoch::NONE));
+    }
+
+    #[test]
+    fn shared_marker_is_not_an_epoch() {
+        let m = AtomicEpoch::new();
+        m.mark_shared();
+        assert_eq!(m.load(), Mirror::Shared);
+        assert!(!m.load().is_same_epoch(e(0, 0)));
+        assert!(!m.load().is_same_epoch(Epoch::NONE));
+    }
+
+    #[test]
+    fn shared_raw_collides_with_no_real_epoch() {
+        // SHARED_RAW decodes to tid u32::MAX, which ThreadId never issues for
+        // real threads in this workspace (ids are dense indices from 0).
+        assert_ne!(encode(e(0, u32::MAX - 1)), SHARED_RAW);
+        assert_ne!(encode(Epoch::NONE), SHARED_RAW);
+    }
+
+    #[test]
+    fn concurrent_hammering_preserves_valid_values() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let m = AtomicEpoch::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10_000u32 {
+                    m.store(e(i % 5, i));
+                    if i % 97 == 0 {
+                        m.mark_shared();
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    match m.load() {
+                        Mirror::Shared => {}
+                        Mirror::Epoch(ep) => {
+                            // Every observed epoch is one that was stored
+                            // (tid < 5) or the initial ⊥ₑ — never torn.
+                            assert!(ep.is_none() || ep.tid().raw() < 5);
+                        }
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,234 @@
+//! Concurrent critical-section lists: SmartTrack's CCS metadata shared
+//! across application threads.
+//!
+//! The sequential implementation defers release times through
+//! `Rc<RefCell<VectorClock>>` initialized to `∞` (Algorithm 3 lines 3–5 and
+//! 13–15). Concurrently, the same deferred-update protocol is a *write-once
+//! cell*: a pending cell reads as "release time `∞`" (never ordered before
+//! anything), and the single write at the release publishes the final time.
+//! `OnceLock` provides exactly this, including the happens-before edge from
+//! the publishing release to every later reader.
+//!
+//! Resolution visibility is guaranteed at the one place the analysis relies
+//! on it: when the current thread *holds* lock `m`, any other thread's
+//! critical section on `m` has completed its release **hook** (hooks run
+//! before the real unlock), so its cell is observably resolved — the real
+//! mutex carries the happens-before edge.
+
+use std::sync::{Arc, OnceLock};
+
+use smarttrack_clock::{Epoch, ThreadId, VectorClock};
+use smarttrack_trace::LockId;
+
+/// A deferred release-time clock: pending (`∞`) until the release publishes.
+pub(crate) type ReleaseCell = Arc<OnceLock<VectorClock>>;
+
+/// One element `⟨C, m⟩` of a concurrent CS list.
+#[derive(Clone, Debug)]
+pub struct SharedCsEntry {
+    /// The lock of the critical section.
+    pub lock: LockId,
+    release: ReleaseCell,
+}
+
+impl SharedCsEntry {
+    /// Creates a pending entry (release time `∞`).
+    pub fn pending(lock: LockId) -> Self {
+        SharedCsEntry {
+            lock,
+            release: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Publishes the release time. Each critical section releases exactly
+    /// once (traces are well formed), so the cell is never already set.
+    pub(crate) fn resolve(&self, release_time: VectorClock) {
+        self.release
+            .set(release_time)
+            .expect("a critical section releases exactly once");
+    }
+
+    /// The published release time, or `None` while the critical section is
+    /// still open (the `∞` state).
+    pub fn release_clock(&self) -> Option<&VectorClock> {
+        self.release.get()
+    }
+
+    pub(crate) fn cell(&self) -> &ReleaseCell {
+        &self.release
+    }
+}
+
+/// A concurrent CS list: the active critical sections of `owner` at some
+/// access, outermost first (see
+/// [`CsList`](smarttrack_detect::CsList) for the sequential form).
+///
+/// Entry vectors sit behind an `Arc`, so `Lrx ← Ht` stays an O(1) reference
+/// copy — the paper's shared-structure list — and is safe to read from any
+/// thread.
+#[derive(Clone, Debug)]
+pub struct SharedCsList {
+    /// The thread whose critical sections these are.
+    pub owner: ThreadId,
+    entries: Arc<Vec<SharedCsEntry>>,
+}
+
+impl SharedCsList {
+    /// An empty list owned by `owner`.
+    pub fn empty(owner: ThreadId) -> Self {
+        SharedCsList {
+            owner,
+            entries: Arc::new(Vec::new()),
+        }
+    }
+
+    /// A list from explicit entries (outermost first).
+    pub fn from_entries(owner: ThreadId, entries: Vec<SharedCsEntry>) -> Self {
+        SharedCsList {
+            owner,
+            entries: Arc::new(entries),
+        }
+    }
+
+    /// The entries, outermost first.
+    pub fn entries(&self) -> &[SharedCsEntry] {
+        &self.entries
+    }
+
+    /// The outermost entry (the paper's `tail(Lrx)`), if any.
+    pub fn outermost(&self) -> Option<&SharedCsEntry> {
+        self.entries.first()
+    }
+}
+
+/// The combined CCS-and-race check (Algorithm 3's `MultiCheck`) over
+/// concurrent CS lists, mirroring
+/// [`detect`](smarttrack_detect)'s sequential `multi_check` with the
+/// pending-cell reading of `∞`:
+///
+/// * a *resolved* entry whose owner component is `≤ now`'s subsumes
+///   everything inner and the race check;
+/// * a *resolved* entry on a held lock is a conflicting critical section —
+///   its release time joins into `now` (rule (a));
+/// * a *pending* entry is never ordered and (by the real-lock argument in the
+///   module docs) never on a held lock, so it always falls into the residual.
+///
+/// Returns `(residual, raced)`.
+pub(crate) fn multi_check_shared(
+    now: &mut VectorClock,
+    held: &[LockId],
+    list: Option<&SharedCsList>,
+    check: Epoch,
+) -> (Vec<SharedCsEntry>, bool) {
+    let mut residual = Vec::new();
+    if let Some(l) = list {
+        for entry in l.entries.iter() {
+            match entry.release_clock() {
+                Some(rel) => {
+                    if rel.get(l.owner) <= now.get(l.owner) {
+                        return (residual, false);
+                    }
+                    if held.contains(&entry.lock) {
+                        now.join(rel);
+                        return (residual, false);
+                    }
+                }
+                None => {
+                    // A pending entry on a lock the current thread holds is
+                    // unreachable: cross-thread, the real mutex forces the
+                    // owner's release hook first; same-thread, an ordered
+                    // outer entry always short-circuits the traversal first
+                    // (a thread's own resolved release is ≤ its own clock).
+                    debug_assert!(
+                        !held.contains(&entry.lock),
+                        "cannot hold a lock whose critical section is still pending"
+                    );
+                }
+            }
+            residual.push(entry.clone());
+        }
+    }
+    let raced = !check.leq_vc(now);
+    (residual, raced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    #[test]
+    fn pending_entries_become_residual() {
+        let entry = SharedCsEntry::pending(m(0));
+        let list = SharedCsList::from_entries(t(0), vec![entry]);
+        let mut now: VectorClock = [(t(1), 5)].into_iter().collect();
+        let (residual, raced) = multi_check_shared(&mut now, &[], Some(&list), Epoch::NONE);
+        assert_eq!(residual.len(), 1);
+        assert!(!raced);
+    }
+
+    #[test]
+    fn resolved_ordered_entry_subsumes_race_check() {
+        let entry = SharedCsEntry::pending(m(0));
+        entry.resolve([(t(0), 3)].into_iter().collect());
+        let inner = SharedCsEntry::pending(m(1));
+        let list = SharedCsList::from_entries(t(0), vec![entry, inner]);
+        let mut now: VectorClock = [(t(0), 4)].into_iter().collect();
+        let (residual, raced) =
+            multi_check_shared(&mut now, &[], Some(&list), Epoch::new(t(0), 9));
+        assert!(residual.is_empty());
+        assert!(!raced, "ordered outermost subsumes the failing race check");
+    }
+
+    #[test]
+    fn held_lock_joins_release_time() {
+        let entry = SharedCsEntry::pending(m(2));
+        entry.resolve([(t(0), 7), (t(2), 4)].into_iter().collect());
+        let list = SharedCsList::from_entries(t(0), vec![entry]);
+        let mut now: VectorClock = [(t(1), 1)].into_iter().collect();
+        let (residual, raced) =
+            multi_check_shared(&mut now, &[m(2)], Some(&list), Epoch::new(t(0), 9));
+        assert!(residual.is_empty());
+        assert!(!raced);
+        assert_eq!(now.get(t(0)), 7);
+        assert_eq!(now.get(t(2)), 4);
+    }
+
+    #[test]
+    fn no_match_falls_through_to_race_check() {
+        let list = SharedCsList::from_entries(t(0), vec![SharedCsEntry::pending(m(0))]);
+        let mut now: VectorClock = [(t(1), 3)].into_iter().collect();
+        let (residual, raced) =
+            multi_check_shared(&mut now, &[m(1)], Some(&list), Epoch::new(t(0), 2));
+        assert_eq!(residual.len(), 1);
+        assert!(raced);
+    }
+
+    #[test]
+    fn resolution_is_visible_across_threads() {
+        let entry = SharedCsEntry::pending(m(0));
+        let reader = entry.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                entry.resolve([(t(0), 1)].into_iter().collect());
+            });
+            s.spawn(move || {
+                // Spin until the resolution is visible; the OnceLock
+                // publication guarantees the full clock is then readable.
+                loop {
+                    if let Some(rel) = reader.release_clock() {
+                        assert_eq!(rel.get(t(0)), 1);
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        });
+    }
+}

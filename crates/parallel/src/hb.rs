@@ -1,0 +1,372 @@
+//! Concurrent FTO-HB: the FastTrack-family baseline running inside the
+//! application threads (§5.1).
+//!
+//! Metadata partitioning follows the paper's implementation description:
+//!
+//! * thread clocks `Ct` are owned by their thread's [`OnlineCtx`] handle —
+//!   no synchronization at all;
+//! * each lock's clock `Lm` and each volatile's clock `Vv` has its own
+//!   mutex, touched only at (already-synchronizing) lock/volatile operations;
+//! * each variable's last-access metadata has its own mutex, plus lock-free
+//!   atomic mirrors of `Wx`/`Rx` for the same-epoch fast paths;
+//! * fork/join clock handoff goes through dedicated slots whose accesses are
+//!   ordered by the application's own fork/join edges.
+
+use parking_lot::Mutex;
+use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_detect::{AccessKind, FtoCase, FtoCaseCounters, RaceReport, Report};
+use smarttrack_trace::{EventId, Loc, LockId, Op, VarId};
+
+use crate::atomic::AtomicEpoch;
+use crate::shared::{AtomicCaseCounters, Handoff, RaceSink};
+use crate::world::{table, WorldSpec};
+use crate::{OnlineAnalysis, OnlineCtx};
+
+/// Authoritative last-access metadata of one variable (guarded).
+#[derive(Debug, Default)]
+struct VarMeta {
+    write: Epoch,
+    read: ReadMeta,
+}
+
+/// One variable's shadow location: atomic mirrors + guarded metadata.
+/// Cache-line aligned so threads working on adjacent variables (the common
+/// disjoint-access pattern) never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct ShadowVar {
+    write_mirror: AtomicEpoch,
+    read_mirror: AtomicEpoch,
+    meta: Mutex<VarMeta>,
+}
+
+/// FTO-HB analysis with concurrent metadata (the parallel counterpart of
+/// [`FtoHb`](smarttrack_detect::FtoHb)).
+///
+/// # Examples
+///
+/// Deterministically fed, it computes exactly the sequential analysis:
+///
+/// ```
+/// use smarttrack_detect::{run_detector, Detector, FtoHb};
+/// use smarttrack_parallel::{feed_trace, ConcurrentFtoHb, WorldSpec};
+/// use smarttrack_trace::paper;
+///
+/// let trace = paper::figure1();
+/// let mut seq = FtoHb::new();
+/// run_detector(&mut seq, &trace);
+/// let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&trace));
+/// let report = feed_trace(&par, &trace);
+/// assert_eq!(report.dynamic_count(), seq.report().dynamic_count());
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentFtoHb {
+    vars: Vec<ShadowVar>,
+    locks: Vec<Mutex<VectorClock>>,
+    volatiles: Vec<Mutex<VectorClock>>,
+    handoff: Handoff,
+    sink: RaceSink,
+    counters: AtomicCaseCounters,
+}
+
+impl ConcurrentFtoHb {
+    /// Creates the analysis with metadata tables sized by `spec`.
+    pub fn new(spec: WorldSpec) -> Self {
+        ConcurrentFtoHb {
+            vars: table(spec.vars),
+            locks: table(spec.locks),
+            volatiles: table(spec.volatiles),
+            handoff: Handoff::new(spec.threads),
+            sink: RaceSink::new(),
+            counters: AtomicCaseCounters::new(),
+        }
+    }
+}
+
+impl OnlineAnalysis for ConcurrentFtoHb {
+    type Ctx<'a> = HbCtx<'a>;
+
+    fn name(&self) -> &'static str {
+        "FTO-HB (parallel)"
+    }
+
+    fn context(&self, t: ThreadId) -> HbCtx<'_> {
+        let mut clock = VectorClock::new();
+        clock.set(t, 1);
+        self.handoff.absorb_start(t, &mut clock);
+        HbCtx {
+            t,
+            clock,
+            shared: self,
+        }
+    }
+
+    fn report(&self) -> Report {
+        self.sink.snapshot()
+    }
+
+    fn case_counters(&self) -> FtoCaseCounters {
+        self.counters.snapshot()
+    }
+}
+
+/// Per-thread handle of [`ConcurrentFtoHb`].
+#[derive(Debug)]
+pub struct HbCtx<'a> {
+    t: ThreadId,
+    clock: VectorClock,
+    shared: &'a ConcurrentFtoHb,
+}
+
+impl HbCtx<'_> {
+    fn read(&mut self, id: EventId, x: VarId, loc: Loc) {
+        let t = self.t;
+        let e = Epoch::new(t, self.clock.get(t));
+        let sv = &self.shared.vars[x.index()];
+        // Lock-free fast path (§5.1): a hit proves the access redundant.
+        if sv.read_mirror.load().is_same_epoch(e) {
+            self.shared.counters.hit(FtoCase::ReadSameEpoch);
+            return;
+        }
+        let mut guard = sv.meta.lock();
+        let meta = &mut *guard;
+        // Authoritative same-epoch checks (the mirror can be stale-shared).
+        match &meta.read {
+            ReadMeta::Epoch(r) if *r == e => {
+                self.shared.counters.hit(FtoCase::ReadSameEpoch);
+                return;
+            }
+            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+                self.shared.counters.hit(FtoCase::SharedSameEpoch);
+                return;
+            }
+            _ => {}
+        }
+        let now = &self.clock;
+        let mut race_with_write = false;
+        match &mut meta.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                self.shared.counters.hit(FtoCase::ReadOwned);
+                meta.read = ReadMeta::Epoch(e);
+                sv.read_mirror.store(e);
+            }
+            ReadMeta::Epoch(r) => {
+                if r.leq_vc(now) {
+                    self.shared.counters.hit(FtoCase::ReadExclusive);
+                    meta.read = ReadMeta::Epoch(e);
+                    sv.read_mirror.store(e);
+                } else {
+                    self.shared.counters.hit(FtoCase::ReadShare);
+                    race_with_write = !meta.write.leq_vc(now);
+                    meta.read.share(e);
+                    sv.read_mirror.mark_shared();
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                if vc.get(t) != 0 {
+                    self.shared.counters.hit(FtoCase::ReadSharedOwned);
+                } else {
+                    self.shared.counters.hit(FtoCase::ReadShared);
+                    race_with_write = !meta.write.leq_vc(now);
+                }
+                vc.set(t, e.clock());
+            }
+        }
+        if race_with_write {
+            let prior = vec![meta.write.tid()];
+            drop(guard);
+            self.shared.sink.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Read,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    fn write(&mut self, id: EventId, x: VarId, loc: Loc) {
+        let t = self.t;
+        let e = Epoch::new(t, self.clock.get(t));
+        let sv = &self.shared.vars[x.index()];
+        if sv.write_mirror.load().is_same_epoch(e) {
+            self.shared.counters.hit(FtoCase::WriteSameEpoch);
+            return;
+        }
+        let mut guard = sv.meta.lock();
+        let meta = &mut *guard;
+        if meta.write == e {
+            self.shared.counters.hit(FtoCase::WriteSameEpoch);
+            return;
+        }
+        let now = &self.clock;
+        let mut prior: Vec<ThreadId> = Vec::new();
+        match &meta.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                self.shared.counters.hit(FtoCase::WriteOwned);
+            }
+            ReadMeta::Epoch(r) => {
+                self.shared.counters.hit(FtoCase::WriteExclusive);
+                if !r.leq_vc(now) {
+                    prior.push(r.tid());
+                }
+            }
+            ReadMeta::Vc(vc) => {
+                self.shared.counters.hit(FtoCase::WriteShared);
+                for (u, c) in vc.iter_nonzero() {
+                    if c > now.get(u) {
+                        prior.push(u);
+                    }
+                }
+            }
+        }
+        meta.write = e;
+        meta.read = ReadMeta::Epoch(e);
+        sv.write_mirror.store(e);
+        sv.read_mirror.store(e);
+        drop(guard);
+        if !prior.is_empty() {
+            self.shared.sink.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Write,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    fn acquire(&mut self, m: LockId) {
+        let lm = self.shared.locks[m.index()].lock();
+        self.clock.join(&lm);
+    }
+
+    fn release(&mut self, m: LockId) {
+        self.shared.locks[m.index()].lock().assign(&self.clock);
+        self.clock.increment(self.t);
+    }
+
+    fn volatile_read(&mut self, v: VarId) {
+        let vv = self.shared.volatiles[v.index()].lock();
+        self.clock.join(&vv);
+    }
+
+    fn volatile_write(&mut self, v: VarId) {
+        let mut vv = self.shared.volatiles[v.index()].lock();
+        self.clock.join(&vv);
+        vv.assign(&self.clock);
+        drop(vv);
+        self.clock.increment(self.t);
+    }
+}
+
+impl OnlineCtx for HbCtx<'_> {
+    fn tid(&self) -> ThreadId {
+        self.t
+    }
+
+    fn on_event(&mut self, id: EventId, op: Op, loc: Loc) {
+        match op {
+            Op::Read(x) => self.read(id, x, loc),
+            Op::Write(x) => self.write(id, x, loc),
+            Op::Acquire(m) => self.acquire(m),
+            Op::Release(m) => self.release(m),
+            Op::Fork(u) => {
+                self.shared.handoff.offer_start(u, &self.clock);
+                self.clock.increment(self.t);
+            }
+            Op::Join(u) => self.shared.handoff.absorb_final(u, &mut self.clock),
+            Op::VolatileRead(v) => self.volatile_read(v),
+            Op::VolatileWrite(v) => self.volatile_write(v),
+        }
+    }
+
+    fn publish(&mut self) {
+        self.shared.handoff.publish_final(self.t, &self.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed_trace;
+    use smarttrack_detect::{run_detector, Detector, FtoHb};
+    use smarttrack_trace::{paper, TraceBuilder};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn matches_sequential_on_paper_figures() {
+        for (name, tr) in paper::all_figures() {
+            let mut seq = FtoHb::new();
+            run_detector(&mut seq, &tr);
+            let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&tr));
+            let report = feed_trace(&par, &tr);
+            assert_eq!(
+                report.races(),
+                seq.report().races(),
+                "parallel vs sequential FTO-HB on {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_epoch_fast_path_counts_like_sequential() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // same epoch
+        b.push(t(0), Op::Read(x(0))).unwrap(); // read same epoch (Rx = e)
+        let tr = b.finish();
+        let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&tr));
+        feed_trace(&par, &tr);
+        let c = par.case_counters();
+        assert_eq!(c.count(FtoCase::WriteSameEpoch), 1);
+        assert_eq!(c.count(FtoCase::ReadSameEpoch), 1);
+    }
+
+    #[test]
+    fn fork_join_edges_suppress_races() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Fork(t(1))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Join(t(1))).unwrap();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        let tr = b.finish();
+        let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&tr));
+        assert!(feed_trace(&par, &tr).is_empty());
+    }
+
+    #[test]
+    fn volatile_edges_order_accesses() {
+        let v = VarId::new(0);
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(1))).unwrap();
+        b.push(t(0), Op::VolatileWrite(v)).unwrap();
+        b.push(t(1), Op::VolatileRead(v)).unwrap();
+        b.push(t(1), Op::Write(x(1))).unwrap();
+        let tr = b.finish();
+        let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&tr));
+        assert!(feed_trace(&par, &tr).is_empty());
+    }
+
+    #[test]
+    fn read_shared_race_reports_all_unordered_readers() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        b.push(t(2), Op::Write(x(0))).unwrap();
+        let tr = b.finish();
+        let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&tr));
+        let report = feed_trace(&par, &tr);
+        assert_eq!(report.dynamic_count(), 1);
+        assert_eq!(report.races()[0].prior_threads, vec![t(0), t(1)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared-state building blocks used by both parallel analyses: atomic FTO
+//! case counters, the race sink, and the fork/join clock handoff slots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use smarttrack_clock::{ThreadId, VectorClock};
+use smarttrack_detect::{FtoCase, FtoCaseCounters, RaceReport, Report};
+
+use crate::world::table;
+
+/// FTO case counters that many threads update concurrently (relaxed atomics:
+/// counters are statistics, not synchronization).
+#[derive(Debug)]
+pub(crate) struct AtomicCaseCounters {
+    counts: [AtomicU64; 11],
+}
+
+impl AtomicCaseCounters {
+    pub fn new() -> Self {
+        AtomicCaseCounters {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    pub fn hit(&self, case: FtoCase) {
+        let i = FtoCase::ALL.iter().position(|c| *c == case).expect("known case");
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> FtoCaseCounters {
+        let mut out = FtoCaseCounters::new();
+        for (i, case) in FtoCase::ALL.into_iter().enumerate() {
+            out.add(case, self.counts[i].load(Ordering::Relaxed));
+        }
+        out
+    }
+}
+
+/// Collects races reported from many threads.
+///
+/// A mutex (not a lock-free list) is deliberate: races are rare relative to
+/// accesses, and the paper's implementations likewise serialize race
+/// reporting.
+#[derive(Debug, Default)]
+pub(crate) struct RaceSink {
+    races: Mutex<Report>,
+}
+
+impl RaceSink {
+    pub fn new() -> Self {
+        RaceSink::default()
+    }
+
+    pub fn push(&self, race: RaceReport) {
+        self.races.lock().push(race);
+    }
+
+    pub fn snapshot(&self) -> Report {
+        self.races.lock().clone()
+    }
+}
+
+/// Fork/join clock handoff.
+///
+/// `fork(u)` by the parent stores a snapshot of the parent's clock in `u`'s
+/// *start slot* before `u` begins; `u`'s context absorbs it on creation.
+/// A thread publishes its clock into its *final slot* (at thread end, or —
+/// in the deterministic feed — just before a `join` of it is processed);
+/// `join(u)` absorbs the final slot.
+///
+/// Both directions are race-free at the application level (fork
+/// happens-before child start; child end happens-before join), so these
+/// mutexes are uncontended; they exist to satisfy Rust's aliasing rules and
+/// to carry the happens-before edge for the clock data itself.
+#[derive(Debug)]
+pub(crate) struct Handoff {
+    starts: Vec<Mutex<VectorClock>>,
+    finals: Vec<Mutex<VectorClock>>,
+}
+
+impl Handoff {
+    pub fn new(threads: usize) -> Self {
+        Handoff {
+            starts: table(threads),
+            finals: table(threads),
+        }
+    }
+
+    /// Parent side of `fork(u)`: merge the parent clock into `u`'s start slot.
+    pub fn offer_start(&self, u: ThreadId, parent_clock: &VectorClock) {
+        self.starts[u.index()].lock().join(parent_clock);
+    }
+
+    /// Child side: absorb any pending fork edge into `clock`.
+    pub fn absorb_start(&self, u: ThreadId, clock: &mut VectorClock) {
+        clock.join(&self.starts[u.index()].lock());
+    }
+
+    /// Publish `u`'s current clock for joiners.
+    pub fn publish_final(&self, u: ThreadId, clock: &VectorClock) {
+        self.finals[u.index()].lock().assign(clock);
+    }
+
+    /// Joiner side of `join(u)`: absorb `u`'s published clock.
+    pub fn absorb_final(&self, u: ThreadId, clock: &mut VectorClock) {
+        clock.join(&self.finals[u.index()].lock());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_clock::ThreadId;
+    use smarttrack_detect::AccessKind;
+    use smarttrack_trace::{EventId, Loc, VarId};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = AtomicCaseCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.hit(FtoCase::ReadOwned);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().count(FtoCase::ReadOwned), 4000);
+        assert_eq!(c.snapshot().count(FtoCase::WriteOwned), 0);
+    }
+
+    #[test]
+    fn sink_collects_from_threads() {
+        let sink = RaceSink::new();
+        std::thread::scope(|s| {
+            for i in 0..3u32 {
+                let sink = &sink;
+                s.spawn(move || {
+                    sink.push(RaceReport {
+                        event: EventId::new(i),
+                        loc: Loc::new(i),
+                        tid: t(i),
+                        var: VarId::new(0),
+                        kind: AccessKind::Write,
+                        prior_threads: vec![],
+                    });
+                });
+            }
+        });
+        assert_eq!(sink.snapshot().dynamic_count(), 3);
+    }
+
+    #[test]
+    fn handoff_carries_fork_and_join_edges() {
+        let h = Handoff::new(2);
+        let parent: VectorClock = [(t(0), 5)].into_iter().collect();
+        h.offer_start(t(1), &parent);
+        let mut child = VectorClock::new();
+        child.set(t(1), 1);
+        h.absorb_start(t(1), &mut child);
+        assert_eq!(child.get(t(0)), 5);
+
+        child.set(t(1), 9);
+        h.publish_final(t(1), &child);
+        let mut joiner = parent.clone();
+        h.absorb_final(t(1), &mut joiner);
+        assert_eq!(joiner.get(t(1)), 9);
+    }
+}

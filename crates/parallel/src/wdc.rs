@@ -1,0 +1,652 @@
+//! Concurrent SmartTrack-WDC: the paper's cheapest predictive analysis
+//! (§5.7) running inside the application threads.
+//!
+//! This is Algorithm 3 minus rule (b) (the WDC relation, §3), with the
+//! sequential implementation's `Strict` CCS fidelity refinements (DESIGN.md
+//! §5 items 4–5), re-partitioned for parallel execution:
+//!
+//! * `Ct` and `Ht` are owned by the thread's context — WDC lock operations
+//!   touch **no shared analysis state** except publishing the critical
+//!   section's release time into its write-once cell;
+//! * all per-variable metadata (`Wx`, `Rx`, `Lwx`, `Lrx`, `Ewx`, `Erx`)
+//!   lives behind one per-variable mutex, with atomic epoch mirrors for the
+//!   lock-free same-epoch fast paths (§5.1);
+//! * `MultiCheck` reads other threads' critical-section release times
+//!   through [`SharedCsEntry`] cells; a pending cell *is* the paper's `∞`.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_detect::{AccessKind, FtoCase, FtoCaseCounters, RaceReport, Report};
+use smarttrack_trace::{EventId, Loc, LockId, Op, VarId};
+
+use crate::atomic::AtomicEpoch;
+use crate::ccs::{multi_check_shared, ReleaseCell, SharedCsEntry, SharedCsList};
+use crate::shared::{AtomicCaseCounters, Handoff, RaceSink};
+use crate::world::{table, WorldSpec};
+use crate::{OnlineAnalysis, OnlineCtx};
+
+/// Read-side CS metadata mirroring the representation of `Rx` (see the
+/// sequential `LrMeta`).
+#[derive(Debug)]
+enum SharedLr {
+    Single(Option<SharedCsList>),
+    PerThread(HashMap<ThreadId, SharedCsList>),
+}
+
+impl Default for SharedLr {
+    fn default() -> Self {
+        SharedLr::Single(None)
+    }
+}
+
+type SharedExtraMap = HashMap<ThreadId, HashMap<LockId, ReleaseCell>>;
+
+/// `Erx`/`Ewx` fall-back metadata (paper §4.2, "Using extra metadata").
+#[derive(Debug, Default)]
+struct SharedExtras {
+    read: SharedExtraMap,
+    write: SharedExtraMap,
+}
+
+impl SharedExtras {
+    fn is_empty(&self) -> bool {
+        self.read.values().all(HashMap::is_empty) && self.write.values().all(HashMap::is_empty)
+    }
+}
+
+/// Strict-mode residual stash: merge per lock (a thread's newer release time
+/// on a lock dominates its older one).
+fn stash(side: &mut SharedExtraMap, owner: ThreadId, residual: Vec<SharedCsEntry>) {
+    if residual.is_empty() {
+        return;
+    }
+    let map = side.entry(owner).or_default();
+    for e in residual {
+        let cell = e.cell().clone();
+        map.insert(e.lock, cell);
+    }
+}
+
+/// Authoritative per-variable metadata (guarded by the variable's mutex).
+#[derive(Debug, Default)]
+struct StMeta {
+    write: Epoch,
+    read: ReadMeta,
+    lw: Option<SharedCsList>,
+    lr: SharedLr,
+    extras: Option<Box<SharedExtras>>,
+}
+
+/// Cache-line aligned to avoid false sharing between adjacent variables.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct ShadowVar {
+    write_mirror: AtomicEpoch,
+    read_mirror: AtomicEpoch,
+    meta: Mutex<StMeta>,
+}
+
+/// SmartTrack-WDC analysis with concurrent metadata (the parallel
+/// counterpart of [`SmartTrackWdc`](smarttrack_detect::SmartTrackWdc) in
+/// `Strict` fidelity).
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_parallel::{feed_trace, ConcurrentSmartTrackWdc, WorldSpec};
+/// use smarttrack_trace::paper;
+///
+/// let trace = paper::figure1();
+/// let analysis = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&trace));
+/// let report = feed_trace(&analysis, &trace);
+/// assert_eq!(report.dynamic_count(), 1, "figure 1's predictable race");
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentSmartTrackWdc {
+    vars: Vec<ShadowVar>,
+    volatiles: Vec<Mutex<VectorClock>>,
+    handoff: Handoff,
+    sink: RaceSink,
+    counters: AtomicCaseCounters,
+}
+
+impl ConcurrentSmartTrackWdc {
+    /// Creates the analysis with metadata tables sized by `spec`.
+    pub fn new(spec: WorldSpec) -> Self {
+        ConcurrentSmartTrackWdc {
+            vars: table(spec.vars),
+            volatiles: table(spec.volatiles),
+            handoff: Handoff::new(spec.threads),
+            sink: RaceSink::new(),
+            counters: AtomicCaseCounters::new(),
+        }
+    }
+}
+
+impl OnlineAnalysis for ConcurrentSmartTrackWdc {
+    type Ctx<'a> = WdcCtx<'a>;
+
+    fn name(&self) -> &'static str {
+        "SmartTrack-WDC (parallel)"
+    }
+
+    fn context(&self, t: ThreadId) -> WdcCtx<'_> {
+        let mut clock = VectorClock::new();
+        clock.set(t, 1);
+        self.handoff.absorb_start(t, &mut clock);
+        WdcCtx {
+            t,
+            clock,
+            ht: Vec::new(),
+            ht_cache: None,
+            shared: self,
+        }
+    }
+
+    fn report(&self) -> Report {
+        self.sink.snapshot()
+    }
+
+    fn case_counters(&self) -> FtoCaseCounters {
+        self.counters.snapshot()
+    }
+}
+
+/// Per-thread handle of [`ConcurrentSmartTrackWdc`].
+#[derive(Debug)]
+pub struct WdcCtx<'a> {
+    t: ThreadId,
+    clock: VectorClock,
+    /// `Ht`: active critical sections, outermost first.
+    ht: Vec<SharedCsEntry>,
+    /// Cached shared snapshot of `Ht`, invalidated at lock operations.
+    ht_cache: Option<SharedCsList>,
+    shared: &'a ConcurrentSmartTrackWdc,
+}
+
+impl WdcCtx<'_> {
+    fn held(&self) -> Vec<LockId> {
+        self.ht.iter().map(|e| e.lock).collect()
+    }
+
+    fn snapshot_ht(&mut self) -> SharedCsList {
+        if self.ht_cache.is_none() {
+            self.ht_cache = Some(SharedCsList::from_entries(self.t, self.ht.clone()));
+        }
+        self.ht_cache.clone().expect("just filled")
+    }
+
+    fn acquire(&mut self, m: LockId) {
+        self.ht.push(SharedCsEntry::pending(m));
+        self.ht_cache = None;
+        self.clock.increment(self.t);
+    }
+
+    fn release(&mut self, m: LockId) {
+        self.ht_cache = None;
+        // Innermost-first search tolerates non-LIFO unlocking, like the
+        // sequential implementation.
+        if let Some(pos) = self.ht.iter().rposition(|e| e.lock == m) {
+            let entry = self.ht.remove(pos);
+            entry.resolve(self.clock.clone());
+        }
+        self.clock.increment(self.t);
+    }
+
+    /// Algorithm 3 lines 19–23 plus the Strict write-side absorption.
+    fn absorb_extras_at_write(
+        meta: &mut StMeta,
+        held: &[LockId],
+        t: ThreadId,
+        now: &mut VectorClock,
+    ) {
+        let Some(ex) = meta.extras.as_mut() else {
+            return;
+        };
+        if ex.is_empty() {
+            return;
+        }
+        for &m in held {
+            for (&u, map) in ex.read.iter() {
+                if u != t {
+                    if let Some(cell) = map.get(&m) {
+                        now.join(resolved(cell));
+                    }
+                }
+            }
+            for (&u, map) in ex.write.iter() {
+                if u != t {
+                    if let Some(cell) = map.get(&m) {
+                        now.join(resolved(cell));
+                    }
+                }
+            }
+            for (&u, map) in ex.read.iter_mut() {
+                if u != t {
+                    map.remove(&m);
+                }
+            }
+            for (&u, map) in ex.write.iter_mut() {
+                if u != t {
+                    map.remove(&m);
+                }
+            }
+        }
+        ex.read.remove(&t);
+        ex.write.remove(&t);
+        if ex.is_empty() {
+            meta.extras = None;
+        }
+    }
+
+    /// Algorithm 3 lines 4–6: absorb write-side extras at a read.
+    fn absorb_extras_at_read(
+        meta: &StMeta,
+        held: &[LockId],
+        t: ThreadId,
+        now: &mut VectorClock,
+    ) {
+        let Some(ex) = meta.extras.as_ref() else {
+            return;
+        };
+        if ex.write.values().all(HashMap::is_empty) {
+            return;
+        }
+        for &m in held {
+            for (&u, map) in ex.write.iter() {
+                if u != t {
+                    if let Some(cell) = map.get(&m) {
+                        now.join(resolved(cell));
+                    }
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, id: EventId, x: VarId, loc: Loc) {
+        let t = self.t;
+        let shared = self.shared;
+        let e = Epoch::new(t, self.clock.get(t));
+        let sv = &shared.vars[x.index()];
+        if sv.write_mirror.load().is_same_epoch(e) {
+            shared.counters.hit(FtoCase::WriteSameEpoch);
+            return;
+        }
+        let held = self.held();
+        let snapshot = self.snapshot_ht();
+        let mut guard = sv.meta.lock();
+        let meta = &mut *guard;
+        if meta.write == e {
+            shared.counters.hit(FtoCase::WriteSameEpoch);
+            return;
+        }
+        let mut now = self.clock.clone();
+        Self::absorb_extras_at_write(meta, &held, t, &mut now);
+        let mut prior: Vec<ThreadId> = Vec::new();
+
+        match &meta.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                shared.counters.hit(FtoCase::WriteOwned);
+            }
+            ReadMeta::Epoch(r) if r.is_none() => {
+                shared.counters.hit(FtoCase::WriteExclusive);
+            }
+            ReadMeta::Epoch(r) => {
+                shared.counters.hit(FtoCase::WriteExclusive);
+                let r = *r;
+                let u = r.tid();
+                let lr = match &meta.lr {
+                    SharedLr::Single(l) => l.as_ref(),
+                    SharedLr::PerThread(_) => unreachable!("epoch Rx implies single Lrx"),
+                };
+                let (residual, raced) = multi_check_shared(&mut now, &held, lr, r);
+                if raced {
+                    prior.push(u);
+                }
+                if !residual.is_empty() {
+                    let ex = meta.extras.get_or_insert_with(Default::default);
+                    stash(&mut ex.read, u, residual);
+                    if meta.lw.as_ref().is_some_and(|l| l.owner == u) {
+                        let (wres, _) =
+                            multi_check_shared(&mut now, &held, meta.lw.as_ref(), Epoch::NONE);
+                        let ex = meta.extras.get_or_insert_with(Default::default);
+                        stash(&mut ex.write, u, wres);
+                    }
+                }
+            }
+            ReadMeta::Vc(rvc) => {
+                shared.counters.hit(FtoCase::WriteShared);
+                let rvc = rvc.clone();
+                for (u, c) in rvc.iter_nonzero() {
+                    if u == t {
+                        continue;
+                    }
+                    let lr = match &meta.lr {
+                        SharedLr::PerThread(map) => map.get(&u),
+                        SharedLr::Single(_) => None,
+                    };
+                    let (residual, raced) =
+                        multi_check_shared(&mut now, &held, lr, Epoch::new(u, c));
+                    if raced {
+                        prior.push(u);
+                    }
+                    if !residual.is_empty() {
+                        let ex = meta.extras.get_or_insert_with(Default::default);
+                        stash(&mut ex.read, u, residual);
+                        if meta.lw.as_ref().is_some_and(|l| l.owner == u) {
+                            let (wres, _) = multi_check_shared(
+                                &mut now,
+                                &held,
+                                meta.lw.as_ref(),
+                                Epoch::NONE,
+                            );
+                            let ex = meta.extras.get_or_insert_with(Default::default);
+                            stash(&mut ex.write, u, wres);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Lines 36–37: Lwx ← Lrx ← Ht; Wx ← Rx ← Ct(t).
+        meta.lw = Some(snapshot.clone());
+        meta.lr = SharedLr::Single(Some(snapshot));
+        meta.write = e;
+        meta.read = ReadMeta::Epoch(e);
+        sv.write_mirror.store(e);
+        sv.read_mirror.store(e);
+        drop(guard);
+        self.clock.assign(&now);
+        if !prior.is_empty() {
+            shared.sink.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Write,
+                prior_threads: prior,
+            });
+        }
+    }
+
+    fn read(&mut self, id: EventId, x: VarId, loc: Loc) {
+        let t = self.t;
+        let shared = self.shared;
+        let e = Epoch::new(t, self.clock.get(t));
+        let sv = &shared.vars[x.index()];
+        if sv.read_mirror.load().is_same_epoch(e) {
+            shared.counters.hit(FtoCase::ReadSameEpoch);
+            return;
+        }
+        let held = self.held();
+        let snapshot = self.snapshot_ht();
+        let mut guard = sv.meta.lock();
+        let meta = &mut *guard;
+        match &meta.read {
+            ReadMeta::Epoch(r) if *r == e => {
+                shared.counters.hit(FtoCase::ReadSameEpoch);
+                return;
+            }
+            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+                shared.counters.hit(FtoCase::SharedSameEpoch);
+                return;
+            }
+            _ => {}
+        }
+        let mut now = self.clock.clone();
+        Self::absorb_extras_at_read(meta, &held, t, &mut now);
+        let mut raced_with_write = false;
+
+        match &mut meta.read {
+            ReadMeta::Epoch(r) if r.is_owned_by(t) => {
+                shared.counters.hit(FtoCase::ReadOwned);
+                meta.lr = SharedLr::Single(Some(snapshot));
+                meta.read = ReadMeta::Epoch(e);
+                sv.read_mirror.store(e);
+            }
+            ReadMeta::Epoch(r) if r.is_none() => {
+                shared.counters.hit(FtoCase::ReadExclusive);
+                meta.lr = SharedLr::Single(Some(snapshot));
+                meta.read = ReadMeta::Epoch(e);
+                sv.read_mirror.store(e);
+            }
+            ReadMeta::Epoch(r) => {
+                let r = *r;
+                let u = r.tid();
+                // Line 11: the outermost release of the prior access's CS
+                // list, or Rx itself if the list is empty; pending = ∞.
+                let lr_list = match &meta.lr {
+                    SharedLr::Single(l) => l.as_ref(),
+                    SharedLr::PerThread(_) => unreachable!("epoch Rx implies single Lrx"),
+                };
+                let ordered = match lr_list.and_then(SharedCsList::outermost) {
+                    Some(outer) => match outer.release_clock() {
+                        Some(rel) => rel.get(u) <= now.get(u),
+                        None => false,
+                    },
+                    None => r.leq_vc(&now),
+                };
+                if ordered {
+                    shared.counters.hit(FtoCase::ReadExclusive);
+                    meta.lr = SharedLr::Single(Some(snapshot));
+                    meta.read = ReadMeta::Epoch(e);
+                    sv.read_mirror.store(e);
+                } else {
+                    shared.counters.hit(FtoCase::ReadShare);
+                    let (_, raced) =
+                        multi_check_shared(&mut now, &held, meta.lw.as_ref(), meta.write);
+                    raced_with_write = raced;
+                    let old = match std::mem::take(&mut meta.lr) {
+                        SharedLr::Single(l) => l.unwrap_or_else(|| SharedCsList::empty(u)),
+                        SharedLr::PerThread(_) => unreachable!(),
+                    };
+                    let mut map = HashMap::new();
+                    map.insert(u, old);
+                    map.insert(t, snapshot);
+                    meta.lr = SharedLr::PerThread(map);
+                    meta.read.share(e);
+                    sv.read_mirror.mark_shared();
+                }
+            }
+            ReadMeta::Vc(rvc) => {
+                if rvc.get(t) != 0 {
+                    shared.counters.hit(FtoCase::ReadSharedOwned);
+                    // Strict refinement: keep rule (a) ordering from the last
+                    // write's critical sections (join-only, no race check).
+                    if meta.lw.as_ref().is_some_and(|l| l.owner != t) {
+                        let _ =
+                            multi_check_shared(&mut now, &held, meta.lw.as_ref(), Epoch::NONE);
+                    }
+                    rvc.set(t, e.clock());
+                } else {
+                    shared.counters.hit(FtoCase::ReadShared);
+                    let write = meta.write;
+                    let (_, raced) =
+                        multi_check_shared(&mut now, &held, meta.lw.as_ref(), write);
+                    raced_with_write = raced;
+                    rvc.set(t, e.clock());
+                }
+                match &mut meta.lr {
+                    SharedLr::PerThread(map) => {
+                        map.insert(t, snapshot);
+                    }
+                    SharedLr::Single(_) => unreachable!("vector Rx implies per-thread Lrx"),
+                }
+            }
+        }
+        let write_tid = (!meta.write.is_none()).then(|| meta.write.tid());
+        drop(guard);
+        self.clock.assign(&now);
+        if raced_with_write {
+            shared.sink.push(RaceReport {
+                event: id,
+                loc,
+                tid: t,
+                var: x,
+                kind: AccessKind::Read,
+                prior_threads: write_tid.into_iter().collect(),
+            });
+        }
+    }
+
+    fn volatile_read(&mut self, v: VarId) {
+        {
+            let vv = self.shared.volatiles[v.index()].lock();
+            self.clock.join(&vv);
+        }
+        self.clock.increment(self.t);
+    }
+
+    fn volatile_write(&mut self, v: VarId) {
+        {
+            let mut vv = self.shared.volatiles[v.index()].lock();
+            self.clock.join(&vv);
+            vv.assign(&self.clock);
+        }
+        self.clock.increment(self.t);
+    }
+}
+
+/// Reads a cell that the held-lock invariant guarantees is resolved: extras
+/// are only absorbed for locks the current thread holds, so their owners'
+/// critical sections have published their release times.
+fn resolved(cell: &ReleaseCell) -> &VectorClock {
+    cell.get()
+        .expect("extras for held locks reference completed critical sections")
+}
+
+impl OnlineCtx for WdcCtx<'_> {
+    fn tid(&self) -> ThreadId {
+        self.t
+    }
+
+    fn on_event(&mut self, id: EventId, op: Op, loc: Loc) {
+        match op {
+            Op::Read(x) => self.read(id, x, loc),
+            Op::Write(x) => self.write(id, x, loc),
+            Op::Acquire(m) => self.acquire(m),
+            Op::Release(m) => self.release(m),
+            Op::Fork(u) => {
+                self.shared.handoff.offer_start(u, &self.clock);
+                self.clock.increment(self.t);
+            }
+            Op::Join(u) => {
+                self.shared.handoff.absorb_final(u, &mut self.clock);
+                self.clock.increment(self.t);
+            }
+            Op::VolatileRead(v) => self.volatile_read(v),
+            Op::VolatileWrite(v) => self.volatile_write(v),
+        }
+    }
+
+    fn publish(&mut self) {
+        self.shared.handoff.publish_final(self.t, &self.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed_trace;
+    use smarttrack_detect::{run_detector, Detector, SmartTrackWdc};
+    use smarttrack_trace::{paper, TraceBuilder};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    fn assert_matches_sequential(tr: &smarttrack_trace::Trace, label: &str) {
+        let mut seq = SmartTrackWdc::new();
+        run_detector(&mut seq, tr);
+        let par = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(tr));
+        let report = feed_trace(&par, tr);
+        assert_eq!(report.races(), seq.report().races(), "races on {label}");
+        let pc = par.case_counters();
+        let sc = seq.case_counters().expect("sequential ST tracks cases");
+        for case in FtoCase::ALL {
+            assert_eq!(pc.count(case), sc.count(case), "{case} count on {label}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_paper_figures() {
+        for (name, tr) in paper::all_figures() {
+            assert_matches_sequential(&tr, name);
+        }
+    }
+
+    #[test]
+    fn figure1_race_detected() {
+        let tr = paper::figure1();
+        let par = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&tr));
+        let report = feed_trace(&par, &tr);
+        assert_eq!(report.dynamic_count(), 1);
+    }
+
+    #[test]
+    fn figure3_wdc_false_race_detected_like_sequential() {
+        // Figure 3 is a WDC-race that is not a predictable race; WDC analysis
+        // (sequential or parallel) must report it.
+        let tr = paper::figure3();
+        let par = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&tr));
+        assert_eq!(feed_trace(&par, &tr).dynamic_count(), 1);
+    }
+
+    #[test]
+    fn rule_a_ordering_through_conflicting_critical_sections() {
+        // wr(x) and rd(x) in critical sections on the same lock: rule (a)
+        // orders them; the later unprotected write to another variable still
+        // races.
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        b.push(t(1), Op::Acquire(m(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Release(m(0))).unwrap();
+        let tr = b.finish();
+        let par = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&tr));
+        assert!(feed_trace(&par, &tr).is_empty(), "rule (a) orders the CCS");
+    }
+
+    #[test]
+    fn unprotected_conflicting_accesses_race() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        b.push(t(2), Op::Read(x(0))).unwrap();
+        let tr = b.finish();
+        let par = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&tr));
+        let report = feed_trace(&par, &tr);
+        assert_eq!(report.dynamic_count(), 2);
+    }
+
+    #[test]
+    fn extras_preserve_rule_a_after_overwriting_write() {
+        // Figure 4(c): Thread 2's unprotected write overwrites Lwx/Lrx, but
+        // the extra metadata must preserve Thread 1's critical section on m
+        // so Thread 3's rd(x) under m is still ordered after Thread 1.
+        assert_matches_sequential(&paper::figure4c(), "figure 4(c)");
+    }
+
+    #[test]
+    fn matches_sequential_on_random_traces() {
+        use smarttrack_trace::gen::RandomTraceSpec;
+        for seed in 0..40 {
+            let tr = RandomTraceSpec {
+                events: 600,
+                ..RandomTraceSpec::default()
+            }
+            .generate(seed);
+            assert_matches_sequential(&tr, &format!("seed {seed}"));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Pre-sized metadata tables.
+//!
+//! The sequential detectors grow their metadata vectors on demand; a parallel
+//! analysis cannot (growth would move entries under concurrent readers).
+//! A [`WorldSpec`] declares the identifier bounds up front — exactly the
+//! information RoadRunner derives from class loading — so every table can be
+//! allocated once and then accessed with plain indexing and per-entry locks.
+
+use smarttrack_runtime::{Program, ProgramOp};
+use smarttrack_trace::{Op, Trace};
+
+/// Identifier bounds for one analyzed execution: how many thread, variable,
+/// lock, and volatile ids the analysis must be prepared to see.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_parallel::WorldSpec;
+/// use smarttrack_trace::paper;
+///
+/// let spec = WorldSpec::of_trace(&paper::figure1());
+/// assert_eq!(spec.threads, 2);
+/// assert_eq!(spec.locks, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorldSpec {
+    /// Number of thread ids (bound, not count: ids are `0..threads`).
+    pub threads: usize,
+    /// Number of shared-variable ids.
+    pub vars: usize,
+    /// Number of lock ids.
+    pub locks: usize,
+    /// Number of volatile-variable ids.
+    pub volatiles: usize,
+}
+
+impl WorldSpec {
+    /// Explicit bounds.
+    pub fn new(threads: usize, vars: usize, locks: usize, volatiles: usize) -> Self {
+        WorldSpec {
+            threads,
+            vars,
+            locks,
+            volatiles,
+        }
+    }
+
+    /// Scans a trace for its identifier bounds.
+    pub fn of_trace(trace: &Trace) -> Self {
+        let mut spec = WorldSpec::default();
+        for event in trace.events() {
+            spec.threads = spec.threads.max(event.tid.index() + 1);
+            spec.see_op(&event.op);
+        }
+        spec
+    }
+
+    /// Scans a program for its identifier bounds.
+    pub fn of_program(program: &Program) -> Self {
+        let mut spec = WorldSpec {
+            threads: program.num_threads(),
+            ..WorldSpec::default()
+        };
+        for thread in program.threads() {
+            for &(op, _) in thread.ops() {
+                match op {
+                    ProgramOp::Read(x) | ProgramOp::Write(x) => {
+                        spec.vars = spec.vars.max(x.index() + 1)
+                    }
+                    ProgramOp::Acquire(m) | ProgramOp::Release(m) | ProgramOp::Wait(m) => {
+                        spec.locks = spec.locks.max(m.index() + 1)
+                    }
+                    ProgramOp::VolatileRead(v) | ProgramOp::VolatileWrite(v) => {
+                        spec.volatiles = spec.volatiles.max(v.index() + 1)
+                    }
+                    ProgramOp::Fork(t) | ProgramOp::Join(t) => {
+                        spec.threads = spec.threads.max(t.index() + 1)
+                    }
+                }
+            }
+        }
+        spec
+    }
+
+    fn see_op(&mut self, op: &Op) {
+        match op {
+            Op::Read(x) | Op::Write(x) => self.vars = self.vars.max(x.index() + 1),
+            Op::Acquire(m) | Op::Release(m) => self.locks = self.locks.max(m.index() + 1),
+            Op::VolatileRead(v) | Op::VolatileWrite(v) => {
+                self.volatiles = self.volatiles.max(v.index() + 1)
+            }
+            Op::Fork(t) | Op::Join(t) => self.threads = self.threads.max(t.index() + 1),
+        }
+    }
+
+    /// The union of two specs (useful when analyzing several traces against
+    /// one shared analysis instance).
+    pub fn union(self, other: WorldSpec) -> WorldSpec {
+        WorldSpec {
+            threads: self.threads.max(other.threads),
+            vars: self.vars.max(other.vars),
+            locks: self.locks.max(other.locks),
+            volatiles: self.volatiles.max(other.volatiles),
+        }
+    }
+}
+
+/// Builds a `Vec<T>` of `n` default entries (metadata table construction).
+pub(crate) fn table<T: Default>(n: usize) -> Vec<T> {
+    std::iter::repeat_with(T::default).take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_clock::ThreadId;
+    use smarttrack_runtime::ThreadSpec;
+    use smarttrack_trace::{LockId, VarId};
+
+    #[test]
+    fn trace_bounds_cover_all_id_spaces() {
+        let tr = smarttrack_trace::paper::figure2();
+        let spec = WorldSpec::of_trace(&tr);
+        assert_eq!(spec.threads, 3);
+        assert_eq!(spec.locks, 2);
+        assert!(spec.vars >= 2);
+    }
+
+    #[test]
+    fn program_bounds_include_fork_targets() {
+        let p = Program::new(vec![
+            ThreadSpec::new()
+                .fork(ThreadId::new(2))
+                .acquire(LockId::new(4))
+                .release(LockId::new(4)),
+            ThreadSpec::new().write(VarId::new(7)),
+        ]);
+        let spec = WorldSpec::of_program(&p);
+        assert_eq!(spec.threads, 3, "fork target raises the bound");
+        assert_eq!(spec.locks, 5);
+        assert_eq!(spec.vars, 8);
+    }
+
+    #[test]
+    fn union_is_pointwise_max() {
+        let a = WorldSpec::new(1, 5, 0, 2);
+        let b = WorldSpec::new(3, 2, 4, 0);
+        assert_eq!(a.union(b), WorldSpec::new(3, 5, 4, 2));
+    }
+
+    #[test]
+    fn volatile_ids_counted_separately_from_vars() {
+        let p = Program::new(vec![ThreadSpec::new()
+            .volatile_write(VarId::new(3))
+            .read(VarId::new(0))]);
+        let spec = WorldSpec::of_program(&p);
+        assert_eq!(spec.vars, 1);
+        assert_eq!(spec.volatiles, 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! The concurrent-program model: per-thread operation lists.
+
+use smarttrack_clock::ThreadId;
+use smarttrack_trace::{LockId, Loc, Op, VarId};
+
+/// One operation of a thread's program, with its static location.
+///
+/// `Wait` models Java's `wait()`: "Each analysis treats wait() as a release
+/// followed by an acquire" (§5.1) — the scheduler expands it accordingly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramOp {
+    /// Read a shared variable.
+    Read(VarId),
+    /// Write a shared variable.
+    Write(VarId),
+    /// Acquire a lock (blocks while held elsewhere).
+    Acquire(LockId),
+    /// Release a held lock.
+    Release(LockId),
+    /// Read a volatile variable.
+    VolatileRead(VarId),
+    /// Write a volatile variable.
+    VolatileWrite(VarId),
+    /// Start another thread (must not have run yet).
+    Fork(ThreadId),
+    /// Wait for another thread to finish (blocks).
+    Join(ThreadId),
+    /// Release then re-acquire a lock (`wait()`, §5.1).
+    Wait(LockId),
+}
+
+/// A single thread's program: operations plus their locations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadSpec {
+    ops: Vec<(ProgramOp, Loc)>,
+    next_loc: u32,
+}
+
+impl ThreadSpec {
+    /// Creates an empty thread program.
+    pub fn new() -> Self {
+        ThreadSpec::default()
+    }
+
+    /// Appends an operation with an automatically assigned location
+    /// (sequential per thread — each syntactic operation is its own source
+    /// site, like a program line).
+    pub fn op(mut self, op: ProgramOp) -> Self {
+        let loc = Loc::new(self.next_loc);
+        self.next_loc += 1;
+        self.ops.push((op, loc));
+        self
+    }
+
+    /// Appends an operation at an explicit location (for modelling loops:
+    /// repeated dynamic events from one source site).
+    pub fn op_at(mut self, op: ProgramOp, loc: Loc) -> Self {
+        self.ops.push((op, loc));
+        self
+    }
+
+    /// Appends `rd(x)`.
+    pub fn read(self, x: VarId) -> Self {
+        self.op(ProgramOp::Read(x))
+    }
+
+    /// Appends `wr(x)`.
+    pub fn write(self, x: VarId) -> Self {
+        self.op(ProgramOp::Write(x))
+    }
+
+    /// Appends `acq(m)`.
+    pub fn acquire(self, m: LockId) -> Self {
+        self.op(ProgramOp::Acquire(m))
+    }
+
+    /// Appends `rel(m)`.
+    pub fn release(self, m: LockId) -> Self {
+        self.op(ProgramOp::Release(m))
+    }
+
+    /// Appends a volatile read.
+    pub fn volatile_read(self, v: VarId) -> Self {
+        self.op(ProgramOp::VolatileRead(v))
+    }
+
+    /// Appends a volatile write.
+    pub fn volatile_write(self, v: VarId) -> Self {
+        self.op(ProgramOp::VolatileWrite(v))
+    }
+
+    /// Appends a fork of `t`.
+    pub fn fork(self, t: ThreadId) -> Self {
+        self.op(ProgramOp::Fork(t))
+    }
+
+    /// Appends a join of `t`.
+    pub fn join(self, t: ThreadId) -> Self {
+        self.op(ProgramOp::Join(t))
+    }
+
+    /// Appends a `wait()` on `m`.
+    pub fn wait(self, m: LockId) -> Self {
+        self.op(ProgramOp::Wait(m))
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[(ProgramOp, Loc)] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A whole multithreaded program: one [`ThreadSpec`] per thread id.
+///
+/// Threads that are the target of a `Fork` start blocked until forked; all
+/// other threads are runnable immediately.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    threads: Vec<ThreadSpec>,
+}
+
+impl Program {
+    /// Creates a program from per-thread specs (index = thread id).
+    pub fn new(threads: Vec<ThreadSpec>) -> Self {
+        Program { threads }
+    }
+
+    /// The thread programs.
+    pub fn threads(&self) -> &[ThreadSpec] {
+        &self.threads
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total operation count (before `Wait` expansion).
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(ThreadSpec::len).sum()
+    }
+
+    /// Threads that are fork targets (start blocked).
+    pub fn fork_targets(&self) -> Vec<ThreadId> {
+        let mut out = Vec::new();
+        for spec in &self.threads {
+            for &(op, _) in spec.ops() {
+                if let ProgramOp::Fork(t) = op {
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Converts a program operation into the trace-level operations it emits
+/// (one, or two for `Wait`).
+pub(crate) fn lower(op: ProgramOp) -> [Option<Op>; 2] {
+    match op {
+        ProgramOp::Read(x) => [Some(Op::Read(x)), None],
+        ProgramOp::Write(x) => [Some(Op::Write(x)), None],
+        ProgramOp::Acquire(m) => [Some(Op::Acquire(m)), None],
+        ProgramOp::Release(m) => [Some(Op::Release(m)), None],
+        ProgramOp::VolatileRead(v) => [Some(Op::VolatileRead(v)), None],
+        ProgramOp::VolatileWrite(v) => [Some(Op::VolatileWrite(v)), None],
+        ProgramOp::Fork(t) => [Some(Op::Fork(t)), None],
+        ProgramOp::Join(t) => [Some(Op::Join(t)), None],
+        ProgramOp::Wait(m) => [Some(Op::Release(m)), Some(Op::Acquire(m))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_locations() {
+        let spec = ThreadSpec::new()
+            .read(VarId::new(0))
+            .write(VarId::new(1))
+            .acquire(LockId::new(0));
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.ops()[0].1, Loc::new(0));
+        assert_eq!(spec.ops()[2].1, Loc::new(2));
+    }
+
+    #[test]
+    fn explicit_locations_model_loops() {
+        let loc = Loc::new(9);
+        let spec = ThreadSpec::new()
+            .op_at(ProgramOp::Write(VarId::new(0)), loc)
+            .op_at(ProgramOp::Write(VarId::new(0)), loc);
+        assert_eq!(spec.ops()[0].1, spec.ops()[1].1);
+    }
+
+    #[test]
+    fn fork_targets_are_detected() {
+        let p = Program::new(vec![
+            ThreadSpec::new().fork(ThreadId::new(1)).join(ThreadId::new(1)),
+            ThreadSpec::new().write(VarId::new(0)),
+        ]);
+        assert_eq!(p.fork_targets(), vec![ThreadId::new(1)]);
+        assert_eq!(p.total_ops(), 3);
+    }
+
+    #[test]
+    fn wait_lowers_to_release_acquire() {
+        let [a, b] = lower(ProgramOp::Wait(LockId::new(2)));
+        assert_eq!(a, Some(Op::Release(LockId::new(2))));
+        assert_eq!(b, Some(Op::Acquire(LockId::new(2))));
+    }
+}

@@ -1,0 +1,362 @@
+//! Deterministic execution of [`Program`]s into well-formed traces.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smarttrack_clock::ThreadId;
+use smarttrack_trace::{Event, LockId, Op, Trace, TraceBuilder};
+
+use crate::program::{lower, Program};
+
+/// How the scheduler interleaves runnable threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Run the lowest-id runnable thread to completion (or until it blocks);
+    /// for unsynchronized programs this yields the program-order
+    /// linearization the paper's figures use.
+    ProgramOrder,
+    /// Round-robin with the given quantum (operations per turn).
+    RoundRobin(usize),
+    /// Seeded uniformly random choice per step (different seeds explore
+    /// different interleavings, like the paper's 10-trial methodology).
+    Random(u64),
+}
+
+/// Execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// All unfinished threads are blocked (lock cycle or join cycle).
+    Deadlock {
+        /// Threads still having operations to run.
+        blocked: Vec<ThreadId>,
+    },
+    /// A thread released a lock it does not hold, double-forked, etc.
+    IllFormed(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Deadlock { blocked } => {
+                write!(f, "deadlock: threads {blocked:?} are blocked")
+            }
+            ExecError::IllFormed(msg) => write!(f, "ill-formed program: {msg}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Steps a [`Program`] to produce a [`Trace`], calling an observer per event
+/// (the hook the online monitor uses).
+pub struct Scheduler<'a> {
+    program: &'a Program,
+    policy: SchedulePolicy,
+    /// Per-thread: index of the next op, plus a pending second half of a
+    /// lowered `Wait`.
+    positions: Vec<usize>,
+    pending: Vec<Option<Op>>,
+    started: Vec<bool>,
+    lock_holder: HashMap<LockId, ThreadId>,
+    rng: SmallRng,
+    rr_current: usize,
+    rr_left: usize,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Prepares an execution.
+    pub fn new(program: &'a Program, policy: SchedulePolicy) -> Self {
+        let n = program.num_threads();
+        let fork_targets = program.fork_targets();
+        let started = (0..n)
+            .map(|t| !fork_targets.contains(&ThreadId::new(t as u32)))
+            .collect();
+        let seed = match policy {
+            SchedulePolicy::Random(s) => s,
+            _ => 0,
+        };
+        Scheduler {
+            program,
+            policy,
+            positions: vec![0; n],
+            pending: vec![None; n],
+            started,
+            lock_holder: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x0dd5_eed5),
+            rr_current: 0,
+            rr_left: match policy {
+                SchedulePolicy::RoundRobin(q) => q.max(1),
+                _ => 0,
+            },
+        }
+    }
+
+    /// Runs to completion, returning the trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Deadlock`] if unfinished threads all block;
+    /// [`ExecError::IllFormed`] for programs violating lock/fork discipline.
+    pub fn run(mut self, mut observer: impl FnMut(usize, &Event)) -> Result<Trace, ExecError> {
+        let mut builder = TraceBuilder::new();
+        loop {
+            let runnable = self.runnable_threads();
+            if runnable.is_empty() {
+                let blocked: Vec<ThreadId> = (0..self.program.num_threads())
+                    .filter(|&t| !self.finished(t))
+                    .map(|t| ThreadId::new(t as u32))
+                    .collect();
+                if blocked.is_empty() {
+                    return Ok(builder.finish());
+                }
+                return Err(ExecError::Deadlock { blocked });
+            }
+            let t = self.pick(&runnable);
+            let (op, loc) = self.next_op(t).expect("runnable thread has an op");
+            let event = Event::with_loc(ThreadId::new(t as u32), op, loc);
+            let id = builder
+                .push_event(event)
+                .map_err(|e| ExecError::IllFormed(e.to_string()))?;
+            observer(id.index(), &event);
+            self.apply(t, op);
+        }
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pending[t].is_none() && self.positions[t] >= self.program.threads()[t].len()
+    }
+
+    fn peek(&self, t: usize) -> Option<Op> {
+        if let Some(op) = self.pending[t] {
+            return Some(op);
+        }
+        let (pop, _) = *self.program.threads()[t].ops().get(self.positions[t])?;
+        lower(pop)[0]
+    }
+
+    fn runnable_threads(&self) -> Vec<usize> {
+        (0..self.program.num_threads())
+            .filter(|&t| self.started[t] && !self.finished(t))
+            .filter(|&t| match self.peek(t) {
+                Some(Op::Acquire(m)) => !self.lock_holder.contains_key(&m),
+                Some(Op::Join(u)) => self.finished(u.index()),
+                Some(_) => true,
+                None => false,
+            })
+            .collect()
+    }
+
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        match self.policy {
+            SchedulePolicy::ProgramOrder => runnable[0],
+            SchedulePolicy::Random(_) => runnable[self.rng.gen_range(0..runnable.len())],
+            SchedulePolicy::RoundRobin(q) => {
+                if !runnable.contains(&self.rr_current) || self.rr_left == 0 {
+                    let next = runnable
+                        .iter()
+                        .copied()
+                        .find(|&t| t > self.rr_current)
+                        .unwrap_or(runnable[0]);
+                    self.rr_current = next;
+                    self.rr_left = q.max(1);
+                }
+                self.rr_left -= 1;
+                self.rr_current
+            }
+        }
+    }
+
+    fn next_op(&mut self, t: usize) -> Option<(Op, smarttrack_trace::Loc)> {
+        if let Some(op) = self.pending[t].take() {
+            let (_, loc) = self.program.threads()[t].ops()[self.positions[t] - 1];
+            return Some((op, loc));
+        }
+        let (pop, loc) = *self.program.threads()[t].ops().get(self.positions[t])?;
+        self.positions[t] += 1;
+        let [first, second] = lower(pop);
+        self.pending[t] = second;
+        Some((first.expect("every program op lowers to at least one event"), loc))
+    }
+
+    fn apply(&mut self, t: usize, op: Op) {
+        let tid = ThreadId::new(t as u32);
+        match op {
+            Op::Acquire(m) => {
+                self.lock_holder.insert(m, tid);
+            }
+            Op::Release(m) => {
+                self.lock_holder.remove(&m);
+            }
+            Op::Fork(u) => {
+                self.started[u.index()] = true;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Convenience: executes a program and returns the trace.
+///
+/// # Errors
+///
+/// See [`Scheduler::run`].
+pub fn execute(program: &Program, policy: SchedulePolicy) -> Result<Trace, ExecError> {
+    Scheduler::new(program, policy).run(|_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadSpec;
+    use smarttrack_trace::VarId;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    #[test]
+    fn program_order_runs_threads_sequentially() {
+        let p = Program::new(vec![
+            ThreadSpec::new().write(x(0)).write(x(1)),
+            ThreadSpec::new().read(x(0)),
+        ]);
+        let tr = execute(&p, SchedulePolicy::ProgramOrder).unwrap();
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.events()[0].tid, t(0));
+        assert_eq!(tr.events()[2].tid, t(1));
+    }
+
+    #[test]
+    fn locks_block_until_released() {
+        let p = Program::new(vec![
+            ThreadSpec::new().acquire(m(0)).write(x(0)).release(m(0)),
+            ThreadSpec::new().acquire(m(0)).write(x(0)).release(m(0)),
+        ]);
+        for policy in [
+            SchedulePolicy::ProgramOrder,
+            SchedulePolicy::RoundRobin(1),
+            SchedulePolicy::Random(7),
+        ] {
+            let tr = execute(&p, policy).unwrap();
+            assert_eq!(tr.len(), 6, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_per_seed() {
+        let p = Program::new(vec![
+            ThreadSpec::new().write(x(0)).write(x(1)).write(x(2)),
+            ThreadSpec::new().read(x(0)).read(x(1)).read(x(2)),
+        ]);
+        let a = execute(&p, SchedulePolicy::Random(3)).unwrap();
+        let b = execute(&p, SchedulePolicy::Random(3)).unwrap();
+        assert_eq!(a, b);
+        let c = execute(&p, SchedulePolicy::Random(4)).unwrap();
+        assert!(a == c || a != c, "either way is legal; both well-formed");
+    }
+
+    #[test]
+    fn fork_join_structure_is_respected() {
+        let p = Program::new(vec![
+            ThreadSpec::new()
+                .write(x(0))
+                .fork(t(1))
+                .join(t(1))
+                .read(x(0)),
+            ThreadSpec::new().write(x(0)),
+        ]);
+        let tr = execute(&p, SchedulePolicy::Random(11)).unwrap();
+        let order: Vec<&str> = tr
+            .events()
+            .iter()
+            .map(|e| match e.op {
+                Op::Fork(_) => "fork",
+                Op::Join(_) => "join",
+                Op::Write(_) if e.tid == t(1) => "child",
+                _ => "parent",
+            })
+            .collect();
+        let fork = order.iter().position(|&s| s == "fork").unwrap();
+        let join = order.iter().position(|&s| s == "join").unwrap();
+        let child = order.iter().position(|&s| s == "child").unwrap();
+        assert!(fork < child && child < join);
+    }
+
+    #[test]
+    fn wait_expands_to_release_acquire() {
+        let p = Program::new(vec![ThreadSpec::new()
+            .acquire(m(0))
+            .wait(m(0))
+            .release(m(0))]);
+        let tr = execute(&p, SchedulePolicy::ProgramOrder).unwrap();
+        let ops: Vec<Op> = tr.events().iter().map(|e| e.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Acquire(m(0)),
+                Op::Release(m(0)),
+                Op::Acquire(m(0)),
+                Op::Release(m(0))
+            ]
+        );
+    }
+
+    #[test]
+    fn wait_allows_another_thread_in() {
+        // The whole point of wait(): another thread can take the lock.
+        let p = Program::new(vec![
+            ThreadSpec::new().acquire(m(0)).wait(m(0)).release(m(0)),
+            ThreadSpec::new().acquire(m(0)).write(x(0)).release(m(0)),
+        ]);
+        let tr = execute(&p, SchedulePolicy::RoundRobin(1)).unwrap();
+        assert_eq!(tr.len(), 7);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let p = Program::new(vec![
+            ThreadSpec::new()
+                .acquire(m(0))
+                .acquire(m(1))
+                .release(m(1))
+                .release(m(0)),
+            ThreadSpec::new()
+                .acquire(m(1))
+                .acquire(m(0))
+                .release(m(0))
+                .release(m(1)),
+        ]);
+        // Round-robin with quantum 1 drives both threads into the cycle.
+        let err = execute(&p, SchedulePolicy::RoundRobin(1)).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn join_of_unfinished_thread_blocks_until_done() {
+        let p = Program::new(vec![
+            ThreadSpec::new().fork(t(1)).join(t(1)).read(x(0)),
+            ThreadSpec::new().write(x(0)).write(x(0)),
+        ]);
+        let tr = execute(&p, SchedulePolicy::RoundRobin(1)).unwrap();
+        let join_pos = tr
+            .events()
+            .iter()
+            .position(|e| matches!(e.op, Op::Join(_)))
+            .unwrap();
+        let last_child = tr
+            .events()
+            .iter()
+            .rposition(|e| e.tid == t(1))
+            .unwrap();
+        assert!(last_child < join_pos);
+    }
+}

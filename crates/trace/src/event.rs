@@ -1,0 +1,210 @@
+use std::fmt;
+
+use smarttrack_clock::ThreadId;
+
+use crate::{LockId, Loc, VarId};
+
+/// Index of an event within a [`Trace`](crate::Trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u32);
+
+impl EventId {
+    /// Creates an event id from a trace index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        EventId(index)
+    }
+
+    /// Returns the trace index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for EventId {
+    fn from(i: u32) -> Self {
+        EventId(i)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The operation performed by an event.
+///
+/// The paper's core model has `rd`, `wr`, `acq`, `rel` (§2.1); `fork`, `join`
+/// and volatile accesses are the additional synchronization primitives every
+/// evaluated analysis supports (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `rd(x)` — read the shared variable `x`.
+    Read(VarId),
+    /// `wr(x)` — write the shared variable `x`.
+    Write(VarId),
+    /// `acq(m)` — acquire the lock `m`.
+    Acquire(LockId),
+    /// `rel(m)` — release the lock `m`.
+    Release(LockId),
+    /// Fork the given thread (establishes order to the child's first event).
+    Fork(ThreadId),
+    /// Join the given thread (establishes order from the child's last event).
+    Join(ThreadId),
+    /// Read of a volatile variable (synchronization access, §5.1).
+    VolatileRead(VarId),
+    /// Write of a volatile variable (synchronization access, §5.1).
+    VolatileWrite(VarId),
+}
+
+impl Op {
+    /// Returns the accessed variable for (non-volatile) reads and writes.
+    #[inline]
+    pub fn access_var(&self) -> Option<VarId> {
+        match self {
+            Op::Read(x) | Op::Write(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `wr(x)`.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write(_))
+    }
+
+    /// Returns `true` for `rd(x)`.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read(_))
+    }
+
+    /// Returns `true` for any synchronization operation (everything except
+    /// plain reads and writes).
+    #[inline]
+    pub fn is_sync(&self) -> bool {
+        !matches!(self, Op::Read(_) | Op::Write(_))
+    }
+
+    /// Returns whether two operations *conflict*: both access the same
+    /// variable and at least one is a write (the `≍` relation, §2.2, modulo
+    /// the different-thread requirement checked by the caller).
+    #[inline]
+    pub fn conflicts_with(&self, other: &Op) -> bool {
+        match (self.access_var(), other.access_var()) {
+            (Some(a), Some(b)) => a == b && (self.is_write() || other.is_write()),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(x) => write!(f, "rd({x})"),
+            Op::Write(x) => write!(f, "wr({x})"),
+            Op::Acquire(m) => write!(f, "acq({m})"),
+            Op::Release(m) => write!(f, "rel({m})"),
+            Op::Fork(t) => write!(f, "fork({t})"),
+            Op::Join(t) => write!(f, "join({t})"),
+            Op::VolatileRead(v) => write!(f, "vrd({v})"),
+            Op::VolatileWrite(v) => write!(f, "vwr({v})"),
+        }
+    }
+}
+
+/// A single event of an execution trace: a thread, an operation, and the
+/// static program location that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// The executing thread (`thr(e)` in the paper).
+    pub tid: ThreadId,
+    /// The operation.
+    pub op: Op,
+    /// Static program location (used for statically-distinct race counting).
+    pub loc: Loc,
+}
+
+impl Event {
+    /// Creates an event with an unknown source location.
+    #[inline]
+    pub fn new(tid: ThreadId, op: Op) -> Self {
+        Event {
+            tid,
+            op,
+            loc: Loc::UNKNOWN,
+        }
+    }
+
+    /// Creates an event with a source location.
+    #[inline]
+    pub fn with_loc(tid: ThreadId, op: Op, loc: Loc) -> Self {
+        Event { tid, op, loc }
+    }
+
+    /// Returns whether this event conflicts with `other` (`e ≍ e'`, §2.2):
+    /// different threads, same variable, at least one write.
+    #[inline]
+    pub fn conflicts_with(&self, other: &Event) -> bool {
+        self.tid != other.tid && self.op.conflicts_with(&other.op)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.tid, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn conflict_requires_write_and_same_var() {
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        assert!(Op::Read(x).conflicts_with(&Op::Write(x)));
+        assert!(Op::Write(x).conflicts_with(&Op::Write(x)));
+        assert!(!Op::Read(x).conflicts_with(&Op::Read(x)));
+        assert!(!Op::Write(x).conflicts_with(&Op::Write(y)));
+        assert!(!Op::Write(x).conflicts_with(&Op::Acquire(LockId::new(0))));
+    }
+
+    #[test]
+    fn event_conflict_requires_different_threads() {
+        let x = VarId::new(0);
+        let a = Event::new(t(0), Op::Write(x));
+        let b = Event::new(t(0), Op::Read(x));
+        let c = Event::new(t(1), Op::Read(x));
+        assert!(!a.conflicts_with(&b));
+        assert!(a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn sync_classification() {
+        assert!(Op::Acquire(LockId::new(0)).is_sync());
+        assert!(Op::Fork(t(1)).is_sync());
+        assert!(Op::VolatileRead(VarId::new(0)).is_sync());
+        assert!(!Op::Read(VarId::new(0)).is_sync());
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Event::new(t(1), Op::Acquire(LockId::new(2)));
+        assert_eq!(e.to_string(), "T1:acq(m2)");
+        assert_eq!(Op::VolatileWrite(VarId::new(3)).to_string(), "vwr(x3)");
+    }
+}

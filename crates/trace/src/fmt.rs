@@ -1,0 +1,302 @@
+//! Plain-text serialization and pretty-printing of traces.
+//!
+//! The line format is `T<tid> <op> [<arg>] [@L<loc>]`, one event per line:
+//!
+//! ```text
+//! T0 rd x0 @L0
+//! T0 acq m0
+//! T1 wr x0 @L7
+//! T0 fork T2
+//! T1 vwr v3
+//! ```
+//!
+//! [`render_columns`] produces the paper's figure layout (one column per
+//! thread, trace order top to bottom) for small traces.
+
+use std::error::Error;
+use std::fmt;
+
+use smarttrack_clock::ThreadId;
+
+use crate::{Event, LockId, Loc, Op, Trace, TraceError, VarId};
+
+/// Error from [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The parsed events do not form a well-formed trace.
+    Malformed(TraceError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Malformed(e) => write!(f, "malformed trace: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<TraceError> for ParseError {
+    fn from(e: TraceError) -> Self {
+        ParseError::Malformed(e)
+    }
+}
+
+/// Renders a trace in the line format (inverse of [`parse`]).
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        render_event(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_event(out: &mut String, e: &Event) {
+    use fmt::Write;
+    let _ = match e.op {
+        Op::Read(x) => write!(out, "T{} rd x{}", e.tid.raw(), x.raw()),
+        Op::Write(x) => write!(out, "T{} wr x{}", e.tid.raw(), x.raw()),
+        Op::Acquire(m) => write!(out, "T{} acq m{}", e.tid.raw(), m.raw()),
+        Op::Release(m) => write!(out, "T{} rel m{}", e.tid.raw(), m.raw()),
+        Op::Fork(t) => write!(out, "T{} fork T{}", e.tid.raw(), t.raw()),
+        Op::Join(t) => write!(out, "T{} join T{}", e.tid.raw(), t.raw()),
+        Op::VolatileRead(v) => write!(out, "T{} vrd v{}", e.tid.raw(), v.raw()),
+        Op::VolatileWrite(v) => write!(out, "T{} vwr v{}", e.tid.raw(), v.raw()),
+    };
+    if !e.loc.is_unknown() {
+        let _ = write!(out, " @L{}", e.loc.raw());
+    }
+}
+
+fn parse_prefixed(token: &str, prefix: char, line: usize) -> Result<u32, ParseError> {
+    let rest = token
+        .strip_prefix(prefix)
+        .ok_or_else(|| ParseError::BadLine {
+            line,
+            message: format!("expected `{prefix}<n>`, got `{token}`"),
+        })?;
+    rest.parse().map_err(|_| ParseError::BadLine {
+        line,
+        message: format!("bad number in `{token}`"),
+    })
+}
+
+/// Parses the line format produced by [`render`].
+///
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseError::BadLine`] for unparseable lines and
+/// [`ParseError::Malformed`] if the events violate trace well-formedness.
+pub fn parse(text: &str) -> Result<Trace, ParseError> {
+    let mut builder = crate::TraceBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tid_tok = parts.next().expect("nonempty line has a token");
+        let tid = ThreadId::new(parse_prefixed(tid_tok, 'T', line_no)?);
+        let op_tok = parts.next().ok_or_else(|| ParseError::BadLine {
+            line: line_no,
+            message: "missing operation".into(),
+        })?;
+        let arg_tok = parts.next().ok_or_else(|| ParseError::BadLine {
+            line: line_no,
+            message: "missing operand".into(),
+        })?;
+        let op = match op_tok {
+            "rd" => Op::Read(VarId::new(parse_prefixed(arg_tok, 'x', line_no)?)),
+            "wr" => Op::Write(VarId::new(parse_prefixed(arg_tok, 'x', line_no)?)),
+            "acq" => Op::Acquire(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
+            "rel" => Op::Release(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
+            "fork" => Op::Fork(ThreadId::new(parse_prefixed(arg_tok, 'T', line_no)?)),
+            "join" => Op::Join(ThreadId::new(parse_prefixed(arg_tok, 'T', line_no)?)),
+            "vrd" => Op::VolatileRead(VarId::new(parse_prefixed(arg_tok, 'v', line_no)?)),
+            "vwr" => Op::VolatileWrite(VarId::new(parse_prefixed(arg_tok, 'v', line_no)?)),
+            other => {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    message: format!("unknown operation `{other}`"),
+                })
+            }
+        };
+        let loc = match parts.next() {
+            Some(tok) => {
+                let raw = tok.strip_prefix('@').ok_or_else(|| ParseError::BadLine {
+                    line: line_no,
+                    message: format!("expected `@L<n>`, got `{tok}`"),
+                })?;
+                Loc::new(parse_prefixed(raw, 'L', line_no)?)
+            }
+            None => Loc::UNKNOWN,
+        };
+        builder.push_at(tid, op, loc)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Renders a trace in the paper's figure layout: one column per thread,
+/// events in trace order top to bottom.
+///
+/// Intended for small example traces; columns are sized to the widest
+/// operation.
+pub fn render_columns(trace: &Trace) -> String {
+    let nthreads = trace.num_threads();
+    let ops: Vec<String> = trace.events().iter().map(|e| e.op.to_string()).collect();
+    let width = ops
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(8)
+        .max("Thread 1".len())
+        + 2;
+    let mut out = String::new();
+    for t in 0..nthreads {
+        let header = format!("Thread {}", t + 1);
+        out.push_str(&format!("{header:<width$}"));
+    }
+    out.push('\n');
+    for (e, op) in trace.events().iter().zip(&ops) {
+        for t in 0..nthreads {
+            if t == e.tid.index() {
+                out.push_str(&format!("{op:<width$}"));
+            } else {
+                out.push_str(&" ".repeat(width));
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let tr = paper::figure3();
+        let text = render(&tr);
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let tr = parse("# header\n\nT0 wr x0\nT1 rd x0 @L5\n").unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.events()[1].loc, Loc::new(5));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse("T0 wr x0\nT0 oops x0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces() {
+        let err = parse("T0 rel m0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_operand_prefix() {
+        let err = parse("T0 rd m0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn columns_layout_places_ops_under_threads() {
+        let tr = paper::figure1();
+        let s = render_columns(&tr);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("Thread 1") && lines[0].contains("Thread 2"));
+        assert!(lines[1].starts_with("rd(x0)"));
+        // T2's first event is indented into the second column.
+        assert!(lines[5].trim_start().starts_with("acq(m0)"));
+        assert!(lines[5].starts_with(' '));
+    }
+
+    #[test]
+    fn round_trip_random_traces() {
+        use crate::gen::RandomTraceSpec;
+        for seed in 0..5 {
+            let tr = RandomTraceSpec {
+                volatiles: 2,
+                volatile_prob: 0.1,
+                fork_join: true,
+                events: 300,
+                ..RandomTraceSpec::default()
+            }
+            .generate(seed);
+            assert_eq!(parse(&render(&tr)).unwrap(), tr);
+        }
+    }
+}
+
+/// Writes a trace to a file in the line format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file<P: AsRef<std::path::Path>>(trace: &Trace, path: P) -> std::io::Result<()> {
+    std::fs::write(path, render(trace))
+}
+
+/// Reads a trace from a file in the line format.
+///
+/// # Errors
+///
+/// Returns an I/O error wrapped as `InvalidData` for parse failures.
+pub fn read_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Trace> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("smarttrack-fmt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure2.trace");
+        let tr = paper::figure2();
+        write_file(&tr, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(tr, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_file_reports_parse_errors_as_invalid_data() {
+        let dir = std::env::temp_dir().join("smarttrack-fmt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "T0 oops x0\n").unwrap();
+        let err = read_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,451 @@
+//! Interchange trace formats.
+//!
+//! Besides the native line format ([`fmt`](crate::fmt)), traces can be read
+//! from and written to two formats used by existing race-detection tooling,
+//! so recorded executions from other systems can be analyzed directly:
+//!
+//! * **STD** ([`parse_std`]/[`render_std`]) — the `RAPID`-style format used
+//!   by the WCP authors' tooling and by RoadRunner trace dumps:
+//!   one event per line, `<thread>|<operation>(<target>)|<location>`, e.g.
+//!   `T0|r(V1)|201`. Operations: `r`/`w` (reads/writes), `acq`/`rel`
+//!   (locks), `fork`/`join` (thread lifecycle). Volatile accesses are not
+//!   part of the common STD dialect; they round-trip through a `vr`/`vw`
+//!   extension that STD-only consumers can treat as unknown lines.
+//! * **CSV** ([`parse_csv`]/[`render_csv`]) — `tid,op,target,loc` rows with
+//!   a header, for spreadsheet-side inspection of small traces.
+//!
+//! Identifier mapping: STD and CSV name threads `T<k>`, variables `V<k>`,
+//! and locks `L<k>`; the native model uses dense `u32` indices, so names map
+//! through their numeric suffix. Parsers accept arbitrary non-numeric names
+//! too, interning them in first-appearance order.
+//!
+//! # Examples
+//!
+//! ```
+//! use smarttrack_trace::formats;
+//!
+//! let text = "\
+//! T0|r(V0)|10
+//! T0|acq(L0)|11
+//! T0|rel(L0)|12
+//! T1|w(V0)|20
+//! ";
+//! let trace = formats::parse_std(text)?;
+//! assert_eq!(trace.len(), 4);
+//! assert_eq!(formats::parse_std(&formats::render_std(&trace))?, trace);
+//! # Ok::<(), smarttrack_trace::formats::FormatError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use smarttrack_clock::ThreadId;
+
+use crate::{Event, LockId, Loc, Op, Trace, TraceBuilder, TraceError, VarId};
+
+/// Error from the interchange-format parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// A line (or row) could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The parsed events do not form a well-formed trace.
+    Malformed(TraceError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+            FormatError::Malformed(e) => write!(f, "malformed trace: {e}"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+impl From<TraceError> for FormatError {
+    fn from(e: TraceError) -> Self {
+        FormatError::Malformed(e)
+    }
+}
+
+/// Maps external entity names to dense ids: numeric suffixes (`T3`, `V17`,
+/// `L2`, or bare numbers) map directly; anything else interns in
+/// first-appearance order, above the numeric range already seen.
+#[derive(Debug, Default)]
+struct Interner {
+    named: HashMap<String, u32>,
+    next_synthetic: u32,
+}
+
+impl Interner {
+    fn resolve(&mut self, name: &str, prefix: char) -> u32 {
+        let trimmed = name
+            .strip_prefix(prefix)
+            .or_else(|| name.strip_prefix(prefix.to_ascii_uppercase()))
+            .unwrap_or(name);
+        if let Ok(n) = trimmed.parse::<u32>() {
+            self.next_synthetic = self.next_synthetic.max(n + 1);
+            return n;
+        }
+        if let Some(&id) = self.named.get(name) {
+            return id;
+        }
+        let id = self.next_synthetic;
+        self.next_synthetic += 1;
+        self.named.insert(name.to_string(), id);
+        id
+    }
+}
+
+#[derive(Debug, Default)]
+struct Interners {
+    threads: Interner,
+    vars: Interner,
+    locks: Interner,
+    volatiles: Interner,
+}
+
+fn event_from_parts(
+    interners: &mut Interners,
+    tid: &str,
+    op: &str,
+    target: &str,
+    loc: Option<u32>,
+    line: usize,
+) -> Result<Event, FormatError> {
+    let t = ThreadId::new(interners.threads.resolve(tid, 't'));
+    let op = match op {
+        "r" | "read" => Op::Read(VarId::new(interners.vars.resolve(target, 'v'))),
+        "w" | "write" => Op::Write(VarId::new(interners.vars.resolve(target, 'v'))),
+        "acq" | "acquire" => Op::Acquire(LockId::new(interners.locks.resolve(target, 'l'))),
+        "rel" | "release" => Op::Release(LockId::new(interners.locks.resolve(target, 'l'))),
+        "fork" => Op::Fork(ThreadId::new(interners.threads.resolve(target, 't'))),
+        "join" => Op::Join(ThreadId::new(interners.threads.resolve(target, 't'))),
+        "vr" => Op::VolatileRead(VarId::new(interners.volatiles.resolve(target, 'v'))),
+        "vw" => Op::VolatileWrite(VarId::new(interners.volatiles.resolve(target, 'v'))),
+        other => {
+            return Err(FormatError::BadLine {
+                line,
+                message: format!("unknown operation `{other}`"),
+            })
+        }
+    };
+    let loc = loc.map(Loc::new).unwrap_or(Loc::UNKNOWN);
+    Ok(Event::with_loc(t, op, loc))
+}
+
+/// Parses the STD (`RAPID`) line format: `<thread>|<op>(<target>)|<loc>`.
+///
+/// Empty lines and `#` comments are skipped. The trailing `|<loc>` segment
+/// is optional.
+///
+/// # Errors
+///
+/// [`FormatError::BadLine`] on syntax problems;
+/// [`FormatError::Malformed`] if the events violate trace well-formedness
+/// (e.g. releasing a lock that is not held).
+pub fn parse_std(text: &str) -> Result<Trace, FormatError> {
+    let mut interners = Interners::default();
+    let mut builder = TraceBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('|');
+        let tid = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+            FormatError::BadLine {
+                line,
+                message: "missing thread field".into(),
+            }
+        })?;
+        let op_field = parts.next().ok_or_else(|| FormatError::BadLine {
+            line,
+            message: "missing operation field".into(),
+        })?;
+        let loc = match parts.next() {
+            None | Some("") => None,
+            Some(s) => Some(s.trim().parse::<u32>().map_err(|_| FormatError::BadLine {
+                line,
+                message: format!("bad location `{s}`"),
+            })?),
+        };
+        let (op, target) = split_op(op_field).ok_or_else(|| FormatError::BadLine {
+            line,
+            message: format!("bad operation syntax `{op_field}` (want `op(target)`)"),
+        })?;
+        let event = event_from_parts(&mut interners, tid, op, target, loc, line)?;
+        builder.push_event(event)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Splits `op(target)` into its parts.
+fn split_op(field: &str) -> Option<(&str, &str)> {
+    let open = field.find('(')?;
+    let close = field.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    Some((field[..open].trim(), field[open + 1..close].trim()))
+}
+
+/// Renders a trace in the STD line format (inverse of [`parse_std`]).
+pub fn render_std(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        let (op, target) = std_op(&e.op);
+        out.push_str(&format!("T{}|{}({})", e.tid.raw(), op, target));
+        if e.loc != Loc::UNKNOWN {
+            out.push_str(&format!("|{}", e.loc.raw()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn std_op(op: &Op) -> (&'static str, String) {
+    match op {
+        Op::Read(x) => ("r", format!("V{}", x.raw())),
+        Op::Write(x) => ("w", format!("V{}", x.raw())),
+        Op::Acquire(m) => ("acq", format!("L{}", m.raw())),
+        Op::Release(m) => ("rel", format!("L{}", m.raw())),
+        Op::Fork(t) => ("fork", format!("T{}", t.raw())),
+        Op::Join(t) => ("join", format!("T{}", t.raw())),
+        Op::VolatileRead(v) => ("vr", format!("V{}", v.raw())),
+        Op::VolatileWrite(v) => ("vw", format!("V{}", v.raw())),
+    }
+}
+
+/// Parses the CSV format: header `tid,op,target,loc`, then one row per
+/// event. `loc` may be empty.
+///
+/// # Errors
+///
+/// Same classes as [`parse_std`].
+pub fn parse_csv(text: &str) -> Result<Trace, FormatError> {
+    let mut interners = Interners::default();
+    let mut builder = TraceBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || (line == 1 && trimmed.eq_ignore_ascii_case("tid,op,target,loc"))
+        {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 3 {
+            return Err(FormatError::BadLine {
+                line,
+                message: format!("want `tid,op,target[,loc]`, got {} field(s)", fields.len()),
+            });
+        }
+        let loc = match fields.get(3) {
+            None | Some(&"") => None,
+            Some(s) => Some(s.parse::<u32>().map_err(|_| FormatError::BadLine {
+                line,
+                message: format!("bad location `{s}`"),
+            })?),
+        };
+        let event = event_from_parts(&mut interners, fields[0], fields[1], fields[2], loc, line)?;
+        builder.push_event(event)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Renders a trace as CSV (inverse of [`parse_csv`]).
+pub fn render_csv(trace: &Trace) -> String {
+    let mut out = String::from("tid,op,target,loc\n");
+    for e in trace.events() {
+        let (op, target) = std_op(&e.op);
+        let loc = if e.loc == Loc::UNKNOWN {
+            String::new()
+        } else {
+            e.loc.raw().to_string()
+        };
+        out.push_str(&format!("T{},{},{},{}\n", e.tid.raw(), op, target, loc));
+    }
+    out
+}
+
+/// The trace interchange formats understood by [`parse_as`]/[`render_as`]
+/// (and the CLI's `--format` flag).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The native line format ([`crate::fmt`]).
+    #[default]
+    Native,
+    /// The STD/`RAPID` pipe format.
+    Std,
+    /// Comma-separated rows.
+    Csv,
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "native" => Ok(TraceFormat::Native),
+            "std" | "rapid" => Ok(TraceFormat::Std),
+            "csv" => Ok(TraceFormat::Csv),
+            other => Err(format!(
+                "unknown trace format `{other}` (native, std, csv)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormat::Native => write!(f, "native"),
+            TraceFormat::Std => write!(f, "std"),
+            TraceFormat::Csv => write!(f, "csv"),
+        }
+    }
+}
+
+/// Parses `text` in the given format.
+///
+/// # Errors
+///
+/// Syntax and well-formedness errors as [`FormatError`] (native-format
+/// errors are converted to the same type).
+pub fn parse_as(text: &str, format: TraceFormat) -> Result<Trace, FormatError> {
+    match format {
+        TraceFormat::Native => crate::fmt::parse(text).map_err(|e| match e {
+            crate::fmt::ParseError::BadLine { line, message } => {
+                FormatError::BadLine { line, message }
+            }
+            crate::fmt::ParseError::Malformed(err) => FormatError::Malformed(err),
+        }),
+        TraceFormat::Std => parse_std(text),
+        TraceFormat::Csv => parse_csv(text),
+    }
+}
+
+/// Renders `trace` in the given format.
+pub fn render_as(trace: &Trace, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Native => crate::fmt::render(trace),
+        TraceFormat::Std => render_std(trace),
+        TraceFormat::Csv => render_csv(trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn std_round_trips_paper_figures() {
+        for (name, tr) in paper::all_figures() {
+            let text = render_std(&tr);
+            let back = parse_std(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, tr, "{name}");
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_paper_figures() {
+        for (name, tr) in paper::all_figures() {
+            let back = parse_csv(&render_csv(&tr)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, tr, "{name}");
+        }
+    }
+
+    #[test]
+    fn std_round_trips_random_traces() {
+        use crate::gen::RandomTraceSpec;
+        for seed in 0..10 {
+            let tr = RandomTraceSpec::default().generate(seed);
+            assert_eq!(parse_std(&render_std(&tr)).expect("round trip"), tr);
+            assert_eq!(parse_csv(&render_csv(&tr)).expect("round trip"), tr);
+        }
+    }
+
+    #[test]
+    fn accepts_comments_blank_lines_and_missing_locs() {
+        let text = "\n# a comment\nT0|r(V0)\n\nT1|w(V0)|9\n";
+        let tr = parse_std(text).expect("parses");
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.events()[0].loc, Loc::UNKNOWN);
+        assert_eq!(tr.events()[1].loc, Loc::new(9));
+    }
+
+    #[test]
+    fn interns_symbolic_names_stably() {
+        let text = "main|acq(guard)|1\nmain|w(counter)|2\nmain|rel(guard)|3\nworker|r(counter)|4\n";
+        let tr = parse_std(text).expect("parses");
+        assert_eq!(tr.num_threads(), 2);
+        // `counter` interned once: both accesses hit the same variable.
+        let vars: Vec<_> = tr.events().iter().filter_map(|e| e.op.access_var()).collect();
+        assert_eq!(vars[0], vars[1]);
+    }
+
+    #[test]
+    fn numeric_and_symbolic_names_do_not_collide() {
+        let text = "T0|w(V5)|1\nT0|w(data)|2\nT0|w(V5)|3\n";
+        let tr = parse_std(text).expect("parses");
+        let vars: Vec<_> = tr.events().iter().filter_map(|e| e.op.access_var()).collect();
+        assert_eq!(vars[0], vars[2], "V5 stays V5");
+        assert_ne!(vars[0], vars[1], "`data` interns above the numeric range");
+    }
+
+    #[test]
+    fn rejects_unknown_operations() {
+        let err = parse_std("T0|frobnicate(V0)|1").unwrap_err();
+        assert!(matches!(err, FormatError::BadLine { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_syntax_with_line_numbers() {
+        let err = parse_std("T0|r(V0)|1\nnot a line\n").unwrap_err();
+        match err {
+            FormatError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ill_formed_lock_usage() {
+        let err = parse_std("T0|rel(L0)|1").unwrap_err();
+        assert!(matches!(err, FormatError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn csv_header_is_optional_but_skipped() {
+        let with = parse_csv("tid,op,target,loc\nT0,w,V0,1\n").expect("with header");
+        let without = parse_csv("T0,w,V0,1\n").expect("without header");
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn format_names_parse() {
+        assert_eq!("std".parse::<TraceFormat>(), Ok(TraceFormat::Std));
+        assert_eq!("RAPID".parse::<TraceFormat>(), Ok(TraceFormat::Std));
+        assert_eq!("csv".parse::<TraceFormat>(), Ok(TraceFormat::Csv));
+        assert_eq!("native".parse::<TraceFormat>(), Ok(TraceFormat::Native));
+        assert!("xml".parse::<TraceFormat>().is_err());
+        assert_eq!(TraceFormat::Std.to_string(), "std");
+    }
+
+    #[test]
+    fn parse_as_dispatches_all_formats() {
+        let tr = paper::figure1();
+        for format in [TraceFormat::Native, TraceFormat::Std, TraceFormat::Csv] {
+            let text = render_as(&tr, format);
+            assert_eq!(parse_as(&text, format).expect("round trip"), tr, "{format}");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Seeded random generation of well-formed execution traces.
+//!
+//! The generator simulates a set of threads taking randomized steps (accesses
+//! in bursts, lock acquire/release with bounded nesting, volatile accesses,
+//! optional fork/join structure) and emits a well-formed [`Trace`]. It is the
+//! workhorse behind the property-based differential tests and the
+//! DaCapo-style workloads (`smarttrack-workloads` layers calibrated
+//! parameters on top of it).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smarttrack_clock::ThreadId;
+
+use crate::{LockId, Loc, Op, Trace, TraceBuilder, VarId};
+
+/// Parameters for random trace generation.
+///
+/// All probabilities are per *step decision*; the remaining probability mass
+/// goes to plain reads/writes.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::gen::RandomTraceSpec;
+///
+/// let spec = RandomTraceSpec { threads: 3, events: 200, ..RandomTraceSpec::default() };
+/// let a = spec.generate(42);
+/// let b = spec.generate(42);
+/// assert_eq!(a, b, "generation is deterministic per seed");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomTraceSpec {
+    /// Number of worker threads.
+    pub threads: u32,
+    /// Target number of events (the result may slightly exceed this because
+    /// open critical sections are closed and joins appended).
+    pub events: usize,
+    /// Number of shared variables.
+    pub vars: u32,
+    /// Number of locks.
+    pub locks: u32,
+    /// Number of volatile variables (0 disables volatile events).
+    pub volatiles: u32,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+    /// Probability a step acquires a (free, random) lock.
+    pub acquire_prob: f64,
+    /// Probability a step releases the innermost held lock.
+    pub release_prob: f64,
+    /// Probability a step performs a volatile access.
+    pub volatile_prob: f64,
+    /// Maximum lock nesting depth per thread.
+    pub max_nesting: usize,
+    /// Mean length of same-variable access bursts (drives the same-epoch
+    /// access fraction of Table 2).
+    pub mean_burst: usize,
+    /// Skew of variable selection toward low indices (`0.0` = uniform;
+    /// higher values concentrate accesses on few variables, creating more
+    /// sharing and more races).
+    pub var_skew: f64,
+    /// Wrap the trace in fork/join structure: thread 0 forks all workers
+    /// first and joins them at the end.
+    pub fork_join: bool,
+    /// Number of distinct static program locations to attribute accesses to.
+    pub locs: u32,
+}
+
+impl Default for RandomTraceSpec {
+    fn default() -> Self {
+        RandomTraceSpec {
+            threads: 4,
+            events: 1_000,
+            vars: 12,
+            locks: 4,
+            volatiles: 0,
+            write_frac: 0.35,
+            acquire_prob: 0.08,
+            release_prob: 0.10,
+            volatile_prob: 0.0,
+            max_nesting: 3,
+            mean_burst: 2,
+            var_skew: 1.0,
+            fork_join: false,
+            locs: 40,
+        }
+    }
+}
+
+impl RandomTraceSpec {
+    /// A tiny-spec preset suitable for exhaustive-oracle cross-checking
+    /// (traces of a few dozen events, 2–3 threads).
+    pub fn tiny() -> Self {
+        RandomTraceSpec {
+            threads: 3,
+            events: 18,
+            vars: 3,
+            locks: 2,
+            volatiles: 0,
+            write_frac: 0.5,
+            acquire_prob: 0.25,
+            release_prob: 0.35,
+            volatile_prob: 0.0,
+            max_nesting: 2,
+            mean_burst: 1,
+            var_skew: 1.0,
+            fork_join: false,
+            locs: 12,
+        }
+    }
+
+    /// Generates a well-formed trace deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or (`vars == 0` while `events > 0`).
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(self.threads > 0, "need at least one thread");
+        assert!(
+            self.vars > 0 || self.events == 0,
+            "need at least one variable"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_5eed_0000_0000);
+        let mut b = TraceBuilder::new();
+        let nthreads = self.threads as usize;
+
+        let mut held: Vec<Vec<LockId>> = vec![Vec::new(); nthreads];
+        let mut burst: Vec<Option<(VarId, usize)>> = vec![None; nthreads];
+        let mut lock_free = vec![true; self.locks as usize];
+
+        if self.fork_join {
+            for child in 1..self.threads {
+                b.push_at(
+                    ThreadId::new(0),
+                    Op::Fork(ThreadId::new(child)),
+                    Loc::new(0),
+                )
+                .expect("fork of fresh thread is well-formed");
+            }
+        }
+
+        while b.len() < self.events {
+            let ti = rng.gen_range(0..nthreads);
+            let tid = ThreadId::new(ti as u32);
+            let loc = Loc::new(rng.gen_range(0..self.locs.max(1)));
+
+            // Continue an access burst if one is active.
+            if let Some((var, left)) = burst[ti] {
+                let op = if rng.gen_bool(self.write_frac) {
+                    Op::Write(var)
+                } else {
+                    Op::Read(var)
+                };
+                b.push_at(tid, op, loc).expect("accesses are well-formed");
+                burst[ti] = if left > 1 { Some((var, left - 1)) } else { None };
+                continue;
+            }
+
+            let roll: f64 = rng.gen();
+            if roll < self.acquire_prob
+                && held[ti].len() < self.max_nesting
+                && lock_free.iter().any(|&f| f)
+            {
+                let free: Vec<usize> = (0..lock_free.len()).filter(|&i| lock_free[i]).collect();
+                let l = free[rng.gen_range(0..free.len())];
+                lock_free[l] = false;
+                let lock = LockId::new(l as u32);
+                held[ti].push(lock);
+                b.push_at(tid, Op::Acquire(lock), loc)
+                    .expect("acquire of free lock is well-formed");
+            } else if roll < self.acquire_prob + self.release_prob && !held[ti].is_empty() {
+                let lock = held[ti].pop().expect("nonempty");
+                lock_free[lock.index()] = true;
+                b.push_at(tid, Op::Release(lock), loc)
+                    .expect("release of held lock is well-formed");
+            } else if roll < self.acquire_prob + self.release_prob + self.volatile_prob
+                && self.volatiles > 0
+            {
+                let v = VarId::new(rng.gen_range(0..self.volatiles));
+                let op = if rng.gen_bool(0.5) {
+                    Op::VolatileRead(v)
+                } else {
+                    Op::VolatileWrite(v)
+                };
+                b.push_at(tid, op, loc).expect("volatiles are well-formed");
+            } else {
+                let var = self.pick_var(&mut rng);
+                let len = 1 + rng.gen_range(0..=(2 * self.mean_burst.max(1)).saturating_sub(1));
+                let op = if rng.gen_bool(self.write_frac) {
+                    Op::Write(var)
+                } else {
+                    Op::Read(var)
+                };
+                b.push_at(tid, op, loc).expect("accesses are well-formed");
+                if len > 1 {
+                    burst[ti] = Some((var, len - 1));
+                }
+            }
+        }
+
+        // Close all open critical sections (innermost first).
+        for (ti, stack) in held.iter_mut().enumerate() {
+            while let Some(lock) = stack.pop() {
+                lock_free[lock.index()] = true;
+                b.push(ThreadId::new(ti as u32), Op::Release(lock))
+                    .expect("closing releases are well-formed");
+            }
+        }
+
+        if self.fork_join {
+            for child in 1..self.threads {
+                b.push_at(
+                    ThreadId::new(0),
+                    Op::Join(ThreadId::new(child)),
+                    Loc::new(0),
+                )
+                .expect("join of forked thread is well-formed");
+            }
+        }
+
+        b.finish()
+    }
+
+    fn pick_var(&self, rng: &mut SmallRng) -> VarId {
+        let r: f64 = rng.gen();
+        let skewed = r.powf(1.0 + self.var_skew);
+        VarId::new(((skewed * self.vars as f64) as u32).min(self.vars - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn generates_requested_size() {
+        let spec = RandomTraceSpec::default();
+        let tr = spec.generate(7);
+        assert!(tr.len() >= spec.events);
+        // Slack only for closing releases and joins.
+        assert!(tr.len() <= spec.events + spec.threads as usize * spec.max_nesting + 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_sensitive_to_seed() {
+        let spec = RandomTraceSpec::default();
+        assert_eq!(spec.generate(1), spec.generate(1));
+        assert_ne!(spec.generate(1), spec.generate(2));
+    }
+
+    #[test]
+    fn generated_traces_revalidate() {
+        for seed in 0..20 {
+            let tr = RandomTraceSpec::default().generate(seed);
+            Trace::from_events(tr.events().iter().copied()).expect("well-formed");
+        }
+    }
+
+    #[test]
+    fn fork_join_wraps_workers() {
+        let spec = RandomTraceSpec {
+            fork_join: true,
+            threads: 4,
+            events: 100,
+            ..RandomTraceSpec::default()
+        };
+        let tr = spec.generate(3);
+        Trace::from_events(tr.events().iter().copied()).expect("well-formed");
+        let forks = tr
+            .events()
+            .iter()
+            .filter(|e| matches!(e.op, Op::Fork(_)))
+            .count();
+        let joins = tr
+            .events()
+            .iter()
+            .filter(|e| matches!(e.op, Op::Join(_)))
+            .count();
+        assert_eq!(forks, 3);
+        assert_eq!(joins, 3);
+    }
+
+    #[test]
+    fn volatile_prob_emits_volatiles() {
+        let spec = RandomTraceSpec {
+            volatiles: 2,
+            volatile_prob: 0.2,
+            events: 500,
+            ..RandomTraceSpec::default()
+        };
+        let tr = spec.generate(11);
+        assert!(tr
+            .events()
+            .iter()
+            .any(|e| matches!(e.op, Op::VolatileRead(_) | Op::VolatileWrite(_))));
+        assert_eq!(tr.num_volatiles(), 2);
+    }
+
+    #[test]
+    fn burst_length_raises_same_epoch_fraction() {
+        let base = RandomTraceSpec {
+            events: 4_000,
+            mean_burst: 1,
+            ..RandomTraceSpec::default()
+        };
+        let bursty = RandomTraceSpec {
+            mean_burst: 8,
+            ..base.clone()
+        };
+        let s1 = TraceStats::compute(&base.generate(5));
+        let s2 = TraceStats::compute(&bursty.generate(5));
+        assert!(
+            s2.nsea_fraction() < s1.nsea_fraction(),
+            "longer bursts must lower the NSEA fraction ({} vs {})",
+            s2.nsea_fraction(),
+            s1.nsea_fraction()
+        );
+    }
+}

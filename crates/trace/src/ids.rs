@@ -1,0 +1,146 @@
+use std::fmt;
+
+/// Identifier of a program variable (an object field, static field, or array
+/// element in the paper's Java setting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        VarId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(i: u32) -> Self {
+        VarId(i)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Identifier of a lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(u32);
+
+impl LockId {
+    /// Creates a lock id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        LockId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for LockId {
+    fn from(i: u32) -> Self {
+        LockId(i)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A static program location (source site) of an access.
+///
+/// The paper counts *statically distinct races* by the program location that
+/// detected the race (§5.6); dynamic events generated from the same program
+/// point share a `Loc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(u32);
+
+impl Loc {
+    /// Location used when no source information is available.
+    pub const UNKNOWN: Loc = Loc(u32::MAX);
+
+    /// Creates a location id.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Loc(index)
+    }
+
+    /// Returns the raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` for [`Loc::UNKNOWN`].
+    #[inline]
+    pub const fn is_unknown(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl Default for Loc {
+    fn default() -> Self {
+        Loc::UNKNOWN
+    }
+}
+
+impl From<u32> for Loc {
+    fn from(i: u32) -> Self {
+        Loc(i)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            write!(f, "L?")
+        } else {
+            write!(f, "L{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VarId::new(3).to_string(), "x3");
+        assert_eq!(LockId::new(0).to_string(), "m0");
+        assert_eq!(Loc::new(12).to_string(), "L12");
+        assert_eq!(Loc::UNKNOWN.to_string(), "L?");
+    }
+
+    #[test]
+    fn unknown_loc_is_default() {
+        assert!(Loc::default().is_unknown());
+        assert!(!Loc::new(0).is_unknown());
+    }
+}

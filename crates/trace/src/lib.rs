@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Execution traces for the SmartTrack reproduction.
+//!
+//! An execution trace (paper §2.1) is a totally ordered list of events, each a
+//! thread id plus an operation `wr(x)`, `rd(x)`, `acq(m)`, or `rel(m)` (plus
+//! the additional synchronization operations handled by the paper's
+//! implementations, §5.1: fork, join, and volatile accesses). Traces must be
+//! *well formed*: a thread only acquires a lock that is not held and only
+//! releases a lock it holds.
+//!
+//! This crate provides:
+//!
+//! * the event and trace model ([`Event`], [`Op`], [`Trace`], [`TraceBuilder`]);
+//! * well-formedness validation with precise errors ([`TraceError`]);
+//! * run-time characteristics in the sense of the paper's Table 2
+//!   ([`stats::TraceStats`]);
+//! * seeded random trace generation for tests and property checks
+//!   ([`gen::RandomTraceSpec`]);
+//! * the paper's example executions (Figures 1–4) in [`paper`];
+//! * a plain-text serialization format and a column renderer ([`fmt`]).
+//!
+//! # Examples
+//!
+//! Build the execution of the paper's Figure 1(a) and inspect it:
+//!
+//! ```
+//! use smarttrack_trace::paper;
+//!
+//! let trace = paper::figure1();
+//! assert_eq!(trace.len(), 8);
+//! assert_eq!(trace.num_threads(), 2);
+//! ```
+
+mod event;
+mod ids;
+mod trace;
+
+pub mod fmt;
+pub mod formats;
+pub mod gen;
+pub mod paper;
+pub mod stats;
+
+pub use event::{Event, EventId, Op};
+pub use ids::{LockId, Loc, VarId};
+pub use smarttrack_clock::ThreadId;
+pub use trace::{Trace, TraceBuilder, TraceError};

@@ -1,0 +1,355 @@
+//! The example executions from the SmartTrack paper (Figures 1–4).
+//!
+//! Each function builds the exact event sequence shown in the paper (top to
+//! bottom order in the figure is trace order). The expected analysis outcomes
+//! are documented per figure and asserted by the `paper_figures` integration
+//! tests:
+//!
+//! | Figure | HB race | WCP race | DC race | WDC race | predictable race |
+//! |--------|---------|----------|---------|----------|------------------|
+//! | 1(a)   | no      | yes      | yes     | yes      | yes              |
+//! | 2(a)   | no      | no       | yes     | yes      | yes              |
+//! | 3      | no      | no       | no      | yes      | **no** (false)   |
+//! | 4(a–d) | no      | no       | no      | no       | no               |
+//!
+//! The `sync(o)` shorthand from the paper expands to
+//! `acq(o); rd(oVar); wr(oVar); rel(o)` (see Figure 3's caption).
+
+use smarttrack_clock::ThreadId;
+
+use crate::{LockId, Loc, Op, Trace, TraceBuilder, VarId};
+
+/// Variable `x` — the racing variable in every figure.
+pub const X: VarId = VarId::new(0);
+
+fn t(i: u32) -> ThreadId {
+    ThreadId::new(i)
+}
+
+/// Pushes the paper's `sync(o)` shorthand: `acq(o); rd(oVar); wr(oVar); rel(o)`.
+fn sync(b: &mut TraceBuilder, tid: ThreadId, lock: LockId, var: VarId, loc: u32) {
+    b.push_at(tid, Op::Acquire(lock), Loc::new(loc)).unwrap();
+    b.push_at(tid, Op::Read(var), Loc::new(loc)).unwrap();
+    b.push_at(tid, Op::Write(var), Loc::new(loc)).unwrap();
+    b.push_at(tid, Op::Release(lock), Loc::new(loc)).unwrap();
+}
+
+/// Figure 1(a): an execution with a predictable race on `x` that has **no
+/// HB-race** (`rd(x) ≺HB wr(x)`) but has a WCP-, DC-, and WDC-race.
+///
+/// ```text
+/// Thread 1          Thread 2
+/// rd(x)
+/// acq(m)
+/// wr(y)
+/// rel(m)
+///                   acq(m)
+///                   rd(z)
+///                   rel(m)
+///                   wr(x)
+/// ```
+pub fn figure1() -> Trace {
+    let (x, y, z) = (X, VarId::new(1), VarId::new(2));
+    let m = LockId::new(0);
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Read(x), Loc::new(0)).unwrap();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(1)).unwrap();
+    b.push_at(t(0), Op::Write(y), Loc::new(2)).unwrap();
+    b.push_at(t(0), Op::Release(m), Loc::new(3)).unwrap();
+    b.push_at(t(1), Op::Acquire(m), Loc::new(4)).unwrap();
+    b.push_at(t(1), Op::Read(z), Loc::new(5)).unwrap();
+    b.push_at(t(1), Op::Release(m), Loc::new(6)).unwrap();
+    b.push_at(t(1), Op::Write(x), Loc::new(7)).unwrap();
+    b.finish()
+}
+
+/// Figure 1(b): the predicted trace of [`figure1`] exposing the race
+/// (used to test the predicted-trace validator).
+///
+/// ```text
+/// Thread 1          Thread 2
+///                   acq(m)
+///                   rd(z)
+///                   rel(m)
+/// rd(x)
+///                   wr(x)
+/// ```
+pub fn figure1_witness() -> Trace {
+    let (x, z) = (X, VarId::new(2));
+    let m = LockId::new(0);
+    let mut b = TraceBuilder::new();
+    b.push_at(t(1), Op::Acquire(m), Loc::new(4)).unwrap();
+    b.push_at(t(1), Op::Read(z), Loc::new(5)).unwrap();
+    b.push_at(t(1), Op::Release(m), Loc::new(6)).unwrap();
+    b.push_at(t(0), Op::Read(x), Loc::new(0)).unwrap();
+    b.push_at(t(1), Op::Write(x), Loc::new(7)).unwrap();
+    b.finish()
+}
+
+/// Figure 2(a): an execution with a **DC-race but no WCP-race** on `x`
+/// (WCP composes with HB through the critical sections on `n`).
+///
+/// ```text
+/// Thread 1      Thread 2      Thread 3
+/// rd(x)
+/// acq(m)
+/// wr(y)
+/// rel(m)
+///               acq(m)
+///               rd(y)
+///               rel(m)
+///               acq(n)
+///               rel(n)
+///                             acq(n)
+///                             rel(n)
+///                             wr(x)
+/// ```
+pub fn figure2() -> Trace {
+    let (x, y) = (X, VarId::new(1));
+    let (m, n) = (LockId::new(0), LockId::new(1));
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Read(x), Loc::new(0)).unwrap();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(1)).unwrap();
+    b.push_at(t(0), Op::Write(y), Loc::new(2)).unwrap();
+    b.push_at(t(0), Op::Release(m), Loc::new(3)).unwrap();
+    b.push_at(t(1), Op::Acquire(m), Loc::new(4)).unwrap();
+    b.push_at(t(1), Op::Read(y), Loc::new(5)).unwrap();
+    b.push_at(t(1), Op::Release(m), Loc::new(6)).unwrap();
+    b.push_at(t(1), Op::Acquire(n), Loc::new(7)).unwrap();
+    b.push_at(t(1), Op::Release(n), Loc::new(8)).unwrap();
+    b.push_at(t(2), Op::Acquire(n), Loc::new(9)).unwrap();
+    b.push_at(t(2), Op::Release(n), Loc::new(10)).unwrap();
+    b.push_at(t(2), Op::Write(x), Loc::new(11)).unwrap();
+    b.finish()
+}
+
+/// Figure 3: an execution with a **WDC-race that is not a predictable race**
+/// (DC rule (b) orders `rel(m)ᵀ¹ ≺DC rel(m)ᵀ³`; WDC does not).
+///
+/// ```text
+/// Thread 1      Thread 2      Thread 3
+/// acq(m)
+/// sync(o)
+/// rd(x)
+/// rel(m)
+///               sync(o)
+///               sync(p)
+///                             acq(m)
+///                             sync(p)
+///                             rel(m)
+///                             wr(x)
+/// ```
+pub fn figure3() -> Trace {
+    let x = X;
+    let (o_var, p_var) = (VarId::new(1), VarId::new(2));
+    let (m, o, p) = (LockId::new(0), LockId::new(1), LockId::new(2));
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(0)).unwrap();
+    sync(&mut b, t(0), o, o_var, 1);
+    b.push_at(t(0), Op::Read(x), Loc::new(2)).unwrap();
+    b.push_at(t(0), Op::Release(m), Loc::new(3)).unwrap();
+    sync(&mut b, t(1), o, o_var, 4);
+    sync(&mut b, t(1), p, p_var, 5);
+    b.push_at(t(2), Op::Acquire(m), Loc::new(6)).unwrap();
+    sync(&mut b, t(2), p, p_var, 7);
+    b.push_at(t(2), Op::Release(m), Loc::new(8)).unwrap();
+    b.push_at(t(2), Op::Write(x), Loc::new(9)).unwrap();
+    b.finish()
+}
+
+/// Figure 4(a): the running example for how SmartTrack-DC works (§4.2).
+///
+/// No analysis reports a race; SmartTrack-DC takes [Read Share] at Thread 2's
+/// `rd(x)` and [Write Shared] at Thread 3's `wr(x)`.
+///
+/// ```text
+/// Thread 1      Thread 2      Thread 3
+/// acq(p)
+/// acq(m)
+/// acq(n)
+/// wr(x)
+/// rel(n)
+/// rel(m)
+///               acq(m)
+///               rd(x)
+/// rel(p)
+///               rel(m)
+///               sync(o)
+///                             sync(o)
+///                             acq(p)
+///                             wr(x)
+///                             rel(p)
+/// ```
+pub fn figure4a() -> Trace {
+    let x = X;
+    let o_var = VarId::new(1);
+    let (p, m, n, o) = (
+        LockId::new(0),
+        LockId::new(1),
+        LockId::new(2),
+        LockId::new(3),
+    );
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Acquire(p), Loc::new(0)).unwrap();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(1)).unwrap();
+    b.push_at(t(0), Op::Acquire(n), Loc::new(2)).unwrap();
+    b.push_at(t(0), Op::Write(x), Loc::new(3)).unwrap();
+    b.push_at(t(0), Op::Release(n), Loc::new(4)).unwrap();
+    b.push_at(t(0), Op::Release(m), Loc::new(5)).unwrap();
+    b.push_at(t(1), Op::Acquire(m), Loc::new(6)).unwrap();
+    b.push_at(t(1), Op::Read(x), Loc::new(7)).unwrap();
+    b.push_at(t(0), Op::Release(p), Loc::new(8)).unwrap();
+    b.push_at(t(1), Op::Release(m), Loc::new(9)).unwrap();
+    sync(&mut b, t(1), o, o_var, 10);
+    sync(&mut b, t(2), o, o_var, 11);
+    b.push_at(t(2), Op::Acquire(p), Loc::new(12)).unwrap();
+    b.push_at(t(2), Op::Write(x), Loc::new(13)).unwrap();
+    b.push_at(t(2), Op::Release(p), Loc::new(14)).unwrap();
+    b.finish()
+}
+
+/// Figure 4(b): motivates [Read Share] where FTO would take [Read Exclusive].
+///
+/// Taking [Read Exclusive] at Thread 2's `rd(x)` would lose Thread 1's
+/// critical section on `m` and miss the DC ordering
+/// `rel(m)ᵀ¹ ≺DC wr(x)ᵀ³`. No analysis reports a race.
+pub fn figure4b() -> Trace {
+    let x = X;
+    let (o_var, p_var) = (VarId::new(1), VarId::new(2));
+    let (m, o, p) = (LockId::new(0), LockId::new(1), LockId::new(2));
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(0)).unwrap();
+    b.push_at(t(0), Op::Read(x), Loc::new(1)).unwrap();
+    sync(&mut b, t(0), o, o_var, 2);
+    sync(&mut b, t(1), o, o_var, 3);
+    b.push_at(t(1), Op::Read(x), Loc::new(4)).unwrap();
+    sync(&mut b, t(1), p, p_var, 5);
+    b.push_at(t(0), Op::Release(m), Loc::new(6)).unwrap();
+    sync(&mut b, t(2), p, p_var, 7);
+    b.push_at(t(2), Op::Acquire(m), Loc::new(8)).unwrap();
+    b.push_at(t(2), Op::Write(x), Loc::new(9)).unwrap();
+    b.push_at(t(2), Op::Release(m), Loc::new(10)).unwrap();
+    b.finish()
+}
+
+/// Figure 4(c): motivates the "extra" metadata `Ewx`/`Erx`.
+///
+/// At Thread 2's `wr(x)`, SmartTrack-DC overwrites `Lwx`/`Lrx` with the empty
+/// CS list, losing Thread 1's critical section on `m`; the extra metadata must
+/// carry it to Thread 3's `rd(x)`. No analysis reports a race.
+pub fn figure4c() -> Trace {
+    let x = X;
+    let (o_var, p_var) = (VarId::new(1), VarId::new(2));
+    let (m, o, p) = (LockId::new(0), LockId::new(1), LockId::new(2));
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(0)).unwrap();
+    b.push_at(t(0), Op::Write(x), Loc::new(1)).unwrap();
+    sync(&mut b, t(0), o, o_var, 2);
+    sync(&mut b, t(1), o, o_var, 3);
+    b.push_at(t(1), Op::Write(x), Loc::new(4)).unwrap();
+    sync(&mut b, t(1), p, p_var, 5);
+    b.push_at(t(0), Op::Release(m), Loc::new(6)).unwrap();
+    sync(&mut b, t(2), p, p_var, 7);
+    b.push_at(t(2), Op::Acquire(m), Loc::new(8)).unwrap();
+    b.push_at(t(2), Op::Read(x), Loc::new(9)).unwrap();
+    b.push_at(t(2), Op::Release(m), Loc::new(10)).unwrap();
+    b.finish()
+}
+
+/// Figure 4(d): the second execution motivating `Ewx`/`Erx`, with a read in
+/// Thread 1's critical section and writes by Threads 2 and 3.
+pub fn figure4d() -> Trace {
+    let x = X;
+    let (o_var, p_var) = (VarId::new(1), VarId::new(2));
+    let (m, o, p) = (LockId::new(0), LockId::new(1), LockId::new(2));
+    let mut b = TraceBuilder::new();
+    b.push_at(t(0), Op::Acquire(m), Loc::new(0)).unwrap();
+    b.push_at(t(0), Op::Read(x), Loc::new(1)).unwrap();
+    sync(&mut b, t(0), o, o_var, 2);
+    sync(&mut b, t(1), o, o_var, 3);
+    b.push_at(t(1), Op::Write(x), Loc::new(4)).unwrap();
+    sync(&mut b, t(1), p, p_var, 5);
+    b.push_at(t(0), Op::Release(m), Loc::new(6)).unwrap();
+    sync(&mut b, t(2), p, p_var, 7);
+    b.push_at(t(2), Op::Acquire(m), Loc::new(8)).unwrap();
+    b.push_at(t(2), Op::Write(x), Loc::new(9)).unwrap();
+    b.push_at(t(2), Op::Release(m), Loc::new(10)).unwrap();
+    b.finish()
+}
+
+/// All paper figures with their names, for table-driven tests.
+pub fn all_figures() -> Vec<(&'static str, Trace)> {
+    vec![
+        ("figure1", figure1()),
+        ("figure2", figure2()),
+        ("figure3", figure3()),
+        ("figure4a", figure4a()),
+        ("figure4b", figure4b()),
+        ("figure4c", figure4c()),
+        ("figure4d", figure4d()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_are_well_formed() {
+        for (name, tr) in all_figures() {
+            assert!(!tr.is_empty(), "{name} should have events");
+            // Re-validating from raw events must succeed.
+            Trace::from_events(tr.events().iter().copied())
+                .unwrap_or_else(|e| panic!("{name} malformed: {e}"));
+        }
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let tr = figure1();
+        assert_eq!(tr.len(), 8);
+        assert_eq!(tr.num_threads(), 2);
+        assert_eq!(tr.num_locks(), 1);
+        assert_eq!(tr.num_vars(), 3);
+    }
+
+    #[test]
+    fn figure1_witness_is_predicted_trace_shaped() {
+        let tr = figure1();
+        let w = figure1_witness();
+        // Witness events are a subset of the original trace's events
+        // (same thread/op pairs).
+        for e in w.events() {
+            assert!(
+                tr.events().iter().any(|o| o.tid == e.tid && o.op == e.op),
+                "witness event {e} not in original"
+            );
+        }
+        // The last two events are the conflicting pair, consecutive.
+        let n = w.len();
+        assert!(w.events()[n - 2].conflicts_with(&w.events()[n - 1]));
+    }
+
+    #[test]
+    fn figure3_has_three_threads_and_three_locks() {
+        let tr = figure3();
+        assert_eq!(tr.num_threads(), 3);
+        assert_eq!(tr.num_locks(), 3);
+    }
+
+    #[test]
+    fn figure4a_interleaves_release_p_after_read() {
+        let tr = figure4a();
+        // rel(p) by T1 must come after rd(x) by T2 (paper narrative relies on
+        // p being unreleased at the read).
+        let rd_idx = tr
+            .iter()
+            .position(|(_, e)| e.tid == t(1) && e.op == Op::Read(X))
+            .unwrap();
+        let relp_idx = tr
+            .iter()
+            .position(|(_, e)| e.tid == t(0) && e.op == Op::Release(LockId::new(0)))
+            .unwrap();
+        assert!(relp_idx > rd_idx);
+    }
+}

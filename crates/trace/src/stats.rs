@@ -1,0 +1,267 @@
+//! Run-time characteristics of a trace, in the sense of the paper's Table 2.
+//!
+//! Table 2 reports, per evaluated program: total threads (and maximum live
+//! threads), total events, non-same-epoch accesses (NSEAs), and the fraction
+//! of NSEAs executed while holding ≥1, ≥2, and ≥3 locks. Those quantities
+//! drive the cost of predictive analysis (per-held-lock work happens exactly
+//! at NSEAs), so the synthetic workloads are calibrated against them.
+
+use std::collections::HashMap;
+
+use smarttrack_clock::ThreadId;
+
+use crate::{Op, Trace, VarId};
+
+/// Per-variable access metadata used to classify same-epoch accesses exactly
+/// the way the FTO algorithms do (paper §4.1), without tracking any ordering.
+#[derive(Clone, Debug)]
+enum AccessMeta {
+    /// Single last accessor `(thread, epoch)`.
+    Epoch(ThreadId, u64),
+    /// Shared readers: thread → epoch of its last read.
+    Shared(HashMap<ThreadId, u64>),
+}
+
+/// Table 2-style run-time characteristics of a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{paper, stats::TraceStats};
+///
+/// let s = TraceStats::compute(&paper::figure1());
+/// assert_eq!(s.total_events, 8);
+/// assert_eq!(s.threads_total, 2);
+/// assert!(s.nsea_count <= s.access_count);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total events in the trace (`All` column).
+    pub total_events: usize,
+    /// Total read/write events (non-volatile).
+    pub access_count: usize,
+    /// Non-same-epoch accesses (`NSEAs` column).
+    pub nsea_count: usize,
+    /// Threads that executed at least one event or were forked (`#Thr`).
+    pub threads_total: usize,
+    /// Maximum number of simultaneously live (started, not joined) threads.
+    pub threads_max_live: usize,
+    /// NSEAs holding at least 1, 2, and 3 locks (`Locks held at NSEAs`).
+    pub nsea_holding: [usize; 3],
+    /// Total synchronization events (acquire/release/fork/join/volatile).
+    pub sync_count: usize,
+}
+
+impl TraceStats {
+    /// Computes the characteristics of `trace` in a single pass.
+    pub fn compute(trace: &Trace) -> Self {
+        let nthreads = trace.num_threads();
+        let mut sync_epoch = vec![0u64; nthreads];
+        let mut held: Vec<Vec<u32>> = vec![Vec::new(); nthreads];
+        let mut write_meta: HashMap<VarId, (ThreadId, u64)> = HashMap::new();
+        let mut read_meta: HashMap<VarId, AccessMeta> = HashMap::new();
+
+        let mut live = vec![false; nthreads];
+        let mut joined = vec![false; nthreads];
+        let mut max_live = 0usize;
+        let mut stats = TraceStats {
+            total_events: trace.len(),
+            threads_total: nthreads,
+            ..TraceStats::default()
+        };
+
+        let bump_live = |live: &mut Vec<bool>, joined: &[bool], t: ThreadId| -> usize {
+            if !live[t.index()] && !joined[t.index()] {
+                live[t.index()] = true;
+            }
+            live.iter().filter(|&&l| l).count()
+        };
+
+        for e in trace.events() {
+            let ti = e.tid.index();
+            max_live = max_live.max(bump_live(&mut live, &joined, e.tid));
+            match e.op {
+                Op::Read(x) => {
+                    stats.access_count += 1;
+                    let cur = sync_epoch[ti];
+                    let same = match read_meta.get(&x) {
+                        Some(AccessMeta::Epoch(t, c)) => *t == e.tid && *c == cur,
+                        Some(AccessMeta::Shared(map)) => map.get(&e.tid) == Some(&cur),
+                        None => false,
+                    };
+                    if !same {
+                        stats.record_nsea(held[ti].len());
+                        match read_meta.get_mut(&x) {
+                            Some(AccessMeta::Epoch(t, c)) if *t == e.tid => *c = cur,
+                            Some(AccessMeta::Epoch(t, c)) => {
+                                let mut map = HashMap::new();
+                                map.insert(*t, *c);
+                                map.insert(e.tid, cur);
+                                read_meta.insert(x, AccessMeta::Shared(map));
+                            }
+                            Some(AccessMeta::Shared(map)) => {
+                                map.insert(e.tid, cur);
+                            }
+                            None => {
+                                read_meta.insert(x, AccessMeta::Epoch(e.tid, cur));
+                            }
+                        }
+                    }
+                }
+                Op::Write(x) => {
+                    stats.access_count += 1;
+                    let cur = sync_epoch[ti];
+                    let same = write_meta.get(&x) == Some(&(e.tid, cur));
+                    if !same {
+                        stats.record_nsea(held[ti].len());
+                        write_meta.insert(x, (e.tid, cur));
+                        read_meta.insert(x, AccessMeta::Epoch(e.tid, cur));
+                    }
+                }
+                Op::Acquire(m) => {
+                    stats.sync_count += 1;
+                    held[ti].push(m.raw());
+                    sync_epoch[ti] += 1;
+                }
+                Op::Release(m) => {
+                    stats.sync_count += 1;
+                    held[ti].retain(|&l| l != m.raw());
+                    sync_epoch[ti] += 1;
+                }
+                Op::Fork(child) => {
+                    stats.sync_count += 1;
+                    sync_epoch[ti] += 1;
+                    max_live = max_live.max(bump_live(&mut live, &joined, child));
+                }
+                Op::Join(child) => {
+                    stats.sync_count += 1;
+                    sync_epoch[ti] += 1;
+                    live[child.index()] = false;
+                    joined[child.index()] = true;
+                }
+                Op::VolatileRead(_) | Op::VolatileWrite(_) => {
+                    stats.sync_count += 1;
+                    sync_epoch[ti] += 1;
+                }
+            }
+        }
+        stats.threads_max_live = max_live;
+        stats
+    }
+
+    fn record_nsea(&mut self, locks_held: usize) {
+        self.nsea_count += 1;
+        for (i, slot) in self.nsea_holding.iter_mut().enumerate() {
+            if locks_held > i {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Fraction of accesses that are non-same-epoch.
+    pub fn nsea_fraction(&self) -> f64 {
+        if self.access_count == 0 {
+            0.0
+        } else {
+            self.nsea_count as f64 / self.access_count as f64
+        }
+    }
+
+    /// Percentage of NSEAs holding at least `n` locks (`n` in `1..=3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not 1, 2, or 3.
+    pub fn pct_nsea_holding(&self, n: usize) -> f64 {
+        assert!((1..=3).contains(&n), "n must be 1..=3");
+        if self.nsea_count == 0 {
+            0.0
+        } else {
+            100.0 * self.nsea_holding[n - 1] as f64 / self.nsea_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LockId, TraceBuilder};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    #[test]
+    fn same_epoch_writes_are_not_nseas() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // NSEA
+        b.push(t(0), Op::Write(x(0))).unwrap(); // same epoch
+        b.push(t(0), Op::Read(x(0))).unwrap(); // same epoch (write covers read)
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // NSEA (epoch bumped)
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.access_count, 4);
+        assert_eq!(s.nsea_count, 2);
+    }
+
+    #[test]
+    fn other_thread_write_breaks_same_epoch() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // NSEA
+        b.push(t(1), Op::Write(x(0))).unwrap(); // NSEA
+        b.push(t(0), Op::Write(x(0))).unwrap(); // NSEA again (Wx stolen)
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.nsea_count, 3);
+    }
+
+    #[test]
+    fn shared_readers_keep_same_epoch_entries() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap(); // NSEA
+        b.push(t(1), Op::Read(x(0))).unwrap(); // NSEA (upgrades to shared)
+        b.push(t(0), Op::Read(x(0))).unwrap(); // shared same epoch
+        b.push(t(1), Op::Read(x(0))).unwrap(); // shared same epoch
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.nsea_count, 2);
+    }
+
+    #[test]
+    fn held_lock_distribution_counts_nested_locks() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // 1 lock
+        b.push(t(0), Op::Acquire(m(1))).unwrap();
+        b.push(t(0), Op::Write(x(1))).unwrap(); // 2 locks
+        b.push(t(0), Op::Acquire(m(2))).unwrap();
+        b.push(t(0), Op::Write(x(2))).unwrap(); // 3 locks
+        b.push(t(0), Op::Release(m(2))).unwrap();
+        b.push(t(0), Op::Release(m(1))).unwrap();
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.nsea_count, 3);
+        assert_eq!(s.nsea_holding, [3, 2, 1]);
+        assert!((s.pct_nsea_holding(1) - 100.0).abs() < 1e-9);
+        assert!((s.pct_nsea_holding(3) - 33.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn live_thread_count_tracks_fork_join() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Fork(t(1))).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Join(t(1))).unwrap();
+        b.push(t(0), Op::Fork(t(2))).unwrap();
+        b.push(t(2), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Join(t(2))).unwrap();
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.threads_total, 3);
+        assert_eq!(s.threads_max_live, 2);
+    }
+}

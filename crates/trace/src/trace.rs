@@ -1,0 +1,543 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::Index;
+
+use smarttrack_clock::ThreadId;
+
+use crate::{Event, EventId, LockId, Loc, Op, VarId};
+
+/// Error produced when an event sequence violates trace well-formedness
+/// (paper §2.1: "a thread only acquires a lock that is not held and only
+/// releases a lock it holds", plus fork/join sanity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// A thread acquired a lock already held (by itself or another thread).
+    AcquireHeldLock {
+        /// Index of the offending event.
+        at: usize,
+        /// Acquiring thread.
+        tid: ThreadId,
+        /// The lock.
+        lock: LockId,
+        /// Current holder.
+        holder: ThreadId,
+    },
+    /// A thread released a lock it does not hold.
+    ReleaseUnheldLock {
+        /// Index of the offending event.
+        at: usize,
+        /// Releasing thread.
+        tid: ThreadId,
+        /// The lock.
+        lock: LockId,
+    },
+    /// A thread was forked twice, or forked after it already ran.
+    InvalidFork {
+        /// Index of the offending event.
+        at: usize,
+        /// The forked thread.
+        target: ThreadId,
+    },
+    /// A thread executed an event after being joined, or was joined twice.
+    InvalidJoin {
+        /// Index of the offending event.
+        at: usize,
+        /// The thread involved.
+        target: ThreadId,
+    },
+    /// A thread forked or joined itself.
+    SelfForkJoin {
+        /// Index of the offending event.
+        at: usize,
+        /// The thread.
+        tid: ThreadId,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::AcquireHeldLock {
+                at,
+                tid,
+                lock,
+                holder,
+            } => write!(
+                f,
+                "event {at}: {tid} acquires {lock} already held by {holder}"
+            ),
+            TraceError::ReleaseUnheldLock { at, tid, lock } => {
+                write!(f, "event {at}: {tid} releases {lock} it does not hold")
+            }
+            TraceError::InvalidFork { at, target } => {
+                write!(f, "event {at}: invalid fork of {target}")
+            }
+            TraceError::InvalidJoin { at, target } => {
+                write!(f, "event {at}: invalid join of {target}")
+            }
+            TraceError::SelfForkJoin { at, tid } => {
+                write!(f, "event {at}: {tid} forks or joins itself")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A well-formed execution trace: a totally ordered list of [`Event`]s.
+///
+/// Construct traces with [`TraceBuilder`] (which validates well-formedness
+/// incrementally) or parse them from text with [`crate::fmt::parse`].
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{Op, ThreadId, TraceBuilder, VarId, LockId};
+///
+/// let t0 = ThreadId::new(0);
+/// let m = LockId::new(0);
+/// let mut b = TraceBuilder::new();
+/// b.push(t0, Op::Acquire(m))?;
+/// b.push(t0, Op::Write(VarId::new(0)))?;
+/// b.push(t0, Op::Release(m))?;
+/// let trace = b.finish();
+/// assert_eq!(trace.len(), 3);
+/// # Ok::<(), smarttrack_trace::TraceError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<Event>,
+    num_threads: usize,
+    num_vars: usize,
+    num_locks: usize,
+    num_volatiles: usize,
+}
+
+impl Trace {
+    /// Builds a trace from raw events, validating well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered, if any.
+    pub fn from_events<I: IntoIterator<Item = Event>>(events: I) -> Result<Self, TraceError> {
+        let mut b = TraceBuilder::new();
+        for e in events {
+            b.push_event(e)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace has no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct threads (max thread index + 1).
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Number of distinct shared variables (max index + 1).
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of distinct locks (max index + 1).
+    #[inline]
+    pub fn num_locks(&self) -> usize {
+        self.num_locks
+    }
+
+    /// Number of distinct volatile variables (max index + 1).
+    #[inline]
+    pub fn num_volatiles(&self) -> usize {
+        self.num_volatiles
+    }
+
+    /// The events in trace order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates `(EventId, &Event)` in trace order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &Event)> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EventId::new(i as u32), e))
+    }
+
+    /// Returns the event with the given id.
+    #[inline]
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// The per-thread projection: event ids executed by `tid`, in order.
+    pub fn thread_projection(&self, tid: ThreadId) -> Vec<EventId> {
+        self.iter()
+            .filter(|(_, e)| e.tid == tid)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// For every read event, the event id of its last writer (`None` if the
+    /// read has no preceding writer). Volatile accesses are not included.
+    pub fn last_writers(&self) -> HashMap<EventId, Option<EventId>> {
+        let mut last_write: HashMap<VarId, EventId> = HashMap::new();
+        let mut out = HashMap::new();
+        for (id, e) in self.iter() {
+            match e.op {
+                Op::Read(x) => {
+                    out.insert(id, last_write.get(&x).copied());
+                }
+                Op::Write(x) => {
+                    last_write.insert(x, id);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// For each event, the set of locks held by its thread *at* that event
+    /// (the lock of an `acq` counts as held at the acquire; the lock of a
+    /// `rel` counts as held at the release).
+    pub fn held_locks_series(&self) -> Vec<Vec<LockId>> {
+        let mut held: Vec<Vec<LockId>> = vec![Vec::new(); self.num_threads];
+        let mut out = Vec::with_capacity(self.len());
+        for e in &self.events {
+            let h = &mut held[e.tid.index()];
+            match e.op {
+                Op::Acquire(m) => {
+                    h.push(m);
+                    out.push(h.clone());
+                }
+                Op::Release(m) => {
+                    out.push(h.clone());
+                    h.retain(|&l| l != m);
+                }
+                _ => out.push(h.clone()),
+            }
+        }
+        out
+    }
+
+    /// Approximate number of bytes needed to represent the trace itself (the
+    /// "uninstrumented" memory baseline used by the memory experiments).
+    pub fn footprint_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<Event>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl Index<EventId> for Trace {
+    type Output = Event;
+
+    fn index(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Incremental, validating builder for [`Trace`]s.
+///
+/// Events are appended in trace order; lock and fork/join discipline is
+/// enforced as events arrive so errors carry the precise offending index.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+    lock_holder: HashMap<LockId, ThreadId>,
+    started: Vec<bool>,
+    forked: Vec<bool>,
+    joined: Vec<bool>,
+    num_threads: usize,
+    num_vars: usize,
+    num_locks: usize,
+    num_volatiles: usize,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    fn mark_thread(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i >= self.started.len() {
+            self.started.resize(i + 1, false);
+            self.forked.resize(i + 1, false);
+            self.joined.resize(i + 1, false);
+        }
+        self.num_threads = self.num_threads.max(i + 1);
+    }
+
+    /// Appends an event with an unknown source location.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the event violates well-formedness.
+    pub fn push(&mut self, tid: ThreadId, op: Op) -> Result<EventId, TraceError> {
+        self.push_event(Event::new(tid, op))
+    }
+
+    /// Appends an event with a source location.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the event violates well-formedness.
+    pub fn push_at(&mut self, tid: ThreadId, op: Op, loc: Loc) -> Result<EventId, TraceError> {
+        self.push_event(Event::with_loc(tid, op, loc))
+    }
+
+    /// Appends a fully built event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the event violates well-formedness.
+    pub fn push_event(&mut self, e: Event) -> Result<EventId, TraceError> {
+        let at = self.events.len();
+        self.mark_thread(e.tid);
+        if self.joined[e.tid.index()] {
+            return Err(TraceError::InvalidJoin { at, target: e.tid });
+        }
+        match e.op {
+            Op::Acquire(m) => {
+                if let Some(&holder) = self.lock_holder.get(&m) {
+                    return Err(TraceError::AcquireHeldLock {
+                        at,
+                        tid: e.tid,
+                        lock: m,
+                        holder,
+                    });
+                }
+                self.lock_holder.insert(m, e.tid);
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::Release(m) => {
+                if self.lock_holder.get(&m) != Some(&e.tid) {
+                    return Err(TraceError::ReleaseUnheldLock {
+                        at,
+                        tid: e.tid,
+                        lock: m,
+                    });
+                }
+                self.lock_holder.remove(&m);
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::Read(x) | Op::Write(x) => {
+                self.num_vars = self.num_vars.max(x.index() + 1);
+            }
+            Op::VolatileRead(v) | Op::VolatileWrite(v) => {
+                self.num_volatiles = self.num_volatiles.max(v.index() + 1);
+            }
+            Op::Fork(child) => {
+                if child == e.tid {
+                    return Err(TraceError::SelfForkJoin { at, tid: e.tid });
+                }
+                self.mark_thread(child);
+                if self.forked[child.index()] || self.started[child.index()] {
+                    return Err(TraceError::InvalidFork { at, target: child });
+                }
+                self.forked[child.index()] = true;
+            }
+            Op::Join(child) => {
+                if child == e.tid {
+                    return Err(TraceError::SelfForkJoin { at, tid: e.tid });
+                }
+                self.mark_thread(child);
+                if self.joined[child.index()] {
+                    return Err(TraceError::InvalidJoin { at, target: child });
+                }
+                self.joined[child.index()] = true;
+            }
+        }
+        self.started[e.tid.index()] = true;
+        self.events.push(e);
+        Ok(EventId::new(at as u32))
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the trace. Open critical sections are allowed (an execution
+    /// may be observed mid-flight), as in the paper's examples.
+    pub fn finish(self) -> Trace {
+        Trace {
+            events: self.events,
+            num_threads: self.num_threads,
+            num_vars: self.num_vars,
+            num_locks: self.num_locks,
+            num_volatiles: self.num_volatiles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x(i: u32) -> VarId {
+        VarId::new(i)
+    }
+    fn m(i: u32) -> LockId {
+        LockId::new(i)
+    }
+
+    #[test]
+    fn builds_well_formed_trace() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        let tr = b.finish();
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.num_threads(), 2);
+        assert_eq!(tr.num_vars(), 1);
+        assert_eq!(tr.num_locks(), 1);
+    }
+
+    #[test]
+    fn rejects_double_acquire() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        let err = b.push(t(1), Op::Acquire(m(0))).unwrap_err();
+        assert!(matches!(err, TraceError::AcquireHeldLock { holder, .. } if holder == t(0)));
+    }
+
+    #[test]
+    fn rejects_reentrant_acquire() {
+        // The paper's traces model non-reentrant monitors: re-acquisition by
+        // the holder is also malformed at the trace level.
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        assert!(b.push(t(0), Op::Acquire(m(0))).is_err());
+    }
+
+    #[test]
+    fn rejects_release_of_unheld_lock() {
+        let mut b = TraceBuilder::new();
+        let err = b.push(t(0), Op::Release(m(0))).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::ReleaseUnheldLock {
+                at: 0,
+                tid: t(0),
+                lock: m(0)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_release_by_non_holder() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        assert!(b.push(t(1), Op::Release(m(0))).is_err());
+    }
+
+    #[test]
+    fn rejects_fork_of_running_thread() {
+        let mut b = TraceBuilder::new();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        assert!(matches!(
+            b.push(t(0), Op::Fork(t(1))),
+            Err(TraceError::InvalidFork { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_events_after_join() {
+        let mut b = TraceBuilder::new();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        b.push(t(0), Op::Join(t(1))).unwrap();
+        assert!(matches!(
+            b.push(t(1), Op::Read(x(0))),
+            Err(TraceError::InvalidJoin { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_fork() {
+        let mut b = TraceBuilder::new();
+        assert!(matches!(
+            b.push(t(0), Op::Fork(t(0))),
+            Err(TraceError::SelfForkJoin { .. })
+        ));
+    }
+
+    #[test]
+    fn last_writers_track_per_variable() {
+        let mut b = TraceBuilder::new();
+        let w0 = b.push(t(0), Op::Write(x(0))).unwrap();
+        let r0 = b.push(t(1), Op::Read(x(0))).unwrap();
+        let r1 = b.push(t(1), Op::Read(x(1))).unwrap();
+        let w1 = b.push(t(1), Op::Write(x(0))).unwrap();
+        let r2 = b.push(t(0), Op::Read(x(0))).unwrap();
+        let _ = w1;
+        let tr = b.finish();
+        let lw = tr.last_writers();
+        assert_eq!(lw[&r0], Some(w0));
+        assert_eq!(lw[&r1], None);
+        assert_eq!(lw[&r2], Some(w1));
+    }
+
+    #[test]
+    fn held_locks_series_includes_acquire_and_release() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Acquire(m(0))).unwrap();
+        b.push(t(0), Op::Acquire(m(1))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Release(m(1))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        let tr = b.finish();
+        let series = tr.held_locks_series();
+        assert_eq!(series[0], vec![m(0)]);
+        assert_eq!(series[1], vec![m(0), m(1)]);
+        assert_eq!(series[2], vec![m(0), m(1)]);
+        assert_eq!(series[3], vec![m(0), m(1)]);
+        assert_eq!(series[4], vec![m(0)]);
+        assert_eq!(series[5], vec![m(0)]);
+    }
+
+    #[test]
+    fn thread_projection_preserves_order() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        b.push(t(0), Op::Write(x(1))).unwrap();
+        let tr = b.finish();
+        let proj = tr.thread_projection(t(0));
+        assert_eq!(proj, vec![EventId::new(0), EventId::new(2)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the trace layer: serialization round-trips,
+//! well-formedness of generated traces, and statistics invariants.
+
+use proptest::prelude::*;
+use smarttrack_trace::gen::RandomTraceSpec;
+use smarttrack_trace::stats::TraceStats;
+use smarttrack_trace::{fmt, Op, Trace};
+
+fn arb_spec() -> impl Strategy<Value = (RandomTraceSpec, u64)> {
+    (
+        1u32..6,
+        0usize..500,
+        1u32..10,
+        1u32..5,
+        0u32..3,
+        any::<u64>(),
+        any::<bool>(),
+        1usize..4,
+    )
+        .prop_map(
+            |(threads, events, vars, locks, volatiles, seed, fork_join, nesting)| {
+                (
+                    RandomTraceSpec {
+                        threads,
+                        events,
+                        vars,
+                        locks,
+                        volatiles,
+                        volatile_prob: if volatiles > 0 { 0.08 } else { 0.0 },
+                        max_nesting: nesting,
+                        fork_join,
+                        ..RandomTraceSpec::default()
+                    },
+                    seed,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_traces_are_well_formed((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        Trace::from_events(tr.events().iter().copied()).expect("well-formed");
+    }
+
+    #[test]
+    fn text_format_round_trips((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        let text = fmt::render(&tr);
+        let back = fmt::parse(&text).expect("rendered traces parse");
+        prop_assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn stats_invariants_hold((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        let s = TraceStats::compute(&tr);
+        prop_assert_eq!(s.total_events, tr.len());
+        prop_assert!(s.nsea_count <= s.access_count);
+        prop_assert!(s.access_count + s.sync_count == s.total_events);
+        // The held-lock distribution is monotone: ≥1 ⊇ ≥2 ⊇ ≥3.
+        prop_assert!(s.nsea_holding[0] >= s.nsea_holding[1]);
+        prop_assert!(s.nsea_holding[1] >= s.nsea_holding[2]);
+        prop_assert!(s.nsea_holding[0] <= s.nsea_count);
+        prop_assert!(s.threads_max_live <= s.threads_total);
+    }
+
+    #[test]
+    fn thread_projections_partition_the_trace((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        let mut total = 0;
+        for t in 0..tr.num_threads() {
+            let proj = tr.thread_projection(smarttrack_trace::ThreadId::new(t as u32));
+            // Projections are strictly increasing event ids.
+            for w in proj.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            total += proj.len();
+        }
+        prop_assert_eq!(total, tr.len());
+    }
+
+    #[test]
+    fn last_writers_point_backwards_to_same_variable((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        for (read, writer) in tr.last_writers() {
+            prop_assert!(matches!(tr.event(read).op, Op::Read(_)));
+            if let Some(w) = writer {
+                prop_assert!(w < read);
+                prop_assert_eq!(
+                    tr.event(w).op.access_var(),
+                    tr.event(read).op.access_var()
+                );
+                prop_assert!(tr.event(w).op.is_write());
+            }
+        }
+    }
+
+    #[test]
+    fn held_locks_series_is_consistent_with_projection((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        let series = tr.held_locks_series();
+        prop_assert_eq!(series.len(), tr.len());
+        for (i, e) in tr.events().iter().enumerate() {
+            match e.op {
+                // The acquired/released lock is in its own event's held set.
+                Op::Acquire(m) | Op::Release(m) => prop_assert!(series[i].contains(&m)),
+                _ => {}
+            }
+        }
+    }
+}

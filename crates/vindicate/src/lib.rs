@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Vindication: checking that a reported DC-/WDC-race is a *true* predictable
+//! race by constructing a witness — a predicted trace (paper §2.2) that ends
+//! with the two conflicting events next to each other.
+//!
+//! The paper relies on prior work's `VindicateRace` (Roemer et al. 2018): "a
+//! vindication algorithm can rule out false races, providing soundness
+//! overall" (§2.4), and notes that WDC-races can be vindicated with the same
+//! machinery (§3). This crate provides:
+//!
+//! * [`witness`] — an independent validator for the predicted-trace
+//!   conditions (events are a subset forming per-thread prefixes, program
+//!   order preserved, every read keeps its last writer, locking well-formed,
+//!   racing events consecutive);
+//! * [`oracle`] — an exhaustive search for predictable races on small traces
+//!   (ground truth for testing);
+//! * [`vindicate`] — the constraint-graph-based witness construction in the
+//!   spirit of `VindicateRace`: sound (every produced witness is validated)
+//!   but incomplete (may answer "unknown").
+//!
+//! # Examples
+//!
+//! The paper's Figure 1 race vindicates; the Figure 3 WDC-race does not:
+//!
+//! ```
+//! use smarttrack_detect::{run_detector, Detector, UnoptWdc};
+//! use smarttrack_trace::paper;
+//! use smarttrack_vindicate::{vindicate_first_race, VindicationResult};
+//!
+//! let trace = paper::figure1();
+//! let mut det = UnoptWdc::new();
+//! run_detector(&mut det, &trace);
+//! let result = vindicate_first_race(&trace, det.report()).expect("a race was reported");
+//! assert!(matches!(result, VindicationResult::Race(_)));
+//!
+//! let trace = paper::figure3();
+//! let mut det = UnoptWdc::new();
+//! run_detector(&mut det, &trace);
+//! let result = vindicate_first_race(&trace, det.report()).expect("a race was reported");
+//! assert!(matches!(result, VindicationResult::Unknown));
+//! ```
+
+pub mod oracle;
+pub mod vindicate;
+pub mod window;
+pub mod witness;
+
+pub use oracle::{DeadlockResult, OracleResult, PredictableRaceOracle, SearchOutcome};
+pub use vindicate::{
+    find_prior_access, vindicate_first_race, vindicate_pair, VindicationResult, Witness,
+};
+pub use window::{WindowedConfig, WindowedRaceAnalysis, WindowedReport};
+pub use witness::{validate_witness, WitnessError};

@@ -1,0 +1,580 @@
+//! An exhaustive predictable-race oracle for small traces.
+//!
+//! Explores every correct reordering (per-thread prefixes, last-writer
+//! preservation, locking discipline, fork/join feasibility) searching for a
+//! state where two conflicting events can execute back to back. This is the
+//! ground truth the vindication algorithm and the soundness claims (e.g.
+//! "every WCP-race is a predictable race", §2.4) are tested against; it is
+//! exponential and intended for traces of a few dozen events.
+
+use std::collections::{HashMap, HashSet};
+
+use smarttrack_clock::ThreadId;
+use smarttrack_trace::{EventId, LockId, Op, Trace, VarId};
+
+/// Outcome of an oracle query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleResult {
+    /// A predictable race exists; a witness pair of conflicting events that
+    /// can be made consecutive.
+    Race(EventId, EventId),
+    /// Exhaustively proven: no predictable race (for the queried pair or any
+    /// pair).
+    NoRace,
+    /// The state budget was exhausted before the search completed.
+    Unknown,
+}
+
+/// Outcome of a predictable-deadlock query
+/// ([`PredictableRaceOracle::any_predictable_deadlock`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeadlockResult {
+    /// A reachable state cyclically blocks these threads (in wait order:
+    /// each waits on a lock held by the next, wrapping around).
+    Deadlock(Vec<ThreadId>),
+    /// Exhaustively proven: no correct reordering deadlocks.
+    NoDeadlock,
+    /// The state budget was exhausted before the search completed.
+    Unknown,
+}
+
+/// An [`OracleResult`] together with how many states the search visited.
+///
+/// The state count is the cost metric the windowed analysis reports: it is
+/// what blows up as windows grow, mirroring the SMT-solving cost that forces
+/// the approaches in the paper's §6 to bound their windows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// What the bounded search concluded.
+    pub result: OracleResult,
+    /// Number of distinct interleaving states visited.
+    pub states_explored: usize,
+}
+
+/// Exhaustive search over correct reorderings of one trace.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::paper;
+/// use smarttrack_vindicate::{OracleResult, PredictableRaceOracle};
+///
+/// let racy = paper::figure1();
+/// let oracle = PredictableRaceOracle::new(&racy);
+/// assert!(matches!(oracle.any_predictable_race(), OracleResult::Race(..)));
+///
+/// let race_free = paper::figure3();
+/// let oracle = PredictableRaceOracle::new(&race_free);
+/// assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace);
+/// ```
+pub struct PredictableRaceOracle<'a> {
+    trace: &'a Trace,
+    projections: Vec<Vec<EventId>>,
+    last_writers: HashMap<EventId, Option<EventId>>,
+    vol_last_writers: HashMap<EventId, Option<EventId>>,
+    /// Maximum explored states before giving up.
+    state_budget: usize,
+}
+
+/// Search state: how many events of each thread's projection have executed,
+/// plus the current last writer per (volatile) variable. Lock state is
+/// derivable from positions but cached for speed.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    positions: Vec<usize>,
+    last_writer: Vec<Option<EventId>>,
+    vol_last_writer: Vec<Option<EventId>>,
+}
+
+impl<'a> PredictableRaceOracle<'a> {
+    /// Prepares the oracle (default budget: 500 000 states).
+    pub fn new(trace: &'a Trace) -> Self {
+        let projections = (0..trace.num_threads())
+            .map(|t| trace.thread_projection(ThreadId::new(t as u32)))
+            .collect();
+        let mut vol_last_writers = HashMap::new();
+        {
+            let mut last: HashMap<VarId, EventId> = HashMap::new();
+            for (id, e) in trace.iter() {
+                match e.op {
+                    Op::VolatileRead(v) => {
+                        vol_last_writers.insert(id, last.get(&v).copied());
+                    }
+                    Op::VolatileWrite(v) => {
+                        last.insert(v, id);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        PredictableRaceOracle {
+            trace,
+            projections,
+            last_writers: trace.last_writers(),
+            vol_last_writers,
+            state_budget: 500_000,
+        }
+    }
+
+    /// Overrides the state budget.
+    pub fn with_budget(mut self, states: usize) -> Self {
+        self.state_budget = states;
+        self
+    }
+
+    /// Searches for *any* predictable race.
+    pub fn any_predictable_race(&self) -> OracleResult {
+        self.search(None, 0, self.trace.len()).result
+    }
+
+    /// Decides whether the specific conflicting pair is a predictable race.
+    pub fn is_predictable_race(&self, e1: EventId, e2: EventId) -> OracleResult {
+        self.search(Some((e1, e2)), 0, self.trace.len()).result
+    }
+
+    /// Searches for a predictable race exposable by reordering only the
+    /// events in the window `lo..hi` (indices into the observed trace).
+    ///
+    /// The prefix `..lo` is fixed in observed order, exactly as the
+    /// bounded-window approaches of the paper's §6 fix everything outside
+    /// the analyzed window; events at `hi..` never execute. Both racing
+    /// events must lie inside the window, so a race whose accesses are more
+    /// than `hi - lo` events apart is invisible at this window size.
+    pub fn race_in_window(&self, lo: usize, hi: usize) -> SearchOutcome {
+        self.search(None, lo, hi.min(self.trace.len()))
+    }
+
+    /// Decides whether the conflicting pair is a predictable race using only
+    /// reorderings of the window `lo..hi` (see [`race_in_window`]).
+    ///
+    /// [`race_in_window`]: PredictableRaceOracle::race_in_window
+    pub fn pair_in_window(&self, e1: EventId, e2: EventId, lo: usize, hi: usize) -> SearchOutcome {
+        self.search(Some((e1, e2)), lo, hi.min(self.trace.len()))
+    }
+
+    /// Searches for a *predictable deadlock*: a correct reordering reaching
+    /// a state where a set of threads waits cyclically on each other's held
+    /// locks.
+    ///
+    /// This is the second disjunct of WCP's soundness guarantee ("an
+    /// execution with a WCP-race has a predictable race or a predictable
+    /// deadlock", paper §2.4 footnote 4): with nested critical sections, a
+    /// WCP-race may correspond to a deadlock instead of a race, and this
+    /// query provides the ground truth for that case.
+    pub fn any_predictable_deadlock(&self) -> DeadlockResult {
+        let nthreads = self.projections.len();
+        let mut visited: HashSet<State> = HashSet::new();
+        let mut stack = vec![self.prefix_state(0)];
+        let mut explored = 0usize;
+        while let Some(state) = stack.pop() {
+            if !visited.insert(state.clone()) {
+                continue;
+            }
+            explored += 1;
+            if explored > self.state_budget {
+                return DeadlockResult::Unknown;
+            }
+            if let Some(cycle) = self.lock_cycle(&state) {
+                return DeadlockResult::Deadlock(cycle);
+            }
+            for t in 0..nthreads {
+                if let Some(&id) = self.projections[t].get(state.positions[t]) {
+                    if self.enabled(&state, id) {
+                        stack.push(self.step(&state, t, id));
+                    }
+                }
+            }
+        }
+        DeadlockResult::NoDeadlock
+    }
+
+    /// A cycle in the lock wait-for graph of `state`'s next events, if any:
+    /// each returned thread's next event acquires a lock held by the next
+    /// thread in the cycle. Such threads are permanently stuck — holders
+    /// can only release once unblocked, and every one of them is blocked.
+    fn lock_cycle(&self, state: &State) -> Option<Vec<ThreadId>> {
+        let nthreads = self.projections.len();
+        // waits_on[t] = thread holding the lock t's next event acquires.
+        let waits_on: Vec<Option<usize>> = (0..nthreads)
+            .map(|t| {
+                let &id = self.projections[t].get(state.positions[t])?;
+                let Op::Acquire(m) = self.trace.event(id).op else {
+                    return None;
+                };
+                if !self.fork_ready(state, ThreadId::new(t as u32), state.positions[t]) {
+                    return None;
+                }
+                self.holder(state, m)
+            })
+            .collect();
+        // Follow wait edges from each thread; a repeat within the walk is a
+        // cycle (graph is functional: at most one out-edge per node).
+        for start in 0..nthreads {
+            let mut path = Vec::new();
+            let mut cur = start;
+            while let Some(next) = waits_on[cur] {
+                if let Some(pos) = path.iter().position(|&p| p == cur) {
+                    return Some(
+                        path[pos..]
+                            .iter()
+                            .map(|&p| ThreadId::new(p as u32))
+                            .collect(),
+                    );
+                }
+                path.push(cur);
+                cur = next;
+            }
+        }
+        None
+    }
+
+    /// The thread currently holding lock `m`, if any.
+    fn holder(&self, state: &State, m: LockId) -> Option<usize> {
+        (0..self.projections.len()).find(|&t| {
+            let mut depth = 0i32;
+            for &id in &self.projections[t][..state.positions[t]] {
+                match self.trace.event(id).op {
+                    Op::Acquire(l) if l == m => depth += 1,
+                    Op::Release(l) if l == m => depth -= 1,
+                    _ => {}
+                }
+            }
+            depth > 0
+        })
+    }
+
+    /// The state reached by executing every event before `lo` in observed
+    /// order: per-thread positions plus last-writer bookkeeping.
+    fn prefix_state(&self, lo: usize) -> State {
+        let nthreads = self.projections.len();
+        let mut state = State {
+            positions: vec![0; nthreads],
+            last_writer: vec![None; self.trace.num_vars()],
+            vol_last_writer: vec![None; self.trace.num_volatiles()],
+        };
+        for (id, e) in self.trace.iter().take(lo) {
+            state.positions[e.tid.index()] += 1;
+            match e.op {
+                Op::Write(x) => state.last_writer[x.index()] = Some(id),
+                Op::VolatileWrite(v) => state.vol_last_writer[v.index()] = Some(id),
+                _ => {}
+            }
+        }
+        state
+    }
+
+    fn search(&self, target: Option<(EventId, EventId)>, lo: usize, hi: usize) -> SearchOutcome {
+        let nthreads = self.projections.len();
+        let init = self.prefix_state(lo);
+        let mut visited: HashSet<State> = HashSet::new();
+        let mut stack = vec![init];
+        let mut explored = 0usize;
+        while let Some(state) = stack.pop() {
+            if !visited.insert(state.clone()) {
+                continue;
+            }
+            explored += 1;
+            if explored > self.state_budget {
+                return SearchOutcome {
+                    result: OracleResult::Unknown,
+                    states_explored: explored,
+                };
+            }
+            // Which events are enabled right now? Events at or past the
+            // window end never execute.
+            let enabled: Vec<(usize, EventId)> = (0..nthreads)
+                .filter_map(|t| {
+                    let id = *self.projections[t].get(state.positions[t])?;
+                    (id.index() < hi && self.enabled(&state, id)).then_some((t, id))
+                })
+                .collect();
+            // Race condition: two *next* events of different threads that
+            // conflict. Following the correct-reordering definition the
+            // WCP/DC soundness theorems are stated for (Kini et al. 2017,
+            // Roemer et al. 2018), the racing pair itself is exempt from
+            // read consistency — a race is about the accesses being
+            // simultaneously enabled position-wise, not about the values the
+            // racing read would see. Both events are plain accesses (a
+            // conflict requires accesses), so nothing else can block them.
+            for ti in 0..nthreads {
+                let Some(&a) = self.projections[ti].get(state.positions[ti]) else {
+                    continue;
+                };
+                if a.index() >= hi
+                    || !self.fork_ready(&state, ThreadId::new(ti as u32), state.positions[ti])
+                {
+                    continue;
+                }
+                for u in (ti + 1)..nthreads {
+                    let Some(&b) = self.projections[u].get(state.positions[u]) else {
+                        continue;
+                    };
+                    if b.index() >= hi
+                        || !self.fork_ready(&state, ThreadId::new(u as u32), state.positions[u])
+                        || !self.trace.event(a).conflicts_with(self.trace.event(b))
+                    {
+                        continue;
+                    }
+                    let found = match target {
+                        None => Some((a.min(b), a.max(b))),
+                        Some((x, y)) if (a, b) == (x, y) || (a, b) == (y, x) => Some((x, y)),
+                        _ => None,
+                    };
+                    if let Some((first, second)) = found {
+                        return SearchOutcome {
+                            result: OracleResult::Race(first, second),
+                            states_explored: explored,
+                        };
+                    }
+                }
+            }
+            for (t, id) in enabled {
+                stack.push(self.step(&state, t, id));
+            }
+        }
+        SearchOutcome {
+            result: OracleResult::NoRace,
+            states_explored: explored,
+        }
+    }
+
+    /// Is the next event of its thread executable in this state?
+    fn enabled(&self, state: &State, id: EventId) -> bool {
+        let e = self.trace.event(id);
+        let op_ok = match e.op {
+            Op::Read(x) => {
+                self.last_writers.get(&id).copied().unwrap_or(None)
+                    == state.last_writer[x.index()]
+            }
+            Op::Write(_) => true,
+            Op::Acquire(m) => self.lock_free(state, m),
+            Op::Release(_) => true,
+            Op::Fork(u) => {
+                // The child must not have started (always true: the child's
+                // first event is only enabled after the fork executes).
+                let _ = u;
+                true
+            }
+            Op::Join(u) => state.positions[u.index()] == self.projections[u.index()].len(),
+            Op::VolatileRead(v) => {
+                self.vol_last_writers.get(&id).copied().unwrap_or(None)
+                    == state.vol_last_writer[v.index()]
+            }
+            Op::VolatileWrite(_) => true,
+        };
+        // Additionally: a forked thread's first event requires its fork to
+        // have executed.
+        op_ok && self.fork_ready(state, e.tid, state.positions[e.tid.index()])
+    }
+
+    /// If this is the thread's first event and the thread is forked in the
+    /// trace, the fork must have executed.
+    fn fork_ready(&self, state: &State, tid: ThreadId, pos: usize) -> bool {
+        if pos > 0 {
+            return true;
+        }
+        for (forker, proj) in self.projections.iter().enumerate() {
+            for (i, &fid) in proj.iter().enumerate() {
+                if let Op::Fork(child) = self.trace.event(fid).op {
+                    if child == tid {
+                        return state.positions[forker] > i;
+                    }
+                }
+            }
+        }
+        true // not forked: a root thread
+    }
+
+    fn lock_free(&self, state: &State, m: LockId) -> bool {
+        // A lock is held iff some thread's consumed prefix has an unmatched
+        // acquire of it.
+        for (t, proj) in self.projections.iter().enumerate() {
+            let mut depth = 0i32;
+            for &id in &proj[..state.positions[t]] {
+                match self.trace.event(id).op {
+                    Op::Acquire(l) if l == m => depth += 1,
+                    Op::Release(l) if l == m => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn step(&self, state: &State, t: usize, id: EventId) -> State {
+        let mut next = state.clone();
+        next.positions[t] += 1;
+        match self.trace.event(id).op {
+            Op::Write(x) => next.last_writer[x.index()] = Some(id),
+            Op::VolatileWrite(v) => next.vol_last_writer[v.index()] = Some(id),
+            _ => {}
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn figure1_has_a_predictable_race_on_x() {
+        let tr = paper::figure1();
+        let oracle = PredictableRaceOracle::new(&tr);
+        // rd(x) by T1 is event 0; wr(x) by T2 is event 7.
+        assert!(matches!(
+            oracle.is_predictable_race(EventId::new(0), EventId::new(7)),
+            OracleResult::Race(..)
+        ));
+    }
+
+    #[test]
+    fn figure2_has_a_predictable_race() {
+        let tr = paper::figure2();
+        let oracle = PredictableRaceOracle::new(&tr);
+        assert!(matches!(
+            oracle.is_predictable_race(EventId::new(0), EventId::new(11)),
+            OracleResult::Race(..)
+        ));
+    }
+
+    #[test]
+    fn figure3_has_no_predictable_race() {
+        let tr = paper::figure3();
+        let oracle = PredictableRaceOracle::new(&tr);
+        assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace);
+    }
+
+    #[test]
+    fn figure4_traces_have_no_predictable_race() {
+        for (name, tr) in [
+            ("4a", paper::figure4a()),
+            ("4b", paper::figure4b()),
+            ("4c", paper::figure4c()),
+            ("4d", paper::figure4d()),
+        ] {
+            let oracle = PredictableRaceOracle::new(&tr);
+            assert_eq!(
+                oracle.any_predictable_race(),
+                OracleResult::NoRace,
+                "figure {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_join_prevents_false_oracle_races() {
+        use smarttrack_trace::{Op, ThreadId, TraceBuilder, VarId};
+        let mut b = TraceBuilder::new();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        b.push(t0, Op::Write(VarId::new(0))).unwrap();
+        b.push(t0, Op::Fork(t1)).unwrap();
+        b.push(t1, Op::Write(VarId::new(0))).unwrap();
+        b.push(t0, Op::Join(t1)).unwrap();
+        b.push(t0, Op::Write(VarId::new(0))).unwrap();
+        let oracle_trace = b.finish();
+        let oracle = PredictableRaceOracle::new(&oracle_trace);
+        assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let tr = paper::figure3();
+        let oracle = PredictableRaceOracle::new(&tr).with_budget(3);
+        assert_eq!(oracle.any_predictable_race(), OracleResult::Unknown);
+    }
+
+    #[test]
+    fn inverted_lock_nesting_is_a_predictable_deadlock() {
+        // The observed execution serializes the two inversely nested
+        // sections, but the reordering where each thread takes its outer
+        // lock first deadlocks.
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder};
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (m, n) = (LockId::new(0), LockId::new(1));
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::Acquire(m)).unwrap();
+        b.push(t0, Op::Acquire(n)).unwrap();
+        b.push(t0, Op::Release(n)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::Acquire(n)).unwrap();
+        b.push(t1, Op::Acquire(m)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        b.push(t1, Op::Release(n)).unwrap();
+        let oracle_trace = b.finish();
+        let oracle = PredictableRaceOracle::new(&oracle_trace);
+        match oracle.any_predictable_deadlock() {
+            DeadlockResult::Deadlock(threads) => {
+                let mut sorted: Vec<_> = threads.iter().map(|t| t.index()).collect();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1]);
+            }
+            other => panic!("expected a deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consistent_nesting_order_never_deadlocks() {
+        // Both threads take m before n: no inversion, no deadlock.
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder};
+        let (m, n) = (LockId::new(0), LockId::new(1));
+        let mut b = TraceBuilder::new();
+        for t in [ThreadId::new(0), ThreadId::new(1)] {
+            b.push(t, Op::Acquire(m)).unwrap();
+            b.push(t, Op::Acquire(n)).unwrap();
+            b.push(t, Op::Release(n)).unwrap();
+            b.push(t, Op::Release(m)).unwrap();
+        }
+        let oracle_trace = b.finish();
+        let oracle = PredictableRaceOracle::new(&oracle_trace);
+        assert_eq!(oracle.any_predictable_deadlock(), DeadlockResult::NoDeadlock);
+    }
+
+    #[test]
+    fn paper_figures_have_no_predictable_deadlock() {
+        for (name, tr) in paper::all_figures() {
+            let oracle = PredictableRaceOracle::new(&tr);
+            assert_eq!(
+                oracle.any_predictable_deadlock(),
+                DeadlockResult::NoDeadlock,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_way_lock_cycle_is_found() {
+        // t0: m then n; t1: n then p; t2: p then m — a 3-cycle reachable by
+        // letting each thread take its first lock.
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder};
+        let locks = [LockId::new(0), LockId::new(1), LockId::new(2)];
+        let mut b = TraceBuilder::new();
+        for t in 0..3usize {
+            let tid = ThreadId::new(t as u32);
+            let outer = locks[t];
+            let inner = locks[(t + 1) % 3];
+            b.push(tid, Op::Acquire(outer)).unwrap();
+            b.push(tid, Op::Acquire(inner)).unwrap();
+            b.push(tid, Op::Release(inner)).unwrap();
+            b.push(tid, Op::Release(outer)).unwrap();
+        }
+        let oracle_trace = b.finish();
+        let oracle = PredictableRaceOracle::new(&oracle_trace);
+        match oracle.any_predictable_deadlock() {
+            DeadlockResult::Deadlock(threads) => assert_eq!(threads.len(), 3),
+            other => panic!("expected a 3-cycle deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_search_respects_the_budget() {
+        let tr = paper::figure2();
+        let oracle = PredictableRaceOracle::new(&tr).with_budget(2);
+        assert_eq!(oracle.any_predictable_deadlock(), DeadlockResult::Unknown);
+    }
+}

@@ -1,0 +1,294 @@
+//! Independent validation of predicted traces (the §2.2 conditions).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use smarttrack_trace::{EventId, Op, Trace, TraceBuilder, VarId};
+
+/// Why a candidate witness is not a valid predicted trace exposing a race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessError {
+    /// An event id appears more than once.
+    DuplicateEvent(EventId),
+    /// The per-thread projection is not a prefix of the original's (program
+    /// order violated or events skipped within a thread).
+    NotAThreadPrefix(EventId),
+    /// A read observes a different last writer than in the original trace.
+    LastWriterChanged {
+        /// The read.
+        read: EventId,
+        /// Its last writer in the original trace (`None` = no writer).
+        original: Option<EventId>,
+        /// Its last writer in the candidate (`None` = no writer).
+        witness: Option<EventId>,
+    },
+    /// The candidate violates locking discipline.
+    IllFormedLocking(String),
+    /// The final two events are not conflicting, or not the claimed pair.
+    BadRacingPair,
+    /// A `join` appears although the joined thread has remaining events.
+    JoinBeforeTermination(EventId),
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::DuplicateEvent(e) => write!(f, "event {e} appears twice"),
+            WitnessError::NotAThreadPrefix(e) => {
+                write!(f, "event {e} breaks its thread's prefix order")
+            }
+            WitnessError::LastWriterChanged {
+                read,
+                original,
+                witness,
+            } => write!(
+                f,
+                "read {read} has last writer {witness:?}, originally {original:?}"
+            ),
+            WitnessError::IllFormedLocking(msg) => write!(f, "locking violated: {msg}"),
+            WitnessError::BadRacingPair => write!(f, "final events are not the racing pair"),
+            WitnessError::JoinBeforeTermination(e) => {
+                write!(f, "join {e} before the joined thread terminated")
+            }
+        }
+    }
+}
+
+impl Error for WitnessError {}
+
+/// Validates that `order` (event ids of `trace`) is a predicted trace of
+/// `trace` whose final two events are the conflicting pair `racing`
+/// (in either order).
+///
+/// The checks implement §2.2:
+/// 1. every event is present in the original trace, at most once;
+/// 2. the events of each thread form a *prefix* of that thread's original
+///    projection (which implies program order is preserved);
+/// 3. every read (including volatile reads) has the same last writer — or
+///    lack of one — as in the original trace, **except the racing pair
+///    itself**: the correct-reordering definitions the WCP/DC soundness
+///    theorems are stated for (Kini et al. 2017, Roemer et al. 2018) exempt
+///    the two racing events, whose values are irrelevant to the race;
+/// 4. the witness is well formed (locking rules; joins only after the joined
+///    thread's full prefix);
+/// 5. the last two events are `racing.0` and `racing.1`, adjacent.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn validate_witness(
+    trace: &Trace,
+    order: &[EventId],
+    racing: (EventId, EventId),
+) -> Result<(), WitnessError> {
+    // 1 & 2: per-thread prefix check.
+    let mut seen = vec![false; trace.len()];
+    let mut thread_pos: HashMap<_, usize> = HashMap::new();
+    let projections: HashMap<_, Vec<EventId>> = (0..trace.num_threads())
+        .map(|t| {
+            let tid = smarttrack_trace::ThreadId::new(t as u32);
+            (tid, trace.thread_projection(tid))
+        })
+        .collect();
+    for &id in order {
+        if seen[id.index()] {
+            return Err(WitnessError::DuplicateEvent(id));
+        }
+        seen[id.index()] = true;
+        let e = trace.event(id);
+        let pos = thread_pos.entry(e.tid).or_insert(0);
+        let proj = &projections[&e.tid];
+        if proj.get(*pos) != Some(&id) {
+            return Err(WitnessError::NotAThreadPrefix(id));
+        }
+        *pos += 1;
+    }
+
+    // 3: last-writer preservation (regular and volatile variables have
+    // separate namespaces).
+    let original_lw = trace.last_writers();
+    let mut lw_now: HashMap<VarId, EventId> = HashMap::new();
+    let mut vol_lw_orig: HashMap<EventId, Option<EventId>> = HashMap::new();
+    {
+        let mut last: HashMap<VarId, EventId> = HashMap::new();
+        for (id, e) in trace.iter() {
+            match e.op {
+                Op::VolatileRead(v) => {
+                    vol_lw_orig.insert(id, last.get(&v).copied());
+                }
+                Op::VolatileWrite(v) => {
+                    last.insert(v, id);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut vol_lw_now: HashMap<VarId, EventId> = HashMap::new();
+    for &id in order {
+        let e = trace.event(id);
+        if id == racing.0 || id == racing.1 {
+            // Racing events are exempt from read consistency (see above),
+            // but their writes still update the last-writer state.
+            match e.op {
+                Op::Write(x) => {
+                    lw_now.insert(x, id);
+                }
+                Op::VolatileWrite(v) => {
+                    vol_lw_now.insert(v, id);
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match e.op {
+            Op::Read(x) => {
+                let orig = original_lw.get(&id).copied().unwrap_or(None);
+                let now = lw_now.get(&x).copied();
+                if orig != now {
+                    return Err(WitnessError::LastWriterChanged {
+                        read: id,
+                        original: orig,
+                        witness: now,
+                    });
+                }
+            }
+            Op::Write(x) => {
+                lw_now.insert(x, id);
+            }
+            Op::VolatileRead(v) => {
+                let orig = vol_lw_orig.get(&id).copied().unwrap_or(None);
+                let now = vol_lw_now.get(&v).copied();
+                if orig != now {
+                    return Err(WitnessError::LastWriterChanged {
+                        read: id,
+                        original: orig,
+                        witness: now,
+                    });
+                }
+            }
+            Op::VolatileWrite(v) => {
+                vol_lw_now.insert(v, id);
+            }
+            _ => {}
+        }
+    }
+
+    // 4: well-formedness (locks + fork/join) via the trace builder, plus
+    // join-after-termination.
+    let mut b = TraceBuilder::new();
+    for &id in order {
+        let e = trace.event(id);
+        if let Op::Join(u) = e.op {
+            let consumed = thread_pos.get(&u).copied().unwrap_or(0);
+            if consumed < projections[&u].len() {
+                return Err(WitnessError::JoinBeforeTermination(id));
+            }
+        }
+        b.push_event(*e)
+            .map_err(|err| WitnessError::IllFormedLocking(err.to_string()))?;
+    }
+
+    // 5: the racing pair is last and adjacent.
+    let n = order.len();
+    if n < 2 {
+        return Err(WitnessError::BadRacingPair);
+    }
+    let tail = (order[n - 2], order[n - 1]);
+    let pair_ok = tail == racing || tail == (racing.1, racing.0);
+    if !pair_ok || !trace.event(racing.0).conflicts_with(trace.event(racing.1)) {
+        return Err(WitnessError::BadRacingPair);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_trace::paper;
+
+    #[test]
+    fn figure1_witness_validates() {
+        let tr = paper::figure1();
+        // Figure 1(b): T2's critical section, then rd(x) by T1, then wr(x).
+        let order: Vec<EventId> = [4, 5, 6, 0, 7].map(EventId::new).to_vec();
+        validate_witness(&tr, &order, (EventId::new(0), EventId::new(7)))
+            .expect("paper figure 1(b) is a valid predicted trace");
+    }
+
+    #[test]
+    fn rejects_non_prefix_projection() {
+        let tr = paper::figure1();
+        // Skipping T2's acq(m) (event 4) but keeping rd(z) (event 5) breaks
+        // the prefix property.
+        let order: Vec<EventId> = [5, 0, 7].map(EventId::new).to_vec();
+        assert!(matches!(
+            validate_witness(&tr, &order, (EventId::new(0), EventId::new(7))),
+            Err(WitnessError::NotAThreadPrefix(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_changed_last_writer_of_non_racing_read() {
+        use smarttrack_trace::{Op, ThreadId, TraceBuilder, VarId};
+        let mut b = TraceBuilder::new();
+        let w0 = b.push(ThreadId::new(0), Op::Write(VarId::new(1))).unwrap();
+        let r = b.push(ThreadId::new(1), Op::Read(VarId::new(1))).unwrap();
+        let a = b.push(ThreadId::new(1), Op::Write(VarId::new(0))).unwrap();
+        let c = b.push(ThreadId::new(0), Op::Write(VarId::new(0))).unwrap();
+        let tr = b.finish();
+        // Placing r before its original writer w0 changes its last writer
+        // (w0 → None); r is not part of the racing pair (a, c), so this must
+        // be rejected.
+        let order = vec![r, w0, a, c];
+        assert!(matches!(
+            validate_witness(&tr, &order, (a, c)),
+            Err(WitnessError::LastWriterChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn racing_read_is_exempt_from_last_writer_check() {
+        use smarttrack_trace::{Op, ThreadId, TraceBuilder, VarId};
+        let mut b = TraceBuilder::new();
+        let w0 = b.push(ThreadId::new(0), Op::Write(VarId::new(0))).unwrap();
+        let w1 = b.push(ThreadId::new(0), Op::Write(VarId::new(0))).unwrap();
+        let r = b.push(ThreadId::new(1), Op::Read(VarId::new(0))).unwrap();
+        let _ = w1;
+        let tr = b.finish();
+        // In tr, r reads from w1; in the witness it sits next to w0's
+        // racing write having seen only w0 — allowed for the racing pair
+        // (Kini et al.'s correct-reordering definition).
+        let order = vec![w0, r];
+        validate_witness(&tr, &order, (w0, r)).expect("racing read is exempt");
+    }
+
+    #[test]
+    fn rejects_lock_violations() {
+        let tr = paper::figure1();
+        // Both threads inside their m-critical sections at once.
+        let order: Vec<EventId> = [0, 1, 4].map(EventId::new).to_vec();
+        let r = validate_witness(&tr, &order, (EventId::new(0), EventId::new(7)));
+        assert!(matches!(r, Err(WitnessError::IllFormedLocking(_))), "{r:?}");
+    }
+
+    #[test]
+    fn rejects_non_adjacent_pair() {
+        let tr = paper::figure1();
+        let order: Vec<EventId> = [0, 4, 5, 6, 7].map(EventId::new).to_vec();
+        assert_eq!(
+            validate_witness(&tr, &order, (EventId::new(0), EventId::new(7))),
+            Err(WitnessError::BadRacingPair)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let tr = paper::figure1();
+        let order: Vec<EventId> = [0, 0, 7].map(EventId::new).to_vec();
+        assert_eq!(
+            validate_witness(&tr, &order, (EventId::new(0), EventId::new(7))),
+            Err(WitnessError::DuplicateEvent(EventId::new(0)))
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! A predictable race whose accesses are arbitrarily far apart.
+//!
+//! "Prior work shows that predictable races can be millions of events
+//! apart" (paper §6, citing Roemer et al. 2018). This generator embeds the
+//! paper's Figure 1 race pattern around a configurable stretch of unrelated
+//! single-threaded work, producing the workload that separates unbounded
+//! partial-order analyses (which find the race at any distance, in linear
+//! time) from bounded-window approaches (which miss it as soon as the
+//! distance exceeds the window).
+
+use smarttrack_trace::{EventId, LockId, Op, ThreadId, Trace, TraceBuilder, VarId};
+
+/// Builds a trace containing exactly one predictable race whose two
+/// accesses are at least `distance` events apart, and returns the trace
+/// together with the racing pair (in trace order).
+///
+/// Layout (Figure 1 of the paper, stretched):
+///
+/// ```text
+/// T0: rd(x) acq(m) wr(y) rel(m)
+/// T2:   ... `distance` events of thread-local filler work ...
+/// T1: acq(m) rd(z) rel(m) wr(x)
+/// ```
+///
+/// The filler thread touches only its own variable under its own lock, so
+/// the Figure 1 race between T0's `rd(x)` (the first event) and T1's
+/// `wr(x)` (the last event) is the only predictable race in the trace, and
+/// no reordering constraint connects the filler to either side.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_workloads::distant_race_trace;
+///
+/// let (trace, first, second) = distant_race_trace(1_000);
+/// assert!(second.index() - first.index() >= 1_000);
+/// assert!(trace.event(first).conflicts_with(trace.event(second)));
+/// ```
+pub fn distant_race_trace(distance: usize) -> (Trace, EventId, EventId) {
+    let t0 = ThreadId::new(0);
+    let t1 = ThreadId::new(1);
+    let filler_thread = ThreadId::new(2);
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+    let z = VarId::new(2);
+    let filler_var = VarId::new(3);
+    let m = LockId::new(0);
+    let filler_lock = LockId::new(1);
+
+    let mut b = TraceBuilder::new();
+    let push = |b: &mut TraceBuilder, tid, op| {
+        b.push(tid, op)
+            .expect("distant-race construction is well formed")
+    };
+
+    let first = push(&mut b, t0, Op::Read(x));
+    push(&mut b, t0, Op::Acquire(m));
+    push(&mut b, t0, Op::Write(y));
+    push(&mut b, t0, Op::Release(m));
+
+    // Thread-local filler: acq(l) wr(f) rel(l) blocks, then plain accesses
+    // for the remainder so any distance is hit exactly.
+    let mut emitted = 0usize;
+    while emitted + 3 <= distance {
+        push(&mut b, filler_thread, Op::Acquire(filler_lock));
+        push(&mut b, filler_thread, Op::Write(filler_var));
+        push(&mut b, filler_thread, Op::Release(filler_lock));
+        emitted += 3;
+    }
+    while emitted < distance {
+        push(&mut b, filler_thread, Op::Read(filler_var));
+        emitted += 1;
+    }
+
+    push(&mut b, t1, Op::Acquire(m));
+    push(&mut b, t1, Op::Read(z));
+    push(&mut b, t1, Op::Release(m));
+    let second = push(&mut b, t1, Op::Write(x));
+
+    (b.finish(), first, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn racing_pair_spans_the_requested_distance() {
+        for distance in [0, 1, 2, 3, 10, 997] {
+            let (trace, a, b) = distant_race_trace(distance);
+            assert!(
+                b.index() - a.index() >= distance,
+                "distance {distance}: pair {a:?}..{b:?}"
+            );
+            assert_eq!(a.index(), 0);
+            assert_eq!(b.index(), trace.len() - 1);
+            assert_eq!(trace.len(), 8 + distance, "filler emits exactly `distance` events");
+        }
+    }
+
+    #[test]
+    fn trace_has_exactly_the_figure1_shape_around_the_filler() {
+        let (trace, a, b) = distant_race_trace(6);
+        assert_eq!(trace.event(a).op, Op::Read(VarId::new(0)));
+        assert_eq!(trace.event(b).op, Op::Write(VarId::new(0)));
+        assert_eq!(trace.num_threads(), 3);
+        assert_eq!(trace.len(), 14);
+    }
+
+    #[test]
+    fn zero_distance_is_plain_figure1_with_idle_filler_thread() {
+        let (trace, _, _) = distant_race_trace(0);
+        assert_eq!(trace.len(), 8);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! DaCapo-calibrated synthetic workloads.
+//!
+//! The paper evaluates on ten DaCapo benchmarks instrumented by RoadRunner
+//! (§5.2). This crate substitutes seeded synthetic workloads calibrated, per
+//! program, against the paper's measured run-time characteristics (Table 2:
+//! thread counts, non-same-epoch-access fraction, fraction of NSEAs holding
+//! ≥1/≥2/≥3 locks) and race profile (Table 7: statically distinct races per
+//! relation, scaled dynamic counts). Event counts scale linearly with a
+//! user-chosen factor so experiments run anywhere from laptop-smoke-test to
+//! paper-sized.
+//!
+//! # Examples
+//!
+//! ```
+//! use smarttrack_workloads::{profiles, Workload};
+//!
+//! let xalan = profiles::xalan();
+//! let trace = xalan.trace(0.00002, 42);
+//! assert!(trace.len() > 1_000);
+//! // xalan is the paper's most lock-intensive program: nearly every
+//! // non-same-epoch access holds a lock.
+//! let stats = smarttrack_trace::stats::TraceStats::compute(&trace);
+//! assert!(stats.pct_nsea_holding(1) > 80.0);
+//! ```
+
+mod distant;
+mod patterns;
+mod profile;
+mod synth;
+
+pub use distant::distant_race_trace;
+pub use patterns::{PatternKind, RaceMix};
+pub use profile::{profiles, Table2Row, Workload};

@@ -1,0 +1,265 @@
+//! Race-pattern building blocks, taken from the paper's figures.
+//!
+//! Each pattern is emitted as a contiguous block with fresh variables and
+//! locks, so its detectability is exactly that of the corresponding figure
+//! regardless of the surrounding workload:
+//!
+//! * [`PatternKind::HbRace`] — an unsynchronized conflicting pair: detected
+//!   by every relation.
+//! * [`PatternKind::Predictive`] — Figure 1(a): ordered by HB through an
+//!   unrelated critical section, detected by WCP/DC/WDC only.
+//! * [`PatternKind::DcOnly`] — Figure 2(a): WCP orders it via HB
+//!   composition; only DC/WDC detect it.
+//! * [`PatternKind::WdcFalse`] — Figure 3: a false race only WDC reports.
+
+use smarttrack_clock::ThreadId;
+use smarttrack_trace::{LockId, Loc, Op, TraceBuilder, VarId};
+
+/// The kinds of injectable race patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// Detected by HB and everything weaker.
+    HbRace,
+    /// Detected by WCP/DC/WDC but not HB (Figure 1(a)).
+    Predictive,
+    /// Detected by DC/WDC but not WCP or HB (Figure 2(a)).
+    DcOnly,
+    /// Reported only by WDC; not a predictable race (Figure 3).
+    WdcFalse,
+}
+
+impl PatternKind {
+    /// Threads the pattern needs.
+    pub fn threads_needed(self) -> usize {
+        match self {
+            PatternKind::HbRace | PatternKind::Predictive => 2,
+            PatternKind::DcOnly | PatternKind::WdcFalse => 3,
+        }
+    }
+
+    /// Fresh variables the pattern consumes.
+    pub fn vars_needed(self) -> u32 {
+        match self {
+            PatternKind::HbRace => 1,
+            PatternKind::Predictive => 3,
+            PatternKind::DcOnly => 2,
+            PatternKind::WdcFalse => 3,
+        }
+    }
+
+    /// Fresh locks the pattern consumes.
+    pub fn locks_needed(self) -> u32 {
+        match self {
+            PatternKind::HbRace => 0,
+            PatternKind::Predictive => 1,
+            PatternKind::DcOnly => 2,
+            PatternKind::WdcFalse => 3,
+        }
+    }
+}
+
+/// The statically distinct race mix of one workload, derived from Table 7
+/// (`predictive = WCP − HB` races, `dc_only = DC − WCP` races).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RaceMix {
+    /// Races every relation detects.
+    pub hb: u32,
+    /// Races only the predictive relations detect (Figure 1 pattern).
+    pub predictive: u32,
+    /// Races only DC/WDC detect (Figure 2 pattern).
+    pub dc_only: u32,
+    /// False WDC-only reports (Figure 3 pattern); 0 for all DaCapo profiles,
+    /// matching the paper's finding that WDC reports no false races on them.
+    pub wdc_false: u32,
+    /// Dynamic repetitions per static race site.
+    pub repeats_per_site: u32,
+}
+
+impl RaceMix {
+    /// Expected statically distinct races under each relation
+    /// `(HB, WCP, DC, WDC)`.
+    pub fn expected_static(&self) -> (u32, u32, u32, u32) {
+        let hb = self.hb;
+        let wcp = hb + self.predictive;
+        let dc = wcp + self.dc_only;
+        let wdc = dc + self.wdc_false;
+        (hb, wcp, dc, wdc)
+    }
+
+    /// All pattern instances to inject, as `(kind, site_index)` pairs.
+    pub fn sites(&self) -> Vec<(PatternKind, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.hb {
+            out.push((PatternKind::HbRace, i));
+        }
+        for i in 0..self.predictive {
+            out.push((PatternKind::Predictive, self.hb + i));
+        }
+        for i in 0..self.dc_only {
+            out.push((PatternKind::DcOnly, self.hb + self.predictive + i));
+        }
+        for i in 0..self.wdc_false {
+            out.push((
+                PatternKind::WdcFalse,
+                self.hb + self.predictive + self.dc_only + i,
+            ));
+        }
+        out
+    }
+}
+
+/// Resource allocator for pattern emission: fresh ids beyond the body's.
+pub(crate) struct PatternAlloc {
+    pub next_var: u32,
+    pub next_lock: u32,
+    /// Location block per site: locations must be stable across repetitions
+    /// of the same site (dynamic races at one static location) and distinct
+    /// across sites.
+    pub loc_base: u32,
+}
+
+const LOCS_PER_SITE: u32 = 32;
+
+/// Emits one repetition of `kind` at static site `site` using `threads`
+/// (which must currently hold no locks). Allocates fresh vars/locks from
+/// `alloc`; locations are stable per site.
+pub(crate) fn emit(
+    b: &mut TraceBuilder,
+    kind: PatternKind,
+    site: u32,
+    threads: &[ThreadId],
+    alloc: &mut PatternAlloc,
+) {
+    assert!(threads.len() >= kind.threads_needed(), "not enough threads");
+    debug_assert!(
+        threads[..kind.threads_needed()]
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            == kind.threads_needed(),
+        "pattern threads must be distinct"
+    );
+    let var = |a: &mut PatternAlloc| {
+        let v = VarId::new(a.next_var);
+        a.next_var += 1;
+        v
+    };
+    let lock = |a: &mut PatternAlloc| {
+        let l = LockId::new(a.next_lock);
+        a.next_lock += 1;
+        l
+    };
+    let loc_base = alloc.loc_base;
+    let loc = move |i: u32| Loc::new(loc_base + site * LOCS_PER_SITE + i);
+    let (ta, tb) = (threads[0], threads[1]);
+    match kind {
+        PatternKind::HbRace => {
+            let x = var(alloc);
+            b.push_at(ta, Op::Write(x), loc(0)).expect("well-formed");
+            b.push_at(tb, Op::Write(x), loc(1)).expect("well-formed");
+        }
+        PatternKind::Predictive => {
+            // Figure 1(a): the critical sections share no data.
+            let (x, y, z) = (var(alloc), var(alloc), var(alloc));
+            let m = lock(alloc);
+            b.push_at(ta, Op::Read(x), loc(0)).expect("well-formed");
+            b.push_at(ta, Op::Acquire(m), loc(1)).expect("well-formed");
+            b.push_at(ta, Op::Write(y), loc(2)).expect("well-formed");
+            b.push_at(ta, Op::Release(m), loc(3)).expect("well-formed");
+            b.push_at(tb, Op::Acquire(m), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Read(z), loc(5)).expect("well-formed");
+            b.push_at(tb, Op::Release(m), loc(6)).expect("well-formed");
+            b.push_at(tb, Op::Write(x), loc(7)).expect("well-formed");
+        }
+        PatternKind::DcOnly => {
+            // Figure 2(a).
+            let tc = threads[2];
+            let (x, y) = (var(alloc), var(alloc));
+            let (m, n) = (lock(alloc), lock(alloc));
+            b.push_at(ta, Op::Read(x), loc(0)).expect("well-formed");
+            b.push_at(ta, Op::Acquire(m), loc(1)).expect("well-formed");
+            b.push_at(ta, Op::Write(y), loc(2)).expect("well-formed");
+            b.push_at(ta, Op::Release(m), loc(3)).expect("well-formed");
+            b.push_at(tb, Op::Acquire(m), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Read(y), loc(5)).expect("well-formed");
+            b.push_at(tb, Op::Release(m), loc(6)).expect("well-formed");
+            b.push_at(tb, Op::Acquire(n), loc(7)).expect("well-formed");
+            b.push_at(tb, Op::Release(n), loc(8)).expect("well-formed");
+            b.push_at(tc, Op::Acquire(n), loc(9)).expect("well-formed");
+            b.push_at(tc, Op::Release(n), loc(10)).expect("well-formed");
+            b.push_at(tc, Op::Write(x), loc(11)).expect("well-formed");
+        }
+        PatternKind::WdcFalse => {
+            // Figure 3, with sync(o) = acq;rd;wr;rel.
+            let tc = threads[2];
+            let (x, ov, pv) = (var(alloc), var(alloc), var(alloc));
+            let (m, o, p) = (lock(alloc), lock(alloc), lock(alloc));
+            let sync = |b: &mut TraceBuilder, t: ThreadId, l: LockId, v: VarId, at: Loc| {
+                b.push_at(t, Op::Acquire(l), at).expect("well-formed");
+                b.push_at(t, Op::Read(v), at).expect("well-formed");
+                b.push_at(t, Op::Write(v), at).expect("well-formed");
+                b.push_at(t, Op::Release(l), at).expect("well-formed");
+            };
+            b.push_at(ta, Op::Acquire(m), loc(0)).expect("well-formed");
+            sync(b, ta, o, ov, loc(1));
+            b.push_at(ta, Op::Read(x), loc(2)).expect("well-formed");
+            b.push_at(ta, Op::Release(m), loc(3)).expect("well-formed");
+            sync(b, tb, o, ov, loc(4));
+            sync(b, tb, p, pv, loc(5));
+            b.push_at(tc, Op::Acquire(m), loc(6)).expect("well-formed");
+            sync(b, tc, p, pv, loc(7));
+            b.push_at(tc, Op::Release(m), loc(8)).expect("well-formed");
+            b.push_at(tc, Op::Write(x), loc(9)).expect("well-formed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_trace::Trace;
+
+    fn emit_one(kind: PatternKind) -> Trace {
+        let mut b = TraceBuilder::new();
+        let mut alloc = PatternAlloc {
+            next_var: 0,
+            next_lock: 0,
+            loc_base: 0,
+        };
+        let threads: Vec<ThreadId> = (0..3).map(ThreadId::new).collect();
+        emit(&mut b, kind, 0, &threads, &mut alloc);
+        b.finish()
+    }
+
+    #[test]
+    fn patterns_are_well_formed() {
+        for kind in [
+            PatternKind::HbRace,
+            PatternKind::Predictive,
+            PatternKind::DcOnly,
+            PatternKind::WdcFalse,
+        ] {
+            let tr = emit_one(kind);
+            Trace::from_events(tr.events().iter().copied())
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn race_mix_site_counts() {
+        let mix = RaceMix {
+            hb: 2,
+            predictive: 3,
+            dc_only: 1,
+            wdc_false: 0,
+            repeats_per_site: 5,
+        };
+        assert_eq!(mix.sites().len(), 6);
+        assert_eq!(mix.expected_static(), (2, 5, 6, 6));
+        // Site indices are globally unique.
+        let mut idx: Vec<u32> = mix.sites().iter().map(|&(_, i)| i).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 6);
+    }
+}

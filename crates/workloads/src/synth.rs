@@ -1,0 +1,322 @@
+//! The workload synthesizer: a calibrated "body" (reproducing Table 2's
+//! characteristics) with race patterns (Table 7's mix) injected between body
+//! blocks.
+//!
+//! Body structure, per scheduling step: one worker thread emits a complete
+//! *block* — either an unlocked access burst on thread-private data, a
+//! critical-section block at calibrated nesting depth touching lock-protected
+//! shared data, or a read of a read-shared variable. Blocks are atomic, so
+//! locks never straddle block boundaries and pattern blocks can be injected
+//! at any step without interleaving hazards (see `patterns`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smarttrack_clock::ThreadId;
+use smarttrack_trace::{LockId, Loc, Op, Trace, TraceBuilder, VarId};
+
+use crate::patterns::{emit, PatternAlloc, PatternKind};
+use crate::profile::Workload;
+
+/// Private variables per thread.
+const PRIVATE_VARS: u32 = 8;
+/// Shared (lock-protected) variables per global lock.
+const SHARED_PER_LOCK: u32 = 4;
+/// Read-shared variables (written once before the workers fork).
+const READ_SHARED: u32 = 6;
+/// Private locks per thread, for nesting beyond the outermost global lock.
+const PRIVATE_LOCKS: u32 = 3;
+/// Cap on burst length (sunflow's same-epoch ratio is ~2800:1; emitting the
+/// full ratio as one burst would make tiny-scale traces degenerate).
+const MAX_BURST: usize = 400;
+/// Distinct body source locations per thread.
+const BODY_LOCS: u32 = 64;
+
+pub(crate) struct Synthesizer<'a> {
+    workload: &'a Workload,
+    events: usize,
+    repeats: u32,
+    rng: SmallRng,
+}
+
+impl<'a> Synthesizer<'a> {
+    pub fn new(workload: &'a Workload, events: usize, repeats: u32, seed: u64) -> Self {
+        Synthesizer {
+            workload,
+            events,
+            repeats: repeats.max(1),
+            rng: SmallRng::seed_from_u64(seed ^ 0xdaca_90b3_57ac_c0de),
+        }
+    }
+
+    pub fn generate(mut self) -> Trace {
+        let w = self.workload;
+        let threads = w.paper.threads.max(2);
+        let workers: Vec<ThreadId> = (1..threads).map(ThreadId::new).collect();
+        let main = ThreadId::new(0);
+
+        let n_global_locks = (threads / 2).clamp(2, 8);
+        let global_lock = |g: u32| LockId::new(g);
+        let private_lock =
+            |t: ThreadId, i: u32| LockId::new(n_global_locks + t.raw() * PRIVATE_LOCKS + i);
+        let shared_var = |g: u32, i: u32| VarId::new(g * SHARED_PER_LOCK + i);
+        let read_shared_var = |i: u32| VarId::new(n_global_locks * SHARED_PER_LOCK + i);
+        let private_var = |t: ThreadId, i: u32| {
+            VarId::new(n_global_locks * SHARED_PER_LOCK + READ_SHARED + t.raw() * PRIVATE_VARS + i)
+        };
+        let body_loc = |t: ThreadId, i: u32| Loc::new(t.raw() * BODY_LOCS + i % BODY_LOCS);
+
+        let mut alloc = PatternAlloc {
+            next_var: n_global_locks * SHARED_PER_LOCK + READ_SHARED + threads * PRIVATE_VARS,
+            next_lock: n_global_locks + threads * PRIVATE_LOCKS,
+            loc_base: threads * BODY_LOCS,
+        };
+
+        let mut b = TraceBuilder::new();
+
+        // Prologue: the main thread initializes read-shared data and forks
+        // the workers (ordering the initialization before all of them).
+        for i in 0..READ_SHARED {
+            b.push_at(main, Op::Write(read_shared_var(i)), body_loc(main, i))
+                .expect("well-formed");
+        }
+        for &t in &workers {
+            b.push_at(main, Op::Fork(t), body_loc(main, 60))
+                .expect("fork of fresh thread");
+        }
+
+        // Pattern schedule: instances spread evenly through the body.
+        let mut instances: Vec<(PatternKind, u32)> = Vec::new();
+        for (kind, site) in w.races.sites() {
+            for _ in 0..self.repeats {
+                instances.push((kind, site));
+            }
+        }
+        // Deterministic shuffle.
+        for i in (1..instances.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            instances.swap(i, j);
+        }
+        let body_events = self.events.saturating_sub(instances.len() * 20).max(64);
+        let step = (body_events / instances.len().max(1)).max(1);
+        let mut next_pattern = step / 2;
+        let mut inst_iter = instances.into_iter();
+
+        // Calibration: probability that an access block is locked, and the
+        // conditional deeper-nesting probabilities, from Table 2.
+        let p1 = (w.paper.pct_ge1 / 100.0).clamp(0.0, 1.0);
+        let p2_given_1 = if w.paper.pct_ge1 > 0.0 {
+            (w.paper.pct_ge2 / w.paper.pct_ge1).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let p3_given_2 = if w.paper.pct_ge2 > 0.0 {
+            (w.paper.pct_ge3 / w.paper.pct_ge2).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let burst_target = w.burst_target().min(MAX_BURST as f64);
+
+        while b.len() < body_events {
+            if b.len() >= next_pattern {
+                if let Some((kind, site)) = inst_iter.next() {
+                    let team = self.pick_team(&workers, kind.threads_needed());
+                    emit(&mut b, kind, site, &team, &mut alloc);
+                    next_pattern += step;
+                } else {
+                    next_pattern = usize::MAX;
+                }
+            }
+            let t = workers[self.rng.gen_range(0..workers.len())];
+            if self.rng.gen_bool(p1) {
+                self.locked_block(
+                    &mut b,
+                    t,
+                    p2_given_1,
+                    p3_given_2,
+                    burst_target,
+                    n_global_locks,
+                    &global_lock,
+                    &private_lock,
+                    &shared_var,
+                    &private_var,
+                    &body_loc,
+                );
+            } else if self.rng.gen_bool(0.1) {
+                // Read-shared data access (drives the shared-read FTO cases).
+                let v = read_shared_var(self.rng.gen_range(0..READ_SHARED));
+                b.push_at(t, Op::Read(v), body_loc(t, 61)).expect("well-formed");
+            } else {
+                let v = private_var(t, self.rng.gen_range(0..PRIVATE_VARS));
+                self.burst(&mut b, t, v, burst_target, &body_loc);
+            }
+        }
+
+        // Drain any unemitted pattern instances.
+        for (kind, site) in inst_iter {
+            let team = self.pick_team(&workers, kind.threads_needed());
+            emit(&mut b, kind, site, &team, &mut alloc);
+        }
+
+        // Epilogue: join all workers.
+        for &t in &workers {
+            b.push_at(main, Op::Join(t), body_loc(main, 62))
+                .expect("join of live thread");
+        }
+        b.finish()
+    }
+
+    fn pick_team(&mut self, workers: &[ThreadId], n: usize) -> Vec<ThreadId> {
+        let mut pool: Vec<ThreadId> = workers.to_vec();
+        // The main thread can serve as a pattern participant when the worker
+        // pool is small (it only runs the prologue/epilogue otherwise).
+        if pool.len() < n {
+            pool.push(ThreadId::new(0));
+        }
+        assert!(
+            pool.len() >= n,
+            "profile has too few threads for a {n}-thread race pattern"
+        );
+        let mut team = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = self.rng.gen_range(0..pool.len());
+            team.push(pool.swap_remove(i));
+        }
+        team
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn locked_block(
+        &mut self,
+        b: &mut TraceBuilder,
+        t: ThreadId,
+        p2: f64,
+        p3: f64,
+        burst_target: f64,
+        n_global_locks: u32,
+        global_lock: &impl Fn(u32) -> LockId,
+        private_lock: &impl Fn(ThreadId, u32) -> LockId,
+        shared_var: &impl Fn(u32, u32) -> VarId,
+        private_var: &impl Fn(ThreadId, u32) -> VarId,
+        body_loc: &impl Fn(ThreadId, u32) -> Loc,
+    ) {
+        let mut depth = 1usize;
+        if self.rng.gen_bool(p2) {
+            depth = 2;
+            if self.rng.gen_bool(p3) {
+                depth = 3;
+            }
+        }
+        let g = self.rng.gen_range(0..n_global_locks);
+        let mut held = vec![global_lock(g)];
+        for i in 0..(depth - 1) {
+            held.push(private_lock(t, i as u32));
+        }
+        for (i, &m) in held.iter().enumerate() {
+            b.push_at(t, Op::Acquire(m), body_loc(t, 40 + i as u32))
+                .expect("locks are free between blocks");
+        }
+        // Accesses at full nesting depth: shared data protected by the
+        // global lock, plus some private data.
+        let sites = self.rng.gen_range(1..=2);
+        for _ in 0..sites {
+            let v = if self.rng.gen_bool(0.7) {
+                shared_var(g, self.rng.gen_range(0..SHARED_PER_LOCK))
+            } else {
+                private_var(t, self.rng.gen_range(0..PRIVATE_VARS))
+            };
+            self.burst(b, t, v, burst_target, body_loc);
+        }
+        for (i, &m) in held.iter().enumerate().rev() {
+            b.push_at(t, Op::Release(m), body_loc(t, 50 + i as u32))
+                .expect("releasing held lock");
+        }
+    }
+
+    fn burst(
+        &mut self,
+        b: &mut TraceBuilder,
+        t: ThreadId,
+        v: VarId,
+        burst_target: f64,
+        body_loc: &impl Fn(ThreadId, u32) -> Loc,
+    ) {
+        // Burst length averaging `burst_target` accesses per epoch.
+        let len = 1 + self.rng.gen_range(0..(2.0 * burst_target) as usize + 1);
+        let loc_i = self.rng.gen_range(0..32);
+        for _ in 0..len.min(MAX_BURST) {
+            let op = if self.rng.gen_bool(self.workload.write_frac) {
+                Op::Write(v)
+            } else {
+                Op::Read(v)
+            };
+            b.push_at(t, op, body_loc(t, loc_i)).expect("well-formed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::profiles;
+    use smarttrack_detect::{run_detector, Detector, FtoHb, UnoptDc, UnoptWcp, UnoptWdc};
+
+    #[test]
+    fn race_mix_shape_matches_table7_ordering() {
+        // xalan: HB ≪ WCP < DC = WDC statically distinct races.
+        let w = profiles::xalan();
+        let tr = w.trace(0.00004, 17);
+        let mut hb = FtoHb::new();
+        let mut wcp = UnoptWcp::new();
+        let mut dc = UnoptDc::new();
+        let mut wdc = UnoptWdc::new();
+        run_detector(&mut hb, &tr);
+        run_detector(&mut wcp, &tr);
+        run_detector(&mut dc, &tr);
+        run_detector(&mut wdc, &tr);
+        let (h, w_, d, wd) = (
+            hb.report().static_count(),
+            wcp.report().static_count(),
+            dc.report().static_count(),
+            wdc.report().static_count(),
+        );
+        assert!(h < w_, "HB {h} < WCP {w_}");
+        assert!(w_ < d, "WCP {w_} < DC {d}");
+        assert_eq!(d, wd, "DC {d} == WDC {wd} (no false WDC races injected)");
+        let (eh, ew, ed, _) = w.races.expected_static();
+        assert_eq!(h, eh as usize);
+        assert_eq!(w_, ew as usize);
+        assert_eq!(d, ed as usize);
+    }
+
+    #[test]
+    fn race_free_profiles_stay_race_free() {
+        for w in [profiles::batik(), profiles::lusearch()] {
+            let tr = w.trace(0.0001, 23);
+            let mut wdc = UnoptWdc::new();
+            run_detector(&mut wdc, &tr);
+            assert!(
+                wdc.report().is_empty(),
+                "{} must be race-free even under WDC, got {}",
+                w.name,
+                wdc.report()
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_counts_scale_with_repeats() {
+        let w = profiles::avrora(); // 6 sites, 12 repeats at reference scale
+        let scale = 0.00002;
+        let tr = w.trace(scale, 3);
+        let mut hb = FtoHb::new();
+        run_detector(&mut hb, &tr);
+        assert_eq!(hb.report().static_count(), 6);
+        assert_eq!(
+            hb.report().dynamic_count(),
+            6 * w.effective_repeats(scale) as usize
+        );
+        assert!(
+            w.effective_repeats(0.0002) > w.effective_repeats(scale),
+            "repeats grow with scale"
+        );
+    }
+}

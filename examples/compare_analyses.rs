@@ -1,0 +1,58 @@
+//! Runs the full Table 1 analysis matrix over the paper's example executions
+//! and a synthetic xalan-style workload, printing the detection matrix,
+//! plus the §6 Eraser lockset baseline (which false-positives wherever the
+//! lock discipline is violated without a predictable race).
+//!
+//! ```text
+//! cargo run --release --example compare_analyses
+//! ```
+
+use smarttrack::{analyze_all, AnalysisOutcome};
+use smarttrack_detect::EraserLockset;
+use smarttrack_trace::{paper, Trace};
+use smarttrack_workloads::profiles;
+
+fn print_matrix(title: &str, outcomes: &[AnalysisOutcome], trace: &Trace) {
+    println!("{title}");
+    for o in outcomes {
+        println!(
+            "  {:<16} {:>4} static / {:>6} dynamic races   (peak metadata: {} KiB)",
+            o.name,
+            o.report.static_count(),
+            o.report.dynamic_count(),
+            o.summary.peak_footprint_bytes / 1024,
+        );
+    }
+    let mut eraser = EraserLockset::new();
+    eraser.run(trace);
+    println!(
+        "  {:<16} {:>4} static / {:>6} dynamic violations (lockset discipline; §6 baseline)",
+        "Eraser",
+        eraser.report().static_count(),
+        eraser.report().dynamic_count(),
+    );
+    println!();
+}
+
+fn main() {
+    for (name, trace) in paper::all_figures() {
+        print_matrix(
+            &format!("paper {name} ({} events)", trace.len()),
+            &analyze_all(&trace),
+            &trace,
+        );
+    }
+
+    let xalan = profiles::xalan();
+    let trace = xalan.trace(2e-5, 7);
+    println!(
+        "xalan-style workload: {} events, {} threads (expected static races: HB {}, WCP {}, DC {}, WDC {})",
+        trace.len(),
+        trace.num_threads(),
+        xalan.races.expected_static().0,
+        xalan.races.expected_static().1,
+        xalan.races.expected_static().2,
+        xalan.races.expected_static().3,
+    );
+    print_matrix("", &analyze_all(&trace), &trace);
+}

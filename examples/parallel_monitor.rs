@@ -1,0 +1,121 @@
+//! Online parallel race detection: analysis hooks running *inside* the
+//! application threads, the way the paper's RoadRunner-based implementations
+//! deploy (§5.1).
+//!
+//! ```text
+//! cargo run --release --example parallel_monitor
+//! ```
+//!
+//! A config hot-reload service — the paper's Figure 1 pattern in the wild.
+//! A worker thread reads the current config *without synchronization* and
+//! then records a metric under the stats lock; the reloader thread records
+//! its own metric under the same lock and then *writes* the config, again
+//! unsynchronized. The stats lock makes most observed schedules look
+//! ordered, so plain happens-before analysis only reports the race when the
+//! scheduler happens to interleave the accesses directly. The predictive
+//! WDC analysis proves the race from **every** schedule: the critical
+//! sections touch different metrics, so nothing actually orders the config
+//! accesses.
+//!
+//! Both analyses run online, on real OS threads, with lock-free same-epoch
+//! fast paths and fine-grained metadata locks — and the run also records the
+//! observed linearization and replays it through the sequential detector to
+//! show the two views agree.
+
+use std::collections::BTreeSet;
+
+use smarttrack_detect::{run_detector, Detector, SmartTrackWdc};
+use smarttrack_parallel::{
+    run_online, ConcurrentFtoHb, ConcurrentSmartTrackWdc, OnlineAnalysis, WorldSpec,
+};
+use smarttrack_runtime::{Program, ThreadSpec};
+use smarttrack_trace::{LockId, VarId};
+
+const RELOADS: u32 = 24;
+
+fn service_program() -> Program {
+    let stats_lock = LockId::new(0);
+    let worker_metric = VarId::new(100); // only the worker touches this
+    let reload_metric = VarId::new(101); // only the reloader touches this
+    let config = |i: u32| VarId::new(i); // one slot per reload generation
+
+    let mut worker = ThreadSpec::new();
+    let mut reloader = ThreadSpec::new();
+    for i in 0..RELOADS {
+        // Worker: read config unprotected, then log a metric under the lock.
+        worker = worker
+            .read(config(i))
+            .acquire(stats_lock)
+            .read(worker_metric)
+            .write(worker_metric)
+            .release(stats_lock);
+        // Reloader: log its own metric under the lock, then install the new
+        // config unprotected. The two critical sections touch *different*
+        // metrics, so no conflicting-critical-section ordering arises —
+        // exactly Figure 1.
+        reloader = reloader
+            .acquire(stats_lock)
+            .read(reload_metric)
+            .write(reload_metric)
+            .release(stats_lock)
+            .write(config(i));
+    }
+    Program::new(vec![worker, reloader])
+}
+
+fn main() {
+    let program = service_program();
+    let spec = WorldSpec::of_program(&program);
+
+    // Non-predictive baseline: FTO-HB, online. Schedule-dependent.
+    let hb = ConcurrentFtoHb::new(spec);
+    let hb_run = run_online(&program, &hb, false).expect("program is lock-correct");
+
+    // Predictive: SmartTrack-WDC, online, plus linearization recording.
+    let wdc = ConcurrentSmartTrackWdc::new(spec);
+    let wdc_run = run_online(&program, &wdc, true).expect("program is lock-correct");
+
+    println!(
+        "service ran {} events on 2 threads; {} config reloads\n",
+        wdc_run.events, RELOADS
+    );
+    println!(
+        "{:<28} {} statically distinct / {} dynamic races",
+        hb.name(),
+        hb_run.report.static_count(),
+        hb_run.report.dynamic_count()
+    );
+    println!(
+        "{:<28} {} statically distinct / {} dynamic races",
+        wdc.name(),
+        wdc_run.report.static_count(),
+        wdc_run.report.dynamic_count()
+    );
+
+    // Every config slot races under WDC, in *every* schedule: the paper's
+    // predictive-coverage claim, live.
+    let racy_vars: BTreeSet<u32> = wdc_run.report.races().iter().map(|r| r.var.raw()).collect();
+    let expected: BTreeSet<u32> = (0..RELOADS).collect();
+    assert_eq!(
+        racy_vars, expected,
+        "WDC proves the race on every config generation from any one run"
+    );
+    println!(
+        "\npredictive analysis caught the config race on all {RELOADS} generations;\n\
+         HB caught {} of them in this schedule (re-run for a different draw)",
+        hb_run.report.static_count()
+    );
+
+    // The recorded linearization replayed offline agrees with the online
+    // view — the §4.3 detect-then-check deployment.
+    let recorded = wdc_run.recorded.expect("recording was requested");
+    let mut offline = SmartTrackWdc::new();
+    run_detector(&mut offline, &recorded);
+    let offline_vars: BTreeSet<u32> =
+        offline.report().races().iter().map(|r| r.var.raw()).collect();
+    assert_eq!(offline_vars, expected);
+    println!(
+        "offline replay of the observed linearization agrees: {} static races",
+        offline.report().static_count()
+    );
+}

@@ -1,0 +1,58 @@
+//! Vindication in action: separating true predictable races from false
+//! WDC reports.
+//!
+//! ```text
+//! cargo run --example vindicate_race
+//! ```
+//!
+//! WDC is the cheapest predictive relation but may over-report (paper §3).
+//! The paper's answer is vindication: attempt to construct a *witness* — a
+//! feasible reordering of the observed trace in which the two accesses are
+//! adjacent. Figure 2's WDC-race vindicates; Figure 3's is a false race and
+//! never does. An exhaustive oracle double-checks both verdicts here.
+
+use smarttrack::trace::fmt::render_columns;
+use smarttrack::{analyze, AnalysisConfig, OptLevel, Relation};
+use smarttrack_trace::{paper, Trace};
+use smarttrack_vindicate::{
+    vindicate_first_race, OracleResult, PredictableRaceOracle, VindicationResult,
+};
+
+fn investigate(name: &str, trace: &Trace) {
+    println!("=== {name} ===\n{}", render_columns(trace));
+    let wdc = analyze(
+        trace,
+        AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack),
+    );
+    if wdc.report.is_empty() {
+        println!("SmartTrack-WDC reports no race.\n");
+        return;
+    }
+    let race = &wdc.report.races()[0];
+    println!("SmartTrack-WDC reports: {race}");
+
+    match vindicate_first_race(trace, &wdc.report) {
+        Some(VindicationResult::Race(witness)) => {
+            println!(
+                "vindication: TRUE race — witness reordering:\n{}",
+                render_columns(&witness.to_trace(trace))
+            );
+        }
+        Some(VindicationResult::Unknown) => {
+            println!("vindication: no witness found (suspected false race)");
+        }
+        None => println!("vindication: nothing to check"),
+    }
+
+    let oracle = PredictableRaceOracle::new(trace);
+    match oracle.any_predictable_race() {
+        OracleResult::Race(a, b) => println!("oracle: predictable race exists ({a}, {b})\n"),
+        OracleResult::NoRace => println!("oracle: NO predictable race — WDC over-reported\n"),
+        OracleResult::Unknown => println!("oracle: inconclusive (budget)\n"),
+    }
+}
+
+fn main() {
+    investigate("Figure 2 (true DC/WDC race)", &paper::figure2());
+    investigate("Figure 3 (false WDC race)", &paper::figure3());
+}

@@ -1,0 +1,13 @@
+//! Workspace umbrella for the SmartTrack reproduction.
+//!
+//! This package exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library lives in the
+//! [`smarttrack`] facade crate and the `smarttrack-*` substrate crates.
+
+pub use smarttrack;
+pub use smarttrack_clock;
+pub use smarttrack_detect;
+pub use smarttrack_runtime;
+pub use smarttrack_trace;
+pub use smarttrack_vindicate;
+pub use smarttrack_workloads;

@@ -1,0 +1,66 @@
+//! Property test for the Eraser baseline: on executions that follow a
+//! consistent lock discipline (every access to a variable holds that
+//! variable's guard lock), lockset analysis is silent — and so is every
+//! analysis in the paper's Table 1 matrix, because guarded accesses cannot
+//! race under any of the four relations.
+
+use proptest::prelude::*;
+use smarttrack_detect::{make_detector, run_detector, table1_configs, EraserLockset};
+use smarttrack_trace::{LockId, Op, ThreadId, Trace, TraceBuilder, VarId};
+
+/// One guarded access: thread, variable (its guard lock is `lock(var)`),
+/// write?, and whether an extra outer lock wraps the critical section.
+type GuardedAccess = (u32, u32, bool, bool);
+
+fn disciplined_trace(accesses: &[GuardedAccess]) -> Trace {
+    let outer = LockId::new(100);
+    let mut b = TraceBuilder::new();
+    for &(thread, var, is_write, nested) in accesses {
+        let t = ThreadId::new(thread);
+        let guard = LockId::new(var);
+        let x = VarId::new(var);
+        // Each critical section is contiguous in the linearization, so the
+        // builder's well-formedness (no acquiring a held lock) holds by
+        // construction.
+        if nested {
+            b.push(t, Op::Acquire(outer)).unwrap();
+        }
+        b.push(t, Op::Acquire(guard)).unwrap();
+        b.push(t, if is_write { Op::Write(x) } else { Op::Read(x) })
+            .unwrap();
+        b.push(t, Op::Release(guard)).unwrap();
+        if nested {
+            b.push(t, Op::Release(outer)).unwrap();
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn disciplined_traces_are_silent_everywhere(
+        accesses in proptest::collection::vec(
+            (0u32..4, 0u32..3, any::<bool>(), any::<bool>()),
+            1..50,
+        )
+    ) {
+        let trace = disciplined_trace(&accesses);
+
+        let mut eraser = EraserLockset::new();
+        eraser.run(&trace);
+        prop_assert_eq!(eraser.report().dynamic_count(), 0, "lockset discipline holds");
+
+        for (relation, level, with_graph) in table1_configs() {
+            let mut det = make_detector(relation, level, with_graph).expect("valid config");
+            run_detector(det.as_mut(), &trace);
+            prop_assert_eq!(
+                det.report().dynamic_count(),
+                0,
+                "{} must not race on a guarded trace",
+                det.name()
+            );
+        }
+    }
+}

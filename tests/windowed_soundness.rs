@@ -1,0 +1,135 @@
+//! Property tests for the bounded-window analysis (the §6 SMT-window
+//! stand-in), cross-checked against the exhaustive oracle on small traces:
+//!
+//! * soundness — a race proved inside a window (with the prefix frozen) is
+//!   a race of the unconstrained trace;
+//! * monotonicity — doubling the window never loses a race (larger windows
+//!   see strictly more reorderings);
+//! * the distant-race generator produces exactly the advertised racing
+//!   pair, at every distance.
+
+use proptest::prelude::*;
+use smarttrack_trace::gen::RandomTraceSpec;
+use smarttrack_vindicate::{
+    OracleResult, PredictableRaceOracle, WindowedConfig, WindowedRaceAnalysis,
+};
+use smarttrack_workloads::distant_race_trace;
+
+fn tiny_spec() -> impl Strategy<Value = (RandomTraceSpec, u64)> {
+    (2u32..4, 10usize..22, any::<u64>()).prop_map(|(threads, events, seed)| {
+        (
+            RandomTraceSpec {
+                threads,
+                events,
+                vars: 3,
+                locks: 2,
+                max_nesting: 2,
+                acquire_prob: 0.25,
+                release_prob: 0.3,
+                write_frac: 0.5,
+                ..RandomTraceSpec::default()
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Windowed soundness: freezing the prefix only *removes* reorderings,
+    /// so every windowed race must also be a race of the full trace.
+    #[test]
+    fn windowed_races_are_true_predictable_races(
+        (spec, seed) in tiny_spec(),
+        window in 4usize..12,
+    ) {
+        let trace = spec.generate(seed);
+        let report =
+            WindowedRaceAnalysis::new(&trace, WindowedConfig::with_window(window)).analyze();
+        let oracle = PredictableRaceOracle::new(&trace);
+        for &(a, b) in report.races() {
+            let verdict = oracle.is_predictable_race(a, b);
+            prop_assert!(
+                matches!(verdict, OracleResult::Race(..) | OracleResult::Unknown),
+                "window {window} reported ({a}, {b}) but the unbounded oracle refutes it"
+            );
+        }
+    }
+
+    /// Doubling the window (same alignment) never loses a race: every pair
+    /// co-visible in a small window is co-visible in the enclosing doubled
+    /// window, whose frozen prefix is no longer.
+    #[test]
+    fn doubling_the_window_is_monotone((spec, seed) in tiny_spec(), window in 3usize..8) {
+        let trace = spec.generate(seed);
+        let run = |w: usize| {
+            let config = WindowedConfig { window: w, stride: w, budget_per_query: 500_000 };
+            WindowedRaceAnalysis::new(&trace, config).analyze()
+        };
+        let small = run(window);
+        let large = run(window * 2);
+        for pair in small.races() {
+            prop_assert!(
+                large.races().contains(pair),
+                "window {window} found {pair:?} but window {} lost it", window * 2
+            );
+        }
+    }
+
+    /// First-window refutation is final (the `WindowedRaceAnalysis::analyze`
+    /// optimization): a naive variant that re-queries every pair in every
+    /// window finds exactly the same races. This pins the removability
+    /// argument — later windows' larger horizon adds no reachable races for
+    /// an already-refuted pair.
+    #[test]
+    fn later_windows_never_revive_a_refuted_pair(
+        (spec, seed) in tiny_spec(),
+        window in 3usize..9,
+    ) {
+        let trace = spec.generate(seed);
+        let stride = (window / 2).max(1);
+        let config = WindowedConfig { window, stride, budget_per_query: 500_000 };
+        let fast = WindowedRaceAnalysis::new(&trace, config).analyze();
+
+        // Naive: query every conflicting pair in every window it appears in.
+        let oracle = PredictableRaceOracle::new(&trace).with_budget(500_000);
+        let mut naive: std::collections::HashSet<_> = Default::default();
+        let n = trace.len();
+        let mut lo = 0usize;
+        loop {
+            let hi = (lo + window).min(n);
+            for i in lo..hi {
+                for j in (i + 1)..hi {
+                    let (a, b) = (smarttrack_trace::EventId::new(i as u32),
+                                  smarttrack_trace::EventId::new(j as u32));
+                    if !trace.event(a).conflicts_with(trace.event(b)) {
+                        continue;
+                    }
+                    if let OracleResult::Race(x, y) = oracle.pair_in_window(a, b, lo, hi).result {
+                        naive.insert((x, y));
+                    }
+                }
+            }
+            if hi == n {
+                break;
+            }
+            lo += stride;
+        }
+        let fast_set: std::collections::HashSet<_> = fast.races().iter().copied().collect();
+        prop_assert_eq!(fast_set, naive);
+    }
+
+    /// The distant-race generator delivers exactly one predictable race —
+    /// the advertised pair — verified exhaustively at oracle-sized
+    /// distances.
+    #[test]
+    fn distant_race_generator_races_exactly_as_advertised(distance in 0usize..36) {
+        let (trace, first, second) = distant_race_trace(distance);
+        let oracle = PredictableRaceOracle::new(&trace).with_budget(2_000_000);
+        prop_assert_eq!(
+            oracle.any_predictable_race(),
+            OracleResult::Race(first, second)
+        );
+    }
+}

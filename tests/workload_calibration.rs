@@ -1,0 +1,100 @@
+//! Calibration tests for the DaCapo-style workloads: the synthetic traces
+//! must reproduce the paper's Table 2 *ordering* of program characteristics
+//! and Table 7 race mixes, at any scale and seed.
+
+use smarttrack::{analyze, AnalysisConfig, OptLevel, Relation};
+use smarttrack_trace::stats::TraceStats;
+use smarttrack_workloads::profiles;
+
+#[test]
+fn every_profile_has_expected_static_race_counts() {
+    for w in profiles::all() {
+        let trace = w.trace(3e-5, 11);
+        let (hb, wcp, dc, wdc) = w.races.expected_static();
+        let count = |relation| {
+            analyze(&trace, AnalysisConfig::new(relation, OptLevel::Unopt))
+                .report
+                .static_count() as u32
+        };
+        assert_eq!(count(Relation::Hb), hb, "{} HB", w.name);
+        assert_eq!(count(Relation::Wcp), wcp, "{} WCP", w.name);
+        assert_eq!(count(Relation::Dc), dc, "{} DC", w.name);
+        assert_eq!(count(Relation::Wdc), wdc, "{} WDC", w.name);
+    }
+}
+
+#[test]
+fn race_counts_are_stable_across_seeds() {
+    let w = profiles::sunflow();
+    let (_, _, dc, _) = w.races.expected_static();
+    for seed in [1, 99, 12345] {
+        let trace = w.trace(2e-5, seed);
+        let got = analyze(&trace, AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack))
+            .report
+            .static_count() as u32;
+        assert_eq!(got, dc, "sunflow DC seed {seed}");
+    }
+}
+
+#[test]
+fn lock_intensity_ranking_matches_table2() {
+    // Table 2 ordering of "locks held at NSEAs ≥1": xalan > h2 > batik >
+    // luindex > tomcat > avrora > pmd.
+    let pct = |w: &smarttrack_workloads::Workload| {
+        TraceStats::compute(&w.trace(2e-5, 5)).pct_nsea_holding(1)
+    };
+    let xalan = pct(&profiles::xalan());
+    let h2 = pct(&profiles::h2());
+    let luindex = pct(&profiles::luindex());
+    let avrora = pct(&profiles::avrora());
+    let pmd = pct(&profiles::pmd());
+    assert!(xalan > h2, "xalan {xalan:.1} > h2 {h2:.1}");
+    assert!(h2 > luindex, "h2 {h2:.1} > luindex {luindex:.1}");
+    assert!(luindex > avrora, "luindex {luindex:.1} > avrora {avrora:.1}");
+    assert!(avrora > pmd, "avrora {avrora:.1} > pmd {pmd:.1}");
+}
+
+#[test]
+fn nesting_depth_distribution_follows_profiles() {
+    // luindex is the paper's deep-nesting outlier (25% of NSEAs hold ≥3
+    // locks); avrora has essentially none.
+    let s_luindex = TraceStats::compute(&profiles::luindex().trace(3e-5, 2));
+    let s_avrora = TraceStats::compute(&profiles::avrora().trace(3e-5, 2));
+    assert!(
+        s_luindex.pct_nsea_holding(3) > 5.0,
+        "luindex ≥3-lock NSEAs: {:.2}%",
+        s_luindex.pct_nsea_holding(3)
+    );
+    assert!(
+        s_avrora.pct_nsea_holding(3) < 1.0,
+        "avrora ≥3-lock NSEAs: {:.2}%",
+        s_avrora.pct_nsea_holding(3)
+    );
+}
+
+#[test]
+fn same_epoch_ratio_ranking_matches_table2() {
+    // sunflow (2771:1) ≫ h2 (12:1) > xalan (2.6:1).
+    let frac = |w: &smarttrack_workloads::Workload| {
+        TraceStats::compute(&w.trace(2e-5, 9)).nsea_fraction()
+    };
+    let sunflow = frac(&profiles::sunflow());
+    let h2 = frac(&profiles::h2());
+    let xalan = frac(&profiles::xalan());
+    assert!(sunflow < h2, "sunflow {sunflow:.3} < h2 {h2:.3}");
+    assert!(h2 < xalan, "h2 {h2:.3} < xalan {xalan:.3}");
+}
+
+#[test]
+fn scaling_changes_length_not_sites() {
+    let w = profiles::pmd();
+    let small = w.trace(1e-5, 4);
+    let large = w.trace(8e-5, 4);
+    assert!(large.len() > 4 * small.len());
+    let races = |t: &smarttrack_trace::Trace| {
+        analyze(t, AnalysisConfig::new(Relation::Wdc, OptLevel::Fto))
+            .report
+            .static_count()
+    };
+    assert_eq!(races(&small), races(&large), "static sites are scale-invariant");
+}
