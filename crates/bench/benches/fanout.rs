@@ -1,0 +1,76 @@
+//! Single-pass fan-out vs. N-pass analysis of the same matrix.
+//!
+//! `analyze_all` historically ran one whole-trace pass per Table 1 cell
+//! (14 passes). The `Engine`/`Session` redesign fans all cells out over a
+//! *single* pass. This bench measures both shapes on a calibrated workload
+//! — the per-event analysis work is identical, so the delta isolates what
+//! the N-pass shape wastes: N× event-stream iteration, validation, and
+//! cache refilling. A second pair measures the headline production subset
+//! (FTO-HB baseline + the three SmartTrack analyses).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p smarttrack-bench --bench fanout
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smarttrack::{analyze, AnalysisConfig, Engine};
+use smarttrack_trace::Trace;
+use smarttrack_workloads::profiles;
+
+/// The headline subset: the HB baseline plus the paper's three optimized
+/// predictive analyses (the CLI's default selection).
+fn headline_configs() -> Vec<AnalysisConfig> {
+    ["fto-hb", "st-wcp", "st-dc", "st-wdc"]
+        .into_iter()
+        .map(|name| name.parse().expect("known analysis"))
+        .collect()
+}
+
+fn single_pass(trace: &Trace, configs: &[AnalysisConfig]) -> usize {
+    let engine = Engine::builder()
+        .fanout(configs.iter().copied())
+        .build()
+        .expect("valid cells");
+    let mut session = engine.open();
+    session.feed_trace(trace).expect("well-formed trace");
+    session
+        .finish()
+        .iter()
+        .map(|o| o.report.dynamic_count())
+        .sum()
+}
+
+fn n_pass(trace: &Trace, configs: &[AnalysisConfig]) -> usize {
+    configs
+        .iter()
+        .map(|&config| analyze(trace, config).report.dynamic_count())
+        .sum()
+}
+
+fn bench_fanout_vs_n_pass(c: &mut Criterion) {
+    for workload in [profiles::xalan(), profiles::avrora()] {
+        let trace = workload.trace(1e-5, 42);
+        let table1 = AnalysisConfig::table1();
+        let headline = headline_configs();
+
+        let mut group = c.benchmark_group(format!("fanout/{}", workload.name));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.sample_size(10);
+        for (label, configs) in [("table1", &table1), ("headline", &headline)] {
+            group.bench_with_input(
+                BenchmarkId::new("single-pass", label),
+                &trace,
+                |b, trace| b.iter(|| single_pass(trace, configs)),
+            );
+            group.bench_with_input(BenchmarkId::new("n-pass", label), &trace, |b, trace| {
+                b.iter(|| n_pass(trace, configs))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fanout_vs_n_pass);
+criterion_main!(benches);

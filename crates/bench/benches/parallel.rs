@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smarttrack_bench::parallel_scaling::{scaling_program, Contention};
-use smarttrack_parallel::{
-    run_online, ConcurrentFtoHb, ConcurrentSmartTrackWdc, WorldSpec,
-};
+use smarttrack_parallel::{run_online, ConcurrentFtoHb, ConcurrentSmartTrackWdc, WorldSpec};
 
 const TOTAL_OPS: usize = 24_000;
 
@@ -56,13 +54,16 @@ fn bench_fast_path(c: &mut Criterion) {
     // All hits: one thread re-reads one variable.
     let mut hits = TraceBuilder::new();
     for _ in 0..n {
-        hits.push(ThreadId::new(0), Op::Read(VarId::new(0))).unwrap();
+        hits.push(ThreadId::new(0), Op::Read(VarId::new(0)))
+            .unwrap();
     }
     let hits = hits.finish();
     // All misses: one thread walks distinct variables.
     let mut misses = TraceBuilder::new();
     for i in 0..n {
-        misses.push(ThreadId::new(0), Op::Read(VarId::new(i))).unwrap();
+        misses
+            .push(ThreadId::new(0), Op::Read(VarId::new(i)))
+            .unwrap();
     }
     let misses = misses.finish();
     group.throughput(Throughput::Elements(n as u64));

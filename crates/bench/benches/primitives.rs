@@ -13,13 +13,17 @@ fn bench_clock_ops(c: &mut Criterion) {
             .collect();
         let mut b = a.clone();
         b.set(ThreadId::new(0), 1_000);
-        group.bench_with_input(BenchmarkId::new("vc_join", threads), &threads, |bench, _| {
-            bench.iter(|| {
-                let mut x = a.clone();
-                x.join(&b);
-                x.get(ThreadId::new(0))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("vc_join", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut x = a.clone();
+                    x.join(&b);
+                    x.get(ThreadId::new(0))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("vc_leq", threads), &threads, |bench, _| {
             bench.iter(|| a.leq(&b))
         });

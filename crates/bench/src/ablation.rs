@@ -43,9 +43,8 @@ fn timed<D: Detector>(mut det: D, trace: &smarttrack_trace::Trace) -> (u64, usiz
 /// Ablation 1: cost of DC rule (b), per optimization level (DC time / WDC
 /// time on the same traces; >1 means rule (b) costs that factor).
 pub fn rule_b_cost(cfg: &ExperimentConfig) -> String {
-    let mut out = String::from(
-        "Ablation: DC rule (b) cost (DC run time / WDC run time; races compared)\n",
-    );
+    let mut out =
+        String::from("Ablation: DC rule (b) cost (DC run time / WDC run time; races compared)\n");
     let _ = writeln!(
         out,
         "{:<10} {:>8} {:>8} {:>8}  {:>14}",
@@ -57,13 +56,18 @@ pub fn rule_b_cost(cfg: &ExperimentConfig) -> String {
         let mut race_note = String::from("none");
         for level in [OptLevel::Unopt, OptLevel::Fto, OptLevel::SmartTrack] {
             let time = |relation| {
-                let mut det = AnalysisConfig::new(relation, level).detector().expect("valid");
+                let mut det = AnalysisConfig::new(relation, level)
+                    .detector()
+                    .expect("valid");
                 det.prepare(&trace);
                 let start = Instant::now();
                 for (id, e) in trace.iter() {
                     det.process(id, e);
                 }
-                (start.elapsed().as_nanos() as u64, det.report().static_count())
+                (
+                    start.elapsed().as_nanos() as u64,
+                    det.report().static_count(),
+                )
             };
             let (dc_t, dc_races) = time(Relation::Dc);
             let (wdc_t, wdc_races) = time(Relation::Wdc);
@@ -136,9 +140,8 @@ pub fn ccs_fidelity(cfg: &ExperimentConfig) -> String {
 /// acquire/release logs (DESIGN.md §5 item 10); without it the logs must be
 /// retained for threads that might still appear.
 pub fn queue_compaction(cfg: &ExperimentConfig) -> String {
-    let mut out = String::from(
-        "Ablation: DC rule (b) queue compaction (with prepare / without prepare)\n",
-    );
+    let mut out =
+        String::from("Ablation: DC rule (b) queue compaction (with prepare / without prepare)\n");
     let _ = writeln!(
         out,
         "{:<10} {:>16} {:>16} {:>16}",
@@ -231,13 +234,24 @@ pub fn related_work(cfg: &ExperimentConfig) -> String {
         let (trace, _, _) = distant_race_trace(distance);
         let windowed =
             WindowedRaceAnalysis::new(&trace, WindowedConfig::with_window(512)).analyze();
-        let outcome = analyze(&trace, AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack));
+        let outcome = analyze(
+            &trace,
+            AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack),
+        );
         let _ = writeln!(
             out,
             "{:>10} {:>12} {:>16}",
             distance,
-            if windowed.races().is_empty() { "MISSED" } else { "found" },
-            if outcome.report.dynamic_count() > 0 { "found" } else { "MISSED" },
+            if windowed.races().is_empty() {
+                "MISSED"
+            } else {
+                "found"
+            },
+            if outcome.report.dynamic_count() > 0 {
+                "found"
+            } else {
+                "MISSED"
+            },
         );
     }
 
@@ -245,11 +259,18 @@ pub fn related_work(cfg: &ExperimentConfig) -> String {
         "\n(b) Eraser lockset discipline vs the sound end of the matrix on the\n\
          paper's example executions (figure 3 and figures 4a-4d are race free):\n",
     );
-    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>12}", "figure", "Eraser", "ST-DC", "ground truth");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>12}",
+        "figure", "Eraser", "ST-DC", "ground truth"
+    );
     for (name, trace) in smarttrack_trace::paper::all_figures() {
         let mut eraser = EraserLockset::new();
         eraser.run(&trace);
-        let dc = analyze(&trace, AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack));
+        let dc = analyze(
+            &trace,
+            AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack),
+        );
         let truth = match name {
             "figure1" | "figure2" => "race",
             _ => "race-free",

@@ -49,7 +49,7 @@ fn parse_args() -> Result<(Vec<String>, ExperimentConfig), String> {
                         "1", "2", "3", "5", "6", "7", "12", "figures", "ablation", "related",
                         "parallel", "headline",
                     ]
-                        .map(String::from),
+                    .map(String::from),
                 );
             }
             "--scale" => {

@@ -62,7 +62,11 @@ pub fn measure_analysis(trace: &Trace, config: AnalysisConfig, baseline_nanos: u
     // Memory pass: identical deterministic run with peak sampling.
     let mut det2 = config.detector().expect("checked above");
     let summary = run_detector(det2.as_mut(), trace);
-    debug_assert_eq!(det.report(), det2.report(), "analysis must be deterministic");
+    debug_assert_eq!(
+        det.report(),
+        det2.report(),
+        "analysis must be deterministic"
+    );
     let trace_bytes = trace.footprint_bytes().max(1);
     Measurement {
         name: det.name().to_string(),

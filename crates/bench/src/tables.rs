@@ -112,8 +112,22 @@ pub fn table1() -> String {
     let rows = vec![
         vec!["HB", "N/A", "Unopt-HB", "FT2", "FTO-HB", "N/A"],
         vec!["WCP", "N/A", "Unopt-WCP", "—", "FTO-WCP", "SmartTrack-WCP"],
-        vec!["DC", "Unopt-DC w/G", "Unopt-DC", "—", "FTO-DC", "SmartTrack-DC"],
-        vec!["WDC", "Unopt-WDC w/G", "Unopt-WDC", "—", "FTO-WDC", "SmartTrack-WDC"],
+        vec![
+            "DC",
+            "Unopt-DC w/G",
+            "Unopt-DC",
+            "—",
+            "FTO-DC",
+            "SmartTrack-DC",
+        ],
+        vec![
+            "WDC",
+            "Unopt-WDC w/G",
+            "Unopt-WDC",
+            "—",
+            "FTO-WDC",
+            "SmartTrack-WDC",
+        ],
     ]
     .into_iter()
     .map(|r| r.into_iter().map(String::from).collect())
@@ -125,8 +139,7 @@ pub fn table1() -> String {
 /// paper's measured targets.
 pub fn table2(cfg: &ExperimentConfig) -> String {
     let header: Vec<String> = [
-        "Program", "#Thr", "All", "NSEAs", ">=1", ">=2", ">=3", "paper>=1", "paper>=2",
-        "paper>=3",
+        "Program", "#Thr", "All", "NSEAs", ">=1", ">=2", ">=3", "paper>=1", "paper>=2", "paper>=3",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -181,12 +194,7 @@ fn main_configs() -> Vec<AnalysisConfig> {
     out
 }
 
-fn grid_metric(
-    grid: &Grid,
-    pi: usize,
-    ci: usize,
-    metric: impl Fn(&Measurement) -> f64,
-) -> Summary {
+fn grid_metric(grid: &Grid, pi: usize, ci: usize, metric: impl Fn(&Measurement) -> f64) -> Summary {
     let samples: Vec<f64> = grid.results[pi][ci].iter().map(&metric).collect();
     Summary::of(&samples)
 }
@@ -305,7 +313,13 @@ pub fn table12(cfg: &ExperimentConfig) -> String {
     let st_wdc = [AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack)];
     let grid = run_grid(&ExperimentConfig { trials: 1, ..*cfg }, &st_wdc);
     let header: Vec<String> = [
-        "Program", "Kind", "Total", "Owned Excl", "Owned Shared", "Unowned Excl", "Share",
+        "Program",
+        "Kind",
+        "Total",
+        "Owned Excl",
+        "Owned Shared",
+        "Unowned Excl",
+        "Share",
         "Unowned Shared",
     ]
     .iter()
@@ -451,7 +465,10 @@ mod tests {
         let t = table7(&cfg, false);
         assert!(t.contains("avrora"));
         // batik and lusearch report no races under any analysis.
-        for line in t.lines().filter(|l| l.contains("batik") || l.contains("lusearch")) {
+        for line in t
+            .lines()
+            .filter(|l| l.contains("batik") || l.contains("lusearch"))
+        {
             assert!(
                 line.split_whitespace()
                     .skip(1)

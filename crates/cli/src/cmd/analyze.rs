@@ -1,9 +1,13 @@
 //! `smarttrack analyze` — run race detectors over a trace file.
+//!
+//! All selected analyses run as fan-out lanes of one streaming
+//! [`Session`](smarttrack::Session): a single pass over the event stream,
+//! however many Table 1 cells are selected.
 
 use std::fmt::Write as _;
 use std::io::Write;
 
-use smarttrack::{analyze, AnalysisConfig};
+use smarttrack::{AnalysisConfig, Engine};
 
 use crate::{load_trace, trace_arg, write_out, CliError, Opts};
 
@@ -46,8 +50,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         trace.num_vars(),
         trace.num_locks()
     );
-    for config in configs {
-        let outcome = analyze(&trace, config);
+    // One fan-out session: every selected analysis in a single pass.
+    let engine = Engine::builder()
+        .fanout(configs)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let mut session = engine.open();
+    session
+        .feed_trace(&trace)
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    for outcome in session.finish() {
         let _ = writeln!(
             buf,
             "\n{:<14} {} static / {} dynamic races, peak metadata {} bytes",

@@ -82,10 +82,8 @@ mod tests {
     #[test]
     fn infers_target_format_from_out_extension() {
         let file = TempTrace::write(&paper::figure1());
-        let out_path = std::env::temp_dir().join(format!(
-            "smarttrack-convert-{}.std",
-            std::process::id()
-        ));
+        let out_path =
+            std::env::temp_dir().join(format!("smarttrack-convert-{}.std", std::process::id()));
         let out_str = out_path.display().to_string();
         let msg = capture(run, &[&file.path_str(), "--out", &out_str]).unwrap();
         assert!(msg.contains("(std)"), "{msg}");

@@ -10,8 +10,7 @@ use smarttrack_workloads::{distant_race_trace, profiles};
 
 use crate::{write_out, CliError, Opts};
 
-const USAGE: &str =
-    "smarttrack generate <profile|distant:N> [--scale F] [--seed N] [--out FILE]";
+const USAGE: &str = "smarttrack generate <profile|distant:N> [--scale F] [--seed N] [--out FILE]";
 const VALUES: &[&str] = &["scale", "seed", "out"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -30,7 +29,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn build(name: &str, scale: f64, seed: u64) -> Result<Trace, CliError> {
     if let Some(distance) = name.strip_prefix("distant:") {
         let distance: usize = distance.parse().map_err(|_| {
-            CliError::Usage(format!("`distant:N` takes an event count, got `{distance}`"))
+            CliError::Usage(format!(
+                "`distant:N` takes an event count, got `{distance}`"
+            ))
         })?;
         return Ok(distant_race_trace(distance).0);
     }
@@ -101,10 +102,8 @@ mod tests {
 
     #[test]
     fn out_flag_writes_a_loadable_file() {
-        let path = std::env::temp_dir().join(format!(
-            "smarttrack-cli-gen-{}.trace",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("smarttrack-cli-gen-{}.trace", std::process::id()));
         let path_str = path.display().to_string();
         let text = capture(run, &["h2", "--scale", "2e-6", "--out", &path_str]).unwrap();
         assert!(text.contains("wrote h2"));

@@ -53,7 +53,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         match vindicate_pair(&trace, prior, race.event) {
             VindicationResult::Race(witness) => {
                 verified += 1;
-                let _ = writeln!(buf, "  {race}: VERIFIED (witness of {} events)", witness.order.len());
+                let _ = writeln!(
+                    buf,
+                    "  {race}: VERIFIED (witness of {} events)",
+                    witness.order.len()
+                );
                 if opts.switch("show-witness") {
                     let reordered = witness.to_trace(&trace);
                     for line in smarttrack_trace::fmt::render_columns(&reordered).lines() {

@@ -80,7 +80,10 @@ mod tests {
         let (trace, _, _) = distant_race_trace(300);
         let file = TempTrace::write(&trace);
         let text = capture(run, &[&file.path_str(), "--window", "64"]).unwrap();
-        assert!(text.contains("no races within any 64-event window"), "{text}");
+        assert!(
+            text.contains("no races within any 64-event window"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -201,10 +201,11 @@ fn trace_arg<'a>(opts: &'a Opts, usage: &str) -> Result<&'a str, CliError> {
 }
 
 fn write_out(out: &mut dyn Write, text: &str) -> Result<(), CliError> {
-    out.write_all(text.as_bytes()).map_err(|source| CliError::Io {
-        path: "<stdout>".to_string(),
-        source,
-    })
+    out.write_all(text.as_bytes())
+        .map_err(|source| CliError::Io {
+            path: "<stdout>".to_string(),
+            source,
+        })
 }
 
 #[cfg(test)]
@@ -244,11 +245,7 @@ mod tests {
     #[test]
     fn missing_trace_file_is_an_io_error() {
         let mut out = Vec::new();
-        let err = run(
-            &args(&["analyze", "/nonexistent/never.trace"]),
-            &mut out,
-        )
-        .unwrap_err();
+        let err = run(&args(&["analyze", "/nonexistent/never.trace"]), &mut out).unwrap_err();
         assert_eq!(err.exit_code(), 1);
         assert!(err.to_string().contains("never.trace"));
     }

@@ -4,13 +4,13 @@
 //!
 //! A from-scratch Rust reproduction of *SmartTrack: Efficient Predictive Race
 //! Detection* (Roemer, Genç, Bond — PLDI 2020). This facade crate is the
-//! public entry point for *offline* (trace-processing) analysis; the
-//! substrate crates (`smarttrack-trace`, `smarttrack-detect`,
-//! `smarttrack-vindicate`) are re-exported under [`trace`], [`detect`], and
-//! [`vindicate`]. Execution simulation lives in `smarttrack-runtime`,
-//! calibrated workloads in `smarttrack-workloads`, and the paper's §5.1
-//! *parallel* deployment model — analysis hooks running inside the
-//! application threads — in `smarttrack-parallel`.
+//! public entry point for analysis; the substrate crates
+//! (`smarttrack-trace`, `smarttrack-detect`, `smarttrack-vindicate`) are
+//! re-exported under [`trace`], [`detect`], and [`vindicate`]. Execution
+//! simulation lives in `smarttrack-runtime`, calibrated workloads in
+//! `smarttrack-workloads`, and the paper's §5.1 *parallel* deployment model
+//! — analysis hooks running inside the application threads — in
+//! `smarttrack-parallel`.
 //!
 //! ## What this is
 //!
@@ -22,38 +22,72 @@
 //! newly-introduced WDC analyses run nearly as fast as the widely deployed
 //! non-predictive FastTrack HB analysis.
 //!
-//! ## Quick start
+//! ## Quick start: the streaming `Engine`/`Session` API
+//!
+//! Analyses ingest an event stream through a [`Session`] opened from a
+//! builder-configured [`Engine`] — the paper's online deployment shape.
+//! Feed events as they happen (or a whole recorded trace), observe races
+//! and per-analysis state at any point, finish for the final outcome:
 //!
 //! ```
-//! use smarttrack::{analyze, AnalysisConfig, OptLevel, Relation};
+//! use smarttrack::{AnalysisConfig, Engine, OptLevel, Relation};
 //! use smarttrack::trace::paper;
 //!
 //! // The paper's Figure 1: no HB-race, but a predictable race on x.
 //! let trace = paper::figure1();
 //!
-//! let hb = analyze(&trace, AnalysisConfig::new(Relation::Hb, OptLevel::Fto));
-//! assert_eq!(hb.report.dynamic_count(), 0, "HB analysis misses the race");
+//! // One pass, two analyses: the FTO-HB baseline fanned out next to the
+//! // primary SmartTrack-DC lane.
+//! let engine = Engine::builder()
+//!     .relation(Relation::Dc)
+//!     .opt_level(OptLevel::SmartTrack)
+//!     .fanout([AnalysisConfig::new(Relation::Hb, OptLevel::Fto)])
+//!     .build()?;
+//!
+//! let mut session = engine.open();
+//! for &event in trace.events() {
+//!     session.feed(event)?; // or feed_batch / feed_trace
+//! }
+//! assert_eq!(session.races().len(), 1, "the DC lane predicts the race");
+//!
+//! let outcomes = session.finish();
+//! assert_eq!(outcomes[0].name, "SmartTrack-DC");
+//! assert_eq!(outcomes[0].report.dynamic_count(), 1);
+//! assert_eq!(outcomes[1].name, "FTO-HB");
+//! assert_eq!(outcomes[1].report.dynamic_count(), 0, "HB analysis misses it");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Races can also be *pushed* as they are detected — the production shape —
+//! by installing a [`RaceSink`] with [`Session::set_sink`]. For one-shot
+//! whole-trace analysis the [`analyze`] / [`analyze_all`] wrappers remain:
+//!
+//! ```
+//! use smarttrack::{analyze, AnalysisConfig, OptLevel, Relation};
+//! use smarttrack::trace::paper;
 //!
 //! let st = analyze(
-//!     &trace,
+//!     &paper::figure1(),
 //!     AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack),
 //! );
-//! assert_eq!(st.report.dynamic_count(), 1, "SmartTrack-DC predicts it");
+//! assert_eq!(st.report.dynamic_count(), 1);
 //! ```
 //!
 //! ## The Table 1 analysis matrix
 //!
 //! [`AnalysisConfig::table1`] enumerates all eleven evaluated analyses
 //! ({Unopt, FT2/FTO, SmartTrack} × {HB, WCP, DC, WDC} minus N/A cells, plus
-//! the graph-building Unopt variants used for vindication support).
+//! the graph-building Unopt variants used for vindication support), and
+//! [`EngineBuilder::table1`](smarttrack_detect::EngineBuilder::table1) fans
+//! the whole matrix out over a single pass.
 
-mod config;
 pub mod two_phase;
 
-pub use config::{analyze, analyze_all, AnalysisConfig, AnalysisOutcome, ParseAnalysisConfigError};
 pub use smarttrack_detect::{
-    make_detector, run_detector, AccessKind, CcsFidelity, Detector, EraserLockset, FtoCase,
-    FtoCaseCounters, OptLevel, RaceReport, Relation, Report, RunSummary,
+    analyze, analyze_all, make_detector, run_detector, AccessKind, AnalysisConfig, AnalysisOutcome,
+    CcsFidelity, Detector, Engine, EngineBuilder, EngineError, EraserLockset, FtoCase,
+    FtoCaseCounters, LaneSnapshot, OptLevel, ParseAnalysisConfigError, RaceNotice, RaceReport,
+    RaceSink, Relation, Report, RunSummary, Session, SessionSnapshot, StreamHint,
 };
 
 /// Trace model, generators, statistics, and the paper's example executions.

@@ -166,7 +166,11 @@ mod tests {
         let out = detect_then_check(&paper::figure3(), Relation::Wdc);
         assert!(out.replayed);
         assert_eq!(out.verified(), 0);
-        assert_eq!(out.unverified(), 1, "the false race is flagged, not blessed");
+        assert_eq!(
+            out.unverified(),
+            1,
+            "the false race is flagged, not blessed"
+        );
     }
 
     #[test]

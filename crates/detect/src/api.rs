@@ -57,11 +57,46 @@ impl fmt::Display for OptLevel {
     }
 }
 
+/// Facts about an event stream that may be known before processing starts.
+///
+/// Offline analysis of a recorded [`Trace`] knows everything; a live
+/// streaming session ([`crate::Session`]) may know nothing, or only a bound
+/// communicated by the instrumentation layer. All fields are optional and
+/// advisory: detectors must stay correct without them (a known thread bound
+/// merely enables optimizations such as sound compaction of DC rule (b)
+/// queues).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamHint {
+    /// Upper bound on the number of distinct threads, if known.
+    pub threads: Option<usize>,
+    /// Total number of events the stream will carry, if known.
+    pub events: Option<usize>,
+}
+
+impl StreamHint {
+    /// The full-knowledge hint for a recorded trace.
+    pub fn of_trace(trace: &Trace) -> Self {
+        StreamHint {
+            threads: Some(trace.num_threads()),
+            events: Some(trace.len()),
+        }
+    }
+}
+
 /// A dynamic race-detection analysis processing an event stream.
 ///
 /// Detectors are deterministic: processing the same trace yields the same
 /// report. They keep analyzing after detecting races (§5.1: "After the
 /// analysis detects a race, it continues normally").
+///
+/// Detectors are *incremental*: [`report`](Detector::report),
+/// [`footprint_bytes`](Detector::footprint_bytes), and
+/// [`case_counters`](Detector::case_counters) are valid at any point of the
+/// stream, not only at its end. The lifecycle is
+/// [`begin_stream`](Detector::begin_stream) → [`process`](Detector::process)
+/// per event → [`finish_stream`](Detector::finish_stream); whole-trace
+/// drivers may use [`prepare`](Detector::prepare), which defaults to
+/// `begin_stream` with a full-knowledge [`StreamHint`].
 pub trait Detector {
     /// Short name matching the paper's tables (e.g. `"SmartTrack-DC"`).
     fn name(&self) -> &'static str;
@@ -72,14 +107,28 @@ pub trait Detector {
     /// The optimization level of this analysis.
     fn opt_level(&self) -> OptLevel;
 
-    /// Announces trace-level facts before processing (thread count enables
-    /// sound compaction of DC rule (b) queues). Optional.
-    fn prepare(&mut self, trace: &Trace) {
-        let _ = trace;
+    /// Announces whatever stream-level facts are known before processing
+    /// (all advisory; see [`StreamHint`]). Optional.
+    fn begin_stream(&mut self, hint: StreamHint) {
+        let _ = hint;
     }
 
-    /// Processes one event. `id` must be the event's index in the trace.
+    /// Announces trace-level facts before whole-trace processing. The
+    /// default forwards to [`begin_stream`](Detector::begin_stream) with
+    /// [`StreamHint::of_trace`]; override that method instead.
+    fn prepare(&mut self, trace: &Trace) {
+        self.begin_stream(StreamHint::of_trace(trace));
+    }
+
+    /// Processes one event. `id` must be the event's index in the stream.
     fn process(&mut self, id: EventId, event: &Event);
+
+    /// Signals that no further events will arrive. Detectors that defer
+    /// work until a boundary (e.g. the windowed oracle analysis flushing
+    /// its trailing partial window) complete it here; races found during
+    /// the flush appear in [`report`](Detector::report) afterwards.
+    /// Optional; processing-as-you-go detectors need nothing.
+    fn finish_stream(&mut self) {}
 
     /// The races detected so far.
     fn report(&self) -> &Report;
@@ -100,18 +149,167 @@ pub trait Detector {
     }
 }
 
-/// Summary of one full analysis run produced by [`run_detector`].
+/// Mutable references forward the whole [`Detector`] API, so a session can
+/// drive a detector it merely borrows (e.g. the windowed analysis lending
+/// its oracle detector to a [`crate::Session`] lane).
+impl<D: Detector + ?Sized> Detector for &mut D {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn relation(&self) -> Relation {
+        (**self).relation()
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        (**self).opt_level()
+    }
+
+    fn begin_stream(&mut self, hint: StreamHint) {
+        (**self).begin_stream(hint);
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        (**self).prepare(trace);
+    }
+
+    fn process(&mut self, id: EventId, event: &Event) {
+        (**self).process(id, event);
+    }
+
+    fn finish_stream(&mut self) {
+        (**self).finish_stream();
+    }
+
+    fn report(&self) -> &Report {
+        (**self).report()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        (**self).footprint_bytes()
+    }
+
+    fn case_counters(&self) -> Option<&FtoCaseCounters> {
+        (**self).case_counters()
+    }
+
+    fn graph(&self) -> Option<&crate::ConstraintGraph> {
+        (**self).graph()
+    }
+}
+
+/// Summary of one full analysis run produced by [`run_detector`] or a
+/// finished [`crate::Session`] lane.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunSummary {
     /// Number of events processed.
     pub events: usize,
-    /// Peak sampled metadata footprint in bytes.
+    /// Peak *sampled* metadata footprint in bytes — the memory-usage
+    /// analogue of the paper's maximum resident set size.
+    ///
+    /// Walking live metadata has a cost, so the footprint is sampled on a
+    /// stride rather than per event, targeting
+    /// [`RunSummary::FOOTPRINT_SAMPLES`] walks: whole-trace drivers use a
+    /// fixed stride of `len.div_ceil(256)` events (short traces are sampled
+    /// at every event, long ones in at most 256 walks), streaming sessions
+    /// a stride that doubles every 256 samples (per-event cost decays
+    /// geometrically; total walks grow only logarithmically with stream
+    /// length). The final state is always sampled, so
+    /// the peak is exact for monotonically growing metadata and a slight
+    /// underestimate only for analyses whose footprint oscillates
+    /// (queue-compacting DC variants) — the same bias the paper's periodic
+    /// RSS polling has.
     pub peak_footprint_bytes: usize,
+}
+
+impl RunSummary {
+    /// Target number of footprint samples per run (see
+    /// [`peak_footprint_bytes`](RunSummary::peak_footprint_bytes)).
+    pub const FOOTPRINT_SAMPLES: usize = 256;
+}
+
+/// Periodic footprint sampling shared by every ingestion driver.
+///
+/// Tracks a peak over values observed on a sampling stride. Two policies:
+/// [`for_len`](FootprintSampler::for_len) (known stream length, fixed
+/// stride, at most [`RunSummary::FOOTPRINT_SAMPLES`] samples) and
+/// [`adaptive`](FootprintSampler::adaptive) (unbounded stream, stride
+/// doubles every `FOOTPRINT_SAMPLES` samples, so total samples grow only
+/// logarithmically with stream length).
+#[derive(Clone, Debug)]
+pub struct FootprintSampler {
+    stride: usize,
+    fixed: bool,
+    index: usize,
+    next_sample: usize,
+    samples: usize,
+    peak: usize,
+}
+
+impl FootprintSampler {
+    /// Fixed-stride policy for a stream of `len` events: stride
+    /// `len.div_ceil(256)`, sampling event indices `0, s, 2s, …`.
+    pub fn for_len(len: usize) -> Self {
+        FootprintSampler {
+            stride: len.div_ceil(RunSummary::FOOTPRINT_SAMPLES).max(1),
+            fixed: true,
+            index: 0,
+            next_sample: 0,
+            samples: 0,
+            peak: 0,
+        }
+    }
+
+    /// Doubling-stride policy for streams of unknown length: the stride
+    /// doubles every [`RunSummary::FOOTPRINT_SAMPLES`] samples, keeping
+    /// total sampling cost logarithmic in stream length while staying
+    /// dense early (where allocation growth curves are steepest).
+    pub fn adaptive() -> Self {
+        FootprintSampler {
+            stride: 1,
+            fixed: false,
+            index: 0,
+            next_sample: 0,
+            samples: 0,
+            peak: 0,
+        }
+    }
+
+    /// Advances past one event, evaluating `footprint` only when this event
+    /// index is on the sampling stride.
+    pub fn observe<F: FnOnce() -> usize>(&mut self, footprint: F) {
+        if self.index == self.next_sample {
+            self.peak = self.peak.max(footprint());
+            self.samples += 1;
+            if !self.fixed && self.samples.is_multiple_of(RunSummary::FOOTPRINT_SAMPLES) {
+                self.stride *= 2;
+            }
+            self.next_sample += self.stride;
+        }
+        self.index += 1;
+    }
+
+    /// Folds in the end-of-stream footprint and returns the peak.
+    pub fn finish(&mut self, final_footprint: usize) -> usize {
+        self.peak = self.peak.max(final_footprint);
+        self.peak
+    }
+
+    /// The peak observed so far (without the end-of-stream sample).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of events observed so far.
+    pub fn events(&self) -> usize {
+        self.index
+    }
 }
 
 /// Drives a detector over an entire trace, sampling metadata footprint
 /// periodically to capture the peak (the memory-usage analogue of the paper's
-/// maximum resident set size).
+/// maximum resident set size; see
+/// [`RunSummary::peak_footprint_bytes`] for the sampling policy).
 ///
 /// # Examples
 ///
@@ -126,20 +324,15 @@ pub struct RunSummary {
 /// ```
 pub fn run_detector<D: Detector + ?Sized>(detector: &mut D, trace: &Trace) -> RunSummary {
     detector.prepare(trace);
-    // ~256 samples per run keeps sampling cost negligible while capturing
-    // growth curves of queue- and graph-heavy analyses.
-    let stride = (trace.len() / 256).max(1);
-    let mut peak = 0usize;
+    let mut sampler = FootprintSampler::for_len(trace.len());
     for (id, event) in trace.iter() {
         detector.process(id, event);
-        if id.index() % stride == 0 {
-            peak = peak.max(detector.footprint_bytes());
-        }
+        sampler.observe(|| detector.footprint_bytes());
     }
-    peak = peak.max(detector.footprint_bytes());
+    detector.finish_stream();
     RunSummary {
         events: trace.len(),
-        peak_footprint_bytes: peak,
+        peak_footprint_bytes: sampler.finish(detector.footprint_bytes()),
     }
 }
 
@@ -158,5 +351,63 @@ mod tests {
     fn relations_ordered_strongest_first() {
         assert_eq!(Relation::ALL[0], Relation::Hb);
         assert_eq!(Relation::ALL[3], Relation::Wdc);
+    }
+
+    /// Counts how many times a sampler evaluates the footprint closure over
+    /// a stream of `events` events.
+    fn samples_taken(mut sampler: FootprintSampler, events: usize) -> usize {
+        let mut calls = 0;
+        for _ in 0..events {
+            sampler.observe(|| {
+                calls += 1;
+                calls
+            });
+        }
+        calls
+    }
+
+    #[test]
+    fn fixed_stride_caps_samples_near_target() {
+        for len in [0, 1, 100, 256, 257, 300, 1_000, 100_000] {
+            let taken = samples_taken(FootprintSampler::for_len(len), len);
+            assert!(taken <= RunSummary::FOOTPRINT_SAMPLES, "len {len}: {taken}");
+            // Short traces are sampled at every event.
+            if len <= RunSummary::FOOTPRINT_SAMPLES {
+                assert_eq!(taken, len, "len {len}");
+            } else {
+                // Long traces still get dense-enough coverage.
+                assert!(
+                    taken > RunSummary::FOOTPRINT_SAMPLES / 2,
+                    "len {len}: {taken}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_stride_cost_grows_logarithmically() {
+        for len in [10usize, 1_000, 50_000, 400_000] {
+            let taken = samples_taken(FootprintSampler::adaptive(), len);
+            // At most FOOTPRINT_SAMPLES walks per stride-doubling period.
+            let periods = (len.max(1).ilog2() as usize) + 2;
+            assert!(
+                taken <= RunSummary::FOOTPRINT_SAMPLES * periods,
+                "len {len}: {taken}"
+            );
+            assert!(
+                taken >= len.min(RunSummary::FOOTPRINT_SAMPLES),
+                "len {len}: {taken}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_peak_includes_final_state() {
+        let mut sampler = FootprintSampler::for_len(4);
+        for _ in 0..4 {
+            sampler.observe(|| 10);
+        }
+        assert_eq!(sampler.peak(), 10);
+        assert_eq!(sampler.finish(25), 25, "end-of-stream sample wins");
     }
 }

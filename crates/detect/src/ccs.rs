@@ -235,8 +235,7 @@ mod tests {
         let entry = CsEntry::pending(m(0), t(0));
         let mut now: VectorClock = [(t(1), 5)].into_iter().collect();
         let list = list_with(t(0), vec![entry]);
-        let (residual, raced) =
-            multi_check(&mut now, &[], Some(&list), Epoch::NONE, dc_check);
+        let (residual, raced) = multi_check(&mut now, &[], Some(&list), Epoch::NONE, dc_check);
         assert_eq!(residual.len(), 1, "pending entry becomes residual");
         assert!(!raced, "⊥ never races");
     }
@@ -249,13 +248,8 @@ mod tests {
         let list = list_with(t(0), vec![outer, inner]);
         let mut now: VectorClock = [(t(0), 4), (t(1), 2)].into_iter().collect();
         // check epoch 9@t0 would fail, but the ordered entry subsumes it.
-        let (residual, raced) = multi_check(
-            &mut now,
-            &[],
-            Some(&list),
-            Epoch::new(t(0), 9),
-            dc_check,
-        );
+        let (residual, raced) =
+            multi_check(&mut now, &[], Some(&list), Epoch::new(t(0), 9), dc_check);
         assert!(residual.is_empty());
         assert!(!raced);
     }

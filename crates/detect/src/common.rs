@@ -203,8 +203,7 @@ impl LockVarTable {
 
 /// Estimates heap bytes of a vector of vector clocks.
 pub fn vc_table_bytes(vcs: &[VectorClock]) -> usize {
-    vcs.iter().map(VectorClock::footprint_bytes).sum::<usize>()
-        + std::mem::size_of_val(vcs)
+    vcs.iter().map(VectorClock::footprint_bytes).sum::<usize>() + std::mem::size_of_val(vcs)
 }
 
 #[cfg(test)]

@@ -1,16 +1,17 @@
 use std::fmt;
 
-use smarttrack_detect::{
-    make_detector, run_detector, Detector, FtoCaseCounters, OptLevel, Relation, Report, RunSummary,
-};
 use smarttrack_trace::Trace;
+
+use crate::{
+    make_detector, Detector, Engine, FtoCaseCounters, OptLevel, Relation, Report, RunSummary,
+};
 
 /// Selects one analysis from the paper's Table 1.
 ///
 /// # Examples
 ///
 /// ```
-/// use smarttrack::{AnalysisConfig, OptLevel, Relation};
+/// use smarttrack_detect::{AnalysisConfig, OptLevel, Relation};
 ///
 /// let cfg = AnalysisConfig::new(Relation::Wcp, OptLevel::SmartTrack);
 /// assert_eq!(cfg.to_string(), "ST-WCP");
@@ -58,7 +59,7 @@ impl AnalysisConfig {
     /// All eleven valid analyses plus the two "w/ G" variants, in the
     /// paper's Table 1 order.
     pub fn table1() -> Vec<AnalysisConfig> {
-        smarttrack_detect::table1_configs()
+        crate::table1_configs()
             .into_iter()
             .map(|(relation, level, graph)| AnalysisConfig {
                 relation,
@@ -114,14 +115,14 @@ impl std::str::FromStr for AnalysisConfig {
     /// # Examples
     ///
     /// ```
-    /// use smarttrack::{AnalysisConfig, OptLevel, Relation};
+    /// use smarttrack_detect::{AnalysisConfig, OptLevel, Relation};
     ///
     /// let cfg: AnalysisConfig = "st-wdc".parse()?;
     /// assert_eq!(cfg, AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack));
     /// let cfg: AnalysisConfig = "unopt-dc+g".parse()?;
     /// assert!(cfg.graph);
     /// assert!("st-hb".parse::<AnalysisConfig>().is_err()); // N/A cell
-    /// # Ok::<(), smarttrack::ParseAnalysisConfigError>(())
+    /// # Ok::<(), smarttrack_detect::ParseAnalysisConfigError>(())
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseAnalysisConfigError {
@@ -165,7 +166,7 @@ impl std::str::FromStr for AnalysisConfig {
     }
 }
 
-/// The result of running one analysis over one trace.
+/// The result of running one analysis over one event stream.
 #[derive(Clone, Debug)]
 pub struct AnalysisOutcome {
     /// Analysis name (as in the paper's tables).
@@ -182,35 +183,45 @@ pub struct AnalysisOutcome {
 
 /// Runs one analysis over a trace.
 ///
+/// This is the one-shot convenience wrapper over the streaming
+/// [`Engine`]/[`crate::Session`] API — equivalent to opening a
+/// single-lane session, feeding the whole trace, and finishing. Prefer the
+/// session API for incremental ingestion, fan-out over several analyses in
+/// one pass, or race callbacks.
+///
 /// # Panics
 ///
 /// Panics if `config` selects an N/A cell of Table 1 (check
 /// [`AnalysisConfig::is_available`] first for dynamic configurations).
 pub fn analyze(trace: &Trace, config: AnalysisConfig) -> AnalysisOutcome {
-    let mut det = config
-        .detector()
-        .unwrap_or_else(|| panic!("{config} is an N/A cell of Table 1"));
-    let summary = run_detector(det.as_mut(), trace);
-    AnalysisOutcome {
-        name: det.name().to_string(),
-        config,
-        report: det.report().clone(),
-        summary,
-        cases: det.case_counters().cloned(),
-    }
+    let engine =
+        Engine::for_config(config).unwrap_or_else(|_| panic!("{config} is an N/A cell of Table 1"));
+    let mut session = engine.open();
+    session
+        .feed_trace(trace)
+        .expect("a validated Trace re-admits cleanly");
+    session.finish_one()
 }
 
-/// Runs every Table 1 analysis over the trace.
+/// Runs every Table 1 analysis over the trace — in a *single pass* over the
+/// event stream (one fan-out [`crate::Session`] with fourteen lanes), not
+/// one pass per analysis.
 pub fn analyze_all(trace: &Trace) -> Vec<AnalysisOutcome> {
-    AnalysisConfig::table1()
-        .into_iter()
-        .map(|cfg| analyze(trace, cfg))
-        .collect()
+    let engine = Engine::builder()
+        .table1()
+        .build()
+        .expect("every Table 1 cell is available");
+    let mut session = engine.open();
+    session
+        .feed_trace(trace)
+        .expect("a validated Trace re-admits cleanly");
+    session.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_detector;
     use smarttrack_trace::paper;
 
     #[test]
@@ -260,6 +271,7 @@ mod tests {
     #[test]
     fn analyze_all_is_consistent_on_figure3() {
         let outcomes = analyze_all(&paper::figure3());
+        assert_eq!(outcomes.len(), 14, "one outcome per Table 1 cell");
         for o in outcomes {
             let expect_race = o.config.relation == Relation::Wdc;
             assert_eq!(
@@ -268,6 +280,20 @@ mod tests {
                 "{}: figure 3 is a WDC-only (false) race",
                 o.name
             );
+        }
+    }
+
+    #[test]
+    fn analyze_matches_direct_detector_run() {
+        for trace in [paper::figure1(), paper::figure2()] {
+            for config in AnalysisConfig::table1() {
+                let outcome = analyze(&trace, config);
+                let mut det = config.detector().unwrap();
+                let summary = run_detector(det.as_mut(), &trace);
+                assert_eq!(outcome.report, *det.report(), "{config}");
+                assert_eq!(outcome.summary, summary, "{config}");
+                assert_eq!(outcome.name, det.name());
+            }
         }
     }
 

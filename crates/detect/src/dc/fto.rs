@@ -3,7 +3,7 @@
 //! the per-(lock, variable) conflicting-critical-section metadata.
 
 use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::common::{slot, HeldLocks, LockVarTable};
 use crate::counters::{FtoCase, FtoCaseCounters};
@@ -229,9 +229,11 @@ impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
         OptLevel::Fto
     }
 
-    fn prepare(&mut self, trace: &smarttrack_trace::Trace) {
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
         if RULE_B {
-            self.queues.set_thread_bound(trace.num_threads());
+            if let Some(threads) = hint.threads {
+                self.queues.set_thread_bound(threads);
+            }
         }
     }
 

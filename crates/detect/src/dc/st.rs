@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 
 use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::ccs::{
     multi_check, release_clock_bytes, stash_residual, CcsFidelity, CsEntry, CsList, Extras,
@@ -273,8 +273,7 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
                     LrMeta::Single(l) => l.as_ref(),
                     LrMeta::PerThread(_) => unreachable!("epoch Rx implies single Lrx"),
                 };
-                let (residual, raced) =
-                    multi_check(&mut now, &held, lr, *r, Self::dc_epoch_check);
+                let (residual, raced) = multi_check(&mut now, &held, lr, *r, Self::dc_epoch_check);
                 if raced {
                     prior.push(u);
                 }
@@ -305,13 +304,8 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
                         LrMeta::PerThread(map) => map.get(&u),
                         LrMeta::Single(_) => None,
                     };
-                    let (residual, raced) = multi_check(
-                        &mut now,
-                        &held,
-                        lr,
-                        Epoch::new(u, c),
-                        Self::dc_epoch_check,
-                    );
+                    let (residual, raced) =
+                        multi_check(&mut now, &held, lr, Epoch::new(u, c), Self::dc_epoch_check);
                     if raced {
                         prior.push(u);
                     }
@@ -441,13 +435,8 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
                 } else {
                     self.counters.hit(FtoCase::ReadShared);
                     let write = vs.write;
-                    let (_, raced) = multi_check(
-                        &mut now,
-                        &held,
-                        vs.lw.as_ref(),
-                        write,
-                        Self::dc_epoch_check,
-                    );
+                    let (_, raced) =
+                        multi_check(&mut now, &held, vs.lw.as_ref(), write, Self::dc_epoch_check);
                     raced_with_write = raced;
                     if let ReadMeta::Vc(rvc) = &mut vs.read {
                         rvc.set(t, e.clock());
@@ -496,9 +485,11 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
         OptLevel::SmartTrack
     }
 
-    fn prepare(&mut self, trace: &smarttrack_trace::Trace) {
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
         if RULE_B {
-            self.queues.set_thread_bound(trace.num_threads());
+            if let Some(threads) = hint.threads {
+                self.queues.set_thread_bound(threads);
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use smarttrack_clock::{ThreadId, VectorClock};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::common::{slot, vc_table_bytes, HeldLocks, LockVarTable};
 use crate::dc::DcClocks;
@@ -230,9 +230,11 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
         OptLevel::Unopt
     }
 
-    fn prepare(&mut self, trace: &smarttrack_trace::Trace) {
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
         if RULE_B {
-            self.queues.set_thread_bound(trace.num_threads());
+            if let Some(threads) = hint.threads {
+                self.queues.set_thread_bound(threads);
+            }
         }
     }
 
@@ -292,7 +294,10 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
             + vc_table_bytes(&self.write_vc)
             + vc_table_bytes(&self.read_vc)
             + self.report.footprint_bytes()
-            + self.graph.as_ref().map_or(0, ConstraintGraph::footprint_bytes)
+            + self
+                .graph
+                .as_ref()
+                .map_or(0, ConstraintGraph::footprint_bytes)
     }
 
     fn graph(&self) -> Option<&ConstraintGraph> {
@@ -335,10 +340,7 @@ mod tests {
         assert_eq!(dc_races(&tr).dynamic_count(), 1);
         assert_eq!(wdc_races(&tr).dynamic_count(), 1);
         // The race is detected at the final write to x (event 7).
-        assert_eq!(
-            dc_races(&tr).first_race_event(),
-            Some(EventId::new(7))
-        );
+        assert_eq!(dc_races(&tr).first_race_event(), Some(EventId::new(7)));
     }
 
     #[test]
@@ -351,13 +353,22 @@ mod tests {
     #[test]
     fn figure3_wdc_race_but_no_dc_race() {
         let tr = paper::figure3();
-        assert_eq!(dc_races(&tr).dynamic_count(), 0, "DC rule (b) orders the releases");
+        assert_eq!(
+            dc_races(&tr).dynamic_count(),
+            0,
+            "DC rule (b) orders the releases"
+        );
         assert_eq!(wdc_races(&tr).dynamic_count(), 1, "WDC misses rule (b)");
     }
 
     #[test]
     fn figure4_traces_have_no_races() {
-        for f in [paper::figure4a(), paper::figure4b(), paper::figure4c(), paper::figure4d()] {
+        for f in [
+            paper::figure4a(),
+            paper::figure4b(),
+            paper::figure4c(),
+            paper::figure4d(),
+        ] {
             assert!(dc_races(&f).is_empty());
             assert!(wdc_races(&f).is_empty());
         }

@@ -93,7 +93,10 @@ mod tests {
         g.add_edge(EventId::new(1), EventId::new(5), EdgeKind::RuleA);
         g.add_edge(EventId::new(3), EventId::new(7), EdgeKind::RuleB);
         assert_eq!(g.len(), 2);
-        assert_eq!(g.edges()[0], (EventId::new(1), EventId::new(5), EdgeKind::RuleA));
+        assert_eq!(
+            g.edges()[0],
+            (EventId::new(1), EventId::new(5), EdgeKind::RuleA)
+        );
         assert!(g.footprint_bytes() > 0);
     }
 }

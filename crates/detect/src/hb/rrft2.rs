@@ -70,7 +70,15 @@ impl RoadRunnerFt2 {
         RoadRunnerFt2::default()
     }
 
-    fn record(&mut self, id: EventId, loc: Loc, t: ThreadId, x: VarId, kind: AccessKind, prior: Vec<ThreadId>) {
+    fn record(
+        &mut self,
+        id: EventId,
+        loc: Loc,
+        t: ThreadId,
+        x: VarId,
+        kind: AccessKind,
+        prior: Vec<ThreadId>,
+    ) {
         let vs = &mut self.vars[x.index()];
         vs.races += 1;
         // RoadRunner stops analyzing the variable after a detected race...
@@ -198,7 +206,7 @@ impl Detector for RoadRunnerFt2 {
 mod tests {
     use super::*;
     use crate::{run_detector, Ft2};
-    use smarttrack_trace::{TraceBuilder, Trace};
+    use smarttrack_trace::{Trace, TraceBuilder};
 
     fn t(i: u32) -> ThreadId {
         ThreadId::new(i)

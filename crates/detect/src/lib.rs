@@ -11,11 +11,17 @@
 //! | DC       | [`UnoptDc`]            | —      | [`FtoDc`]   | [`SmartTrackDc`]    |
 //! | WDC      | [`UnoptWdc`]           | —      | [`FtoWdc`]  | [`SmartTrackWdc`]   |
 //!
-//! All detectors implement the [`Detector`] trait and are driven by
-//! [`run_detector`], which also samples peak metadata footprint (the paper's
-//! memory-usage metric). Races are collected in a [`Report`] that counts both
-//! *dynamic* races (one per access event that fails at least one race check,
-//! §5.1) and *statically distinct* races (distinct program locations, §5.6).
+//! All detectors implement the incremental [`Detector`] trait. The one
+//! event-ingestion code path is the streaming [`Engine`]/[`Session`] API
+//! ([`engine`] module): sessions validate the stream, fan any number of
+//! analyses out over a single pass, sample peak metadata footprint (the
+//! paper's memory-usage metric), and surface races as they are detected
+//! (via [`RaceSink`]) rather than only at end-of-stream. [`analyze`] /
+//! [`analyze_all`] are one-shot wrappers over it, and [`run_detector`] the
+//! low-level whole-trace driver for a single borrowed detector. Races are
+//! collected in a [`Report`] that counts both *dynamic* races (one per
+//! access event that fails at least one race check, §5.1) and *statically
+//! distinct* races (distinct program locations, §5.6).
 //!
 //! # Examples
 //!
@@ -35,10 +41,15 @@
 //! run_detector(&mut dc, &trace);
 //! assert_eq!(dc.report().dynamic_count(), 1);
 //! ```
+//!
+//! Or stream events through a fan-out [`Session`] — see the [`engine`]
+//! module for the full lifecycle.
 
 mod api;
 mod common;
+mod config;
 mod counters;
+pub mod engine;
 mod graph;
 mod queues;
 mod report;
@@ -49,10 +60,17 @@ mod hb;
 mod lockset;
 mod wcp;
 
-pub use api::{run_detector, Detector, OptLevel, Relation, RunSummary};
+pub use api::{
+    run_detector, Detector, FootprintSampler, OptLevel, Relation, RunSummary, StreamHint,
+};
 pub use ccs::{CcsFidelity, CsEntry, CsList};
+pub use config::{analyze, analyze_all, AnalysisConfig, AnalysisOutcome, ParseAnalysisConfigError};
 pub use counters::{FtoCase, FtoCaseCounters};
 pub use dc::{FtoDc, FtoWdc, SmartTrackDc, SmartTrackWdc, UnoptDc, UnoptWdc};
+pub use engine::{
+    Engine, EngineBuilder, EngineError, LaneSnapshot, RaceNotice, RaceSink, Session,
+    SessionSnapshot,
+};
 pub use graph::{ConstraintGraph, EdgeKind};
 pub use hb::{Ft2, FtoHb, RoadRunnerFt2, UnoptHb};
 pub use lockset::EraserLockset;

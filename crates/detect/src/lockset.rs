@@ -42,7 +42,7 @@
 //! ```
 
 use smarttrack_clock::ThreadId;
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, Trace, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, Trace, VarId};
 
 use crate::common::{slot, HeldLocks};
 use crate::report::{AccessKind, RaceReport, Report};

@@ -76,9 +76,16 @@ impl CsLog {
     }
 
     fn footprint_bytes(&self) -> usize {
-        self.acq.iter().map(AcqEntry::footprint_bytes).sum::<usize>()
+        self.acq
+            .iter()
+            .map(AcqEntry::footprint_bytes)
+            .sum::<usize>()
             + self.acq.capacity() * std::mem::size_of::<AcqEntry>()
-            + self.rel.iter().map(|r| r.clock.footprint_bytes()).sum::<usize>()
+            + self
+                .rel
+                .iter()
+                .map(|r| r.clock.footprint_bytes())
+                .sum::<usize>()
             + self.rel.capacity() * std::mem::size_of::<RelEntry>()
     }
 }
@@ -382,7 +389,10 @@ mod tests {
         let mut now2 = vc(&[(0, 2), (2, 4)]);
         let mut fired2 = 0;
         q.on_release(m(0), t(2), &mut now2, EventId::new(11), |_| fired2 += 1);
-        assert_eq!(fired2, 1, "per-pair queues: each releaser consumes independently");
+        assert_eq!(
+            fired2, 1,
+            "per-pair queues: each releaser consumes independently"
+        );
         assert_eq!(now2.get(t(0)), 3);
     }
 

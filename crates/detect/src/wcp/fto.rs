@@ -3,7 +3,7 @@
 //! parent).
 
 use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::common::{slot, HeldLocks, LockVarTable};
 use crate::counters::{FtoCase, FtoCaseCounters};

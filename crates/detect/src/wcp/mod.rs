@@ -146,12 +146,7 @@ impl WcpClocks {
 /// own-thread entries are PO-ordered (compared against `Ht(t)`), cross-thread
 /// entries against `Pt(u)`.
 #[inline]
-pub(crate) fn wcp_epoch_ordered(
-    e: Epoch,
-    t: ThreadId,
-    h_own: ClockValue,
-    p: &VectorClock,
-) -> bool {
+pub(crate) fn wcp_epoch_ordered(e: Epoch, t: ThreadId, h_own: ClockValue, p: &VectorClock) -> bool {
     if e.is_none() {
         return true;
     }

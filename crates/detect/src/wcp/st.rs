@@ -10,7 +10,7 @@
 use std::collections::{HashMap, HashSet};
 
 use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::ccs::{
     multi_check, release_clock_bytes, stash_residual, CcsFidelity, CsEntry, CsList, Extras,
@@ -263,8 +263,7 @@ impl SmartTrackWcp {
                         LrMeta::PerThread(map) => map.get(&u),
                         LrMeta::Single(_) => None,
                     };
-                    let (residual, raced) =
-                        multi_check(&mut p, &held, lr, Epoch::new(u, c), check);
+                    let (residual, raced) = multi_check(&mut p, &held, lr, Epoch::new(u, c), check);
                     if raced {
                         prior.push(u);
                     }
@@ -505,7 +504,11 @@ mod tests {
         for (name, tr) in paper::all_figures() {
             let st = first_race(SmartTrackWcp::new(), &tr);
             assert_eq!(st, first_race(FtoWcp::new(), &tr), "ST vs FTO on {name}");
-            assert_eq!(st, first_race(UnoptWcp::new(), &tr), "ST vs Unopt on {name}");
+            assert_eq!(
+                st,
+                first_race(UnoptWcp::new(), &tr),
+                "ST vs Unopt on {name}"
+            );
         }
     }
 

@@ -3,12 +3,12 @@
 //! per-lock per-thread rule (b) queues.
 
 use smarttrack_clock::{ThreadId, VectorClock};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, VarId};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::common::{slot, vc_table_bytes, HeldLocks, LockVarTable};
+use crate::queues::WcpRuleBQueues;
 use crate::report::{AccessKind, RaceReport, Report};
 use crate::wcp::{wcp_racing_threads, WcpClocks};
-use crate::queues::WcpRuleBQueues;
 use crate::{Detector, OptLevel, Relation};
 
 /// Unoptimized WCP analysis (`Unopt-WCP` in the paper's tables).

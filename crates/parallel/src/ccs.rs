@@ -180,8 +180,7 @@ mod tests {
         let inner = SharedCsEntry::pending(m(1));
         let list = SharedCsList::from_entries(t(0), vec![entry, inner]);
         let mut now: VectorClock = [(t(0), 4)].into_iter().collect();
-        let (residual, raced) =
-            multi_check_shared(&mut now, &[], Some(&list), Epoch::new(t(0), 9));
+        let (residual, raced) = multi_check_shared(&mut now, &[], Some(&list), Epoch::new(t(0), 9));
         assert!(residual.is_empty());
         assert!(!raced, "ordered outermost subsumes the failing race check");
     }

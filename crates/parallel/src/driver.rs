@@ -29,7 +29,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use smarttrack_clock::ThreadId;
 use smarttrack_detect::{FtoCaseCounters, Report};
 use smarttrack_runtime::{Program, ProgramOp};
-use smarttrack_trace::{Event, EventId, LockId, Loc, Op, Trace, TraceBuilder, TraceError};
+use smarttrack_trace::{Event, EventId, Loc, LockId, Op, Trace, TraceBuilder, TraceError};
 
 use crate::{OnlineAnalysis, OnlineCtx};
 
@@ -205,21 +205,19 @@ pub fn run_online<A: OnlineAnalysis>(
                 // counter would be pure hook-serialization overhead, so
                 // event ids fall back to thread-tagged local indices.
                 let mut local = 0u32;
-                let mut hook = |ctx: &mut A::Ctx<'_>,
-                                log: &mut Vec<(u32, Event)>,
-                                op: Op,
-                                loc: Loc| {
-                    let n = if record {
-                        seq.fetch_add(1, Ordering::Relaxed)
-                    } else {
-                        (tid.raw() << 24) | local
+                let mut hook =
+                    |ctx: &mut A::Ctx<'_>, log: &mut Vec<(u32, Event)>, op: Op, loc: Loc| {
+                        let n = if record {
+                            seq.fetch_add(1, Ordering::Relaxed)
+                        } else {
+                            (tid.raw() << 24) | local
+                        };
+                        local += 1;
+                        ctx.on_event(EventId::new(n), op, loc);
+                        if record {
+                            log.push((n, Event::with_loc(tid, op, loc)));
+                        }
                     };
-                    local += 1;
-                    ctx.on_event(EventId::new(n), op, loc);
-                    if record {
-                        log.push((n, Event::with_loc(tid, op, loc)));
-                    }
-                };
                 'ops: for &(op, loc) in thread_spec.ops() {
                     if failed.load(Ordering::Acquire) {
                         break;

@@ -6,11 +6,16 @@
 //! per-variable locks) but with a deterministic event order, so its output
 //! must equal the corresponding sequential detector's — the property the
 //! differential tests check on thousands of traces.
+//!
+//! Since the `Engine`/`Session` redesign this is a thin wrapper: the
+//! analysis is adapted into a [`Detector`](smarttrack_detect::Detector)
+//! lane by [`OnlineLane`](crate::OnlineLane) and driven by the same
+//! [`Session`] ingestion path as every other driver in the workspace.
 
-use smarttrack_detect::Report;
-use smarttrack_trace::{Op, Trace};
+use smarttrack_detect::{Report, Session};
+use smarttrack_trace::Trace;
 
-use crate::{OnlineAnalysis, OnlineCtx, WorldSpec};
+use crate::{OnlineAnalysis, OnlineLane};
 
 /// Feeds `trace` through `analysis` in trace order and returns the report.
 ///
@@ -22,7 +27,7 @@ use crate::{OnlineAnalysis, OnlineCtx, WorldSpec};
 /// # Panics
 ///
 /// Panics if the trace uses identifiers outside the bounds the analysis was
-/// created with (create the analysis from [`WorldSpec::of_trace`]).
+/// created with (create the analysis from [`WorldSpec::of_trace`](crate::WorldSpec::of_trace)).
 ///
 /// # Examples
 ///
@@ -35,32 +40,27 @@ use crate::{OnlineAnalysis, OnlineCtx, WorldSpec};
 /// assert!(feed_trace(&analysis, &trace).is_empty(), "no HB-race in Fig. 1");
 /// ```
 pub fn feed_trace<A: OnlineAnalysis>(analysis: &A, trace: &Trace) -> Report {
-    let spec = WorldSpec::of_trace(trace);
-    let mut ctxs: Vec<Option<A::Ctx<'_>>> = (0..spec.threads).map(|_| None).collect();
-    for (id, event) in trace.iter() {
-        if let Op::Join(u) = event.op {
-            ctxs[u.index()]
-                .get_or_insert_with(|| analysis.context(u))
-                .publish();
-        }
-        ctxs[event.tid.index()]
-            .get_or_insert_with(|| analysis.context(event.tid))
-            .on_event(id, event.op, event.loc);
-    }
+    let mut lane = OnlineLane::new(analysis);
+    let mut session = Session::from_detector(&mut lane);
+    session
+        .feed_trace(trace)
+        .expect("a validated Trace re-admits cleanly");
+    session.finish();
     analysis.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ConcurrentFtoHb;
+    use crate::{ConcurrentFtoHb, WorldSpec};
     use smarttrack_clock::ThreadId;
     use smarttrack_trace::{Op, TraceBuilder, VarId};
 
     #[test]
     fn join_of_never_started_thread_is_harmless() {
         let mut b = TraceBuilder::new();
-        b.push(ThreadId::new(0), Op::Join(ThreadId::new(1))).unwrap();
+        b.push(ThreadId::new(0), Op::Join(ThreadId::new(1)))
+            .unwrap();
         b.push(ThreadId::new(0), Op::Write(VarId::new(0))).unwrap();
         let tr = b.finish();
         let par = ConcurrentFtoHb::new(WorldSpec::of_trace(&tr));

@@ -18,7 +18,7 @@ use smarttrack_detect::{AccessKind, FtoCase, FtoCaseCounters, RaceReport, Report
 use smarttrack_trace::{EventId, Loc, LockId, Op, VarId};
 
 use crate::atomic::AtomicEpoch;
-use crate::shared::{AtomicCaseCounters, Handoff, RaceSink};
+use crate::shared::{AtomicCaseCounters, Handoff, ReportSink};
 use crate::world::{table, WorldSpec};
 use crate::{OnlineAnalysis, OnlineCtx};
 
@@ -65,7 +65,7 @@ pub struct ConcurrentFtoHb {
     locks: Vec<Mutex<VectorClock>>,
     volatiles: Vec<Mutex<VectorClock>>,
     handoff: Handoff,
-    sink: RaceSink,
+    sink: ReportSink,
     counters: AtomicCaseCounters,
 }
 
@@ -77,7 +77,7 @@ impl ConcurrentFtoHb {
             locks: table(spec.locks),
             volatiles: table(spec.volatiles),
             handoff: Handoff::new(spec.threads),
-            sink: RaceSink::new(),
+            sink: ReportSink::new(),
             counters: AtomicCaseCounters::new(),
         }
     }
@@ -88,6 +88,18 @@ impl OnlineAnalysis for ConcurrentFtoHb {
 
     fn name(&self) -> &'static str {
         "FTO-HB (parallel)"
+    }
+
+    fn relation(&self) -> smarttrack_detect::Relation {
+        smarttrack_detect::Relation::Hb
+    }
+
+    fn opt_level(&self) -> smarttrack_detect::OptLevel {
+        smarttrack_detect::OptLevel::Fto
+    }
+
+    fn races_so_far(&self) -> usize {
+        self.sink.len()
     }
 
     fn context(&self, t: ThreadId) -> HbCtx<'_> {

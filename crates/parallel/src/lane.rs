@@ -1,0 +1,182 @@
+//! Bridges a concurrent [`OnlineAnalysis`] into the sequential
+//! [`Detector`]/[`Session`](smarttrack_detect::Session) ingestion path.
+//!
+//! [`OnlineLane`] borrows an analysis and exposes it as a [`Detector`]: it
+//! keeps one lazily created per-thread [`OnlineCtx`] per thread id and
+//! routes each event to its thread's context, publishing a join target's
+//! clock first (mirroring how the true-parallel driver publishes at thread
+//! exit). This is the deterministic bridge the differential tests rely on:
+//! an `OnlineLane` fed a recorded trace through a session must report
+//! exactly what the corresponding sequential detector reports — and it also
+//! lets a concurrent analysis join any fan-out
+//! [`Session`](smarttrack_detect::Session) next to sequential lanes.
+
+use smarttrack_detect::{Detector, FtoCaseCounters, OptLevel, Relation, Report, StreamHint};
+use smarttrack_trace::{Event, EventId, Op};
+
+use crate::{OnlineAnalysis, OnlineCtx};
+
+/// A sequential [`Detector`] view over a borrowed concurrent analysis.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_detect::Session;
+/// use smarttrack_parallel::{ConcurrentFtoHb, OnlineAnalysis, OnlineLane, WorldSpec};
+/// use smarttrack_trace::paper;
+///
+/// let trace = paper::figure1();
+/// let analysis = ConcurrentFtoHb::new(WorldSpec::of_trace(&trace));
+/// let mut lane = OnlineLane::new(&analysis);
+/// let mut session = Session::from_detector(&mut lane);
+/// session.feed_trace(&trace)?;
+/// session.finish();
+/// assert!(analysis.report().is_empty(), "no HB-race in Fig. 1");
+/// # Ok::<(), smarttrack_trace::TraceError>(())
+/// ```
+pub struct OnlineLane<'a, A: OnlineAnalysis> {
+    analysis: &'a A,
+    ctxs: Vec<Option<A::Ctx<'a>>>,
+    /// Cached report, refreshed only when the analysis' race count moves
+    /// (snapshotting the shared report after every event would serialize
+    /// the exact mutex the fast path avoids).
+    report: Report,
+    cases: FtoCaseCounters,
+}
+
+impl<'a, A: OnlineAnalysis> OnlineLane<'a, A> {
+    /// Wraps `analysis`. Contexts are created on each thread's first event
+    /// (absorbing fork edges, like threads starting under the online
+    /// driver).
+    pub fn new(analysis: &'a A) -> Self {
+        OnlineLane {
+            analysis,
+            ctxs: Vec::new(),
+            report: Report::new(),
+            cases: FtoCaseCounters::new(),
+        }
+    }
+
+    fn ctx(&mut self, index: usize) -> &mut A::Ctx<'a> {
+        if index >= self.ctxs.len() {
+            self.ctxs.resize_with(index + 1, || None);
+        }
+        let analysis = self.analysis;
+        self.ctxs[index]
+            .get_or_insert_with(|| analysis.context(smarttrack_clock::ThreadId::new(index as u32)))
+    }
+
+    fn refresh(&mut self) {
+        if self.analysis.races_so_far() != self.report.dynamic_count() {
+            self.report = self.analysis.report();
+        }
+    }
+}
+
+impl<A: OnlineAnalysis> Detector for OnlineLane<'_, A> {
+    fn name(&self) -> &'static str {
+        self.analysis.name()
+    }
+
+    fn relation(&self) -> Relation {
+        self.analysis.relation()
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        self.analysis.opt_level()
+    }
+
+    fn begin_stream(&mut self, hint: StreamHint) {
+        // Identifier bounds come from the analysis' WorldSpec, fixed at
+        // construction; stream hints carry nothing further for it.
+        let _ = hint;
+    }
+
+    fn process(&mut self, id: EventId, event: &Event) {
+        // Publish a join target's clock before the join absorbs it,
+        // mirroring the online driver's thread-exit publication.
+        if let Op::Join(u) = event.op {
+            self.ctx(u.index()).publish();
+        }
+        self.ctx(event.tid.index())
+            .on_event(id, event.op, event.loc);
+        self.refresh();
+    }
+
+    fn finish_stream(&mut self) {
+        for ctx in self.ctxs.iter_mut().flatten() {
+            ctx.publish();
+        }
+        self.report = self.analysis.report();
+        self.cases = self.analysis.case_counters();
+    }
+
+    fn report(&self) -> &Report {
+        &self.report
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.analysis
+            .footprint_bytes()
+            .max(self.report.footprint_bytes())
+    }
+
+    fn case_counters(&self) -> Option<&FtoCaseCounters> {
+        Some(&self.cases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcurrentFtoHb, ConcurrentSmartTrackWdc, WorldSpec};
+    use smarttrack_detect::Session;
+    use smarttrack_trace::{paper, ThreadId, TraceBuilder, VarId};
+
+    #[test]
+    fn lane_detects_like_the_sequential_detector() {
+        let mut b = TraceBuilder::new();
+        b.push(ThreadId::new(0), Op::Write(VarId::new(0))).unwrap();
+        b.push(ThreadId::new(1), Op::Write(VarId::new(0))).unwrap();
+        let trace = b.finish();
+
+        let analysis = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&trace));
+        let mut lane = OnlineLane::new(&analysis);
+        let mut session = Session::from_detector(&mut lane);
+        session.feed_trace(&trace).unwrap();
+        let snapshot = session.snapshot();
+        assert_eq!(snapshot.lanes[0].report.dynamic_count(), 1);
+        assert_eq!(snapshot.lanes[0].name, "SmartTrack-WDC (parallel)");
+        session.finish();
+        assert_eq!(analysis.report().dynamic_count(), 1);
+    }
+
+    #[test]
+    fn lane_report_is_refreshed_mid_stream() {
+        let trace = paper::figure1();
+        let analysis = ConcurrentSmartTrackWdc::new(WorldSpec::of_trace(&trace));
+        let mut lane = OnlineLane::new(&analysis);
+        for (id, event) in trace.iter() {
+            lane.process(id, event);
+        }
+        assert_eq!(lane.report().dynamic_count(), 1, "race visible pre-finish");
+        lane.finish_stream();
+        assert_eq!(lane.report().dynamic_count(), 1);
+        assert!(lane.case_counters().is_some());
+    }
+
+    #[test]
+    fn join_of_uncreated_context_publishes_trivially() {
+        let mut b = TraceBuilder::new();
+        b.push(ThreadId::new(0), Op::Join(ThreadId::new(1)))
+            .unwrap();
+        b.push(ThreadId::new(0), Op::Write(VarId::new(0))).unwrap();
+        let trace = b.finish();
+        let analysis = ConcurrentFtoHb::new(WorldSpec::of_trace(&trace));
+        let mut lane = OnlineLane::new(&analysis);
+        let mut session = Session::from_detector(&mut lane);
+        session.feed_trace(&trace).unwrap();
+        session.finish();
+        assert!(analysis.report().is_empty());
+    }
+}

@@ -64,6 +64,7 @@ mod ccs;
 mod driver;
 mod feed;
 mod hb;
+mod lane;
 mod shared;
 mod wdc;
 mod world;
@@ -73,11 +74,12 @@ pub use ccs::{SharedCsEntry, SharedCsList};
 pub use driver::{run_online, OnlineError, OnlineRun};
 pub use feed::feed_trace;
 pub use hb::ConcurrentFtoHb;
+pub use lane::OnlineLane;
 pub use wdc::ConcurrentSmartTrackWdc;
 pub use world::WorldSpec;
 
 use smarttrack_clock::ThreadId;
-use smarttrack_detect::{FtoCaseCounters, Report};
+use smarttrack_detect::{FtoCaseCounters, OptLevel, Relation, Report};
 use smarttrack_trace::{EventId, Loc, Op};
 
 /// A race-detection analysis whose metadata may be updated from many
@@ -97,6 +99,24 @@ pub trait OnlineAnalysis: Sync {
 
     /// Short name matching the paper's tables (e.g. `"SmartTrack-WDC"`).
     fn name(&self) -> &'static str;
+
+    /// The relation this analysis computes (Table 1 row).
+    fn relation(&self) -> Relation;
+
+    /// The optimization level of this analysis (Table 1 column).
+    fn opt_level(&self) -> OptLevel;
+
+    /// Dynamic races reported so far — a cheap count, so sequential
+    /// bridges can detect new races without snapshotting the whole report
+    /// after every event.
+    fn races_so_far(&self) -> usize;
+
+    /// Approximate live metadata bytes. Parallel analyses default to `0`
+    /// (walking shared metadata would mean locking every entry); the
+    /// sequential detectors are the footprint-measurement substrate.
+    fn footprint_bytes(&self) -> usize {
+        0
+    }
 
     /// Creates the handle for thread `t`, absorbing any fork edge already
     /// offered to `t`.

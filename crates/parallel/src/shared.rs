@@ -25,7 +25,10 @@ impl AtomicCaseCounters {
 
     #[inline]
     pub fn hit(&self, case: FtoCase) {
-        let i = FtoCase::ALL.iter().position(|c| *c == case).expect("known case");
+        let i = FtoCase::ALL
+            .iter()
+            .position(|c| *c == case)
+            .expect("known case");
         self.counts[i].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -42,23 +45,35 @@ impl AtomicCaseCounters {
 ///
 /// A mutex (not a lock-free list) is deliberate: races are rare relative to
 /// accesses, and the paper's implementations likewise serialize race
-/// reporting.
+/// reporting. The count mirror lets [`len`](ReportSink::len) answer "any
+/// new races?" without touching the mutex at all — it sits on the
+/// per-event path of the sequential [`crate::OnlineLane`] bridge.
 #[derive(Debug, Default)]
-pub(crate) struct RaceSink {
+pub(crate) struct ReportSink {
     races: Mutex<Report>,
+    count: std::sync::atomic::AtomicUsize,
 }
 
-impl RaceSink {
+impl ReportSink {
     pub fn new() -> Self {
-        RaceSink::default()
+        ReportSink::default()
     }
 
     pub fn push(&self, race: RaceReport) {
-        self.races.lock().push(race);
+        let mut races = self.races.lock();
+        races.push(race);
+        // Published under the lock so `len() <= snapshot().dynamic_count()`
+        // always holds for a racing reader.
+        self.count.store(races.dynamic_count(), Ordering::Release);
     }
 
     pub fn snapshot(&self) -> Report {
         self.races.lock().clone()
+    }
+
+    /// Dynamic race count without locking or cloning the report.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
     }
 }
 
@@ -138,7 +153,7 @@ mod tests {
 
     #[test]
     fn sink_collects_from_threads() {
-        let sink = RaceSink::new();
+        let sink = ReportSink::new();
         std::thread::scope(|s| {
             for i in 0..3u32 {
                 let sink = &sink;

@@ -23,7 +23,7 @@ use smarttrack_trace::{EventId, Loc, LockId, Op, VarId};
 
 use crate::atomic::AtomicEpoch;
 use crate::ccs::{multi_check_shared, ReleaseCell, SharedCsEntry, SharedCsList};
-use crate::shared::{AtomicCaseCounters, Handoff, RaceSink};
+use crate::shared::{AtomicCaseCounters, Handoff, ReportSink};
 use crate::world::{table, WorldSpec};
 use crate::{OnlineAnalysis, OnlineCtx};
 
@@ -108,7 +108,7 @@ pub struct ConcurrentSmartTrackWdc {
     vars: Vec<ShadowVar>,
     volatiles: Vec<Mutex<VectorClock>>,
     handoff: Handoff,
-    sink: RaceSink,
+    sink: ReportSink,
     counters: AtomicCaseCounters,
 }
 
@@ -119,7 +119,7 @@ impl ConcurrentSmartTrackWdc {
             vars: table(spec.vars),
             volatiles: table(spec.volatiles),
             handoff: Handoff::new(spec.threads),
-            sink: RaceSink::new(),
+            sink: ReportSink::new(),
             counters: AtomicCaseCounters::new(),
         }
     }
@@ -130,6 +130,18 @@ impl OnlineAnalysis for ConcurrentSmartTrackWdc {
 
     fn name(&self) -> &'static str {
         "SmartTrack-WDC (parallel)"
+    }
+
+    fn relation(&self) -> smarttrack_detect::Relation {
+        smarttrack_detect::Relation::Wdc
+    }
+
+    fn opt_level(&self) -> smarttrack_detect::OptLevel {
+        smarttrack_detect::OptLevel::SmartTrack
+    }
+
+    fn races_so_far(&self) -> usize {
+        self.sink.len()
     }
 
     fn context(&self, t: ThreadId) -> WdcCtx<'_> {
@@ -242,12 +254,7 @@ impl WdcCtx<'_> {
     }
 
     /// Algorithm 3 lines 4–6: absorb write-side extras at a read.
-    fn absorb_extras_at_read(
-        meta: &StMeta,
-        held: &[LockId],
-        t: ThreadId,
-        now: &mut VectorClock,
-    ) {
+    fn absorb_extras_at_read(meta: &StMeta, held: &[LockId], t: ThreadId, now: &mut VectorClock) {
         let Some(ex) = meta.extras.as_ref() else {
             return;
         };
@@ -336,12 +343,8 @@ impl WdcCtx<'_> {
                         let ex = meta.extras.get_or_insert_with(Default::default);
                         stash(&mut ex.read, u, residual);
                         if meta.lw.as_ref().is_some_and(|l| l.owner == u) {
-                            let (wres, _) = multi_check_shared(
-                                &mut now,
-                                &held,
-                                meta.lw.as_ref(),
-                                Epoch::NONE,
-                            );
+                            let (wres, _) =
+                                multi_check_shared(&mut now, &held, meta.lw.as_ref(), Epoch::NONE);
                             let ex = meta.extras.get_or_insert_with(Default::default);
                             stash(&mut ex.write, u, wres);
                         }
@@ -456,15 +459,13 @@ impl WdcCtx<'_> {
                     // Strict refinement: keep rule (a) ordering from the last
                     // write's critical sections (join-only, no race check).
                     if meta.lw.as_ref().is_some_and(|l| l.owner != t) {
-                        let _ =
-                            multi_check_shared(&mut now, &held, meta.lw.as_ref(), Epoch::NONE);
+                        let _ = multi_check_shared(&mut now, &held, meta.lw.as_ref(), Epoch::NONE);
                     }
                     rvc.set(t, e.clock());
                 } else {
                     shared.counters.hit(FtoCase::ReadShared);
                     let write = meta.write;
-                    let (_, raced) =
-                        multi_check_shared(&mut now, &held, meta.lw.as_ref(), write);
+                    let (_, raced) = multi_check_shared(&mut now, &held, meta.lw.as_ref(), write);
                     raced_with_write = raced;
                     rvc.set(t, e.clock());
                 }

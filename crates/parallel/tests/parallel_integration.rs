@@ -117,10 +117,7 @@ fn disciplined_program(threads: u32, rounds: usize) -> Program {
                     // Private variable: same-epoch traffic, never racy.
                     .write(x(1 + i));
                 if r % 3 == 0 {
-                    spec = spec
-                        .acquire(m(1))
-                        .write(x(100))
-                        .release(m(1));
+                    spec = spec.acquire(m(1)).write(x(100)).release(m(1));
                 }
             }
             spec
@@ -136,11 +133,8 @@ fn racy_program(threads: u32, rounds: usize) -> Program {
         .map(|_| {
             let mut spec = ThreadSpec::new();
             for _ in 0..rounds {
-                spec = spec
-                    .acquire(m(0))
-                    .write(x(0))
-                    .release(m(0))
-                    .write(x(9)); // the racy one
+                spec = spec.acquire(m(0)).write(x(0)).release(m(0)).write(x(9));
+                // the racy one
             }
             spec
         })
@@ -215,8 +209,12 @@ fn online_report_consistent_with_recorded_linearization() {
         run_detector(&mut offline, &recorded);
         let online_vars: std::collections::BTreeSet<u32> =
             run.report.races().iter().map(|r| r.var.raw()).collect();
-        let offline_vars: std::collections::BTreeSet<u32> =
-            offline.report().races().iter().map(|r| r.var.raw()).collect();
+        let offline_vars: std::collections::BTreeSet<u32> = offline
+            .report()
+            .races()
+            .iter()
+            .map(|r| r.var.raw())
+            .collect();
         assert_eq!(online_vars, offline_vars, "both views agree on racy vars");
         assert_eq!(online_vars.into_iter().collect::<Vec<_>>(), vec![9]);
     }
@@ -248,7 +246,11 @@ fn recorded_linearization_replays_through_all_hb_detectors() {
 fn forked_generations_are_ordered_online() {
     // t0 forks t1, t1 forks t2; all write x0 in lifecycle order.
     let program = Program::new(vec![
-        ThreadSpec::new().write(x(0)).fork(t(1)).join(t(1)).read(x(0)),
+        ThreadSpec::new()
+            .write(x(0))
+            .fork(t(1))
+            .join(t(1))
+            .read(x(0)),
         ThreadSpec::new().write(x(0)).fork(t(2)).join(t(2)),
         ThreadSpec::new().write(x(0)),
     ]);

@@ -102,7 +102,10 @@ mod tests {
         let hb = explore_schedules(&program, &seeds, FtoHb::new);
         let wcp = explore_schedules(&program, &seeds, SmartTrackWcp::new);
         assert_eq!(wcp.racy_schedules, 25);
-        assert!(hb.racy_schedules < 25, "HB misses the race in some schedules");
+        assert!(
+            hb.racy_schedules < 25,
+            "HB misses the race in some schedules"
+        );
         assert!(hb.race_sites.is_subset(&wcp.race_sites));
         assert_eq!(wcp.schedules, 25);
     }
@@ -111,8 +114,16 @@ mod tests {
     fn deadlocking_schedules_are_skipped() {
         let (m0, m1) = (LockId::new(0), LockId::new(1));
         let program = Program::new(vec![
-            ThreadSpec::new().acquire(m0).acquire(m1).release(m1).release(m0),
-            ThreadSpec::new().acquire(m1).acquire(m0).release(m0).release(m1),
+            ThreadSpec::new()
+                .acquire(m0)
+                .acquire(m1)
+                .release(m1)
+                .release(m0),
+            ThreadSpec::new()
+                .acquire(m1)
+                .acquire(m0)
+                .release(m0)
+                .release(m1),
         ]);
         let seeds: Vec<u64> = (0..30).collect();
         let report = explore_schedules(&program, &seeds, FtoHb::new);

@@ -79,8 +79,7 @@ mod tests {
     fn online_analysis_matches_offline() {
         let program = figure1_program();
         let mut online = SmartTrackDc::new();
-        let trace =
-            run_with_detector(&program, SchedulePolicy::ProgramOrder, &mut online).unwrap();
+        let trace = run_with_detector(&program, SchedulePolicy::ProgramOrder, &mut online).unwrap();
         let mut offline = SmartTrackDc::new();
         smarttrack_detect::run_detector(&mut offline, &trace);
         assert_eq!(online.report(), offline.report());

@@ -1,7 +1,7 @@
 //! The concurrent-program model: per-thread operation lists.
 
 use smarttrack_clock::ThreadId;
-use smarttrack_trace::{LockId, Loc, Op, VarId};
+use smarttrack_trace::{Loc, LockId, Op, VarId};
 
 /// One operation of a thread's program, with its static location.
 ///
@@ -209,7 +209,9 @@ mod tests {
     #[test]
     fn fork_targets_are_detected() {
         let p = Program::new(vec![
-            ThreadSpec::new().fork(ThreadId::new(1)).join(ThreadId::new(1)),
+            ThreadSpec::new()
+                .fork(ThreadId::new(1))
+                .join(ThreadId::new(1)),
             ThreadSpec::new().write(VarId::new(0)),
         ]);
         assert_eq!(p.fork_targets(), vec![ThreadId::new(1)]);

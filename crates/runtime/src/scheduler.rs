@@ -178,7 +178,10 @@ impl<'a> Scheduler<'a> {
         self.positions[t] += 1;
         let [first, second] = lower(pop);
         self.pending[t] = second;
-        Some((first.expect("every program op lowers to at least one event"), loc))
+        Some((
+            first.expect("every program op lowers to at least one event"),
+            loc,
+        ))
     }
 
     fn apply(&mut self, t: usize, op: Op) {
@@ -352,11 +355,7 @@ mod tests {
             .iter()
             .position(|e| matches!(e.op, Op::Join(_)))
             .unwrap();
-        let last_child = tr
-            .events()
-            .iter()
-            .rposition(|e| e.tid == t(1))
-            .unwrap();
+        let last_child = tr.events().iter().rposition(|e| e.tid == t(1)).unwrap();
         assert!(last_child < join_pos);
     }
 }

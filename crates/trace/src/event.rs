@@ -2,7 +2,7 @@ use std::fmt;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{LockId, Loc, VarId};
+use crate::{Loc, LockId, VarId};
 
 /// Index of an event within a [`Trace`](crate::Trace).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -18,7 +18,7 @@ use std::fmt;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, LockId, Loc, Op, Trace, TraceError, VarId};
+use crate::{Event, Loc, LockId, Op, Trace, TraceError, VarId};
 
 /// Error from [`parse`].
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -42,7 +42,7 @@ use std::fmt;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, LockId, Loc, Op, Trace, TraceBuilder, TraceError, VarId};
+use crate::{Event, Loc, LockId, Op, Trace, TraceBuilder, TraceError, VarId};
 
 /// Error from the interchange-format parsers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -161,12 +161,13 @@ pub fn parse_std(text: &str) -> Result<Trace, FormatError> {
             continue;
         }
         let mut parts = trimmed.split('|');
-        let tid = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
-            FormatError::BadLine {
+        let tid = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| FormatError::BadLine {
                 line,
                 message: "missing thread field".into(),
-            }
-        })?;
+            })?;
         let op_field = parts.next().ok_or_else(|| FormatError::BadLine {
             line,
             message: "missing operation field".into(),
@@ -237,8 +238,7 @@ pub fn parse_csv(text: &str) -> Result<Trace, FormatError> {
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
         let trimmed = raw.trim();
-        if trimmed.is_empty() || (line == 1 && trimmed.eq_ignore_ascii_case("tid,op,target,loc"))
-        {
+        if trimmed.is_empty() || (line == 1 && trimmed.eq_ignore_ascii_case("tid,op,target,loc")) {
             continue;
         }
         let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
@@ -297,9 +297,7 @@ impl std::str::FromStr for TraceFormat {
             "native" => Ok(TraceFormat::Native),
             "std" | "rapid" => Ok(TraceFormat::Std),
             "csv" => Ok(TraceFormat::Csv),
-            other => Err(format!(
-                "unknown trace format `{other}` (native, std, csv)"
-            )),
+            other => Err(format!("unknown trace format `{other}` (native, std, csv)")),
         }
     }
 }
@@ -389,7 +387,11 @@ mod tests {
         let tr = parse_std(text).expect("parses");
         assert_eq!(tr.num_threads(), 2);
         // `counter` interned once: both accesses hit the same variable.
-        let vars: Vec<_> = tr.events().iter().filter_map(|e| e.op.access_var()).collect();
+        let vars: Vec<_> = tr
+            .events()
+            .iter()
+            .filter_map(|e| e.op.access_var())
+            .collect();
         assert_eq!(vars[0], vars[1]);
     }
 
@@ -397,7 +399,11 @@ mod tests {
     fn numeric_and_symbolic_names_do_not_collide() {
         let text = "T0|w(V5)|1\nT0|w(data)|2\nT0|w(V5)|3\n";
         let tr = parse_std(text).expect("parses");
-        let vars: Vec<_> = tr.events().iter().filter_map(|e| e.op.access_var()).collect();
+        let vars: Vec<_> = tr
+            .events()
+            .iter()
+            .filter_map(|e| e.op.access_var())
+            .collect();
         assert_eq!(vars[0], vars[2], "V5 stays V5");
         assert_ne!(vars[0], vars[1], "`data` interns above the numeric range");
     }

@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smarttrack_clock::ThreadId;
 
-use crate::{LockId, Loc, Op, Trace, TraceBuilder, VarId};
+use crate::{Loc, LockId, Op, Trace, TraceBuilder, VarId};
 
 /// Parameters for random trace generation.
 ///
@@ -151,7 +151,11 @@ impl RandomTraceSpec {
                     Op::Read(var)
                 };
                 b.push_at(tid, op, loc).expect("accesses are well-formed");
-                burst[ti] = if left > 1 { Some((var, left - 1)) } else { None };
+                burst[ti] = if left > 1 {
+                    Some((var, left - 1))
+                } else {
+                    None
+                };
                 continue;
             }
 

@@ -35,6 +35,7 @@
 mod event;
 mod ids;
 mod trace;
+mod validate;
 
 pub mod fmt;
 pub mod formats;
@@ -43,6 +44,7 @@ pub mod paper;
 pub mod stats;
 
 pub use event::{Event, EventId, Op};
-pub use ids::{LockId, Loc, VarId};
+pub use ids::{Loc, LockId, VarId};
 pub use smarttrack_clock::ThreadId;
 pub use trace::{Trace, TraceBuilder, TraceError};
+pub use validate::StreamValidator;

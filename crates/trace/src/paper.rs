@@ -17,7 +17,7 @@
 
 use smarttrack_clock::ThreadId;
 
-use crate::{LockId, Loc, Op, Trace, TraceBuilder, VarId};
+use crate::{Loc, LockId, Op, Trace, TraceBuilder, VarId};
 
 /// Variable `x` — the racing variable in every figure.
 pub const X: VarId = VarId::new(0);

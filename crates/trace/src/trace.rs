@@ -5,7 +5,7 @@ use std::ops::Index;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, EventId, LockId, Loc, Op, VarId};
+use crate::{Event, EventId, Loc, LockId, Op, StreamValidator, VarId};
 
 /// Error produced when an event sequence violates trace well-formedness
 /// (paper §2.1: "a thread only acquires a lock that is not held and only
@@ -262,33 +262,19 @@ impl<'a> IntoIterator for &'a Trace {
 ///
 /// Events are appended in trace order; lock and fork/join discipline is
 /// enforced as events arrive so errors carry the precise offending index.
+/// Validation is performed by [`StreamValidator`] (the storage-free
+/// streaming core shared with the `smarttrack-detect` analysis sessions);
+/// the builder adds event retention on top.
 #[derive(Clone, Debug, Default)]
 pub struct TraceBuilder {
     events: Vec<Event>,
-    lock_holder: HashMap<LockId, ThreadId>,
-    started: Vec<bool>,
-    forked: Vec<bool>,
-    joined: Vec<bool>,
-    num_threads: usize,
-    num_vars: usize,
-    num_locks: usize,
-    num_volatiles: usize,
+    validator: StreamValidator,
 }
 
 impl TraceBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         TraceBuilder::default()
-    }
-
-    fn mark_thread(&mut self, t: ThreadId) {
-        let i = t.index();
-        if i >= self.started.len() {
-            self.started.resize(i + 1, false);
-            self.forked.resize(i + 1, false);
-            self.joined.resize(i + 1, false);
-        }
-        self.num_threads = self.num_threads.max(i + 1);
     }
 
     /// Appends an event with an unknown source location.
@@ -315,65 +301,9 @@ impl TraceBuilder {
     ///
     /// Returns a [`TraceError`] if the event violates well-formedness.
     pub fn push_event(&mut self, e: Event) -> Result<EventId, TraceError> {
-        let at = self.events.len();
-        self.mark_thread(e.tid);
-        if self.joined[e.tid.index()] {
-            return Err(TraceError::InvalidJoin { at, target: e.tid });
-        }
-        match e.op {
-            Op::Acquire(m) => {
-                if let Some(&holder) = self.lock_holder.get(&m) {
-                    return Err(TraceError::AcquireHeldLock {
-                        at,
-                        tid: e.tid,
-                        lock: m,
-                        holder,
-                    });
-                }
-                self.lock_holder.insert(m, e.tid);
-                self.num_locks = self.num_locks.max(m.index() + 1);
-            }
-            Op::Release(m) => {
-                if self.lock_holder.get(&m) != Some(&e.tid) {
-                    return Err(TraceError::ReleaseUnheldLock {
-                        at,
-                        tid: e.tid,
-                        lock: m,
-                    });
-                }
-                self.lock_holder.remove(&m);
-                self.num_locks = self.num_locks.max(m.index() + 1);
-            }
-            Op::Read(x) | Op::Write(x) => {
-                self.num_vars = self.num_vars.max(x.index() + 1);
-            }
-            Op::VolatileRead(v) | Op::VolatileWrite(v) => {
-                self.num_volatiles = self.num_volatiles.max(v.index() + 1);
-            }
-            Op::Fork(child) => {
-                if child == e.tid {
-                    return Err(TraceError::SelfForkJoin { at, tid: e.tid });
-                }
-                self.mark_thread(child);
-                if self.forked[child.index()] || self.started[child.index()] {
-                    return Err(TraceError::InvalidFork { at, target: child });
-                }
-                self.forked[child.index()] = true;
-            }
-            Op::Join(child) => {
-                if child == e.tid {
-                    return Err(TraceError::SelfForkJoin { at, tid: e.tid });
-                }
-                self.mark_thread(child);
-                if self.joined[child.index()] {
-                    return Err(TraceError::InvalidJoin { at, target: child });
-                }
-                self.joined[child.index()] = true;
-            }
-        }
-        self.started[e.tid.index()] = true;
+        let id = self.validator.admit(&e)?;
         self.events.push(e);
-        Ok(EventId::new(at as u32))
+        Ok(id)
     }
 
     /// Number of events appended so far.
@@ -391,11 +321,45 @@ impl TraceBuilder {
     pub fn finish(self) -> Trace {
         Trace {
             events: self.events,
-            num_threads: self.num_threads,
-            num_vars: self.num_vars,
-            num_locks: self.num_locks,
-            num_volatiles: self.num_volatiles,
+            num_threads: self.validator.num_threads(),
+            num_vars: self.validator.num_vars(),
+            num_locks: self.validator.num_locks(),
+            num_volatiles: self.validator.num_volatiles(),
         }
+    }
+
+    /// A [`Trace`] of everything appended so far, without consuming the
+    /// builder. Since the events are already validated, this is a plain
+    /// copy — the cheap way for a streaming consumer to re-examine its
+    /// prefix (e.g. the windowed oracle analysis running a window).
+    ///
+    /// For a zero-copy view use [`with_snapshot`](TraceBuilder::with_snapshot).
+    pub fn snapshot(&self) -> Trace {
+        Trace {
+            events: self.events.clone(),
+            num_threads: self.validator.num_threads(),
+            num_vars: self.validator.num_vars(),
+            num_locks: self.validator.num_locks(),
+            num_volatiles: self.validator.num_volatiles(),
+        }
+    }
+
+    /// Lends the appended events to `f` as a [`Trace`] without copying
+    /// them: the event vector is moved into a temporary trace for the
+    /// duration of the call and moved back afterwards. This is the
+    /// zero-allocation variant of [`snapshot`](TraceBuilder::snapshot) for
+    /// streaming consumers that repeatedly re-analyze their growing prefix.
+    pub fn with_snapshot<R>(&mut self, f: impl FnOnce(&Trace) -> R) -> R {
+        let trace = Trace {
+            events: std::mem::take(&mut self.events),
+            num_threads: self.validator.num_threads(),
+            num_vars: self.validator.num_vars(),
+            num_locks: self.validator.num_locks(),
+            num_volatiles: self.validator.num_volatiles(),
+        };
+        let result = f(&trace);
+        self.events = trace.events;
+        result
     }
 }
 

@@ -1,0 +1,233 @@
+//! Streaming well-formedness validation.
+//!
+//! [`StreamValidator`] is the event-at-a-time core of trace validation
+//! (paper §2.1: a thread only acquires a free lock and only releases a lock
+//! it holds, plus fork/join sanity). It holds no event storage, so it can
+//! run over unbounded streams: [`crate::TraceBuilder`] layers event
+//! retention on top of it for offline traces, and the streaming analysis
+//! sessions in `smarttrack-detect` use it directly.
+
+use std::collections::HashMap;
+
+use smarttrack_clock::ThreadId;
+
+use crate::{Event, EventId, LockId, Op, TraceError};
+
+/// Incremental well-formedness checker over an event stream.
+///
+/// Feed events in order with [`admit`](StreamValidator::admit); the
+/// validator tracks lock ownership, fork/join lifecycles, and the id-space
+/// bounds ([`num_threads`](StreamValidator::num_threads), …) that a
+/// [`Trace`](crate::Trace) reports, without retaining the events
+/// themselves.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{Event, Op, StreamValidator, ThreadId, LockId};
+///
+/// let mut v = StreamValidator::new();
+/// let t0 = ThreadId::new(0);
+/// let m = LockId::new(0);
+/// v.admit(&Event::new(t0, Op::Acquire(m)))?;
+/// assert!(v.admit(&Event::new(ThreadId::new(1), Op::Acquire(m))).is_err());
+/// assert_eq!(v.len(), 1); // the rejected event is not admitted
+/// # Ok::<(), smarttrack_trace::TraceError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamValidator {
+    lock_holder: HashMap<LockId, ThreadId>,
+    started: Vec<bool>,
+    forked: Vec<bool>,
+    joined: Vec<bool>,
+    admitted: usize,
+    num_threads: usize,
+    num_vars: usize,
+    num_locks: usize,
+    num_volatiles: usize,
+}
+
+impl StreamValidator {
+    /// Creates a validator that has seen no events.
+    pub fn new() -> Self {
+        StreamValidator::default()
+    }
+
+    fn mark_thread(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i >= self.started.len() {
+            self.started.resize(i + 1, false);
+            self.forked.resize(i + 1, false);
+            self.joined.resize(i + 1, false);
+        }
+        self.num_threads = self.num_threads.max(i + 1);
+    }
+
+    /// Validates and accounts for the next event of the stream.
+    ///
+    /// On success the event is *admitted*: it gets the next sequential
+    /// [`EventId`] (returned) and updates the lock/thread state. A rejected
+    /// event leaves the validator unchanged, so a caller may skip it and
+    /// continue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TraceError`] describing the violated well-formedness
+    /// rule, with `at` set to the stream position.
+    pub fn admit(&mut self, e: &Event) -> Result<EventId, TraceError> {
+        let at = self.admitted;
+        // Validation phase: reads only, so a rejected event really does
+        // leave the validator unchanged (the tables may be shorter than a
+        // rejected event's thread index — treat missing entries as false).
+        let flag = |v: &[bool], t: ThreadId| v.get(t.index()).copied().unwrap_or(false);
+        if flag(&self.joined, e.tid) {
+            return Err(TraceError::InvalidJoin { at, target: e.tid });
+        }
+        match e.op {
+            Op::Acquire(m) => {
+                if let Some(&holder) = self.lock_holder.get(&m) {
+                    return Err(TraceError::AcquireHeldLock {
+                        at,
+                        tid: e.tid,
+                        lock: m,
+                        holder,
+                    });
+                }
+            }
+            Op::Release(m) => {
+                if self.lock_holder.get(&m) != Some(&e.tid) {
+                    return Err(TraceError::ReleaseUnheldLock {
+                        at,
+                        tid: e.tid,
+                        lock: m,
+                    });
+                }
+            }
+            Op::Fork(child) => {
+                if child == e.tid {
+                    return Err(TraceError::SelfForkJoin { at, tid: e.tid });
+                }
+                if flag(&self.forked, child) || flag(&self.started, child) {
+                    return Err(TraceError::InvalidFork { at, target: child });
+                }
+            }
+            Op::Join(child) => {
+                if child == e.tid {
+                    return Err(TraceError::SelfForkJoin { at, tid: e.tid });
+                }
+                if flag(&self.joined, child) {
+                    return Err(TraceError::InvalidJoin { at, target: child });
+                }
+            }
+            Op::Read(_) | Op::Write(_) | Op::VolatileRead(_) | Op::VolatileWrite(_) => {}
+        }
+        // Admission phase: the event is valid, record its effects.
+        self.mark_thread(e.tid);
+        match e.op {
+            Op::Acquire(m) => {
+                self.lock_holder.insert(m, e.tid);
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::Release(m) => {
+                self.lock_holder.remove(&m);
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::Read(x) | Op::Write(x) => {
+                self.num_vars = self.num_vars.max(x.index() + 1);
+            }
+            Op::VolatileRead(v) | Op::VolatileWrite(v) => {
+                self.num_volatiles = self.num_volatiles.max(v.index() + 1);
+            }
+            Op::Fork(child) => {
+                self.mark_thread(child);
+                self.forked[child.index()] = true;
+            }
+            Op::Join(child) => {
+                self.mark_thread(child);
+                self.joined[child.index()] = true;
+            }
+        }
+        self.started[e.tid.index()] = true;
+        self.admitted += 1;
+        Ok(EventId::new(at as u32))
+    }
+
+    /// Number of events admitted so far.
+    pub fn len(&self) -> usize {
+        self.admitted
+    }
+
+    /// Returns `true` if no events have been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.admitted == 0
+    }
+
+    /// Number of distinct threads seen (max index + 1).
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Number of distinct shared variables seen (max index + 1).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of distinct locks seen (max index + 1).
+    pub fn num_locks(&self) -> usize {
+        self.num_locks
+    }
+
+    /// Number of distinct volatile variables seen (max index + 1).
+    pub fn num_volatiles(&self) -> usize {
+        self.num_volatiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarId;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn rejection_leaves_state_unchanged() {
+        let mut v = StreamValidator::new();
+        v.admit(&Event::new(t(0), Op::Acquire(LockId::new(0))))
+            .unwrap();
+        let before = v.len();
+        assert!(v
+            .admit(&Event::new(t(1), Op::Acquire(LockId::new(0))))
+            .is_err());
+        assert_eq!(v.len(), before);
+        // A rejected event from a brand-new thread must not widen the
+        // id-space bounds either.
+        assert_eq!(v.num_threads(), 1);
+        assert!(v
+            .admit(&Event::new(t(99), Op::Release(LockId::new(7))))
+            .is_err());
+        assert_eq!(v.num_threads(), 1);
+        assert_eq!(v.num_locks(), 1);
+        // The same lock can still be released by the real holder.
+        v.admit(&Event::new(t(0), Op::Release(LockId::new(0))))
+            .unwrap();
+        // And then acquired by the other thread.
+        v.admit(&Event::new(t(1), Op::Acquire(LockId::new(0))))
+            .unwrap();
+    }
+
+    #[test]
+    fn ids_are_sequential_over_admitted_events() {
+        let mut v = StreamValidator::new();
+        let a = v.admit(&Event::new(t(0), Op::Read(VarId::new(0)))).unwrap();
+        let b = v
+            .admit(&Event::new(t(1), Op::Write(VarId::new(3))))
+            .unwrap();
+        assert_eq!(a, EventId::new(0));
+        assert_eq!(b, EventId::new(1));
+        assert_eq!(v.num_threads(), 2);
+        assert_eq!(v.num_vars(), 4);
+    }
+}

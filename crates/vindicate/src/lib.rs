@@ -50,5 +50,5 @@ pub use oracle::{DeadlockResult, OracleResult, PredictableRaceOracle, SearchOutc
 pub use vindicate::{
     find_prior_access, vindicate_first_race, vindicate_pair, VindicationResult, Witness,
 };
-pub use window::{WindowedConfig, WindowedRaceAnalysis, WindowedReport};
+pub use window::{WindowedConfig, WindowedDetector, WindowedRaceAnalysis, WindowedReport};
 pub use witness::{validate_witness, WitnessError};

@@ -343,8 +343,7 @@ impl<'a> PredictableRaceOracle<'a> {
         let e = self.trace.event(id);
         let op_ok = match e.op {
             Op::Read(x) => {
-                self.last_writers.get(&id).copied().unwrap_or(None)
-                    == state.last_writer[x.index()]
+                self.last_writers.get(&id).copied().unwrap_or(None) == state.last_writer[x.index()]
             }
             Op::Write(_) => true,
             Op::Acquire(m) => self.lock_free(state, m),
@@ -532,7 +531,10 @@ mod tests {
         }
         let oracle_trace = b.finish();
         let oracle = PredictableRaceOracle::new(&oracle_trace);
-        assert_eq!(oracle.any_predictable_deadlock(), DeadlockResult::NoDeadlock);
+        assert_eq!(
+            oracle.any_predictable_deadlock(),
+            DeadlockResult::NoDeadlock
+        );
     }
 
     #[test]

@@ -195,10 +195,10 @@ impl<'a> Vindicator<'a> {
     fn build_support(&mut self) -> Option<()> {
         let mut work: VecDeque<EventId> = VecDeque::new();
         let push_prefix = |work: &mut VecDeque<EventId>,
-                               projections: &Vec<Vec<EventId>>,
-                               trace: &Trace,
-                               upto: EventId,
-                               inclusive: bool| {
+                           projections: &Vec<Vec<EventId>>,
+                           trace: &Trace,
+                           upto: EventId,
+                           inclusive: bool| {
             let tid = trace.event(upto).tid;
             for &pid in &projections[tid.index()] {
                 if pid < upto || (inclusive && pid == upto) {
@@ -442,9 +442,7 @@ impl<'a> Vindicator<'a> {
         // Collect critical sections (acquire, Option<release>) with events in
         // the support or racing pair.
         let mut sections: HashMap<LockId, Vec<(EventId, Option<EventId>)>> = HashMap::new();
-        let in_set = |id: EventId, s: &Self| {
-            s.support.contains(&id) || id == s.e1 || id == s.e2
-        };
+        let in_set = |id: EventId, s: &Self| s.support.contains(&id) || id == s.e1 || id == s.e2;
         for t in 0..self.projections.len() {
             let mut open: Vec<(LockId, EventId)> = Vec::new();
             for &id in &self.projections[t] {
@@ -722,8 +720,12 @@ mod open_cs_tests {
                 validate_witness(&tr, &w.order, (e1, e2)).expect("valid");
                 // The witness contains both acquires but neither release.
                 let ops: Vec<_> = w.order.iter().map(|&id| tr.event(id).op).collect();
-                assert!(ops.iter().any(|o| matches!(o, Op::Acquire(m) if m.index() == 0)));
-                assert!(ops.iter().any(|o| matches!(o, Op::Acquire(m) if m.index() == 1)));
+                assert!(ops
+                    .iter()
+                    .any(|o| matches!(o, Op::Acquire(m) if m.index() == 0)));
+                assert!(ops
+                    .iter()
+                    .any(|o| matches!(o, Op::Acquire(m) if m.index() == 1)));
                 assert!(!ops.iter().any(|o| matches!(o, Op::Release(_))));
             }
             VindicationResult::Unknown => panic!("open-CS race must vindicate"),

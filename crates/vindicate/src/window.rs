@@ -17,6 +17,14 @@
 //! for SMT solving cost; it grows combinatorially with window size, which
 //! is why these approaches must bound their windows in the first place.
 //!
+//! Since the `Engine`/`Session` redesign, the windowed analysis is itself a
+//! streaming [`Detector`]: [`WindowedDetector`] buffers the stream and runs
+//! each window the moment the stream has filled it, so windowed races
+//! surface incrementally (and can ride in any fan-out
+//! [`Session`](smarttrack_detect::Session) lane next to the partial-order
+//! analyses). [`WindowedRaceAnalysis`] is the whole-trace convenience
+//! driver on top.
+//!
 //! # Examples
 //!
 //! A race whose accesses are 200 events apart is invisible at window 64 but
@@ -36,7 +44,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use smarttrack_trace::{EventId, Trace, VarId};
+use smarttrack_detect::{AccessKind, Detector, OptLevel, RaceReport, Relation, Report, Session};
+use smarttrack_trace::{Event, EventId, Trace, TraceBuilder, VarId};
 
 use crate::oracle::{OracleResult, PredictableRaceOracle};
 
@@ -119,7 +128,239 @@ impl WindowedReport {
     }
 }
 
-/// Sliding-window predictable-race detection over one trace.
+/// Streaming bounded-window analysis as a [`Detector`] lane.
+///
+/// Events are buffered as they arrive; every time the stream has filled the
+/// next window, that window is analyzed immediately (its races appearing in
+/// [`report`](Detector::report) and through any session
+/// [`RaceSink`](smarttrack_detect::RaceSink)), and
+/// [`finish_stream`](Detector::finish_stream) flushes the trailing partial
+/// windows. Fed the same stream, it analyzes exactly the window sequence
+/// the whole-trace [`WindowedRaceAnalysis`] does.
+///
+/// Each candidate pair (two conflicting accesses co-visible in a window) is
+/// queried at most once with a conclusive verdict: a pair that came back
+/// `Unknown` (budget) is retried if a later window also contains it, while
+/// a refuted pair is settled. Refutation in the *first* co-visible window
+/// is final because later windows only shrink the search space: they freeze
+/// a longer prefix, and their larger horizon adds no reachable races for
+/// this pair — every event needed (transitively) to enable the pair has a
+/// smaller trace index than the pair itself (a read's observed last writer
+/// precedes it, a lock's release precedes its re-acquisition, a child
+/// thread finishes before its join), so events past the first window's
+/// horizon can always be dropped from a hypothetical witness.
+pub struct WindowedDetector {
+    config: WindowedConfig,
+    buffer: TraceBuilder,
+    state: WindowState,
+    /// Start of the next window to analyze.
+    lo: usize,
+    /// End (`hi`) of the last analyzed window; `usize::MAX` when none ran.
+    covered_to: usize,
+}
+
+/// The window-running half of [`WindowedDetector`], split from the event
+/// buffer so windows can run against the buffer's zero-copy
+/// [`TraceBuilder::with_snapshot`] view while mutating counters and dedup
+/// sets.
+#[derive(Default)]
+struct WindowState {
+    report: Report,
+    windowed: WindowedReport,
+    refuted: HashSet<(EventId, EventId)>,
+    raced: HashSet<(EventId, EventId)>,
+}
+
+impl WindowState {
+    /// Analyzes the window `lo..hi` of `trace` with `oracle` (built over
+    /// the same trace).
+    fn run_window(
+        &mut self,
+        trace: &Trace,
+        oracle: &PredictableRaceOracle<'_>,
+        lo: usize,
+        hi: usize,
+    ) {
+        self.windowed.windows += 1;
+        if lo >= hi {
+            return;
+        }
+        for (a, b) in candidate_pairs(trace, lo, hi) {
+            if self.refuted.contains(&(a, b)) || self.raced.contains(&(a, b)) {
+                continue;
+            }
+            let outcome = oracle.pair_in_window(a, b, lo, hi);
+            self.windowed.queries += 1;
+            self.windowed.states_explored += outcome.states_explored;
+            match outcome.result {
+                OracleResult::Race(x, y) => {
+                    self.raced.insert((a, b));
+                    self.windowed.races.push((x, y));
+                    self.report.push(pair_race_report(trace, x, y));
+                }
+                OracleResult::NoRace => {
+                    self.refuted.insert((a, b));
+                }
+                OracleResult::Unknown => {
+                    self.windowed.unknown_queries += 1;
+                }
+            }
+        }
+    }
+}
+
+impl WindowedDetector {
+    /// A streaming windowed analysis with the given geometry and budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window` or `config.stride` is zero.
+    pub fn new(config: WindowedConfig) -> Self {
+        assert!(config.window > 0, "window must cover at least one event");
+        assert!(config.stride > 0, "stride must advance the window");
+        WindowedDetector {
+            config,
+            buffer: TraceBuilder::new(),
+            state: WindowState::default(),
+            lo: 0,
+            covered_to: usize::MAX,
+        }
+    }
+
+    /// The windowed-analysis view of the results so far: window/query/state
+    /// counters in addition to the races in [`report`](Detector::report).
+    pub fn windowed_report(&self) -> &WindowedReport {
+        &self.state.windowed
+    }
+
+    /// Consumes the detector, returning the windowed report.
+    pub fn into_report(self) -> WindowedReport {
+        self.state.windowed
+    }
+}
+
+impl Detector for WindowedDetector {
+    fn name(&self) -> &'static str {
+        "Windowed-Oracle"
+    }
+
+    /// Reported as WDC: oracle-proven predictable races are a subset of the
+    /// races the (complete within its window) WDC analysis reports.
+    fn relation(&self) -> Relation {
+        Relation::Wdc
+    }
+
+    fn opt_level(&self) -> OptLevel {
+        OptLevel::Unopt
+    }
+
+    fn process(&mut self, _id: EventId, event: &Event) {
+        self.buffer
+            .push_event(*event)
+            .expect("WindowedDetector requires a well-formed stream");
+        // At most one window can have filled per event (`stride > 0`), so
+        // the oracle rebuild below happens once per completed window, not
+        // once per event. The buffer is lent out zero-copy.
+        if self.buffer.len() >= self.lo + self.config.window {
+            let Self {
+                config,
+                buffer,
+                state,
+                lo,
+                covered_to,
+            } = self;
+            let hi = *lo + config.window;
+            buffer.with_snapshot(|trace| {
+                let oracle = PredictableRaceOracle::new(trace).with_budget(config.budget_per_query);
+                state.run_window(trace, &oracle, *lo, hi);
+            });
+            *covered_to = hi;
+            *lo += config.stride;
+        }
+    }
+
+    fn finish_stream(&mut self) {
+        let n = self.buffer.len();
+        if n == 0 || self.covered_to == n {
+            return;
+        }
+        // The buffer no longer grows: one oracle serves every remaining
+        // (partial-tail) window.
+        let Self {
+            config,
+            buffer,
+            state,
+            lo,
+            covered_to,
+        } = self;
+        buffer.with_snapshot(|trace| {
+            let oracle = PredictableRaceOracle::new(trace).with_budget(config.budget_per_query);
+            loop {
+                let hi = (*lo + config.window).min(n);
+                state.run_window(trace, &oracle, (*lo).min(hi), hi);
+                *covered_to = hi;
+                if hi == n {
+                    break;
+                }
+                *lo += config.stride;
+            }
+        });
+    }
+
+    fn report(&self) -> &Report {
+        &self.state.report
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.buffer.len() * std::mem::size_of::<Event>()
+            + (self.state.refuted.len() + self.state.raced.len())
+                * std::mem::size_of::<(EventId, EventId)>()
+            + self.state.windowed.races.capacity() * std::mem::size_of::<(EventId, EventId)>()
+            + self.state.report.footprint_bytes()
+    }
+}
+
+/// Conflicting cross-thread access pairs with both events in `lo..hi`,
+/// in (first, second) event order.
+fn candidate_pairs(trace: &Trace, lo: usize, hi: usize) -> Vec<(EventId, EventId)> {
+    let mut by_var: HashMap<VarId, Vec<EventId>> = HashMap::new();
+    let mut pairs = Vec::new();
+    for (id, e) in trace.iter().skip(lo).take(hi - lo) {
+        let Some(var) = e.op.access_var() else {
+            continue;
+        };
+        let prior = by_var.entry(var).or_default();
+        for &p in prior.iter() {
+            if trace.event(p).conflicts_with(e) {
+                pairs.push((p, id));
+            }
+        }
+        prior.push(id);
+    }
+    pairs
+}
+
+/// Shapes an oracle-proven racing pair as a [`RaceReport`] at the second
+/// access, with the first access' thread as the prior.
+fn pair_race_report(trace: &Trace, first: EventId, second: EventId) -> RaceReport {
+    let (e1, e2) = (trace.event(first), trace.event(second));
+    RaceReport {
+        event: second,
+        loc: e2.loc,
+        tid: e2.tid,
+        var: e2.op.access_var().expect("racing events are accesses"),
+        kind: if e2.op.is_write() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        prior_threads: vec![e1.tid],
+    }
+}
+
+/// Sliding-window predictable-race detection over one recorded trace: the
+/// whole-trace driver over [`WindowedDetector`], routed through the same
+/// [`Session`] ingestion path as every other analysis driver.
 ///
 /// See the [module documentation](self) for what this models and the
 /// example there for typical use.
@@ -135,86 +376,21 @@ impl<'a> WindowedRaceAnalysis<'a> {
     }
 
     /// Runs every window and returns what was found and what it cost.
-    ///
-    /// Each candidate pair (two conflicting accesses co-visible in a
-    /// window) is queried at most once with a conclusive verdict: a pair
-    /// that came back `Unknown` (budget) is retried if a later window also
-    /// contains it, while a refuted pair is settled. Refutation in the
-    /// *first* co-visible window is final because later windows only
-    /// shrink the search space: they freeze a longer prefix, and their
-    /// larger horizon adds no reachable races for this pair — every event
-    /// needed (transitively) to enable the pair has a smaller trace index
-    /// than the pair itself (a read's observed last writer precedes it, a
-    /// lock's release precedes its re-acquisition, a child thread finishes
-    /// before its join), so events past the first window's horizon can
-    /// always be dropped from a hypothetical witness.
     pub fn analyze(&self) -> WindowedReport {
-        let mut report = WindowedReport::default();
-        let n = self.trace.len();
-        if n == 0 {
-            return report;
-        }
-        let oracle =
-            PredictableRaceOracle::new(self.trace).with_budget(self.config.budget_per_query);
-        let mut refuted: HashSet<(EventId, EventId)> = HashSet::new();
-        let mut raced: HashSet<(EventId, EventId)> = HashSet::new();
-        let mut lo = 0usize;
-        loop {
-            let hi = (lo + self.config.window).min(n);
-            report.windows += 1;
-            for (a, b) in self.candidate_pairs(lo, hi) {
-                if refuted.contains(&(a, b)) || raced.contains(&(a, b)) {
-                    continue;
-                }
-                let outcome = oracle.pair_in_window(a, b, lo, hi);
-                report.queries += 1;
-                report.states_explored += outcome.states_explored;
-                match outcome.result {
-                    OracleResult::Race(x, y) => {
-                        raced.insert((a, b));
-                        report.races.push((x, y));
-                    }
-                    OracleResult::NoRace => {
-                        refuted.insert((a, b));
-                    }
-                    OracleResult::Unknown => {
-                        report.unknown_queries += 1;
-                    }
-                }
-            }
-            if hi == n {
-                break;
-            }
-            lo += self.config.stride;
-        }
-        report
-    }
-
-    /// Conflicting cross-thread access pairs with both events in `lo..hi`,
-    /// in (first, second) event order.
-    fn candidate_pairs(&self, lo: usize, hi: usize) -> Vec<(EventId, EventId)> {
-        let mut by_var: HashMap<VarId, Vec<EventId>> = HashMap::new();
-        let mut pairs = Vec::new();
-        for (id, e) in self.trace.iter().skip(lo).take(hi - lo) {
-            let Some(var) = e.op.access_var() else {
-                continue;
-            };
-            let prior = by_var.entry(var).or_default();
-            for &p in prior.iter() {
-                if self.trace.event(p).conflicts_with(e) {
-                    pairs.push((p, id));
-                }
-            }
-            prior.push(id);
-        }
-        pairs
+        let mut detector = WindowedDetector::new(self.config.clone());
+        let mut session = Session::from_detector(&mut detector);
+        session
+            .feed_trace(self.trace)
+            .expect("a validated Trace re-admits cleanly");
+        session.finish();
+        detector.into_report()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smarttrack_trace::{paper, Op, ThreadId, TraceBuilder};
+    use smarttrack_trace::{paper, LockId, Op, ThreadId, TraceBuilder};
 
     #[test]
     fn whole_trace_window_matches_unbounded_oracle_on_figure1() {
@@ -242,8 +418,7 @@ mod tests {
     #[test]
     fn empty_trace_yields_empty_report() {
         let trace = TraceBuilder::new().finish();
-        let report =
-            WindowedRaceAnalysis::new(&trace, WindowedConfig::default()).analyze();
+        let report = WindowedRaceAnalysis::new(&trace, WindowedConfig::default()).analyze();
         assert_eq!(report, WindowedReport::default());
     }
 
@@ -257,7 +432,7 @@ mod tests {
         let t0 = ThreadId::new(0);
         let t1 = ThreadId::new(1);
         let x = smarttrack_trace::VarId::new(0);
-        let m = smarttrack_trace::LockId::new(0);
+        let m = LockId::new(0);
         b.push(t0, Op::Write(x)).unwrap();
         b.push(t0, Op::Acquire(m)).unwrap();
         b.push(t0, Op::Release(m)).unwrap();
@@ -303,9 +478,7 @@ mod tests {
             budget_per_query: 100_000,
         };
         let report = WindowedRaceAnalysis::new(&trace, config).analyze();
-        assert!(report
-            .races()
-            .contains(&(EventId::new(3), EventId::new(5))));
+        assert!(report.races().contains(&(EventId::new(3), EventId::new(5))));
     }
 
     #[test]
@@ -333,5 +506,63 @@ mod tests {
     #[should_panic(expected = "window must cover at least one event")]
     fn zero_window_panics() {
         let _ = WindowedConfig::with_window(0);
+    }
+
+    #[test]
+    fn streaming_detector_finds_races_before_end_of_stream() {
+        // Two adjacent conflicting writes land inside the first window;
+        // the race must be visible as soon as that window has filled, long
+        // before finish_stream.
+        let mut b = TraceBuilder::new();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let x = smarttrack_trace::VarId::new(0);
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t1, Op::Write(x)).unwrap();
+        for _ in 0..6 {
+            b.push(t0, Op::Read(smarttrack_trace::VarId::new(1)))
+                .unwrap();
+        }
+        let trace = b.finish();
+
+        let mut det = WindowedDetector::new(WindowedConfig {
+            window: 2,
+            stride: 2,
+            budget_per_query: 100_000,
+        });
+        for (id, event) in trace.iter() {
+            det.process(id, event);
+            if id.index() == 1 {
+                assert_eq!(
+                    det.report().dynamic_count(),
+                    1,
+                    "first window flushed as soon as it filled"
+                );
+            }
+        }
+        det.finish_stream();
+        assert_eq!(det.windowed_report().races().len(), 1);
+    }
+
+    #[test]
+    fn streaming_matches_whole_trace_analysis() {
+        // Same windows, same counters, whether windows run as the stream
+        // fills or all at once at the end.
+        for (window, stride) in [(4, 2), (3, 3), (5, 1), (100, 50)] {
+            let trace = paper::figure1();
+            let config = WindowedConfig {
+                window,
+                stride,
+                budget_per_query: 200_000,
+            };
+            let whole = WindowedRaceAnalysis::new(&trace, config.clone()).analyze();
+
+            let mut det = WindowedDetector::new(config);
+            for (id, event) in trace.iter() {
+                det.process(id, event);
+            }
+            det.finish_stream();
+            assert_eq!(det.into_report(), whole, "window {window} stride {stride}");
+        }
     }
 }

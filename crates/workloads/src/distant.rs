@@ -94,7 +94,11 @@ mod tests {
             );
             assert_eq!(a.index(), 0);
             assert_eq!(b.index(), trace.len() - 1);
-            assert_eq!(trace.len(), 8 + distance, "filler emits exactly `distance` events");
+            assert_eq!(
+                trace.len(),
+                8 + distance,
+                "filler emits exactly `distance` events"
+            );
         }
     }
 

@@ -13,7 +13,7 @@
 //! * [`PatternKind::WdcFalse`] — Figure 3: a false race only WDC reports.
 
 use smarttrack_clock::ThreadId;
-use smarttrack_trace::{LockId, Loc, Op, TraceBuilder, VarId};
+use smarttrack_trace::{Loc, LockId, Op, TraceBuilder, VarId};
 
 /// The kinds of injectable race patterns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

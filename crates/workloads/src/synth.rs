@@ -12,7 +12,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smarttrack_clock::ThreadId;
-use smarttrack_trace::{LockId, Loc, Op, Trace, TraceBuilder, VarId};
+use smarttrack_trace::{Loc, LockId, Op, Trace, TraceBuilder, VarId};
 
 use crate::patterns::{emit, PatternAlloc, PatternKind};
 use crate::profile::Workload;
@@ -144,7 +144,8 @@ impl<'a> Synthesizer<'a> {
             } else if self.rng.gen_bool(0.1) {
                 // Read-shared data access (drives the shared-read FTO cases).
                 let v = read_shared_var(self.rng.gen_range(0..READ_SHARED));
-                b.push_at(t, Op::Read(v), body_loc(t, 61)).expect("well-formed");
+                b.push_at(t, Op::Read(v), body_loc(t, 61))
+                    .expect("well-formed");
             } else {
                 let v = private_var(t, self.rng.gen_range(0..PRIVATE_VARS));
                 self.burst(&mut b, t, v, burst_target, &body_loc);

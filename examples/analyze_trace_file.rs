@@ -9,9 +9,9 @@
 //! Without an argument, the example records a fresh execution of the
 //! Figure 1 program to a temp file first.
 
+use smarttrack::trace::fmt;
 use smarttrack::two_phase::detect_then_check;
 use smarttrack::Relation;
-use smarttrack::trace::fmt;
 use smarttrack_runtime::{execute, Program, SchedulePolicy, ThreadSpec};
 use smarttrack_trace::{LockId, VarId};
 

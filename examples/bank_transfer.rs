@@ -65,13 +65,24 @@ fn main() {
         wcp_found += usize::from(!wcp.report.is_empty());
         println!(
             "seed {seed:<2}     {:<9} {}",
-            if hb.report.is_empty() { "silent" } else { "race" },
-            if wcp.report.is_empty() { "silent" } else { "race" },
+            if hb.report.is_empty() {
+                "silent"
+            } else {
+                "race"
+            },
+            if wcp.report.is_empty() {
+                "silent"
+            } else {
+                "race"
+            },
         );
     }
     println!(
         "\nHB saw the bug in {hb_found}/{schedules} schedules; \
          predictive analysis in {wcp_found}/{schedules}."
     );
-    assert_eq!(wcp_found, schedules as usize, "prediction is schedule-independent here");
+    assert_eq!(
+        wcp_found, schedules as usize,
+        "prediction is schedule-independent here"
+    );
 }

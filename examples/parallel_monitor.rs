@@ -111,8 +111,12 @@ fn main() {
     let recorded = wdc_run.recorded.expect("recording was requested");
     let mut offline = SmartTrackWdc::new();
     run_detector(&mut offline, &recorded);
-    let offline_vars: BTreeSet<u32> =
-        offline.report().races().iter().map(|r| r.var.raw()).collect();
+    let offline_vars: BTreeSet<u32> = offline
+        .report()
+        .races()
+        .iter()
+        .map(|r| r.var.raw())
+        .collect();
     assert_eq!(offline_vars, expected);
     println!(
         "offline replay of the observed linearization agrees: {} static races",

@@ -1,4 +1,5 @@
-//! Quickstart: find a predictable race that plain happens-before analysis
+//! Quickstart: stream an execution through the `Engine`/`Session` API and
+//! watch SmartTrack predict a race that plain happens-before analysis
 //! misses.
 //!
 //! ```text
@@ -10,9 +11,14 @@
 //! read and then writes `x`. In the observed schedule the lock orders the two
 //! `x` accesses, so HB analysis is silent — but nothing *forces* that order,
 //! and SmartTrack predicts the race from the single observed run.
+//!
+//! The engine fans four analyses out over a *single pass* of the event
+//! stream, and a race sink prints each race the moment its lane detects it —
+//! the paper's online deployment shape, where the application is still
+//! running when the race surfaces.
 
 use smarttrack::trace::fmt::render_columns;
-use smarttrack::{analyze, AnalysisConfig, OptLevel, Relation};
+use smarttrack::{AnalysisConfig, Engine, OptLevel, RaceNotice, Relation};
 use smarttrack_runtime::{Program, SchedulePolicy, Scheduler, ThreadSpec};
 use smarttrack_trace::{LockId, VarId};
 use smarttrack_vindicate::{vindicate_first_race, VindicationResult};
@@ -42,13 +48,35 @@ fn main() {
 
     println!("Observed execution:\n{}", render_columns(&trace));
 
-    for (relation, level) in [
-        (Relation::Hb, OptLevel::Fto),
-        (Relation::Wcp, OptLevel::SmartTrack),
-        (Relation::Dc, OptLevel::SmartTrack),
-        (Relation::Wdc, OptLevel::SmartTrack),
-    ] {
-        let outcome = analyze(&trace, AnalysisConfig::new(relation, level));
+    // One engine, four analyses, one pass over the stream.
+    let engine = Engine::builder()
+        .relation(Relation::Dc)
+        .opt_level(OptLevel::SmartTrack)
+        .fanout([
+            AnalysisConfig::new(Relation::Hb, OptLevel::Fto),
+            AnalysisConfig::new(Relation::Wcp, OptLevel::SmartTrack),
+            AnalysisConfig::new(Relation::Wdc, OptLevel::SmartTrack),
+        ])
+        .build()
+        .expect("all selected cells exist in Table 1");
+
+    let mut session = engine.open();
+    // Races surface the moment a lane detects them, not at end-of-trace.
+    session.set_sink(|notice: &RaceNotice<'_>| {
+        println!(
+            "  [online] {:<14} flagged {} mid-stream",
+            notice.analysis, notice.race
+        );
+    });
+
+    println!("Streaming {} events through the session…", trace.len());
+    for &event in trace.events() {
+        session.feed(event).expect("well-formed stream");
+    }
+
+    println!("\nFinal verdicts:");
+    let outcomes = session.finish();
+    for outcome in &outcomes {
         println!(
             "{:<16} → {} ({} race(s))",
             outcome.name,
@@ -61,12 +89,9 @@ fn main() {
         );
     }
 
-    // The predictive race is real: construct and print a witness.
-    let outcome = analyze(
-        &trace,
-        AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack),
-    );
-    match vindicate_first_race(&trace, &outcome.report) {
+    // The predictive race is real: construct and print a witness from the
+    // primary (SmartTrack-DC) lane's report.
+    match vindicate_first_race(&trace, &outcomes[0].report) {
         Some(VindicationResult::Race(witness)) => {
             println!(
                 "\nVerified witness (a feasible reordering exposing the race):\n{}",

@@ -39,8 +39,16 @@ fn main() {
         println!(
             "{:>10} {:>14} {:>16} {:>18}",
             distance,
-            if windowed.races().is_empty() { "MISSED" } else { "found" },
-            if wdc.report().dynamic_count() > 0 { "found" } else { "MISSED" },
+            if windowed.races().is_empty() {
+                "MISSED"
+            } else {
+                "found"
+            },
+            if wdc.report().dynamic_count() > 0 {
+                "found"
+            } else {
+                "MISSED"
+            },
             windowed.states_explored(),
         );
     }
@@ -48,7 +56,11 @@ fn main() {
     println!("\n== Part 2: why windows stay small — cost vs. window size ==");
     println!("   (avrora-profile workload; disjoint windows; exhaustive per-pair checks)\n");
     let trace = profiles::avrora().trace(0.000_002, 7);
-    println!("   workload: {} events, {} threads", trace.len(), trace.num_threads());
+    println!(
+        "   workload: {} events, {} threads",
+        trace.len(),
+        trace.num_threads()
+    );
     println!(
         "\n{:>8} {:>10} {:>14} {:>12} {:>10}",
         "window", "queries", "states", "races", "time"

@@ -10,10 +10,9 @@ struct TempFile(PathBuf);
 
 impl TempFile {
     fn new(tag: &str) -> Self {
-        TempFile(std::env::temp_dir().join(format!(
-            "smarttrack-e2e-{}-{tag}.trace",
-            std::process::id()
-        )))
+        TempFile(
+            std::env::temp_dir().join(format!("smarttrack-e2e-{}-{tag}.trace", std::process::id())),
+        )
     }
 
     fn as_str(&self) -> String {
@@ -40,7 +39,9 @@ fn generate_stats_analyze_vindicate_pipeline() {
     let path = file.as_str();
 
     // generate: xalan is the paper's most lock-bound program.
-    let text = cli(&["generate", "xalan", "--scale", "4e-6", "--seed", "11", "--out", &path]);
+    let text = cli(&[
+        "generate", "xalan", "--scale", "4e-6", "--seed", "11", "--out", &path,
+    ]);
     assert!(text.contains("wrote xalan"));
 
     // stats: the Table 2 shape survives the file round trip.
@@ -49,7 +50,14 @@ fn generate_stats_analyze_vindicate_pipeline() {
 
     // analyze: predictive analyses find the injected predictive-only races
     // that HB misses.
-    let text = cli(&["analyze", &path, "--analysis", "fto-hb", "--analysis", "st-wdc"]);
+    let text = cli(&[
+        "analyze",
+        &path,
+        "--analysis",
+        "fto-hb",
+        "--analysis",
+        "st-wdc",
+    ]);
     let count = |name: &str| -> usize {
         let line = text.lines().find(|l| l.contains(name)).unwrap();
         let words: Vec<&str> = line.split_whitespace().collect();
@@ -106,10 +114,9 @@ fn interchange_format_round_trip_pipeline() {
     cli(&["figure", "figure2", "--out", &native_path]);
 
     // Export to STD (extension-inferred target format).
-    let std_file = TempFile(std::env::temp_dir().join(format!(
-        "smarttrack-e2e-{}-fig2.std",
-        std::process::id()
-    )));
+    let std_file = TempFile(
+        std::env::temp_dir().join(format!("smarttrack-e2e-{}-fig2.std", std::process::id())),
+    );
     let std_path = std_file.as_str();
     let text = cli(&["convert", &native_path, "--out", &std_path]);
     assert!(text.contains("(std)"), "{text}");

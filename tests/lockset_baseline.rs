@@ -68,7 +68,15 @@ fn eraser_false_positives_on_every_race_free_figure4_execution() {
         ("figure4d", paper::figure4d()),
     ] {
         let oracle = PredictableRaceOracle::new(&trace);
-        assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace, "{name}");
-        assert_eq!(eraser_count(&trace), 1, "{name}: lockset discipline violated");
+        assert_eq!(
+            oracle.any_predictable_race(),
+            OracleResult::NoRace,
+            "{name}"
+        );
+        assert_eq!(
+            eraser_count(&trace),
+            1,
+            "{name}: lockset discipline violated"
+        );
     }
 }

@@ -23,9 +23,8 @@ fn predictive_detection_is_schedule_independent() {
     let program = figure1_program();
     for seed in 0..20 {
         let mut det = SmartTrackDc::new();
-        let trace =
-            monitor::run_with_detector(&program, SchedulePolicy::Random(seed), &mut det)
-                .expect("no deadlock");
+        let trace = monitor::run_with_detector(&program, SchedulePolicy::Random(seed), &mut det)
+            .expect("no deadlock");
         assert_eq!(
             det.report().dynamic_count(),
             1,
@@ -83,7 +82,9 @@ fn wait_based_handoff_is_not_a_race() {
         ThreadSpec::new().acquire(m).write(data).release(m),
     ]);
     for policy in [SchedulePolicy::RoundRobin(1), SchedulePolicy::Random(3)] {
-        let trace = Scheduler::new(&program, policy).run(|_, _| {}).expect("no deadlock");
+        let trace = Scheduler::new(&program, policy)
+            .run(|_, _| {})
+            .expect("no deadlock");
         for cfg in smarttrack::AnalysisConfig::table1() {
             let outcome = analyze(&trace, cfg);
             assert!(

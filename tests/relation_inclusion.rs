@@ -17,23 +17,25 @@ fn arb_spec() -> impl Strategy<Value = (RandomTraceSpec, u64)> {
         any::<u64>(),  // seed
         any::<bool>(), // fork_join
     )
-        .prop_map(|(threads, events, vars, locks, volatiles, seed, fork_join)| {
-            (
-                RandomTraceSpec {
-                    threads,
-                    events,
-                    vars,
-                    locks,
-                    volatiles,
-                    volatile_prob: if volatiles > 0 { 0.05 } else { 0.0 },
-                    acquire_prob: 0.15,
-                    release_prob: 0.2,
-                    fork_join,
-                    ..RandomTraceSpec::default()
-                },
-                seed,
-            )
-        })
+        .prop_map(
+            |(threads, events, vars, locks, volatiles, seed, fork_join)| {
+                (
+                    RandomTraceSpec {
+                        threads,
+                        events,
+                        vars,
+                        locks,
+                        volatiles,
+                        volatile_prob: if volatiles > 0 { 0.05 } else { 0.0 },
+                        acquire_prob: 0.15,
+                        release_prob: 0.2,
+                        fork_join,
+                        ..RandomTraceSpec::default()
+                    },
+                    seed,
+                )
+            },
+        )
 }
 
 fn first_race(trace: &Trace, relation: Relation, level: OptLevel) -> Option<EventId> {

@@ -35,7 +35,10 @@ fn tiny_spec(max_nesting: usize) -> impl Strategy<Value = (RandomTraceSpec, u64)
     })
 }
 
-fn race_pair(trace: &Trace, relation: Relation) -> Option<(smarttrack_trace::EventId, smarttrack_trace::EventId)> {
+fn race_pair(
+    trace: &Trace,
+    relation: Relation,
+) -> Option<(smarttrack_trace::EventId, smarttrack_trace::EventId)> {
     let report = analyze(trace, AnalysisConfig::new(relation, OptLevel::Unopt)).report;
     let race = report.races().first()?.clone();
     let prior = find_prior_access(trace, race.event, race.var, *race.prior_threads.first()?)?;

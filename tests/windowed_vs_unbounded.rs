@@ -3,7 +3,9 @@
 //! the window, while the partial-order analyses this paper optimizes find
 //! them in one linear pass at any distance.
 
-use smarttrack_detect::{run_detector, Detector, FtoHb, SmartTrackDc, SmartTrackWcp, SmartTrackWdc};
+use smarttrack_detect::{
+    run_detector, Detector, FtoHb, SmartTrackDc, SmartTrackWcp, SmartTrackWdc,
+};
 use smarttrack_vindicate::{WindowedConfig, WindowedRaceAnalysis};
 use smarttrack_workloads::{distant_race_trace, profiles};
 
@@ -78,7 +80,10 @@ fn windowed_query_cost_grows_with_window_size_on_a_racy_workload() {
             budget_per_query: 20_000,
         };
         let report = WindowedRaceAnalysis::new(&trace, config).analyze();
-        assert!(report.queries() > 0, "workload must produce candidate pairs");
+        assert!(
+            report.queries() > 0,
+            "workload must produce candidate pairs"
+        );
         report.states_explored()
     };
     let small = cost(64);

@@ -29,9 +29,12 @@ fn race_counts_are_stable_across_seeds() {
     let (_, _, dc, _) = w.races.expected_static();
     for seed in [1, 99, 12345] {
         let trace = w.trace(2e-5, seed);
-        let got = analyze(&trace, AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack))
-            .report
-            .static_count() as u32;
+        let got = analyze(
+            &trace,
+            AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack),
+        )
+        .report
+        .static_count() as u32;
         assert_eq!(got, dc, "sunflow DC seed {seed}");
     }
 }
@@ -50,7 +53,10 @@ fn lock_intensity_ranking_matches_table2() {
     let pmd = pct(&profiles::pmd());
     assert!(xalan > h2, "xalan {xalan:.1} > h2 {h2:.1}");
     assert!(h2 > luindex, "h2 {h2:.1} > luindex {luindex:.1}");
-    assert!(luindex > avrora, "luindex {luindex:.1} > avrora {avrora:.1}");
+    assert!(
+        luindex > avrora,
+        "luindex {luindex:.1} > avrora {avrora:.1}"
+    );
     assert!(avrora > pmd, "avrora {avrora:.1} > pmd {pmd:.1}");
 }
 
@@ -75,9 +81,8 @@ fn nesting_depth_distribution_follows_profiles() {
 #[test]
 fn same_epoch_ratio_ranking_matches_table2() {
     // sunflow (2771:1) ≫ h2 (12:1) > xalan (2.6:1).
-    let frac = |w: &smarttrack_workloads::Workload| {
-        TraceStats::compute(&w.trace(2e-5, 9)).nsea_fraction()
-    };
+    let frac =
+        |w: &smarttrack_workloads::Workload| TraceStats::compute(&w.trace(2e-5, 9)).nsea_fraction();
     let sunflow = frac(&profiles::sunflow());
     let h2 = frac(&profiles::h2());
     let xalan = frac(&profiles::xalan());
@@ -96,5 +101,9 @@ fn scaling_changes_length_not_sites() {
             .report
             .static_count()
     };
-    assert_eq!(races(&small), races(&large), "static sites are scale-invariant");
+    assert_eq!(
+        races(&small),
+        races(&large),
+        "static sites are scale-invariant"
+    );
 }

@@ -1,0 +1,311 @@
+//! Offline stand-in for the `criterion` benchmark harness (see
+//! `vendor/README.md`).
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Throughput::Elements`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! over a deliberately simple measurement loop: per sample, the bench
+//! closure is timed over enough iterations to exceed a minimum measurement
+//! window, and the median / min / max of the per-iteration times across
+//! samples is reported. No warm-up analysis, outlier classification, or
+//! HTML reports.
+//!
+//! Usable exactly like upstream with `harness = false` bench targets:
+//!
+//! ```text
+//! cargo bench -p smarttrack-bench --bench analyses
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured throughput units attached to a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (events, for this workspace).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each sample taken.
+    samples: Vec<f64>,
+    sample_count: usize,
+    min_window: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill the measurement window?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.min_window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used to report throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            min_window: self.criterion.min_window,
+        };
+        f(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Benches a closure receiving `input` under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            min_window: self.criterion.min_window,
+        };
+        f(&mut b, input);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[f64]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let lo = sorted.first().copied().unwrap_or(0.0);
+        let hi = sorted.last().copied().unwrap_or(0.0);
+        let mut line = format!(
+            "{}/{:<28} time: [{} {} {}]",
+            self.name,
+            id.to_string(),
+            fmt_nanos(lo),
+            fmt_nanos(median),
+            fmt_nanos(hi)
+        );
+        if let Some(tp) = self.throughput {
+            let (units, label) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!(
+                    "  thrpt: {:.3} M{label}",
+                    units / median * 1e9 / 1e6
+                ));
+            }
+        }
+        self.criterion.emit(&line);
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    min_window: Duration,
+    lines: Vec<String>,
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            min_window: Duration::from_millis(50),
+            lines: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        self.emit(&format!("== group {name}"));
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function(BenchmarkId::from_parameter(""), f);
+        self
+    }
+
+    /// All result lines emitted so far (used by the shim's own tests).
+    pub fn reported(&self) -> &[String] {
+        &self.lines
+    }
+
+    fn emit(&mut self, line: &str) {
+        if !self.quiet {
+            println!("{line}");
+        }
+        self.lines.push(line.to_string());
+    }
+}
+
+/// Declares a benchmark group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_report_median_and_throughput() {
+        let mut c = Criterion {
+            min_window: Duration::from_micros(200),
+            lines: Vec::new(),
+            quiet: true,
+        };
+        {
+            let mut group = c.benchmark_group("demo");
+            group.throughput(Throughput::Elements(100));
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::from_parameter("sum"), &1000u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.finish();
+        }
+        let lines = c.reported();
+        assert!(lines[0].contains("group demo"));
+        assert!(lines[1].contains("demo/sum"), "{}", lines[1]);
+        assert!(lines[1].contains("thrpt"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_upstream() {
+        assert_eq!(
+            BenchmarkId::new("analyze", "ST-DC").to_string(),
+            "analyze/ST-DC"
+        );
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

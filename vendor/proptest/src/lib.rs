@@ -1,0 +1,331 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range / `any` / tuple / vector
+//! strategies, [`ProptestConfig::with_cases`], and the [`proptest!`] macro
+//! with `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via `Debug`) but
+//!   is not minimized;
+//! * **fixed derivation of the RNG seed** from the test function's name, so
+//!   runs are deterministic and stable across processes (upstream defaults
+//!   to fresh entropy plus a persistence file).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+use std::ops::Range;
+
+// Re-exported so the `proptest!` macro can name the RNG via `$crate::rand`
+// regardless of the calling crate's own dependencies.
+#[doc(hidden)]
+pub use rand;
+
+/// Runner configuration (subset: case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (upstream defaults to 256; kept smaller because these
+    /// suites drive whole race-detector runs per case).
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert*` inside a test case.
+#[derive(Debug)]
+pub struct TestCaseFailed(pub String);
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Draws arbitrary values of `T` (full-range integers, fair booleans).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut SmallRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn new_value(&self, rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+
+    fn new_value(&self, rng: &mut SmallRng) -> u32 {
+        rng.gen()
+    }
+}
+
+/// A fixed-value strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Stable 64-bit seed from a test path (FNV-1a), so each property test has
+/// its own deterministic case stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Declares property tests: each `fn` runs `config.cases` times with fresh
+/// random bindings drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg($cfg) $($rest)*);
+    };
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($bind:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::rand::rngs::SmallRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    $(let $bind = ($strat).new_value(&mut rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseFailed> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err($crate::TestCaseFailed(msg)) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, msg,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg(<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseFailed(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} ({:?} != {:?})", format!($($fmt)*), a, b);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} ({:?} == {:?})", format!($($fmt)*), a, b);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u32..9, (a, b) in (0usize..4, any::<bool>())) {
+            prop_assert!((3..9).contains(&v));
+            prop_assert!(a < 4, "a={} out of range", a);
+            let _ = b;
+        }
+
+        #[test]
+        fn maps_and_vecs_compose(
+            xs in crate::collection::vec((0u32..50).prop_map(|x| x * 2), 0..8)
+        ) {
+            prop_assert!(xs.len() < 8);
+            for x in xs {
+                prop_assert_eq!(x % 2, 0);
+                prop_assert_ne!(x, 101);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unreachable_code)]
+            fn inner(v in 0u32..2) {
+                prop_assert!(v > 10, "v={} too small", v);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}
