@@ -1,0 +1,114 @@
+//! Trace-ingest throughput: STB binary vs. the text formats.
+//!
+//! The motivating claim for STB (`docs/TRACE_FORMATS.md`) is that on long
+//! recorded executions the *parse* cost of the line formats dominates the
+//! analyses themselves. This bench measures, per format on the calibrated
+//! xalan/avrora workloads:
+//!
+//! * `parse` — decode bytes to a validated `Trace` (no analysis);
+//! * `parse+analyze` — decode, then run the headline SmartTrack-WDC
+//!   analysis over a session (the end-to-end `smarttrack analyze` shape);
+//! * `stream+analyze` (STB only) — decode chunk-at-a-time straight into
+//!   the session, never materializing the `Trace` (the bounded-memory
+//!   path the CLI takes for `.stb` input).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p smarttrack-bench --bench ingest
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smarttrack::{AnalysisConfig, Engine, StreamHint};
+use smarttrack_trace::binary::StbReader;
+use smarttrack_trace::formats::{self, TraceFormat};
+use smarttrack_workloads::profiles;
+
+fn headline_engine() -> Engine {
+    Engine::for_config("st-wdc".parse::<AnalysisConfig>().expect("known analysis"))
+        .expect("available cell")
+}
+
+/// Decode + whole-trace analysis (what `analyze` does for text input).
+fn parse_and_analyze(bytes: &[u8], format: TraceFormat, engine: &Engine) -> usize {
+    let trace = formats::parse_bytes(bytes, format).expect("well-formed input");
+    let mut session = engine.open();
+    session.feed_trace(&trace).expect("validated trace");
+    session.finish_one().report.dynamic_count()
+}
+
+/// Chunked STB decode fed straight into the session (what `analyze` does
+/// for STB input) — no intermediate `Trace`.
+fn stream_and_analyze(bytes: &[u8]) -> usize {
+    let reader = StbReader::new(bytes).expect("valid STB");
+    let engine = Engine::builder()
+        .config("st-wdc".parse::<AnalysisConfig>().expect("known analysis"))
+        .hint(StreamHint::of_stb_header(reader.header()))
+        .build()
+        .expect("available cell");
+    let mut session = engine.open();
+    for event in reader {
+        session
+            .feed(event.expect("valid STB"))
+            .expect("well-formed");
+    }
+    session.finish_one().report.dynamic_count()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    for workload in [profiles::xalan(), profiles::avrora()] {
+        let trace = workload.trace(1e-5, 42);
+        let encodings = [
+            (
+                "native",
+                formats::render_bytes(&trace, TraceFormat::Native),
+                TraceFormat::Native,
+            ),
+            (
+                "std",
+                formats::render_bytes(&trace, TraceFormat::Std),
+                TraceFormat::Std,
+            ),
+            (
+                "stb",
+                formats::render_bytes(&trace, TraceFormat::Stb),
+                TraceFormat::Stb,
+            ),
+        ];
+        for (label, bytes, _) in &encodings {
+            eprintln!(
+                "ingest/{}: {} = {} bytes for {} events ({:.2} B/event)",
+                workload.name,
+                label,
+                bytes.len(),
+                trace.len(),
+                bytes.len() as f64 / trace.len() as f64
+            );
+        }
+
+        let engine = headline_engine();
+        let mut group = c.benchmark_group(format!("ingest/{}", workload.name));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.sample_size(10);
+        for (label, bytes, format) in &encodings {
+            group.bench_with_input(BenchmarkId::new("parse", *label), bytes, |b, bytes| {
+                b.iter(|| formats::parse_bytes(bytes, *format).expect("parses").len())
+            });
+            group.bench_with_input(
+                BenchmarkId::new("parse+analyze", *label),
+                bytes,
+                |b, bytes| b.iter(|| parse_and_analyze(bytes, *format, &engine)),
+            );
+        }
+        let stb_bytes = &encodings[2].1;
+        group.bench_with_input(
+            BenchmarkId::new("stream+analyze", "stb"),
+            stb_bytes,
+            |b, bytes| b.iter(|| stream_and_analyze(bytes)),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

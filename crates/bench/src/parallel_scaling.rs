@@ -4,8 +4,7 @@
 //! application threads, synchronizing on fine-grained metadata. This
 //! experiment measures how analysis throughput scales with application
 //! thread count for the two parallel analyses
-//! ([`ConcurrentFtoHb`](smarttrack_parallel::ConcurrentFtoHb) and
-//! [`ConcurrentSmartTrackWdc`](smarttrack_parallel::ConcurrentSmartTrackWdc)),
+//! ([`ConcurrentFtoHb`] and [`ConcurrentSmartTrackWdc`]),
 //! holding the *total work* fixed: `N` threads each execute `W / N`
 //! operations.
 //!

@@ -2,18 +2,22 @@
 //!
 //! All selected analyses run as fan-out lanes of one streaming
 //! [`Session`](smarttrack::Session): a single pass over the event stream,
-//! however many Table 1 cells are selected.
+//! however many Table 1 cells are selected. Text-format input is parsed
+//! whole; STB binary input is *streamed* into the session chunk by chunk
+//! — memory stays bounded however long the recording, and the STB
+//! header's hint pre-sizes the session (see `docs/TRACE_FORMATS.md`).
 
 use std::fmt::Write as _;
 use std::io::Write;
 
-use smarttrack::{AnalysisConfig, Engine};
+use smarttrack::{AnalysisConfig, Engine, StreamHint};
 
-use crate::{load_trace, trace_arg, write_out, CliError, Opts};
+use crate::{feed_stb, open_trace, trace_arg, write_out, CliError, Opts, TraceSource};
 
-const USAGE: &str = "smarttrack analyze <trace> [--analysis CFG]... [--all] [--max-races N]";
+const USAGE: &str =
+    "smarttrack analyze <trace> [--analysis CFG]... [--all] [--max-races N] [--format FMT]";
 const SWITCHES: &[&str] = &["all"];
-const VALUES: &[&str] = &["analysis", "max-races"];
+const VALUES: &[&str] = &["analysis", "max-races", "format"];
 
 /// The default selection: the state-of-the-art HB baseline plus the three
 /// SmartTrack-optimized predictive analyses (the paper's headline
@@ -23,7 +27,7 @@ const DEFAULT_ANALYSES: &[&str] = &["fto-hb", "st-wcp", "st-dc", "st-wdc"];
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, SWITCHES, VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
-    let trace = load_trace(path)?;
+    let source = open_trace(path, &opts)?;
     let max_races: usize = opts.parsed_or("max-races", 10)?;
 
     let configs: Vec<AnalysisConfig> = if opts.switch("all") {
@@ -42,23 +46,40 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
 
     let mut buf = String::new();
-    let _ = writeln!(
-        buf,
-        "{path}: {} events, {} threads, {} variables, {} locks",
-        trace.len(),
-        trace.num_threads(),
-        trace.num_vars(),
-        trace.num_locks()
-    );
     // One fan-out session: every selected analysis in a single pass.
-    let engine = Engine::builder()
-        .fanout(configs)
-        .build()
-        .map_err(|e| CliError::Usage(e.to_string()))?;
-    let mut session = engine.open();
-    session
-        .feed_trace(&trace)
-        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let session = match source {
+        TraceSource::Whole(trace) => {
+            let _ = writeln!(
+                buf,
+                "{path}: {} events, {} threads, {} variables, {} locks",
+                trace.len(),
+                trace.num_threads(),
+                trace.num_vars(),
+                trace.num_locks()
+            );
+            let engine = Engine::builder()
+                .fanout(configs)
+                .build()
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let mut session = engine.open();
+            session
+                .feed_trace(&trace)
+                .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+            session
+        }
+        TraceSource::Stb(reader) => {
+            // Stream the binary trace straight into the session — events
+            // decode a chunk at a time, the whole trace is never resident.
+            let engine = Engine::builder()
+                .fanout(configs)
+                .hint(StreamHint::of_stb_header(reader.header()))
+                .build()
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let session = feed_stb(engine.open(), reader, path)?;
+            let _ = writeln!(buf, "{path}: {} events (streamed STB)", session.events());
+            session
+        }
+    };
     for outcome in session.finish() {
         let _ = writeln!(
             buf,
@@ -110,6 +131,51 @@ mod tests {
         let text = capture(run, &[&file.path_str(), "--analysis", "st-dc"]).unwrap();
         assert!(text.contains("SmartTrack-DC"));
         assert!(!text.contains("FTO-HB"));
+    }
+
+    #[test]
+    fn stb_input_streams_and_matches_text_verdicts() {
+        let trace = paper::figure1();
+        let text_file = TempTrace::write(&trace);
+        let stb_path =
+            std::env::temp_dir().join(format!("smarttrack-analyze-{}.stb", std::process::id()));
+        smarttrack_trace::binary::write_stb_file(&trace, &stb_path).unwrap();
+        let stb_str = stb_path.display().to_string();
+
+        let from_text = capture(run, &[&text_file.path_str()]).unwrap();
+        let from_stb = capture(run, &[&stb_str]).unwrap();
+        assert!(from_stb.contains("streamed STB"), "{from_stb}");
+        // Identical verdict lines, whatever the container format.
+        let verdicts = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains("static /"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(verdicts(&from_text), verdicts(&from_stb));
+        let _ = std::fs::remove_file(&stb_path);
+    }
+
+    #[test]
+    fn format_flag_overrides_the_extension() {
+        // STD bytes in a file with a native-looking extension.
+        let path = std::env::temp_dir().join(format!(
+            "smarttrack-analyze-ovr-{}.trace",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            smarttrack_trace::formats::render_std(&paper::figure1()),
+        )
+        .unwrap();
+        let path_str = path.display().to_string();
+        assert!(
+            capture(run, &[&path_str]).is_err(),
+            "native parse must fail"
+        );
+        let text = capture(run, &[&path_str, "--format", "std"]).unwrap();
+        assert!(text.contains("SmartTrack-WDC"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! `smarttrack convert` — translate traces between the native line format
-//! and the interchange formats (STD/`RAPID`, CSV), so recorded executions
-//! from other race-detection tooling can be analyzed here and vice versa.
+//! `smarttrack convert` — translate traces between the native line format,
+//! the text interchange formats (STD/`RAPID`, CSV), and the STB binary
+//! format, so recorded executions from other race-detection tooling can be
+//! analyzed here and vice versa (and text recordings can be compacted to
+//! STB for fast re-analysis).
 
 use std::fmt::Write as _;
 use std::io::Write;
@@ -8,36 +10,38 @@ use std::str::FromStr;
 
 use smarttrack_trace::formats::{self, TraceFormat};
 
-use crate::{format_of_path, trace_arg, write_out, CliError, Opts};
+use crate::{trace_arg, write_out, CliError, Opts};
 
 const USAGE: &str =
-    "smarttrack convert <trace> [--from FMT] --to FMT [--out FILE]   (FMT: native|std|csv)";
+    "smarttrack convert <trace> [--from FMT] --to FMT [--out FILE]   (FMT: native|std|csv|stb)";
 const VALUES: &[&str] = &["from", "to", "out"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, &[], VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
 
-    let from = match opts.value("from") {
-        Some(name) => TraceFormat::from_str(name).map_err(CliError::Usage)?,
-        None => format_of_path(path),
-    };
     let to = match opts.value("to") {
         Some(name) => TraceFormat::from_str(name).map_err(CliError::Usage)?,
         None => match opts.value("out") {
             // Infer from the output extension when given.
-            Some(out_path) => format_of_path(out_path),
+            Some(out_path) => formats::format_of_path(out_path),
             None => return Err(CliError::Usage(format!("missing --to; usage: {USAGE}"))),
         },
     };
 
-    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+    let bytes = std::fs::read(path).map_err(|source| CliError::Io {
         path: path.to_string(),
         source,
     })?;
-    let trace =
-        formats::parse_as(&text, from).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
-    let rendered = formats::render_as(&trace, to);
+    let from = match opts.value("from") {
+        Some(name) => TraceFormat::from_str(name).map_err(CliError::Usage)?,
+        // Auto-detect from the bytes just read: magic-byte sniffing, then
+        // the extension.
+        None => formats::sniff(&bytes).unwrap_or_else(|| formats::format_of_path(path)),
+    };
+    let trace = formats::parse_bytes(&bytes, from)
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let rendered = formats::render_bytes(&trace, to);
 
     match opts.value("out") {
         Some(out_path) => {
@@ -53,7 +57,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             );
             write_out(out, &buf)
         }
-        None => write_out(out, &rendered),
+        // Raw bytes to stdout (binary-safe: STB output can be redirected).
+        None => out.write_all(&rendered).map_err(|source| CliError::Io {
+            path: "<stdout>".to_string(),
+            source,
+        }),
     }
 }
 
@@ -90,6 +98,32 @@ mod tests {
         let text = std::fs::read_to_string(&out_path).unwrap();
         assert_eq!(formats::parse_std(&text).unwrap(), paper::figure1());
         let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn converts_to_stb_and_back() {
+        let file = TempTrace::write(&paper::figure3());
+        let dir = std::env::temp_dir();
+        let stb_path = dir.join(format!("smarttrack-convert-{}.stb", std::process::id()));
+        let stb_str = stb_path.display().to_string();
+        let msg = capture(run, &[&file.path_str(), "--out", &stb_str]).unwrap();
+        assert!(msg.contains("(stb)"), "{msg}");
+        assert_eq!(
+            smarttrack_trace::binary::read_stb_file(&stb_path).unwrap(),
+            paper::figure3()
+        );
+
+        // Back to native — the source format is sniffed from the magic.
+        let back_path = dir.join(format!("smarttrack-convert-{}.trace", std::process::id()));
+        let back_str = back_path.display().to_string();
+        let msg = capture(run, &[&stb_str, "--to", "native", "--out", &back_str]).unwrap();
+        assert!(msg.contains("(stb) ->"), "{msg}");
+        assert_eq!(
+            smarttrack_trace::fmt::read_file(&back_path).unwrap(),
+            paper::figure3()
+        );
+        let _ = std::fs::remove_file(&stb_path);
+        let _ = std::fs::remove_file(&back_path);
     }
 
     #[test]

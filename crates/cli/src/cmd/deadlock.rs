@@ -9,13 +9,13 @@ use smarttrack_vindicate::{DeadlockResult, PredictableRaceOracle};
 
 use crate::{load_trace, trace_arg, write_out, CliError, Opts};
 
-const USAGE: &str = "smarttrack deadlock <trace> [--budget N]";
-const VALUES: &[&str] = &["budget"];
+const USAGE: &str = "smarttrack deadlock <trace> [--budget N] [--format FMT]";
+const VALUES: &[&str] = &["budget", "format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, &[], VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, &opts)?;
     let budget: usize = opts.parsed_or("budget", 500_000)?;
 
     let oracle = PredictableRaceOracle::new(&trace).with_budget(budget);

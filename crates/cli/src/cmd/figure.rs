@@ -7,8 +7,9 @@ use smarttrack_trace::paper;
 
 use crate::{CliError, Opts};
 
-const USAGE: &str = "smarttrack figure <figure1|figure2|figure3|figure4a..figure4d> [--out FILE]";
-const VALUES: &[&str] = &["out"];
+const USAGE: &str =
+    "smarttrack figure <figure1|figure2|figure3|figure4a..figure4d> [--out FILE] [--format FMT]";
+const VALUES: &[&str] = &["out", "format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, &[], VALUES)?;

@@ -1,17 +1,20 @@
 //! `smarttrack generate` — emit synthetic workload traces: the ten
 //! DaCapo-calibrated profiles (§5.2/Table 2) or the distant-race stress
-//! pattern (§6).
+//! pattern (§6). Output format follows `--format`, or the `--out`
+//! extension (`.stb` emits the binary format directly).
 
 use std::fmt::Write as _;
 use std::io::Write;
 
+use smarttrack_trace::formats;
 use smarttrack_trace::Trace;
 use smarttrack_workloads::{distant_race_trace, profiles};
 
-use crate::{write_out, CliError, Opts};
+use crate::{requested_format, write_out, CliError, Opts};
 
-const USAGE: &str = "smarttrack generate <profile|distant:N> [--scale F] [--seed N] [--out FILE]";
-const VALUES: &[&str] = &["scale", "seed", "out"];
+const USAGE: &str =
+    "smarttrack generate <profile|distant:N> [--scale F] [--seed N] [--out FILE] [--format FMT]";
+const VALUES: &[&str] = &["scale", "seed", "out", "format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, &[], VALUES)?;
@@ -48,29 +51,41 @@ fn build(name: &str, scale: f64, seed: u64) -> Result<Trace, CliError> {
         })
 }
 
-/// Writes the trace to `--out` (trace file) or stdout (text format).
+/// Writes the trace to `--out` (format from `--format`, else the file
+/// extension) or stdout (format from `--format`, else native text).
 pub(super) fn emit(
     trace: &Trace,
     opts: &Opts,
     out: &mut dyn Write,
     what: &str,
 ) -> Result<(), CliError> {
+    let requested = requested_format(opts)?;
     match opts.value("out") {
         Some(path) => {
-            smarttrack_trace::fmt::write_file(trace, path).map_err(|source| CliError::Io {
-                path: path.to_string(),
-                source,
+            let format = requested.unwrap_or_else(|| formats::format_of_path(path));
+            std::fs::write(path, formats::render_bytes(trace, format)).map_err(|source| {
+                CliError::Io {
+                    path: path.to_string(),
+                    source,
+                }
             })?;
             let mut buf = String::new();
             let _ = writeln!(
                 buf,
-                "wrote {what}: {} events, {} threads -> {path}",
+                "wrote {what}: {} events, {} threads -> {path} ({format})",
                 trace.len(),
                 trace.num_threads()
             );
             write_out(out, &buf)
         }
-        None => write_out(out, &smarttrack_trace::fmt::render(trace)),
+        // Raw bytes to stdout (binary-safe, so `--format stb` can be
+        // redirected into a file or a pipe).
+        None => out
+            .write_all(&formats::render_bytes(trace, requested.unwrap_or_default()))
+            .map_err(|source| CliError::Io {
+                path: "<stdout>".to_string(),
+                source,
+            }),
     }
 }
 
@@ -109,6 +124,34 @@ mod tests {
         assert!(text.contains("wrote h2"));
         let trace = smarttrack_trace::fmt::read_file(&path).unwrap();
         assert!(trace.len() > 100);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stb_extension_emits_the_binary_format() {
+        let path =
+            std::env::temp_dir().join(format!("smarttrack-cli-gen-{}.stb", std::process::id()));
+        let path_str = path.display().to_string();
+        let text = capture(run, &["avrora", "--scale", "2e-6", "--out", &path_str]).unwrap();
+        assert!(text.contains("(stb)"), "{text}");
+        let trace = smarttrack_trace::binary::read_stb_file(&path).unwrap();
+        assert_eq!(trace.num_threads(), 7, "avrora runs 7 threads (Table 2)");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn format_flag_beats_the_out_extension() {
+        // `.trace` extension but `--format stb`: the flag wins, and the
+        // loader's magic sniffing still reads it back correctly.
+        let path = std::env::temp_dir().join(format!(
+            "smarttrack-cli-gen-ovr-{}.trace",
+            std::process::id()
+        ));
+        let path_str = path.display().to_string();
+        let text = capture(run, &["distant:30", "--out", &path_str, "--format", "stb"]).unwrap();
+        assert!(text.contains("(stb)"), "{text}");
+        let trace = smarttrack_trace::formats::read_file(&path).unwrap();
+        assert_eq!(trace.len(), 38);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -5,12 +5,13 @@ use std::io::Write;
 
 use crate::{load_trace, trace_arg, write_out, CliError, Opts};
 
-const USAGE: &str = "smarttrack render <trace>";
+const USAGE: &str = "smarttrack render <trace> [--format FMT]";
+const VALUES: &[&str] = &["format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let opts = Opts::parse(args, &[], &[])?;
+    let opts = Opts::parse(args, &[], VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, &opts)?;
     write_out(out, &smarttrack_trace::fmt::render_columns(&trace))
 }
 

@@ -8,12 +8,13 @@ use smarttrack_trace::stats::TraceStats;
 
 use crate::{load_trace, trace_arg, write_out, CliError, Opts};
 
-const USAGE: &str = "smarttrack stats <trace>";
+const USAGE: &str = "smarttrack stats <trace> [--format FMT]";
+const VALUES: &[&str] = &["format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let opts = Opts::parse(args, &[], &[])?;
+    let opts = Opts::parse(args, &[], VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, &opts)?;
     let stats = TraceStats::compute(&trace);
 
     let mut buf = String::new();

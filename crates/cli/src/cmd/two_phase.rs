@@ -1,22 +1,26 @@
 //! `smarttrack two-phase` — the paper's §4.3 deployment architecture:
 //! fast graph-free SmartTrack detection online, and a graph-building replay
 //! plus vindication only if races were reported.
+//!
+//! STB binary input runs phase 1 *streamed* (bounded memory, like a real
+//! online deployment); the recording is materialized only if races were
+//! reported and the replay phase actually runs — in the common race-free
+//! case the whole trace is never resident.
 
 use std::fmt::Write as _;
 use std::io::Write;
 
-use smarttrack::two_phase::detect_then_check;
-use smarttrack::Relation;
+use smarttrack::two_phase::{detect_then_check, replay_and_check, TwoPhaseOutcome};
+use smarttrack::{AnalysisConfig, Engine, OptLevel, Relation, StreamHint};
 
-use crate::{load_trace, trace_arg, write_out, CliError, Opts};
+use crate::{feed_stb, load_trace, open_trace, trace_arg, write_out, CliError, Opts, TraceSource};
 
-const USAGE: &str = "smarttrack two-phase <trace> [--relation dc|wdc]";
-const VALUES: &[&str] = &["relation"];
+const USAGE: &str = "smarttrack two-phase <trace> [--relation dc|wdc] [--format FMT]";
+const VALUES: &[&str] = &["relation", "format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, &[], VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
-    let trace = load_trace(path)?;
     let relation = match opts.value("relation").unwrap_or("wdc") {
         "dc" => Relation::Dc,
         "wdc" => Relation::Wdc,
@@ -28,7 +32,37 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
 
-    let outcome = detect_then_check(&trace, relation);
+    let outcome = match open_trace(path, &opts)? {
+        TraceSource::Whole(trace) => detect_then_check(&trace, relation),
+        TraceSource::Stb(reader) => {
+            // Phase 1, streamed: the production shape — detection runs over
+            // the chunked stream without materializing the recording.
+            let engine = Engine::builder()
+                .config(AnalysisConfig::new(relation, OptLevel::SmartTrack))
+                .hint(StreamHint::of_stb_header(reader.header()))
+                .build()
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let session = feed_stb(engine.open(), reader, path)?;
+            let detection = session.finish_one();
+            if detection.report.is_empty() {
+                TwoPhaseOutcome {
+                    detection,
+                    checked: Vec::new(),
+                    replayed: false,
+                }
+            } else {
+                // Races reported: only now load the recording for the
+                // offline replay + vindication phase.
+                let trace = load_trace(path, &opts)?;
+                let checked = replay_and_check(&trace, relation);
+                TwoPhaseOutcome {
+                    detection,
+                    checked,
+                    replayed: true,
+                }
+            }
+        }
+    };
     let mut buf = String::new();
     let _ = writeln!(
         buf,
@@ -82,6 +116,22 @@ mod tests {
         let file = TempTrace::write(&paper::figure3());
         let text = capture(run, &[&file.path_str(), "--relation", "wdc"]).unwrap();
         assert!(text.contains("0 verified, 1 unverified"), "{text}");
+    }
+
+    #[test]
+    fn stb_input_streams_phase1_and_replays_only_on_races() {
+        let dir = std::env::temp_dir();
+        let racy = dir.join(format!("smarttrack-2p-racy-{}.stb", std::process::id()));
+        smarttrack_trace::binary::write_stb_file(&paper::figure1(), &racy).unwrap();
+        let text = capture(run, &[&racy.display().to_string(), "--relation", "dc"]).unwrap();
+        assert!(text.contains("1 verified, 0 unverified"), "{text}");
+        let _ = std::fs::remove_file(&racy);
+
+        let clean = dir.join(format!("smarttrack-2p-clean-{}.stb", std::process::id()));
+        smarttrack_trace::binary::write_stb_file(&paper::figure4b(), &clean).unwrap();
+        let text = capture(run, &[&clean.display().to_string()]).unwrap();
+        assert!(text.contains("phase 2: skipped"), "{text}");
+        let _ = std::fs::remove_file(&clean);
     }
 
     #[test]

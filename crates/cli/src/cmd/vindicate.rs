@@ -10,14 +10,14 @@ use smarttrack_vindicate::{find_prior_access, vindicate_pair, VindicationResult}
 
 use crate::{load_trace, trace_arg, write_out, CliError, Opts};
 
-const USAGE: &str = "smarttrack vindicate <trace> [--analysis CFG] [--show-witness]";
+const USAGE: &str = "smarttrack vindicate <trace> [--analysis CFG] [--show-witness] [--format FMT]";
 const SWITCHES: &[&str] = &["show-witness"];
-const VALUES: &[&str] = &["analysis"];
+const VALUES: &[&str] = &["analysis", "format"];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, SWITCHES, VALUES)?;
     let path = trace_arg(&opts, USAGE)?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, &opts)?;
     let config: AnalysisConfig = opts
         .value("analysis")
         .unwrap_or("st-wdc")

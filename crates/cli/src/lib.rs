@@ -3,16 +3,22 @@
 //! `smarttrack` — the command-line front end of the SmartTrack
 //! reproduction.
 //!
-//! The binary drives the whole system over traces in the repository's text
-//! format (see `smarttrack_trace::fmt`):
+//! The binary drives the whole system over trace files in any of the four
+//! supported formats — the native line format, STD/`RAPID`, CSV, and the
+//! STB binary format (see `docs/TRACE_FORMATS.md`). Input format is
+//! auto-detected (magic-byte sniffing, then file extension) and can be
+//! forced with `--format`; STB input streams into the analyses chunk by
+//! chunk, in bounded memory:
 //!
 //! ```text
 //! smarttrack analyze  race.trace --analysis st-wdc --analysis fto-hb
+//! smarttrack analyze  recording.stb --all
+//! smarttrack convert  race.trace --to stb --out race.stb
 //! smarttrack stats    race.trace
 //! smarttrack render   race.trace
 //! smarttrack vindicate race.trace --show-witness
 //! smarttrack windowed race.trace --window 512
-//! smarttrack generate xalan --scale 2e-5 --out xalan.trace
+//! smarttrack generate xalan --scale 2e-5 --out xalan.stb
 //! smarttrack figure   figure1 --out fig1.trace
 //! smarttrack list
 //! ```
@@ -91,25 +97,25 @@ USAGE:
     smarttrack <COMMAND> [ARGS]
 
 COMMANDS:
-    analyze   <trace> [--analysis CFG]... [--all] [--max-races N]
-              run race detectors over a trace file
-    stats     <trace>
+    analyze   <trace> [--analysis CFG]... [--all] [--max-races N] [--format FMT]
+              run race detectors over a trace file (STB input streams)
+    stats     <trace> [--format FMT]
               run-time characteristics (the paper's Table 2 metrics)
-    render    <trace>
+    render    <trace> [--format FMT]
               pretty-print the trace as per-thread columns
     convert   <trace> [--from FMT] --to FMT [--out FILE]
-              translate between native, STD/RAPID, and CSV trace formats
-    vindicate <trace> [--analysis CFG] [--show-witness]
+              translate between the native, STD/RAPID, CSV, and STB formats
+    vindicate <trace> [--analysis CFG] [--show-witness] [--format FMT]
               check each reported race for a predictable-race witness
-    two-phase <trace> [--relation dc|wdc]
+    two-phase <trace> [--relation dc|wdc] [--format FMT]
               detect fast, replay w/ graph + vindicate only on races (§4.3)
-    deadlock  <trace> [--budget N]
+    deadlock  <trace> [--budget N] [--format FMT]
               exhaustive predictable-deadlock search (small traces)
-    windowed  <trace> [--window N] [--stride N] [--budget N]
+    windowed  <trace> [--window N] [--stride N] [--budget N] [--format FMT]
               bounded-window analysis (the SMT-window approach of §6)
-    generate  <profile|distant:N> [--scale F] [--seed N] [--out FILE]
+    generate  <profile|distant:N> [--scale F] [--seed N] [--out FILE] [--format FMT]
               emit a DaCapo-calibrated synthetic workload trace
-    figure    <figure1|figure2|figure3|figure4a..figure4d> [--out FILE]
+    figure    <figure1|figure2|figure3|figure4a..figure4d> [--out FILE] [--format FMT]
               emit one of the paper's example executions
     list      available analyses, workload profiles, and figures
     help      this message
@@ -118,9 +124,13 @@ ANALYSES (CFG):
     ft2, unopt-hb, fto-hb, and <unopt|fto|st>-<wcp|dc|wdc>;
     append +g for the graph-recording variants (unopt-dc+g, unopt-wdc+g).
 
-TRACE FILES:
-    input format is chosen by extension: .std/.rapid (the RAPID pipe
-    format), .csv, anything else the native line format.
+TRACE FILES (FMT: native|std|csv|stb):
+    input format is auto-detected — magic-byte sniffing first (the STB
+    binary format announces itself), then the extension: .stb (binary),
+    .std/.rapid (the RAPID pipe format), .csv, anything else the native
+    line format. --format FMT overrides both. STB input streams into
+    analyze/windowed/two-phase chunk by chunk in bounded memory; the spec
+    for all four formats is docs/TRACE_FORMATS.md.
 ";
 
 /// Runs one CLI invocation, writing human-readable output to `out`.
@@ -167,31 +177,94 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-/// Picks a trace format from a path's extension: `.std`/`.rapid` → STD,
-/// `.csv` → CSV, anything else → the native line format.
-fn format_of_path(path: &str) -> smarttrack_trace::formats::TraceFormat {
-    use smarttrack_trace::formats::TraceFormat;
-    match std::path::Path::new(path)
-        .extension()
-        .and_then(|e| e.to_str())
-        .map(str::to_ascii_lowercase)
-        .as_deref()
-    {
-        Some("std") | Some("rapid") => TraceFormat::Std,
-        Some("csv") => TraceFormat::Csv,
-        _ => TraceFormat::Native,
-    }
+/// Parses the `--format` override flag, for commands that declare it.
+fn requested_format(
+    opts: &Opts,
+) -> Result<Option<smarttrack_trace::formats::TraceFormat>, CliError> {
+    opts.value("format")
+        .map(|name| name.parse().map_err(CliError::Usage))
+        .transpose()
 }
 
-/// Loads a trace file (format chosen by extension), mapping errors to
-/// [`CliError`].
-fn load_trace(path: &str) -> Result<smarttrack_trace::Trace, CliError> {
-    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+/// An opened trace input: either fully materialized (the text formats) or
+/// a streaming STB decoder, which commands feed into an analysis session
+/// without ever holding the whole trace.
+enum TraceSource {
+    /// All events in memory, as every text format requires.
+    Whole(smarttrack_trace::Trace),
+    /// A chunk-at-a-time STB stream.
+    Stb(smarttrack_trace::binary::StbReader<std::io::BufReader<std::fs::File>>),
+}
+
+/// Opens a trace file for reading, honoring the command's `--format`
+/// override and otherwise auto-detecting (magic-byte sniffing, then the
+/// extension). STB inputs come back as a stream; everything else is parsed
+/// eagerly. The file is opened exactly once — the sniff probe seeks back
+/// rather than reopening, so format decision and data come from the same
+/// file version.
+fn open_trace(path: &str, opts: &Opts) -> Result<TraceSource, CliError> {
+    use smarttrack_trace::formats::{self, TraceFormat};
+    use std::io::{Read as _, Seek as _, SeekFrom};
+
+    let io_err = |source| CliError::Io {
         path: path.to_string(),
         source,
-    })?;
-    smarttrack_trace::formats::parse_as(&text, format_of_path(path))
-        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+    };
+    let mut file = std::fs::File::open(path).map_err(io_err)?;
+    let format = match requested_format(opts)? {
+        Some(format) => format,
+        None => {
+            let mut probe = Vec::with_capacity(4);
+            (&file).take(4).read_to_end(&mut probe).map_err(io_err)?;
+            file.seek(SeekFrom::Start(0)).map_err(io_err)?;
+            formats::sniff(&probe).unwrap_or_else(|| formats::format_of_path(path))
+        }
+    };
+    if format == TraceFormat::Stb {
+        let reader = smarttrack_trace::binary::StbReader::new(std::io::BufReader::new(file))
+            .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        return Ok(TraceSource::Stb(reader));
+    }
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(io_err)?;
+    let trace = formats::parse_bytes(&bytes, format)
+        .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    Ok(TraceSource::Whole(trace))
+}
+
+/// Streams every event of an STB reader into an analysis session, mapping
+/// decode and well-formedness failures to [`CliError`]. Returns the
+/// session for the caller to finish.
+fn feed_stb<'d, R: std::io::Read>(
+    mut session: smarttrack::Session<'d>,
+    reader: smarttrack_trace::binary::StbReader<R>,
+    path: &str,
+) -> Result<smarttrack::Session<'d>, CliError> {
+    for event in reader {
+        let event = event.map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        session
+            .feed(event)
+            .map_err(|e| CliError::Invalid(format!("{path}: malformed trace: {e}")))?;
+    }
+    Ok(session)
+}
+
+/// Loads a whole trace whatever the format (a streaming STB input is
+/// materialized), mapping errors to [`CliError`].
+fn load_trace(path: &str, opts: &Opts) -> Result<smarttrack_trace::Trace, CliError> {
+    match open_trace(path, opts)? {
+        TraceSource::Whole(trace) => Ok(trace),
+        TraceSource::Stb(reader) => {
+            let mut builder = smarttrack_trace::TraceBuilder::new();
+            for event in reader {
+                let event = event.map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+                builder
+                    .push_event(event)
+                    .map_err(|e| CliError::Invalid(format!("{path}: malformed trace: {e}")))?;
+            }
+            Ok(builder.finish())
+        }
+    }
 }
 
 /// The required trace-file positional of most commands.

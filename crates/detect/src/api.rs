@@ -81,6 +81,23 @@ impl StreamHint {
             events: Some(trace.len()),
         }
     }
+
+    /// The hint carried by an STB binary trace header, when present (see
+    /// [`smarttrack_trace::binary`]): an STB-aware driver announces it to
+    /// the session so streaming STB input gets the same pre-sizing and
+    /// compaction benefits as whole-trace analysis.
+    pub fn of_stb_header(header: &smarttrack_trace::binary::StbHeader) -> Self {
+        header.hint.map(Self::from).unwrap_or_default()
+    }
+}
+
+impl From<smarttrack_trace::binary::StbHint> for StreamHint {
+    fn from(hint: smarttrack_trace::binary::StbHint) -> Self {
+        StreamHint {
+            threads: Some(hint.threads as usize),
+            events: Some(hint.events as usize),
+        }
+    }
 }
 
 /// A dynamic race-detection analysis processing an event stream.

@@ -68,6 +68,29 @@ pub struct RaceNotice<'a> {
 /// acted on while the application still runs.
 ///
 /// Any `FnMut(&RaceNotice)` closure is a sink.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use smarttrack_detect::{Engine, RaceNotice, Relation};
+/// use smarttrack_trace::paper;
+///
+/// let engine = Engine::builder().relation(Relation::Wdc).build()?;
+/// let mut session = engine.open();
+///
+/// let live: Rc<RefCell<Vec<String>>> = Rc::default();
+/// let sink = Rc::clone(&live);
+/// session.set_sink(move |notice: &RaceNotice<'_>| {
+///     sink.borrow_mut()
+///         .push(format!("{} at {}", notice.analysis, notice.race.event));
+/// });
+/// session.feed_trace(&paper::figure1())?;
+/// session.finish();
+/// assert_eq!(*live.borrow(), ["SmartTrack-WDC at e7"]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub trait RaceSink {
     /// Called once per dynamic race, in detection order, possibly many
     /// events after the session was opened but always before
@@ -170,6 +193,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Declares the total number of events sessions will see, upgrading
+    /// footprint sampling from the adaptive policy to the cheaper
+    /// fixed-stride one (see `FootprintSampler`).
+    pub fn expect_events(mut self, events: usize) -> Self {
+        self.hint.events = Some(events);
+        self
+    }
+
+    /// Installs a whole [`StreamHint`] at once — the natural call when the
+    /// hint arrives pre-assembled, e.g. decoded from an STB binary trace
+    /// header ([`StreamHint::of_stb_header`]). Fields already set by
+    /// [`expect_threads`](EngineBuilder::expect_threads) /
+    /// [`expect_events`](EngineBuilder::expect_events) are kept when the
+    /// incoming hint leaves them `None`.
+    pub fn hint(mut self, hint: StreamHint) -> Self {
+        self.hint = StreamHint {
+            threads: hint.threads.or(self.hint.threads),
+            events: hint.events.or(self.hint.events),
+        };
+        self
+    }
+
     /// Validates the selection and builds the engine.
     ///
     /// # Errors
@@ -207,6 +252,23 @@ impl EngineBuilder {
 
 /// A validated, reusable analysis selection; [`open`](Engine::open) starts
 /// independent streaming [`Session`]s over it.
+///
+/// # Examples
+///
+/// One engine, many sessions — each session analyzes its own stream:
+///
+/// ```
+/// use smarttrack_detect::{Engine, Relation};
+/// use smarttrack_trace::paper;
+///
+/// let engine = Engine::builder().relation(Relation::Dc).build()?;
+/// for (name, trace) in paper::all_figures() {
+///     let mut session = engine.open();
+///     session.feed_trace(&trace)?;
+///     println!("{name}: {} races", session.finish_one().report.dynamic_count());
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct Engine {
     configs: Vec<AnalysisConfig>,
@@ -340,6 +402,27 @@ pub struct SessionSnapshot {
 /// The lifetime parameter tracks borrowed custom detectors
 /// ([`from_detectors`](Session::from_detectors)); engine-opened sessions
 /// are `Session<'static>`.
+///
+/// # Examples
+///
+/// Incremental ingest — events arrive one at a time (e.g. decoded from a
+/// streaming trace reader), and state is observable mid-stream:
+///
+/// ```
+/// use smarttrack_detect::{Engine, Relation};
+/// use smarttrack_trace::paper;
+///
+/// let trace = paper::figure1();
+/// let engine = Engine::builder().relation(Relation::Dc).build()?;
+/// let mut session = engine.open();
+/// for &event in trace.events() {
+///     session.feed(event)?;
+/// }
+/// assert_eq!(session.events(), trace.len());
+/// assert_eq!(session.snapshot().lanes[0].report.dynamic_count(), 1);
+/// assert_eq!(session.finish_one().report.dynamic_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct Session<'d> {
     lanes: Vec<Lane<'d>>,
     validator: StreamValidator,

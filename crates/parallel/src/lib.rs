@@ -23,7 +23,7 @@
 //!   predictive analysis, §5.7) with the same per-variable locking, and
 //!   critical-section lists whose deferred release times are published
 //!   through write-once cells — the concurrent realization of Algorithm 3's
-//!   "reference to a new vector clock [with] `C(t) ← ∞`" (lines 3–5): a
+//!   "reference to a new vector clock \[with\] `C(t) ← ∞`" (lines 3–5): a
 //!   pending cell reads as `∞`, a published one as the release time.
 //!
 //! Both implement [`OnlineAnalysis`]: application threads obtain a

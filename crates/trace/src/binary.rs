@@ -1,0 +1,1247 @@
+//! STB (SmartTrack Binary) — the compact binary trace format.
+//!
+//! The text formats ([`fmt`](crate::fmt), [`formats`](crate::formats)) cost
+//! tens of bytes and a line parse per event; at the hundreds-of-millions of
+//! events a real recorded execution produces, parsing dominates analysis.
+//! STB encodes the same event model in ~2–3 bytes per event and decodes with
+//! no per-line scanning, so recorded executions stream into an analysis
+//! session at hardware speed and in bounded memory.
+//!
+//! The byte-level layout is specified normatively in
+//! [`docs/TRACE_FORMATS.md`](https://github.com/paper-repro/smarttrack/blob/main/docs/TRACE_FORMATS.md);
+//! in summary:
+//!
+//! * a **header** — magic `89 53 54 42` (`\x89STB`), a version byte, a flags
+//!   byte, and (when the `HAS_HINT` flag is set) an [`StbHint`] carrying the
+//!   event count and thread/variable/lock/volatile cardinalities, so a
+//!   streaming consumer can pre-size its metadata before the first event;
+//! * a sequence of self-contained **chunks**, each framed by its payload
+//!   byte length and event count, so readers can skip whole chunks and
+//!   resume mid-file;
+//! * within a chunk, events are grouped into **same-thread runs** (one run
+//!   header per burst of events by one thread) and encoded as
+//!   varint/zigzag **deltas** against the previous target id of the same
+//!   kind, which is what gets the common case down to one or two bytes.
+//!
+//! # Examples
+//!
+//! Eager round trip through memory:
+//!
+//! ```
+//! use smarttrack_trace::{binary, paper};
+//!
+//! let trace = paper::figure1();
+//! let bytes = binary::to_stb_bytes(&trace);
+//! assert_eq!(binary::from_stb_bytes(&bytes)?, trace);
+//! # Ok::<(), smarttrack_trace::binary::StbError>(())
+//! ```
+//!
+//! Streaming: record through an [`StbWriter`] sink, replay through an
+//! [`StbReader`] without ever materializing a [`Trace`]:
+//!
+//! ```
+//! use smarttrack_trace::{binary::{StbReader, StbWriter}, paper};
+//!
+//! let trace = paper::figure2();
+//! let mut writer = StbWriter::new(Vec::new());
+//! for event in trace.events() {
+//!     writer.write(event)?;
+//! }
+//! let bytes = writer.finish()?;
+//!
+//! let reader = StbReader::new(&bytes[..])?;
+//! let events: Result<Vec<_>, _> = reader.collect();
+//! assert_eq!(events.unwrap(), trace.events());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use smarttrack_clock::ThreadId;
+
+use crate::{Event, Loc, LockId, Op, Trace, TraceBuilder, TraceError, VarId};
+
+/// The four-byte STB magic number, `\x89STB`. The high bit in the first
+/// byte keeps text tools from mistaking STB files for line formats (the
+/// same trick as PNG).
+pub const STB_MAGIC: [u8; 4] = [0x89, b'S', b'T', b'B'];
+
+/// The (only) STB version this implementation reads and writes.
+pub const STB_VERSION: u8 = 1;
+
+/// Header flag bit: an [`StbHint`] follows the flags byte.
+const FLAG_HAS_HINT: u8 = 0b0000_0001;
+/// All flag bits a version-1 reader understands.
+const KNOWN_FLAGS: u8 = FLAG_HAS_HINT;
+
+/// Default number of events per chunk written by [`StbWriter`].
+pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
+
+/// Upper bound accepted for a single chunk's payload, so a corrupt length
+/// prefix produces a precise error instead of an allocation blow-up.
+const MAX_CHUNK_BYTES: u64 = 64 << 20;
+
+/// Largest chunk size [`StbWriter::chunk_events`] accepts. A worst-case
+/// event costs at most 40 encoded bytes (a 20-byte run header plus a
+/// 10-byte head varint and a 10-byte location delta), so chunks of this
+/// many events cannot exceed the readers' 64 MiB payload cap.
+pub const MAX_CHUNK_EVENTS: usize = (MAX_CHUNK_BYTES / 64) as usize;
+
+/// Stream metadata carried by the STB header when known at write time.
+///
+/// Everything here is advisory — decoding never depends on it — but a
+/// streaming consumer can use it to pre-size analysis metadata (the
+/// `StreamHint` plumbing of `smarttrack-detect`) and report progress.
+/// [`write_stb`] (which sees a whole [`Trace`]) always writes one;
+/// [`StbWriter`] (which sees an unbounded stream) omits it unless given
+/// one via [`StbWriter::with_hint`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StbHint {
+    /// Total number of events in the stream.
+    pub events: u64,
+    /// Number of distinct threads (max index + 1).
+    pub threads: u64,
+    /// Number of distinct shared variables (max index + 1).
+    pub vars: u64,
+    /// Number of distinct locks (max index + 1).
+    pub locks: u64,
+    /// Number of distinct volatile variables (max index + 1).
+    pub volatiles: u64,
+}
+
+impl StbHint {
+    /// The full-knowledge hint for a recorded trace.
+    pub fn of_trace(trace: &Trace) -> Self {
+        StbHint {
+            events: trace.len() as u64,
+            threads: trace.num_threads() as u64,
+            vars: trace.num_vars() as u64,
+            locks: trace.num_locks() as u64,
+            volatiles: trace.num_volatiles() as u64,
+        }
+    }
+}
+
+/// The decoded STB header: version, flags, and the optional [`StbHint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StbHeader {
+    /// The format version (currently always [`STB_VERSION`]).
+    pub version: u8,
+    /// Stream metadata, when the writer knew it.
+    pub hint: Option<StbHint>,
+}
+
+/// Error from STB encoding or decoding.
+#[derive(Debug)]
+pub enum StbError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input does not begin with [`STB_MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// The version byte names a version this implementation cannot read.
+    UnsupportedVersion(u8),
+    /// The flags byte sets bits this implementation does not know; a
+    /// version-1 reader must refuse rather than silently mis-decode.
+    UnknownFlags(u8),
+    /// The byte stream violates the STB grammar. `offset` is the position
+    /// (from the start of the stream) where the violation was detected.
+    Corrupt {
+        /// Byte offset of the violation.
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// The stream ended inside a header, frame, or chunk payload.
+    Truncated {
+        /// Byte offset at which input ran out.
+        offset: u64,
+        /// What was being read.
+        context: &'static str,
+    },
+    /// The decoded events do not form a well-formed trace (eager
+    /// [`read_stb`] only; [`StbReader`] leaves validation to its consumer).
+    Malformed(TraceError),
+}
+
+impl fmt::Display for StbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StbError::Io(e) => write!(f, "i/o error: {e}"),
+            StbError::BadMagic { found } => write!(
+                f,
+                "not an STB stream: expected magic {STB_MAGIC:02x?}, found {found:02x?}"
+            ),
+            StbError::UnsupportedVersion(v) => {
+                write!(f, "unsupported STB version {v} (this reader understands 1)")
+            }
+            StbError::UnknownFlags(flags) => {
+                write!(f, "unknown STB header flags {flags:#010b}")
+            }
+            StbError::Corrupt { offset, message } => {
+                write!(f, "corrupt STB stream at byte {offset}: {message}")
+            }
+            StbError::Truncated { offset, context } => {
+                write!(
+                    f,
+                    "truncated STB stream at byte {offset} while reading {context}"
+                )
+            }
+            StbError::Malformed(e) => write!(f, "malformed trace: {e}"),
+        }
+    }
+}
+
+impl Error for StbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StbError::Io(e) => Some(e),
+            StbError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StbError {
+    fn from(e: io::Error) -> Self {
+        StbError::Io(e)
+    }
+}
+
+impl From<TraceError> for StbError {
+    fn from(e: TraceError) -> Self {
+        StbError::Malformed(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varint primitives (LEB128 u64, zigzag i64).
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 u64 from `bytes` starting at `*pos` (offsets relative to
+/// `base` for error reporting).
+fn read_varint(
+    bytes: &[u8],
+    pos: &mut usize,
+    base: u64,
+    context: &'static str,
+) -> Result<u64, StbError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(StbError::Truncated {
+                offset: base + *pos as u64,
+                context,
+            });
+        };
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(StbError::Corrupt {
+                offset: base + *pos as u64 - 1,
+                message: format!("varint overflows 64 bits while reading {context}"),
+            });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads one varint directly from a counting reader (used for frame lengths,
+/// where the payload is not yet buffered).
+fn read_varint_io<R: Read>(
+    r: &mut CountingReader<R>,
+    context: &'static str,
+) -> Result<Option<u64>, StbError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact_or_eof(&mut byte)? {
+            true => {}
+            false => {
+                if first {
+                    return Ok(None); // clean EOF at a frame boundary
+                }
+                return Err(StbError::Truncated {
+                    offset: r.offset(),
+                    context,
+                });
+            }
+        }
+        first = false;
+        let byte = byte[0];
+        if shift == 63 && byte > 1 {
+            return Err(StbError::Corrupt {
+                offset: r.offset() - 1,
+                message: format!("varint overflows 64 bits while reading {context}"),
+            });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        shift += 7;
+    }
+}
+
+/// A reader that tracks the absolute byte offset, so every decode error can
+/// name the position it happened at.
+struct CountingReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn new(inner: R) -> Self {
+        CountingReader { inner, offset: 0 }
+    }
+
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Fills `buf` completely, or returns `Ok(false)` on clean EOF at the
+    /// first byte. EOF mid-buffer is an error (`Truncated` is raised by the
+    /// caller, which knows the context).
+    fn read_exact_or_eof(&mut self, buf: &mut [u8]) -> io::Result<bool> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(false),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "unexpected end of STB stream",
+                    ))
+                }
+                Ok(n) => {
+                    filled += n;
+                    self.offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], context: &'static str) -> Result<(), StbError> {
+        match self.read_exact_or_eof(buf) {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(StbError::Truncated {
+                offset: self.offset,
+                context,
+            }),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(StbError::Truncated {
+                offset: self.offset,
+                context,
+            }),
+            Err(e) => Err(StbError::Io(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event codec: op tags and per-chunk delta state.
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_ACQUIRE: u8 = 2;
+const TAG_RELEASE: u8 = 3;
+const TAG_FORK: u8 = 4;
+const TAG_JOIN: u8 = 5;
+const TAG_VREAD: u8 = 6;
+const TAG_VWRITE: u8 = 7;
+
+/// Delta-compression state, reset at every chunk boundary so chunks decode
+/// independently (which is what makes skip-and-resume sound).
+#[derive(Clone, Copy, Debug, Default)]
+struct DeltaState {
+    var: u32,
+    lock: u32,
+    thread: u32,
+    volatile: u32,
+    loc: u32,
+}
+
+impl DeltaState {
+    /// Splits an op into its tag and the previous-target register it deltas
+    /// against, returning `(tag, prev, raw_target)`.
+    fn op_parts(&mut self, op: &Op) -> (u8, &mut u32, u32) {
+        match op {
+            Op::Read(x) => (TAG_READ, &mut self.var, x.raw()),
+            Op::Write(x) => (TAG_WRITE, &mut self.var, x.raw()),
+            Op::Acquire(m) => (TAG_ACQUIRE, &mut self.lock, m.raw()),
+            Op::Release(m) => (TAG_RELEASE, &mut self.lock, m.raw()),
+            Op::Fork(t) => (TAG_FORK, &mut self.thread, t.raw()),
+            Op::Join(t) => (TAG_JOIN, &mut self.thread, t.raw()),
+            Op::VolatileRead(v) => (TAG_VREAD, &mut self.volatile, v.raw()),
+            Op::VolatileWrite(v) => (TAG_VWRITE, &mut self.volatile, v.raw()),
+        }
+    }
+
+    fn register_for(&mut self, tag: u8) -> &mut u32 {
+        match tag {
+            TAG_READ | TAG_WRITE => &mut self.var,
+            TAG_ACQUIRE | TAG_RELEASE => &mut self.lock,
+            TAG_FORK | TAG_JOIN => &mut self.thread,
+            _ => &mut self.volatile,
+        }
+    }
+}
+
+/// Encodes a burst of same-thread events as one run into `out`.
+fn encode_run(out: &mut Vec<u8>, tid: ThreadId, events: &[Event], state: &mut DeltaState) {
+    debug_assert!(!events.is_empty());
+    push_varint(out, u64::from(tid.raw()));
+    push_varint(out, events.len() as u64);
+    for e in events {
+        let (tag, prev, target) = state.op_parts(&e.op);
+        let delta = i64::from(target) - i64::from(*prev);
+        *prev = target;
+        let has_loc = u64::from(!e.loc.is_unknown());
+        push_varint(out, zigzag(delta) << 4 | has_loc << 3 | u64::from(tag));
+        if has_loc == 1 {
+            let loc_delta = i64::from(e.loc.raw()) - i64::from(state.loc);
+            state.loc = e.loc.raw();
+            push_varint(out, zigzag(loc_delta));
+        }
+    }
+}
+
+fn id_from_i64(v: i64, offset: u64, what: &str) -> Result<u32, StbError> {
+    u32::try_from(v).map_err(|_| StbError::Corrupt {
+        offset,
+        message: format!("{what} delta decodes to {v}, outside the u32 id range"),
+    })
+}
+
+/// Decodes the payload of one chunk into `sink`. `expected` is the frame's
+/// declared event count; `base` the absolute offset of the payload's first
+/// byte.
+fn decode_chunk(
+    payload: &[u8],
+    expected: u64,
+    base: u64,
+    mut sink: impl FnMut(Event),
+) -> Result<(), StbError> {
+    let mut state = DeltaState::default();
+    let mut pos = 0usize;
+    let mut decoded: u64 = 0;
+    while decoded < expected {
+        let tid = read_varint(payload, &mut pos, base, "run thread id")?;
+        let tid = u32::try_from(tid).map_err(|_| StbError::Corrupt {
+            offset: base + pos as u64,
+            message: format!("run thread id {tid} outside the u32 id range"),
+        })?;
+        let run_len = read_varint(payload, &mut pos, base, "run length")?;
+        if run_len == 0 {
+            return Err(StbError::Corrupt {
+                offset: base + pos as u64,
+                message: "zero-length run".to_string(),
+            });
+        }
+        if run_len > expected - decoded {
+            return Err(StbError::Corrupt {
+                offset: base + pos as u64,
+                message: format!(
+                    "run of {run_len} events overflows the chunk's declared count \
+                     ({decoded} of {expected} decoded)"
+                ),
+            });
+        }
+        for _ in 0..run_len {
+            let head = read_varint(payload, &mut pos, base, "event header")?;
+            let tag = (head & 0b111) as u8;
+            let has_loc = head & 0b1000 != 0;
+            let delta = unzigzag(head >> 4);
+            let here = base + pos as u64;
+            let prev = state.register_for(tag);
+            let target = id_from_i64(i64::from(*prev) + delta, here, "target id")?;
+            *prev = target;
+            let op = match tag {
+                TAG_READ => Op::Read(VarId::new(target)),
+                TAG_WRITE => Op::Write(VarId::new(target)),
+                TAG_ACQUIRE => Op::Acquire(LockId::new(target)),
+                TAG_RELEASE => Op::Release(LockId::new(target)),
+                TAG_FORK => Op::Fork(ThreadId::new(target)),
+                TAG_JOIN => Op::Join(ThreadId::new(target)),
+                TAG_VREAD => Op::VolatileRead(VarId::new(target)),
+                _ => Op::VolatileWrite(VarId::new(target)),
+            };
+            let loc = if has_loc {
+                let loc_delta = unzigzag(read_varint(payload, &mut pos, base, "location delta")?);
+                let loc = id_from_i64(i64::from(state.loc) + loc_delta, here, "location")?;
+                state.loc = loc;
+                Loc::new(loc)
+            } else {
+                Loc::UNKNOWN
+            };
+            sink(Event::with_loc(ThreadId::new(tid), op, loc));
+        }
+        decoded += run_len;
+    }
+    if pos != payload.len() {
+        return Err(StbError::Corrupt {
+            offset: base + pos as u64,
+            message: format!(
+                "{} trailing byte(s) after the chunk's {expected} declared event(s)",
+                payload.len() - pos
+            ),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+/// A streaming STB encoder usable as a recording sink: push events with
+/// [`write`](StbWriter::write), close the stream with
+/// [`finish`](StbWriter::finish).
+///
+/// Events are buffered into chunks of
+/// [`chunk_events`](StbWriter::chunk_events) (default
+/// [`DEFAULT_CHUNK_EVENTS`]) and flushed a chunk at a time, so memory stays
+/// bounded however long the stream runs.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::binary::{StbReader, StbWriter};
+/// use smarttrack_trace::{Event, Op, ThreadId, VarId};
+///
+/// let mut writer = StbWriter::new(Vec::new());
+/// writer.write(&Event::new(ThreadId::new(0), Op::Write(VarId::new(0))))?;
+/// writer.write(&Event::new(ThreadId::new(1), Op::Read(VarId::new(0))))?;
+/// let bytes = writer.finish()?;
+///
+/// assert_eq!(StbReader::new(&bytes[..])?.count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct StbWriter<W: Write> {
+    out: W,
+    pending: Vec<Event>,
+    chunk_events: usize,
+    /// Header bytes not yet written (flushed with the first chunk), then a
+    /// reusable frame-encoding buffer.
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> StbWriter<W> {
+    /// Starts an STB stream with no [`StbHint`] (the usual case for a live
+    /// recording, where totals are unknown until the stream ends).
+    ///
+    /// Construction is infallible: the header is buffered and only reaches
+    /// the sink with the first chunk flush, so early I/O failures (e.g. an
+    /// unwritable file) surface from [`write`](StbWriter::write) /
+    /// [`finish`](StbWriter::finish).
+    pub fn new(out: W) -> Self {
+        Self::start(out, None)
+    }
+
+    /// Starts an STB stream whose header carries `hint` (use when totals
+    /// are known up front, e.g. when re-encoding a recorded trace).
+    pub fn with_hint(out: W, hint: StbHint) -> Self {
+        Self::start(out, Some(hint))
+    }
+
+    fn start(out: W, hint: Option<StbHint>) -> Self {
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(&STB_MAGIC);
+        header.push(STB_VERSION);
+        match hint {
+            None => header.push(0),
+            Some(h) => {
+                header.push(FLAG_HAS_HINT);
+                for v in [h.events, h.threads, h.vars, h.locks, h.volatiles] {
+                    push_varint(&mut header, v);
+                }
+            }
+        }
+        StbWriter {
+            out,
+            pending: Vec::new(),
+            chunk_events: DEFAULT_CHUNK_EVENTS,
+            scratch: header,
+        }
+    }
+
+    /// Sets the number of events per chunk (minimum 1). Smaller chunks make
+    /// skipping finer-grained; larger chunks compress runs slightly better.
+    ///
+    /// The value is clamped to [`MAX_CHUNK_EVENTS`] so that even a
+    /// worst-case encoding (every event a fresh run with maximal varints)
+    /// stays under the readers' per-chunk payload cap — the writer can
+    /// never produce a file its own reader refuses.
+    pub fn chunk_events(mut self, events: usize) -> Self {
+        self.chunk_events = events.clamp(1, MAX_CHUNK_EVENTS);
+        self
+    }
+
+    /// Appends one event to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing a completed chunk (the header is
+    /// also flushed lazily with the first chunk).
+    pub fn write(&mut self, event: &Event) -> io::Result<()> {
+        self.pending.push(*event);
+        if self.pending.len() >= self.chunk_events {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Encodes `self.pending` as one chunk and writes it (plus any
+    /// still-unwritten header bytes in `scratch`).
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(self.pending.len() * 3);
+        let mut state = DeltaState::default();
+        let mut start = 0;
+        for i in 1..=self.pending.len() {
+            if i == self.pending.len() || self.pending[i].tid != self.pending[start].tid {
+                encode_run(
+                    &mut payload,
+                    self.pending[start].tid,
+                    &self.pending[start..i],
+                    &mut state,
+                );
+                start = i;
+            }
+        }
+        push_varint(&mut self.scratch, payload.len() as u64);
+        push_varint(&mut self.scratch, self.pending.len() as u64);
+        self.out.write_all(&self.scratch)?;
+        self.out.write_all(&payload)?;
+        self.scratch.clear();
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flushes the final (possibly partial) chunk, writes the end-of-stream
+    /// terminator, and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        self.scratch.push(0); // terminator: a zero payload length
+        self.out.write_all(&self.scratch)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+/// A streaming STB decoder: an iterator of [`Event`]s that reads one chunk
+/// at a time, so memory stays bounded by the writer's chunk size however
+/// large the file.
+///
+/// The reader performs no trace validation — feed its events to an analysis
+/// `Session` (which validates the stream) or to a
+/// [`TraceBuilder`]. The eager [`read_stb`] wrapper
+/// does the latter for you.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{binary, paper};
+///
+/// let bytes = binary::to_stb_bytes(&paper::figure1());
+/// let mut reader = binary::StbReader::new(&bytes[..])?;
+/// assert_eq!(reader.header().hint.unwrap().events, 8);
+/// let first = reader.next().unwrap()?;
+/// assert_eq!(first.to_string(), "T0:rd(x0)");
+/// # Ok::<(), smarttrack_trace::binary::StbError>(())
+/// ```
+pub struct StbReader<R: Read> {
+    input: CountingReader<R>,
+    header: StbHeader,
+    /// Decoded events of the current chunk, drained front to back.
+    chunk: std::vec::IntoIter<Event>,
+    /// Set once the terminator (or a fatal error) was seen.
+    done: bool,
+    /// Events decoded (yielded or skipped) so far.
+    position: u64,
+}
+
+impl<R: Read> StbReader<R> {
+    /// Reads and checks the STB header, leaving the reader positioned at
+    /// the first chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`StbError::BadMagic`] / [`StbError::UnsupportedVersion`] /
+    /// [`StbError::UnknownFlags`] for foreign or future inputs,
+    /// [`StbError::Truncated`] if the input ends inside the header.
+    pub fn new(input: R) -> Result<Self, StbError> {
+        let mut input = CountingReader::new(input);
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic, "magic")?;
+        if magic != STB_MAGIC {
+            return Err(StbError::BadMagic { found: magic });
+        }
+        let mut version_flags = [0u8; 2];
+        input.read_exact(&mut version_flags, "version and flags")?;
+        let [version, flags] = version_flags;
+        if version != STB_VERSION {
+            return Err(StbError::UnsupportedVersion(version));
+        }
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(StbError::UnknownFlags(flags));
+        }
+        let hint = if flags & FLAG_HAS_HINT != 0 {
+            let mut fields = [0u64; 5];
+            for field in &mut fields {
+                *field = read_varint_io(&mut input, "header hint")?.ok_or(StbError::Truncated {
+                    offset: input.offset(),
+                    context: "header hint",
+                })?;
+            }
+            Some(StbHint {
+                events: fields[0],
+                threads: fields[1],
+                vars: fields[2],
+                locks: fields[3],
+                volatiles: fields[4],
+            })
+        } else {
+            None
+        };
+        Ok(StbReader {
+            input,
+            header: StbHeader { version, hint },
+            chunk: Vec::new().into_iter(),
+            done: false,
+            position: 0,
+        })
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &StbHeader {
+        &self.header
+    }
+
+    /// Number of events decoded (yielded or skipped) so far.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Reads one chunk frame. Returns the payload and its declared event
+    /// count, or `None` at the terminator / clean EOF.
+    fn next_frame(&mut self) -> Result<Option<(Vec<u8>, u64, u64)>, StbError> {
+        let Some(len) = read_varint_io(&mut self.input, "chunk length")? else {
+            // Missing terminator: the file was cut at a chunk boundary. Be
+            // strict — a truncated recording should not silently pass.
+            return Err(StbError::Truncated {
+                offset: self.input.offset(),
+                context: "chunk length (missing end-of-stream terminator)",
+            });
+        };
+        if len == 0 {
+            return Ok(None); // end-of-stream terminator
+        }
+        if len > MAX_CHUNK_BYTES {
+            return Err(StbError::Corrupt {
+                offset: self.input.offset(),
+                message: format!(
+                    "chunk payload of {len} bytes exceeds the {MAX_CHUNK_BYTES}-byte cap"
+                ),
+            });
+        }
+        let count = read_varint_io(&mut self.input, "chunk event count")?.ok_or_else(|| {
+            StbError::Truncated {
+                offset: self.input.offset(),
+                context: "chunk event count",
+            }
+        })?;
+        if count == 0 {
+            return Err(StbError::Corrupt {
+                offset: self.input.offset(),
+                message: "chunk declares zero events".to_string(),
+            });
+        }
+        let base = self.input.offset();
+        let mut payload = vec![0u8; len as usize];
+        self.input.read_exact(&mut payload, "chunk payload")?;
+        Ok(Some((payload, count, base)))
+    }
+
+    /// Loads and decodes the next chunk into the event buffer. Returns
+    /// `false` at end of stream.
+    fn load_chunk(&mut self) -> Result<bool, StbError> {
+        let Some((payload, count, base)) = self.next_frame()? else {
+            return Ok(false);
+        };
+        let mut events = Vec::with_capacity(count as usize);
+        decode_chunk(&payload, count, base, |e| events.push(e))?;
+        self.chunk = events.into_iter();
+        Ok(true)
+    }
+
+    /// Skips the next whole chunk without decoding its events (any events
+    /// already buffered from the current chunk are dropped first). Returns
+    /// the number of events skipped, or `None` at end of stream.
+    ///
+    /// Skipping is sound because every chunk's delta state is
+    /// self-contained; it is how a consumer seeks coarsely into a long
+    /// recording (e.g. to resume a windowed analysis).
+    ///
+    /// # Errors
+    ///
+    /// Frame-level errors only — the skipped payload is not validated.
+    pub fn skip_chunk(&mut self) -> Result<Option<u64>, StbError> {
+        let dropped = self.chunk.len() as u64;
+        self.chunk = Vec::new().into_iter();
+        if dropped > 0 {
+            self.position += dropped;
+            return Ok(Some(dropped));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        match self.next_frame() {
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Ok(Some((_, count, _))) => {
+                self.position += count;
+                Ok(Some(count))
+            }
+            Err(e) => {
+                // Latch end-of-stream, exactly like `next`: after a frame
+                // error the byte position is unreliable, and resuming could
+                // misread payload bytes as a fresh frame.
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for StbReader<R> {
+    type Item = Result<Event, StbError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(event) = self.chunk.next() {
+                self.position += 1;
+                return Some(Ok(event));
+            }
+            if self.done {
+                return None;
+            }
+            match self.load_chunk() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eager faces.
+
+/// Writes `trace` to `out` as an STB stream, header hint included.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{binary, paper};
+///
+/// let bytes = binary::write_stb(&paper::figure1(), Vec::new())?;
+/// assert!(bytes.starts_with(&binary::STB_MAGIC));
+/// assert_eq!(binary::read_stb(&bytes[..])?, paper::figure1());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_stb<W: Write>(trace: &Trace, out: W) -> io::Result<W> {
+    let mut writer = StbWriter::with_hint(out, StbHint::of_trace(trace));
+    for event in trace.events() {
+        writer.write(event)?;
+    }
+    writer.finish()
+}
+
+/// Reads a whole STB stream into a validated [`Trace`].
+///
+/// # Errors
+///
+/// Decode errors as [`StbError`]; [`StbError::Malformed`] if the decoded
+/// events violate trace well-formedness.
+pub fn read_stb<R: Read>(input: R) -> Result<Trace, StbError> {
+    let mut reader = StbReader::new(input)?;
+    let mut builder = TraceBuilder::new();
+    for event in &mut reader {
+        builder.push_event(event?)?;
+    }
+    if let Some(hint) = reader.header().hint {
+        if hint.events != builder.len() as u64 {
+            return Err(StbError::Corrupt {
+                offset: reader.input.offset(),
+                message: format!(
+                    "header hint declares {} events but the stream carries {}",
+                    hint.events,
+                    builder.len()
+                ),
+            });
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// [`write_stb`] into a fresh byte vector.
+pub fn to_stb_bytes(trace: &Trace) -> Vec<u8> {
+    write_stb(trace, Vec::new()).expect("writing to a Vec cannot fail")
+}
+
+/// [`read_stb`] from a byte slice.
+///
+/// # Errors
+///
+/// Same as [`read_stb`].
+pub fn from_stb_bytes(bytes: &[u8]) -> Result<Trace, StbError> {
+    read_stb(bytes)
+}
+
+/// Writes a trace to an STB file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_stb_file<P: AsRef<std::path::Path>>(trace: &Trace, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = io::BufWriter::new(file);
+    write_stb(trace, &mut out)?;
+    out.flush()
+}
+
+/// Reads a trace from an STB file.
+///
+/// # Errors
+///
+/// I/O errors as [`StbError::Io`]; decode errors as the other variants.
+pub fn read_stb_file<P: AsRef<std::path::Path>>(path: P) -> Result<Trace, StbError> {
+    let file = std::fs::File::open(path)?;
+    read_stb(io::BufReader::new(file))
+}
+
+impl Trace {
+    /// Serializes this trace as STB (see [`binary`](crate::binary)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_stb<W: Write>(&self, out: W) -> io::Result<W> {
+        write_stb(self, out)
+    }
+
+    /// Reads a trace from an STB stream (see [`binary`](crate::binary)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`read_stb`].
+    pub fn read_stb<R: Read>(input: R) -> Result<Self, StbError> {
+        read_stb(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::RandomTraceSpec;
+    use crate::paper;
+
+    #[test]
+    fn round_trips_paper_figures() {
+        for (name, tr) in paper::all_figures() {
+            let bytes = to_stb_bytes(&tr);
+            let back = from_stb_bytes(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, tr, "{name}");
+        }
+    }
+
+    #[test]
+    fn round_trips_random_traces_across_chunk_sizes() {
+        for seed in 0..6 {
+            let tr = RandomTraceSpec {
+                events: 700,
+                volatiles: 2,
+                volatile_prob: 0.05,
+                fork_join: true,
+                ..RandomTraceSpec::default()
+            }
+            .generate(seed);
+            for chunk in [1, 3, 64, 4096] {
+                let mut w =
+                    StbWriter::with_hint(Vec::new(), StbHint::of_trace(&tr)).chunk_events(chunk);
+                for e in tr.events() {
+                    w.write(e).unwrap();
+                }
+                let bytes = w.finish().unwrap();
+                assert_eq!(
+                    from_stb_bytes(&bytes).expect("round trip"),
+                    tr,
+                    "seed {seed} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_thread_runs_cost_a_few_bytes_per_event() {
+        // A single-thread burst with clustered variables and locations: the
+        // motivating case. Budget: header + ~3 bytes/event.
+        let mut b = crate::TraceBuilder::new();
+        for i in 0..1000u32 {
+            b.push_at(
+                ThreadId::new(0),
+                Op::Write(VarId::new(i % 8)),
+                Loc::new(100 + i % 4),
+            )
+            .unwrap();
+        }
+        let tr = b.finish();
+        let bytes = to_stb_bytes(&tr);
+        assert!(
+            bytes.len() <= 24 + 3 * tr.len(),
+            "{} bytes for {} events",
+            bytes.len(),
+            tr.len()
+        );
+        // And much smaller than the text rendering.
+        assert!(bytes.len() * 4 < crate::fmt::render(&tr).len());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let tr = Trace::default();
+        let bytes = to_stb_bytes(&tr);
+        assert_eq!(from_stb_bytes(&bytes).unwrap(), tr);
+    }
+
+    #[test]
+    fn streaming_writer_without_hint_omits_it() {
+        let mut w = StbWriter::new(Vec::new());
+        w.write(&Event::new(ThreadId::new(0), Op::Write(VarId::new(0))))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        let reader = StbReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.header().hint, None);
+        assert_eq!(reader.count(), 1);
+    }
+
+    #[test]
+    fn reader_reports_position_and_header() {
+        let tr = paper::figure2();
+        let bytes = to_stb_bytes(&tr);
+        let mut reader = StbReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.position(), 0);
+        let hint = reader.header().hint.expect("eager writes carry a hint");
+        assert_eq!(hint.events, tr.len() as u64);
+        assert_eq!(hint.threads, tr.num_threads() as u64);
+        reader.next().unwrap().unwrap();
+        assert_eq!(reader.position(), 1);
+    }
+
+    #[test]
+    fn skip_chunk_skips_whole_chunks() {
+        let tr = RandomTraceSpec {
+            events: 100,
+            ..RandomTraceSpec::default()
+        }
+        .generate(9);
+        let mut w = StbWriter::new(Vec::new()).chunk_events(40);
+        for e in tr.events() {
+            w.write(e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+
+        let mut reader = StbReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.skip_chunk().unwrap(), Some(40));
+        let rest: Result<Vec<_>, _> = (&mut reader).collect();
+        assert_eq!(rest.unwrap(), &tr.events()[40..]);
+        assert_eq!(reader.skip_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = from_stb_bytes(b"T0 wr x0\n").unwrap_err();
+        assert!(matches!(err, StbError::BadMagic { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_future_versions_and_unknown_flags() {
+        let mut bytes = to_stb_bytes(&paper::figure1());
+        bytes[4] = 9;
+        assert!(matches!(
+            from_stb_bytes(&bytes).unwrap_err(),
+            StbError::UnsupportedVersion(9)
+        ));
+        let mut bytes = to_stb_bytes(&paper::figure1());
+        bytes[5] |= 0b1000_0000;
+        assert!(matches!(
+            from_stb_bytes(&bytes).unwrap_err(),
+            StbError::UnknownFlags(_)
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_precise_error_not_a_panic() {
+        let bytes = to_stb_bytes(&paper::figure3());
+        for cut in 0..bytes.len() {
+            match from_stb_bytes(&bytes[..cut]) {
+                Err(StbError::Truncated { offset, .. }) => {
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                }
+                Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+                Ok(_) => panic!("cut at {cut}: truncated stream decoded"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_chunk_declared_counts_are_rejected() {
+        let tr = paper::figure1();
+        let bytes = to_stb_bytes(&tr);
+        // Locate the chunk frame: header is 4 magic + 1 version + 1 flags +
+        // 5 hint varints (all small here, 1 byte each) = 11 bytes.
+        let frame = 11;
+        let mut fewer = bytes.clone();
+        // Event count 8 -> 7: either a run now overflows the declared count
+        // or bytes trail the last declared event; both are Corrupt.
+        fewer[frame + 1] -= 1;
+        match from_stb_bytes(&fewer).unwrap_err() {
+            StbError::Corrupt { message, .. } => assert!(
+                message.contains("trailing") || message.contains("overflows"),
+                "{message}"
+            ),
+            other => panic!("unexpected {other}"),
+        }
+        let mut more = bytes.clone();
+        more[frame + 1] += 1; // event count 8 -> 9: run overflow / truncation
+        assert!(from_stb_bytes(&more).is_err());
+    }
+
+    #[test]
+    fn corrupt_hint_event_count_is_rejected_eagerly() {
+        let mut bytes = to_stb_bytes(&paper::figure1());
+        bytes[6] += 1; // hint.events (first varint after flags)
+        match from_stb_bytes(&bytes).unwrap_err() {
+            StbError::Corrupt { message, .. } => {
+                assert!(message.contains("header hint declares"), "{message}")
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_chunk_length_is_rejected_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STB_MAGIC);
+        bytes.push(STB_VERSION);
+        bytes.push(0);
+        push_varint(&mut bytes, u64::MAX / 2); // absurd payload length
+        match StbReader::new(&bytes[..])
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap_err()
+        {
+            StbError::Corrupt { message, .. } => assert!(message.contains("cap"), "{message}"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STB_MAGIC);
+        bytes.push(STB_VERSION);
+        bytes.push(0);
+        bytes.extend_from_slice(&[0xff; 11]); // 11 continuation bytes > 64 bits
+        let err = StbReader::new(&bytes[..])
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, StbError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn eager_read_validates_well_formedness() {
+        // Encode an ill-formed stream (release of an unheld lock) directly
+        // through the streaming writer, which does not validate.
+        let mut w = StbWriter::new(Vec::new());
+        w.write(&Event::new(ThreadId::new(0), Op::Release(LockId::new(0))))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(matches!(
+            from_stb_bytes(&bytes).unwrap_err(),
+            StbError::Malformed(TraceError::ReleaseUnheldLock { .. })
+        ));
+        // The streaming reader yields it raw — validation is the consumer's.
+        let events: Result<Vec<_>, _> = StbReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(events.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn trace_inherent_methods_mirror_the_free_functions() {
+        let tr = paper::figure4c();
+        let bytes = tr.write_stb(Vec::new()).unwrap();
+        assert_eq!(Trace::read_stb(&bytes[..]).unwrap(), tr);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0, 1, -1, i64::MAX, i64::MIN, 12345, -54321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

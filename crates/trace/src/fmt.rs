@@ -52,6 +52,17 @@ impl From<TraceError> for ParseError {
 }
 
 /// Renders a trace in the line format (inverse of [`parse`]).
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{fmt, paper};
+///
+/// let text = fmt::render(&paper::figure1());
+/// assert!(text.starts_with("T0 rd x0"));
+/// assert_eq!(fmt::parse(&text)?, paper::figure1());
+/// # Ok::<(), smarttrack_trace::fmt::ParseError>(())
+/// ```
 pub fn render(trace: &Trace) -> String {
     let mut out = String::new();
     for e in trace.events() {
@@ -99,6 +110,17 @@ fn parse_prefixed(token: &str, prefix: char, line: usize) -> Result<u32, ParseEr
 ///
 /// Returns [`ParseError::BadLine`] for unparseable lines and
 /// [`ParseError::Malformed`] if the events violate trace well-formedness.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::fmt;
+///
+/// let trace = fmt::parse("T0 wr x0 @L3\nT1 rd x0\n")?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.num_threads(), 2);
+/// # Ok::<(), smarttrack_trace::fmt::ParseError>(())
+/// ```
 pub fn parse(text: &str) -> Result<Trace, ParseError> {
     let mut builder = crate::TraceBuilder::new();
     for (i, raw) in text.lines().enumerate() {

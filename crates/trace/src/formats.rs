@@ -1,8 +1,9 @@
-//! Interchange trace formats.
+//! Interchange trace formats and format auto-detection.
 //!
-//! Besides the native line format ([`fmt`](crate::fmt)), traces can be read
-//! from and written to two formats used by existing race-detection tooling,
-//! so recorded executions from other systems can be analyzed directly:
+//! Besides the native line format ([`fmt`](crate::fmt)) and the compact STB
+//! binary format ([`binary`](crate::binary)), traces can be read from and
+//! written to two text formats used by existing race-detection tooling, so
+//! recorded executions from other systems can be analyzed directly:
 //!
 //! * **STD** ([`parse_std`]/[`render_std`]) — the `RAPID`-style format used
 //!   by the WCP authors' tooling and by RoadRunner trace dumps:
@@ -18,6 +19,13 @@
 //! and locks `L<k>`; the native model uses dense `u32` indices, so names map
 //! through their numeric suffix. Parsers accept arbitrary non-numeric names
 //! too, interning them in first-appearance order.
+//!
+//! [`TraceFormat`] enumerates all four formats; [`parse_bytes`] /
+//! [`render_bytes`] dispatch over them (including the binary one), and
+//! [`read_file`] / [`write_file`] pick the format automatically — by
+//! magic-byte sniffing ([`sniff`]) for reads, by file extension
+//! ([`format_of_path`]) otherwise. `docs/TRACE_FORMATS.md` at the
+//! repository root is the normative spec with a selection guide.
 //!
 //! # Examples
 //!
@@ -56,6 +64,15 @@ pub enum FormatError {
     },
     /// The parsed events do not form a well-formed trace.
     Malformed(TraceError),
+    /// A binary (STB) decode failure, rendered to text (the structured form
+    /// is [`binary::StbError`](crate::binary::StbError), available from the
+    /// [`binary`](crate::binary) entry points directly).
+    Binary(String),
+    /// Bytes for a text format were not valid UTF-8.
+    NotUtf8 {
+        /// Byte offset of the first invalid sequence.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -63,6 +80,13 @@ impl fmt::Display for FormatError {
         match self {
             FormatError::BadLine { line, message } => write!(f, "line {line}: {message}"),
             FormatError::Malformed(e) => write!(f, "malformed trace: {e}"),
+            FormatError::Binary(message) => write!(f, "{message}"),
+            FormatError::NotUtf8 { offset } => {
+                write!(
+                    f,
+                    "invalid UTF-8 at byte {offset} (binary data in a text format?)"
+                )
+            }
         }
     }
 }
@@ -72,6 +96,15 @@ impl Error for FormatError {}
 impl From<TraceError> for FormatError {
     fn from(e: TraceError) -> Self {
         FormatError::Malformed(e)
+    }
+}
+
+impl From<crate::binary::StbError> for FormatError {
+    fn from(e: crate::binary::StbError) -> Self {
+        match e {
+            crate::binary::StbError::Malformed(err) => FormatError::Malformed(err),
+            other => FormatError::Binary(other.to_string()),
+        }
     }
 }
 
@@ -276,8 +309,8 @@ pub fn render_csv(trace: &Trace) -> String {
     out
 }
 
-/// The trace interchange formats understood by [`parse_as`]/[`render_as`]
-/// (and the CLI's `--format` flag).
+/// The trace formats understood by [`parse_bytes`]/[`render_bytes`] (and
+/// the CLI's `--format` flag).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TraceFormat {
     /// The native line format ([`crate::fmt`]).
@@ -287,6 +320,26 @@ pub enum TraceFormat {
     Std,
     /// Comma-separated rows.
     Csv,
+    /// The STB binary format ([`crate::binary`]).
+    Stb,
+}
+
+impl TraceFormat {
+    /// Returns `true` for the binary format (STB), whose byte stream is not
+    /// text and cannot go through [`parse_as`]/[`render_as`].
+    pub const fn is_binary(self) -> bool {
+        matches!(self, TraceFormat::Stb)
+    }
+
+    /// The conventional file extension for the format.
+    pub const fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Native => "trace",
+            TraceFormat::Std => "std",
+            TraceFormat::Csv => "csv",
+            TraceFormat::Stb => "stb",
+        }
+    }
 }
 
 impl std::str::FromStr for TraceFormat {
@@ -297,7 +350,10 @@ impl std::str::FromStr for TraceFormat {
             "native" => Ok(TraceFormat::Native),
             "std" | "rapid" => Ok(TraceFormat::Std),
             "csv" => Ok(TraceFormat::Csv),
-            other => Err(format!("unknown trace format `{other}` (native, std, csv)")),
+            "stb" | "binary" => Ok(TraceFormat::Stb),
+            other => Err(format!(
+                "unknown trace format `{other}` (native, std, csv, stb)"
+            )),
         }
     }
 }
@@ -308,16 +364,19 @@ impl fmt::Display for TraceFormat {
             TraceFormat::Native => write!(f, "native"),
             TraceFormat::Std => write!(f, "std"),
             TraceFormat::Csv => write!(f, "csv"),
+            TraceFormat::Stb => write!(f, "stb"),
         }
     }
 }
 
-/// Parses `text` in the given format.
+/// Parses `text` in the given *text* format.
 ///
 /// # Errors
 ///
 /// Syntax and well-formedness errors as [`FormatError`] (native-format
-/// errors are converted to the same type).
+/// errors are converted to the same type). For [`TraceFormat::Stb`] — whose
+/// byte stream is not text — this always fails; use [`parse_bytes`], which
+/// handles all four formats.
 pub fn parse_as(text: &str, format: TraceFormat) -> Result<Trace, FormatError> {
     match format {
         TraceFormat::Native => crate::fmt::parse(text).map_err(|e| match e {
@@ -328,16 +387,120 @@ pub fn parse_as(text: &str, format: TraceFormat) -> Result<Trace, FormatError> {
         }),
         TraceFormat::Std => parse_std(text),
         TraceFormat::Csv => parse_csv(text),
+        TraceFormat::Stb => Err(FormatError::Binary(
+            "STB is a binary format; decode bytes with `parse_bytes` or \
+             `binary::read_stb` instead of `parse_as`"
+                .to_string(),
+        )),
     }
 }
 
-/// Renders `trace` in the given format.
+/// Renders `trace` in the given *text* format.
+///
+/// # Panics
+///
+/// Panics for [`TraceFormat::Stb`], whose output is not text — use
+/// [`render_bytes`], which handles all four formats.
 pub fn render_as(trace: &Trace, format: TraceFormat) -> String {
     match format {
         TraceFormat::Native => crate::fmt::render(trace),
         TraceFormat::Std => render_std(trace),
         TraceFormat::Csv => render_csv(trace),
+        TraceFormat::Stb => panic!("STB is binary; render bytes with `render_bytes`"),
     }
+}
+
+/// Parses `bytes` in the given format (text formats are decoded as UTF-8).
+///
+/// # Errors
+///
+/// [`FormatError::NotUtf8`] for binary garbage handed to a text format;
+/// otherwise the same classes as [`parse_as`] / the STB decoder.
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::formats::{self, TraceFormat};
+/// use smarttrack_trace::paper;
+///
+/// let trace = paper::figure1();
+/// for format in [TraceFormat::Native, TraceFormat::Std, TraceFormat::Csv, TraceFormat::Stb] {
+///     let bytes = formats::render_bytes(&trace, format);
+///     assert_eq!(formats::parse_bytes(&bytes, format)?, trace);
+/// }
+/// # Ok::<(), smarttrack_trace::formats::FormatError>(())
+/// ```
+pub fn parse_bytes(bytes: &[u8], format: TraceFormat) -> Result<Trace, FormatError> {
+    match format {
+        TraceFormat::Stb => Ok(crate::binary::from_stb_bytes(bytes)?),
+        text_format => {
+            let text = std::str::from_utf8(bytes).map_err(|e| FormatError::NotUtf8 {
+                offset: e.valid_up_to(),
+            })?;
+            parse_as(text, text_format)
+        }
+    }
+}
+
+/// Renders `trace` in the given format as bytes (the inverse of
+/// [`parse_bytes`]).
+pub fn render_bytes(trace: &Trace, format: TraceFormat) -> Vec<u8> {
+    match format {
+        TraceFormat::Stb => crate::binary::to_stb_bytes(trace),
+        text_format => render_as(trace, text_format).into_bytes(),
+    }
+}
+
+/// Identifies a format from content alone: currently recognizes the STB
+/// magic number. Returns `None` for anything else (the text formats are not
+/// reliably distinguishable from each other by content, so extension-based
+/// selection applies — see [`format_of_path`]).
+pub fn sniff(bytes: &[u8]) -> Option<TraceFormat> {
+    bytes
+        .starts_with(&crate::binary::STB_MAGIC)
+        .then_some(TraceFormat::Stb)
+}
+
+/// Picks a format from a path's extension: `.stb` → STB, `.std`/`.rapid` →
+/// STD, `.csv` → CSV, anything else → the native line format.
+pub fn format_of_path<P: AsRef<std::path::Path>>(path: P) -> TraceFormat {
+    match path
+        .as_ref()
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
+        Some("stb") => TraceFormat::Stb,
+        Some("std") | Some("rapid") => TraceFormat::Std,
+        Some("csv") => TraceFormat::Csv,
+        _ => TraceFormat::Native,
+    }
+}
+
+/// Reads a trace file with format auto-detection: content sniffing
+/// ([`sniff`]) wins, then the path extension ([`format_of_path`]). An STB
+/// file therefore loads correctly whatever it is named.
+///
+/// # Errors
+///
+/// I/O errors as-is; parse and decode failures wrapped as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Trace> {
+    let bytes = std::fs::read(&path)?;
+    let format = sniff(&bytes).unwrap_or_else(|| format_of_path(&path));
+    parse_bytes(&bytes, format)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Writes a trace file in the format chosen by the path's extension
+/// ([`format_of_path`]); the inverse of [`read_file`].
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file<P: AsRef<std::path::Path>>(trace: &Trace, path: P) -> std::io::Result<()> {
+    std::fs::write(&path, render_bytes(trace, format_of_path(&path)))
 }
 
 #[cfg(test)]
@@ -442,16 +605,97 @@ mod tests {
         assert_eq!("RAPID".parse::<TraceFormat>(), Ok(TraceFormat::Std));
         assert_eq!("csv".parse::<TraceFormat>(), Ok(TraceFormat::Csv));
         assert_eq!("native".parse::<TraceFormat>(), Ok(TraceFormat::Native));
+        assert_eq!("stb".parse::<TraceFormat>(), Ok(TraceFormat::Stb));
+        assert_eq!("binary".parse::<TraceFormat>(), Ok(TraceFormat::Stb));
         assert!("xml".parse::<TraceFormat>().is_err());
         assert_eq!(TraceFormat::Std.to_string(), "std");
+        assert_eq!(TraceFormat::Stb.to_string(), "stb");
     }
 
     #[test]
-    fn parse_as_dispatches_all_formats() {
+    fn parse_as_dispatches_all_text_formats() {
         let tr = paper::figure1();
         for format in [TraceFormat::Native, TraceFormat::Std, TraceFormat::Csv] {
             let text = render_as(&tr, format);
             assert_eq!(parse_as(&text, format).expect("round trip"), tr, "{format}");
         }
+    }
+
+    #[test]
+    fn parse_bytes_dispatches_all_formats() {
+        let tr = paper::figure2();
+        for format in [
+            TraceFormat::Native,
+            TraceFormat::Std,
+            TraceFormat::Csv,
+            TraceFormat::Stb,
+        ] {
+            let bytes = render_bytes(&tr, format);
+            assert_eq!(
+                parse_bytes(&bytes, format).expect("round trip"),
+                tr,
+                "{format}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_as_refuses_the_binary_format_without_panicking() {
+        let err = parse_as("anything", TraceFormat::Stb).unwrap_err();
+        assert!(matches!(err, FormatError::Binary(_)), "{err}");
+    }
+
+    #[test]
+    fn binary_bytes_in_a_text_format_are_a_utf8_error() {
+        let bytes = render_bytes(&paper::figure1(), TraceFormat::Stb);
+        let err = parse_bytes(&bytes, TraceFormat::Native).unwrap_err();
+        assert!(matches!(err, FormatError::NotUtf8 { .. }), "{err}");
+    }
+
+    #[test]
+    fn sniffing_recognizes_stb_and_defers_on_text() {
+        let tr = paper::figure1();
+        assert_eq!(
+            sniff(&render_bytes(&tr, TraceFormat::Stb)),
+            Some(TraceFormat::Stb)
+        );
+        assert_eq!(sniff(&render_bytes(&tr, TraceFormat::Native)), None);
+        assert_eq!(sniff(b""), None);
+    }
+
+    #[test]
+    fn format_of_path_maps_extensions() {
+        assert_eq!(format_of_path("a/b.stb"), TraceFormat::Stb);
+        assert_eq!(format_of_path("a/b.STD"), TraceFormat::Std);
+        assert_eq!(format_of_path("a/b.rapid"), TraceFormat::Std);
+        assert_eq!(format_of_path("a/b.csv"), TraceFormat::Csv);
+        assert_eq!(format_of_path("a/b.trace"), TraceFormat::Native);
+        assert_eq!(format_of_path("noext"), TraceFormat::Native);
+        for f in [
+            TraceFormat::Native,
+            TraceFormat::Std,
+            TraceFormat::Csv,
+            TraceFormat::Stb,
+        ] {
+            assert_eq!(format_of_path(format!("t.{}", f.extension())), f);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_honors_extension_and_sniffing() {
+        let dir = std::env::temp_dir().join("smarttrack-formats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tr = paper::figure3();
+        for ext in ["trace", "std", "csv", "stb"] {
+            let path = dir.join(format!("auto-{}.{ext}", std::process::id()));
+            write_file(&tr, &path).unwrap();
+            assert_eq!(read_file(&path).unwrap(), tr, ".{ext}");
+            std::fs::remove_file(&path).ok();
+        }
+        // Sniffing beats a lying extension: STB bytes in a `.trace` file.
+        let path = dir.join(format!("lying-{}.trace", std::process::id()));
+        std::fs::write(&path, render_bytes(&tr, TraceFormat::Stb)).unwrap();
+        assert_eq!(read_file(&path).unwrap(), tr);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -18,7 +18,15 @@
 //! * seeded random trace generation for tests and property checks
 //!   ([`gen::RandomTraceSpec`]);
 //! * the paper's example executions (Figures 1–4) in [`paper`];
-//! * a plain-text serialization format and a column renderer ([`fmt`]).
+//! * a plain-text serialization format and a column renderer ([`fmt`]);
+//! * interchange formats (STD/`RAPID`, CSV) plus format auto-detection
+//!   ([`formats`]);
+//! * the compact STB binary format with streaming reader/writer faces
+//!   ([`binary`]).
+//!
+//! The normative specification of all four serialization formats, with
+//! byte-level STB layout tables and a format-selection guide, is
+//! `docs/TRACE_FORMATS.md` at the repository root.
 //!
 //! # Examples
 //!
@@ -37,6 +45,7 @@ mod ids;
 mod trace;
 mod validate;
 
+pub mod binary;
 pub mod fmt;
 pub mod formats;
 pub mod gen;

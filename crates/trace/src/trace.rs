@@ -88,7 +88,11 @@ impl Error for TraceError {}
 /// A well-formed execution trace: a totally ordered list of [`Event`]s.
 ///
 /// Construct traces with [`TraceBuilder`] (which validates well-formedness
-/// incrementally) or parse them from text with [`crate::fmt::parse`].
+/// incrementally), parse them from text with [`crate::fmt::parse`] (or any
+/// format via [`crate::formats::parse_bytes`]), or decode them from the
+/// compact STB binary format with [`crate::binary::read_stb`]. Streaming
+/// consumers that should not materialize a whole trace read events from a
+/// [`crate::binary::StbReader`] instead.
 ///
 /// # Examples
 ///

@@ -2,9 +2,10 @@
 //! well-formedness of generated traces, and statistics invariants.
 
 use proptest::prelude::*;
+use smarttrack_trace::binary::{self, StbHint, StbReader, StbWriter};
 use smarttrack_trace::gen::RandomTraceSpec;
 use smarttrack_trace::stats::TraceStats;
-use smarttrack_trace::{fmt, Op, Trace};
+use smarttrack_trace::{fmt, formats, Op, Trace};
 
 fn arb_spec() -> impl Strategy<Value = (RandomTraceSpec, u64)> {
     (
@@ -52,6 +53,56 @@ proptest! {
         let text = fmt::render(&tr);
         let back = fmt::parse(&text).expect("rendered traces parse");
         prop_assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn stb_round_trips((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        let bytes = binary::to_stb_bytes(&tr);
+        let back = binary::from_stb_bytes(&bytes).expect("write_stb ∘ read_stb is identity");
+        prop_assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn stb_round_trips_across_chunk_sizes((spec, seed) in arb_spec(), chunk in 1usize..64) {
+        let tr = spec.generate(seed);
+        let mut w = StbWriter::with_hint(Vec::new(), StbHint::of_trace(&tr)).chunk_events(chunk);
+        for e in tr.events() {
+            w.write(e).expect("Vec sink");
+        }
+        let bytes = w.finish().expect("Vec sink");
+        let back = binary::from_stb_bytes(&bytes).expect("chunked round trip");
+        prop_assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn stb_streaming_reader_yields_the_exact_event_sequence((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        let bytes = binary::to_stb_bytes(&tr);
+        let reader = StbReader::new(&bytes[..]).expect("header decodes");
+        prop_assert_eq!(reader.header().hint, Some(StbHint::of_trace(&tr)));
+        let events: Result<Vec<_>, _> = reader.collect();
+        let events = events.expect("stream decodes");
+        prop_assert_eq!(events.as_slice(), tr.events());
+    }
+
+    #[test]
+    fn stb_truncation_never_panics_and_never_decodes((spec, seed) in arb_spec(), sel in 0usize..10_000) {
+        let tr = spec.generate(seed);
+        let bytes = binary::to_stb_bytes(&tr);
+        let cut = bytes.len() * sel / 10_000; // strictly < len
+        prop_assert!(binary::from_stb_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn parse_bytes_round_trips_every_format((spec, seed) in arb_spec()) {
+        let tr = spec.generate(seed);
+        use formats::TraceFormat::*;
+        for format in [Native, Std, Csv, Stb] {
+            let bytes = formats::render_bytes(&tr, format);
+            let back = formats::parse_bytes(&bytes, format).expect("round trip");
+            prop_assert_eq!(&tr, &back, "{}", format);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! streaming [`Detector`]: [`WindowedDetector`] buffers the stream and runs
 //! each window the moment the stream has filled it, so windowed races
 //! surface incrementally (and can ride in any fan-out
-//! [`Session`](smarttrack_detect::Session) lane next to the partial-order
+//! [`Session`] lane next to the partial-order
 //! analyses). [`WindowedRaceAnalysis`] is the whole-trace convenience
 //! driver on top.
 //!

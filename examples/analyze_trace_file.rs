@@ -6,20 +6,31 @@
 //! cargo run --example analyze_trace_file [path/to/trace]
 //! ```
 //!
+//! The trace file may be in any of the four supported formats — native
+//! line text, STD/`RAPID`, CSV, or the compact STB binary format — and is
+//! auto-detected the same way the `smarttrack` CLI does it: magic-byte
+//! sniffing first (STB announces itself), then the file extension
+//! (`.stb`, `.std`/`.rapid`, `.csv`, else native). The CLI's `--format`
+//! flag forces a format the same way passing one to
+//! [`smarttrack_trace::formats::parse_bytes`] does here.
+//!
 //! Without an argument, the example records a fresh execution of the
-//! Figure 1 program to a temp file first.
+//! Figure 1 program to a temp `.stb` file first — the format a production
+//! recorder would pick: ~2–3 bytes per event instead of tens, and
+//! streamable back in bounded memory (see `docs/TRACE_FORMATS.md`).
 
-use smarttrack::trace::fmt;
 use smarttrack::two_phase::detect_then_check;
 use smarttrack::Relation;
 use smarttrack_runtime::{execute, Program, SchedulePolicy, ThreadSpec};
-use smarttrack_trace::{LockId, VarId};
+use smarttrack_trace::{binary, formats, LockId, VarId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = match std::env::args().nth(1) {
         Some(p) => std::path::PathBuf::from(p),
         None => {
-            // Record: run the program and persist the observed trace.
+            // Record: run the program and persist the observed trace as STB
+            // (the extension picks the binary format; `.trace` would have
+            // written native text).
             let (x, y, z) = (VarId::new(0), VarId::new(1), VarId::new(2));
             let m = LockId::new(0);
             let program = Program::new(vec![
@@ -27,17 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ThreadSpec::new().acquire(m).read(z).release(m).write(x),
             ]);
             let trace = execute(&program, SchedulePolicy::ProgramOrder)?;
-            let path = std::env::temp_dir().join("smarttrack-recorded.trace");
-            fmt::write_file(&trace, &path)?;
-            println!("recorded {} events to {}", trace.len(), path.display());
+            let path = std::env::temp_dir().join("smarttrack-recorded.stb");
+            binary::write_stb_file(&trace, &path)?;
+            println!(
+                "recorded {} events to {} ({} bytes of STB)",
+                trace.len(),
+                path.display(),
+                std::fs::metadata(&path)?.len()
+            );
             path
         }
     };
 
-    // Analyze: load the trace and run the two-phase pipeline (§4.3):
-    // SmartTrack-DC detection, then graph-building replay + vindication
-    // only if races were found.
-    let trace = fmt::read_file(&path)?;
+    // Analyze: load the trace — whatever its format — and run the
+    // two-phase pipeline (§4.3): SmartTrack-DC detection, then
+    // graph-building replay + vindication only if races were found.
+    let trace = formats::read_file(&path)?;
     println!("loaded {} events from {}", trace.len(), path.display());
     let outcome = detect_then_check(&trace, Relation::Dc);
     println!(

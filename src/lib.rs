@@ -3,6 +3,15 @@
 //! This package exists to host the cross-crate integration tests in `tests/`
 //! and the runnable examples in `examples/`. The actual library lives in the
 //! [`smarttrack`] facade crate and the `smarttrack-*` substrate crates.
+//!
+//! Start with the documentation under `docs/`:
+//!
+//! * `docs/ARCHITECTURE.md` — the crate map, the `Engine`/`Session`
+//!   ingestion dataflow every driver sits on, and where new detectors,
+//!   formats, and workloads plug in;
+//! * `docs/TRACE_FORMATS.md` — the normative spec of the four trace
+//!   serialization formats (native line, STD/`RAPID`, CSV, and the STB
+//!   binary format with its byte-level layout).
 
 pub use smarttrack;
 pub use smarttrack_clock;

@@ -105,6 +105,87 @@ fn render_output_is_stable_for_documentation() {
 }
 
 #[test]
+fn stb_binary_pipeline() {
+    // The production recording workflow: generate straight to STB, stream
+    // it through the analyses, convert it for a text-only consumer, and
+    // check every path agrees.
+    let stb = TempFile(
+        std::env::temp_dir().join(format!("smarttrack-e2e-{}-xalan.stb", std::process::id())),
+    );
+    let stb_path = stb.as_str();
+    let text = cli(&[
+        "generate", "xalan", "--scale", "4e-6", "--seed", "11", "--out", &stb_path,
+    ]);
+    assert!(text.contains("(stb)"), "{text}");
+
+    // The STB file is dramatically smaller than the same trace as text.
+    let native = TempFile::new("xalan-native");
+    let native_path = native.as_str();
+    cli(&[
+        "convert",
+        &stb_path,
+        "--to",
+        "native",
+        "--out",
+        &native_path,
+    ]);
+    let stb_size = std::fs::metadata(&stb.0).unwrap().len();
+    let text_size = std::fs::metadata(&native.0).unwrap().len();
+    assert!(
+        stb_size * 3 < text_size,
+        "STB ({stb_size} B) should be far smaller than text ({text_size} B)"
+    );
+
+    // analyze streams the binary input and matches the text-file verdicts.
+    let from_stb = cli(&[
+        "analyze",
+        &stb_path,
+        "--analysis",
+        "fto-hb",
+        "--analysis",
+        "st-wdc",
+    ]);
+    assert!(from_stb.contains("streamed STB"), "{from_stb}");
+    let from_text = cli(&[
+        "analyze",
+        &native_path,
+        "--analysis",
+        "fto-hb",
+        "--analysis",
+        "st-wdc",
+    ]);
+    let verdicts = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("static /"))
+            .map(|l| l.split_whitespace().take(4).collect::<Vec<_>>().join(" "))
+            .collect()
+    };
+    assert_eq!(
+        verdicts(&from_stb),
+        verdicts(&from_text),
+        "{from_stb}\n{from_text}"
+    );
+
+    // stats and two-phase accept the binary input directly.
+    let text = cli(&["stats", &stb_path]);
+    assert!(text.contains("locks held at NSEAs"), "{text}");
+    let text = cli(&["two-phase", &stb_path, "--relation", "dc"]);
+    assert!(text.contains("phase 1"), "{text}");
+
+    // A truncated STB file fails with a precise error, not a panic.
+    let bytes = std::fs::read(&stb.0).unwrap();
+    let cut = TempFile::new("xalan-cut");
+    std::fs::write(&cut.0, &bytes[..bytes.len() / 2]).unwrap();
+    let mut out = Vec::new();
+    let args: Vec<String> = ["analyze", &cut.as_str()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let err = run(&args, &mut out).unwrap_err();
+    assert!(err.to_string().contains("truncated"), "{err}");
+}
+
+#[test]
 fn interchange_format_round_trip_pipeline() {
     // A trace leaves this toolchain as STD, is "edited by another tool"
     // (we re-read it), comes back, and analyzes identically — the

@@ -163,7 +163,7 @@ pub mod collection {
     use super::{SmallRng, Strategy};
     use rand::Rng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         len: std::ops::Range<usize>,
