@@ -1,0 +1,135 @@
+//! Batch-analysis throughput scaling: one `EnginePool` over a mixed
+//! xalan+avrora corpus at 1/2/4/8 workers.
+//!
+//! The corpus problem (thousands of recorded traces, one aggregated
+//! report) parallelizes across *jobs*, so throughput should scale with
+//! cores until the machine runs out of them. This bench measures
+//! end-to-end corpus analysis (events/second over the whole batch,
+//! including aggregation) and writes the result to `BENCH_BATCH.json` at
+//! the repo root so the performance trajectory is machine-readable. It
+//! also cross-checks that every worker count produced the bit-identical
+//! `CorpusReport` — a perf run doubling as an equivalence smoke test.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p smarttrack-bench --bench batch_scaling -- \
+//!     [--scale 1e-5] [--trials 3] [--out path.json]
+//! ```
+//!
+//! The workload mix deliberately brackets the analysis cost spectrum
+//! (lock-saturated xalan vs same-epoch-heavy avrora), so the job
+//! durations are uneven — exactly the shape the shared injector queue is
+//! for.
+
+use std::time::Instant;
+
+use smarttrack::{AnalysisConfig, BatchJob, Engine, EnginePool};
+use smarttrack_trace::Trace;
+
+/// Worker counts swept, matching the paper-style 1/2/4/8 presentation.
+const WORKER_POINTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The CLI's default analysis selection (HB baseline + the three
+/// SmartTrack-optimized predictive analyses).
+fn default_engine() -> Engine {
+    let configs: Vec<AnalysisConfig> = ["fto-hb", "st-wcp", "st-dc", "st-wdc"]
+        .into_iter()
+        .map(|name| name.parse().expect("known analysis"))
+        .collect();
+    Engine::builder().fanout(configs).build().expect("valid")
+}
+
+fn parse_args() -> (f64, usize, String) {
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_BATCH.json").to_string();
+    let (mut scale, mut trials, mut out) = (1e-5_f64, 3usize, default_out);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("numeric --scale"),
+            "--trials" => trials = value("--trials").parse().expect("numeric --trials"),
+            "--out" => out = value("--out"),
+            // `cargo bench` forwards its own filter/flag arguments (e.g.
+            // `--bench`); ignore anything we do not recognize.
+            _ => {}
+        }
+    }
+    (scale, trials.max(1), out)
+}
+
+fn main() {
+    let (scale, trials, out_path) = parse_args();
+    let corpus: Vec<(String, Trace)> = smarttrack_workloads::corpus(scale, &[11, 12, 13, 14]);
+    let jobs = corpus.len();
+    let events: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+    let engine = default_engine();
+    let cores = smarttrack_parallel::worker_count(None);
+    println!(
+        "batch_scaling: {jobs} jobs, {events} events (scale {scale:e}), best of {trials} \
+         trial(s), {cores} core(s) available"
+    );
+
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    let mut reports_identical = true;
+    let mut baseline_json: Option<String> = None;
+    for workers in WORKER_POINTS {
+        let pool = EnginePool::new(engine.clone()).with_workers(workers);
+        let mut best = 0f64;
+        for _ in 0..trials {
+            let batch: Vec<BatchJob> = corpus
+                .iter()
+                .map(|(label, trace)| BatchJob::from_trace(label.clone(), trace.clone()))
+                .collect();
+            let start = Instant::now();
+            let report = pool.run(batch);
+            let eps = events as f64 / start.elapsed().as_secs_f64();
+            best = best.max(eps);
+            assert_eq!(report.failed(), 0, "in-memory jobs cannot fail");
+            let json = report.to_json();
+            match &baseline_json {
+                None => baseline_json = Some(json),
+                Some(base) => reports_identical &= *base == json,
+            }
+        }
+        let speedup = best / points.first().map_or(best, |&(_, b)| b);
+        println!(
+            "  {workers} worker(s): {:>8.2}M events/s  ({speedup:.2}x vs 1)",
+            best / 1e6
+        );
+        points.push((workers, best));
+    }
+    assert!(
+        reports_identical,
+        "CorpusReport must not depend on worker count"
+    );
+
+    let base = points[0].1;
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"smarttrack-bench-batch/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": {scale:e}, \"trials\": {trials}, \"jobs\": {jobs}, \"events\": {events},\n"
+    ));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {cores}, \"reports_identical_across_workers\": {reports_identical},\n"
+    ));
+    json.push_str("  \"analyses\": [\"FTO-HB\", \"SmartTrack-WCP\", \"SmartTrack-DC\", \"SmartTrack-WDC\"],\n");
+    json.push_str("  \"points\": [\n");
+    for (i, &(workers, eps)) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"events_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}}}{}\n",
+            eps,
+            eps / base,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"caveat\": \"pool scheduling adds no analysis work, so speedup tracks \
+         available_parallelism; on a {cores}-core host the expected ceiling is ~{cores}x\"\n}}\n"
+    ));
+    std::fs::write(&out_path, json).expect("write BENCH_BATCH.json");
+    println!("wrote {out_path}");
+}

@@ -159,7 +159,7 @@ pub fn report(cfg: &ExperimentConfig) -> String {
          same-epoch fast paths never contend; shared workloads plateau (every\n\
          hook serializes on one variable's mutex, §5.1's worst case). Thread\n\
          counts beyond the core count only add scheduling overhead.\n",
-        std::thread::available_parallelism().map_or(1, usize::from)
+        smarttrack_parallel::worker_count(None)
     ));
     out
 }

@@ -1,0 +1,213 @@
+//! `smarttrack batch` — analyze a whole corpus of trace files in parallel.
+//!
+//! Each positional argument is a directory (its trace files, by
+//! extension), a `*`-glob, or one explicit file
+//! ([`smarttrack_trace::formats::corpus_paths`]). Every file becomes one
+//! job of an [`EnginePool`](smarttrack::EnginePool): a fixed worker pool
+//! (default: the machine's cores, `--jobs N` or `SMARTTRACK_WORKERS`
+//! override) pulls jobs from a shared queue and runs each as a streaming
+//! session — STB inputs decode chunk by chunk and are never held whole.
+//! A corrupt or truncated file fails its own row of the report, never the
+//! batch; `--strict` turns any failed job into a nonzero exit.
+//!
+//! The aggregated [`CorpusReport`](smarttrack::CorpusReport) deduplicates
+//! statically distinct races across the corpus. `--out report.json`
+//! writes the machine-readable rendering (schema
+//! `smarttrack-corpus-report/v1`, documented in `docs/ARCHITECTURE.md`);
+//! `--json` prints it to stdout instead of the human table.
+
+use std::io::Write;
+
+use smarttrack::{AnalysisConfig, BatchJob, Engine, EnginePool};
+
+use crate::{write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack batch <dir|glob|file>... [--analysis CFG]... [--all] \
+                     [--jobs N] [--out FILE] [--json] [--strict]";
+const SWITCHES: &[&str] = &["all", "json", "strict"];
+const VALUES: &[&str] = &["analysis", "jobs", "out"];
+
+/// Default selection, matching `analyze`: the HB baseline plus the three
+/// SmartTrack-optimized predictive analyses.
+const DEFAULT_ANALYSES: &[&str] = &["fto-hb", "st-wcp", "st-dc", "st-wdc"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, SWITCHES, VALUES)?;
+    if opts.positionals().is_empty() {
+        return Err(CliError::Usage(format!(
+            "missing corpus arguments; usage: {USAGE}"
+        )));
+    }
+
+    let configs: Vec<AnalysisConfig> = if opts.switch("all") {
+        AnalysisConfig::table1()
+    } else {
+        let names = opts.all_values("analysis");
+        let names: Vec<&str> = if names.is_empty() {
+            DEFAULT_ANALYSES.to_vec()
+        } else {
+            names.iter().map(String::as_str).collect()
+        };
+        names
+            .into_iter()
+            .map(|n| n.parse().map_err(|e| CliError::Usage(format!("{e}"))))
+            .collect::<Result<_, _>>()?
+    };
+    let engine = Engine::builder()
+        .fanout(configs)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    // Expand every corpus argument; ordering is deterministic (each
+    // expansion is sorted, arguments keep their order).
+    let mut paths = Vec::new();
+    for arg in opts.positionals() {
+        let expanded =
+            smarttrack_trace::formats::corpus_paths(arg).map_err(|source| CliError::Io {
+                path: arg.clone(),
+                source,
+            })?;
+        if expanded.is_empty() {
+            return Err(CliError::Invalid(format!("{arg}: no trace files matched")));
+        }
+        paths.extend(expanded);
+    }
+
+    let mut pool = EnginePool::new(engine);
+    if let Some(text) = opts.value("jobs") {
+        let workers: usize = text
+            .parse()
+            .map_err(|e| CliError::Usage(format!("invalid value `{text}` for `--jobs`: {e}")))?;
+        pool = pool.with_workers(workers);
+    }
+    let jobs: Vec<BatchJob> = paths.into_iter().map(BatchJob::from_path).collect();
+    let total = jobs.len();
+    let (report, stats) = pool.run_with_stats(jobs);
+
+    let json = report.to_json();
+    if let Some(path) = opts.value("out") {
+        std::fs::write(path, &json).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
+    }
+    if opts.switch("json") {
+        write_out(out, &json)?;
+    } else {
+        let mut buf = format!("batch: {total} jobs over {} worker(s)\n", stats.workers);
+        buf.push_str(&report.to_string());
+        if let Some(path) = opts.value("out") {
+            buf.push_str(&format!("\nwrote JSON report to {path}\n"));
+        }
+        write_out(out, &buf)?;
+    }
+
+    if opts.switch("strict") && report.failed() > 0 {
+        let first = report
+            .failures()
+            .next()
+            .expect("failed() > 0 implies a failure row");
+        return Err(CliError::Invalid(format!(
+            "{} of {} jobs failed (first: {}: {}); rerun without --strict to tolerate",
+            report.failed(),
+            total,
+            first.label,
+            first.result.as_ref().unwrap_err()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::testutil::capture;
+    use smarttrack_trace::paper;
+    use std::path::PathBuf;
+
+    /// A self-cleaning corpus directory holding the three DC-relevant
+    /// paper figures in mixed formats.
+    struct CorpusDir(PathBuf);
+
+    impl CorpusDir {
+        fn figures(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("st-cli-batch-{}-{tag}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            smarttrack_trace::binary::write_stb_file(&paper::figure1(), dir.join("fig1.stb"))
+                .unwrap();
+            smarttrack_trace::fmt::write_file(&paper::figure2(), dir.join("fig2.trace")).unwrap();
+            smarttrack_trace::fmt::write_file(&paper::figure4a(), dir.join("fig4a.trace")).unwrap();
+            CorpusDir(dir)
+        }
+
+        fn arg(&self) -> String {
+            self.0.display().to_string()
+        }
+    }
+
+    impl Drop for CorpusDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn batch_over_directory_aggregates_all_files() {
+        let dir = CorpusDir::figures("dir");
+        let text = capture(run, &[&dir.arg(), "--analysis", "st-wdc"]).unwrap();
+        assert!(text.contains("3 jobs"), "{text}");
+        assert!(text.contains("fig1.stb"), "{text}");
+        // Figures 1 and 2 race under WDC; 4a does not.
+        let totals = text
+            .lines()
+            .find(|l| l.starts_with("SmartTrack-WDC"))
+            .unwrap();
+        assert!(totals.split_whitespace().any(|w| w == "2"), "{totals}");
+    }
+
+    #[test]
+    fn glob_and_jobs_flags_are_honored() {
+        let dir = CorpusDir::figures("glob");
+        let glob = format!("{}/fig*.trace", dir.arg());
+        let text = capture(run, &[&glob, "--jobs", "4", "--analysis", "st-dc"]).unwrap();
+        assert!(text.contains("2 jobs"), "{text}");
+        assert!(!text.contains("fig1.stb"), "glob excludes the STB file");
+    }
+
+    #[test]
+    fn json_flag_emits_the_machine_report() {
+        let dir = CorpusDir::figures("json");
+        let text = capture(run, &[&dir.arg(), "--json", "--analysis", "st-wdc"]).unwrap();
+        assert!(text.starts_with('{'), "{text}");
+        assert!(text.contains("\"schema\": \"smarttrack-corpus-report/v1\""));
+        assert!(text.contains("\"succeeded\": 3"), "{text}");
+    }
+
+    #[test]
+    fn strict_fails_on_corrupt_member_but_default_tolerates() {
+        let dir = CorpusDir::figures("strict");
+        let stb = std::fs::read(dir.0.join("fig1.stb")).unwrap();
+        std::fs::write(dir.0.join("cut.stb"), &stb[..stb.len() - 2]).unwrap();
+
+        let text = capture(run, &[&dir.arg(), "--analysis", "st-wdc"]).unwrap();
+        assert!(text.contains("1 failed"), "{text}");
+        assert!(text.contains("truncated"), "{text}");
+
+        let err = capture(run, &[&dir.arg(), "--analysis", "st-wdc", "--strict"]).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("cut.stb"), "{err}");
+    }
+
+    #[test]
+    fn empty_corpus_and_missing_args_are_errors() {
+        let err = capture(run, &[]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let dir = std::env::temp_dir().join(format!("st-cli-batch-{}-empty", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = capture(run, &[&dir.display().to_string()]).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("no trace files matched"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,7 @@
 //! single write, keeping the I/O error surface to one place.
 
 pub mod analyze;
+pub mod batch;
 pub mod convert;
 pub mod deadlock;
 pub mod figure;

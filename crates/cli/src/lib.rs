@@ -13,6 +13,7 @@
 //! ```text
 //! smarttrack analyze  race.trace --analysis st-wdc --analysis fto-hb
 //! smarttrack analyze  recording.stb --all
+//! smarttrack batch    corpus/ --jobs 8 --out report.json
 //! smarttrack convert  race.trace --to stb --out race.stb
 //! smarttrack stats    race.trace
 //! smarttrack render   race.trace
@@ -99,6 +100,10 @@ USAGE:
 COMMANDS:
     analyze   <trace> [--analysis CFG]... [--all] [--max-races N] [--format FMT]
               run race detectors over a trace file (STB input streams)
+    batch     <dir|glob|file>... [--analysis CFG]... [--all] [--jobs N]
+              [--out FILE] [--json] [--strict]
+              analyze a corpus of trace files on a parallel worker pool,
+              aggregating one deduplicated corpus report (JSON via --out)
     stats     <trace> [--format FMT]
               run-time characteristics (the paper's Table 2 metrics)
     render    <trace> [--format FMT]
@@ -129,8 +134,8 @@ TRACE FILES (FMT: native|std|csv|stb):
     binary format announces itself), then the extension: .stb (binary),
     .std/.rapid (the RAPID pipe format), .csv, anything else the native
     line format. --format FMT overrides both. STB input streams into
-    analyze/windowed/two-phase chunk by chunk in bounded memory; the spec
-    for all four formats is docs/TRACE_FORMATS.md.
+    analyze/batch/windowed/two-phase chunk by chunk in bounded memory; the
+    spec for all four formats is docs/TRACE_FORMATS.md.
 ";
 
 /// Runs one CLI invocation, writing human-readable output to `out`.
@@ -157,6 +162,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let rest = &args[1..];
     match command.as_str() {
         "analyze" => cmd::analyze::run(rest, out),
+        "batch" => cmd::batch::run(rest, out),
         "convert" => cmd::convert::run(rest, out),
         "stats" => cmd::stats::run(rest, out),
         "render" => cmd::render::run(rest, out),

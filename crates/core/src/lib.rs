@@ -84,10 +84,12 @@
 pub mod two_phase;
 
 pub use smarttrack_detect::{
-    analyze, analyze_all, make_detector, run_detector, AccessKind, AnalysisConfig, AnalysisOutcome,
-    CcsFidelity, Detector, Engine, EngineBuilder, EngineError, EraserLockset, FtoCase,
-    FtoCaseCounters, LaneSnapshot, OptLevel, ParseAnalysisConfigError, RaceNotice, RaceReport,
-    RaceSink, Relation, Report, RunSummary, Session, SessionSnapshot, StreamHint,
+    analyze, analyze_all, make_detector, run_detector, worker_count, AccessKind, AnalysisConfig,
+    AnalysisOutcome, BatchJob, CcsFidelity, CorpusAnalysisTotal, CorpusRace, CorpusReport,
+    Detector, Engine, EngineBuilder, EngineError, EnginePool, EraserLockset, FtoCase,
+    FtoCaseCounters, JobError, JobOutcome, JobSuccess, LaneSnapshot, OptLevel,
+    ParseAnalysisConfigError, PoolStats, RaceNotice, RaceReport, RaceSink, Relation, Report,
+    RunSummary, Session, SessionSnapshot, StreamHint,
 };
 
 /// Trace model, generators, statistics, and the paper's example executions.

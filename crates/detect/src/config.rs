@@ -167,7 +167,7 @@ impl std::str::FromStr for AnalysisConfig {
 }
 
 /// The result of running one analysis over one event stream.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AnalysisOutcome {
     /// Analysis name (as in the paper's tables).
     pub name: String,

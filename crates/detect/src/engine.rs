@@ -297,6 +297,19 @@ impl Engine {
 
     /// Opens a fresh session: new detectors, empty report, zero events.
     pub fn open(&self) -> Session<'static> {
+        self.open_with_hint(StreamHint::default())
+    }
+
+    /// Opens a session with stream facts known only now — e.g. the
+    /// [`StreamHint`] decoded from one STB file's header when a single
+    /// engine analyzes many files ([`crate::EnginePool`] uses this per
+    /// job). Fields the per-stream hint leaves `None` fall back to the
+    /// builder-level hint.
+    pub fn open_with_hint(&self, hint: StreamHint) -> Session<'static> {
+        let merged = StreamHint {
+            threads: hint.threads.or(self.hint.threads),
+            events: hint.events.or(self.hint.events),
+        };
         let lanes = self
             .configs
             .iter()
@@ -307,7 +320,7 @@ impl Engine {
                 Lane::new(Some(config), det)
             })
             .collect();
-        Session::with_lanes(lanes, self.hint)
+        Session::with_lanes(lanes, merged)
     }
 }
 

@@ -23,6 +23,12 @@
 //! access event that fails at least one race check, §5.1) and *statically
 //! distinct* races (distinct program locations, §5.6).
 //!
+//! Above the single-stream API sits the corpus layer ([`pool`] module): an
+//! [`EnginePool`] schedules many [`BatchJob`]s over a fixed worker pool,
+//! one streaming session per job, and aggregates a deterministic
+//! [`CorpusReport`] with statically distinct races deduplicated across the
+//! whole corpus.
+//!
 //! # Examples
 //!
 //! Detect the predictable race of the paper's Figure 1, which HB analysis
@@ -51,6 +57,7 @@ mod config;
 mod counters;
 pub mod engine;
 mod graph;
+pub mod pool;
 mod queues;
 mod report;
 
@@ -74,6 +81,10 @@ pub use engine::{
 pub use graph::{ConstraintGraph, EdgeKind};
 pub use hb::{Ft2, FtoHb, RoadRunnerFt2, UnoptHb};
 pub use lockset::EraserLockset;
+pub use pool::{
+    worker_count, BatchJob, CorpusAnalysisTotal, CorpusRace, CorpusReport, EnginePool, JobError,
+    JobOutcome, JobSuccess, PoolStats,
+};
 pub use report::{AccessKind, RaceReport, Report};
 pub use wcp::{FtoWcp, SmartTrackWcp, UnoptWcp};
 

@@ -78,6 +78,15 @@ pub use lane::OnlineLane;
 pub use wdc::ConcurrentSmartTrackWdc;
 pub use world::WorldSpec;
 
+// The one worker-count derivation shared by every parallel driver in the
+// workspace (the batch `EnginePool`, the CLI `--jobs` flag, bench sweeps):
+// explicit request > `SMARTTRACK_WORKERS` > detected parallelism, clamped
+// ≥ 1. `run_online` itself spawns exactly one OS thread per *program*
+// thread (the §5.1 model analyzes from inside the application's own
+// threads), so callers sizing machine-wide sweeps over it use this
+// instead of deriving their own count.
+pub use smarttrack_detect::pool::{worker_count, worker_count_from};
+
 use smarttrack_clock::ThreadId;
 use smarttrack_detect::{FtoCaseCounters, OptLevel, Relation, Report};
 use smarttrack_trace::{EventId, Loc, Op};

@@ -503,10 +503,176 @@ pub fn write_file<P: AsRef<std::path::Path>>(trace: &Trace, path: P) -> std::io:
     std::fs::write(&path, render_bytes(trace, format_of_path(&path)))
 }
 
+/// Extensions recognized as trace files by the corpus helpers
+/// ([`corpus_paths`]): the four conventional format extensions plus the
+/// common text spellings.
+pub const TRACE_EXTENSIONS: &[&str] = &["trace", "stb", "std", "rapid", "csv", "txt"];
+
+/// Returns `true` if the path's extension marks it as a trace file
+/// (case-insensitively; see [`TRACE_EXTENSIONS`]).
+pub fn is_trace_path<P: AsRef<std::path::Path>>(path: P) -> bool {
+    path.as_ref()
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .is_some_and(|ext| TRACE_EXTENSIONS.contains(&ext.as_str()))
+}
+
+/// Expands one corpus argument into a sorted list of trace-file paths —
+/// the iteration primitive batch drivers share (the CLI `batch` command,
+/// examples, tests):
+///
+/// * a **directory** yields every trace file directly inside it (by
+///   extension, see [`is_trace_path`]; non-recursive, so a corpus
+///   directory can hold reports and notes beside its traces);
+/// * a path whose final component contains `*` is a **glob** over that
+///   directory (`corpus/xalan-*.stb`; `*` matches any run of characters;
+///   a `*` in any *other* component is rejected as
+///   [`InvalidInput`](std::io::ErrorKind::InvalidInput) rather than
+///   silently treated as a literal file name);
+/// * anything else is returned as-is (one explicit file — whatever its
+///   extension, so `smarttrack batch odd.name` still works).
+///
+/// The result is sorted (lexicographically by path) so corpora enumerate
+/// deterministically on every file system.
+///
+/// # Errors
+///
+/// I/O errors from reading the directory. An empty result is not an error
+/// here; callers decide whether an empty corpus is acceptable.
+pub fn corpus_paths(arg: &str) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::path::{Path, PathBuf};
+
+    let path = Path::new(arg);
+    let mut found: Vec<PathBuf> = if path.is_dir() {
+        std::fs::read_dir(path)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|p| p.is_file() && is_trace_path(p))
+            .collect()
+    } else if let Some(pattern) = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .filter(|n| n.contains('*'))
+    {
+        let dir = match path.parent() {
+            Some(parent) if !parent.as_os_str().is_empty() => parent,
+            _ => Path::new("."),
+        };
+        if dir.to_str().is_some_and(|d| d.contains('*')) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "only the final path component may contain `*`",
+            ));
+        }
+        std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|name| glob_matches(pattern, name))
+            })
+            .collect()
+    } else {
+        if arg.contains('*') {
+            // A `*` in a directory component would otherwise fall through
+            // to the explicit-file branch and fail as a baffling per-job
+            // "No such file" — reject it up front instead.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "only the final path component may contain `*`",
+            ));
+        }
+        vec![path.to_path_buf()]
+    };
+    found.sort();
+    Ok(found)
+}
+
+/// Matches a `*`-only glob `pattern` against `name` (no `?`, no character
+/// classes — the subset corpus arguments need). The first literal anchors
+/// at the start, the last at the end; middle literals match leftmost in
+/// order (each `*` absorbs any run of characters, so leftmost is never
+/// wrong).
+fn glob_matches(pattern: &str, name: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    if parts.len() == 1 {
+        return pattern == name;
+    }
+    let Some(mut rest) = name.strip_prefix(parts[0]) else {
+        return false;
+    };
+    for part in &parts[1..parts.len() - 1] {
+        if part.is_empty() {
+            continue;
+        }
+        match rest.find(part) {
+            Some(at) => rest = &rest[at + part.len()..],
+            None => return false,
+        }
+    }
+    rest.ends_with(parts[parts.len() - 1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::paper;
+
+    #[test]
+    fn glob_matching_covers_star_shapes() {
+        assert!(glob_matches("*", "anything.stb"));
+        assert!(glob_matches("xalan-*.stb", "xalan-11.stb"));
+        assert!(!glob_matches("xalan-*.stb", "avrora-11.stb"));
+        assert!(!glob_matches("xalan-*.stb", "xalan-11.stb.bak"));
+        assert!(glob_matches("a*b", "aXbYb"), "star is greedy enough");
+        assert!(glob_matches("a*b*c", "abc"), "stars may be empty");
+        assert!(
+            !glob_matches("a*b*b", "aXb"),
+            "each literal needs its own text"
+        );
+        assert!(glob_matches("plain.trace", "plain.trace"));
+        assert!(!glob_matches("plain.trace", "other.trace"));
+    }
+
+    #[test]
+    fn corpus_paths_expand_dirs_globs_and_files() {
+        let dir = std::env::temp_dir().join(format!("st-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["b.stb", "a.trace", "c.std", "notes.md", "x.csv"] {
+            std::fs::write(dir.join(name), b"").unwrap();
+        }
+        let dir_str = dir.display().to_string();
+
+        // Directory: trace extensions only, sorted.
+        let names = |paths: Vec<std::path::PathBuf>| -> Vec<String> {
+            paths
+                .iter()
+                .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(
+            names(corpus_paths(&dir_str).unwrap()),
+            ["a.trace", "b.stb", "c.std", "x.csv"]
+        );
+        // Glob within the directory.
+        let glob = format!("{dir_str}/*.st*");
+        assert_eq!(names(corpus_paths(&glob).unwrap()), ["b.stb", "c.std"]);
+        // A single explicit file passes through whatever its extension.
+        let md = dir.join("notes.md").display().to_string();
+        assert_eq!(names(corpus_paths(&md).unwrap()), ["notes.md"]);
+        // `*` outside the final component is a clear error, not a literal.
+        for bad in ["runs-*/x.stb".to_string(), format!("{dir_str}/*/x.stb")] {
+            let err = corpus_paths(&bad).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{bad}");
+            assert!(err.to_string().contains("final path component"), "{err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn std_round_trips_paper_figures() {

@@ -1,0 +1,87 @@
+//! Calibrated multi-trace corpora for batch analysis, tests, and benches.
+//!
+//! A corpus is what the batch layer (`smarttrack_detect::EnginePool`, the
+//! CLI `batch` command) consumes: many independent traces analyzed
+//! concurrently and aggregated into one report. This module emits a
+//! *mixed* corpus from the two workloads bracketing the paper's analysis
+//! cost spectrum — lock-saturated xalan (the biggest beneficiary of
+//! SmartTrack's CCS optimizations) and same-epoch-heavy avrora — so a
+//! batch over it exercises both the slowest and the cheapest per-event
+//! paths.
+
+use smarttrack_trace::Trace;
+
+use crate::profile::profiles;
+
+/// The profiles a [`corpus`] mixes, in emission order per seed.
+pub fn corpus_profiles() -> Vec<crate::Workload> {
+    vec![profiles::xalan(), profiles::avrora()]
+}
+
+/// Emits a labeled mixed corpus: for each seed, one trace per
+/// [`corpus_profiles`] workload at `scale` (labels are
+/// `"<profile>-s<seed>"`). Deterministic: same `(scale, seeds)` → same
+/// traces in the same order. With `n` seeds the corpus holds `2n` traces.
+///
+/// # Examples
+///
+/// ```
+/// let corpus = smarttrack_workloads::corpus(2e-6, &[1, 2]);
+/// assert_eq!(corpus.len(), 4);
+/// assert_eq!(corpus[0].0, "xalan-s1");
+/// assert!(corpus.iter().all(|(_, trace)| trace.len() > 100));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `scale` is too small to produce non-empty traces (see
+/// [`crate::Workload::trace`]).
+pub fn corpus(scale: f64, seeds: &[u64]) -> Vec<(String, Trace)> {
+    seeds
+        .iter()
+        .flat_map(|&seed| {
+            corpus_profiles().into_iter().map(move |workload| {
+                (
+                    format!("{}-s{seed}", workload.name),
+                    workload.trace(scale, seed),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_labeled() {
+        let a = corpus(2e-6, &[7, 8]);
+        let b = corpus(2e-6, &[7, 8]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(
+            a.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
+            ["xalan-s7", "avrora-s7", "xalan-s8", "avrora-s8"]
+        );
+        for ((la, ta), (lb, tb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(ta, tb);
+        }
+        // Different seeds produce different traces under the same label
+        // scheme.
+        let c = corpus(2e-6, &[9]);
+        assert_ne!(a[0].1, c[0].1);
+    }
+
+    #[test]
+    fn corpus_mixes_the_cost_spectrum() {
+        use smarttrack_trace::stats::TraceStats;
+        let traces = corpus(2e-5, &[3]);
+        let lock_pct = |t: &Trace| TraceStats::compute(t).pct_nsea_holding(1);
+        let (xalan, avrora) = (lock_pct(&traces[0].1), lock_pct(&traces[1].1));
+        assert!(
+            xalan > avrora + 30.0,
+            "xalan ({xalan:.1}%) must be far more lock-bound than avrora ({avrora:.1}%)"
+        );
+    }
+}

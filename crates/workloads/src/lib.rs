@@ -25,11 +25,13 @@
 //! assert!(stats.pct_nsea_holding(1) > 80.0);
 //! ```
 
+mod corpus;
 mod distant;
 mod patterns;
 mod profile;
 mod synth;
 
+pub use corpus::{corpus, corpus_profiles};
 pub use distant::distant_race_trace;
 pub use patterns::{PatternKind, RaceMix};
 pub use profile::{profiles, Table2Row, Workload};

@@ -1,0 +1,74 @@
+//! Corpus-scale batch analysis: record a corpus of executions to disk,
+//! then analyze all of it in parallel with an `EnginePool` and read one
+//! aggregated, deduplicated race report — the ingestion-service shape of
+//! the ROADMAP's production deployment (many users' recorded traces, one
+//! report), equivalent to `smarttrack batch <dir> --out report.json`.
+//!
+//! ```text
+//! cargo run --release --example batch_corpus [dir-or-glob]
+//! ```
+//!
+//! Without an argument, the example first writes a small calibrated
+//! corpus (mixed xalan + avrora, two seeds, as STB files) to a temp
+//! directory. With one, it batches whatever trace files the directory or
+//! `*`-glob names — the same expansion rules as the CLI
+//! ([`smarttrack_trace::formats::corpus_paths`]).
+
+use smarttrack::{AnalysisConfig, BatchJob, Engine, EnginePool};
+use smarttrack_trace::formats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = match std::env::args().nth(1) {
+        Some(arg) => arg,
+        None => {
+            // Record: a mixed corpus bracketing the analysis cost spectrum
+            // (lock-saturated xalan, same-epoch-heavy avrora).
+            let dir = std::env::temp_dir().join("smarttrack-batch-corpus");
+            std::fs::create_dir_all(&dir)?;
+            for (label, trace) in smarttrack_workloads::corpus(2e-6, &[1, 2]) {
+                smarttrack_trace::binary::write_stb_file(&trace, dir.join(format!("{label}.stb")))?;
+            }
+            println!("recorded a 4-trace corpus to {}\n", dir.display());
+            dir.display().to_string()
+        }
+    };
+
+    let paths = formats::corpus_paths(&arg)?;
+    if paths.is_empty() {
+        return Err(format!("{arg}: no trace files matched").into());
+    }
+
+    // One engine (the CLI's default selection: the HB baseline plus the
+    // three SmartTrack-optimized predictive analyses), one pool sized to
+    // the machine, one streaming session per file. STB members stream
+    // chunk by chunk; a corrupt file would fail only its own row.
+    let configs: Vec<AnalysisConfig> = ["fto-hb", "st-wcp", "st-dc", "st-wdc"]
+        .into_iter()
+        .map(|name| name.parse().expect("known analysis"))
+        .collect();
+    let engine = Engine::builder().fanout(configs).build()?;
+    let pool = EnginePool::new(engine);
+    println!(
+        "batching {} file(s) over {} worker(s)…\n",
+        paths.len(),
+        pool.workers()
+    );
+
+    // Watch races arrive live from whichever worker finds them first,
+    // then print the deterministic aggregated report.
+    let (report, stats) = pool.run_observed(
+        paths.into_iter().map(BatchJob::from_path).collect(),
+        |race| {
+            println!("live: {} in {} — {}", race.analysis, race.label, race.race);
+        },
+    );
+    println!(
+        "\n{report}\npeak resident sessions: {} (≤ {} workers)",
+        stats.peak_resident_sessions, stats.workers
+    );
+    println!(
+        "machine-readable: CorpusReport::to_json(), {} bytes",
+        report.to_json().len()
+    );
+    Ok(())
+}

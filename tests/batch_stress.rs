@@ -1,0 +1,140 @@
+//! Stress/soak test for the batch-analysis pool: hundreds of small jobs of
+//! every source kind (STB files, text files, generator closures), with
+//! injected truncated-STB members, hammered through a small worker pool.
+//!
+//! Asserts the invariants that make the pool deployable: no panics, every
+//! job accounted for exactly once (success or a precise per-job error),
+//! failures isolated to exactly the injected corrupt members, and peak
+//! simultaneously-resident sessions bounded by the worker count.
+//!
+//! The test is `#[ignore]`d in debug builds (it analyzes ~200 traces;
+//! debug-mode detectors make that a minutes-long run). CI runs it under
+//! `--release`, where it takes a few seconds:
+//!
+//! ```text
+//! cargo test --release --test batch_stress
+//! ```
+
+use smarttrack::{BatchJob, Engine, EnginePool, JobError, Relation};
+use smarttrack_trace::gen::RandomTraceSpec;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Self-cleaning scratch directory.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("st-batch-stress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_spec(seed: u64) -> RandomTraceSpec {
+    RandomTraceSpec {
+        threads: 2 + (seed % 3) as u32,
+        events: 60 + (seed % 90) as usize,
+        vars: 3,
+        locks: 2,
+        acquire_prob: 0.15,
+        release_prob: 0.2,
+        fork_join: seed.is_multiple_of(2),
+        ..RandomTraceSpec::default()
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "soak test: run under --release (cargo test --release --test batch_stress)"
+)]
+fn soak_mixed_corpus_of_220_jobs() {
+    const WORKERS: usize = 4;
+    let scratch = ScratchDir::new();
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut expected_failures: BTreeSet<String> = BTreeSet::new();
+
+    for seed in 0..220u64 {
+        let spec = small_spec(seed);
+        match seed % 4 {
+            // Generator jobs: the trace is synthesized on the worker.
+            0 => jobs.push(BatchJob::generator(format!("gen-{seed}"), move || {
+                spec.generate(seed)
+            })),
+            // STB file jobs, every 20th one truncated mid-stream.
+            1 => {
+                let path = scratch.0.join(format!("stb-{seed}.stb"));
+                smarttrack_trace::binary::write_stb_file(&spec.generate(seed), &path).unwrap();
+                if seed % 20 == 1 {
+                    let bytes = std::fs::read(&path).unwrap();
+                    std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+                    expected_failures.insert(path.display().to_string());
+                }
+                jobs.push(BatchJob::from_path(path));
+            }
+            // Native text file jobs.
+            2 => {
+                let path = scratch.0.join(format!("text-{seed}.trace"));
+                smarttrack_trace::fmt::write_file(&spec.generate(seed), &path).unwrap();
+                jobs.push(BatchJob::from_path(path));
+            }
+            // In-memory trace jobs.
+            _ => jobs.push(BatchJob::from_trace(
+                format!("mem-{seed}"),
+                spec.generate(seed),
+            )),
+        }
+    }
+    let total = jobs.len();
+    let labels: Vec<String> = jobs.iter().map(|j| j.label().to_string()).collect();
+    assert_eq!(
+        labels.iter().collect::<BTreeSet<_>>().len(),
+        total,
+        "labels are unique, so per-job accounting is checkable"
+    );
+
+    let engine = Engine::builder().relation(Relation::Wdc).build().unwrap();
+    let pool = EnginePool::new(engine).with_workers(WORKERS);
+    let (report, stats) = pool.run_with_stats(jobs);
+
+    // Every job accounted for exactly once, in submission order.
+    assert_eq!(report.jobs().len(), total);
+    for (job, label) in report.jobs().iter().zip(&labels) {
+        assert_eq!(&job.label, label);
+    }
+    assert_eq!(report.succeeded() + report.failed(), total);
+
+    // Failures are exactly the injected truncations, each with the precise
+    // decode error.
+    let failed: BTreeSet<String> = report.failures().map(|j| j.label.clone()).collect();
+    assert_eq!(failed, expected_failures);
+    for failure in report.failures() {
+        match failure.result.as_ref().unwrap_err() {
+            JobError::Decode(message) => assert!(
+                message.contains("truncated") || message.contains("corrupt"),
+                "{message}"
+            ),
+            other => panic!("{}: expected a decode error, got {other}", failure.label),
+        }
+    }
+
+    // Bounded residency: at most one open session per worker, ever.
+    assert_eq!(stats.workers, WORKERS);
+    assert_eq!(stats.jobs, total);
+    assert!(
+        (1..=WORKERS).contains(&stats.peak_resident_sessions),
+        "peak resident sessions {} out of bounds",
+        stats.peak_resident_sessions
+    );
+
+    // The successful majority analyzed real events.
+    assert_eq!(report.failed(), expected_failures.len());
+    assert!(report.total_events() > total * 40, "jobs were non-trivial");
+}

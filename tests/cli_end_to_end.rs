@@ -6,6 +6,9 @@ use std::path::PathBuf;
 
 use smarttrack_cli::run;
 
+#[path = "support/json.rs"]
+mod json;
+
 struct TempFile(PathBuf);
 
 impl TempFile {
@@ -183,6 +186,75 @@ fn stb_binary_pipeline() {
         .collect();
     let err = run(&args, &mut out).unwrap_err();
     assert!(err.to_string().contains("truncated"), "{err}");
+}
+
+#[test]
+fn batch_corpus_pipeline() {
+    // The corpus workflow: generate a mixed-format corpus directory with
+    // the CLI itself, batch-analyze it in parallel, and consume the JSON
+    // report — exactly what a recording fleet's ingestion service does.
+    let dir = std::env::temp_dir().join(format!("smarttrack-e2e-{}-corpus", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str = dir.display().to_string();
+    for (profile, seed, ext) in [
+        ("xalan", "21", "stb"),
+        ("xalan", "22", "trace"),
+        ("avrora", "21", "stb"),
+        ("avrora", "22", "trace"),
+    ] {
+        let out = format!("{dir_str}/{profile}-{seed}.{ext}");
+        cli(&[
+            "generate", profile, "--scale", "2e-6", "--seed", seed, "--out", &out,
+        ]);
+    }
+
+    // batch over the directory, JSON report to a file.
+    let report_path = format!("{dir_str}/report.json");
+    let text = cli(&[
+        "batch",
+        &dir_str,
+        "--analysis",
+        "fto-hb",
+        "--analysis",
+        "st-wdc",
+        "--jobs",
+        "2",
+        "--out",
+        &report_path,
+    ]);
+    assert!(text.contains("4 jobs"), "{text}");
+    assert!(text.contains("wrote JSON report"), "{text}");
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    json::assert_valid_json(&report);
+    assert!(report.contains("\"schema\": \"smarttrack-corpus-report/v1\""));
+    assert!(report.contains("\"succeeded\": 4"), "{report}");
+    assert!(report.contains("xalan-21.stb"), "{report}");
+
+    // --jobs 1 and --jobs 4 produce the identical report.
+    let solo = cli(&["batch", &dir_str, "--jobs", "1", "--json"]);
+    let four = cli(&["batch", &dir_str, "--jobs", "4", "--json"]);
+    // The on-disk report.json from the earlier run is inside the corpus
+    // directory but is not a trace file, so it is skipped — both runs see
+    // the same 4 jobs.
+    assert_eq!(solo, four, "worker count must not change the report");
+    json::assert_valid_json(&solo);
+
+    // Exit codes: a corrupt member is tolerated by default (exit 0,
+    // failure row in the report) and fatal under --strict (exit 1).
+    let stb = std::fs::read(dir.join("xalan-21.stb")).unwrap();
+    std::fs::write(dir.join("cut.stb"), &stb[..stb.len() / 2]).unwrap();
+    let tolerant = cli(&["batch", &dir_str]);
+    assert!(tolerant.contains("1 failed"), "{tolerant}");
+    let args: Vec<String> = ["batch", &dir_str, "--strict"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let err = run(&args, &mut out).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+    assert!(err.to_string().contains("cut.stb"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,166 @@
+//! A minimal JSON syntax checker shared by the batch-analysis tests (via
+//! `#[path]` imports — files under `tests/support/` are not test crates).
+//!
+//! The workspace has no serde; this validates well-formedness only (full
+//! value grammar: objects, arrays, strings with escapes, numbers,
+//! booleans, null), which is what the tests need to guarantee any real
+//! JSON consumer can read `CorpusReport::to_json` / `BENCH_BATCH.json`.
+
+/// Panics with a position-annotated message if `text` is not one
+/// well-formed JSON value (plus trailing whitespace).
+pub fn assert_valid_json(text: &str) {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    assert!(
+        pos == bytes.len(),
+        "trailing garbage at byte {pos}: {:?}",
+        &text[pos..text.len().min(pos + 20)]
+    );
+}
+
+fn fail(bytes: &[u8], pos: usize, expected: &str) -> ! {
+    let context = String::from_utf8_lossy(&bytes[pos..bytes.len().min(pos + 20)]);
+    panic!("invalid JSON at byte {pos}: expected {expected}, found {context:?}");
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => fail(bytes, *pos, "a value"),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            fail(bytes, *pos, "an object key");
+        }
+        parse_string(bytes, pos);
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            fail(bytes, *pos, "':'");
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return;
+            }
+            _ => fail(bytes, *pos, "',' or '}'"),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return;
+            }
+            _ => fail(bytes, *pos, "',' or ']'"),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) {
+    *pos += 1; // opening quote
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return;
+            }
+            b'\\' => match bytes.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = bytes.get(*pos + 2..*pos + 6);
+                    if !hex.is_some_and(|h| h.iter().all(u8::is_ascii_hexdigit)) {
+                        fail(bytes, *pos, "four hex digits after \\u");
+                    }
+                    *pos += 6;
+                }
+                _ => fail(bytes, *pos, "a valid escape"),
+            },
+            0x00..=0x1f => fail(bytes, *pos, "no raw control characters in strings"),
+            _ => *pos += 1,
+        }
+    }
+    fail(bytes, *pos, "a closing quote");
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(bytes, pos) {
+        fail(bytes, start, "digits");
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            fail(bytes, start, "fraction digits");
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            fail(bytes, start, "exponent digits");
+        }
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+    } else {
+        fail(bytes, *pos, literal);
+    }
+}
