@@ -1,0 +1,352 @@
+//! Single-stream hot-path throughput: per-analysis Mevents/s on the
+//! calibrated xalan/avrora workloads over in-memory, text, and STB ingest,
+//! plus the headline *mixed* number — the whole mixed corpus fed through
+//! sequential 4-analysis fan-out sessions, directly comparable to the
+//! 1-worker point of `BENCH_BATCH.json` (PR 3 measured 0.72 Mevents/s on
+//! this container).
+//!
+//! Writes `BENCH_HOTPATH.json` at the repo root. `--check` re-measures and
+//! compares against the committed JSON instead of overwriting it, failing
+//! on a >20% throughput regression on the mixed headline or any matching
+//! per-analysis point — the perf-regression harness CI runs in release
+//! mode.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p smarttrack-bench --bench hotpath -- \
+//!     [--scale 1e-5] [--trials 3] [--out path.json] [--check]
+//! ```
+
+use std::time::Instant;
+
+use smarttrack::{AnalysisConfig, Engine, StreamHint};
+use smarttrack_trace::binary::{to_stb_bytes, StbReader};
+use smarttrack_trace::{fmt, Trace};
+
+/// Maximum tolerated throughput drop vs the committed baseline, as a
+/// fraction (0.20 = 20%). The committed numbers were measured on the
+/// reference container; on different hardware set `HOTPATH_TOLERANCE`
+/// (e.g. `0.5`) or re-baseline by re-running without `--check`.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+fn tolerance() -> f64 {
+    std::env::var("HOTPATH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(REGRESSION_TOLERANCE)
+}
+
+/// The PR 3 single-worker batch throughput on this container, in Mevents/s
+/// (see `BENCH_BATCH.json`): the baseline the overhaul is measured against.
+const PR3_BASELINE_MEVENTS_PER_S: f64 = 0.72;
+
+/// The CLI's default analysis selection (HB baseline + the three
+/// SmartTrack-optimized predictive analyses).
+const ANALYSES: [&str; 4] = ["fto-hb", "st-wcp", "st-dc", "st-wdc"];
+
+struct Point {
+    workload: String,
+    ingest: &'static str,
+    analysis: String,
+    mevents_per_s: f64,
+}
+
+fn engine_for(analysis: &str) -> Engine {
+    let config: AnalysisConfig = analysis.parse().expect("known analysis");
+    Engine::for_config(config).expect("valid Table 1 cell")
+}
+
+fn default_engine() -> Engine {
+    let configs: Vec<AnalysisConfig> = ANALYSES
+        .into_iter()
+        .map(|name| name.parse().expect("known analysis"))
+        .collect();
+    Engine::builder().fanout(configs).build().expect("valid")
+}
+
+/// Best observed events/second over `trials` runs of `work` (which returns
+/// the number of events it processed).
+///
+/// Fast workloads finish in well under a millisecond, where a single
+/// execution is dominated by timer granularity and cache noise — so each
+/// trial repeats `work` enough times (calibrated from a warm-up run) to
+/// span at least ~10 ms of measurement.
+fn best_eps(trials: usize, mut work: impl FnMut() -> usize) -> f64 {
+    const MIN_TRIAL: std::time::Duration = std::time::Duration::from_millis(10);
+    let start = Instant::now();
+    let events = work(); // warm-up + calibration
+    let once = start.elapsed().max(std::time::Duration::from_micros(1));
+    let reps = (MIN_TRIAL.as_secs_f64() / once.as_secs_f64())
+        .ceil()
+        .max(1.0) as usize;
+    let mut best = events as f64 / once.as_secs_f64();
+    for _ in 0..trials {
+        let start = Instant::now();
+        let mut n = 0usize;
+        for _ in 0..reps {
+            n += work();
+        }
+        best = best.max(n as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure_points(corpus: &[(String, Trace)], trials: usize) -> Vec<Point> {
+    let mut points = Vec::new();
+    for (label, trace) in corpus {
+        let text = fmt::render(trace);
+        let stb = to_stb_bytes(trace);
+        for analysis in ANALYSES {
+            let engine = engine_for(analysis);
+            let name = engine.configs()[0].to_string();
+
+            // In-memory: pre-parsed trace, analysis cost only.
+            let mem = best_eps(trials, || {
+                let mut session = engine.open();
+                session.feed_trace(trace).expect("calibrated trace");
+                session.finish_one().report.dynamic_count();
+                trace.len()
+            });
+            // Text: parse the native line format, then analyze.
+            let text_eps = best_eps(trials, || {
+                let parsed = fmt::parse(&text).expect("self-rendered text");
+                let mut session = engine.open();
+                session.feed_trace(&parsed).expect("calibrated trace");
+                session.finish_one();
+                parsed.len()
+            });
+            // STB: decode the binary stream straight into the session,
+            // never materializing a Trace (the live-ingest shape).
+            let stb_eps = best_eps(trials, || {
+                let reader = StbReader::new(&stb[..]).expect("self-written STB");
+                let hint = StreamHint::of_stb_header(reader.header());
+                let mut session = engine.open_with_hint(hint);
+                let mut n = 0usize;
+                for event in reader {
+                    session.feed(event.expect("clean stream")).expect("valid");
+                    n += 1;
+                }
+                session.finish_one();
+                n
+            });
+            for (ingest, eps) in [("mem", mem), ("text", text_eps), ("stb", stb_eps)] {
+                points.push(Point {
+                    workload: label.clone(),
+                    ingest,
+                    analysis: name.clone(),
+                    mevents_per_s: eps / 1e6,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// The headline: every corpus trace through one sequential 4-analysis
+/// fan-out session (the 1-worker batch shape, minus pool scheduling).
+fn measure_mixed(corpus: &[(String, Trace)], trials: usize) -> f64 {
+    let engine = default_engine();
+    let events: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+    best_eps(trials, || {
+        for (_, trace) in corpus {
+            let mut session = engine.open();
+            session.feed_trace(trace).expect("calibrated trace");
+            session.finish();
+        }
+        events
+    }) / 1e6
+}
+
+fn render_json(
+    scale: f64,
+    trials: usize,
+    events: usize,
+    cores: usize,
+    mixed: f64,
+    points: &[Point],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"smarttrack-bench-hotpath/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": {scale:e}, \"trials\": {trials}, \"events\": {events},\n"
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"baseline_pr3_mixed_mevents_per_s\": {PR3_BASELINE_MEVENTS_PER_S},\n"
+    ));
+    json.push_str(&format!(
+        "  \"mixed\": {{ \"mevents_per_s\": {:.4}, \"speedup_vs_pr3\": {:.2} }},\n",
+        mixed,
+        mixed / PR3_BASELINE_MEVENTS_PER_S
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"ingest\": \"{}\", \"analysis\": \"{}\", \
+             \"mevents_per_s\": {:.4} }}{}\n",
+            p.workload,
+            p.ingest,
+            p.analysis,
+            p.mevents_per_s,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Minimal extraction of `"key": number` pairs from the committed JSON
+/// (schema is ours; no external JSON dependency in this workspace).
+fn extract_number(json: &str, after: &str, key: &str) -> Option<f64> {
+    let start = json.find(after)?;
+    let rest = &json[start..];
+    let kpos = rest.find(&format!("\"{key}\":"))?;
+    let tail = rest[kpos + key.len() + 3..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn check_against(committed: &str, mixed: f64, points: &[Point]) -> Result<(), String> {
+    // The mixed headline spans the whole corpus and is stable; individual
+    // points measure sub-second windows where shared-machine noise is
+    // irreducible, so they get double the tolerance.
+    let tol = tolerance();
+    let point_tol = (2.0 * tol).min(0.95);
+    let mut failures = Vec::new();
+    let base_mixed = extract_number(committed, "\"mixed\"", "mevents_per_s")
+        .ok_or("committed JSON lacks mixed.mevents_per_s")?;
+    if mixed < base_mixed * (1.0 - tol) {
+        failures.push(format!(
+            "mixed: {mixed:.3} Mev/s < {:.3} (committed {base_mixed:.3} - {:.0}%)",
+            base_mixed * (1.0 - tol),
+            tol * 100.0
+        ));
+    }
+    for p in points {
+        let anchor = format!(
+            "\"workload\": \"{}\", \"ingest\": \"{}\", \"analysis\": \"{}\"",
+            p.workload, p.ingest, p.analysis
+        );
+        let Some(base) = extract_number(committed, &anchor, "mevents_per_s") else {
+            // Points absent from the committed file (e.g. new analyses) are
+            // not regressions.
+            continue;
+        };
+        if p.mevents_per_s < base * (1.0 - point_tol) {
+            failures.push(format!(
+                "{} {} {}: {:.3} Mev/s vs committed {:.3} (-{:.0}% allowed)",
+                p.workload,
+                p.ingest,
+                p.analysis,
+                p.mevents_per_s,
+                base,
+                point_tol * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn parse_args() -> (f64, usize, String, bool) {
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_HOTPATH.json").to_string();
+    let (mut scale, mut trials, mut out, mut check) = (1e-5_f64, 3usize, default_out, false);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("numeric --scale"),
+            "--trials" => trials = value("--trials").parse().expect("numeric --trials"),
+            "--out" => out = value("--out"),
+            "--check" => check = true,
+            // `cargo bench` forwards its own filter/flag arguments (e.g.
+            // `--bench`); ignore anything we do not recognize.
+            _ => {}
+        }
+    }
+    (scale, trials.max(1), out, check)
+}
+
+fn main() {
+    let (scale, mut trials, out_path, check) = parse_args();
+    if check {
+        // Regression checking compares best-of-N throughput against the
+        // committed baseline; a low N under-measures on a noisy shared
+        // container and flags phantom regressions.
+        trials = trials.max(5);
+    }
+    // Per-analysis points use one seed per workload; the mixed headline uses
+    // the full 8-trace corpus matching BENCH_BATCH.json.
+    let corpus: Vec<(String, Trace)> = smarttrack_workloads::corpus(scale, &[11, 12, 13, 14]);
+    let point_corpus: Vec<(String, Trace)> = corpus
+        .iter()
+        .take(2)
+        .map(|(l, t)| (l.trim_end_matches("-s11").to_string(), t.clone()))
+        .collect();
+    let events: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+    let cores = smarttrack_parallel::worker_count(None);
+    println!(
+        "hotpath: {events} events (scale {scale:e}), best of {trials} trial(s), \
+         {cores} core(s) available"
+    );
+
+    let points = measure_points(&point_corpus, trials);
+    for p in &points {
+        println!(
+            "  {:<10} {:<5} {:<15} {:>7.3} Mevents/s",
+            p.workload, p.ingest, p.analysis, p.mevents_per_s
+        );
+    }
+    let mixed = measure_mixed(&corpus, trials);
+    println!(
+        "  mixed 4-analysis single stream: {mixed:.3} Mevents/s ({:.2}x vs PR3's \
+         {PR3_BASELINE_MEVENTS_PER_S})",
+        mixed / PR3_BASELINE_MEVENTS_PER_S
+    );
+
+    if check {
+        let committed = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("--check needs {out_path}: {e}"));
+        let mut verdict = check_against(&committed, mixed, &points);
+        if verdict.is_err() {
+            // A whole measurement pass can be slowed by transient
+            // contention on a shared machine; re-measure once and keep the
+            // best of both passes before declaring a regression.
+            println!("regression suspected; re-measuring once to rule out transient noise");
+            let retry_points = measure_points(&point_corpus, trials);
+            let merged: Vec<Point> = points
+                .into_iter()
+                .zip(retry_points)
+                .map(|(a, b)| {
+                    if b.mevents_per_s > a.mevents_per_s {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .collect();
+            let mixed = mixed.max(measure_mixed(&corpus, trials));
+            verdict = check_against(&committed, mixed, &merged);
+        }
+        match verdict {
+            Ok(()) => println!("within {:.0}% of committed baseline", tolerance() * 100.0),
+            Err(report) => {
+                eprintln!("throughput regression vs committed {out_path}:\n{report}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let json = render_json(scale, trials, events, cores, mixed, &points);
+        std::fs::write(&out_path, json).expect("write BENCH_HOTPATH.json");
+        println!("wrote {out_path}");
+    }
+}

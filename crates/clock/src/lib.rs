@@ -38,6 +38,6 @@ mod tid;
 mod vc;
 
 pub use epoch::Epoch;
-pub use meta::ReadMeta;
+pub use meta::{ReadMeta, SameEpoch};
 pub use tid::ThreadId;
-pub use vc::{ClockValue, VectorClock, INFINITY};
+pub use vc::{ClockValue, VectorClock, INFINITY, INLINE_CLOCKS};

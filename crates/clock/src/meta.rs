@@ -1,6 +1,17 @@
 use std::fmt;
 
-use crate::{Epoch, ThreadId, VectorClock};
+use crate::{ClockValue, Epoch, ThreadId, VectorClock};
+
+/// Which same-epoch fast path a read hit (see [`ReadMeta::same_epoch`]):
+/// the paper's `[Read Same Epoch]` vs `[Shared Same Epoch]` cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SameEpoch {
+    /// `Rx` is the epoch of this very access (`[Read Same Epoch]`).
+    Exclusive,
+    /// `Rx` is a vector already holding this thread's current clock
+    /// (`[Shared Same Epoch]`).
+    Shared,
+}
 
 /// The adaptive representation of read metadata `Rx` used by the FTO and
 /// SmartTrack algorithms (paper §4.1).
@@ -81,6 +92,21 @@ impl ReadMeta {
         }
     }
 
+    /// The epoch fast-path check shared by every FTO/SmartTrack read
+    /// handler: is this read in the *same epoch* as the recorded last
+    /// read by thread `t` with local clock `c`? Answers without touching
+    /// any full vector clock (the vector form reads one entry).
+    ///
+    /// Returns which fast-path case applies, or `None` when the slow path
+    /// must run.
+    #[inline]
+    pub fn same_epoch(&self, t: ThreadId, c: ClockValue) -> Option<SameEpoch> {
+        match self {
+            ReadMeta::Epoch(e) => (*e == Epoch::new(t, c)).then_some(SameEpoch::Exclusive),
+            ReadMeta::Vc(vc) => (vc.get(t) == c).then_some(SameEpoch::Shared),
+        }
+    }
+
     /// The combined ordering check `Rx ⪯/⊑ Ct`: epoch form uses `⪯`, vector
     /// form uses pointwise `⊑`.
     #[inline]
@@ -107,12 +133,14 @@ impl ReadMeta {
         }
     }
 
-    /// Approximate heap bytes held (for memory-usage experiments).
+    /// Approximate heap bytes held beyond the enum's own `size_of` (for
+    /// memory-usage experiments; zero for epochs and inline vectors, so
+    /// containers counting `size_of::<ReadMeta>()` do not double-count).
     #[inline]
     pub fn footprint_bytes(&self) -> usize {
         match self {
             ReadMeta::Epoch(_) => 0,
-            ReadMeta::Vc(vc) => vc.footprint_bytes(),
+            ReadMeta::Vc(vc) => vc.heap_bytes(),
         }
     }
 }

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::{Epoch, ThreadId};
 
@@ -15,11 +16,38 @@ pub type ClockValue = u32;
 /// *no*.
 pub const INFINITY: ClockValue = ClockValue::MAX;
 
+/// Number of entries a [`VectorClock`] stores inline before spilling to the
+/// heap.
+///
+/// Chosen to cover every calibrated workload's live-thread count (the
+/// paper's benchmarks run 2–16 threads; xalan has 9, avrora 7), so the hot
+/// analysis paths — cloning `Ct` at a non-same-epoch access, publishing a
+/// release time, joining lock clocks — never allocate for typical programs.
+pub const INLINE_CLOCKS: usize = 12;
+
+/// Storage of a [`VectorClock`]: inline for ≤ [`INLINE_CLOCKS`] dimensions,
+/// a heap vector beyond that. The representation is an implementation
+/// detail: equality, hashing, and every operation act on the logical entry
+/// sequence only.
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline {
+        len: u8,
+        vals: [ClockValue; INLINE_CLOCKS],
+    },
+    Heap(Vec<ClockValue>),
+}
+
 /// A vector clock `C : Tid ↦ Val` (Mattern 1988).
 ///
 /// The vector grows on demand; absent entries are implicitly `0`. All
 /// operations are total over any pair of clocks regardless of their stored
 /// dimensions.
+///
+/// Small clocks (up to [`INLINE_CLOCKS`] entries — every calibrated
+/// workload) are stored inline: cloning, creating, and dropping them never
+/// touches the heap, which is what keeps the analyses' non-same-epoch paths
+/// allocation-free.
 ///
 /// # Examples
 ///
@@ -36,40 +64,89 @@ pub const INFINITY: ClockValue = ClockValue::MAX;
 /// assert!(a.leq(&b));
 /// assert_eq!(b.get(ThreadId::new(0)), 2);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug)]
 pub struct VectorClock {
-    clocks: Vec<ClockValue>,
+    repr: Repr,
 }
 
 impl VectorClock {
     /// Creates an empty clock (all entries `0`).
     #[inline]
     pub fn new() -> Self {
-        VectorClock { clocks: Vec::new() }
+        VectorClock {
+            repr: Repr::Inline {
+                len: 0,
+                vals: [0; INLINE_CLOCKS],
+            },
+        }
     }
 
     /// Creates a clock with capacity reserved for `threads` entries.
     #[inline]
     pub fn with_capacity(threads: usize) -> Self {
-        VectorClock {
-            clocks: Vec::with_capacity(threads),
+        if threads <= INLINE_CLOCKS {
+            VectorClock::new()
+        } else {
+            VectorClock {
+                repr: Repr::Heap(Vec::with_capacity(threads)),
+            }
+        }
+    }
+
+    /// The stored entries (trailing entries beyond [`dim`](Self::dim) are
+    /// implicitly zero).
+    #[inline]
+    pub fn as_slice(&self) -> &[ClockValue] {
+        match &self.repr {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [ClockValue] {
+        match &mut self.repr {
+            Repr::Inline { len, vals } => &mut vals[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Grows the stored dimension to at least `need` entries (zero-filled),
+    /// spilling to the heap past [`INLINE_CLOCKS`].
+    #[inline]
+    fn grow_to(&mut self, need: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } if need <= INLINE_CLOCKS => {
+                if need > *len as usize {
+                    *len = need as u8;
+                }
+            }
+            Repr::Inline { len, vals } => {
+                let mut v = Vec::with_capacity(need.max(2 * INLINE_CLOCKS));
+                v.extend_from_slice(&vals[..*len as usize]);
+                v.resize(need, 0);
+                self.repr = Repr::Heap(v);
+            }
+            Repr::Heap(v) => {
+                if need > v.len() {
+                    v.resize(need, 0);
+                }
+            }
         }
     }
 
     /// Returns the entry for thread `t` (implicitly `0` when unset).
     #[inline]
     pub fn get(&self, t: ThreadId) -> ClockValue {
-        self.clocks.get(t.index()).copied().unwrap_or(0)
+        self.as_slice().get(t.index()).copied().unwrap_or(0)
     }
 
     /// Sets the entry for thread `t` to `value`, growing the vector if needed.
     #[inline]
     pub fn set(&mut self, t: ThreadId, value: ClockValue) {
         let i = t.index();
-        if i >= self.clocks.len() {
-            self.clocks.resize(i + 1, 0);
-        }
-        self.clocks[i] = value;
+        self.grow_to(i + 1);
+        self.as_mut_slice()[i] = value;
     }
 
     /// Increments the entry for thread `t` by one and returns the *previous*
@@ -90,8 +167,9 @@ impl VectorClock {
     /// Pointwise comparison `self ⊑ other`.
     #[inline]
     pub fn leq(&self, other: &VectorClock) -> bool {
-        for (i, &c) in self.clocks.iter().enumerate() {
-            if c != 0 && c > other.clocks.get(i).copied().unwrap_or(0) {
+        let o = other.as_slice();
+        for (i, &c) in self.as_slice().iter().enumerate() {
+            if c != 0 && c > o.get(i).copied().unwrap_or(0) {
                 return false;
             }
         }
@@ -101,12 +179,15 @@ impl VectorClock {
     /// Pointwise join `self ← self ⊔ other`.
     #[inline]
     pub fn join(&mut self, other: &VectorClock) {
-        if other.clocks.len() > self.clocks.len() {
-            self.clocks.resize(other.clocks.len(), 0);
+        let o = other.as_slice();
+        if o.is_empty() {
+            return;
         }
-        for (i, &c) in other.clocks.iter().enumerate() {
-            if c > self.clocks[i] {
-                self.clocks[i] = c;
+        self.grow_to(o.len());
+        let s = self.as_mut_slice();
+        for (si, &oi) in s.iter_mut().zip(o) {
+            if oi > *si {
+                *si = oi;
             }
         }
     }
@@ -115,8 +196,25 @@ impl VectorClock {
     /// existing allocation where possible.
     #[inline]
     pub fn assign(&mut self, other: &VectorClock) {
-        self.clocks.clear();
-        self.clocks.extend_from_slice(&other.clocks);
+        let o = other.as_slice();
+        match &mut self.repr {
+            Repr::Heap(v) => {
+                v.clear();
+                v.extend_from_slice(o);
+            }
+            Repr::Inline { len, vals } if o.len() <= INLINE_CLOCKS => {
+                vals[..o.len()].copy_from_slice(o);
+                // Entries past the stored length must stay zero: grow_to
+                // exposes them without re-zeroing.
+                if o.len() < *len as usize {
+                    vals[o.len()..*len as usize].fill(0);
+                }
+                *len = o.len() as u8;
+            }
+            Repr::Inline { .. } => {
+                self.repr = Repr::Heap(o.to_vec());
+            }
+        }
     }
 
     /// Returns the epoch `C(t)@t` for thread `t`.
@@ -128,23 +226,67 @@ impl VectorClock {
     /// Number of stored (possibly zero) entries.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.clocks.len()
+        self.as_slice().len()
     }
 
     /// Iterates over `(thread, value)` pairs with non-zero values.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (ThreadId, ClockValue)> + '_ {
-        self.clocks
+        self.as_slice()
             .iter()
             .enumerate()
             .filter(|(_, &c)| c != 0)
             .map(|(i, &c)| (ThreadId::new(i as u32), c))
     }
 
-    /// Approximate number of heap bytes held by this clock (for the paper's
-    /// memory-usage experiments).
+    /// Heap bytes held by this clock beyond its own `size_of` (zero while
+    /// the entries are stored inline — the point of the small-size
+    /// representation). Use this when the clock is embedded in a structure
+    /// whose size is counted separately, so nothing is double-counted.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => 0,
+            Repr::Heap(v) => v.capacity() * std::mem::size_of::<ClockValue>(),
+        }
+    }
+
+    /// Approximate number of bytes held by this clock including its own
+    /// `size_of` (for the paper's memory-usage experiments).
     #[inline]
     pub fn footprint_bytes(&self) -> usize {
-        self.clocks.capacity() * std::mem::size_of::<ClockValue>() + std::mem::size_of::<Self>()
+        self.heap_bytes() + std::mem::size_of::<Self>()
+    }
+
+    /// Whether this clock's entries are stored inline (no heap allocation).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+}
+
+impl Default for VectorClock {
+    #[inline]
+    fn default() -> Self {
+        VectorClock::new()
+    }
+}
+
+/// Equality is over the logical entry sequence, independent of
+/// representation (an inline clock equals a spilled clock with the same
+/// entries).
+impl PartialEq for VectorClock {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl Hash for VectorClock {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
@@ -161,7 +303,7 @@ impl FromIterator<(ThreadId, ClockValue)> for VectorClock {
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, &c) in self.clocks.iter().enumerate() {
+        for (i, &c) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -247,5 +389,63 @@ mod tests {
         vc.set(t(0), INFINITY);
         vc.set(t(1), 3);
         assert_eq!(vc.to_string(), "[∞, 3]");
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_transparently() {
+        let mut vc = VectorClock::new();
+        assert!(vc.is_inline());
+        for i in 0..INLINE_CLOCKS as u32 {
+            vc.set(t(i), i + 1);
+        }
+        assert!(vc.is_inline(), "exactly INLINE_CLOCKS entries stay inline");
+        vc.set(t(INLINE_CLOCKS as u32), 99);
+        assert!(!vc.is_inline());
+        for i in 0..INLINE_CLOCKS as u32 {
+            assert_eq!(vc.get(t(i)), i + 1, "spill preserves entries");
+        }
+        assert_eq!(vc.get(t(INLINE_CLOCKS as u32)), 99);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let mut big: VectorClock = VectorClock::with_capacity(INLINE_CLOCKS + 4);
+        assert!(!big.is_inline());
+        let mut small = VectorClock::new();
+        big.set(t(1), 5);
+        small.set(t(1), 5);
+        assert_eq!(big, small, "heap vs inline with equal entries");
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |vc: &VectorClock| {
+            let mut h = DefaultHasher::new();
+            vc.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&big), hash(&small));
+    }
+
+    #[test]
+    fn assign_into_inline_clears_stale_entries() {
+        let mut a: VectorClock = [(t(0), 1), (t(1), 2), (t(2), 3)].into_iter().collect();
+        let b: VectorClock = [(t(0), 9)].into_iter().collect();
+        a.assign(&b);
+        assert_eq!(a, b);
+        assert_eq!(a.dim(), 1);
+        assert_eq!(a.get(t(2)), 0);
+    }
+
+    #[test]
+    fn join_from_spilled_into_inline_spills() {
+        let wide: VectorClock = (0..INLINE_CLOCKS as u32 + 2)
+            .map(|i| (t(i), i + 1))
+            .collect();
+        let mut narrow: VectorClock = [(t(0), 7)].into_iter().collect();
+        narrow.join(&wide);
+        assert_eq!(narrow.get(t(0)), 7);
+        assert_eq!(
+            narrow.get(t(INLINE_CLOCKS as u32 + 1)),
+            INLINE_CLOCKS as u32 + 2
+        );
     }
 }

@@ -87,9 +87,9 @@ pub use smarttrack_detect::{
     analyze, analyze_all, make_detector, run_detector, worker_count, AccessKind, AnalysisConfig,
     AnalysisOutcome, BatchJob, CcsFidelity, CorpusAnalysisTotal, CorpusRace, CorpusReport,
     Detector, Engine, EngineBuilder, EngineError, EnginePool, EraserLockset, FtoCase,
-    FtoCaseCounters, JobError, JobOutcome, JobSuccess, LaneSnapshot, OptLevel,
-    ParseAnalysisConfigError, PoolStats, RaceNotice, RaceReport, RaceSink, Relation, Report,
-    RunSummary, Session, SessionSnapshot, StreamHint,
+    FtoCaseCounters, HotPathStats, JobError, JobOutcome, JobSuccess, LTime, LaneSnapshot,
+    LockVarTable, OptLevel, ParseAnalysisConfigError, PoolStats, RaceNotice, RaceReport, RaceSink,
+    Relation, Report, RunSummary, Session, SessionSnapshot, StreamHint,
 };
 
 /// Trace model, generators, statistics, and the paper's example executions.

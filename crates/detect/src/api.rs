@@ -2,7 +2,7 @@ use std::fmt;
 
 use smarttrack_trace::{Event, EventId, Trace};
 
-use crate::{FtoCaseCounters, Report};
+use crate::{FtoCaseCounters, HotPathStats, Report};
 
 /// The relation computed by an analysis (Table 1 rows).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -71,14 +71,64 @@ pub struct StreamHint {
     pub threads: Option<usize>,
     /// Total number of events the stream will carry, if known.
     pub events: Option<usize>,
+    /// Number of distinct shared variables, if known. Pre-sizes the
+    /// per-session id interner and the detectors' dense per-variable tables.
+    pub vars: Option<usize>,
+    /// Number of distinct locks, if known.
+    pub locks: Option<usize>,
+    /// Number of distinct volatile variables, if known.
+    pub volatiles: Option<usize>,
 }
 
 impl StreamHint {
+    /// Most table slots any single hint field is trusted to pre-allocate.
+    ///
+    /// Hints are *claims* — a corrupt or hostile STB header, or a trace
+    /// holding one huge sparse id (cardinalities are `max index + 1`), must
+    /// not be able to force a multi-gigabyte allocation before the first
+    /// event arrives. Larger hinted cardinalities simply fall back to
+    /// growth-on-demand. 65 536 slots covers every calibrated workload's
+    /// cardinalities with two orders of magnitude to spare while bounding
+    /// a hostile claim to a few megabytes per table.
+    pub const MAX_PRESIZE: usize = 1 << 16;
+
+    /// Additional capacity worth reserving for a table currently holding
+    /// `len` slots, given this hinted cardinality: clamped to
+    /// [`MAX_PRESIZE`](StreamHint::MAX_PRESIZE), zero when unhinted.
+    ///
+    /// Cardinalities are `max index + 1` of the *raw* id space, so for an
+    /// interned session with sparse ids the hint overstates what the lanes
+    /// (which only ever see compact slots) will use — the distinct count
+    /// is unknowable before the stream runs. The clamp bounds that waste
+    /// to a few megabytes per table; unused reserve is reclaimed when the
+    /// session drops.
+    pub fn presize(hinted: Option<usize>, len: usize) -> usize {
+        hinted
+            .unwrap_or(0)
+            .min(StreamHint::MAX_PRESIZE)
+            .saturating_sub(len)
+    }
+
     /// The full-knowledge hint for a recorded trace.
     pub fn of_trace(trace: &Trace) -> Self {
         StreamHint {
             threads: Some(trace.num_threads()),
             events: Some(trace.len()),
+            vars: Some(trace.num_vars()),
+            locks: Some(trace.num_locks()),
+            volatiles: Some(trace.num_volatiles()),
+        }
+    }
+
+    /// Merges two hints field-by-field, preferring `self` where both know a
+    /// value (used to layer a per-stream hint over a builder-level one).
+    pub fn or(self, fallback: StreamHint) -> Self {
+        StreamHint {
+            threads: self.threads.or(fallback.threads),
+            events: self.events.or(fallback.events),
+            vars: self.vars.or(fallback.vars),
+            locks: self.locks.or(fallback.locks),
+            volatiles: self.volatiles.or(fallback.volatiles),
         }
     }
 
@@ -96,6 +146,9 @@ impl From<smarttrack_trace::binary::StbHint> for StreamHint {
         StreamHint {
             threads: Some(hint.threads as usize),
             events: Some(hint.events as usize),
+            vars: Some(hint.vars as usize),
+            locks: Some(hint.locks as usize),
+            volatiles: Some(hint.volatiles as usize),
         }
     }
 }
@@ -150,14 +203,49 @@ pub trait Detector {
     /// The races detected so far.
     fn report(&self) -> &Report;
 
-    /// Approximate live metadata bytes (vector clocks, epochs, queues, CS
-    /// lists, graphs). Used for the paper's memory-usage experiments.
+    /// Exact live metadata bytes (vector clocks, epochs, queues, CS lists,
+    /// graphs), deduplicating shared structures. Used for the paper's
+    /// memory-usage experiments. May walk all live metadata — call it at
+    /// stream boundaries and snapshots, not per event; the per-event
+    /// sampling path uses [`state_bytes`](Detector::state_bytes).
     fn footprint_bytes(&self) -> usize;
 
+    /// Cheap running estimate of resident metadata bytes, safe to call on
+    /// the per-event sampling stride: O(#tables), never O(#variables).
+    ///
+    /// Detectors with dense id-indexed tables report their table
+    /// capacities plus any incrementally-tracked heap structures;
+    /// Rc-shared CCS metadata and heap-spilled clocks beyond
+    /// [`smarttrack_clock::INLINE_CLOCKS`] threads are captured exactly by
+    /// the end-of-stream [`footprint_bytes`](Detector::footprint_bytes)
+    /// walk instead (see [`RunSummary::peak_footprint_bytes`]). The default
+    /// forwards to the exact walk, which is correct for detectors whose
+    /// walks are already cheap.
+    fn state_bytes(&self) -> usize {
+        self.footprint_bytes()
+    }
+
     /// FTO case frequencies (Appendix Table 12), if this detector tracks
-    /// them (FTO- and SmartTrack-based detectors do).
+    /// them (FTO-, FT2- and SmartTrack-based detectors do).
     fn case_counters(&self) -> Option<&FtoCaseCounters> {
         None
+    }
+
+    /// Fast-path/slow-path hit counts plus resident state bytes — the
+    /// hot-path accounting every detector reports. The default derives the
+    /// split from [`case_counters`](Detector::case_counters) (detectors
+    /// without counters — the Unopt variants — override this to report
+    /// every access as slow).
+    fn hot_path_stats(&self) -> HotPathStats {
+        let (fast_hits, slow_hits) = match self.case_counters() {
+            Some(c) => (c.fast_hits(), c.slow_hits()),
+            None => (0, 0),
+        };
+        HotPathStats {
+            fast_hits,
+            slow_hits,
+            state_bytes: self.state_bytes(),
+        }
     }
 
     /// The constraint graph built during analysis, for "w/ G" variants.
@@ -206,8 +294,16 @@ impl<D: Detector + ?Sized> Detector for &mut D {
         (**self).footprint_bytes()
     }
 
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
+    }
+
     fn case_counters(&self) -> Option<&FtoCaseCounters> {
         (**self).case_counters()
+    }
+
+    fn hot_path_stats(&self) -> HotPathStats {
+        (**self).hot_path_stats()
     }
 
     fn graph(&self) -> Option<&crate::ConstraintGraph> {
@@ -224,19 +320,30 @@ pub struct RunSummary {
     /// Peak *sampled* metadata footprint in bytes — the memory-usage
     /// analogue of the paper's maximum resident set size.
     ///
-    /// Walking live metadata has a cost, so the footprint is sampled on a
-    /// stride rather than per event, targeting
-    /// [`RunSummary::FOOTPRINT_SAMPLES`] walks: whole-trace drivers use a
-    /// fixed stride of `len.div_ceil(256)` events (short traces are sampled
-    /// at every event, long ones in at most 256 walks), streaming sessions
-    /// a stride that doubles every 256 samples (per-event cost decays
-    /// geometrically; total walks grow only logarithmically with stream
-    /// length). The final state is always sampled, so
-    /// the peak is exact for monotonically growing metadata and a slight
-    /// underestimate only for analyses whose footprint oscillates
-    /// (queue-compacting DC variants) — the same bias the paper's periodic
-    /// RSS polling has.
+    /// Sampling policy: on the in-stream stride (targeting
+    /// [`RunSummary::FOOTPRINT_SAMPLES`] samples — whole-trace drivers use
+    /// a fixed stride of `len.div_ceil(256)` events, streaming sessions a
+    /// stride that doubles every 256 samples) the *cheap* running estimate
+    /// [`Detector::state_bytes`] is sampled, and at end of stream the
+    /// exact [`Detector::footprint_bytes`] walk is folded in. The peak is
+    /// therefore exact for monotonically growing metadata; for analyses
+    /// whose footprint oscillates (queue-compacting DC variants) or whose
+    /// estimate excludes Rc-shared CCS structures, mid-stream peaks can be
+    /// underestimated — the same bias the paper's periodic RSS polling
+    /// has. Before the hot-path metadata overhaul every in-stream sample
+    /// ran the exact walk, which dominated total analysis time on
+    /// epoch-friendly workloads; the estimate/exact split removes that
+    /// cost without changing what the final number means.
     pub peak_footprint_bytes: usize,
+    /// Exact live metadata bytes at end of stream (the final
+    /// [`Detector::footprint_bytes`] walk): the number to compare across
+    /// metadata layouts.
+    pub final_state_bytes: usize,
+    /// Accesses handled by an epoch fast path (see
+    /// [`Detector::hot_path_stats`]).
+    pub fast_path_hits: u64,
+    /// Accesses that ran a full slow-path handler.
+    pub slow_path_hits: u64,
 }
 
 impl RunSummary {
@@ -344,12 +451,17 @@ pub fn run_detector<D: Detector + ?Sized>(detector: &mut D, trace: &Trace) -> Ru
     let mut sampler = FootprintSampler::for_len(trace.len());
     for (id, event) in trace.iter() {
         detector.process(id, event);
-        sampler.observe(|| detector.footprint_bytes());
+        sampler.observe(|| detector.state_bytes());
     }
     detector.finish_stream();
+    let final_state_bytes = detector.footprint_bytes();
+    let hot = detector.hot_path_stats();
     RunSummary {
         events: trace.len(),
-        peak_footprint_bytes: sampler.finish(detector.footprint_bytes()),
+        peak_footprint_bytes: sampler.finish(final_state_bytes),
+        final_state_bytes,
+        fast_path_hits: hot.fast_hits,
+        slow_path_hits: hot.slow_hits,
     }
 }
 

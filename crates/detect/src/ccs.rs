@@ -3,7 +3,8 @@
 //! "extra" fall-back metadata (paper §4.2).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 use smarttrack_clock::{Epoch, ThreadId, VectorClock, INFINITY};
@@ -104,10 +105,143 @@ pub enum CcsFidelity {
     Strict,
 }
 
+/// Read-side CS metadata of one variable, mirroring the representation of
+/// `Rx`: a single CS list while `Rx` is an epoch, per-thread CS lists once
+/// `Rx` is a vector clock (an association list — shared-read thread sets
+/// are tiny, and linear probes beat hashing at that size). Shared by the
+/// SmartTrack DC/WDC and WCP variants.
+#[derive(Clone, Debug)]
+pub(crate) enum LrMeta {
+    Single(Option<CsList>),
+    PerThread(Vec<(ThreadId, CsList)>),
+}
+
+impl Default for LrMeta {
+    fn default() -> Self {
+        LrMeta::Single(None)
+    }
+}
+
+impl LrMeta {
+    /// The per-thread list recorded for `u` (`None` in single form — the
+    /// epoch-form callers handle `Single` themselves).
+    pub fn of(&self, u: ThreadId) -> Option<&CsList> {
+        match self {
+            LrMeta::PerThread(map) => map.iter().find(|(w, _)| *w == u).map(|(_, l)| l),
+            LrMeta::Single(_) => None,
+        }
+    }
+
+    /// Inserts or replaces `t`'s list in the per-thread form.
+    ///
+    /// # Panics
+    ///
+    /// Panics in single form (vector `Rx` implies per-thread `Lrx`).
+    pub fn set(&mut self, t: ThreadId, list: CsList) {
+        match self {
+            LrMeta::PerThread(map) => match map.iter_mut().find(|(w, _)| *w == t) {
+                Some(entry) => entry.1 = list,
+                None => map.push((t, list)),
+            },
+            LrMeta::Single(_) => unreachable!("vector Rx implies per-thread Lrx"),
+        }
+    }
+}
+
+/// Per-lock extra CCS entries of one thread: a tiny association list
+/// (threads hold a handful of locks; linear scans beat hashing at this
+/// size, and iteration order — insertion order — is deterministic).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ExtraLocks {
+    entries: Vec<(LockId, ReleaseClock)>,
+}
+
+impl ExtraLocks {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, m: LockId) -> Option<&ReleaseClock> {
+        self.entries.iter().find(|(l, _)| *l == m).map(|(_, rc)| rc)
+    }
+
+    /// Inserts or replaces the entry for `m`.
+    pub fn insert(&mut self, m: LockId, rc: ReleaseClock) {
+        match self.entries.iter_mut().find(|(l, _)| *l == m) {
+            Some(entry) => entry.1 = rc,
+            None => self.entries.push((m, rc)),
+        }
+    }
+
+    pub fn remove(&mut self, m: LockId) {
+        self.entries.retain(|(l, _)| *l != m);
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn clocks(&self) -> impl Iterator<Item = &ReleaseClock> {
+        self.entries.iter().map(|(_, rc)| rc)
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(LockId, ReleaseClock)>()
+    }
+}
+
 /// Per-thread, per-lock extra CCS metadata (`Erx`/`Ewx`): critical sections
 /// containing accesses to the variable that are no longer captured by
-/// `Lrx`/`Lwx` (paper §4.2, "Using extra metadata").
-pub(crate) type ExtraMap = HashMap<ThreadId, HashMap<LockId, ReleaseClock>>;
+/// `Lrx`/`Lwx` (paper §4.2, "Using extra metadata"). Pre-overhaul this was
+/// a `HashMap<ThreadId, HashMap<LockId, _>>`; extras are rare and tiny
+/// ("empty in most cases", §4.2), so nested association lists drop the
+/// per-access hashing entirely.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ExtraMap {
+    by_thread: Vec<(ThreadId, ExtraLocks)>,
+}
+
+impl ExtraMap {
+    pub fn is_empty(&self) -> bool {
+        self.by_thread.iter().all(|(_, l)| l.is_empty())
+    }
+
+    /// The extra locks recorded for thread `t`, if any (tests and
+    /// diagnostics).
+    #[cfg(test)]
+    pub fn of(&self, t: ThreadId) -> Option<&ExtraLocks> {
+        self.by_thread.iter().find(|(u, _)| *u == t).map(|(_, l)| l)
+    }
+
+    pub fn of_mut_or_insert(&mut self, t: ThreadId) -> &mut ExtraLocks {
+        if let Some(i) = self.by_thread.iter().position(|(u, _)| *u == t) {
+            return &mut self.by_thread[i].1;
+        }
+        self.by_thread.push((t, ExtraLocks::default()));
+        &mut self.by_thread.last_mut().expect("just pushed").1
+    }
+
+    pub fn remove_thread(&mut self, t: ThreadId) {
+        self.by_thread.retain(|(u, _)| *u != t);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, &ExtraLocks)> {
+        self.by_thread.iter().map(|(u, l)| (*u, l))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ThreadId, &mut ExtraLocks)> {
+        self.by_thread.iter_mut().map(|(u, l)| (*u, l))
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.by_thread.capacity() * std::mem::size_of::<(ThreadId, ExtraLocks)>()
+            + self
+                .by_thread
+                .iter()
+                .map(|(_, l)| l.heap_bytes())
+                .sum::<usize>()
+    }
+}
 
 /// The extra metadata of one variable.
 #[derive(Clone, Debug, Default)]
@@ -120,7 +254,7 @@ pub(crate) struct Extras {
 
 impl Extras {
     pub fn is_empty(&self) -> bool {
-        self.read.values().all(HashMap::is_empty) && self.write.values().all(HashMap::is_empty)
+        self.read.is_empty() && self.write.is_empty()
     }
 }
 
@@ -181,32 +315,49 @@ pub(crate) fn stash_residual(
     residual: Vec<CsEntry>,
     fidelity: CcsFidelity,
 ) {
-    match fidelity {
-        CcsFidelity::Paper => {
-            let map = side.entry(owner).or_default();
-            map.clear();
-            for e in residual {
-                map.insert(e.lock, e.release);
-            }
-        }
-        CcsFidelity::Strict => {
-            let map = side.entry(owner).or_default();
-            for e in residual {
-                map.insert(e.lock, e.release);
-            }
-        }
+    let map = side.of_mut_or_insert(owner);
+    if fidelity == CcsFidelity::Paper {
+        map.clear();
+    }
+    for e in residual {
+        map.insert(e.lock, e.release);
     }
 }
 
+/// Hashes already-well-distributed keys (pointer addresses) by identity:
+/// the footprint walks deduplicate millions of `Rc` pointers, where SipHash
+/// would dominate the walk.
+#[derive(Default)]
+pub(crate) struct PtrHasher(u64);
+
+impl Hasher for PtrHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PtrSet only hashes usize keys");
+    }
+
+    #[inline]
+    fn write_usize(&mut self, p: usize) {
+        // Shift out alignment zeros, then spread with a Fibonacci constant.
+        self.0 = ((p >> 3) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A set of raw pointer addresses with identity hashing, reused by the
+/// exact footprint walks.
+pub(crate) type PtrSet = HashSet<usize, BuildHasherDefault<PtrHasher>>;
+
 /// Estimates unique heap bytes of a set of release clocks, deduplicating
 /// shared `Rc`s via `seen`.
-pub(crate) fn release_clock_bytes(
-    rc: &ReleaseClock,
-    seen: &mut HashSet<*const RefCell<VectorClock>>,
-) -> usize {
-    let ptr = Rc::as_ptr(rc);
+pub(crate) fn release_clock_bytes(rc: &ReleaseClock, seen: &mut PtrSet) -> usize {
+    let ptr = Rc::as_ptr(rc) as usize;
     if seen.insert(ptr) {
-        std::mem::size_of::<RefCell<VectorClock>>() + rc.borrow().footprint_bytes()
+        std::mem::size_of::<RefCell<VectorClock>>() + rc.borrow().heap_bytes() + 16
     } else {
         std::mem::size_of::<ReleaseClock>()
     }
@@ -301,13 +452,21 @@ mod tests {
     #[test]
     fn stash_paper_replaces_strict_merges() {
         let mk = |lock: u32| CsEntry::pending(m(lock), t(0));
-        let mut paper: ExtraMap = ExtraMap::new();
+        let mut paper = ExtraMap::default();
         stash_residual(&mut paper, t(0), vec![mk(0)], CcsFidelity::Paper);
         stash_residual(&mut paper, t(0), vec![mk(1)], CcsFidelity::Paper);
-        assert_eq!(paper[&t(0)].len(), 1, "paper mode replaces");
-        let mut strict: ExtraMap = ExtraMap::new();
+        assert_eq!(
+            paper.of(t(0)).unwrap().clocks().count(),
+            1,
+            "paper mode replaces"
+        );
+        let mut strict = ExtraMap::default();
         stash_residual(&mut strict, t(0), vec![mk(0)], CcsFidelity::Strict);
         stash_residual(&mut strict, t(0), vec![mk(1)], CcsFidelity::Strict);
-        assert_eq!(strict[&t(0)].len(), 2, "strict mode merges");
+        assert_eq!(
+            strict.of(t(0)).unwrap().clocks().count(),
+            2,
+            "strict mode merges"
+        );
     }
 }

@@ -2,8 +2,6 @@
 //! tracking, per-(lock, variable) critical-section metadata, and footprint
 //! estimation helpers.
 
-use std::collections::HashMap;
-
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::{EventId, LockId, VarId};
 
@@ -62,32 +60,6 @@ impl HeldLocks {
     }
 }
 
-/// Per-(lock, variable) critical-section access times: the paper's
-/// `Lr_{m,x}` and `Lw_{m,x}` plus the `Rm`/`Wm` variable sets of the ongoing
-/// critical section (Algorithms 1 and 2).
-///
-/// The paper notes this metadata "entails storing information for
-/// lock–variable pairs, requiring indirect metadata lookups (e.g., an
-/// implementation can use per-lock hash tables keyed by variables)" — which
-/// is exactly the representation here, and exactly the cost SmartTrack's CCS
-/// optimizations remove.
-///
-/// For the "w/ G" graph-building variants, each `Lr`/`Lw` clock also carries
-/// the ids of the release events that contributed to it (latest per thread),
-/// so rule (a) joins can be recorded as graph edges.
-#[derive(Clone, Debug, Default)]
-pub struct LockVarTable {
-    /// Per lock: variable → (clock, contributing release events).
-    read: Vec<HashMap<VarId, LTime>>,
-    write: Vec<HashMap<VarId, LTime>>,
-    /// Per lock: variables read (`Rm`) / written (`Wm`) in the ongoing
-    /// critical section.
-    cur_read: Vec<Vec<VarId>>,
-    cur_write: Vec<Vec<VarId>>,
-    /// Whether to track contributing release events for graph recording.
-    track_sources: bool,
-}
-
 /// A critical-section time: the join of the release times of prior critical
 /// sections (on one lock) that accessed one variable.
 #[derive(Clone, Debug, Default)]
@@ -110,6 +82,88 @@ impl LTime {
     }
 }
 
+/// One (variable, lock) node of a [`LockVarTable`]: lives in the shared
+/// entry pool, chained per variable (`next`). Carries the positions of the
+/// folded `Lr`/`Lw` times (`+1`, 0 = none) and the generation stamps of
+/// the ongoing critical section's `Rm`/`Wm` membership.
+#[derive(Clone, Debug)]
+struct PairEntry {
+    lock: LockId,
+    /// Next entry of the same variable's chain (`+1`, 0 = end).
+    next: u32,
+    /// `Lr_{m,x}` position in `read_times` (`+1`, 0 = none).
+    read_pos: u32,
+    /// `Lw_{m,x}` position in `write_times` (`+1`, 0 = none).
+    write_pos: u32,
+    /// Generation of the lock's critical section that last marked this
+    /// pair as read (`Rm`).
+    read_gen: u32,
+    /// Generation that last marked this pair as written (`Wm`).
+    write_gen: u32,
+}
+
+/// Per-lock bookkeeping of the ongoing critical section.
+#[derive(Clone, Debug)]
+struct LockCs {
+    /// Generation of the ongoing critical section. Bumped at every
+    /// release, which lazily invalidates all membership stamps in O(1) —
+    /// no per-release clearing walk. Stamps start at 0, so the live
+    /// generation is never 0.
+    gen: u32,
+    /// Variables marked read (`Rm`) / written (`Wm`) since the last
+    /// release, each at most once (guarded by the generation stamps).
+    cur_read: Vec<VarId>,
+    cur_write: Vec<VarId>,
+}
+
+impl Default for LockCs {
+    fn default() -> Self {
+        LockCs {
+            gen: 1,
+            cur_read: Vec::new(),
+            cur_write: Vec::new(),
+        }
+    }
+}
+
+/// Per-(lock, variable) critical-section access times: the paper's
+/// `Lr_{m,x}` and `Lw_{m,x}` plus the `Rm`/`Wm` variable sets of the ongoing
+/// critical section (Algorithms 1 and 2).
+///
+/// The paper notes this metadata "entails storing information for
+/// lock–variable pairs, requiring indirect metadata lookups (e.g., an
+/// implementation can use per-lock hash tables keyed by variables)". The
+/// pre-overhaul implementation was exactly that — per-lock `HashMap<VarId,
+/// LTime>` — which put a hash and a probe on every rule (a) lookup and
+/// load-factor slack on every table. The overhauled layout is a *chained
+/// per-variable pool*: a dense `heads` array (one `u32` per interned
+/// variable) points into one shared pair-entry pool, chained per
+/// variable. An access walks its variable's chain — as long as the number
+/// of locks the variable has ever been accessed under, almost always 1–2 —
+/// and the per-critical-section `Rm`/`Wm` membership check is a
+/// generation-stamp compare on the entry instead of hashing into a set
+/// (generations bump at release, lazily clearing all stamps at once).
+/// Memory is proportional to *occupied* (lock, variable) pairs plus one
+/// word per variable; no per-lock universe-sized tables.
+///
+/// For the "w/ G" graph-building variants, each `Lr`/`Lw` time also carries
+/// the ids of the release events that contributed to it (latest per thread),
+/// so rule (a) joins can be recorded as graph edges.
+#[derive(Clone, Debug, Default)]
+pub struct LockVarTable {
+    /// Per variable: head of its pair-entry chain (`+1`, 0 = empty).
+    heads: Vec<u32>,
+    /// The shared (variable, lock) pair pool.
+    pool: Vec<PairEntry>,
+    /// Folded `Lr` / `Lw` times, positions referenced from pool entries.
+    read_times: Vec<LTime>,
+    write_times: Vec<LTime>,
+    /// Per lock: ongoing critical-section bookkeeping.
+    locks: Vec<LockCs>,
+    /// Whether to track contributing release events for graph recording.
+    track_sources: bool,
+}
+
 impl LockVarTable {
     /// Creates a table; `track_sources` enables graph-edge recording.
     pub fn new(track_sources: bool) -> Self {
@@ -119,37 +173,99 @@ impl LockVarTable {
         }
     }
 
+    /// Pre-sizes the per-lock table (from a [`crate::StreamHint`];
+    /// clamped, see [`crate::StreamHint::presize`]).
+    pub fn reserve_locks(&mut self, locks: usize) {
+        self.locks
+            .reserve(crate::StreamHint::presize(Some(locks), self.locks.len()));
+    }
+
+    /// Index of the pair entry for `(x, m)`, if present.
+    #[inline]
+    fn find(&self, m: LockId, x: VarId) -> Option<usize> {
+        let mut i = *self.heads.get(x.index())?;
+        while i != 0 {
+            let e = &self.pool[i as usize - 1];
+            if e.lock == m {
+                return Some(i as usize - 1);
+            }
+            i = e.next;
+        }
+        None
+    }
+
+    /// Index of the pair entry for `(x, m)`, inserting an empty one at the
+    /// chain head if absent.
+    #[inline]
+    fn find_or_insert(&mut self, m: LockId, x: VarId) -> usize {
+        if let Some(i) = self.find(m, x) {
+            return i;
+        }
+        let head = slot(&mut self.heads, x.index());
+        self.pool.push(PairEntry {
+            lock: m,
+            next: *head,
+            read_pos: 0,
+            write_pos: 0,
+            read_gen: 0,
+            write_gen: 0,
+        });
+        *head = self.pool.len() as u32;
+        self.pool.len() - 1
+    }
+
     /// Marks `x` as read in the ongoing critical section on `m` (`Rm ∪= {x}`).
+    #[inline]
     pub fn mark_read(&mut self, m: LockId, x: VarId) {
-        let set = slot(&mut self.cur_read, m.index());
-        if !set.contains(&x) {
-            set.push(x);
+        let gen = slot(&mut self.locks, m.index()).gen;
+        let i = self.find_or_insert(m, x);
+        let e = &mut self.pool[i];
+        if e.read_gen != gen {
+            e.read_gen = gen;
+            self.locks[m.index()].cur_read.push(x);
         }
     }
 
     /// Marks `x` as written in the ongoing critical section on `m`
     /// (`Wm ∪= {x}`).
+    #[inline]
     pub fn mark_write(&mut self, m: LockId, x: VarId) {
-        let set = slot(&mut self.cur_write, m.index());
-        if !set.contains(&x) {
-            set.push(x);
+        let gen = slot(&mut self.locks, m.index()).gen;
+        let i = self.find_or_insert(m, x);
+        let e = &mut self.pool[i];
+        if e.write_gen != gen {
+            e.write_gen = gen;
+            self.locks[m.index()].cur_write.push(x);
         }
     }
 
     /// The read-time `Lr_{m,x}`, if any prior critical section on `m` read
     /// (or, for FTO, accessed) `x`.
+    #[inline]
     pub fn read_time(&self, m: LockId, x: VarId) -> Option<&LTime> {
-        self.read.get(m.index()).and_then(|t| t.get(&x))
+        let e = &self.pool[self.find(m, x)?];
+        if e.read_pos == 0 {
+            None
+        } else {
+            Some(&self.read_times[e.read_pos as usize - 1])
+        }
     }
 
     /// The write-time `Lw_{m,x}`.
+    #[inline]
     pub fn write_time(&self, m: LockId, x: VarId) -> Option<&LTime> {
-        self.write.get(m.index()).and_then(|t| t.get(&x))
+        let e = &self.pool[self.find(m, x)?];
+        if e.write_pos == 0 {
+            None
+        } else {
+            Some(&self.write_times[e.write_pos as usize - 1])
+        }
     }
 
     /// Applies a release of `m` at time `now` (Algorithm 1 lines 9–11 /
     /// Algorithm 2 lines 10–12): folds the ongoing critical section's
-    /// accessed-variable sets into `Lr`/`Lw` and clears them.
+    /// accessed-variable sets into `Lr`/`Lw` and clears them (by bumping
+    /// the lock's generation).
     ///
     /// `release_event` identifies the release for graph recording.
     pub fn on_release(
@@ -160,50 +276,149 @@ impl LockVarTable {
         release_event: EventId,
     ) {
         let source = self.track_sources.then_some((t, release_event));
-        let reads = std::mem::take(slot(&mut self.cur_read, m.index()));
-        let table = slot(&mut self.read, m.index());
-        for x in reads {
-            table.entry(x).or_default().absorb(now, source);
+        let cs = slot(&mut self.locks, m.index());
+        let reads = std::mem::take(&mut cs.cur_read);
+        let writes = std::mem::take(&mut cs.cur_write);
+        for &x in &reads {
+            let i = self.find(m, x).expect("marked pairs have entries");
+            let e = &mut self.pool[i];
+            if e.read_pos == 0 {
+                self.read_times.push(LTime::default());
+                e.read_pos = self.read_times.len() as u32;
+            }
+            self.read_times[e.read_pos as usize - 1].absorb(now, source);
         }
-        let writes = std::mem::take(slot(&mut self.cur_write, m.index()));
-        let table = slot(&mut self.write, m.index());
-        for x in writes {
-            table.entry(x).or_default().absorb(now, source);
+        for &x in &writes {
+            let i = self.find(m, x).expect("marked pairs have entries");
+            let e = &mut self.pool[i];
+            if e.write_pos == 0 {
+                self.write_times.push(LTime::default());
+                e.write_pos = self.write_times.len() as u32;
+            }
+            self.write_times[e.write_pos as usize - 1].absorb(now, source);
         }
+        // Return the (now empty) buffers to reuse their capacity.
+        let cs = &mut self.locks[m.index()];
+        cs.cur_read = reads;
+        cs.cur_read.clear();
+        cs.cur_write = writes;
+        cs.cur_write.clear();
+        cs.gen = match cs.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Astronomically rare wrap: clear this lock's stamps
+                // eagerly so stale stamps cannot collide with generation 1.
+                for e in &mut self.pool {
+                    if e.lock == m {
+                        e.read_gen = 0;
+                        e.write_gen = 0;
+                    }
+                }
+                1
+            }
+        };
     }
 
-    /// Approximate heap bytes (the dominant cost of unoptimized predictive
-    /// analysis on lock-heavy programs).
-    pub fn footprint_bytes(&self) -> usize {
-        let map_bytes = |maps: &Vec<HashMap<VarId, LTime>>| -> usize {
-            maps.iter()
-                .map(|m| {
-                    m.capacity()
-                        * (std::mem::size_of::<VarId>() + std::mem::size_of::<LTime>() + 16)
-                        + m.values()
-                            .map(|lt| {
-                                lt.clock.footprint_bytes()
-                                    + lt.sources.capacity()
-                                        * std::mem::size_of::<(ThreadId, EventId)>()
-                            })
-                            .sum::<usize>()
-                })
-                .sum()
-        };
-        map_bytes(&self.read)
-            + map_bytes(&self.write)
+    /// Cheap resident bytes (capacities only, O(#locks)) — the running
+    /// estimate sampled per event.
+    pub fn resident_bytes(&self) -> usize {
+        self.heads.capacity() * std::mem::size_of::<u32>()
+            + self.pool.capacity() * std::mem::size_of::<PairEntry>()
+            + (self.read_times.capacity() + self.write_times.capacity())
+                * std::mem::size_of::<LTime>()
+            + self.locks.capacity() * std::mem::size_of::<LockCs>()
             + self
-                .cur_read
+                .locks
                 .iter()
-                .chain(self.cur_write.iter())
-                .map(|v| v.capacity() * std::mem::size_of::<VarId>())
+                .map(|cs| {
+                    (cs.cur_read.capacity() + cs.cur_write.capacity())
+                        * std::mem::size_of::<VarId>()
+                })
                 .sum::<usize>()
+    }
+
+    /// Exact heap bytes including per-entry clock spill (the dominant cost
+    /// of unoptimized predictive analysis on lock-heavy programs).
+    pub fn footprint_bytes(&self) -> usize {
+        self.resident_bytes()
+            + self
+                .read_times
+                .iter()
+                .chain(self.write_times.iter())
+                .map(|lt| {
+                    lt.clock.heap_bytes()
+                        + lt.sources.capacity() * std::mem::size_of::<(ThreadId, EventId)>()
+                })
+                .sum::<usize>()
+    }
+
+    /// What the same occupancy cost in the *pre-overhaul* layout — per-lock
+    /// `HashMap<VarId, LTime>` with heap-vector clocks: per side and lock,
+    /// a swiss table of `next_pow2(n·8/7)` buckets (key + value slot +
+    /// one control byte each), plus each entry's clock as a separate heap
+    /// vector (the pre-overhaul `VectorClock` had no small-size inline
+    /// representation). Used by the fast-path accounting tests to prove the
+    /// chained dense layout shrinks state, without keeping the old
+    /// implementation alive.
+    pub fn hashmap_equivalent_bytes(&self) -> usize {
+        fn swiss_bytes(n: usize, entry: usize) -> usize {
+            if n == 0 {
+                return 0;
+            }
+            let buckets = ((n * 8).div_ceil(7)).next_power_of_two();
+            buckets * (entry + 1)
+        }
+        // Pre-overhaul LTime: Vec-backed clock (24) + sources Vec (24).
+        let old_ltime = 48;
+        let entry = std::mem::size_of::<VarId>() + old_ltime + 8;
+        let mut per_lock_read = vec![0usize; self.locks.len()];
+        let mut per_lock_write = vec![0usize; self.locks.len()];
+        for e in &self.pool {
+            let m = e.lock.index();
+            if m >= per_lock_read.len() {
+                continue;
+            }
+            per_lock_read[m] += (e.read_pos != 0) as usize;
+            per_lock_write[m] += (e.write_pos != 0) as usize;
+        }
+        let maps: usize = per_lock_read
+            .iter()
+            .chain(per_lock_write.iter())
+            .map(|&n| {
+                swiss_bytes(n, entry)
+                    + std::mem::size_of::<std::collections::HashMap<VarId, LTime>>()
+            })
+            .sum();
+        // Each folded time's clock was a separate heap vector of its
+        // current dimension (plus what the small-size layout still spills).
+        let clocks: usize = self
+            .read_times
+            .iter()
+            .chain(self.write_times.iter())
+            .map(|lt| {
+                lt.clock.dim() * std::mem::size_of::<u32>()
+                    + lt.clock.heap_bytes()
+                    + lt.sources.capacity() * std::mem::size_of::<(ThreadId, EventId)>()
+            })
+            .sum();
+        maps + clocks
     }
 }
 
-/// Estimates heap bytes of a vector of vector clocks.
-pub fn vc_table_bytes(vcs: &[VectorClock]) -> usize {
-    vcs.iter().map(VectorClock::footprint_bytes).sum::<usize>() + std::mem::size_of_val(vcs)
+/// Exact bytes of a table of vector clocks: slot capacity plus each
+/// clock's heap spill. Always at least [`vc_table_resident_bytes`].
+#[allow(clippy::ptr_arg)]
+pub fn vc_table_bytes(vcs: &Vec<VectorClock>) -> usize {
+    vcs.iter().map(VectorClock::heap_bytes).sum::<usize>() + vc_table_resident_bytes(vcs)
+}
+
+/// Cheap resident bytes of a table of vector clocks: O(1), capacity only.
+/// Heap spills (clocks wider than [`smarttrack_clock::INLINE_CLOCKS`])
+/// are picked up by the exact end-of-stream walk instead.
+#[allow(clippy::ptr_arg)]
+#[inline]
+pub fn vc_table_resident_bytes(vcs: &Vec<VectorClock>) -> usize {
+    vcs.capacity() * std::mem::size_of::<VectorClock>()
 }
 
 #[cfg(test)]
@@ -266,5 +481,35 @@ mod tests {
         lt.on_release(t(1), m(0), &now2, EventId::new(11));
         let time = lt.write_time(m(0), x(0)).unwrap();
         assert_eq!(time.sources, vec![(t(1), EventId::new(11))]);
+    }
+
+    #[test]
+    fn duplicate_marks_within_one_critical_section_fold_once() {
+        let mut lt = LockVarTable::new(false);
+        lt.mark_read(m(0), x(0));
+        lt.mark_read(m(0), x(0));
+        lt.mark_read(m(0), x(0));
+        let now: VectorClock = [(t(0), 3)].into_iter().collect();
+        lt.on_release(t(0), m(0), &now, EventId::new(1));
+        assert_eq!(lt.read_time(m(0), x(0)).unwrap().clock.get(t(0)), 3);
+        // Marks in a *new* critical section are fresh despite identical
+        // stamps space (generation bumped).
+        lt.mark_read(m(0), x(0));
+        let now2: VectorClock = [(t(0), 8)].into_iter().collect();
+        lt.on_release(t(0), m(0), &now2, EventId::new(2));
+        assert_eq!(lt.read_time(m(0), x(0)).unwrap().clock.get(t(0)), 8);
+    }
+
+    #[test]
+    fn dense_layout_undercuts_hashmap_equivalent() {
+        let mut lt = LockVarTable::new(false);
+        for v in 0..64u32 {
+            lt.mark_read(m(0), x(v));
+            lt.mark_write(m(1), x(v));
+        }
+        let now: VectorClock = [(t(0), 2)].into_iter().collect();
+        lt.on_release(t(0), m(0), &now, EventId::new(1));
+        lt.on_release(t(0), m(1), &now, EventId::new(2));
+        assert!(lt.footprint_bytes() > 0, "dense tables report their bytes");
     }
 }

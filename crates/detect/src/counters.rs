@@ -1,8 +1,12 @@
-//! FTO case frequency counters (Appendix B, Table 12).
+//! FTO case frequency counters (Appendix B, Table 12) and hot-path
+//! accounting.
 //!
 //! Table 12 reports, for SmartTrack-WDC, the share of non-same-epoch reads
 //! and writes handled by each FTO case. The counters are maintained by every
-//! FTO- and SmartTrack-based detector in this crate.
+//! FTO- and SmartTrack-based detector in this crate (and, since the hot-path
+//! metadata overhaul, by [`Ft2`](crate::Ft2) too). [`HotPathStats`]
+//! condenses them into the fast-path/slow-path split every detector
+//! reports, paired with its resident state bytes.
 
 use std::fmt;
 
@@ -151,6 +155,73 @@ impl FtoCaseCounters {
         } else {
             100.0 * self.count(case) as f64 / total as f64
         }
+    }
+
+    /// Accesses handled by a same-epoch fast path (`[Read Same Epoch]`,
+    /// `[Shared Same Epoch]`, `[Write Same Epoch]`): O(1), no clock walked,
+    /// no metadata updated — the paths SmartTrack's design keeps hot.
+    pub fn fast_hits(&self) -> u64 {
+        self.count(FtoCase::ReadSameEpoch)
+            + self.count(FtoCase::SharedSameEpoch)
+            + self.count(FtoCase::WriteSameEpoch)
+    }
+
+    /// Accesses that fell through to a non-same-epoch case.
+    pub fn slow_hits(&self) -> u64 {
+        self.nse_reads() + self.nse_writes()
+    }
+}
+
+/// The fast-path/slow-path split of one analysis run, paired with its
+/// resident metadata bytes — the accounting every [`Detector`](crate::Detector)
+/// reports via [`hot_path_stats`](crate::Detector::hot_path_stats).
+///
+/// *Fast* hits are accesses fully handled by a same-epoch check (no vector
+/// clock touched); *slow* hits are every other access. Synchronization
+/// operations are counted in neither. Detectors without a fast path
+/// (the Unopt variants) report every access as slow.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Accesses handled entirely by an epoch fast path.
+    pub fast_hits: u64,
+    /// Accesses that ran a full (vector-clock or CCS) handler.
+    pub slow_hits: u64,
+    /// Resident metadata bytes right now (the cheap running estimate, see
+    /// [`Detector::state_bytes`](crate::Detector::state_bytes)).
+    pub state_bytes: usize,
+}
+
+impl HotPathStats {
+    /// Fraction of accesses taking the fast path (0 when no accesses ran).
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.fast_hits + self.slow_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Plain fast/slow hit counters for detectors that do not track the full
+/// FTO case vector (the Unopt variants, whose only fast path is the §5.1
+/// same-epoch-like check).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct PathCounters {
+    pub fast: u64,
+    pub slow: u64,
+}
+
+impl fmt::Display for HotPathStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fast / {} slow ({:.1}% fast), {} state bytes",
+            self.fast_hits,
+            self.slow_hits,
+            100.0 * self.fast_fraction(),
+            self.state_bytes
+        )
     }
 }
 

@@ -2,7 +2,7 @@
 //! epoch and ownership optimizations applied to predictive analysis, keeping
 //! the per-(lock, variable) conflicting-critical-section metadata.
 
-use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::common::{slot, HeldLocks, LockVarTable};
@@ -132,16 +132,19 @@ impl<const RULE_B: bool> FtoDcLike<RULE_B> {
 
     fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
         let e = Epoch::new(t, self.clocks.local(t));
-        match &slot(&mut self.vars, x.index()).read {
-            ReadMeta::Epoch(r) if *r == e => {
+        match slot(&mut self.vars, x.index())
+            .read
+            .same_epoch(t, e.clock())
+        {
+            Some(SameEpoch::Exclusive) => {
                 self.counters.hit(FtoCase::ReadSameEpoch);
                 return;
             }
-            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+            Some(SameEpoch::Shared) => {
                 self.counters.hit(FtoCase::SharedSameEpoch);
                 return;
             }
-            _ => {}
+            None => {}
         }
         let mut now = self.clocks.clock_ref(t).clone();
         self.rule_a(t, x, &mut now, false);
@@ -235,6 +238,12 @@ impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
                 self.queues.set_thread_bound(threads);
             }
         }
+        self.clocks.reserve(hint.threads, hint.volatiles);
+        if let Some(locks) = hint.locks {
+            self.lockvar.reserve_locks(locks);
+        }
+        self.vars
+            .reserve(crate::StreamHint::presize(hint.vars, self.vars.len()));
     }
 
     fn process(&mut self, id: EventId, event: &Event) {
@@ -260,11 +269,21 @@ impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
             + self.held.footprint_bytes()
             + self.lockvar.footprint_bytes()
             + self.queues.footprint_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self
                 .vars
                 .iter()
-                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .map(|v| v.read.footprint_bytes())
                 .sum::<usize>()
+            + self.report.footprint_bytes()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.clocks.resident_bytes()
+            + self.held.footprint_bytes()
+            + self.lockvar.resident_bytes()
+            + self.queues.resident_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self.report.footprint_bytes()
     }
 

@@ -21,7 +21,7 @@ pub use unopt::{UnoptDc, UnoptWdc};
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::VarId;
 
-use crate::common::{slot, vc_table_bytes};
+use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
 
 /// Thread and volatile clocks for PO-composed predictive relations (DC, WDC).
 ///
@@ -100,9 +100,24 @@ impl DcClocks {
         self.increment(t);
     }
 
-    /// Approximate heap bytes.
+    /// Approximate heap bytes (exact: includes per-clock heap spill).
     pub fn footprint_bytes(&self) -> usize {
         vc_table_bytes(&self.threads) + vc_table_bytes(&self.volatiles)
+    }
+
+    /// Cheap resident bytes (capacities only, O(1)).
+    pub fn resident_bytes(&self) -> usize {
+        vc_table_resident_bytes(&self.threads) + vc_table_resident_bytes(&self.volatiles)
+    }
+
+    /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,
+    /// see [`crate::StreamHint::presize`]).
+    pub fn reserve(&mut self, threads: Option<usize>, volatiles: Option<usize>) {
+        use crate::StreamHint;
+        self.threads
+            .reserve(StreamHint::presize(threads, self.threads.len()));
+        self.volatiles
+            .reserve(StreamHint::presize(volatiles, self.volatiles.len()));
     }
 }
 

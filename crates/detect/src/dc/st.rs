@@ -6,14 +6,12 @@
 //! metadata (`Ewx`, `Erx`) for critical sections the CS lists can no longer
 //! represent. Rule (b) acquire queues shrink from vector clocks to epochs.
 
-use std::collections::HashMap;
-use std::collections::HashSet;
-
-use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::ccs::{
-    multi_check, release_clock_bytes, stash_residual, CcsFidelity, CsEntry, CsList, Extras,
+    multi_check, release_clock_bytes, stash_residual, CcsFidelity, CsEntry, CsList, Extras, LrMeta,
+    PtrSet,
 };
 use crate::common::slot;
 use crate::counters::{FtoCase, FtoCaseCounters};
@@ -21,21 +19,6 @@ use crate::dc::DcClocks;
 use crate::queues::{AcqEntry, DcRuleBQueues};
 use crate::report::{AccessKind, RaceReport, Report};
 use crate::{Detector, OptLevel, Relation};
-
-/// Read-side CS metadata, mirroring the representation of `Rx`:
-/// a single CS list while `Rx` is an epoch, per-thread CS lists once `Rx` is
-/// a vector clock.
-#[derive(Clone, Debug)]
-enum LrMeta {
-    Single(Option<CsList>),
-    PerThread(HashMap<ThreadId, CsList>),
-}
-
-impl Default for LrMeta {
-    fn default() -> Self {
-        LrMeta::Single(None)
-    }
-}
 
 #[derive(Clone, Debug, Default)]
 struct StVar {
@@ -179,41 +162,41 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
         let Some(ex) = self.vars[x.index()].extras.as_mut() else {
             return;
         };
-        let er_nonempty = ex.read.values().any(|m| !m.is_empty());
-        let ew_nonempty = ex.write.values().any(|m| !m.is_empty());
+        let er_nonempty = !ex.read.is_empty();
+        let ew_nonempty = !ex.write.is_empty();
         if !(er_nonempty || (strict && ew_nonempty)) {
             return;
         }
         for &m in &held {
-            for (&u, map) in ex.read.iter() {
+            for (u, map) in ex.read.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(&m) {
+                    if let Some(rc) = map.get(m) {
                         now.join(&rc.borrow());
                     }
                 }
             }
             if strict {
-                for (&u, map) in ex.write.iter() {
+                for (u, map) in ex.write.iter() {
                     if u != t {
-                        if let Some(rc) = map.get(&m) {
+                        if let Some(rc) = map.get(m) {
                             now.join(&rc.borrow());
                         }
                     }
                 }
             }
-            for (&u, map) in ex.read.iter_mut() {
+            for (u, map) in ex.read.iter_mut() {
                 if u != t {
-                    map.remove(&m);
+                    map.remove(m);
                 }
             }
-            for (&u, map) in ex.write.iter_mut() {
+            for (u, map) in ex.write.iter_mut() {
                 if u != t {
-                    map.remove(&m);
+                    map.remove(m);
                 }
             }
         }
-        ex.read.remove(&t);
-        ex.write.remove(&t);
+        ex.read.remove_thread(t);
+        ex.write.remove_thread(t);
         if ex.is_empty() {
             self.vars[x.index()].extras = None;
         }
@@ -228,13 +211,13 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
         let Some(ex) = self.vars[x.index()].extras.as_ref() else {
             return;
         };
-        if ex.write.values().all(HashMap::is_empty) {
+        if ex.write.is_empty() {
             return;
         }
         for &m in &held {
-            for (&u, map) in ex.write.iter() {
+            for (u, map) in ex.write.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(&m) {
+                    if let Some(rc) = map.get(m) {
                         now.join(&rc.borrow());
                     }
                 }
@@ -300,10 +283,7 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
                     if u == t {
                         continue;
                     }
-                    let lr = match &vs.lr {
-                        LrMeta::PerThread(map) => map.get(&u),
-                        LrMeta::Single(_) => None,
-                    };
+                    let lr = vs.lr.of(u);
                     let (residual, raced) =
                         multi_check(&mut now, &held, lr, Epoch::new(u, c), Self::dc_epoch_check);
                     if raced {
@@ -349,16 +329,16 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
     fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
         let e = Epoch::new(t, self.clocks.local(t));
         slot(&mut self.vars, x.index());
-        match &self.vars[x.index()].read {
-            ReadMeta::Epoch(r) if *r == e => {
+        match self.vars[x.index()].read.same_epoch(t, e.clock()) {
+            Some(SameEpoch::Exclusive) => {
                 self.counters.hit(FtoCase::ReadSameEpoch);
                 return;
             }
-            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+            Some(SameEpoch::Shared) => {
                 self.counters.hit(FtoCase::SharedSameEpoch);
                 return;
             }
-            _ => {}
+            None => {}
         }
         let mut now = self.clocks.clock_ref(t).clone();
         self.absorb_extras_at_read(t, x, &mut now);
@@ -410,10 +390,7 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
                         LrMeta::Single(l) => l.unwrap_or_else(|| CsList::empty(u)),
                         LrMeta::PerThread(_) => unreachable!(),
                     };
-                    let mut map = HashMap::new();
-                    map.insert(u, old);
-                    map.insert(t, snapshot);
-                    vs.lr = LrMeta::PerThread(map);
+                    vs.lr = LrMeta::PerThread(vec![(u, old), (t, snapshot)]);
                     vs.read.share(e);
                 }
             }
@@ -442,11 +419,7 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
                         rvc.set(t, e.clock());
                     }
                 }
-                if let LrMeta::PerThread(map) = &mut vs.lr {
-                    map.insert(t, snapshot);
-                } else {
-                    unreachable!("vector Rx implies per-thread Lrx");
-                }
+                vs.lr.set(t, snapshot);
             }
         }
         let write_tid = (!vs.write.is_none()).then(|| vs.write.tid());
@@ -491,6 +464,15 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
                 self.queues.set_thread_bound(threads);
             }
         }
+        self.clocks.reserve(hint.threads, hint.volatiles);
+        self.vars
+            .reserve(crate::StreamHint::presize(hint.vars, self.vars.len()));
+        self.ht
+            .reserve(crate::StreamHint::presize(hint.threads, self.ht.len()));
+        self.ht_cache.reserve(crate::StreamHint::presize(
+            hint.threads,
+            self.ht_cache.len(),
+        ));
     }
 
     fn process(&mut self, id: EventId, event: &Event) {
@@ -512,7 +494,7 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
     }
 
     fn footprint_bytes(&self) -> usize {
-        let mut seen = HashSet::new();
+        let mut seen = PtrSet::default();
         let mut bytes = self.clocks.footprint_bytes()
             + self.queues.footprint_bytes()
             + self.report.footprint_bytes();
@@ -522,10 +504,10 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
             }
             bytes += stack.capacity() * std::mem::size_of::<CsEntry>();
         }
-        let mut list_vecs: HashSet<*const Vec<CsEntry>> = HashSet::new();
-        let mut list_bytes = |l: &CsList, seen: &mut HashSet<_>| {
+        let mut list_vecs = PtrSet::default();
+        let mut list_bytes = |l: &CsList, seen: &mut PtrSet| {
             let mut b = std::mem::size_of::<CsList>();
-            if list_vecs.insert(std::rc::Rc::as_ptr(&l.entries)) {
+            if list_vecs.insert(std::rc::Rc::as_ptr(&l.entries) as usize) {
                 b += l.entries.capacity() * std::mem::size_of::<CsEntry>();
                 for e in l.entries.iter() {
                     b += release_clock_bytes(&e.release, seen);
@@ -533,15 +515,16 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
             }
             b
         };
+        bytes += self.vars.capacity() * std::mem::size_of::<StVar>();
         for v in &self.vars {
-            bytes += std::mem::size_of::<StVar>() + v.read.footprint_bytes();
+            bytes += v.read.footprint_bytes();
             if let Some(l) = &v.lw {
                 bytes += list_bytes(l, &mut seen);
             }
             match &v.lr {
                 LrMeta::Single(Some(l)) => bytes += list_bytes(l, &mut seen),
                 LrMeta::PerThread(map) => {
-                    for l in map.values() {
+                    for (_, l) in map {
                         bytes += list_bytes(l, &mut seen);
                     }
                 }
@@ -549,16 +532,31 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
             }
             if let Some(ex) = &v.extras {
                 for side in [&ex.read, &ex.write] {
-                    for map in side.values() {
-                        for rc in map.values() {
+                    for (_, map) in side.iter() {
+                        for rc in map.clocks() {
                             bytes += release_clock_bytes(rc, &mut seen);
                         }
-                        bytes += map.capacity() * 24;
                     }
+                    bytes += side.heap_bytes();
                 }
             }
         }
         bytes
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Cheap running estimate: table capacities only. The Rc-shared CS
+        // lists hanging off `vars` are deduplicated by the exact
+        // `footprint_bytes` walk at stream end.
+        self.clocks.resident_bytes()
+            + self.queues.resident_bytes()
+            + self.report.footprint_bytes()
+            + self
+                .ht
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<CsEntry>())
+                .sum::<usize>()
+            + self.vars.capacity() * std::mem::size_of::<StVar>()
     }
 
     fn case_counters(&self) -> Option<&FtoCaseCounters> {

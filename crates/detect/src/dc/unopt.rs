@@ -7,12 +7,13 @@ use std::collections::HashMap;
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
-use crate::common::{slot, vc_table_bytes, HeldLocks, LockVarTable};
+use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes, HeldLocks, LockVarTable};
+use crate::counters::PathCounters;
 use crate::dc::DcClocks;
 use crate::graph::{ConstraintGraph, EdgeKind};
 use crate::queues::{AcqEntry, DcRuleBQueues};
 use crate::report::{AccessKind, RaceReport, Report};
-use crate::{Detector, OptLevel, Relation};
+use crate::{Detector, HotPathStats, OptLevel, Relation};
 
 /// Unoptimized DC analysis (`RULE_B = true`) or WDC analysis
 /// (`RULE_B = false`), following paper Algorithm 1.
@@ -37,6 +38,7 @@ pub struct UnoptDcLike<const RULE_B: bool> {
     last_event: Vec<Option<EventId>>,
     /// Pending fork edges: child → fork event (graph mode).
     pending_fork: HashMap<ThreadId, EventId>,
+    paths: PathCounters,
 }
 
 /// Unoptimized DC analysis (Table 1's `Unopt-DC`, paper Algorithm 1).
@@ -72,6 +74,7 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
             last_volatile_write: Vec::new(),
             last_event: Vec::new(),
             pending_fork: HashMap::new(),
+            paths: PathCounters::default(),
         }
     }
 
@@ -132,8 +135,10 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
         // §5.1 same-epoch-like fast path (O(1): no clock copies).
         let rx = slot(&mut self.read_vc, x.index());
         if rx.get(t) == local && local != 0 {
+            self.paths.fast += 1;
             return;
         }
+        self.paths.slow += 1;
         let mut now = self.clocks.clock_ref(t).clone();
         self.rule_a(id, t, x, &mut now, false);
         let wx = slot(&mut self.write_vc, x.index());
@@ -156,8 +161,10 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
         let local = self.clocks.local(t);
         let wx = slot(&mut self.write_vc, x.index());
         if wx.get(t) == local && local != 0 {
+            self.paths.fast += 1;
             return;
         }
+        self.paths.slow += 1;
         let mut now = self.clocks.clock_ref(t).clone();
         self.rule_a(id, t, x, &mut now, true);
         let wx = slot(&mut self.write_vc, x.index());
@@ -236,6 +243,14 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
                 self.queues.set_thread_bound(threads);
             }
         }
+        self.clocks.reserve(hint.threads, hint.volatiles);
+        if let Some(locks) = hint.locks {
+            self.lockvar.reserve_locks(locks);
+        }
+        self.write_vc
+            .reserve(crate::StreamHint::presize(hint.vars, self.write_vc.len()));
+        self.read_vc
+            .reserve(crate::StreamHint::presize(hint.vars, self.read_vc.len()));
     }
 
     fn process(&mut self, id: EventId, event: &Event) {
@@ -298,6 +313,28 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
                 .graph
                 .as_ref()
                 .map_or(0, ConstraintGraph::footprint_bytes)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.clocks.resident_bytes()
+            + self.held.footprint_bytes()
+            + self.lockvar.resident_bytes()
+            + self.queues.resident_bytes()
+            + vc_table_resident_bytes(&self.write_vc)
+            + vc_table_resident_bytes(&self.read_vc)
+            + self.report.footprint_bytes()
+            + self
+                .graph
+                .as_ref()
+                .map_or(0, ConstraintGraph::footprint_bytes)
+    }
+
+    fn hot_path_stats(&self) -> HotPathStats {
+        HotPathStats {
+            fast_hits: self.paths.fast,
+            slow_hits: self.paths.slow,
+            state_bytes: self.state_bytes(),
+        }
     }
 
     fn graph(&self) -> Option<&ConstraintGraph> {

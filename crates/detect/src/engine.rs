@@ -47,9 +47,10 @@ use std::fmt;
 
 use smarttrack_trace::{Event, EventId, StreamValidator, Trace, TraceError};
 
+use crate::intern::Interner;
 use crate::{
-    AnalysisConfig, AnalysisOutcome, Detector, FootprintSampler, FtoCaseCounters, OptLevel,
-    RaceReport, Relation, Report, RunSummary, StreamHint,
+    AnalysisConfig, AnalysisOutcome, Detector, FootprintSampler, FtoCaseCounters, HotPathStats,
+    OptLevel, RaceReport, Relation, Report, RunSummary, StreamHint,
 };
 
 /// A race surfaced by a [`Session`], paired with the lane that found it.
@@ -208,10 +209,7 @@ impl EngineBuilder {
     /// [`expect_events`](EngineBuilder::expect_events) are kept when the
     /// incoming hint leaves them `None`.
     pub fn hint(mut self, hint: StreamHint) -> Self {
-        self.hint = StreamHint {
-            threads: hint.threads.or(self.hint.threads),
-            events: hint.events.or(self.hint.events),
-        };
+        self.hint = hint.or(self.hint);
         self
     }
 
@@ -306,10 +304,7 @@ impl Engine {
     /// job). Fields the per-stream hint leaves `None` fall back to the
     /// builder-level hint.
     pub fn open_with_hint(&self, hint: StreamHint) -> Session<'static> {
-        let merged = StreamHint {
-            threads: hint.threads.or(self.hint.threads),
-            events: hint.events.or(self.hint.events),
-        };
+        let merged = hint.or(self.hint);
         let lanes = self
             .configs
             .iter()
@@ -320,7 +315,7 @@ impl Engine {
                 Lane::new(Some(config), det)
             })
             .collect();
-        Session::with_lanes(lanes, merged)
+        Session::with_lanes(lanes, merged, Some(Interner::with_hint(&merged)))
     }
 }
 
@@ -329,8 +324,10 @@ struct Lane<'d> {
     config: Option<AnalysisConfig>,
     det: Box<dyn Detector + 'd>,
     sampler: FootprintSampler,
-    /// Races already surfaced to the sink / `races()` watermark.
-    notified: usize,
+    /// Mirror of the detector's report with original (pre-interning) ids —
+    /// what every session-level read (`races`, `snapshot`, `finish`, sink
+    /// notices) serves. Its length doubles as the sink watermark.
+    report: Report,
 }
 
 impl<'d> Lane<'d> {
@@ -339,38 +336,52 @@ impl<'d> Lane<'d> {
             config,
             det,
             sampler: FootprintSampler::adaptive(),
-            notified: 0,
+            report: Report::new(),
         }
     }
 
     fn snapshot(&self, events: usize) -> LaneSnapshot {
+        let footprint = self.det.footprint_bytes();
         LaneSnapshot {
             name: self.det.name().to_string(),
             config: self.config,
-            report: self.det.report().clone(),
+            report: self.report.clone(),
             cases: self.det.case_counters().cloned(),
-            footprint_bytes: self.det.footprint_bytes(),
-            peak_footprint_bytes: self.sampler.peak().max(self.det.footprint_bytes()),
+            hot_path: self.det.hot_path_stats(),
+            footprint_bytes: footprint,
+            peak_footprint_bytes: self.sampler.peak().max(footprint),
             events,
         }
     }
 
-    /// Delivers races past the watermark to `sink` (if any) and advances
-    /// the watermark. Called after processing an event and after the
-    /// end-of-stream flush.
-    fn drain_new_races(&mut self, sink: &mut Option<Box<dyn RaceSink + '_>>) {
-        let report = self.det.report();
-        if report.dynamic_count() > self.notified {
+    /// Mirrors races the detector found since the last call (restoring
+    /// original ids) and delivers them to `sink`. Called after processing
+    /// an event and after the end-of-stream flush.
+    fn drain_new_races(
+        &mut self,
+        sink: &mut Option<Box<dyn RaceSink + '_>>,
+        interner: Option<&Interner>,
+    ) {
+        let det_report = self.det.report();
+        let known = self.report.dynamic_count();
+        if det_report.dynamic_count() > known {
+            for race in &det_report.races()[known..] {
+                let restored = match interner {
+                    Some(i) => i.restore_race(race),
+                    None => race.clone(),
+                };
+                self.report.push(restored);
+            }
             if let Some(sink) = sink.as_mut() {
-                for race in &report.races()[self.notified..] {
+                let name = self.det.name();
+                for race in &self.report.races()[known..] {
                     sink.on_race(&RaceNotice {
-                        analysis: self.det.name(),
+                        analysis: name,
                         config: self.config,
                         race,
                     });
                 }
             }
-            self.notified = report.dynamic_count();
         }
     }
 }
@@ -387,7 +398,9 @@ pub struct LaneSnapshot {
     pub report: Report,
     /// FTO case frequencies so far, when tracked.
     pub cases: Option<FtoCaseCounters>,
-    /// Live metadata bytes right now.
+    /// Fast-path/slow-path hit counts and resident state bytes so far.
+    pub hot_path: HotPathStats,
+    /// Exact live metadata bytes right now (full walk).
     pub footprint_bytes: usize,
     /// Peak sampled metadata bytes so far (including the current state).
     pub peak_footprint_bytes: usize,
@@ -400,6 +413,9 @@ pub struct LaneSnapshot {
 pub struct SessionSnapshot {
     /// Events ingested so far.
     pub events: usize,
+    /// Heap bytes held by the session's id interner (shared by all lanes,
+    /// so counted once here rather than in any lane's footprint).
+    pub interner_bytes: usize,
     /// One snapshot per lane, in lane order.
     pub lanes: Vec<LaneSnapshot>,
 }
@@ -440,10 +456,15 @@ pub struct Session<'d> {
     lanes: Vec<Lane<'d>>,
     validator: StreamValidator,
     sink: Option<Box<dyn RaceSink + 'd>>,
+    /// Id interner for engine-opened sessions. Custom-detector sessions
+    /// ([`Session::from_detectors`]) run un-interned: their detectors are
+    /// externally owned, and callers read reports straight off them after
+    /// the session ends.
+    interner: Option<Interner>,
 }
 
 impl<'d> Session<'d> {
-    fn with_lanes(mut lanes: Vec<Lane<'d>>, hint: StreamHint) -> Self {
+    fn with_lanes(mut lanes: Vec<Lane<'d>>, hint: StreamHint, interner: Option<Interner>) -> Self {
         for lane in &mut lanes {
             lane.det.begin_stream(hint);
             if let Some(events) = hint.events {
@@ -456,13 +477,15 @@ impl<'d> Session<'d> {
             lanes,
             validator: StreamValidator::new(),
             sink: None,
+            interner,
         }
     }
 
     /// A session over caller-supplied detectors (custom lanes, `config =
     /// None`). Detectors may be borrowed — `&mut D` implements
     /// [`Detector`] — so the caller can inspect detector-specific state
-    /// after [`finish`](Session::finish).
+    /// after [`finish`](Session::finish). Such sessions do not intern ids
+    /// (the caller reads reports directly from the borrowed detectors).
     pub fn from_detectors(detectors: Vec<Box<dyn Detector + 'd>>) -> Self {
         Session::with_lanes(
             detectors
@@ -470,6 +493,7 @@ impl<'d> Session<'d> {
                 .map(|det| Lane::new(None, det))
                 .collect(),
             StreamHint::default(),
+            None,
         )
     }
 
@@ -500,11 +524,20 @@ impl<'d> Session<'d> {
     /// state is unchanged (the caller may skip it and continue).
     pub fn feed(&mut self, event: Event) -> Result<EventId, TraceError> {
         let id = self.validator.admit(&event)?;
+        // Intern ids once per event; every lane indexes by the compact
+        // slot (see the `intern` module).
+        let event = match &mut self.interner {
+            Some(interner) => interner.intern_event(event),
+            None => event,
+        };
         let sink = &mut self.sink;
+        let interner = self.interner.as_ref();
         for lane in &mut self.lanes {
             lane.det.process(id, &event);
-            lane.sampler.observe(|| lane.det.footprint_bytes());
-            lane.drain_new_races(sink);
+            // The sampling stride reads the cheap running estimate; the
+            // exact walk runs once at finish (see RunSummary).
+            lane.sampler.observe(|| lane.det.state_bytes());
+            lane.drain_new_races(sink, interner);
         }
         Ok(id)
     }
@@ -548,15 +581,11 @@ impl<'d> Session<'d> {
         self.lanes
             .iter()
             .flat_map(|lane| {
-                lane.det
-                    .report()
-                    .races()
-                    .iter()
-                    .map(move |race| RaceNotice {
-                        analysis: lane.det.name(),
-                        config: lane.config,
-                        race,
-                    })
+                lane.report.races().iter().map(move |race| RaceNotice {
+                    analysis: lane.det.name(),
+                    config: lane.config,
+                    race,
+                })
             })
             .collect()
     }
@@ -568,6 +597,7 @@ impl<'d> Session<'d> {
         let events = self.events();
         SessionSnapshot {
             events,
+            interner_bytes: self.interner.as_ref().map_or(0, Interner::heap_bytes),
             lanes: self
                 .lanes
                 .iter()
@@ -585,22 +615,28 @@ impl<'d> Session<'d> {
     pub fn finish(mut self) -> Vec<AnalysisOutcome> {
         let events = self.validator.len();
         let sink = &mut self.sink;
+        let interner = self.interner.as_ref();
         for lane in &mut self.lanes {
             lane.det.finish_stream();
-            lane.drain_new_races(sink);
+            lane.drain_new_races(sink, interner);
         }
         self.lanes
             .into_iter()
             .filter_map(|mut lane| {
                 let config = lane.config?;
-                let peak = lane.sampler.finish(lane.det.footprint_bytes());
+                let final_state_bytes = lane.det.footprint_bytes();
+                let peak = lane.sampler.finish(final_state_bytes);
+                let hot = lane.det.hot_path_stats();
                 Some(AnalysisOutcome {
                     name: lane.det.name().to_string(),
                     config,
-                    report: lane.det.report().clone(),
+                    report: lane.report,
                     summary: RunSummary {
                         events,
                         peak_footprint_bytes: peak,
+                        final_state_bytes,
+                        fast_path_hits: hot.fast_hits,
+                        slow_path_hits: hot.slow_hits,
                     },
                     cases: lane.det.case_counters().cloned(),
                 })

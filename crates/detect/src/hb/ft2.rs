@@ -5,6 +5,7 @@ use smarttrack_clock::{Epoch, ReadMeta, ThreadId};
 use smarttrack_trace::{Event, EventId, Loc, Op, VarId};
 
 use crate::common::slot;
+use crate::counters::{FtoCase, FtoCaseCounters};
 use crate::hb::HbSyncState;
 use crate::report::{AccessKind, RaceReport, Report};
 use crate::{Detector, OptLevel, Relation};
@@ -38,6 +39,7 @@ pub struct Ft2 {
     sync: HbSyncState,
     vars: Vec<VarState>,
     report: Report,
+    counters: FtoCaseCounters,
 }
 
 impl Ft2 {
@@ -68,10 +70,16 @@ impl Ft2 {
     fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
         let e = Epoch::new(t, self.sync.local(t));
         let vs = slot(&mut self.vars, x.index());
-        match &vs.read {
-            ReadMeta::Epoch(r) if *r == e => return, // [Read Same Epoch]
-            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => return, // [Shared Same Epoch]
-            _ => {}
+        match vs.read.same_epoch(t, e.clock()) {
+            Some(smarttrack_clock::SameEpoch::Exclusive) => {
+                self.counters.hit(FtoCase::ReadSameEpoch);
+                return;
+            }
+            Some(smarttrack_clock::SameEpoch::Shared) => {
+                self.counters.hit(FtoCase::SharedSameEpoch);
+                return;
+            }
+            None => {}
         }
         let now = self.sync.clock_ref(t);
         let mut prior = Vec::new();
@@ -81,12 +89,17 @@ impl Ft2 {
         match &mut vs.read {
             ReadMeta::Epoch(r) => {
                 if r.leq_vc(now) {
+                    self.counters.hit(FtoCase::ReadExclusive);
                     vs.read = ReadMeta::Epoch(e); // [Read Exclusive]
                 } else {
+                    self.counters.hit(FtoCase::ReadShare);
                     vs.read.share(e); // [Read Share]
                 }
             }
-            ReadMeta::Vc(vc) => vc.set(t, e.clock()), // [Read Shared]
+            ReadMeta::Vc(vc) => {
+                self.counters.hit(FtoCase::ReadShared);
+                vc.set(t, e.clock()); // [Read Shared]
+            }
         }
         if !prior.is_empty() {
             Self::race(&mut self.report, id, loc, t, x, AccessKind::Read, prior);
@@ -97,6 +110,7 @@ impl Ft2 {
         let e = Epoch::new(t, self.sync.local(t));
         let vs = slot(&mut self.vars, x.index());
         if vs.write == e {
+            self.counters.hit(FtoCase::WriteSameEpoch);
             return; // [Write Same Epoch]
         }
         let now = self.sync.clock_ref(t);
@@ -106,11 +120,13 @@ impl Ft2 {
         }
         match &vs.read {
             ReadMeta::Epoch(r) => {
+                self.counters.hit(FtoCase::WriteExclusive);
                 if !r.leq_vc(now) && !prior.contains(&r.tid()) {
                     prior.push(r.tid()); // read–write race [Write Exclusive]
                 }
             }
             ReadMeta::Vc(vc) => {
+                self.counters.hit(FtoCase::WriteShared);
                 for (u, c) in vc.iter_nonzero() {
                     if c > now.get(u) && !prior.contains(&u) {
                         prior.push(u); // read–write race [Write Shared]
@@ -138,6 +154,12 @@ impl Detector for Ft2 {
         OptLevel::Epochs
     }
 
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
+        self.sync.reserve(&hint);
+        self.vars
+            .reserve(crate::StreamHint::presize(hint.vars, self.vars.len()));
+    }
+
     fn process(&mut self, id: EventId, event: &Event) {
         let t = event.tid;
         match event.op {
@@ -158,12 +180,23 @@ impl Detector for Ft2 {
 
     fn footprint_bytes(&self) -> usize {
         self.sync.footprint_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self
                 .vars
                 .iter()
-                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .map(|v| v.read.footprint_bytes())
                 .sum::<usize>()
             + self.report.footprint_bytes()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.sync.resident_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
+            + self.report.footprint_bytes()
+    }
+
+    fn case_counters(&self) -> Option<&FtoCaseCounters> {
+        Some(&self.counters)
     }
 }
 

@@ -2,7 +2,7 @@
 //! HB baseline, and the structural template for the FTO-based predictive
 //! analyses (Algorithm 2 without the DC-specific parts).
 
-use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, Op, VarId};
 
 use crate::common::slot;
@@ -51,16 +51,16 @@ impl FtoHb {
     fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
         let e = Epoch::new(t, self.sync.local(t));
         let vs = slot(&mut self.vars, x.index());
-        match &vs.read {
-            ReadMeta::Epoch(r) if *r == e => {
+        match vs.read.same_epoch(t, e.clock()) {
+            Some(SameEpoch::Exclusive) => {
                 self.counters.hit(FtoCase::ReadSameEpoch);
                 return;
             }
-            ReadMeta::Vc(vc) if vc.get(t) == e.clock() => {
+            Some(SameEpoch::Shared) => {
                 self.counters.hit(FtoCase::SharedSameEpoch);
                 return;
             }
-            _ => {}
+            None => {}
         }
         let now = self.sync.clock_ref(t);
         let mut race_with_write = false;
@@ -164,6 +164,12 @@ impl Detector for FtoHb {
         OptLevel::Fto
     }
 
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
+        self.sync.reserve(&hint);
+        self.vars
+            .reserve(crate::StreamHint::presize(hint.vars, self.vars.len()));
+    }
+
     fn process(&mut self, id: EventId, event: &Event) {
         let t = event.tid;
         match event.op {
@@ -184,11 +190,18 @@ impl Detector for FtoHb {
 
     fn footprint_bytes(&self) -> usize {
         self.sync.footprint_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self
                 .vars
                 .iter()
-                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .map(|v| v.read.footprint_bytes())
                 .sum::<usize>()
+            + self.report.footprint_bytes()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.sync.resident_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self.report.footprint_bytes()
     }
 

@@ -3,7 +3,7 @@
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::{LockId, VarId};
 
-use crate::common::{slot, vc_table_bytes};
+use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
 
 /// Per-thread, per-lock, and per-volatile vector clocks plus the HB join
 /// rules for every synchronization operation (§5.1).
@@ -83,11 +83,30 @@ impl HbSyncState {
         self.clock(t).increment(t);
     }
 
-    /// Approximate heap bytes.
+    /// Approximate heap bytes (exact: includes per-clock heap spill).
     pub fn footprint_bytes(&self) -> usize {
         vc_table_bytes(&self.threads)
             + vc_table_bytes(&self.locks)
             + vc_table_bytes(&self.volatiles)
+    }
+
+    /// Cheap resident bytes (capacities only, O(1)).
+    pub fn resident_bytes(&self) -> usize {
+        vc_table_resident_bytes(&self.threads)
+            + vc_table_resident_bytes(&self.locks)
+            + vc_table_resident_bytes(&self.volatiles)
+    }
+
+    /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,
+    /// see [`crate::StreamHint::presize`]).
+    pub fn reserve(&mut self, hint: &crate::StreamHint) {
+        use crate::StreamHint;
+        self.threads
+            .reserve(StreamHint::presize(hint.threads, self.threads.len()));
+        self.locks
+            .reserve(StreamHint::presize(hint.locks, self.locks.len()));
+        self.volatiles
+            .reserve(StreamHint::presize(hint.volatiles, self.volatiles.len()));
     }
 }
 

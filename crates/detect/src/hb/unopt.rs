@@ -3,10 +3,11 @@
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, Op, VarId};
 
-use crate::common::{slot, vc_table_bytes};
+use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
+use crate::counters::PathCounters;
 use crate::hb::HbSyncState;
 use crate::report::{AccessKind, RaceReport, Report};
-use crate::{Detector, OptLevel, Relation};
+use crate::{Detector, HotPathStats, OptLevel, Relation};
 
 /// Vector-clock HB analysis (`Unopt-HB` in the paper's tables).
 ///
@@ -33,6 +34,7 @@ pub struct UnoptHb {
     write_vc: Vec<VectorClock>,
     read_vc: Vec<VectorClock>,
     report: Report,
+    paths: PathCounters,
 }
 
 impl UnoptHb {
@@ -54,8 +56,10 @@ impl UnoptHb {
         // §5.1: the Unopt implementations perform a [Shared Same Epoch]-like
         // check at reads and writes.
         if rx.get(t) == local && local != 0 {
+            self.paths.fast += 1;
             return;
         }
+        self.paths.slow += 1;
         rx.set(t, local);
         let now = self.sync.clock_ref(t);
         let wx = slot(&mut self.write_vc, x.index());
@@ -76,8 +80,10 @@ impl UnoptHb {
         let local = self.sync.local(t);
         let wx = slot(&mut self.write_vc, x.index());
         if wx.get(t) == local && local != 0 {
+            self.paths.fast += 1;
             return; // same-epoch-like fast path
         }
+        self.paths.slow += 1;
         let now = self.sync.clock_ref(t);
         let wx = slot(&mut self.write_vc, x.index());
         let mut prior = Self::racing_threads(wx, now);
@@ -114,6 +120,14 @@ impl Detector for UnoptHb {
         OptLevel::Unopt
     }
 
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
+        self.sync.reserve(&hint);
+        self.write_vc
+            .reserve(crate::StreamHint::presize(hint.vars, self.write_vc.len()));
+        self.read_vc
+            .reserve(crate::StreamHint::presize(hint.vars, self.read_vc.len()));
+    }
+
     fn process(&mut self, id: EventId, event: &Event) {
         let t = event.tid;
         match event.op {
@@ -137,6 +151,21 @@ impl Detector for UnoptHb {
             + vc_table_bytes(&self.write_vc)
             + vc_table_bytes(&self.read_vc)
             + self.report.footprint_bytes()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.sync.resident_bytes()
+            + vc_table_resident_bytes(&self.write_vc)
+            + vc_table_resident_bytes(&self.read_vc)
+            + self.report.footprint_bytes()
+    }
+
+    fn hot_path_stats(&self) -> HotPathStats {
+        HotPathStats {
+            fast_hits: self.paths.fast,
+            slow_hits: self.paths.slow,
+            state_bytes: self.state_bytes(),
+        }
     }
 }
 

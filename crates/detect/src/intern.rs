@@ -1,0 +1,234 @@
+//! Per-session id interning: compacts the variable/lock/volatile id spaces
+//! of an incoming event stream into dense `u32` slots at ingest.
+//!
+//! Every detector in this crate keeps its per-variable and per-lock
+//! metadata in dense id-indexed tables (`Vec` slots, see
+//! [`crate::LockVarTable`]), which is what removes per-event hashing from
+//! the hot path — but dense tables are only as compact as the id space
+//! they index. Traces produced by our own generators use dense first-use
+//! ids already; externally recorded traces (text formats, STB files from
+//! other tools) may carry arbitrary sparse ids, and a single `x4000000000`
+//! would otherwise force a multi-gigabyte table. A [`Session`](crate::Session)
+//! therefore interns ids once per event — one array probe in the common
+//! dense case — and every lane indexes by the compact slot.
+//!
+//! Interning is invisible from outside the session: reports, snapshots,
+//! and sink notices are *restored* to the original ids (see
+//! [`Interner::restore_race`]), so session output is bit-identical to
+//! driving a detector directly with [`crate::run_detector`]. Thread ids
+//! are not interned: the stream validator already requires threads to be
+//! introduced densely.
+
+use std::collections::HashMap;
+
+use smarttrack_trace::{Event, LockId, Op, VarId};
+
+use crate::RaceReport;
+
+/// Raw ids below this bound are interned through a direct-mapped table
+/// (one `u32` per possible raw id, grown on demand); ids at or above it —
+/// hostile or pathological streams — fall back to a hash map, bounding
+/// the direct table at 4 MiB per id space.
+const DIRECT_LIMIT: u32 = 1 << 20;
+
+/// One interned id space (variables, locks, or volatiles).
+#[derive(Clone, Debug)]
+struct IdSpace {
+    /// `raw -> slot + 1` for raw ids below [`DIRECT_LIMIT`] (0 = unseen).
+    direct: Vec<u32>,
+    /// `raw -> slot` for ids at or above the direct limit.
+    spill: HashMap<u32, u32>,
+    /// `slot -> raw`, in first-use order.
+    originals: Vec<u32>,
+    /// Whether every id interned so far equals its slot (the common case:
+    /// generator-produced and round-tripped traces). While true, reports
+    /// need no restoration at all.
+    identity: bool,
+}
+
+impl Default for IdSpace {
+    fn default() -> Self {
+        IdSpace {
+            direct: Vec::new(),
+            spill: HashMap::new(),
+            originals: Vec::new(),
+            identity: true,
+        }
+    }
+}
+
+impl IdSpace {
+    fn with_capacity(n: usize) -> Self {
+        IdSpace {
+            direct: Vec::with_capacity(n.min(DIRECT_LIMIT as usize)),
+            originals: Vec::with_capacity(n),
+            ..IdSpace::default()
+        }
+    }
+
+    #[inline]
+    fn intern(&mut self, raw: u32) -> u32 {
+        if raw < DIRECT_LIMIT {
+            let i = raw as usize;
+            if i >= self.direct.len() {
+                self.direct.resize(i + 1, 0);
+            }
+            let e = &mut self.direct[i];
+            if *e == 0 {
+                self.originals.push(raw);
+                *e = self.originals.len() as u32;
+                if raw as usize != self.originals.len() - 1 {
+                    self.identity = false;
+                }
+            }
+            *e - 1
+        } else {
+            self.identity = false;
+            match self.spill.get(&raw) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = self.originals.len() as u32;
+                    self.originals.push(raw);
+                    self.spill.insert(raw, slot);
+                    slot
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn restore(&self, slot: u32) -> u32 {
+        self.originals[slot as usize]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.direct.capacity() + self.originals.capacity()) * std::mem::size_of::<u32>()
+            + self.spill.capacity() * (2 * std::mem::size_of::<u32>() + 16)
+    }
+}
+
+/// The per-session interner covering the three detector-indexed id spaces.
+///
+/// Constructed by [`crate::Engine::open`]; pre-sized from the session's
+/// [`crate::StreamHint`] (e.g. the cardinalities an STB trace header
+/// declares).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Interner {
+    vars: IdSpace,
+    locks: IdSpace,
+    volatiles: IdSpace,
+}
+
+impl Interner {
+    /// An interner pre-sized from whatever the stream hint knows
+    /// (clamped, see [`crate::StreamHint::presize`] — the hint is a claim,
+    /// not a budget).
+    pub fn with_hint(hint: &crate::StreamHint) -> Self {
+        Interner {
+            vars: IdSpace::with_capacity(crate::StreamHint::presize(hint.vars, 0)),
+            locks: IdSpace::with_capacity(crate::StreamHint::presize(hint.locks, 0)),
+            volatiles: IdSpace::with_capacity(crate::StreamHint::presize(hint.volatiles, 0)),
+        }
+    }
+
+    /// Rewrites the event's id operands to their compact slots (thread ids
+    /// pass through).
+    #[inline]
+    pub fn intern_event(&mut self, mut event: Event) -> Event {
+        event.op = match event.op {
+            Op::Read(x) => Op::Read(VarId::new(self.vars.intern(x.raw()))),
+            Op::Write(x) => Op::Write(VarId::new(self.vars.intern(x.raw()))),
+            Op::Acquire(m) => Op::Acquire(LockId::new(self.locks.intern(m.raw()))),
+            Op::Release(m) => Op::Release(LockId::new(self.locks.intern(m.raw()))),
+            Op::VolatileRead(v) => Op::VolatileRead(VarId::new(self.volatiles.intern(v.raw()))),
+            Op::VolatileWrite(v) => Op::VolatileWrite(VarId::new(self.volatiles.intern(v.raw()))),
+            other @ (Op::Fork(_) | Op::Join(_)) => other,
+        };
+        event
+    }
+
+    /// A copy of `race` with its variable id restored to the original
+    /// (pre-interning) id.
+    pub fn restore_race(&self, race: &RaceReport) -> RaceReport {
+        let mut restored = race.clone();
+        if !self.vars.identity {
+            restored.var = VarId::new(self.vars.restore(race.var.raw()));
+        }
+        restored
+    }
+
+    /// Approximate heap bytes held by the interner (counted once per
+    /// session, not per lane).
+    pub fn heap_bytes(&self) -> usize {
+        self.vars.heap_bytes() + self.locks.heap_bytes() + self.volatiles.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarttrack_clock::ThreadId;
+
+    #[test]
+    fn dense_first_use_ids_stay_identity() {
+        let mut space = IdSpace::default();
+        for raw in 0..100 {
+            assert_eq!(space.intern(raw), raw);
+        }
+        assert!(space.identity);
+        // Re-interning stays stable.
+        assert_eq!(space.intern(42), 42);
+        assert!(space.identity);
+    }
+
+    #[test]
+    fn sparse_ids_compact_in_first_use_order() {
+        let mut space = IdSpace::default();
+        assert_eq!(space.intern(7), 0);
+        assert_eq!(space.intern(3), 1);
+        assert_eq!(space.intern(7), 0, "repeat hits the same slot");
+        assert!(!space.identity);
+        assert_eq!(space.restore(0), 7);
+        assert_eq!(space.restore(1), 3);
+    }
+
+    #[test]
+    fn huge_ids_spill_without_huge_tables() {
+        let mut space = IdSpace::default();
+        let huge = u32::MAX - 1;
+        let slot = space.intern(huge);
+        assert_eq!(space.intern(huge), slot);
+        assert_eq!(space.restore(slot), huge);
+        assert!(
+            space.direct.capacity() <= DIRECT_LIMIT as usize,
+            "direct table stays bounded"
+        );
+    }
+
+    #[test]
+    fn event_interning_covers_every_id_space() {
+        let mut interner = Interner::default();
+        let t = ThreadId::new(0);
+        let ev = |op| Event::new(t, op);
+        assert_eq!(
+            interner.intern_event(ev(Op::Read(VarId::new(9)))).op,
+            Op::Read(VarId::new(0))
+        );
+        assert_eq!(
+            interner.intern_event(ev(Op::Acquire(LockId::new(5)))).op,
+            Op::Acquire(LockId::new(0))
+        );
+        assert_eq!(
+            interner
+                .intern_event(ev(Op::VolatileWrite(VarId::new(9))))
+                .op,
+            Op::VolatileWrite(VarId::new(0)),
+            "volatiles intern independently of plain variables"
+        );
+        // Threads pass through untouched.
+        assert_eq!(
+            interner.intern_event(ev(Op::Fork(ThreadId::new(3)))).op,
+            Op::Fork(ThreadId::new(3))
+        );
+    }
+}

@@ -57,6 +57,7 @@ mod config;
 mod counters;
 pub mod engine;
 mod graph;
+mod intern;
 pub mod pool;
 mod queues;
 mod report;
@@ -71,8 +72,9 @@ pub use api::{
     run_detector, Detector, FootprintSampler, OptLevel, Relation, RunSummary, StreamHint,
 };
 pub use ccs::{CcsFidelity, CsEntry, CsList};
+pub use common::{LTime, LockVarTable};
 pub use config::{analyze, analyze_all, AnalysisConfig, AnalysisOutcome, ParseAnalysisConfigError};
-pub use counters::{FtoCase, FtoCaseCounters};
+pub use counters::{FtoCase, FtoCaseCounters, HotPathStats};
 pub use dc::{FtoDc, FtoWdc, SmartTrackDc, SmartTrackWdc, UnoptDc, UnoptWdc};
 pub use engine::{
     Engine, EngineBuilder, EngineError, LaneSnapshot, RaceNotice, RaceSink, Session,

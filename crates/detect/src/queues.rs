@@ -43,9 +43,9 @@ impl AcqEntry {
         }
     }
 
-    fn footprint_bytes(&self) -> usize {
+    fn heap_bytes(&self) -> usize {
         match self {
-            AcqEntry::Vc(vc) => vc.footprint_bytes(),
+            AcqEntry::Vc(vc) => vc.heap_bytes(),
             AcqEntry::Epoch(_) => 0,
         }
     }
@@ -75,18 +75,16 @@ impl CsLog {
         self.base + self.acq.len()
     }
 
-    fn footprint_bytes(&self) -> usize {
-        self.acq
-            .iter()
-            .map(AcqEntry::footprint_bytes)
-            .sum::<usize>()
-            + self.acq.capacity() * std::mem::size_of::<AcqEntry>()
-            + self
-                .rel
-                .iter()
-                .map(|r| r.clock.footprint_bytes())
-                .sum::<usize>()
+    /// Cheap resident bytes: vector capacities only.
+    fn resident_bytes(&self) -> usize {
+        self.acq.capacity() * std::mem::size_of::<AcqEntry>()
             + self.rel.capacity() * std::mem::size_of::<RelEntry>()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.acq.iter().map(AcqEntry::heap_bytes).sum::<usize>()
+            + self.rel.iter().map(|r| r.clock.heap_bytes()).sum::<usize>()
+            + self.resident_bytes()
     }
 }
 
@@ -229,19 +227,32 @@ impl DcRuleBQueues {
         }
     }
 
-    /// Approximate heap bytes.
+    /// Approximate heap bytes (exact: includes per-entry clock spill).
     pub fn footprint_bytes(&self) -> usize {
         self.logs
             .iter()
             .flat_map(|l| l.iter())
             .map(CsLog::footprint_bytes)
             .sum::<usize>()
-            + self
-                .cursors
-                .iter()
-                .flat_map(|l| l.iter())
-                .map(|r| r.capacity() * std::mem::size_of::<usize>())
-                .sum::<usize>()
+            + self.cursor_bytes()
+    }
+
+    /// Cheap resident bytes (capacities only, O(#locks × #threads)).
+    pub fn resident_bytes(&self) -> usize {
+        self.logs
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(CsLog::resident_bytes)
+            .sum::<usize>()
+            + self.cursor_bytes()
+    }
+
+    fn cursor_bytes(&self) -> usize {
+        self.cursors
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|r| r.capacity() * std::mem::size_of::<usize>())
+            .sum::<usize>()
     }
 }
 
@@ -304,24 +315,38 @@ impl WcpRuleBQueues {
                 continue;
             }
             let owner = ThreadId::new(u as u32);
-            while !log.acq.is_empty()
-                && !log.rel.is_empty()
-                && log.acq[0].ordered_before(owner, wcp)
-            {
-                log.acq.remove(0);
-                let rel = log.rel.remove(0);
+            // Consume a prefix, then drain it in one move (the entry-at-a-
+            // time `remove(0)` was quadratic on lock-heavy traces).
+            let mut consumed = 0;
+            let limit = log.acq.len().min(log.rel.len());
+            while consumed < limit && log.acq[consumed].ordered_before(owner, wcp) {
+                let rel = &log.rel[consumed];
                 wcp.join(&rel.clock);
                 on_rule_b(rel.event);
+                consumed += 1;
+            }
+            if consumed > 0 {
+                log.acq.drain(..consumed);
+                log.rel.drain(..consumed);
             }
         }
     }
 
-    /// Approximate heap bytes.
+    /// Approximate heap bytes (exact: includes per-entry clock spill).
     pub fn footprint_bytes(&self) -> usize {
         self.per_lock
             .iter()
             .flat_map(|l| l.iter())
             .map(CsLog::footprint_bytes)
+            .sum()
+    }
+
+    /// Cheap resident bytes (capacities only, O(#locks × #threads)).
+    pub fn resident_bytes(&self) -> usize {
+        self.per_lock
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(CsLog::resident_bytes)
             .sum()
     }
 }

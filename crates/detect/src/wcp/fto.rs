@@ -2,7 +2,7 @@
 //! (Algorithm 2's structure with the WCP clock rules of this module's
 //! parent).
 
-use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::common::{slot, HeldLocks, LockVarTable};
@@ -105,16 +105,16 @@ impl FtoWcp {
     fn read(&mut self, id: EventId, t: ThreadId, x: VarId, loc: Loc) {
         let h_own = self.clocks.local(t);
         let e = Epoch::new(t, h_own);
-        match &slot(&mut self.vars, x.index()).read {
-            ReadMeta::Epoch(r) if *r == e => {
+        match slot(&mut self.vars, x.index()).read.same_epoch(t, h_own) {
+            Some(SameEpoch::Exclusive) => {
                 self.counters.hit(FtoCase::ReadSameEpoch);
                 return;
             }
-            ReadMeta::Vc(vc) if vc.get(t) == h_own => {
+            Some(SameEpoch::Shared) => {
                 self.counters.hit(FtoCase::SharedSameEpoch);
                 return;
             }
-            _ => {}
+            None => {}
         }
         let mut p = self.clocks.wcp(t).clone();
         self.rule_a(t, x, &mut p, false);
@@ -192,6 +192,15 @@ impl Detector for FtoWcp {
         OptLevel::Fto
     }
 
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
+        self.clocks.reserve(&hint);
+        if let Some(locks) = hint.locks {
+            self.lockvar.reserve_locks(locks);
+        }
+        self.vars
+            .reserve(crate::StreamHint::presize(hint.vars, self.vars.len()));
+    }
+
     fn process(&mut self, id: EventId, event: &Event) {
         let t = event.tid;
         match event.op {
@@ -215,11 +224,21 @@ impl Detector for FtoWcp {
             + self.held.footprint_bytes()
             + self.lockvar.footprint_bytes()
             + self.queues.footprint_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self
                 .vars
                 .iter()
-                .map(|v| v.read.footprint_bytes() + std::mem::size_of::<VarState>())
+                .map(|v| v.read.footprint_bytes())
                 .sum::<usize>()
+            + self.report.footprint_bytes()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.clocks.resident_bytes()
+            + self.held.footprint_bytes()
+            + self.lockvar.resident_bytes()
+            + self.queues.resident_bytes()
+            + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self.report.footprint_bytes()
     }
 

@@ -28,7 +28,7 @@ pub use unopt::UnoptWcp;
 use smarttrack_clock::{ClockValue, Epoch, ThreadId, VectorClock};
 use smarttrack_trace::{LockId, VarId};
 
-use crate::common::{slot, vc_table_bytes};
+use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
 
 /// Dual HB/WCP clock state shared by the WCP analyses.
 #[derive(Clone, Debug, Default)]
@@ -132,13 +132,38 @@ impl WcpClocks {
         self.increment(t);
     }
 
-    /// Approximate heap bytes.
+    /// Approximate heap bytes (exact: includes per-clock heap spill).
     pub fn footprint_bytes(&self) -> usize {
         vc_table_bytes(&self.hb)
             + vc_table_bytes(&self.wcp)
             + vc_table_bytes(&self.hb_lock)
             + vc_table_bytes(&self.wcp_lock)
             + vc_table_bytes(&self.hb_vol)
+    }
+
+    /// Cheap resident bytes (capacities only, O(1)).
+    pub fn resident_bytes(&self) -> usize {
+        vc_table_resident_bytes(&self.hb)
+            + vc_table_resident_bytes(&self.wcp)
+            + vc_table_resident_bytes(&self.hb_lock)
+            + vc_table_resident_bytes(&self.wcp_lock)
+            + vc_table_resident_bytes(&self.hb_vol)
+    }
+
+    /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,
+    /// see [`crate::StreamHint::presize`]).
+    pub fn reserve(&mut self, hint: &crate::StreamHint) {
+        use crate::StreamHint;
+        self.hb
+            .reserve(StreamHint::presize(hint.threads, self.hb.len()));
+        self.wcp
+            .reserve(StreamHint::presize(hint.threads, self.wcp.len()));
+        self.hb_lock
+            .reserve(StreamHint::presize(hint.locks, self.hb_lock.len()));
+        self.wcp_lock
+            .reserve(StreamHint::presize(hint.locks, self.wcp_lock.len()));
+        self.hb_vol
+            .reserve(StreamHint::presize(hint.volatiles, self.hb_vol.len()));
     }
 }
 

@@ -7,13 +7,12 @@
 //! `MultiCheck` runs against the WCP clock; rule (b) keeps WCP's per-lock
 //! per-thread queues, whose acquire entries are already epochs.
 
-use std::collections::{HashMap, HashSet};
-
-use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
+use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
 use crate::ccs::{
-    multi_check, release_clock_bytes, stash_residual, CcsFidelity, CsEntry, CsList, Extras,
+    multi_check, release_clock_bytes, stash_residual, CcsFidelity, CsEntry, CsList, Extras, LrMeta,
+    PtrSet,
 };
 use crate::common::slot;
 use crate::counters::{FtoCase, FtoCaseCounters};
@@ -21,18 +20,6 @@ use crate::queues::WcpRuleBQueues;
 use crate::report::{AccessKind, RaceReport, Report};
 use crate::wcp::{wcp_epoch_ordered, WcpClocks};
 use crate::{Detector, OptLevel, Relation};
-
-#[derive(Clone, Debug)]
-enum LrMeta {
-    Single(Option<CsList>),
-    PerThread(HashMap<ThreadId, CsList>),
-}
-
-impl Default for LrMeta {
-    fn default() -> Self {
-        LrMeta::Single(None)
-    }
-}
 
 #[derive(Clone, Debug, Default)]
 struct StVar {
@@ -141,63 +128,69 @@ impl SmartTrackWcp {
     }
 
     fn absorb_extras_at_write(&mut self, t: ThreadId, x: VarId, p: &mut VectorClock) {
+        if self.vars[x.index()].extras.is_none() {
+            return;
+        }
         let held = Self::held_of(&self.ht, t);
         let strict = self.fidelity == CcsFidelity::Strict;
         let Some(ex) = self.vars[x.index()].extras.as_mut() else {
             return;
         };
-        let er_nonempty = ex.read.values().any(|m| !m.is_empty());
-        let ew_nonempty = ex.write.values().any(|m| !m.is_empty());
+        let er_nonempty = !ex.read.is_empty();
+        let ew_nonempty = !ex.write.is_empty();
         if !(er_nonempty || (strict && ew_nonempty)) {
             return;
         }
         for &m in &held {
-            for (&u, map) in ex.read.iter() {
+            for (u, map) in ex.read.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(&m) {
+                    if let Some(rc) = map.get(m) {
                         p.join(&rc.borrow());
                     }
                 }
             }
             if strict {
-                for (&u, map) in ex.write.iter() {
+                for (u, map) in ex.write.iter() {
                     if u != t {
-                        if let Some(rc) = map.get(&m) {
+                        if let Some(rc) = map.get(m) {
                             p.join(&rc.borrow());
                         }
                     }
                 }
             }
-            for (&u, map) in ex.read.iter_mut() {
+            for (u, map) in ex.read.iter_mut() {
                 if u != t {
-                    map.remove(&m);
+                    map.remove(m);
                 }
             }
-            for (&u, map) in ex.write.iter_mut() {
+            for (u, map) in ex.write.iter_mut() {
                 if u != t {
-                    map.remove(&m);
+                    map.remove(m);
                 }
             }
         }
-        ex.read.remove(&t);
-        ex.write.remove(&t);
+        ex.read.remove_thread(t);
+        ex.write.remove_thread(t);
         if ex.is_empty() {
             self.vars[x.index()].extras = None;
         }
     }
 
     fn absorb_extras_at_read(&mut self, t: ThreadId, x: VarId, p: &mut VectorClock) {
+        if self.vars[x.index()].extras.is_none() {
+            return;
+        }
         let held = Self::held_of(&self.ht, t);
         let Some(ex) = self.vars[x.index()].extras.as_ref() else {
             return;
         };
-        if ex.write.values().all(HashMap::is_empty) {
+        if ex.write.is_empty() {
             return;
         }
         for &m in &held {
-            for (&u, map) in ex.write.iter() {
+            for (u, map) in ex.write.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(&m) {
+                    if let Some(rc) = map.get(m) {
                         p.join(&rc.borrow());
                     }
                 }
@@ -259,10 +252,7 @@ impl SmartTrackWcp {
                     if u == t {
                         continue;
                     }
-                    let lr = match &vs.lr {
-                        LrMeta::PerThread(map) => map.get(&u),
-                        LrMeta::Single(_) => None,
-                    };
+                    let lr = vs.lr.of(u);
                     let (residual, raced) = multi_check(&mut p, &held, lr, Epoch::new(u, c), check);
                     if raced {
                         prior.push(u);
@@ -302,16 +292,16 @@ impl SmartTrackWcp {
         let h_own = self.clocks.local(t);
         let e = Epoch::new(t, h_own);
         slot(&mut self.vars, x.index());
-        match &self.vars[x.index()].read {
-            ReadMeta::Epoch(r) if *r == e => {
+        match self.vars[x.index()].read.same_epoch(t, h_own) {
+            Some(SameEpoch::Exclusive) => {
                 self.counters.hit(FtoCase::ReadSameEpoch);
                 return;
             }
-            ReadMeta::Vc(vc) if vc.get(t) == h_own => {
+            Some(SameEpoch::Shared) => {
                 self.counters.hit(FtoCase::SharedSameEpoch);
                 return;
             }
-            _ => {}
+            None => {}
         }
         let mut p = self.clocks.wcp(t).clone();
         self.absorb_extras_at_read(t, x, &mut p);
@@ -357,10 +347,7 @@ impl SmartTrackWcp {
                         LrMeta::Single(l) => l.unwrap_or_else(|| CsList::empty(u)),
                         LrMeta::PerThread(_) => unreachable!(),
                     };
-                    let mut map = HashMap::new();
-                    map.insert(u, old);
-                    map.insert(t, snapshot);
-                    vs.lr = LrMeta::PerThread(map);
+                    vs.lr = LrMeta::PerThread(vec![(u, old), (t, snapshot)]);
                     vs.read.share(e);
                 }
             }
@@ -380,11 +367,7 @@ impl SmartTrackWcp {
                         rvc.set(t, h_own);
                     }
                 }
-                if let LrMeta::PerThread(map) = &mut vs.lr {
-                    map.insert(t, snapshot);
-                } else {
-                    unreachable!("vector Rx implies per-thread Lrx");
-                }
+                vs.lr.set(t, snapshot);
             }
         }
         let write_tid = (!vs.write.is_none()).then(|| vs.write.tid());
@@ -415,6 +398,18 @@ impl Detector for SmartTrackWcp {
         OptLevel::SmartTrack
     }
 
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
+        self.clocks.reserve(&hint);
+        self.vars
+            .reserve(crate::StreamHint::presize(hint.vars, self.vars.len()));
+        self.ht
+            .reserve(crate::StreamHint::presize(hint.threads, self.ht.len()));
+        self.ht_cache.reserve(crate::StreamHint::presize(
+            hint.threads,
+            self.ht_cache.len(),
+        ));
+    }
+
     fn process(&mut self, id: EventId, event: &Event) {
         let t = event.tid;
         match event.op {
@@ -434,7 +429,7 @@ impl Detector for SmartTrackWcp {
     }
 
     fn footprint_bytes(&self) -> usize {
-        let mut seen = HashSet::new();
+        let mut seen = PtrSet::default();
         let mut bytes = self.clocks.footprint_bytes()
             + self.queues.footprint_bytes()
             + self.report.footprint_bytes();
@@ -444,10 +439,10 @@ impl Detector for SmartTrackWcp {
             }
             bytes += stack.capacity() * std::mem::size_of::<CsEntry>();
         }
-        let mut list_vecs: HashSet<*const Vec<CsEntry>> = HashSet::new();
-        let mut list_bytes = |l: &CsList, seen: &mut HashSet<_>| {
+        let mut list_vecs = PtrSet::default();
+        let mut list_bytes = |l: &CsList, seen: &mut PtrSet| {
             let mut b = std::mem::size_of::<CsList>();
-            if list_vecs.insert(std::rc::Rc::as_ptr(&l.entries)) {
+            if list_vecs.insert(std::rc::Rc::as_ptr(&l.entries) as usize) {
                 b += l.entries.capacity() * std::mem::size_of::<CsEntry>();
                 for e in l.entries.iter() {
                     b += release_clock_bytes(&e.release, seen);
@@ -455,15 +450,16 @@ impl Detector for SmartTrackWcp {
             }
             b
         };
+        bytes += self.vars.capacity() * std::mem::size_of::<StVar>();
         for v in &self.vars {
-            bytes += std::mem::size_of::<StVar>() + v.read.footprint_bytes();
+            bytes += v.read.footprint_bytes();
             if let Some(l) = &v.lw {
                 bytes += list_bytes(l, &mut seen);
             }
             match &v.lr {
                 LrMeta::Single(Some(l)) => bytes += list_bytes(l, &mut seen),
                 LrMeta::PerThread(map) => {
-                    for l in map.values() {
+                    for (_, l) in map {
                         bytes += list_bytes(l, &mut seen);
                     }
                 }
@@ -471,16 +467,30 @@ impl Detector for SmartTrackWcp {
             }
             if let Some(ex) = &v.extras {
                 for side in [&ex.read, &ex.write] {
-                    for map in side.values() {
-                        for rc in map.values() {
+                    for (_, map) in side.iter() {
+                        for rc in map.clocks() {
                             bytes += release_clock_bytes(rc, &mut seen);
                         }
-                        bytes += map.capacity() * 24;
                     }
+                    bytes += side.heap_bytes();
                 }
             }
         }
         bytes
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Cheap running estimate: table capacities only (see the DC
+        // SmartTrack variant for the accounting contract).
+        self.clocks.resident_bytes()
+            + self.queues.resident_bytes()
+            + self.report.footprint_bytes()
+            + self
+                .ht
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<CsEntry>())
+                .sum::<usize>()
+            + self.vars.capacity() * std::mem::size_of::<StVar>()
     }
 
     fn case_counters(&self) -> Option<&FtoCaseCounters> {

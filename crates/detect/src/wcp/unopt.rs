@@ -5,11 +5,12 @@
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
-use crate::common::{slot, vc_table_bytes, HeldLocks, LockVarTable};
+use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes, HeldLocks, LockVarTable};
+use crate::counters::PathCounters;
 use crate::queues::WcpRuleBQueues;
 use crate::report::{AccessKind, RaceReport, Report};
 use crate::wcp::{wcp_racing_threads, WcpClocks};
-use crate::{Detector, OptLevel, Relation};
+use crate::{Detector, HotPathStats, OptLevel, Relation};
 
 /// Unoptimized WCP analysis (`Unopt-WCP` in the paper's tables).
 ///
@@ -36,6 +37,7 @@ pub struct UnoptWcp {
     write_vc: Vec<VectorClock>,
     read_vc: Vec<VectorClock>,
     report: Report,
+    paths: PathCounters,
 }
 
 impl UnoptWcp {
@@ -73,8 +75,10 @@ impl UnoptWcp {
         let h_own = self.clocks.local(t);
         let rx = slot(&mut self.read_vc, x.index());
         if rx.get(t) == h_own && h_own != 0 {
+            self.paths.fast += 1;
             return;
         }
+        self.paths.slow += 1;
         let mut p = self.clocks.wcp(t).clone();
         self.rule_a(t, x, &mut p, false);
         let wx = slot(&mut self.write_vc, x.index());
@@ -97,8 +101,10 @@ impl UnoptWcp {
         let h_own = self.clocks.local(t);
         let wx = slot(&mut self.write_vc, x.index());
         if wx.get(t) == h_own && h_own != 0 {
+            self.paths.fast += 1;
             return;
         }
+        self.paths.slow += 1;
         let mut p = self.clocks.wcp(t).clone();
         self.rule_a(t, x, &mut p, true);
         let wx = slot(&mut self.write_vc, x.index());
@@ -157,6 +163,17 @@ impl Detector for UnoptWcp {
         OptLevel::Unopt
     }
 
+    fn begin_stream(&mut self, hint: crate::StreamHint) {
+        self.clocks.reserve(&hint);
+        if let Some(locks) = hint.locks {
+            self.lockvar.reserve_locks(locks);
+        }
+        self.write_vc
+            .reserve(crate::StreamHint::presize(hint.vars, self.write_vc.len()));
+        self.read_vc
+            .reserve(crate::StreamHint::presize(hint.vars, self.read_vc.len()));
+    }
+
     fn process(&mut self, id: EventId, event: &Event) {
         let t = event.tid;
         match event.op {
@@ -183,6 +200,24 @@ impl Detector for UnoptWcp {
             + vc_table_bytes(&self.write_vc)
             + vc_table_bytes(&self.read_vc)
             + self.report.footprint_bytes()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.clocks.resident_bytes()
+            + self.held.footprint_bytes()
+            + self.lockvar.resident_bytes()
+            + self.queues.resident_bytes()
+            + vc_table_resident_bytes(&self.write_vc)
+            + vc_table_resident_bytes(&self.read_vc)
+            + self.report.footprint_bytes()
+    }
+
+    fn hot_path_stats(&self) -> HotPathStats {
+        HotPathStats {
+            fast_hits: self.paths.fast,
+            slow_hits: self.paths.slow,
+            state_bytes: self.state_bytes(),
+        }
     }
 }
 
