@@ -287,11 +287,18 @@ fn main() {
     // Per-analysis points use one seed per workload; the mixed headline uses
     // the full 8-trace corpus matching BENCH_BATCH.json.
     let corpus: Vec<(String, Trace)> = smarttrack_workloads::corpus(scale, &[11, 12, 13, 14]);
-    let point_corpus: Vec<(String, Trace)> = corpus
+    let mut point_corpus: Vec<(String, Trace)> = corpus
         .iter()
         .take(2)
         .map(|(l, t)| (l.trim_end_matches("-s11").to_string(), t.clone()))
         .collect();
+    // The condvar/barrier-heavy lane: covers the wait/notify/barrier clock
+    // rules (hard edges + composed release/reacquire) on every analysis hot
+    // path, so a regression in the new sync handlers is caught by --check.
+    point_corpus.push((
+        "condsync".to_string(),
+        smarttrack_workloads::profiles::condsync().trace(scale, 11),
+    ));
     let events: usize = corpus.iter().map(|(_, t)| t.len()).sum();
     let cores = smarttrack_parallel::worker_count(None);
     println!(

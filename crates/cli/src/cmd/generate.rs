@@ -38,12 +38,12 @@ fn build(name: &str, scale: f64, seed: u64) -> Result<Trace, CliError> {
         })?;
         return Ok(distant_race_trace(distance).0);
     }
-    profiles::all()
+    profiles::extended()
         .into_iter()
         .find(|w| w.name == name)
         .map(|w| w.trace(scale, seed))
         .ok_or_else(|| {
-            let known: Vec<&str> = profiles::all().iter().map(|w| w.name).collect();
+            let known: Vec<&str> = profiles::extended().iter().map(|w| w.name).collect();
             CliError::Invalid(format!(
                 "unknown workload `{name}`; available: {}, distant:N",
                 known.join(", ")
@@ -112,7 +112,29 @@ mod tests {
     fn unknown_profile_lists_the_available_ones() {
         let err = capture(run, &["dacapo-zxy"]).unwrap_err();
         assert!(err.to_string().contains("xalan"), "{err}");
+        assert!(err.to_string().contains("condsync"), "{err}");
         assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn condsync_profile_emits_condvar_and_barrier_ops() {
+        use smarttrack_trace::Op;
+        let path = std::env::temp_dir().join(format!(
+            "smarttrack-cli-condsync-{}.stb",
+            std::process::id()
+        ));
+        let path_str = path.display().to_string();
+        let text = capture(run, &["condsync", "--scale", "2e-5", "--out", &path_str]).unwrap();
+        assert!(text.contains("wrote condsync"), "{text}");
+        // The file is STB v2 (it carries wait/notify/barrier op tags) and
+        // round-trips through the reader.
+        let trace = smarttrack_trace::binary::read_stb_file(&path).unwrap();
+        assert!(trace.num_condvars() > 0 && trace.num_barriers() > 0);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.op, Op::Wait(..) | Op::BarrierEnter(_))));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -20,10 +20,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 
     let _ = writeln!(buf, "\nworkload profiles (Table 2 calibration targets):");
-    for w in profiles::all() {
+    let paper_names: Vec<&str> = profiles::all().iter().map(|w| w.name).collect();
+    for w in profiles::extended() {
+        let marker = if paper_names.contains(&w.name) {
+            ""
+        } else {
+            "  [repro extension, not one of the paper's ten]"
+        };
         let _ = writeln!(
             buf,
-            "  {:<9} {} threads, {:>6.0}M events, {:>5.1}% NSEAs hold >=1 lock",
+            "  {:<9} {} threads, {:>6.0}M events, {:>5.1}% NSEAs hold >=1 lock{marker}",
             w.name, w.paper.threads, w.paper.events_m, w.paper.pct_ge1
         );
     }

@@ -119,7 +119,8 @@ COMMANDS:
     windowed  <trace> [--window N] [--stride N] [--budget N] [--format FMT]
               bounded-window analysis (the SMT-window approach of §6)
     generate  <profile|distant:N> [--scale F] [--seed N] [--out FILE] [--format FMT]
-              emit a DaCapo-calibrated synthetic workload trace
+              emit a calibrated synthetic workload trace (the ten DaCapo
+              profiles, plus the condvar/barrier-heavy `condsync`)
     figure    <figure1|figure2|figure3|figure4a..figure4d> [--out FILE] [--format FMT]
               emit one of the paper's example executions
     list      available analyses, workload profiles, and figures

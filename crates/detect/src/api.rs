@@ -78,6 +78,10 @@ pub struct StreamHint {
     pub locks: Option<usize>,
     /// Number of distinct volatile variables, if known.
     pub volatiles: Option<usize>,
+    /// Number of distinct condition variables, if known.
+    pub condvars: Option<usize>,
+    /// Number of distinct barriers, if known.
+    pub barriers: Option<usize>,
 }
 
 impl StreamHint {
@@ -117,6 +121,8 @@ impl StreamHint {
             vars: Some(trace.num_vars()),
             locks: Some(trace.num_locks()),
             volatiles: Some(trace.num_volatiles()),
+            condvars: Some(trace.num_condvars()),
+            barriers: Some(trace.num_barriers()),
         }
     }
 
@@ -129,6 +135,8 @@ impl StreamHint {
             vars: self.vars.or(fallback.vars),
             locks: self.locks.or(fallback.locks),
             volatiles: self.volatiles.or(fallback.volatiles),
+            condvars: self.condvars.or(fallback.condvars),
+            barriers: self.barriers.or(fallback.barriers),
         }
     }
 
@@ -149,6 +157,8 @@ impl From<smarttrack_trace::binary::StbHint> for StreamHint {
             vars: Some(hint.vars as usize),
             locks: Some(hint.locks as usize),
             volatiles: Some(hint.volatiles as usize),
+            condvars: Some(hint.condvars as usize),
+            barriers: Some(hint.barriers as usize),
         }
     }
 }

@@ -405,6 +405,83 @@ impl LockVarTable {
     }
 }
 
+/// Per-barrier rendezvous clock state shared by every detector family.
+///
+/// A barrier round is an all-to-all release/acquire: every
+/// [`enter`](BarrierRendezvous::enter) publishes the arriving thread's
+/// clock into the round's *gather* clock, and every
+/// [`exit`](BarrierRendezvous::exit) of the round joins the gathered clock
+/// (the join of **all** enter-time clocks) back into the leaving thread.
+/// The first exit seals the round — the trace layer guarantees no further
+/// enters until every party of the round has exited (see
+/// `StreamValidator`), and when a detector is driven with raw unvalidated
+/// events an out-of-protocol enter simply starts a fresh round.
+#[derive(Clone, Debug, Default)]
+pub struct BarrierRendezvous {
+    /// Join of the enter-time clocks of the round currently gathering.
+    gather: VectorClock,
+    /// The sealed clock of the round currently draining.
+    open: VectorClock,
+    /// Parties that entered the gathering round.
+    entered: u32,
+    /// Parties of the draining round that have exited (0 = gathering).
+    exited: u32,
+}
+
+impl BarrierRendezvous {
+    /// Records an enter by a thread whose clock is `now`.
+    pub fn enter(&mut self, now: &VectorClock) {
+        if self.exited > 0 {
+            // Out-of-protocol enter while draining (impossible on validated
+            // streams): be benign and start a fresh round.
+            self.entered = 0;
+            self.exited = 0;
+        }
+        self.gather.join(now);
+        self.entered += 1;
+    }
+
+    /// Records an exit and returns the sealed rendezvous clock the leaving
+    /// thread must join.
+    pub fn exit(&mut self) -> &VectorClock {
+        if self.exited == 0 {
+            // First exit seals the round.
+            self.open = std::mem::take(&mut self.gather);
+        }
+        self.exited += 1;
+        if self.exited >= self.entered {
+            // Round complete: the next round gathers afresh.
+            self.entered = 0;
+            self.exited = 0;
+        }
+        &self.open
+    }
+
+    /// Exact heap bytes of the two clocks.
+    pub fn heap_bytes(&self) -> usize {
+        self.gather.heap_bytes() + self.open.heap_bytes()
+    }
+}
+
+/// Exact bytes of a table of barrier rendezvous states: slot capacity plus
+/// each clock's heap spill.
+#[allow(clippy::ptr_arg)]
+pub fn barrier_table_bytes(barriers: &Vec<BarrierRendezvous>) -> usize {
+    barriers
+        .iter()
+        .map(BarrierRendezvous::heap_bytes)
+        .sum::<usize>()
+        + barrier_table_resident_bytes(barriers)
+}
+
+/// Cheap resident bytes of a table of barrier rendezvous states: O(1),
+/// capacity only.
+#[allow(clippy::ptr_arg)]
+#[inline]
+pub fn barrier_table_resident_bytes(barriers: &Vec<BarrierRendezvous>) -> usize {
+    barriers.capacity() * std::mem::size_of::<BarrierRendezvous>()
+}
+
 /// Exact bytes of a table of vector clocks: slot capacity plus each
 /// clock's heap spill. Always at least [`vc_table_resident_bytes`].
 #[allow(clippy::ptr_arg)]

@@ -19,9 +19,12 @@ pub use st::{SmartTrackDc, SmartTrackWdc};
 pub use unopt::{UnoptDc, UnoptWdc};
 
 use smarttrack_clock::{ThreadId, VectorClock};
-use smarttrack_trace::VarId;
+use smarttrack_trace::{BarrierId, CondId, VarId};
 
-use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
+use crate::common::{
+    barrier_table_bytes, barrier_table_resident_bytes, slot, vc_table_bytes,
+    vc_table_resident_bytes, BarrierRendezvous,
+};
 
 /// Thread and volatile clocks for PO-composed predictive relations (DC, WDC).
 ///
@@ -35,6 +38,9 @@ use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
 pub(crate) struct DcClocks {
     threads: Vec<VectorClock>,
     volatiles: Vec<VectorClock>,
+    /// Per condvar: the join of the notifiers' clocks (`Nc`).
+    condvars: Vec<VectorClock>,
+    barriers: Vec<BarrierRendezvous>,
 }
 
 impl DcClocks {
@@ -100,14 +106,52 @@ impl DcClocks {
         self.increment(t);
     }
 
+    /// `ntf(c)` / `nfa(c)`: publish-only hard edge — `Nc ← Nc ⊔ Ct;
+    /// Ct(t) += 1`. Notifies do not absorb `Nc` (two notifiers are not
+    /// thereby ordered with each other).
+    pub fn notify(&mut self, t: ThreadId, c: CondId) {
+        let ct = self.clock(t).clone();
+        slot(&mut self.condvars, c.index()).join(&ct);
+        self.increment(t);
+    }
+
+    /// The condvar-ordering half of `wait(c, m)`: absorb the notifies seen
+    /// so far. The callers compose the full wait as release(m) →
+    /// `wait_absorb` → acquire(m), so the monitor machinery (rule (a)/(b)
+    /// bookkeeping) runs exactly as for an explicit release and acquire.
+    pub fn wait_absorb(&mut self, t: ThreadId, c: CondId) {
+        let nc = slot(&mut self.condvars, c.index()).clone();
+        self.clock(t).join(&nc);
+    }
+
+    /// `bent(b)`: publish into the round's rendezvous clock; increment.
+    pub fn barrier_enter(&mut self, t: ThreadId, b: BarrierId) {
+        let ct = self.clock(t).clone();
+        slot(&mut self.barriers, b.index()).enter(&ct);
+        self.increment(t);
+    }
+
+    /// `bext(b)`: hard edge from every enter of the round.
+    pub fn barrier_exit(&mut self, t: ThreadId, b: BarrierId) {
+        let open = slot(&mut self.barriers, b.index()).exit().clone();
+        self.clock(t).join(&open);
+        self.increment(t);
+    }
+
     /// Approximate heap bytes (exact: includes per-clock heap spill).
     pub fn footprint_bytes(&self) -> usize {
-        vc_table_bytes(&self.threads) + vc_table_bytes(&self.volatiles)
+        vc_table_bytes(&self.threads)
+            + vc_table_bytes(&self.volatiles)
+            + vc_table_bytes(&self.condvars)
+            + barrier_table_bytes(&self.barriers)
     }
 
     /// Cheap resident bytes (capacities only, O(1)).
     pub fn resident_bytes(&self) -> usize {
-        vc_table_resident_bytes(&self.threads) + vc_table_resident_bytes(&self.volatiles)
+        vc_table_resident_bytes(&self.threads)
+            + vc_table_resident_bytes(&self.volatiles)
+            + vc_table_resident_bytes(&self.condvars)
+            + barrier_table_resident_bytes(&self.barriers)
     }
 
     /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,

@@ -38,7 +38,45 @@ pub struct UnoptDcLike<const RULE_B: bool> {
     last_event: Vec<Option<EventId>>,
     /// Pending fork edges: child → fork event (graph mode).
     pending_fork: HashMap<ThreadId, EventId>,
+    /// Latest notify event per (condvar, notifying thread) (graph mode):
+    /// a wait absorbs every notifier's clock, so its graph edges come from
+    /// each notifier's latest notify (earlier ones are PO-dominated).
+    last_notify: Vec<Vec<(ThreadId, EventId)>>,
+    /// Barrier round enter-event bookkeeping (graph mode), mirroring the
+    /// clock-level [`BarrierRendezvous`](crate::common::BarrierRendezvous)
+    /// rounds.
+    barrier_rounds: Vec<BarrierRoundEvents>,
     paths: PathCounters,
+}
+
+/// The enter events of a barrier's gathering and draining rounds (graph
+/// mode); round transitions mirror `BarrierRendezvous`.
+#[derive(Clone, Debug, Default)]
+struct BarrierRoundEvents {
+    gather: Vec<EventId>,
+    open: Vec<EventId>,
+    exited: u32,
+}
+
+impl BarrierRoundEvents {
+    fn enter(&mut self, id: EventId) {
+        if self.exited > 0 {
+            self.exited = 0;
+        }
+        self.gather.push(id);
+    }
+
+    /// Returns the enter events the exiting event is ordered after.
+    fn exit(&mut self) -> &[EventId] {
+        if self.exited == 0 {
+            self.open = std::mem::take(&mut self.gather);
+        }
+        self.exited += 1;
+        if self.exited as usize >= self.open.len() {
+            self.exited = 0;
+        }
+        &self.open
+    }
 }
 
 /// Unoptimized DC analysis (Table 1's `Unopt-DC`, paper Algorithm 1).
@@ -74,6 +112,8 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
             last_volatile_write: Vec::new(),
             last_event: Vec::new(),
             pending_fork: HashMap::new(),
+            last_notify: Vec::new(),
+            barrier_rounds: Vec::new(),
             paths: PathCounters::default(),
         }
     }
@@ -293,6 +333,53 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
                     }
                 }
                 self.clocks.volatile_write(t, v);
+            }
+            Op::Wait(c, m) => {
+                // Release half of the atomic release-and-reacquire.
+                self.release(id, t, m);
+                // Condvar hard edge: the wait absorbs every notifier's
+                // clock, so graph mode records an edge from each
+                // notifier's latest notify.
+                if let Some(g) = self.graph.as_mut() {
+                    if let Some(sources) = self.last_notify.get(c.index()) {
+                        for &(_, src) in sources {
+                            g.add_edge(src, id, EdgeKind::Sync);
+                        }
+                    }
+                }
+                self.clocks.wait_absorb(t, c);
+                // Reacquire half.
+                self.acquire(t, m);
+            }
+            Op::Notify(c) | Op::NotifyAll(c) => {
+                if self.graph.is_some() {
+                    let sources = slot(&mut self.last_notify, c.index());
+                    match sources.iter_mut().find(|(u, _)| *u == t) {
+                        Some(entry) => entry.1 = id,
+                        None => sources.push((t, id)),
+                    }
+                }
+                self.clocks.notify(t, c);
+            }
+            Op::BarrierEnter(b) => {
+                if self.graph.is_some() {
+                    slot(&mut self.barrier_rounds, b.index()).enter(id);
+                }
+                self.clocks.barrier_enter(t, b);
+            }
+            Op::BarrierExit(b) => {
+                if self.graph.is_some() {
+                    let sources: Vec<EventId> =
+                        slot(&mut self.barrier_rounds, b.index()).exit().to_vec();
+                    if let Some(g) = self.graph.as_mut() {
+                        for src in sources {
+                            // The exit's own enter is PO-ordered anyway;
+                            // the redundant self-edge is harmless.
+                            g.add_edge(src, id, EdgeKind::Sync);
+                        }
+                    }
+                }
+                self.clocks.barrier_exit(t, b);
             }
         }
     }

@@ -171,6 +171,10 @@ impl Detector for Ft2 {
             Op::Join(u) => self.sync.join(t, u),
             Op::VolatileRead(v) => self.sync.volatile_read(t, v),
             Op::VolatileWrite(v) => self.sync.volatile_write(t, v),
+            Op::Wait(c, m) => self.sync.wait(t, c, m),
+            Op::Notify(c) | Op::NotifyAll(c) => self.sync.notify(t, c),
+            Op::BarrierEnter(b) => self.sync.barrier_enter(t, b),
+            Op::BarrierExit(b) => self.sync.barrier_exit(t, b),
         }
     }
 

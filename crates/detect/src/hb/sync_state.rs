@@ -1,9 +1,12 @@
 //! Synchronization-clock state shared by all HB analyses.
 
 use smarttrack_clock::{ThreadId, VectorClock};
-use smarttrack_trace::{LockId, VarId};
+use smarttrack_trace::{BarrierId, CondId, LockId, VarId};
 
-use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
+use crate::common::{
+    barrier_table_bytes, barrier_table_resident_bytes, slot, vc_table_bytes,
+    vc_table_resident_bytes, BarrierRendezvous,
+};
 
 /// Per-thread, per-lock, and per-volatile vector clocks plus the HB join
 /// rules for every synchronization operation (§5.1).
@@ -16,6 +19,9 @@ pub(crate) struct HbSyncState {
     threads: Vec<VectorClock>,
     locks: Vec<VectorClock>,
     volatiles: Vec<VectorClock>,
+    /// Per condition variable: the join of the notifiers' clocks (`Nc`).
+    condvars: Vec<VectorClock>,
+    barriers: Vec<BarrierRendezvous>,
 }
 
 impl HbSyncState {
@@ -83,11 +89,46 @@ impl HbSyncState {
         self.clock(t).increment(t);
     }
 
+    /// `ntf(c)` / `nfa(c)`: publish-only hard edge — `Nc ← Nc ⊔ Ct;
+    /// Ct(t) += 1`. Notifies do not absorb `Nc` (two notifiers are not
+    /// thereby ordered with each other).
+    pub fn notify(&mut self, t: ThreadId, c: CondId) {
+        let ct = self.clock(t).clone();
+        slot(&mut self.condvars, c.index()).join(&ct);
+        self.clock(t).increment(t);
+    }
+
+    /// `wait(c, m)`: an atomic release-and-reacquire of the monitor with
+    /// the condvar ordering in between — `rel(m)`, then `Ct ← Ct ⊔ Nc`,
+    /// then `acq(m)` (see `docs/ARCHITECTURE.md`, "Synchronization model").
+    pub fn wait(&mut self, t: ThreadId, c: CondId, m: LockId) {
+        self.release(t, m);
+        let nc = slot(&mut self.condvars, c.index()).clone();
+        self.clock(t).join(&nc);
+        self.acquire(t, m);
+    }
+
+    /// `bent(b)`: publish into the round's rendezvous clock; increment.
+    pub fn barrier_enter(&mut self, t: ThreadId, b: BarrierId) {
+        let ct = self.clock(t).clone();
+        slot(&mut self.barriers, b.index()).enter(&ct);
+        self.clock(t).increment(t);
+    }
+
+    /// `bext(b)`: join the sealed rendezvous clock (ordered after every
+    /// enter of the round).
+    pub fn barrier_exit(&mut self, t: ThreadId, b: BarrierId) {
+        let open = slot(&mut self.barriers, b.index()).exit().clone();
+        self.clock(t).join(&open);
+    }
+
     /// Approximate heap bytes (exact: includes per-clock heap spill).
     pub fn footprint_bytes(&self) -> usize {
         vc_table_bytes(&self.threads)
             + vc_table_bytes(&self.locks)
             + vc_table_bytes(&self.volatiles)
+            + vc_table_bytes(&self.condvars)
+            + barrier_table_bytes(&self.barriers)
     }
 
     /// Cheap resident bytes (capacities only, O(1)).
@@ -95,6 +136,8 @@ impl HbSyncState {
         vc_table_resident_bytes(&self.threads)
             + vc_table_resident_bytes(&self.locks)
             + vc_table_resident_bytes(&self.volatiles)
+            + vc_table_resident_bytes(&self.condvars)
+            + barrier_table_resident_bytes(&self.barriers)
     }
 
     /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,
@@ -107,6 +150,10 @@ impl HbSyncState {
             .reserve(StreamHint::presize(hint.locks, self.locks.len()));
         self.volatiles
             .reserve(StreamHint::presize(hint.volatiles, self.volatiles.len()));
+        self.condvars
+            .reserve(StreamHint::presize(hint.condvars, self.condvars.len()));
+        self.barriers
+            .reserve(StreamHint::presize(hint.barriers, self.barriers.len()));
     }
 }
 

@@ -139,6 +139,10 @@ impl Detector for UnoptHb {
             Op::Join(u) => self.sync.join(t, u),
             Op::VolatileRead(v) => self.sync.volatile_read(t, v),
             Op::VolatileWrite(v) => self.sync.volatile_write(t, v),
+            Op::Wait(c, m) => self.sync.wait(t, c, m),
+            Op::Notify(c) | Op::NotifyAll(c) => self.sync.notify(t, c),
+            Op::BarrierEnter(b) => self.sync.barrier_enter(t, b),
+            Op::BarrierExit(b) => self.sync.barrier_exit(t, b),
         }
     }
 
@@ -288,6 +292,90 @@ mod tests {
             det.report().clone()
         };
         assert!(r.is_empty(), "HB analysis must miss the Figure 1 race");
+    }
+
+    #[test]
+    fn notify_then_wait_orders_producer_before_consumer() {
+        use smarttrack_trace::{CondId, LockId};
+        let (c, m) = (CondId::new(0), LockId::new(0));
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Notify(c)).unwrap();
+        b.push(t(1), Op::Acquire(m)).unwrap();
+        b.push(t(1), Op::Wait(c, m)).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Release(m)).unwrap();
+        assert!(run(b).is_empty(), "handoff through the condvar orders rd");
+    }
+
+    #[test]
+    fn write_after_notify_races_with_woken_reader() {
+        use smarttrack_trace::{CondId, LockId};
+        let (c, m) = (CondId::new(0), LockId::new(0));
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Notify(c)).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // after the notify: unordered
+        b.push(t(1), Op::Acquire(m)).unwrap();
+        b.push(t(1), Op::Wait(c, m)).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        b.push(t(1), Op::Release(m)).unwrap();
+        assert_eq!(run(b).dynamic_count(), 1);
+    }
+
+    #[test]
+    fn notifies_do_not_order_each_other() {
+        use smarttrack_trace::CondId;
+        let c = CondId::new(0);
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Notify(c)).unwrap();
+        b.push(t(1), Op::Notify(c)).unwrap();
+        b.push(t(1), Op::Write(x(0))).unwrap();
+        assert_eq!(run(b).dynamic_count(), 1, "publish-only notifies");
+    }
+
+    #[test]
+    fn barrier_orders_across_phases_not_within() {
+        use smarttrack_trace::BarrierId;
+        let bar = BarrierId::new(0);
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(1), Op::Write(x(1))).unwrap();
+        b.push(t(0), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(0), Op::BarrierExit(bar)).unwrap();
+        b.push(t(1), Op::BarrierExit(bar)).unwrap();
+        // Cross-phase: each reads the other's pre-barrier write — ordered.
+        b.push(t(0), Op::Read(x(1))).unwrap();
+        b.push(t(1), Op::Read(x(0))).unwrap();
+        // Same-phase: both touch x2 after the rendezvous — racy.
+        b.push(t(0), Op::Write(x(2))).unwrap();
+        b.push(t(1), Op::Write(x(2))).unwrap();
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 1);
+        assert_eq!(r.races()[0].var, x(2));
+    }
+
+    #[test]
+    fn barrier_rounds_are_independent() {
+        use smarttrack_trace::BarrierId;
+        let bar = BarrierId::new(0);
+        let mut b = TraceBuilder::new();
+        // Round 1: t0, t1.
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(0), Op::BarrierExit(bar)).unwrap();
+        b.push(t(1), Op::BarrierExit(bar)).unwrap();
+        // Round 2: t1, t2 — t2 is ordered after round 2's enters only.
+        b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(2), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(1), Op::BarrierExit(bar)).unwrap();
+        b.push(t(2), Op::BarrierExit(bar)).unwrap();
+        // t1 carried round 1's ordering into round 2's rendezvous, so even
+        // t2 is (transitively) ordered after t0's pre-round-1 write.
+        b.push(t(2), Op::Read(x(0))).unwrap();
+        assert!(run(b).is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use smarttrack_trace::{Event, LockId, Op, VarId};
+use smarttrack_trace::{BarrierId, CondId, Event, LockId, Op, VarId};
 
 use crate::RaceReport;
 
@@ -117,6 +117,8 @@ pub(crate) struct Interner {
     vars: IdSpace,
     locks: IdSpace,
     volatiles: IdSpace,
+    condvars: IdSpace,
+    barriers: IdSpace,
 }
 
 impl Interner {
@@ -128,6 +130,8 @@ impl Interner {
             vars: IdSpace::with_capacity(crate::StreamHint::presize(hint.vars, 0)),
             locks: IdSpace::with_capacity(crate::StreamHint::presize(hint.locks, 0)),
             volatiles: IdSpace::with_capacity(crate::StreamHint::presize(hint.volatiles, 0)),
+            condvars: IdSpace::with_capacity(crate::StreamHint::presize(hint.condvars, 0)),
+            barriers: IdSpace::with_capacity(crate::StreamHint::presize(hint.barriers, 0)),
         }
     }
 
@@ -142,6 +146,14 @@ impl Interner {
             Op::Release(m) => Op::Release(LockId::new(self.locks.intern(m.raw()))),
             Op::VolatileRead(v) => Op::VolatileRead(VarId::new(self.volatiles.intern(v.raw()))),
             Op::VolatileWrite(v) => Op::VolatileWrite(VarId::new(self.volatiles.intern(v.raw()))),
+            Op::Wait(c, m) => Op::Wait(
+                CondId::new(self.condvars.intern(c.raw())),
+                LockId::new(self.locks.intern(m.raw())),
+            ),
+            Op::Notify(c) => Op::Notify(CondId::new(self.condvars.intern(c.raw()))),
+            Op::NotifyAll(c) => Op::NotifyAll(CondId::new(self.condvars.intern(c.raw()))),
+            Op::BarrierEnter(b) => Op::BarrierEnter(BarrierId::new(self.barriers.intern(b.raw()))),
+            Op::BarrierExit(b) => Op::BarrierExit(BarrierId::new(self.barriers.intern(b.raw()))),
             other @ (Op::Fork(_) | Op::Join(_)) => other,
         };
         event
@@ -160,7 +172,11 @@ impl Interner {
     /// Approximate heap bytes held by the interner (counted once per
     /// session, not per lane).
     pub fn heap_bytes(&self) -> usize {
-        self.vars.heap_bytes() + self.locks.heap_bytes() + self.volatiles.heap_bytes()
+        self.vars.heap_bytes()
+            + self.locks.heap_bytes()
+            + self.volatiles.heap_bytes()
+            + self.condvars.heap_bytes()
+            + self.barriers.heap_bytes()
     }
 }
 

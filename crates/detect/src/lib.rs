@@ -72,7 +72,7 @@ pub use api::{
     run_detector, Detector, FootprintSampler, OptLevel, Relation, RunSummary, StreamHint,
 };
 pub use ccs::{CcsFidelity, CsEntry, CsList};
-pub use common::{LTime, LockVarTable};
+pub use common::{BarrierRendezvous, LTime, LockVarTable};
 pub use config::{analyze, analyze_all, AnalysisConfig, AnalysisOutcome, ParseAnalysisConfigError};
 pub use counters::{FtoCase, FtoCaseCounters, HotPathStats};
 pub use dc::{FtoDc, FtoWdc, SmartTrackDc, SmartTrackWdc, UnoptDc, UnoptWdc};

@@ -119,7 +119,18 @@ impl EraserLockset {
             Op::Release(m) => self.held.release(event.tid, m),
             Op::Read(x) => self.access(id, event, x, AccessKind::Read),
             Op::Write(x) => self.access(id, event, x, AccessKind::Write),
-            Op::Fork(_) | Op::Join(_) | Op::VolatileRead(_) | Op::VolatileWrite(_) => {}
+            // Wait keeps its monitor held (atomic release-and-reacquire),
+            // so the held set is unchanged; Eraser tracks no ordering, so
+            // notify and barrier operations are ignored like fork/join.
+            Op::Fork(_)
+            | Op::Join(_)
+            | Op::VolatileRead(_)
+            | Op::VolatileWrite(_)
+            | Op::Wait(..)
+            | Op::Notify(_)
+            | Op::NotifyAll(_)
+            | Op::BarrierEnter(_)
+            | Op::BarrierExit(_) => {}
         }
     }
 

@@ -26,9 +26,12 @@ pub use st::SmartTrackWcp;
 pub use unopt::UnoptWcp;
 
 use smarttrack_clock::{ClockValue, Epoch, ThreadId, VectorClock};
-use smarttrack_trace::{LockId, VarId};
+use smarttrack_trace::{BarrierId, CondId, LockId, VarId};
 
-use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes};
+use crate::common::{
+    barrier_table_bytes, barrier_table_resident_bytes, slot, vc_table_bytes,
+    vc_table_resident_bytes, BarrierRendezvous,
+};
 
 /// Dual HB/WCP clock state shared by the WCP analyses.
 #[derive(Clone, Debug, Default)]
@@ -38,6 +41,11 @@ pub(crate) struct WcpClocks {
     hb_lock: Vec<VectorClock>,
     wcp_lock: Vec<VectorClock>,
     hb_vol: Vec<VectorClock>,
+    /// Per condvar: the join of the notifiers' *HB* clocks (hard edges
+    /// absorb the earlier thread's full HB clock into both `Ht` and `Pt`,
+    /// like fork and volatile reads).
+    hb_cond: Vec<VectorClock>,
+    barriers: Vec<BarrierRendezvous>,
 }
 
 impl WcpClocks {
@@ -132,6 +140,41 @@ impl WcpClocks {
         self.increment(t);
     }
 
+    /// `ntf(c)` / `nfa(c)`: publish-only hard edge — the notifier's HB
+    /// clock joins the condvar clock; notifies do not absorb it (two
+    /// notifiers are not thereby ordered with each other).
+    pub fn notify(&mut self, t: ThreadId, c: CondId) {
+        let ht = self.hb(t).clone();
+        slot(&mut self.hb_cond, c.index()).join(&ht);
+        self.increment(t);
+    }
+
+    /// The condvar-ordering half of `wait(c, m)`: a hard edge from the
+    /// notifies seen so far (`Ht ⊔= Nc; Pt ⊔= Nc`). The callers compose
+    /// the full wait as release(m) → `wait_absorb` → acquire(m), so the
+    /// monitor's release/acquire machinery (rule (b) queues, CCS
+    /// bookkeeping) runs exactly as for an explicit release and acquire.
+    pub fn wait_absorb(&mut self, t: ThreadId, c: CondId) {
+        let nc = slot(&mut self.hb_cond, c.index()).clone();
+        self.hb(t).join(&nc);
+        self.wcp(t).join(&nc);
+    }
+
+    /// `bent(b)`: publish the HB clock into the round's rendezvous clock.
+    pub fn barrier_enter(&mut self, t: ThreadId, b: BarrierId) {
+        let ht = self.hb(t).clone();
+        slot(&mut self.barriers, b.index()).enter(&ht);
+        self.increment(t);
+    }
+
+    /// `bext(b)`: hard edge from every enter of the round.
+    pub fn barrier_exit(&mut self, t: ThreadId, b: BarrierId) {
+        let open = slot(&mut self.barriers, b.index()).exit().clone();
+        self.hb(t).join(&open);
+        self.wcp(t).join(&open);
+        self.increment(t);
+    }
+
     /// Approximate heap bytes (exact: includes per-clock heap spill).
     pub fn footprint_bytes(&self) -> usize {
         vc_table_bytes(&self.hb)
@@ -139,6 +182,8 @@ impl WcpClocks {
             + vc_table_bytes(&self.hb_lock)
             + vc_table_bytes(&self.wcp_lock)
             + vc_table_bytes(&self.hb_vol)
+            + vc_table_bytes(&self.hb_cond)
+            + barrier_table_bytes(&self.barriers)
     }
 
     /// Cheap resident bytes (capacities only, O(1)).
@@ -148,6 +193,8 @@ impl WcpClocks {
             + vc_table_resident_bytes(&self.hb_lock)
             + vc_table_resident_bytes(&self.wcp_lock)
             + vc_table_resident_bytes(&self.hb_vol)
+            + vc_table_resident_bytes(&self.hb_cond)
+            + barrier_table_resident_bytes(&self.barriers)
     }
 
     /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,
@@ -164,6 +211,10 @@ impl WcpClocks {
             .reserve(StreamHint::presize(hint.locks, self.wcp_lock.len()));
         self.hb_vol
             .reserve(StreamHint::presize(hint.volatiles, self.hb_vol.len()));
+        self.hb_cond
+            .reserve(StreamHint::presize(hint.condvars, self.hb_cond.len()));
+        self.barriers
+            .reserve(StreamHint::presize(hint.barriers, self.barriers.len()));
     }
 }
 

@@ -421,6 +421,18 @@ impl Detector for SmartTrackWcp {
             Op::Join(u) => self.clocks.join(t, u),
             Op::VolatileRead(v) => self.clocks.volatile_read(t, v),
             Op::VolatileWrite(v) => self.clocks.volatile_write(t, v),
+            Op::Wait(c, m) => {
+                // Wait is an atomic release-and-reacquire of the monitor
+                // with the condvar hard edge in between, composed from this
+                // detector's own release/acquire machinery (rule (a)/(b)
+                // bookkeeping runs exactly as for explicit rel/acq).
+                self.release(id, t, m);
+                self.clocks.wait_absorb(t, c);
+                self.acquire(t, m);
+            }
+            Op::Notify(c) | Op::NotifyAll(c) => self.clocks.notify(t, c),
+            Op::BarrierEnter(b) => self.clocks.barrier_enter(t, b),
+            Op::BarrierExit(b) => self.clocks.barrier_exit(t, b),
         }
     }
 

@@ -345,10 +345,29 @@ mod tests {
 
     #[test]
     fn lock_discipline_never_races() {
+        // One builder call per statement: rustc's release-mode MIR
+        // pipeline (observed on 1.95.0, opt-level >= 2) miscompiles long
+        // consuming-builder chains reassigned inside a loop — the moved
+        // aggregate's ops buffer is read after its growth realloc freed it
+        // (ASan: heap-use-after-free; glibc: "double free or corruption").
+        //
+        // Minimized repro (standalone, zero unsafe, crashes at opt >= 2;
+        // use it to re-test on toolchain upgrades or to file upstream):
+        // a struct `S { v: Vec<(Copy, u32)>, n: u32 }` with
+        // `fn op(mut self, x) -> Self { self.v.push(..); self }`, driven as
+        // `s = s.op(a).op(b).op(c).op(d);` inside a `for` loop inside a
+        // closure, then read back via `for &(x, _) in s.v { match x {..} }`.
+        // Disabling any one of MIR DestinationPropagation / GVN / Inline
+        // (-Zmir-enable-passes=-DestinationPropagation) masks it; separate
+        // statements, a plain fn instead of the closure, or a fold all
+        // avoid it. Method-side `#[inline(never)]`/`black_box` do NOT.
         let body = |spec: ThreadSpec| {
             let mut spec = spec;
             for _ in 0..50 {
-                spec = spec.acquire(m(0)).read(x(0)).write(x(0)).release(m(0));
+                spec = spec.acquire(m(0));
+                spec = spec.read(x(0));
+                spec = spec.write(x(0));
+                spec = spec.release(m(0));
             }
             spec
         };

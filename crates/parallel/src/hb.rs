@@ -15,10 +15,10 @@
 use parking_lot::Mutex;
 use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
 use smarttrack_detect::{AccessKind, FtoCase, FtoCaseCounters, RaceReport, Report};
-use smarttrack_trace::{EventId, Loc, LockId, Op, VarId};
+use smarttrack_trace::{BarrierId, CondId, EventId, Loc, LockId, Op, VarId};
 
 use crate::atomic::AtomicEpoch;
-use crate::shared::{AtomicCaseCounters, Handoff, ReportSink};
+use crate::shared::{AtomicCaseCounters, Handoff, OnlineBarrier, ReportSink};
 use crate::world::{table, WorldSpec};
 use crate::{OnlineAnalysis, OnlineCtx};
 
@@ -64,6 +64,8 @@ pub struct ConcurrentFtoHb {
     vars: Vec<ShadowVar>,
     locks: Vec<Mutex<VectorClock>>,
     volatiles: Vec<Mutex<VectorClock>>,
+    condvars: Vec<Mutex<VectorClock>>,
+    barriers: Vec<Mutex<OnlineBarrier>>,
     handoff: Handoff,
     sink: ReportSink,
     counters: AtomicCaseCounters,
@@ -76,6 +78,8 @@ impl ConcurrentFtoHb {
             vars: table(spec.vars),
             locks: table(spec.locks),
             volatiles: table(spec.volatiles),
+            condvars: table(spec.condvars),
+            barriers: table(spec.barriers),
             handoff: Handoff::new(spec.threads),
             sink: ReportSink::new(),
             counters: AtomicCaseCounters::new(),
@@ -109,6 +113,7 @@ impl OnlineAnalysis for ConcurrentFtoHb {
         HbCtx {
             t,
             clock,
+            barrier_round: Vec::new(),
             shared: self,
         }
     }
@@ -127,6 +132,8 @@ impl OnlineAnalysis for ConcurrentFtoHb {
 pub struct HbCtx<'a> {
     t: ThreadId,
     clock: VectorClock,
+    /// Per barrier: the rendezvous round this thread last entered.
+    barrier_round: Vec<u64>,
     shared: &'a ConcurrentFtoHb,
 }
 
@@ -272,6 +279,38 @@ impl HbCtx<'_> {
         drop(vv);
         self.clock.increment(self.t);
     }
+
+    fn notify(&mut self, c: CondId) {
+        self.shared.condvars[c.index()].lock().join(&self.clock);
+        self.clock.increment(self.t);
+    }
+
+    fn wait(&mut self, c: CondId, m: LockId) {
+        // Atomic release-and-reacquire with the condvar hard edge between.
+        self.release(m);
+        {
+            let nc = self.shared.condvars[c.index()].lock();
+            self.clock.join(&nc);
+        }
+        self.acquire(m);
+    }
+
+    fn barrier_enter(&mut self, b: BarrierId) {
+        // Remember which round we joined: a fast peer may seal this round
+        // and start gathering the next before our exit hook runs.
+        let round = self.shared.barriers[b.index()].lock().enter(&self.clock);
+        if b.index() >= self.barrier_round.len() {
+            self.barrier_round.resize(b.index() + 1, 0);
+        }
+        self.barrier_round[b.index()] = round;
+        self.clock.increment(self.t);
+    }
+
+    fn barrier_exit(&mut self, b: BarrierId) {
+        let round = self.barrier_round.get(b.index()).copied().unwrap_or(0);
+        let open = self.shared.barriers[b.index()].lock().exit(round);
+        self.clock.join(&open);
+    }
 }
 
 impl OnlineCtx for HbCtx<'_> {
@@ -292,6 +331,10 @@ impl OnlineCtx for HbCtx<'_> {
             Op::Join(u) => self.shared.handoff.absorb_final(u, &mut self.clock),
             Op::VolatileRead(v) => self.volatile_read(v),
             Op::VolatileWrite(v) => self.volatile_write(v),
+            Op::Wait(c, m) => self.wait(c, m),
+            Op::Notify(c) | Op::NotifyAll(c) => self.notify(c),
+            Op::BarrierEnter(b) => self.barrier_enter(b),
+            Op::BarrierExit(b) => self.barrier_exit(b),
         }
     }
 

@@ -19,11 +19,11 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 use smarttrack_clock::{Epoch, ReadMeta, ThreadId, VectorClock};
 use smarttrack_detect::{AccessKind, FtoCase, FtoCaseCounters, RaceReport, Report};
-use smarttrack_trace::{EventId, Loc, LockId, Op, VarId};
+use smarttrack_trace::{BarrierId, CondId, EventId, Loc, LockId, Op, VarId};
 
 use crate::atomic::AtomicEpoch;
 use crate::ccs::{multi_check_shared, ReleaseCell, SharedCsEntry, SharedCsList};
-use crate::shared::{AtomicCaseCounters, Handoff, ReportSink};
+use crate::shared::{AtomicCaseCounters, Handoff, OnlineBarrier, ReportSink};
 use crate::world::{table, WorldSpec};
 use crate::{OnlineAnalysis, OnlineCtx};
 
@@ -107,6 +107,8 @@ struct ShadowVar {
 pub struct ConcurrentSmartTrackWdc {
     vars: Vec<ShadowVar>,
     volatiles: Vec<Mutex<VectorClock>>,
+    condvars: Vec<Mutex<VectorClock>>,
+    barriers: Vec<Mutex<OnlineBarrier>>,
     handoff: Handoff,
     sink: ReportSink,
     counters: AtomicCaseCounters,
@@ -118,6 +120,8 @@ impl ConcurrentSmartTrackWdc {
         ConcurrentSmartTrackWdc {
             vars: table(spec.vars),
             volatiles: table(spec.volatiles),
+            condvars: table(spec.condvars),
+            barriers: table(spec.barriers),
             handoff: Handoff::new(spec.threads),
             sink: ReportSink::new(),
             counters: AtomicCaseCounters::new(),
@@ -153,6 +157,7 @@ impl OnlineAnalysis for ConcurrentSmartTrackWdc {
             clock,
             ht: Vec::new(),
             ht_cache: None,
+            barrier_round: Vec::new(),
             shared: self,
         }
     }
@@ -175,6 +180,8 @@ pub struct WdcCtx<'a> {
     ht: Vec<SharedCsEntry>,
     /// Cached shared snapshot of `Ht`, invalidated at lock operations.
     ht_cache: Option<SharedCsList>,
+    /// Per barrier: the rendezvous round this thread last entered.
+    barrier_round: Vec<u64>,
     shared: &'a ConcurrentSmartTrackWdc,
 }
 
@@ -508,6 +515,44 @@ impl WdcCtx<'_> {
         }
         self.clock.increment(self.t);
     }
+
+    fn notify(&mut self, c: CondId) {
+        self.shared.condvars[c.index()].lock().join(&self.clock);
+        self.clock.increment(self.t);
+    }
+
+    fn wait(&mut self, c: CondId, m: LockId) {
+        // Atomic release-and-reacquire with the condvar hard edge between:
+        // the release resolves the critical section's release time, the
+        // reacquire opens a fresh pending one, exactly as explicit rel/acq.
+        self.release(m);
+        {
+            let nc = self.shared.condvars[c.index()].lock();
+            self.clock.join(&nc);
+        }
+        self.acquire(m);
+    }
+
+    fn barrier_enter(&mut self, b: BarrierId) {
+        // Remember which round we joined: a fast peer may seal this round
+        // and start gathering the next before our exit hook runs.
+        let round = self.shared.barriers[b.index()].lock().enter(&self.clock);
+        if b.index() >= self.barrier_round.len() {
+            self.barrier_round.resize(b.index() + 1, 0);
+        }
+        self.barrier_round[b.index()] = round;
+        self.clock.increment(self.t);
+    }
+
+    fn barrier_exit(&mut self, b: BarrierId) {
+        let round = self.barrier_round.get(b.index()).copied().unwrap_or(0);
+        let open = self.shared.barriers[b.index()].lock().exit(round);
+        self.clock.join(&open);
+        // Predictive analyses increment at exits too (DcClocks::barrier_exit)
+        // — the deterministic-feed differential pins this against the
+        // sequential SmartTrack-WDC.
+        self.clock.increment(self.t);
+    }
 }
 
 /// Reads a cell that the held-lock invariant guarantees is resolved: extras
@@ -539,6 +584,10 @@ impl OnlineCtx for WdcCtx<'_> {
             }
             Op::VolatileRead(v) => self.volatile_read(v),
             Op::VolatileWrite(v) => self.volatile_write(v),
+            Op::Wait(c, m) => self.wait(c, m),
+            Op::Notify(c) | Op::NotifyAll(c) => self.notify(c),
+            Op::BarrierEnter(b) => self.barrier_enter(b),
+            Op::BarrierExit(b) => self.barrier_exit(b),
         }
     }
 

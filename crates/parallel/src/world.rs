@@ -32,6 +32,10 @@ pub struct WorldSpec {
     pub locks: usize,
     /// Number of volatile-variable ids.
     pub volatiles: usize,
+    /// Number of condition-variable ids.
+    pub condvars: usize,
+    /// Number of barrier ids.
+    pub barriers: usize,
 }
 
 impl WorldSpec {
@@ -42,6 +46,8 @@ impl WorldSpec {
             vars,
             locks,
             volatiles,
+            condvars: 0,
+            barriers: 0,
         }
     }
 
@@ -90,6 +96,14 @@ impl WorldSpec {
                 self.volatiles = self.volatiles.max(v.index() + 1)
             }
             Op::Fork(t) | Op::Join(t) => self.threads = self.threads.max(t.index() + 1),
+            Op::Wait(c, m) => {
+                self.condvars = self.condvars.max(c.index() + 1);
+                self.locks = self.locks.max(m.index() + 1);
+            }
+            Op::Notify(c) | Op::NotifyAll(c) => self.condvars = self.condvars.max(c.index() + 1),
+            Op::BarrierEnter(b) | Op::BarrierExit(b) => {
+                self.barriers = self.barriers.max(b.index() + 1)
+            }
         }
     }
 
@@ -101,6 +115,8 @@ impl WorldSpec {
             vars: self.vars.max(other.vars),
             locks: self.locks.max(other.locks),
             volatiles: self.volatiles.max(other.volatiles),
+            condvars: self.condvars.max(other.condvars),
+            barriers: self.barriers.max(other.barriers),
         }
     }
 }

@@ -88,6 +88,23 @@ fn assert_feed_matches_sequential(tr: &Trace, seed_label: &str) {
     }
 }
 
+/// Property 1 over condvar/barrier-bearing traces: the deterministic feed
+/// must drive the online analyses' wait/notify/barrier arms (shared condvar
+/// clocks, the round-keyed `OnlineBarrier`) to exactly the sequential
+/// detectors' verdicts *and* FTO case counters — this is the differential
+/// that catches a missing clock increment or a stolen rendezvous round.
+#[test]
+fn sync_op_feeds_match_sequential() {
+    for seed in 0..24u64 {
+        let tr = RandomTraceSpec {
+            events: 160,
+            ..RandomTraceSpec::tiny_sync()
+        }
+        .generate(seed);
+        assert_feed_matches_sequential(&tr, &format!("tiny_sync seed {seed}"));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -108,16 +125,20 @@ fn disciplined_program(threads: u32, rounds: usize) -> Program {
     let specs = (0..threads)
         .map(|i| {
             let mut spec = ThreadSpec::new();
+            // One builder call per statement inside loops: long consuming
+            // chains here trip a rustc release-mode miscompilation (see the
+            // note in `driver.rs`'s lock_discipline_never_races).
             for r in 0..rounds {
-                spec = spec
-                    .acquire(m(0))
-                    .read(x(0))
-                    .write(x(0))
-                    .release(m(0))
-                    // Private variable: same-epoch traffic, never racy.
-                    .write(x(1 + i));
+                spec = spec.acquire(m(0));
+                spec = spec.read(x(0));
+                spec = spec.write(x(0));
+                spec = spec.release(m(0));
+                // Private variable: same-epoch traffic, never racy.
+                spec = spec.write(x(1 + i));
                 if r % 3 == 0 {
-                    spec = spec.acquire(m(1)).write(x(100)).release(m(1));
+                    spec = spec.acquire(m(1));
+                    spec = spec.write(x(100));
+                    spec = spec.release(m(1));
                 }
             }
             spec
@@ -133,8 +154,10 @@ fn racy_program(threads: u32, rounds: usize) -> Program {
         .map(|_| {
             let mut spec = ThreadSpec::new();
             for _ in 0..rounds {
-                spec = spec.acquire(m(0)).write(x(0)).release(m(0)).write(x(9));
-                // the racy one
+                spec = spec.acquire(m(0));
+                spec = spec.write(x(0));
+                spec = spec.release(m(0));
+                spec = spec.write(x(9)); // the racy one
             }
             spec
         })
@@ -291,17 +314,20 @@ fn stress_smarttrack_wdc_under_contention() {
     for i in 0..threads {
         let mut spec = ThreadSpec::new();
         for r in 0..60usize {
-            // Nested critical sections in a globally consistent order.
-            spec = spec
-                .acquire(m(0))
-                .acquire(m(1))
-                .read(x(0))
-                .write(x(0))
-                .release(m(1))
-                .write(x(2))
-                .release(m(0));
+            // Nested critical sections in a globally consistent order (one
+            // builder call per statement; see the rustc-miscompilation note
+            // in `driver.rs`'s lock_discipline_never_races).
+            spec = spec.acquire(m(0));
+            spec = spec.acquire(m(1));
+            spec = spec.read(x(0));
+            spec = spec.write(x(0));
+            spec = spec.release(m(1));
+            spec = spec.write(x(2));
+            spec = spec.release(m(0));
             if r % 5 == i as usize % 5 {
-                spec = spec.acquire(m(2)).write(x(3)).release(m(2));
+                spec = spec.acquire(m(2));
+                spec = spec.write(x(3));
+                spec = spec.release(m(2));
             }
             spec = spec.write(x(10 + i));
         }

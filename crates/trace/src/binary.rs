@@ -61,15 +61,25 @@ use std::io::{self, Read, Write};
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, Loc, LockId, Op, Trace, TraceBuilder, TraceError, VarId};
+use crate::{BarrierId, CondId, Event, Loc, LockId, Op, Trace, TraceBuilder, TraceError, VarId};
 
 /// The four-byte STB magic number, `\x89STB`. The high bit in the first
 /// byte keeps text tools from mistaking STB files for line formats (the
 /// same trick as PNG).
 pub const STB_MAGIC: [u8; 4] = [0x89, b'S', b'T', b'B'];
 
-/// The (only) STB version this implementation reads and writes.
+/// The baseline STB version: 3-bit op tags (the eight original operations)
+/// and five header-hint cardinalities. Readers decode v1 streams forever;
+/// writers emit v1 whenever the stream uses no v2 feature, so recordings
+/// of v1-expressible traces stay byte-for-byte identical across revisions.
 pub const STB_VERSION: u8 = 1;
+
+/// STB revision 2: 4-bit op tags adding the condition-variable
+/// (`wait`/`ntf`/`nfa`) and barrier (`bent`/`bext`) operations with their
+/// own delta registers, and two extra header-hint cardinalities (condvars,
+/// barriers). Everything else — framing, runs, varint/zigzag coding — is
+/// unchanged from v1.
+pub const STB_VERSION_2: u8 = 2;
 
 /// Header flag bit: an [`StbHint`] follows the flags byte.
 const FLAG_HAS_HINT: u8 = 0b0000_0001;
@@ -84,9 +94,10 @@ pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
 const MAX_CHUNK_BYTES: u64 = 64 << 20;
 
 /// Largest chunk size [`StbWriter::chunk_events`] accepts. A worst-case
-/// event costs at most 40 encoded bytes (a 20-byte run header plus a
-/// 10-byte head varint and a 10-byte location delta), so chunks of this
-/// many events cannot exceed the readers' 64 MiB payload cap.
+/// event costs at most 50 encoded bytes (a 20-byte run header plus a
+/// 10-byte head varint, a 10-byte second-operand delta for `wait`, and a
+/// 10-byte location delta), so chunks of this many events cannot exceed
+/// the readers' 64 MiB payload cap.
 pub const MAX_CHUNK_EVENTS: usize = (MAX_CHUNK_BYTES / 64) as usize;
 
 /// Stream metadata carried by the STB header when known at write time.
@@ -109,6 +120,12 @@ pub struct StbHint {
     pub locks: u64,
     /// Number of distinct volatile variables (max index + 1).
     pub volatiles: u64,
+    /// Number of distinct condition variables (max index + 1). Carried by
+    /// v2 headers only; decodes as 0 from a v1 header.
+    pub condvars: u64,
+    /// Number of distinct barriers (max index + 1). Carried by v2 headers
+    /// only; decodes as 0 from a v1 header.
+    pub barriers: u64,
 }
 
 impl StbHint {
@@ -120,14 +137,21 @@ impl StbHint {
             vars: trace.num_vars() as u64,
             locks: trace.num_locks() as u64,
             volatiles: trace.num_volatiles() as u64,
+            condvars: trace.num_condvars() as u64,
+            barriers: trace.num_barriers() as u64,
         }
+    }
+
+    /// Whether this hint carries information only a v2 header can encode.
+    fn needs_v2(&self) -> bool {
+        self.condvars > 0 || self.barriers > 0
     }
 }
 
 /// The decoded STB header: version, flags, and the optional [`StbHint`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StbHeader {
-    /// The format version (currently always [`STB_VERSION`]).
+    /// The format version ([`STB_VERSION`] or [`STB_VERSION_2`]).
     pub version: u8,
     /// Stream metadata, when the writer knew it.
     pub hint: Option<StbHint>,
@@ -177,7 +201,10 @@ impl fmt::Display for StbError {
                 "not an STB stream: expected magic {STB_MAGIC:02x?}, found {found:02x?}"
             ),
             StbError::UnsupportedVersion(v) => {
-                write!(f, "unsupported STB version {v} (this reader understands 1)")
+                write!(
+                    f,
+                    "unsupported STB version {v} (this reader understands 1 and 2)"
+                )
             }
             StbError::UnknownFlags(flags) => {
                 write!(f, "unknown STB header flags {flags:#010b}")
@@ -380,6 +407,23 @@ const TAG_FORK: u8 = 4;
 const TAG_JOIN: u8 = 5;
 const TAG_VREAD: u8 = 6;
 const TAG_VWRITE: u8 = 7;
+// Version-2 tags (the 4-bit tag field); the head delta of TAG_WAIT targets
+// the condvar register, and a second varint (the monitor's delta against
+// the lock register) follows the head.
+const TAG_WAIT: u8 = 8;
+const TAG_NOTIFY: u8 = 9;
+const TAG_NOTIFY_ALL: u8 = 10;
+const TAG_BARRIER_ENTER: u8 = 11;
+const TAG_BARRIER_EXIT: u8 = 12;
+const MAX_TAG_V2: u8 = TAG_BARRIER_EXIT;
+
+/// Returns `true` for operations only the v2 chunk grammar can encode.
+fn op_needs_v2(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Wait(..) | Op::Notify(_) | Op::NotifyAll(_) | Op::BarrierEnter(_) | Op::BarrierExit(_)
+    )
+}
 
 /// Delta-compression state, reset at every chunk boundary so chunks decode
 /// independently (which is what makes skip-and-resume sound).
@@ -389,12 +433,16 @@ struct DeltaState {
     lock: u32,
     thread: u32,
     volatile: u32,
+    condvar: u32,
+    barrier: u32,
     loc: u32,
 }
 
 impl DeltaState {
     /// Splits an op into its tag and the previous-target register it deltas
-    /// against, returning `(tag, prev, raw_target)`.
+    /// against, returning `(tag, prev, raw_target)`. For [`Op::Wait`] the
+    /// registered target is the condvar; the monitor is the extra operand
+    /// handled by the caller against the lock register.
     fn op_parts(&mut self, op: &Op) -> (u8, &mut u32, u32) {
         match op {
             Op::Read(x) => (TAG_READ, &mut self.var, x.raw()),
@@ -405,6 +453,11 @@ impl DeltaState {
             Op::Join(t) => (TAG_JOIN, &mut self.thread, t.raw()),
             Op::VolatileRead(v) => (TAG_VREAD, &mut self.volatile, v.raw()),
             Op::VolatileWrite(v) => (TAG_VWRITE, &mut self.volatile, v.raw()),
+            Op::Wait(c, _) => (TAG_WAIT, &mut self.condvar, c.raw()),
+            Op::Notify(c) => (TAG_NOTIFY, &mut self.condvar, c.raw()),
+            Op::NotifyAll(c) => (TAG_NOTIFY_ALL, &mut self.condvar, c.raw()),
+            Op::BarrierEnter(b) => (TAG_BARRIER_ENTER, &mut self.barrier, b.raw()),
+            Op::BarrierExit(b) => (TAG_BARRIER_EXIT, &mut self.barrier, b.raw()),
         }
     }
 
@@ -413,22 +466,52 @@ impl DeltaState {
             TAG_READ | TAG_WRITE => &mut self.var,
             TAG_ACQUIRE | TAG_RELEASE => &mut self.lock,
             TAG_FORK | TAG_JOIN => &mut self.thread,
-            _ => &mut self.volatile,
+            TAG_VREAD | TAG_VWRITE => &mut self.volatile,
+            TAG_WAIT | TAG_NOTIFY | TAG_NOTIFY_ALL => &mut self.condvar,
+            _ => &mut self.barrier,
         }
     }
 }
 
+/// The head-varint layout parameters of a version: the tag field is 3 bits
+/// wide in v1 and 4 bits in v2 (making room for the condvar/barrier tags),
+/// with `has_loc` just above it and the zigzag target delta above that.
+#[inline]
+fn tag_bits(version: u8) -> u32 {
+    if version >= STB_VERSION_2 {
+        4
+    } else {
+        3
+    }
+}
+
 /// Encodes a burst of same-thread events as one run into `out`.
-fn encode_run(out: &mut Vec<u8>, tid: ThreadId, events: &[Event], state: &mut DeltaState) {
+fn encode_run(
+    out: &mut Vec<u8>,
+    version: u8,
+    tid: ThreadId,
+    events: &[Event],
+    state: &mut DeltaState,
+) {
     debug_assert!(!events.is_empty());
+    let bits = tag_bits(version);
     push_varint(out, u64::from(tid.raw()));
     push_varint(out, events.len() as u64);
     for e in events {
         let (tag, prev, target) = state.op_parts(&e.op);
+        debug_assert!(version >= STB_VERSION_2 || tag <= TAG_VWRITE);
         let delta = i64::from(target) - i64::from(*prev);
         *prev = target;
         let has_loc = u64::from(!e.loc.is_unknown());
-        push_varint(out, zigzag(delta) << 4 | has_loc << 3 | u64::from(tag));
+        push_varint(
+            out,
+            zigzag(delta) << (bits + 1) | has_loc << bits | u64::from(tag),
+        );
+        if let Op::Wait(_, m) = e.op {
+            let lock_delta = i64::from(m.raw()) - i64::from(state.lock);
+            state.lock = m.raw();
+            push_varint(out, zigzag(lock_delta));
+        }
         if has_loc == 1 {
             let loc_delta = i64::from(e.loc.raw()) - i64::from(state.loc);
             state.loc = e.loc.raw();
@@ -444,15 +527,23 @@ fn id_from_i64(v: i64, offset: u64, what: &str) -> Result<u32, StbError> {
     })
 }
 
-/// Decodes the payload of one chunk into `sink`. `expected` is the frame's
-/// declared event count; `base` the absolute offset of the payload's first
-/// byte.
+/// Decodes the payload of one chunk into `sink`. `version` selects the
+/// chunk grammar (v1: 3-bit tags; v2: 4-bit tags plus the condvar/barrier
+/// operations); `expected` is the frame's declared event count; `base` the
+/// absolute offset of the payload's first byte.
 fn decode_chunk(
     payload: &[u8],
+    version: u8,
     expected: u64,
     base: u64,
     mut sink: impl FnMut(Event),
 ) -> Result<(), StbError> {
+    let bits = tag_bits(version);
+    let max_tag = if version >= STB_VERSION_2 {
+        MAX_TAG_V2
+    } else {
+        TAG_VWRITE
+    };
     let mut state = DeltaState::default();
     let mut pos = 0usize;
     let mut decoded: u64 = 0;
@@ -480,10 +571,16 @@ fn decode_chunk(
         }
         for _ in 0..run_len {
             let head = read_varint(payload, &mut pos, base, "event header")?;
-            let tag = (head & 0b111) as u8;
-            let has_loc = head & 0b1000 != 0;
-            let delta = unzigzag(head >> 4);
+            let tag = (head & ((1 << bits) - 1)) as u8;
+            let has_loc = head & (1 << bits) != 0;
+            let delta = unzigzag(head >> (bits + 1));
             let here = base + pos as u64;
+            if tag > max_tag {
+                return Err(StbError::Corrupt {
+                    offset: here,
+                    message: format!("unknown op tag {tag} (version {version})"),
+                });
+            }
             let prev = state.register_for(tag);
             let target = id_from_i64(i64::from(*prev) + delta, here, "target id")?;
             *prev = target;
@@ -495,7 +592,18 @@ fn decode_chunk(
                 TAG_FORK => Op::Fork(ThreadId::new(target)),
                 TAG_JOIN => Op::Join(ThreadId::new(target)),
                 TAG_VREAD => Op::VolatileRead(VarId::new(target)),
-                _ => Op::VolatileWrite(VarId::new(target)),
+                TAG_VWRITE => Op::VolatileWrite(VarId::new(target)),
+                TAG_WAIT => {
+                    let lock_delta =
+                        unzigzag(read_varint(payload, &mut pos, base, "wait monitor delta")?);
+                    let m = id_from_i64(i64::from(state.lock) + lock_delta, here, "monitor id")?;
+                    state.lock = m;
+                    Op::Wait(CondId::new(target), LockId::new(m))
+                }
+                TAG_NOTIFY => Op::Notify(CondId::new(target)),
+                TAG_NOTIFY_ALL => Op::NotifyAll(CondId::new(target)),
+                TAG_BARRIER_ENTER => Op::BarrierEnter(BarrierId::new(target)),
+                _ => Op::BarrierExit(BarrierId::new(target)),
             };
             let loc = if has_loc {
                 let loc_delta = unzigzag(read_varint(payload, &mut pos, base, "location delta")?);
@@ -551,47 +659,81 @@ pub struct StbWriter<W: Write> {
     out: W,
     pending: Vec<Event>,
     chunk_events: usize,
-    /// Header bytes not yet written (flushed with the first chunk), then a
-    /// reusable frame-encoding buffer.
+    /// Reusable frame-encoding buffer (also carries the header bytes until
+    /// the first flush).
     scratch: Vec<u8>,
+    hint: Option<StbHint>,
+    /// The stream version: forced by [`v2`](StbWriter::v2) or a v2-needing
+    /// hint; otherwise `None` until the first header emission *decides* it
+    /// from the events seen so far (v1 whenever they allow it, keeping
+    /// recordings of v1-expressible streams byte-identical across
+    /// revisions).
+    version: Option<u8>,
+    /// Set once header bytes reached the sink, fixing the version for good.
+    header_written: bool,
 }
 
 impl<W: Write> StbWriter<W> {
     /// Starts an STB stream with no [`StbHint`] (the usual case for a live
     /// recording, where totals are unknown until the stream ends).
     ///
+    /// The version is decided when the first chunk is flushed: v1 unless a
+    /// condvar/barrier operation was already seen. A v2-only operation
+    /// arriving *after* a v1 header went out is an error — a recorder that
+    /// may see such operations late should use [`v2`](StbWriter::v2).
+    ///
     /// Construction is infallible: the header is buffered and only reaches
     /// the sink with the first chunk flush, so early I/O failures (e.g. an
     /// unwritable file) surface from [`write`](StbWriter::write) /
     /// [`finish`](StbWriter::finish).
     pub fn new(out: W) -> Self {
-        Self::start(out, None)
+        Self::start(out, None, None)
+    }
+
+    /// Starts an STB stream pinned to version 2, whatever the events: the
+    /// right constructor for live recordings that may see a condvar or
+    /// barrier operation after the first chunk was flushed.
+    pub fn v2(out: W) -> Self {
+        Self::start(out, None, Some(STB_VERSION_2))
     }
 
     /// Starts an STB stream whose header carries `hint` (use when totals
-    /// are known up front, e.g. when re-encoding a recorded trace).
+    /// are known up front, e.g. when re-encoding a recorded trace). A hint
+    /// declaring condvars or barriers pins the stream to v2.
     pub fn with_hint(out: W, hint: StbHint) -> Self {
-        Self::start(out, Some(hint))
+        let version = hint.needs_v2().then_some(STB_VERSION_2);
+        Self::start(out, Some(hint), version)
     }
 
-    fn start(out: W, hint: Option<StbHint>) -> Self {
-        let mut header = Vec::with_capacity(16);
-        header.extend_from_slice(&STB_MAGIC);
-        header.push(STB_VERSION);
-        match hint {
-            None => header.push(0),
-            Some(h) => {
-                header.push(FLAG_HAS_HINT);
-                for v in [h.events, h.threads, h.vars, h.locks, h.volatiles] {
-                    push_varint(&mut header, v);
-                }
-            }
-        }
+    fn start(out: W, hint: Option<StbHint>, version: Option<u8>) -> Self {
         StbWriter {
             out,
             pending: Vec::new(),
             chunk_events: DEFAULT_CHUNK_EVENTS,
-            scratch: header,
+            scratch: Vec::new(),
+            hint,
+            version,
+            header_written: false,
+        }
+    }
+
+    /// Appends the header for `version` to the scratch buffer.
+    fn push_header(&mut self, version: u8) {
+        self.scratch.extend_from_slice(&STB_MAGIC);
+        self.scratch.push(version);
+        match self.hint {
+            None => self.scratch.push(0),
+            Some(h) => {
+                self.scratch.push(FLAG_HAS_HINT);
+                let mut fields = vec![h.events, h.threads, h.vars, h.locks, h.volatiles];
+                if version >= STB_VERSION_2 {
+                    fields.push(h.condvars);
+                    fields.push(h.barriers);
+                }
+                for v in fields {
+                    push_varint(&mut self.scratch, v);
+                }
+            }
         }
     }
 
@@ -621,11 +763,27 @@ impl<W: Write> StbWriter<W> {
         Ok(())
     }
 
-    /// Encodes `self.pending` as one chunk and writes it (plus any
-    /// still-unwritten header bytes in `scratch`).
+    /// Encodes `self.pending` as one chunk and writes it (preceded by the
+    /// header if this is the first flush).
     fn flush_chunk(&mut self) -> io::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
+        }
+        let needs_v2 = self.pending.iter().any(|e| op_needs_v2(&e.op));
+        if !self.header_written && self.version.is_none() {
+            self.version = Some(if needs_v2 { STB_VERSION_2 } else { STB_VERSION });
+        }
+        let version = self.version.unwrap_or(STB_VERSION);
+        if needs_v2 && version < STB_VERSION_2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "condvar/barrier operations need STB v2, but a v1 header was already \
+                 written; construct the recorder with StbWriter::v2 (or a hint that \
+                 declares the condvar/barrier cardinalities)",
+            ));
+        }
+        if !self.header_written {
+            self.push_header(version);
         }
         let mut payload = Vec::with_capacity(self.pending.len() * 3);
         let mut state = DeltaState::default();
@@ -634,6 +792,7 @@ impl<W: Write> StbWriter<W> {
             if i == self.pending.len() || self.pending[i].tid != self.pending[start].tid {
                 encode_run(
                     &mut payload,
+                    version,
                     self.pending[start].tid,
                     &self.pending[start..i],
                     &mut state,
@@ -645,6 +804,7 @@ impl<W: Write> StbWriter<W> {
         push_varint(&mut self.scratch, self.pending.len() as u64);
         self.out.write_all(&self.scratch)?;
         self.out.write_all(&payload)?;
+        self.header_written = true;
         self.scratch.clear();
         self.pending.clear();
         Ok(())
@@ -658,6 +818,11 @@ impl<W: Write> StbWriter<W> {
     /// Propagates I/O errors.
     pub fn finish(mut self) -> io::Result<W> {
         self.flush_chunk()?;
+        if !self.header_written {
+            // Empty stream: the header still has to go out.
+            let version = self.version.unwrap_or(STB_VERSION);
+            self.push_header(version);
+        }
         self.scratch.push(0); // terminator: a zero payload length
         self.out.write_all(&self.scratch)?;
         self.out.flush()?;
@@ -719,15 +884,16 @@ impl<R: Read> StbReader<R> {
         let mut version_flags = [0u8; 2];
         input.read_exact(&mut version_flags, "version and flags")?;
         let [version, flags] = version_flags;
-        if version != STB_VERSION {
+        if version != STB_VERSION && version != STB_VERSION_2 {
             return Err(StbError::UnsupportedVersion(version));
         }
         if flags & !KNOWN_FLAGS != 0 {
             return Err(StbError::UnknownFlags(flags));
         }
         let hint = if flags & FLAG_HAS_HINT != 0 {
-            let mut fields = [0u64; 5];
-            for field in &mut fields {
+            let mut fields = [0u64; 7];
+            let count = if version >= STB_VERSION_2 { 7 } else { 5 };
+            for field in fields.iter_mut().take(count) {
                 *field = read_varint_io(&mut input, "header hint")?.ok_or(StbError::Truncated {
                     offset: input.offset(),
                     context: "header hint",
@@ -739,6 +905,8 @@ impl<R: Read> StbReader<R> {
                 vars: fields[2],
                 locks: fields[3],
                 volatiles: fields[4],
+                condvars: fields[5],
+                barriers: fields[6],
             })
         } else {
             None
@@ -809,7 +977,9 @@ impl<R: Read> StbReader<R> {
             return Ok(false);
         };
         let mut events = Vec::with_capacity(count as usize);
-        decode_chunk(&payload, count, base, |e| events.push(e))?;
+        decode_chunk(&payload, self.header.version, count, base, |e| {
+            events.push(e)
+        })?;
         self.chunk = events.into_iter();
         Ok(true)
     }
@@ -1243,5 +1413,127 @@ mod tests {
         for v in [0, 1, -1, i64::MAX, i64::MIN, 12345, -54321] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    /// A small trace exercising every v2-only op tag.
+    fn sync_trace() -> Trace {
+        use crate::{BarrierId, CondId};
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (c0, c1) = (CondId::new(0), CondId::new(1));
+        let m = LockId::new(0);
+        let bar = BarrierId::new(0);
+        let mut b = crate::TraceBuilder::new();
+        b.push(t0, Op::Write(VarId::new(0))).unwrap();
+        b.push(t0, Op::Notify(c0)).unwrap();
+        b.push(t0, Op::NotifyAll(c1)).unwrap();
+        b.push(t1, Op::Acquire(m)).unwrap();
+        b.push_at(t1, Op::Wait(c0, m), Loc::new(7)).unwrap();
+        b.push(t1, Op::Read(VarId::new(0))).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        b.push(t0, Op::BarrierEnter(bar)).unwrap();
+        b.push(t1, Op::BarrierEnter(bar)).unwrap();
+        b.push(t0, Op::BarrierExit(bar)).unwrap();
+        b.push(t1, Op::BarrierExit(bar)).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn v2_ops_round_trip_and_write_a_v2_header() {
+        let tr = sync_trace();
+        let bytes = to_stb_bytes(&tr);
+        assert_eq!(bytes[4], STB_VERSION_2);
+        let reader = StbReader::new(&bytes[..]).unwrap();
+        let hint = reader.header().hint.expect("eager writes carry a hint");
+        assert_eq!(hint.condvars, 2);
+        assert_eq!(hint.barriers, 1);
+        assert_eq!(from_stb_bytes(&bytes).unwrap(), tr);
+    }
+
+    #[test]
+    fn v1_expressible_traces_still_write_v1_bytes() {
+        for (name, tr) in paper::all_figures() {
+            let bytes = to_stb_bytes(&tr);
+            assert_eq!(bytes[4], STB_VERSION, "{name} must stay v1");
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_across_chunk_sizes() {
+        let tr = RandomTraceSpec {
+            events: 600,
+            condvars: 2,
+            condvar_prob: 0.1,
+            barriers: 2,
+            barrier_prob: 0.05,
+            volatiles: 1,
+            volatile_prob: 0.05,
+            ..RandomTraceSpec::default()
+        }
+        .generate(5);
+        assert!(tr.num_condvars() > 0 && tr.num_barriers() > 0);
+        for chunk in [1, 3, 64, 4096] {
+            let mut w =
+                StbWriter::with_hint(Vec::new(), StbHint::of_trace(&tr)).chunk_events(chunk);
+            for e in tr.events() {
+                w.write(e).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            assert_eq!(bytes[4], STB_VERSION_2);
+            assert_eq!(from_stb_bytes(&bytes).expect("round trip"), tr, "{chunk}");
+        }
+    }
+
+    #[test]
+    fn adaptive_streaming_writer_upgrades_before_the_first_flush() {
+        let tr = sync_trace();
+        let mut w = StbWriter::new(Vec::new());
+        for e in tr.events() {
+            w.write(e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], STB_VERSION_2);
+        let events: Result<Vec<_>, _> = StbReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(events.unwrap(), tr.events());
+    }
+
+    #[test]
+    fn late_v2_op_after_a_v1_header_is_a_clear_error() {
+        use crate::CondId;
+        // Chunk size 1 flushes a v1 header with the first (v1) event.
+        let mut w = StbWriter::new(Vec::new()).chunk_events(1);
+        w.write(&Event::new(ThreadId::new(0), Op::Write(VarId::new(0))))
+            .unwrap();
+        let err = w
+            .write(&Event::new(ThreadId::new(0), Op::Notify(CondId::new(0))))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("StbWriter::v2"), "{err}");
+        // The pinned-v2 constructor handles the same stream fine.
+        let mut w = StbWriter::v2(Vec::new()).chunk_events(1);
+        w.write(&Event::new(ThreadId::new(0), Op::Write(VarId::new(0))))
+            .unwrap();
+        w.write(&Event::new(ThreadId::new(0), Op::Notify(CondId::new(0))))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], STB_VERSION_2);
+        assert_eq!(StbReader::new(&bytes[..]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn v2_tags_in_a_v1_stream_are_rejected_as_corrupt() {
+        // Hand-craft a v1 chunk whose head varint names tag 7 with a big
+        // delta — legal — then check a v2 stream decoding the same bytes
+        // yields different ops, proving the grammars are dispatched by
+        // version (a v1 reader shifted by 4, a v2 reader by 5).
+        let tr = sync_trace();
+        let mut bytes = to_stb_bytes(&tr);
+        // Flip the version byte of a v2 stream down to 1: the payload now
+        // parses under the 3-bit grammar and must NOT silently decode to
+        // the same events (usually it errors; a well-formed-but-different
+        // decode would break the hint count).
+        bytes[4] = STB_VERSION;
+        if let Ok(decoded) = from_stb_bytes(&bytes) {
+            assert_ne!(decoded, tr, "grammars must differ");
+        } // Err: expected — truncated hint / corrupt chunk under v1 rules.
     }
 }

@@ -2,7 +2,7 @@ use std::fmt;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Loc, LockId, VarId};
+use crate::{BarrierId, CondId, Loc, LockId, VarId};
 
 /// Index of an event within a [`Trace`](crate::Trace).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,7 +44,10 @@ impl fmt::Display for EventId {
 ///
 /// The paper's core model has `rd`, `wr`, `acq`, `rel` (§2.1); `fork`, `join`
 /// and volatile accesses are the additional synchronization primitives every
-/// evaluated analysis supports (§5.1).
+/// evaluated analysis supports (§5.1). Condition-variable `wait`/`notify`
+/// and barrier rendezvous round out the synchronization idioms of the
+/// evaluated DaCapo-class programs; their precise trace semantics are
+/// documented in `docs/ARCHITECTURE.md` ("Synchronization model").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `rd(x)` — read the shared variable `x`.
@@ -63,6 +66,22 @@ pub enum Op {
     VolatileRead(VarId),
     /// Write of a volatile variable (synchronization access, §5.1).
     VolatileWrite(VarId),
+    /// `wait(c, m)` — a completed wait on condition variable `c` whose
+    /// monitor is `m`: an atomic release-and-reacquire of `m`, ordered
+    /// after the notifies on `c` seen so far. The executing thread must
+    /// hold `m` and still holds it afterwards.
+    Wait(CondId, LockId),
+    /// `ntf(c)` — notify one waiter on `c` (publishes the notifier's time).
+    Notify(CondId),
+    /// `nfa(c)` — notify all waiters on `c` (same ordering effect as
+    /// [`Op::Notify`]; kept distinct for trace fidelity).
+    NotifyAll(CondId),
+    /// `bent(b)` — enter barrier `b` (publishes the arriving thread's time
+    /// into the round's rendezvous clock).
+    BarrierEnter(BarrierId),
+    /// `bext(b)` — exit barrier `b` (ordered after every enter of the same
+    /// round: the all-to-all release/acquire of the rendezvous).
+    BarrierExit(BarrierId),
 }
 
 impl Op {
@@ -117,6 +136,11 @@ impl fmt::Display for Op {
             Op::Join(t) => write!(f, "join({t})"),
             Op::VolatileRead(v) => write!(f, "vrd({v})"),
             Op::VolatileWrite(v) => write!(f, "vwr({v})"),
+            Op::Wait(c, m) => write!(f, "wait({c},{m})"),
+            Op::Notify(c) => write!(f, "ntf({c})"),
+            Op::NotifyAll(c) => write!(f, "nfa({c})"),
+            Op::BarrierEnter(b) => write!(f, "bent({b})"),
+            Op::BarrierExit(b) => write!(f, "bext({b})"),
         }
     }
 }

@@ -18,7 +18,7 @@ use std::fmt;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, Loc, LockId, Op, Trace, TraceError, VarId};
+use crate::{BarrierId, CondId, Event, Loc, LockId, Op, Trace, TraceError, VarId};
 
 /// Error from [`parse`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,6 +83,11 @@ fn render_event(out: &mut String, e: &Event) {
         Op::Join(t) => write!(out, "T{} join T{}", e.tid.raw(), t.raw()),
         Op::VolatileRead(v) => write!(out, "T{} vrd v{}", e.tid.raw(), v.raw()),
         Op::VolatileWrite(v) => write!(out, "T{} vwr v{}", e.tid.raw(), v.raw()),
+        Op::Wait(c, m) => write!(out, "T{} wait c{} m{}", e.tid.raw(), c.raw(), m.raw()),
+        Op::Notify(c) => write!(out, "T{} ntf c{}", e.tid.raw(), c.raw()),
+        Op::NotifyAll(c) => write!(out, "T{} nfa c{}", e.tid.raw(), c.raw()),
+        Op::BarrierEnter(b) => write!(out, "T{} bent b{}", e.tid.raw(), b.raw()),
+        Op::BarrierExit(b) => write!(out, "T{} bext b{}", e.tid.raw(), b.raw()),
     };
     if !e.loc.is_unknown() {
         let _ = write!(out, " @L{}", e.loc.raw());
@@ -149,6 +154,18 @@ pub fn parse(text: &str) -> Result<Trace, ParseError> {
             "join" => Op::Join(ThreadId::new(parse_prefixed(arg_tok, 'T', line_no)?)),
             "vrd" => Op::VolatileRead(VarId::new(parse_prefixed(arg_tok, 'v', line_no)?)),
             "vwr" => Op::VolatileWrite(VarId::new(parse_prefixed(arg_tok, 'v', line_no)?)),
+            "wait" => {
+                let c = CondId::new(parse_prefixed(arg_tok, 'c', line_no)?);
+                let m_tok = parts.next().ok_or_else(|| ParseError::BadLine {
+                    line: line_no,
+                    message: "wait needs a monitor operand (`wait c<n> m<n>`)".into(),
+                })?;
+                Op::Wait(c, LockId::new(parse_prefixed(m_tok, 'm', line_no)?))
+            }
+            "ntf" => Op::Notify(CondId::new(parse_prefixed(arg_tok, 'c', line_no)?)),
+            "nfa" => Op::NotifyAll(CondId::new(parse_prefixed(arg_tok, 'c', line_no)?)),
+            "bent" => Op::BarrierEnter(BarrierId::new(parse_prefixed(arg_tok, 'b', line_no)?)),
+            "bext" => Op::BarrierExit(BarrierId::new(parse_prefixed(arg_tok, 'b', line_no)?)),
             other => {
                 return Err(ParseError::BadLine {
                     line: line_no,
@@ -267,11 +284,31 @@ mod tests {
                 volatile_prob: 0.1,
                 fork_join: true,
                 events: 300,
+                condvars: 2,
+                condvar_prob: 0.05,
+                barriers: 1,
+                barrier_prob: 0.02,
                 ..RandomTraceSpec::default()
             }
             .generate(seed);
             assert_eq!(parse(&render(&tr)).unwrap(), tr);
         }
+    }
+
+    #[test]
+    fn condvar_and_barrier_ops_round_trip() {
+        let text = "T0 acq m0\nT1 ntf c0\nT1 nfa c1\nT0 wait c0 m0\nT0 rel m0\n\
+                    T0 bent b0\nT1 bent b0\nT0 bext b0\nT1 bext b0\n";
+        let tr = parse(text).expect("parses");
+        assert_eq!(tr.num_condvars(), 2);
+        assert_eq!(tr.num_barriers(), 1);
+        assert_eq!(parse(&render(&tr)).unwrap(), tr);
+    }
+
+    #[test]
+    fn wait_without_monitor_operand_is_a_bad_line() {
+        let err = parse("T0 acq m0\nT0 wait c0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 2, .. }), "{err}");
     }
 }
 

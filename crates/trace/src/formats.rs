@@ -50,7 +50,7 @@ use std::fmt;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, Loc, LockId, Op, Trace, TraceBuilder, TraceError, VarId};
+use crate::{BarrierId, CondId, Event, Loc, LockId, Op, Trace, TraceBuilder, TraceError, VarId};
 
 /// Error from the interchange-format parsers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -143,6 +143,8 @@ struct Interners {
     vars: Interner,
     locks: Interner,
     volatiles: Interner,
+    condvars: Interner,
+    barriers: Interner,
 }
 
 fn event_from_parts(
@@ -163,6 +165,22 @@ fn event_from_parts(
         "join" => Op::Join(ThreadId::new(interners.threads.resolve(target, 't'))),
         "vr" => Op::VolatileRead(VarId::new(interners.volatiles.resolve(target, 'v'))),
         "vw" => Op::VolatileWrite(VarId::new(interners.volatiles.resolve(target, 'v'))),
+        "wait" => {
+            // Wait has two operands, `<condvar>;<monitor>` (semicolon, so the
+            // pair survives the CSV format's comma-separated fields).
+            let (c, m) = target.split_once(';').ok_or_else(|| FormatError::BadLine {
+                line,
+                message: format!("wait wants `wait(C<n>;L<n>)`, got `{target}`"),
+            })?;
+            Op::Wait(
+                CondId::new(interners.condvars.resolve(c.trim(), 'c')),
+                LockId::new(interners.locks.resolve(m.trim(), 'l')),
+            )
+        }
+        "notify" => Op::Notify(CondId::new(interners.condvars.resolve(target, 'c'))),
+        "notifyall" => Op::NotifyAll(CondId::new(interners.condvars.resolve(target, 'c'))),
+        "benter" => Op::BarrierEnter(BarrierId::new(interners.barriers.resolve(target, 'b'))),
+        "bexit" => Op::BarrierExit(BarrierId::new(interners.barriers.resolve(target, 'b'))),
         other => {
             return Err(FormatError::BadLine {
                 line,
@@ -256,6 +274,11 @@ fn std_op(op: &Op) -> (&'static str, String) {
         Op::Join(t) => ("join", format!("T{}", t.raw())),
         Op::VolatileRead(v) => ("vr", format!("V{}", v.raw())),
         Op::VolatileWrite(v) => ("vw", format!("V{}", v.raw())),
+        Op::Wait(c, m) => ("wait", format!("C{};L{}", c.raw(), m.raw())),
+        Op::Notify(c) => ("notify", format!("C{}", c.raw())),
+        Op::NotifyAll(c) => ("notifyall", format!("C{}", c.raw())),
+        Op::BarrierEnter(b) => ("benter", format!("B{}", b.raw())),
+        Op::BarrierExit(b) => ("bexit", format!("B{}", b.raw())),
     }
 }
 
@@ -699,6 +722,40 @@ mod tests {
             assert_eq!(parse_std(&render_std(&tr)).expect("round trip"), tr);
             assert_eq!(parse_csv(&render_csv(&tr)).expect("round trip"), tr);
         }
+    }
+
+    #[test]
+    fn condvar_and_barrier_ops_round_trip_all_formats() {
+        use crate::gen::RandomTraceSpec;
+        for seed in 0..6 {
+            let tr = RandomTraceSpec::tiny_sync().generate(seed);
+            for format in [
+                TraceFormat::Native,
+                TraceFormat::Std,
+                TraceFormat::Csv,
+                TraceFormat::Stb,
+            ] {
+                let bytes = render_bytes(&tr, format);
+                assert_eq!(
+                    parse_bytes(&bytes, format).expect("round trip"),
+                    tr,
+                    "{format} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wait_target_uses_a_semicolon_pair() {
+        let tr = parse_std("T0|acq(L0)|1\nT1|notify(C0)|2\nT0|wait(C0;L0)|3\nT0|rel(L0)|4\n")
+            .expect("parses");
+        assert_eq!(tr.num_condvars(), 1);
+        assert!(render_std(&tr).contains("wait(C0;L0)"));
+        // CSV keeps its comma-separated fields intact.
+        let csv = render_csv(&tr);
+        assert_eq!(parse_csv(&csv).unwrap(), tr);
+        let err = parse_std("T0|acq(L0)|1\nT0|wait(C0)|2\n").unwrap_err();
+        assert!(matches!(err, FormatError::BadLine { line: 2, .. }), "{err}");
     }
 
     #[test]

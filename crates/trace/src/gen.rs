@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smarttrack_clock::ThreadId;
 
-use crate::{Loc, LockId, Op, Trace, TraceBuilder, VarId};
+use crate::{BarrierId, CondId, Loc, LockId, Op, Trace, TraceBuilder, VarId};
 
 /// Parameters for random trace generation.
 ///
@@ -63,6 +63,18 @@ pub struct RandomTraceSpec {
     pub fork_join: bool,
     /// Number of distinct static program locations to attribute accesses to.
     pub locs: u32,
+    /// Number of condition variables (0 disables condvar events).
+    pub condvars: u32,
+    /// Probability a step performs a condvar operation: a `wait` on the
+    /// innermost held lock when the thread holds one, otherwise a
+    /// `notify`/`notifyAll`.
+    pub condvar_prob: f64,
+    /// Number of barriers (0 disables barrier events).
+    pub barriers: u32,
+    /// Probability a step emits a whole barrier *round*: a random subset of
+    /// threads enters (in random order) and then exits (in random order),
+    /// keeping the parties of every round matched by construction.
+    pub barrier_prob: f64,
 }
 
 impl Default for RandomTraceSpec {
@@ -82,6 +94,10 @@ impl Default for RandomTraceSpec {
             var_skew: 1.0,
             fork_join: false,
             locs: 40,
+            condvars: 0,
+            condvar_prob: 0.0,
+            barriers: 0,
+            barrier_prob: 0.0,
         }
     }
 }
@@ -105,6 +121,22 @@ impl RandomTraceSpec {
             var_skew: 1.0,
             fork_join: false,
             locs: 12,
+            condvars: 0,
+            condvar_prob: 0.0,
+            barriers: 0,
+            barrier_prob: 0.0,
+        }
+    }
+
+    /// The tiny preset with condvar and barrier events mixed in, for
+    /// oracle-checkable synchronization-heavy traces.
+    pub fn tiny_sync() -> Self {
+        RandomTraceSpec {
+            condvars: 2,
+            condvar_prob: 0.15,
+            barriers: 1,
+            barrier_prob: 0.06,
+            ..RandomTraceSpec::tiny()
         }
     }
 
@@ -186,6 +218,51 @@ impl RandomTraceSpec {
                     Op::VolatileWrite(v)
                 };
                 b.push_at(tid, op, loc).expect("volatiles are well-formed");
+            } else if roll
+                < self.acquire_prob + self.release_prob + self.volatile_prob + self.condvar_prob
+                && self.condvars > 0
+            {
+                let c = CondId::new(rng.gen_range(0..self.condvars));
+                // A wait needs a held monitor; threads holding none notify.
+                let op = match held[ti].last() {
+                    Some(&m) if rng.gen_bool(0.5) => Op::Wait(c, m),
+                    _ if rng.gen_bool(0.5) => Op::Notify(c),
+                    _ => Op::NotifyAll(c),
+                };
+                b.push_at(tid, op, loc)
+                    .expect("condvar events are well-formed");
+            } else if roll
+                < self.acquire_prob
+                    + self.release_prob
+                    + self.volatile_prob
+                    + self.condvar_prob
+                    + self.barrier_prob
+                && self.barriers > 0
+                && nthreads >= 2
+            {
+                // Emit a whole rendezvous round: a random subset of threads
+                // enters in random order, then exits in random order, so the
+                // parties of every round match by construction.
+                let bar = BarrierId::new(rng.gen_range(0..self.barriers));
+                let k = rng.gen_range(2..=nthreads);
+                let mut parties: Vec<u32> = (0..nthreads as u32).collect();
+                for i in (1..parties.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    parties.swap(i, j);
+                }
+                parties.truncate(k);
+                for &p in &parties {
+                    b.push_at(ThreadId::new(p), Op::BarrierEnter(bar), loc)
+                        .expect("round enters are well-formed");
+                }
+                for i in (1..parties.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    parties.swap(i, j);
+                }
+                for &p in &parties {
+                    b.push_at(ThreadId::new(p), Op::BarrierExit(bar), loc)
+                        .expect("round exits are well-formed");
+                }
             } else {
                 let var = self.pick_var(&mut rng);
                 let len = 1 + rng.gen_range(0..=(2 * self.mean_burst.max(1)).saturating_sub(1));

@@ -73,6 +73,79 @@ impl fmt::Display for LockId {
     }
 }
 
+/// Identifier of a condition variable (a `java.lang.Object` monitor used for
+/// `wait`/`notify`, or an explicit `Condition`, in the paper's Java setting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondId(u32);
+
+impl CondId {
+    /// Creates a condition-variable id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        CondId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for CondId {
+    fn from(i: u32) -> Self {
+        CondId(i)
+    }
+}
+
+impl fmt::Display for CondId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a barrier (a `CyclicBarrier`-style all-to-all rendezvous).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BarrierId(u32);
+
+impl BarrierId {
+    /// Creates a barrier id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        BarrierId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for BarrierId {
+    fn from(i: u32) -> Self {
+        BarrierId(i)
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
 /// A static program location (source site) of an access.
 ///
 /// The paper counts *statically distinct races* by the program location that

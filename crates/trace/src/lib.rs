@@ -53,7 +53,7 @@ pub mod paper;
 pub mod stats;
 
 pub use event::{Event, EventId, Op};
-pub use ids::{Loc, LockId, VarId};
+pub use ids::{BarrierId, CondId, Loc, LockId, VarId};
 pub use smarttrack_clock::ThreadId;
 pub use trace::{Trace, TraceBuilder, TraceError};
 pub use validate::StreamValidator;

@@ -139,7 +139,15 @@ impl TraceStats {
                     live[child.index()] = false;
                     joined[child.index()] = true;
                 }
-                Op::VolatileRead(_) | Op::VolatileWrite(_) => {
+                Op::VolatileRead(_)
+                | Op::VolatileWrite(_)
+                | Op::Wait(..)
+                | Op::Notify(_)
+                | Op::NotifyAll(_)
+                | Op::BarrierEnter(_)
+                | Op::BarrierExit(_) => {
+                    // Wait keeps its monitor held (atomic release-and-
+                    // reacquire), so the held-lock set is unchanged.
                     stats.sync_count += 1;
                     sync_epoch[ti] += 1;
                 }

@@ -5,7 +5,7 @@ use std::ops::Index;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, EventId, Loc, LockId, Op, StreamValidator, VarId};
+use crate::{BarrierId, Event, EventId, Loc, LockId, Op, StreamValidator, VarId};
 
 /// Error produced when an event sequence violates trace well-formedness
 /// (paper §2.1: "a thread only acquires a lock that is not held and only
@@ -53,6 +53,43 @@ pub enum TraceError {
         /// The thread.
         tid: ThreadId,
     },
+    /// A thread waited on a condition variable without holding its monitor.
+    WaitWithoutLock {
+        /// Index of the offending event.
+        at: usize,
+        /// Waiting thread.
+        tid: ThreadId,
+        /// The monitor it does not hold.
+        lock: LockId,
+    },
+    /// A thread entered a barrier it is already inside (no exit between).
+    BarrierReenter {
+        /// Index of the offending event.
+        at: usize,
+        /// The thread.
+        tid: ThreadId,
+        /// The barrier.
+        barrier: BarrierId,
+    },
+    /// A thread entered a barrier while the previous round was still
+    /// draining (parties of a round must all exit before the next gathers).
+    BarrierEnterWhileDraining {
+        /// Index of the offending event.
+        at: usize,
+        /// The thread.
+        tid: ThreadId,
+        /// The barrier.
+        barrier: BarrierId,
+    },
+    /// A thread exited a barrier round it never entered (or exited twice).
+    BarrierExitWithoutEnter {
+        /// Index of the offending event.
+        at: usize,
+        /// The thread.
+        tid: ThreadId,
+        /// The barrier.
+        barrier: BarrierId,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -78,6 +115,21 @@ impl fmt::Display for TraceError {
             }
             TraceError::SelfForkJoin { at, tid } => {
                 write!(f, "event {at}: {tid} forks or joins itself")
+            }
+            TraceError::WaitWithoutLock { at, tid, lock } => {
+                write!(f, "event {at}: {tid} waits without holding monitor {lock}")
+            }
+            TraceError::BarrierReenter { at, tid, barrier } => {
+                write!(f, "event {at}: {tid} re-enters {barrier} without exiting")
+            }
+            TraceError::BarrierEnterWhileDraining { at, tid, barrier } => {
+                write!(
+                    f,
+                    "event {at}: {tid} enters {barrier} before the previous round drained"
+                )
+            }
+            TraceError::BarrierExitWithoutEnter { at, tid, barrier } => {
+                write!(f, "event {at}: {tid} exits {barrier} it is not inside")
             }
         }
     }
@@ -116,6 +168,8 @@ pub struct Trace {
     num_vars: usize,
     num_locks: usize,
     num_volatiles: usize,
+    num_condvars: usize,
+    num_barriers: usize,
 }
 
 impl Trace {
@@ -166,6 +220,18 @@ impl Trace {
     #[inline]
     pub fn num_volatiles(&self) -> usize {
         self.num_volatiles
+    }
+
+    /// Number of distinct condition variables (max index + 1).
+    #[inline]
+    pub fn num_condvars(&self) -> usize {
+        self.num_condvars
+    }
+
+    /// Number of distinct barriers (max index + 1).
+    #[inline]
+    pub fn num_barriers(&self) -> usize {
+        self.num_barriers
     }
 
     /// The events in trace order.
@@ -329,6 +395,8 @@ impl TraceBuilder {
             num_vars: self.validator.num_vars(),
             num_locks: self.validator.num_locks(),
             num_volatiles: self.validator.num_volatiles(),
+            num_condvars: self.validator.num_condvars(),
+            num_barriers: self.validator.num_barriers(),
         }
     }
 
@@ -345,6 +413,8 @@ impl TraceBuilder {
             num_vars: self.validator.num_vars(),
             num_locks: self.validator.num_locks(),
             num_volatiles: self.validator.num_volatiles(),
+            num_condvars: self.validator.num_condvars(),
+            num_barriers: self.validator.num_barriers(),
         }
     }
 
@@ -360,6 +430,8 @@ impl TraceBuilder {
             num_vars: self.validator.num_vars(),
             num_locks: self.validator.num_locks(),
             num_volatiles: self.validator.num_volatiles(),
+            num_condvars: self.validator.num_condvars(),
+            num_barriers: self.validator.num_barriers(),
         };
         let result = f(&trace);
         self.events = trace.events;

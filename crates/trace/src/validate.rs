@@ -11,7 +11,19 @@ use std::collections::HashMap;
 
 use smarttrack_clock::ThreadId;
 
-use crate::{Event, EventId, LockId, Op, TraceError};
+use crate::{BarrierId, Event, EventId, LockId, Op, TraceError};
+
+/// Per-barrier party accounting for the round rules (see [`Op::BarrierEnter`]):
+/// a round *gathers* entering threads until the first exit, then *drains* —
+/// every gathered thread must exit exactly once before anyone may enter
+/// again, so the parties of each round match.
+#[derive(Clone, Debug, Default)]
+struct BarrierParties {
+    /// Threads that entered the current round (in entry order).
+    entered: Vec<ThreadId>,
+    /// Threads of the round that have exited so far (non-empty = draining).
+    exited: Vec<ThreadId>,
+}
 
 /// Incremental well-formedness checker over an event stream.
 ///
@@ -37,6 +49,7 @@ use crate::{Event, EventId, LockId, Op, TraceError};
 #[derive(Clone, Debug, Default)]
 pub struct StreamValidator {
     lock_holder: HashMap<LockId, ThreadId>,
+    barriers: HashMap<BarrierId, BarrierParties>,
     started: Vec<bool>,
     forked: Vec<bool>,
     joined: Vec<bool>,
@@ -45,6 +58,8 @@ pub struct StreamValidator {
     num_vars: usize,
     num_locks: usize,
     num_volatiles: usize,
+    num_condvars: usize,
+    num_barriers: usize,
 }
 
 impl StreamValidator {
@@ -119,7 +134,55 @@ impl StreamValidator {
                     return Err(TraceError::InvalidJoin { at, target: child });
                 }
             }
-            Op::Read(_) | Op::Write(_) | Op::VolatileRead(_) | Op::VolatileWrite(_) => {}
+            Op::Wait(_, m) => {
+                // Wait is an atomic release-and-reacquire of the monitor:
+                // the thread must hold it (and still holds it afterwards).
+                if self.lock_holder.get(&m) != Some(&e.tid) {
+                    return Err(TraceError::WaitWithoutLock {
+                        at,
+                        tid: e.tid,
+                        lock: m,
+                    });
+                }
+            }
+            Op::BarrierEnter(b) => {
+                if let Some(parties) = self.barriers.get(&b) {
+                    if !parties.exited.is_empty() {
+                        // Draining: the previous round's parties must all
+                        // exit before a new round may gather.
+                        return Err(TraceError::BarrierEnterWhileDraining {
+                            at,
+                            tid: e.tid,
+                            barrier: b,
+                        });
+                    }
+                    if parties.entered.contains(&e.tid) {
+                        return Err(TraceError::BarrierReenter {
+                            at,
+                            tid: e.tid,
+                            barrier: b,
+                        });
+                    }
+                }
+            }
+            Op::BarrierExit(b) => {
+                let pending = self.barriers.get(&b).is_some_and(|parties| {
+                    parties.entered.contains(&e.tid) && !parties.exited.contains(&e.tid)
+                });
+                if !pending {
+                    return Err(TraceError::BarrierExitWithoutEnter {
+                        at,
+                        tid: e.tid,
+                        barrier: b,
+                    });
+                }
+            }
+            Op::Read(_)
+            | Op::Write(_)
+            | Op::VolatileRead(_)
+            | Op::VolatileWrite(_)
+            | Op::Notify(_)
+            | Op::NotifyAll(_) => {}
         }
         // Admission phase: the event is valid, record its effects.
         self.mark_thread(e.tid);
@@ -145,6 +208,28 @@ impl StreamValidator {
             Op::Join(child) => {
                 self.mark_thread(child);
                 self.joined[child.index()] = true;
+            }
+            Op::Wait(c, m) => {
+                // The monitor stays held; only the id-space bounds widen.
+                self.num_condvars = self.num_condvars.max(c.index() + 1);
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::Notify(c) | Op::NotifyAll(c) => {
+                self.num_condvars = self.num_condvars.max(c.index() + 1);
+            }
+            Op::BarrierEnter(b) => {
+                self.barriers.entry(b).or_default().entered.push(e.tid);
+                self.num_barriers = self.num_barriers.max(b.index() + 1);
+            }
+            Op::BarrierExit(b) => {
+                let parties = self.barriers.get_mut(&b).expect("validated above");
+                parties.exited.push(e.tid);
+                if parties.exited.len() == parties.entered.len() {
+                    // Round complete: parties matched, a new round may gather.
+                    parties.entered.clear();
+                    parties.exited.clear();
+                }
+                self.num_barriers = self.num_barriers.max(b.index() + 1);
             }
         }
         self.started[e.tid.index()] = true;
@@ -181,6 +266,16 @@ impl StreamValidator {
     pub fn num_volatiles(&self) -> usize {
         self.num_volatiles
     }
+
+    /// Number of distinct condition variables seen (max index + 1).
+    pub fn num_condvars(&self) -> usize {
+        self.num_condvars
+    }
+
+    /// Number of distinct barriers seen (max index + 1).
+    pub fn num_barriers(&self) -> usize {
+        self.num_barriers
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +311,67 @@ mod tests {
         // And then acquired by the other thread.
         v.admit(&Event::new(t(1), Op::Acquire(LockId::new(0))))
             .unwrap();
+    }
+
+    #[test]
+    fn wait_requires_the_monitor_held() {
+        use crate::{CondId, TraceError};
+        let c = CondId::new(0);
+        let m = LockId::new(0);
+        let mut v = StreamValidator::new();
+        assert!(matches!(
+            v.admit(&Event::new(t(0), Op::Wait(c, m))),
+            Err(TraceError::WaitWithoutLock { .. })
+        ));
+        v.admit(&Event::new(t(0), Op::Acquire(m))).unwrap();
+        // Another thread holding is not enough.
+        assert!(v.admit(&Event::new(t(1), Op::Wait(c, m))).is_err());
+        v.admit(&Event::new(t(0), Op::Wait(c, m))).unwrap();
+        // The monitor stays held across the wait.
+        v.admit(&Event::new(t(0), Op::Release(m))).unwrap();
+        assert_eq!(v.num_condvars(), 1);
+    }
+
+    #[test]
+    fn notify_needs_no_lock() {
+        let mut v = StreamValidator::new();
+        v.admit(&Event::new(t(0), Op::Notify(crate::CondId::new(3))))
+            .unwrap();
+        v.admit(&Event::new(t(1), Op::NotifyAll(crate::CondId::new(1))))
+            .unwrap();
+        assert_eq!(v.num_condvars(), 4);
+    }
+
+    #[test]
+    fn barrier_round_parties_must_match() {
+        use crate::{BarrierId, TraceError};
+        let b = BarrierId::new(0);
+        let mut v = StreamValidator::new();
+        // Exit without enter.
+        assert!(matches!(
+            v.admit(&Event::new(t(0), Op::BarrierExit(b))),
+            Err(TraceError::BarrierExitWithoutEnter { .. })
+        ));
+        v.admit(&Event::new(t(0), Op::BarrierEnter(b))).unwrap();
+        // Double enter.
+        assert!(matches!(
+            v.admit(&Event::new(t(0), Op::BarrierEnter(b))),
+            Err(TraceError::BarrierReenter { .. })
+        ));
+        v.admit(&Event::new(t(1), Op::BarrierEnter(b))).unwrap();
+        v.admit(&Event::new(t(0), Op::BarrierExit(b))).unwrap();
+        // Draining: a new enter must wait for the round to finish.
+        assert!(matches!(
+            v.admit(&Event::new(t(2), Op::BarrierEnter(b))),
+            Err(TraceError::BarrierEnterWhileDraining { .. })
+        ));
+        // Double exit.
+        assert!(v.admit(&Event::new(t(0), Op::BarrierExit(b))).is_err());
+        v.admit(&Event::new(t(1), Op::BarrierExit(b))).unwrap();
+        // Round drained: fresh rounds (with different parties) may gather.
+        v.admit(&Event::new(t(2), Op::BarrierEnter(b))).unwrap();
+        v.admit(&Event::new(t(2), Op::BarrierExit(b))).unwrap();
+        assert_eq!(v.num_barriers(), 1);
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub struct PredictableRaceOracle<'a> {
     projections: Vec<Vec<EventId>>,
     last_writers: HashMap<EventId, Option<EventId>>,
     vol_last_writers: HashMap<EventId, Option<EventId>>,
+    /// Position of each event within its thread's projection (indexed by
+    /// event index), for O(1) executed-yet checks.
+    proj_pos: Vec<usize>,
+    /// Per wait event: the notifies that must have executed first; per
+    /// barrier exit: the enters of its round (see
+    /// [`crate::witness::sync_prereqs`] — a correct reordering preserves a
+    /// wait's wake-up causes and a rendezvous' release condition).
+    sync_prereqs: HashMap<EventId, Vec<EventId>>,
     /// Maximum explored states before giving up.
     state_budget: usize,
 }
@@ -89,7 +97,7 @@ struct State {
 impl<'a> PredictableRaceOracle<'a> {
     /// Prepares the oracle (default budget: 500 000 states).
     pub fn new(trace: &'a Trace) -> Self {
-        let projections = (0..trace.num_threads())
+        let projections: Vec<Vec<EventId>> = (0..trace.num_threads())
             .map(|t| trace.thread_projection(ThreadId::new(t as u32)))
             .collect();
         let mut vol_last_writers = HashMap::new();
@@ -107,13 +115,32 @@ impl<'a> PredictableRaceOracle<'a> {
                 }
             }
         }
+        let mut proj_pos = vec![0usize; trace.len()];
+        for proj in &projections {
+            for (pos, &id) in proj.iter().enumerate() {
+                proj_pos[id.index()] = pos;
+            }
+        }
+        let (wait_prereqs, exit_prereqs) = crate::witness::sync_prereqs(trace);
+        let mut sync_prereqs = wait_prereqs;
+        sync_prereqs.extend(exit_prereqs);
         PredictableRaceOracle {
             trace,
             projections,
             last_writers: trace.last_writers(),
             vol_last_writers,
+            proj_pos,
+            sync_prereqs,
             state_budget: 500_000,
         }
+    }
+
+    /// Whether `id` has already executed in `state` (its thread consumed
+    /// past its projection position).
+    #[inline]
+    fn executed(&self, state: &State, id: EventId) -> bool {
+        let tid = self.trace.event(id).tid;
+        state.positions[tid.index()] > self.proj_pos[id.index()]
     }
 
     /// Overrides the state budget.
@@ -360,6 +387,21 @@ impl<'a> PredictableRaceOracle<'a> {
                     == state.vol_last_writer[v.index()]
             }
             Op::VolatileWrite(_) => true,
+            // A wait needs its wake-up causes (the notifies that preceded
+            // it in the observed trace); a barrier exit needs every enter
+            // of its observed round — mirroring the clock analyses, where
+            // wait joins the notify clock and exit joins the rendezvous
+            // clock. The wait's monitor is necessarily held by its own
+            // thread already (its acquire is PO-earlier) and wait is an
+            // atomic release-and-reacquire, so no lock condition applies.
+            // Notifies and enters never block: notify is publish-only, and
+            // an enter is the *arrival* at the rendezvous (the blocking is
+            // modeled at the exit).
+            Op::Wait(..) | Op::BarrierExit(_) => self
+                .sync_prereqs
+                .get(&id)
+                .is_none_or(|pre| pre.iter().all(|&p| self.executed(state, p))),
+            Op::Notify(_) | Op::NotifyAll(_) | Op::BarrierEnter(_) => true,
         };
         // Additionally: a forked thread's first event requires its fork to
         // have executed.

@@ -113,6 +113,11 @@ struct Vindicator<'a> {
     support: HashSet<EventId>,
     /// Ordering edges over `support ∪ {e1, e2}`.
     edges: HashMap<EventId, Vec<EventId>>,
+    /// Per wait: the notifies that must precede it; per barrier exit: the
+    /// enters of its round (see [`crate::witness::sync_prereqs`]). Kept
+    /// events pull their prerequisites into the support and get edges from
+    /// them, exactly like last-writer dependencies.
+    sync_prereqs: HashMap<EventId, Vec<EventId>>,
 }
 
 impl<'a> Vindicator<'a> {
@@ -137,6 +142,9 @@ impl<'a> Vindicator<'a> {
                 _ => {}
             }
         }
+        let (wait_prereqs, exit_prereqs) = crate::witness::sync_prereqs(trace);
+        let mut sync_prereqs = wait_prereqs;
+        sync_prereqs.extend(exit_prereqs);
         Vindicator {
             trace,
             e1,
@@ -147,6 +155,7 @@ impl<'a> Vindicator<'a> {
             forks,
             support: HashSet::new(),
             edges: HashMap::new(),
+            sync_prereqs,
         }
     }
 
@@ -234,6 +243,11 @@ impl<'a> Vindicator<'a> {
             if let Some(w) = self.required_writer(id) {
                 work.push_back(w);
             }
+            if let Some(pre) = self.sync_prereqs.get(&id) {
+                // A kept wait needs its notifies; a kept barrier exit needs
+                // its round's enters.
+                work.extend(pre.iter().copied());
+            }
             let e = self.trace.event(id);
             if let Some(&f) = self.forks.get(&e.tid) {
                 work.push_back(f);
@@ -316,6 +330,14 @@ impl<'a> Vindicator<'a> {
                 if let Some(&last) = self.projections[u.index()].last() {
                     if self.support.contains(&last) {
                         self.add_edge(last, id);
+                    }
+                }
+            }
+            // Notify → wait and enter → barrier-exit edges.
+            if let Some(pre) = self.sync_prereqs.get(&id) {
+                for p in pre.clone() {
+                    if self.support.contains(&p) {
+                        self.add_edge(p, id);
                     }
                 }
             }

@@ -6,6 +6,71 @@ use std::fmt;
 
 use smarttrack_trace::{EventId, Op, Trace, TraceBuilder, VarId};
 
+/// The notifies on each condvar that precede each wait in the original
+/// trace (the wait's wake-up causes), and the enter events of each barrier
+/// exit's round. Shared precomputation for the §2.2-style condvar/barrier
+/// conditions.
+///
+/// Per wait, only each thread's **latest** preceding notify is recorded:
+/// a thread's notifies execute in program order, and the prefix property
+/// every consumer enforces (witness per-thread prefixes; the oracle's
+/// per-thread positions) makes "the latest is placed" imply every earlier
+/// one is too — so the list is bounded by the thread count instead of
+/// growing with notify traffic (the same PO-dominance the DC graph
+/// recorder's `last_notify` uses).
+pub(crate) fn sync_prereqs(
+    trace: &Trace,
+) -> (
+    HashMap<EventId, Vec<EventId>>,
+    HashMap<EventId, Vec<EventId>>,
+) {
+    // Per condvar: the latest notify per notifying thread.
+    let mut notifies_by_cond: HashMap<u32, Vec<(u32, EventId)>> = HashMap::new();
+    let mut wait_prereqs: HashMap<EventId, Vec<EventId>> = HashMap::new();
+    // Per barrier: enters of the currently gathering round, and (once
+    // sealed) of the draining round with its remaining-exit count.
+    let mut gather: HashMap<u32, Vec<EventId>> = HashMap::new();
+    let mut draining: HashMap<u32, (Vec<EventId>, usize)> = HashMap::new();
+    let mut exit_prereqs: HashMap<EventId, Vec<EventId>> = HashMap::new();
+    for (id, e) in trace.iter() {
+        match e.op {
+            Op::Notify(c) | Op::NotifyAll(c) => {
+                let latest = notifies_by_cond.entry(c.raw()).or_default();
+                match latest.iter_mut().find(|(u, _)| *u == e.tid.raw()) {
+                    Some(entry) => entry.1 = id,
+                    None => latest.push((e.tid.raw(), id)),
+                }
+            }
+            Op::Wait(c, _) => {
+                wait_prereqs.insert(
+                    id,
+                    notifies_by_cond
+                        .get(&c.raw())
+                        .map(|latest| latest.iter().map(|&(_, n)| n).collect())
+                        .unwrap_or_default(),
+                );
+            }
+            Op::BarrierEnter(b) => {
+                gather.entry(b.raw()).or_default().push(id);
+            }
+            Op::BarrierExit(b) => {
+                let (open, remaining) = draining.entry(b.raw()).or_insert_with(|| {
+                    let enters = gather.remove(&b.raw()).unwrap_or_default();
+                    let parties = enters.len();
+                    (enters, parties)
+                });
+                exit_prereqs.insert(id, open.clone());
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    draining.remove(&b.raw());
+                }
+            }
+            _ => {}
+        }
+    }
+    (wait_prereqs, exit_prereqs)
+}
+
 /// Why a candidate witness is not a valid predicted trace exposing a race.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WitnessError {
@@ -29,6 +94,22 @@ pub enum WitnessError {
     BadRacingPair,
     /// A `join` appears although the joined thread has remaining events.
     JoinBeforeTermination(EventId),
+    /// A `wait` appears before a notify that preceded it in the original
+    /// trace (its wake-up cause would be missing).
+    NotifyMissing {
+        /// The wait.
+        wait: EventId,
+        /// The missing original notify.
+        notify: EventId,
+    },
+    /// A barrier exit appears before some enter of its original round (the
+    /// rendezvous would not have released yet).
+    BarrierRoundBroken {
+        /// The exit.
+        exit: EventId,
+        /// The missing enter of its round.
+        enter: EventId,
+    },
 }
 
 impl fmt::Display for WitnessError {
@@ -51,6 +132,12 @@ impl fmt::Display for WitnessError {
             WitnessError::JoinBeforeTermination(e) => {
                 write!(f, "join {e} before the joined thread terminated")
             }
+            WitnessError::NotifyMissing { wait, notify } => {
+                write!(f, "wait {wait} before its original notify {notify}")
+            }
+            WitnessError::BarrierRoundBroken { exit, enter } => {
+                write!(f, "barrier exit {exit} before enter {enter} of its round")
+            }
         }
     }
 }
@@ -70,8 +157,10 @@ impl Error for WitnessError {}
 ///    itself**: the correct-reordering definitions the WCP/DC soundness
 ///    theorems are stated for (Kini et al. 2017, Roemer et al. 2018) exempt
 ///    the two racing events, whose values are irrelevant to the race;
-/// 4. the witness is well formed (locking rules; joins only after the joined
-///    thread's full prefix);
+/// 4. the witness is well formed (locking rules, including wait-holds-monitor
+///    and barrier party discipline; joins only after the joined thread's full
+///    prefix), every wait keeps the notifies that preceded it, and every
+///    barrier exit keeps its round's enters;
 /// 5. the last two events are `racing.0` and `racing.1`, adjacent.
 ///
 /// # Errors
@@ -171,6 +260,44 @@ pub fn validate_witness(
                 vol_lw_now.insert(v, id);
             }
             _ => {}
+        }
+    }
+
+    // 3b: condvar/barrier ordering preservation — a wait keeps every
+    // notify that preceded it (its wake-up causes), and a barrier exit
+    // keeps every enter of its original round (the rendezvous must have
+    // released). Extra notifies moved before a wait only add ordering and
+    // are allowed, mirroring the clock analyses' conservative treatment.
+    let (wait_prereqs, exit_prereqs) = sync_prereqs(trace);
+    {
+        let mut placed = vec![false; trace.len()];
+        for &id in order {
+            match trace.event(id).op {
+                Op::Wait(..) => {
+                    if let Some(missing) = wait_prereqs
+                        .get(&id)
+                        .and_then(|pre| pre.iter().find(|n| !placed[n.index()]))
+                    {
+                        return Err(WitnessError::NotifyMissing {
+                            wait: id,
+                            notify: *missing,
+                        });
+                    }
+                }
+                Op::BarrierExit(_) => {
+                    if let Some(missing) = exit_prereqs
+                        .get(&id)
+                        .and_then(|pre| pre.iter().find(|n| !placed[n.index()]))
+                    {
+                        return Err(WitnessError::BarrierRoundBroken {
+                            exit: id,
+                            enter: *missing,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            placed[id.index()] = true;
         }
     }
 

@@ -11,9 +11,17 @@
 //! * [`PatternKind::DcOnly`] — Figure 2(a): WCP orders it via HB
 //!   composition; only DC/WDC detect it.
 //! * [`PatternKind::WdcFalse`] — Figure 3: a false race only WDC reports.
+//! * [`PatternKind::CondvarHandoff`] — producer-consumer via `notify`/`wait`:
+//!   ordered purely through the condvar, race-free under every relation.
+//! * [`PatternKind::CondvarRace`] — a write issued *after* the notify races
+//!   with the woken consumer's read: detected by every relation.
+//! * [`PatternKind::BarrierPhase`] — phased double-buffering through a
+//!   barrier: cross-phase accesses ordered by the rendezvous, race-free.
+//! * [`PatternKind::BarrierRace`] — same-phase accesses after a rendezvous
+//!   are unordered: detected by every relation.
 
 use smarttrack_clock::ThreadId;
-use smarttrack_trace::{Loc, LockId, Op, TraceBuilder, VarId};
+use smarttrack_trace::{BarrierId, CondId, Loc, LockId, Op, TraceBuilder, VarId};
 
 /// The kinds of injectable race patterns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -26,13 +34,31 @@ pub enum PatternKind {
     DcOnly,
     /// Reported only by WDC; not a predictable race (Figure 3).
     WdcFalse,
+    /// Producer-consumer handoff via condvar `notify`/`wait`: race-free
+    /// (the consumer's read is ordered after the producer's write purely
+    /// through the notify edge).
+    CondvarHandoff,
+    /// A write *after* the notify races with the woken consumer's read:
+    /// detected by every relation.
+    CondvarRace,
+    /// Barrier-phased double-buffering: each thread writes its buffer
+    /// before the rendezvous and reads the other's after it — race-free.
+    BarrierPhase,
+    /// Unordered same-phase accesses after a rendezvous: detected by every
+    /// relation.
+    BarrierRace,
 }
 
 impl PatternKind {
     /// Threads the pattern needs.
     pub fn threads_needed(self) -> usize {
         match self {
-            PatternKind::HbRace | PatternKind::Predictive => 2,
+            PatternKind::HbRace
+            | PatternKind::Predictive
+            | PatternKind::CondvarHandoff
+            | PatternKind::CondvarRace
+            | PatternKind::BarrierPhase
+            | PatternKind::BarrierRace => 2,
             PatternKind::DcOnly | PatternKind::WdcFalse => 3,
         }
     }
@@ -40,20 +66,38 @@ impl PatternKind {
     /// Fresh variables the pattern consumes.
     pub fn vars_needed(self) -> u32 {
         match self {
-            PatternKind::HbRace => 1,
-            PatternKind::Predictive => 3,
-            PatternKind::DcOnly => 2,
-            PatternKind::WdcFalse => 3,
+            PatternKind::HbRace
+            | PatternKind::CondvarHandoff
+            | PatternKind::CondvarRace
+            | PatternKind::BarrierRace => 1,
+            PatternKind::Predictive | PatternKind::WdcFalse => 3,
+            PatternKind::DcOnly | PatternKind::BarrierPhase => 2,
         }
     }
 
     /// Fresh locks the pattern consumes.
     pub fn locks_needed(self) -> u32 {
         match self {
-            PatternKind::HbRace => 0,
-            PatternKind::Predictive => 1,
+            PatternKind::HbRace | PatternKind::BarrierPhase | PatternKind::BarrierRace => 0,
+            PatternKind::Predictive | PatternKind::CondvarHandoff | PatternKind::CondvarRace => 1,
             PatternKind::DcOnly => 2,
             PatternKind::WdcFalse => 3,
+        }
+    }
+
+    /// Fresh condition variables the pattern consumes.
+    pub fn condvars_needed(self) -> u32 {
+        match self {
+            PatternKind::CondvarHandoff | PatternKind::CondvarRace => 1,
+            _ => 0,
+        }
+    }
+
+    /// Fresh barriers the pattern consumes.
+    pub fn barriers_needed(self) -> u32 {
+        match self {
+            PatternKind::BarrierPhase | PatternKind::BarrierRace => 1,
+            _ => 0,
         }
     }
 }
@@ -71,6 +115,17 @@ pub struct RaceMix {
     /// False WDC-only reports (Figure 3 pattern); 0 for all DaCapo profiles,
     /// matching the paper's finding that WDC reports no false races on them.
     pub wdc_false: u32,
+    /// Races between a post-notify write and the woken consumer
+    /// ([`PatternKind::CondvarRace`]); detected by every relation.
+    pub condvar: u32,
+    /// Races between unordered same-phase accesses after a rendezvous
+    /// ([`PatternKind::BarrierRace`]); detected by every relation.
+    pub barrier: u32,
+    /// Race-free condvar handoffs ([`PatternKind::CondvarHandoff`]);
+    /// exercise the notify/wait machinery without adding races.
+    pub condvar_handoff: u32,
+    /// Race-free barrier phases ([`PatternKind::BarrierPhase`]).
+    pub barrier_phase: u32,
     /// Dynamic repetitions per static race site.
     pub repeats_per_site: u32,
 }
@@ -79,7 +134,9 @@ impl RaceMix {
     /// Expected statically distinct races under each relation
     /// `(HB, WCP, DC, WDC)`.
     pub fn expected_static(&self) -> (u32, u32, u32, u32) {
-        let hb = self.hb;
+        // Condvar and barrier races are unsynchronized under every
+        // relation, so they count like plain HB races.
+        let hb = self.hb + self.condvar + self.barrier;
         let wcp = hb + self.predictive;
         let dc = wcp + self.dc_only;
         let wdc = dc + self.wdc_false;
@@ -104,6 +161,18 @@ impl RaceMix {
                 self.hb + self.predictive + self.dc_only + i,
             ));
         }
+        let mut next = self.hb + self.predictive + self.dc_only + self.wdc_false;
+        for (kind, count) in [
+            (PatternKind::CondvarRace, self.condvar),
+            (PatternKind::BarrierRace, self.barrier),
+            (PatternKind::CondvarHandoff, self.condvar_handoff),
+            (PatternKind::BarrierPhase, self.barrier_phase),
+        ] {
+            for i in 0..count {
+                out.push((kind, next + i));
+            }
+            next += count;
+        }
         out
     }
 }
@@ -112,6 +181,8 @@ impl RaceMix {
 pub(crate) struct PatternAlloc {
     pub next_var: u32,
     pub next_lock: u32,
+    pub next_condvar: u32,
+    pub next_barrier: u32,
     /// Location block per site: locations must be stable across repetitions
     /// of the same site (dynamic races at one static location) and distinct
     /// across sites.
@@ -148,6 +219,16 @@ pub(crate) fn emit(
         let l = LockId::new(a.next_lock);
         a.next_lock += 1;
         l
+    };
+    let condvar = |a: &mut PatternAlloc| {
+        let c = CondId::new(a.next_condvar);
+        a.next_condvar += 1;
+        c
+    };
+    let barrier = |a: &mut PatternAlloc| {
+        let bar = BarrierId::new(a.next_barrier);
+        a.next_barrier += 1;
+        bar
     };
     let loc_base = alloc.loc_base;
     let loc = move |i: u32| Loc::new(loc_base + site * LOCS_PER_SITE + i);
@@ -211,6 +292,68 @@ pub(crate) fn emit(
             b.push_at(tc, Op::Release(m), loc(8)).expect("well-formed");
             b.push_at(tc, Op::Write(x), loc(9)).expect("well-formed");
         }
+        PatternKind::CondvarHandoff => {
+            // Producer writes, then notifies; the woken consumer's read is
+            // ordered purely through the notify edge (no common lock on the
+            // data: the monitor protects nothing else).
+            let x = var(alloc);
+            let m = lock(alloc);
+            let c = condvar(alloc);
+            b.push_at(ta, Op::Write(x), loc(0)).expect("well-formed");
+            b.push_at(ta, Op::Notify(c), loc(1)).expect("well-formed");
+            b.push_at(tb, Op::Acquire(m), loc(2)).expect("well-formed");
+            b.push_at(tb, Op::Wait(c, m), loc(3)).expect("well-formed");
+            b.push_at(tb, Op::Read(x), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Release(m), loc(5)).expect("well-formed");
+        }
+        PatternKind::CondvarRace => {
+            // The producer writes *after* notifying: the woken consumer's
+            // read is unordered with the write under every relation.
+            let x = var(alloc);
+            let m = lock(alloc);
+            let c = condvar(alloc);
+            b.push_at(ta, Op::Notify(c), loc(0)).expect("well-formed");
+            b.push_at(ta, Op::Write(x), loc(1)).expect("well-formed");
+            b.push_at(tb, Op::Acquire(m), loc(2)).expect("well-formed");
+            b.push_at(tb, Op::Wait(c, m), loc(3)).expect("well-formed");
+            b.push_at(tb, Op::Read(x), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Release(m), loc(5)).expect("well-formed");
+        }
+        PatternKind::BarrierPhase => {
+            // Phase 1: each thread writes its own buffer; rendezvous; phase
+            // 2: each reads the *other* thread's buffer. All-to-all ordering
+            // makes this race-free.
+            let (x0, x1) = (var(alloc), var(alloc));
+            let bar = barrier(alloc);
+            b.push_at(ta, Op::Write(x0), loc(0)).expect("well-formed");
+            b.push_at(tb, Op::Write(x1), loc(1)).expect("well-formed");
+            b.push_at(ta, Op::BarrierEnter(bar), loc(2))
+                .expect("well-formed");
+            b.push_at(tb, Op::BarrierEnter(bar), loc(3))
+                .expect("well-formed");
+            b.push_at(ta, Op::BarrierExit(bar), loc(4))
+                .expect("well-formed");
+            b.push_at(tb, Op::BarrierExit(bar), loc(5))
+                .expect("well-formed");
+            b.push_at(ta, Op::Read(x1), loc(6)).expect("well-formed");
+            b.push_at(tb, Op::Read(x0), loc(7)).expect("well-formed");
+        }
+        PatternKind::BarrierRace => {
+            // Both threads leave the rendezvous and touch the same variable
+            // in the same phase: the barrier orders nothing between them.
+            let x = var(alloc);
+            let bar = barrier(alloc);
+            b.push_at(ta, Op::BarrierEnter(bar), loc(0))
+                .expect("well-formed");
+            b.push_at(tb, Op::BarrierEnter(bar), loc(1))
+                .expect("well-formed");
+            b.push_at(ta, Op::BarrierExit(bar), loc(2))
+                .expect("well-formed");
+            b.push_at(tb, Op::BarrierExit(bar), loc(3))
+                .expect("well-formed");
+            b.push_at(ta, Op::Write(x), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Read(x), loc(5)).expect("well-formed");
+        }
     }
 }
 
@@ -224,6 +367,8 @@ mod tests {
         let mut alloc = PatternAlloc {
             next_var: 0,
             next_lock: 0,
+            next_condvar: 0,
+            next_barrier: 0,
             loc_base: 0,
         };
         let threads: Vec<ThreadId> = (0..3).map(ThreadId::new).collect();
@@ -238,6 +383,10 @@ mod tests {
             PatternKind::Predictive,
             PatternKind::DcOnly,
             PatternKind::WdcFalse,
+            PatternKind::CondvarHandoff,
+            PatternKind::CondvarRace,
+            PatternKind::BarrierPhase,
+            PatternKind::BarrierRace,
         ] {
             let tr = emit_one(kind);
             Trace::from_events(tr.events().iter().copied())
@@ -252,14 +401,20 @@ mod tests {
             predictive: 3,
             dc_only: 1,
             wdc_false: 0,
+            condvar: 2,
+            barrier: 1,
+            condvar_handoff: 4,
+            barrier_phase: 4,
             repeats_per_site: 5,
         };
-        assert_eq!(mix.sites().len(), 6);
-        assert_eq!(mix.expected_static(), (2, 5, 6, 6));
+        assert_eq!(mix.sites().len(), 17);
+        // Condvar/barrier races count under every relation, like HB races;
+        // the handoff/phase sites add no races.
+        assert_eq!(mix.expected_static(), (5, 8, 9, 9));
         // Site indices are globally unique.
         let mut idx: Vec<u32> = mix.sites().iter().map(|&(_, i)| i).collect();
         idx.sort_unstable();
         idx.dedup();
-        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.len(), 17);
     }
 }

@@ -110,8 +110,8 @@ pub mod profiles {
             hb,
             predictive,
             dc_only,
-            wdc_false: 0,
             repeats_per_site: repeats.max(1),
+            ..RaceMix::default()
         }
     }
 
@@ -229,6 +229,31 @@ pub mod profiles {
         }
     }
 
+    /// condsync: a reproduction-specific workload (not one of the paper's
+    /// ten) whose synchronization is dominated by condvar handoffs and
+    /// barrier phases — xalan/avrora-class programs coordinate worker pools
+    /// exactly this way. It drives the `wait`/`notify`/barrier clock rules
+    /// on every analysis hot path: the race mix carries a few condvar and
+    /// barrier races (detected by every relation) atop a large body of
+    /// race-free handoffs and phases. Not part of [`all`] (which mirrors
+    /// the paper's Table 2), but included in the hotpath bench lanes.
+    pub fn condsync() -> Workload {
+        Workload {
+            name: "condsync",
+            paper: row(8, 8, 100.0, 20.0, 35.0, 2.0, 0.0),
+            races: RaceMix {
+                hb: 2,
+                condvar: 3,
+                barrier: 3,
+                condvar_handoff: 20,
+                barrier_phase: 20,
+                repeats_per_site: 10,
+                ..RaceMix::default()
+            },
+            write_frac: 0.35,
+        }
+    }
+
     /// All ten profiles in the paper's table order.
     pub fn all() -> Vec<Workload> {
         vec![
@@ -243,6 +268,15 @@ pub mod profiles {
             tomcat(),
             xalan(),
         ]
+    }
+
+    /// The paper's ten profiles plus the reproduction-specific extensions
+    /// (currently [`condsync`]) — the single list the CLI's `generate` and
+    /// `list` surfaces present, so the two can never drift apart.
+    pub fn extended() -> Vec<Workload> {
+        let mut out = all();
+        out.push(condsync());
+        out
     }
 }
 

@@ -68,6 +68,8 @@ impl<'a> Synthesizer<'a> {
         let mut alloc = PatternAlloc {
             next_var: n_global_locks * SHARED_PER_LOCK + READ_SHARED + threads * PRIVATE_VARS,
             next_lock: n_global_locks + threads * PRIVATE_LOCKS,
+            next_condvar: 0,
+            next_barrier: 0,
             loc_base: threads * BODY_LOCS,
         };
 

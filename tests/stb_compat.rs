@@ -1,0 +1,195 @@
+//! STB cross-version compatibility battery.
+//!
+//! The v2 codec revision (condvar/barrier op tags, 4-bit tag field, 7-field
+//! header hint) must leave v1 byte streams meaning exactly what they always
+//! meant, in both directions:
+//!
+//! * **Golden v1 bytes** committed below — produced by the v1 writer at the
+//!   revision that introduced v2 — decode byte-for-byte identically to the
+//!   traces that produced them, forever. The writer also still *emits*
+//!   exactly these bytes for v1-expressible traces, so archived recordings
+//!   diff clean against fresh ones.
+//! * **Truncation fuzz** — every single-byte truncation of a stream
+//!   containing every v2 op tag is a precise error, never a panic or a
+//!   silent short decode (extending the v1-only fuzz in `binary.rs`).
+//! * **Corruption fuzz** — every single-byte *bit flip* of a v2 stream
+//!   either fails to decode or decodes to a well-formed trace; it must
+//!   never panic.
+
+use smarttrack_trace::binary::{
+    from_stb_bytes, to_stb_bytes, StbError, StbReader, STB_VERSION, STB_VERSION_2,
+};
+use smarttrack_trace::gen::RandomTraceSpec;
+use smarttrack_trace::{
+    paper, BarrierId, CondId, LockId, Op, ThreadId, Trace, TraceBuilder, VarId,
+};
+
+/// `paper::figure1()` as written by the v1 encoder (34 bytes, header hint
+/// included). Committed so that a future revision that changes what these
+/// bytes decode to — or what the writer emits for this trace — fails here.
+const FIGURE1_V1: &[u8] = &[
+    0x89, 0x53, 0x54, 0x42, 0x01, 0x01, 0x08, 0x02, 0x03, 0x01, 0x00, 0x14, 0x08, 0x00, 0x04, 0x08,
+    0x00, 0x0a, 0x02, 0x29, 0x02, 0x0b, 0x02, 0x01, 0x04, 0x0a, 0x02, 0x28, 0x02, 0x0b, 0x02, 0x39,
+    0x02, 0x00,
+];
+
+/// `paper::figure3()` as written by the v1 encoder (64 bytes).
+const FIGURE3_V1: &[u8] = &[
+    0x89, 0x53, 0x54, 0x42, 0x01, 0x01, 0x16, 0x03, 0x03, 0x03, 0x00, 0x32, 0x16, 0x00, 0x07, 0x0a,
+    0x00, 0x2a, 0x02, 0x28, 0x00, 0x09, 0x00, 0x0b, 0x00, 0x18, 0x02, 0x1b, 0x02, 0x01, 0x08, 0x2a,
+    0x02, 0x28, 0x00, 0x09, 0x00, 0x0b, 0x00, 0x2a, 0x02, 0x28, 0x00, 0x09, 0x00, 0x0b, 0x00, 0x02,
+    0x07, 0x3a, 0x02, 0x4a, 0x02, 0x08, 0x00, 0x09, 0x00, 0x0b, 0x00, 0x3b, 0x02, 0x39, 0x02, 0x00,
+];
+
+/// A compact trace containing every v2-only op tag (wait, notify,
+/// notifyAll, barrier enter, barrier exit) plus every v1 tag.
+fn all_tags_trace() -> Trace {
+    let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+    let (c0, c1) = (CondId::new(0), CondId::new(1));
+    let m = LockId::new(0);
+    let bar = BarrierId::new(0);
+    let mut b = TraceBuilder::new();
+    b.push(t0, Op::Fork(t1)).unwrap();
+    b.push(t0, Op::Fork(t2)).unwrap();
+    b.push(t0, Op::Write(VarId::new(0))).unwrap();
+    b.push(t0, Op::VolatileWrite(VarId::new(0))).unwrap();
+    b.push(t1, Op::VolatileRead(VarId::new(0))).unwrap();
+    b.push(t0, Op::Notify(c0)).unwrap();
+    b.push(t0, Op::NotifyAll(c1)).unwrap();
+    b.push(t1, Op::Acquire(m)).unwrap();
+    b.push(t1, Op::Wait(c0, m)).unwrap();
+    b.push(t1, Op::Read(VarId::new(0))).unwrap();
+    b.push(t1, Op::Release(m)).unwrap();
+    b.push(t1, Op::BarrierEnter(bar)).unwrap();
+    b.push(t2, Op::BarrierEnter(bar)).unwrap();
+    b.push(t1, Op::BarrierExit(bar)).unwrap();
+    b.push(t2, Op::BarrierExit(bar)).unwrap();
+    b.push(t0, Op::Join(t2)).unwrap();
+    b.finish()
+}
+
+#[test]
+fn golden_v1_bytes_decode_identically_under_the_v2_reader() {
+    for (name, golden, trace) in [
+        ("figure1", FIGURE1_V1, paper::figure1()),
+        ("figure3", FIGURE3_V1, paper::figure3()),
+    ] {
+        assert_eq!(golden[4], STB_VERSION, "{name}: golden bytes are v1");
+        let decoded = from_stb_bytes(golden).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(decoded, trace, "{name}: golden decode drifted");
+        let reader = StbReader::new(golden).unwrap();
+        let hint = reader.header().hint.expect("golden streams carry hints");
+        assert_eq!(hint.events, trace.len() as u64, "{name}");
+        assert_eq!(hint.condvars, 0, "{name}: v1 hints decode zero condvars");
+        assert_eq!(hint.barriers, 0, "{name}: v1 hints decode zero barriers");
+    }
+}
+
+#[test]
+fn writer_still_emits_the_golden_v1_bytes() {
+    assert_eq!(
+        to_stb_bytes(&paper::figure1()),
+        FIGURE1_V1,
+        "figure1 encoding drifted from the committed v1 bytes"
+    );
+    assert_eq!(
+        to_stb_bytes(&paper::figure3()),
+        FIGURE3_V1,
+        "figure3 encoding drifted from the committed v1 bytes"
+    );
+}
+
+#[test]
+fn every_new_op_tag_round_trips_in_v2() {
+    let trace = all_tags_trace();
+    let bytes = to_stb_bytes(&trace);
+    assert_eq!(bytes[4], STB_VERSION_2);
+    assert_eq!(from_stb_bytes(&bytes).unwrap(), trace);
+}
+
+#[test]
+fn truncation_anywhere_in_a_v2_stream_is_a_precise_error() {
+    let bytes = to_stb_bytes(&all_tags_trace());
+    for cut in 0..bytes.len() {
+        match from_stb_bytes(&bytes[..cut]) {
+            Err(StbError::Truncated { offset, .. }) => {
+                assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+            }
+            Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+            Ok(_) => panic!("cut at {cut}: truncated stream decoded"),
+        }
+    }
+}
+
+#[test]
+fn truncation_fuzz_over_random_sync_traces_and_chunk_sizes() {
+    use smarttrack_trace::binary::{StbHint, StbWriter};
+    for seed in 0..3u64 {
+        let trace = RandomTraceSpec::tiny_sync().generate(seed);
+        for chunk in [1, 7, 64] {
+            let mut w =
+                StbWriter::with_hint(Vec::new(), StbHint::of_trace(&trace)).chunk_events(chunk);
+            for e in trace.events() {
+                w.write(e).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            for cut in 0..bytes.len() {
+                match from_stb_bytes(&bytes[..cut]) {
+                    Err(_) => {}
+                    Ok(_) => panic!("seed {seed} chunk {chunk}: cut {cut} decoded"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_the_v2_decoder() {
+    let bytes = to_stb_bytes(&all_tags_trace());
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            // Any outcome but a panic is acceptable: a precise error, or a
+            // decode to some other well-formed trace.
+            let _ = from_stb_bytes(&mutated);
+        }
+    }
+}
+
+#[test]
+fn v2_streams_skip_chunks_with_sync_ops() {
+    use smarttrack_trace::binary::{StbHint, StbWriter};
+    let trace = RandomTraceSpec::tiny_sync().generate(9);
+    let mut w = StbWriter::with_hint(Vec::new(), StbHint::of_trace(&trace)).chunk_events(8);
+    for e in trace.events() {
+        w.write(e).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+    let mut reader = StbReader::new(&bytes[..]).unwrap();
+    let skipped = reader.skip_chunk().unwrap().expect("first chunk");
+    assert_eq!(skipped, 8);
+    let rest: Result<Vec<_>, _> = (&mut reader).collect();
+    assert_eq!(rest.unwrap(), &trace.events()[8..]);
+}
+
+#[test]
+fn sessions_presize_from_v2_hints() {
+    // The v2 header's condvar/barrier cardinalities flow into StreamHint.
+    let trace = all_tags_trace();
+    let bytes = to_stb_bytes(&trace);
+    let reader = StbReader::new(&bytes[..]).unwrap();
+    let hint = smarttrack_detect::StreamHint::of_stb_header(reader.header());
+    assert_eq!(hint.condvars, Some(trace.num_condvars()));
+    assert_eq!(hint.barriers, Some(trace.num_barriers()));
+    // And a session fed from the reader matches whole-trace analysis.
+    let config = smarttrack::AnalysisConfig::table1()[0];
+    let engine = smarttrack::Engine::for_config(config).unwrap();
+    let mut session = engine.open_with_hint(hint);
+    for event in StbReader::new(&bytes[..]).unwrap() {
+        session.feed(event.unwrap()).unwrap();
+    }
+    let streamed = session.finish_one().report;
+    let whole = smarttrack::analyze(&trace, config).report;
+    assert_eq!(streamed, whole);
+}
