@@ -1,0 +1,215 @@
+//! Serving-layer throughput scaling: one `smarttrack serve` daemon on
+//! loopback, swept over concurrent client connections.
+//!
+//! Each point replays the same generated corpus through [`run_load`] at a
+//! given connection count; every trace is one streamed session, so the
+//! sweep exercises connections × streams × the full frame/assembler/
+//! session pipeline. Throughput is end-to-end events/second — encode,
+//! frame, loopback TCP, reassemble, analyze, report — and the result
+//! lands in `BENCH_SERVE.json` at the repo root. `--check` re-measures
+//! and fails on regression against the committed file (tolerance
+//! `SERVE_TOLERANCE`, default 35%, for cross-machine noise).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p smarttrack-bench --bench serve_scaling -- \
+//!     [--scale 1e-5] [--trials 3] [--out path.json] [--check]
+//! ```
+
+use std::time::Duration;
+
+use smarttrack_serve::{run_load, LoadOptions, Server, ServerConfig};
+use smarttrack_trace::Trace;
+
+/// Connection counts swept, matching the batch bench's 1/2/4/8 shape.
+const CONNECTION_POINTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Default allowed regression vs the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.35;
+
+fn tolerance() -> f64 {
+    std::env::var("SERVE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(REGRESSION_TOLERANCE)
+}
+
+struct Point {
+    connections: usize,
+    events_per_sec: f64,
+    busy_retries: u64,
+}
+
+/// Pulls `"key": <number>` out of our own JSON after an anchor substring.
+fn extract_number(json: &str, after: &str, key: &str) -> Option<f64> {
+    let start = json.find(after)?;
+    let rest = &json[start..];
+    let kpos = rest.find(&format!("\"{key}\":"))?;
+    let tail = rest[kpos + key.len() + 3..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn check_against(committed: &str, points: &[Point]) -> Result<(), String> {
+    let tol = tolerance();
+    let mut failures = Vec::new();
+    for p in points {
+        let anchor = format!("\"connections\": {}", p.connections);
+        let Some(base) = extract_number(committed, &anchor, "events_per_sec") else {
+            continue; // new point, not a regression
+        };
+        if p.events_per_sec < base * (1.0 - tol) {
+            failures.push(format!(
+                "{} connection(s): {:.0} events/s vs committed {:.0} (-{:.0}% allowed)",
+                p.connections,
+                p.events_per_sec,
+                base,
+                tol * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn parse_args() -> (f64, usize, String, bool) {
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SERVE.json").to_string();
+    let (mut scale, mut trials, mut out, mut check) = (1e-5_f64, 3usize, default_out, false);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("numeric --scale"),
+            "--trials" => trials = value("--trials").parse().expect("numeric --trials"),
+            "--out" => out = value("--out"),
+            "--check" => check = true,
+            // `cargo bench` forwards its own filter/flag arguments (e.g.
+            // `--bench`); ignore anything we do not recognize.
+            _ => {}
+        }
+    }
+    (scale, trials.max(1), out, check)
+}
+
+fn main() {
+    let (scale, mut trials, out_path, check) = parse_args();
+    if check {
+        trials = trials.max(5);
+    }
+    let corpus: Vec<(String, Trace)> = smarttrack_workloads::corpus(scale, &[11, 12, 13, 14]);
+    let streams = corpus.len();
+    let events: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+    let cores = smarttrack_parallel::worker_count(None);
+    println!(
+        "serve_scaling: {streams} streams, {events} events (scale {scale:e}), best of \
+         {trials} trial(s), {cores} core(s) available"
+    );
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Duration::from_secs(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+
+    let mut points: Vec<Point> = Vec::new();
+    for connections in CONNECTION_POINTS {
+        let options = LoadOptions {
+            clients: connections,
+            chunk_bytes: 0,
+            validate: false,
+            tenant: "bench".to_string(),
+        };
+        let mut best: Option<Point> = None;
+        for _ in 0..trials {
+            let report = run_load(addr, &corpus, &options).expect("load run");
+            assert!(
+                report.failures.is_empty(),
+                "bench load must not fail: {:?}",
+                report.failures
+            );
+            assert_eq!(report.events, events as u64, "every event must be served");
+            let eps = report.events_per_sec();
+            if best.as_ref().is_none_or(|b| eps > b.events_per_sec) {
+                best = Some(Point {
+                    connections,
+                    events_per_sec: eps,
+                    busy_retries: report.busy_retries,
+                });
+            }
+        }
+        let point = best.expect("at least one trial");
+        let speedup = point.events_per_sec
+            / points
+                .first()
+                .map_or(point.events_per_sec, |p| p.events_per_sec);
+        println!(
+            "  {connections} connection(s): {:>8.3}M events/s  ({speedup:.2}x vs 1, \
+             {} busy retr{})",
+            point.events_per_sec / 1e6,
+            point.busy_retries,
+            if point.busy_retries == 1 { "y" } else { "ies" }
+        );
+        points.push(point);
+    }
+    server.shutdown();
+
+    if check {
+        let committed = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("--check needs {out_path}: {e}"));
+        match check_against(&committed, &points) {
+            Ok(()) => {
+                println!(
+                    "check: within {:.0}% of committed baseline",
+                    tolerance() * 100.0
+                );
+                return;
+            }
+            Err(failures) => panic!("serve throughput regressed:\n{failures}"),
+        }
+    }
+
+    let base = points[0].events_per_sec;
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"smarttrack-bench-serve/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": {scale:e}, \"trials\": {trials}, \"streams\": {streams}, \
+         \"events\": {events},\n"
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(
+        "  \"analyses\": [\"FTO-HB\", \"SmartTrack-WCP\", \"SmartTrack-DC\", \
+         \"SmartTrack-WDC\"],\n",
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"connections\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \
+             \"busy_retries\": {}}}{}\n",
+            p.connections,
+            p.events_per_sec,
+            p.events_per_sec / base,
+            p.busy_retries,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"caveat\": \"end-to-end loopback serving (encode + frame + TCP + reassemble + \
+         analyze); sessions parallelize across connections, so throughput tracks \
+         available_parallelism ({cores} cores here) until analysis workers saturate\"\n}}\n"
+    ));
+    std::fs::write(&out_path, json).expect("write BENCH_SERVE.json");
+    println!("wrote {out_path}");
+}

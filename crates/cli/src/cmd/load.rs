@@ -1,0 +1,132 @@
+//! `smarttrack load` — load-test a serve daemon.
+//!
+//! Generates a calibrated workload corpus (the same generator behind
+//! `smarttrack generate`), replays it over `--clients` concurrent
+//! connections against a running `smarttrack serve`, and validates every
+//! returned report race-for-race against offline analysis of the same
+//! trace (`--no-validate` skips the offline pass for pure throughput
+//! runs). Any divergence or transport failure makes the exit nonzero.
+
+use std::io::Write;
+use std::net::ToSocketAddrs;
+
+use smarttrack_serve::{run_load, LoadOptions};
+
+use crate::{write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack load <addr> [--clients N] [--scale F] [--seeds N] \
+                     [--chunk-bytes N] [--tenant NAME] [--no-validate]";
+const SWITCHES: &[&str] = &["no-validate"];
+const VALUES: &[&str] = &["clients", "scale", "seeds", "chunk-bytes", "tenant"];
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, SWITCHES, VALUES)?;
+    let addr_text = opts
+        .positional(0)
+        .ok_or_else(|| CliError::Usage(format!("missing <addr> argument; usage: {USAGE}")))?;
+    let addr = addr_text
+        .to_socket_addrs()
+        .map_err(|e| CliError::Usage(format!("invalid address `{addr_text}`: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("address `{addr_text}` resolved to nothing")))?;
+
+    let scale: f64 = opts.parsed_or("scale", 2e-5)?;
+    let seeds: u64 = opts.parsed_or("seeds", 1)?;
+    if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(CliError::Usage("`--scale` must be positive".to_string()));
+    }
+    let seed_list: Vec<u64> = (0..seeds.max(1)).collect();
+    let traces = smarttrack_workloads::corpus(scale, &seed_list);
+
+    let options = LoadOptions {
+        clients: opts.parsed_or("clients", 4usize)?.max(1),
+        chunk_bytes: opts.parsed_or("chunk-bytes", 0usize)?,
+        validate: !opts.switch("no-validate"),
+        tenant: opts.value("tenant").unwrap_or("load").to_string(),
+    };
+
+    let report = run_load(addr, &traces, &options)
+        .map_err(|e| CliError::Invalid(format!("{addr_text}: {e}")))?;
+
+    let mut buf = format!(
+        "load: {} session(s) over {} client connection(s)\n",
+        report.sessions, report.clients
+    );
+    buf.push_str(&format!(
+        "  {} events, {} stream bytes in {:.3}s ({:.0} events/s)\n",
+        report.events,
+        report.bytes,
+        report.elapsed.as_secs_f64(),
+        report.events_per_sec()
+    ));
+    buf.push_str(&format!(
+        "  {} race(s) reported, {} pushed mid-stream, {} busy retr{}\n",
+        report.races,
+        report.pushed,
+        report.busy_retries,
+        if report.busy_retries == 1 { "y" } else { "ies" }
+    ));
+    if options.validate {
+        buf.push_str("  validation: reports match offline analysis\n");
+    }
+    if !report.failures.is_empty() {
+        buf.push_str(&format!("  {} failure(s):\n", report.failures.len()));
+        for failure in &report.failures {
+            buf.push_str(&format!("    {failure}\n"));
+        }
+        write_out(out, &buf)?;
+        return Err(CliError::Invalid(format!(
+            "{} of {} sessions failed or diverged from offline analysis",
+            report.failures.len(),
+            report.sessions + report.failures.len()
+        )));
+    }
+    write_out(out, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn missing_address_is_a_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&args(&[]), &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn unresolvable_address_is_a_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&args(&["not an address"]), &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn round_trips_against_a_live_server() {
+        let server = smarttrack_serve::Server::bind(
+            "127.0.0.1:0",
+            smarttrack_serve::ServerConfig {
+                analyses: vec!["st-wdc".parse().unwrap()],
+                workers: Some(2),
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let mut out = Vec::new();
+        run(
+            &args(&[&addr, "--clients", "2", "--scale", "1e-5", "--seeds", "1"]),
+            &mut out,
+        )
+        .expect("load run succeeds against live server");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("validation: reports match offline analysis"));
+        server.shutdown();
+    }
+}

@@ -9,7 +9,9 @@ pub mod deadlock;
 pub mod figure;
 pub mod generate;
 pub mod list;
+pub mod load;
 pub mod render;
+pub mod serve;
 pub mod stats;
 pub mod two_phase;
 pub mod vindicate;

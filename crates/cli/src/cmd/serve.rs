@@ -1,0 +1,196 @@
+//! `smarttrack serve` — run the race-detection daemon.
+//!
+//! Binds a TCP listener and analyzes STB streams pushed by clients over
+//! the serve protocol (`docs/SERVE_PROTOCOL.md`). Sessions are keyed by
+//! tenant + name, survive disconnects until `--idle-timeout` elapses, and
+//! share a fixed pool of analysis workers. `--connections N` serves that
+//! many connections to completion and then drains — the knob the test
+//! suite and scripted smoke runs use; without it the daemon runs until
+//! killed.
+
+use std::io::Write;
+use std::time::Duration;
+
+use smarttrack::AnalysisConfig;
+use smarttrack_serve::{Server, ServerConfig};
+
+use crate::{write_out, CliError, Opts};
+
+const USAGE: &str = "smarttrack serve [--listen ADDR] [--analysis CFG]... [--all] \
+                     [--workers N] [--idle-timeout SECS] [--queue-bytes N] [--connections N]";
+const SWITCHES: &[&str] = &["all"];
+const VALUES: &[&str] = &[
+    "listen",
+    "analysis",
+    "workers",
+    "idle-timeout",
+    "queue-bytes",
+    "connections",
+];
+
+/// Default bind address; loopback only — exposing the daemon wider is a
+/// deliberate `--listen` decision.
+const DEFAULT_LISTEN: &str = "127.0.0.1:7420";
+
+/// Parses the shared `--analysis`/`--all` selection (the `batch`
+/// defaults).
+pub(crate) fn analysis_selection(opts: &Opts) -> Result<Vec<AnalysisConfig>, CliError> {
+    if opts.switch("all") {
+        return Ok(AnalysisConfig::table1());
+    }
+    let names = opts.all_values("analysis");
+    let names: Vec<&str> = if names.is_empty() {
+        vec!["fto-hb", "st-wcp", "st-dc", "st-wdc"]
+    } else {
+        names.iter().map(String::as_str).collect()
+    };
+    names
+        .into_iter()
+        .map(|n| n.parse().map_err(|e| CliError::Usage(format!("{e}"))))
+        .collect()
+}
+
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = Opts::parse(args, SWITCHES, VALUES)?;
+    if let Some(extra) = opts.positional(0) {
+        return Err(CliError::Usage(format!(
+            "unexpected argument `{extra}`; usage: {USAGE}"
+        )));
+    }
+
+    let analyses = analysis_selection(&opts)?;
+    let workers = match opts.value("workers") {
+        None => None,
+        Some(text) => Some(text.parse::<usize>().map_err(|e| {
+            CliError::Usage(format!("invalid value `{text}` for `--workers`: {e}"))
+        })?),
+    };
+    let idle_secs: u64 = opts.parsed_or("idle-timeout", 60)?;
+    let mut config = ServerConfig {
+        analyses,
+        workers,
+        idle_timeout: Duration::from_secs(idle_secs),
+        ..ServerConfig::default()
+    };
+    config.session_queue_bytes = opts.parsed_or("queue-bytes", config.session_queue_bytes)?;
+    let connections: u64 = opts.parsed_or("connections", 0)?;
+
+    let listen = opts.value("listen").unwrap_or(DEFAULT_LISTEN);
+    let server = Server::bind(listen, config).map_err(|e| match e {
+        smarttrack_serve::ServeError::Io(source) => CliError::Io {
+            path: listen.to_string(),
+            source,
+        },
+        other => CliError::Invalid(other.to_string()),
+    })?;
+
+    let mut banner = format!(
+        "serving on {} ({} worker(s), idle timeout {idle_secs}s)\n",
+        server.local_addr(),
+        server.workers(),
+    );
+    for lane in server.lanes() {
+        banner.push_str(&format!("  lane {}\n", lane.name));
+    }
+    write_out(out, &banner)?;
+    out.flush().map_err(|source| CliError::Io {
+        path: "<stdout>".to_string(),
+        source,
+    })?;
+
+    // Serve until the connection quota is met (0 = forever).
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        if connections > 0 && server.connections_closed() >= connections {
+            break;
+        }
+    }
+    let served = server.connections_closed();
+    server.shutdown();
+    write_out(out, &format!("served {served} connection(s); drained\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    /// A `Write` the test can observe while `run` is still blocking in
+    /// another thread — how we learn the ephemeral port.
+    #[derive(Clone, Default)]
+    struct SharedOut(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedOut {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_unknown_analysis_and_stray_positionals() {
+        let mut out = Vec::new();
+        assert!(super::run(&args(&["--analysis", "nope"]), &mut out).is_err());
+        assert!(super::run(&args(&["stray"]), &mut out).is_err());
+    }
+
+    #[test]
+    fn serves_one_connection_then_drains() {
+        let shared = SharedOut::default();
+        let mut thread_out = shared.clone();
+        let handle = std::thread::spawn(move || {
+            super::run(
+                &args(&[
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--analysis",
+                    "st-wdc",
+                    "--workers",
+                    "1",
+                    "--connections",
+                    "1",
+                ]),
+                &mut thread_out,
+            )
+        });
+
+        // Poll the banner for the bound address.
+        let addr = loop {
+            if let Some(line) = shared.text().lines().next().map(String::from) {
+                if let Some(rest) = line.strip_prefix("serving on ") {
+                    break rest.split(' ').next().unwrap().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let trace = smarttrack_trace::paper::figure1();
+        let mut client = smarttrack_serve::ServeClient::connect(
+            addr.parse::<std::net::SocketAddr>().unwrap(),
+            "cli-test",
+            "s1",
+            false,
+        )
+        .expect("connect to cli server");
+        client.stream_trace(&trace, 0).expect("stream");
+        let report = client.finish().expect("finish");
+        assert_eq!(report.events, trace.len() as u64);
+        drop(client);
+
+        handle.join().unwrap().expect("serve run completes");
+        assert!(shared.text().contains("drained"));
+    }
+}

@@ -20,6 +20,8 @@
 //! smarttrack vindicate race.trace --show-witness
 //! smarttrack windowed race.trace --window 512
 //! smarttrack generate xalan --scale 2e-5 --out xalan.stb
+//! smarttrack serve    --listen 127.0.0.1:7420 --workers 8
+//! smarttrack load     127.0.0.1:7420 --clients 8 --scale 2e-5
 //! smarttrack figure   figure1 --out fig1.trace
 //! smarttrack list
 //! ```
@@ -121,6 +123,14 @@ COMMANDS:
     generate  <profile|distant:N> [--scale F] [--seed N] [--out FILE] [--format FMT]
               emit a calibrated synthetic workload trace (the ten DaCapo
               profiles, plus the condvar/barrier-heavy `condsync`)
+    serve     [--listen ADDR] [--analysis CFG]... [--all] [--workers N]
+              [--idle-timeout SECS] [--queue-bytes N] [--connections N]
+              run the race-detection daemon: clients stream STB traces
+              over TCP (docs/SERVE_PROTOCOL.md) into pooled sessions
+    load      <addr> [--clients N] [--scale F] [--seeds N] [--chunk-bytes N]
+              [--tenant NAME] [--no-validate]
+              replay a generated corpus against a running serve daemon
+              over N connections, validating reports against offline runs
     figure    <figure1|figure2|figure3|figure4a..figure4d> [--out FILE] [--format FMT]
               emit one of the paper's example executions
     list      available analyses, workload profiles, and figures
@@ -172,6 +182,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "deadlock" => cmd::deadlock::run(rest, out),
         "windowed" => cmd::windowed::run(rest, out),
         "generate" => cmd::generate::run(rest, out),
+        "serve" => cmd::serve::run(rest, out),
+        "load" => cmd::load::run(rest, out),
         "figure" => cmd::figure::run(rest, out),
         "list" => cmd::list::run(rest, out),
         "help" | "--help" | "-h" => {

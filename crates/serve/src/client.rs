@@ -1,0 +1,350 @@
+//! A blocking client for the serve protocol.
+//!
+//! [`ServeClient`] drives one session at a time over one connection:
+//! hello, stream STB bytes in [`Frame::Data`] chunks (transparently
+//! backing off on [`Frame::Busy`]), query mid-stream, finish into a
+//! [`WireReport`]. Race frames the server pushes while we wait for any
+//! response are collected into [`ServeClient::pushed_races`].
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use smarttrack_trace::Trace;
+
+use crate::protocol::{
+    encode_frame, ErrorCode, Frame, FrameBuf, LaneInfo, QueryKind, WireRace, WireReport,
+    WireSnapshot, DEFAULT_DATA_CHUNK, PROTOCOL_VERSION,
+};
+
+/// How long [`ServeClient::send_chunk`] keeps retrying around
+/// [`Frame::Busy`] before declaring the server wedged.
+const BUSY_GIVE_UP: Duration = Duration::from_secs(60);
+
+/// A failure on the client side of a serve conversation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// The peer violated the protocol (bad frame, wrong response type).
+    Protocol(String),
+    /// The server answered with an [`Frame::Error`].
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's human-readable message.
+        message: String,
+    },
+    /// The server stayed busy past the client's patience.
+    Saturated,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Saturated => write!(f, "server stayed busy past the retry budget"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One authenticated, attached serve session.
+pub struct ServeClient {
+    stream: TcpStream,
+    frames: FrameBuf,
+    scratch: Vec<u8>,
+    lanes: Vec<LaneInfo>,
+    resumed: bool,
+    resumed_events: u64,
+    pushed: Vec<WireRace>,
+    busy_retries: u64,
+    acked_bytes: u64,
+}
+
+impl ServeClient {
+    /// Connects and performs the hello handshake for `tenant`/`session`.
+    /// With `resume`, reattaches to a detached session of that name if one
+    /// survives on the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connect failure, [`ClientError::Server`] if
+    /// the server refuses the session (exists, attached, draining),
+    /// [`ClientError::Protocol`] on a malformed handshake.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        tenant: &str,
+        session: &str,
+        resume: bool,
+    ) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = ServeClient {
+            stream,
+            frames: FrameBuf::new(),
+            scratch: vec![0u8; 64 * 1024],
+            lanes: Vec::new(),
+            resumed: false,
+            resumed_events: 0,
+            pushed: Vec::new(),
+            busy_retries: 0,
+            acked_bytes: 0,
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            resume,
+            tenant: tenant.to_string(),
+            session: session.to_string(),
+        })?;
+        match client.recv_response()? {
+            Frame::Welcome {
+                resumed,
+                events,
+                lanes,
+            } => {
+                client.resumed = resumed;
+                client.resumed_events = events;
+                client.lanes = lanes;
+                Ok(client)
+            }
+            other => Err(unexpected("welcome", &other)),
+        }
+    }
+
+    /// The analysis lanes the server advertised, in lane-index order.
+    pub fn lanes(&self) -> &[LaneInfo] {
+        &self.lanes
+    }
+
+    /// Whether the hello reattached to an existing session.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Events the session had already analyzed when we (re)attached.
+    pub fn resumed_events(&self) -> u64 {
+        self.resumed_events
+    }
+
+    /// Stream bytes the server has acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.acked_bytes
+    }
+
+    /// How many data chunks bounced with `Busy` before being accepted.
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Race notices pushed by the server so far (drained by the caller).
+    pub fn pushed_races(&mut self) -> Vec<WireRace> {
+        std::mem::take(&mut self.pushed)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.stream.write_all(&encode_frame(frame))?;
+        Ok(())
+    }
+
+    /// Blocks for the next frame off the wire.
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            match self.frames.next_frame() {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Protocol(e.to_string())),
+            }
+            let n = self.stream.read(&mut self.scratch)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.frames.push(&self.scratch[..n]);
+        }
+    }
+
+    /// The next *response* frame: pushed races are absorbed, a goodbye or
+    /// server error becomes a [`ClientError`].
+    fn recv_response(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            match self.recv()? {
+                Frame::Race(race) => self.pushed.push(race),
+                Frame::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Frame::Goodbye { reason } => {
+                    return Err(ClientError::Server {
+                        code: ErrorCode::ShuttingDown,
+                        message: reason,
+                    })
+                }
+                frame => return Ok(frame),
+            }
+        }
+    }
+
+    /// Sends one raw STB chunk, retrying with backoff while the server
+    /// answers [`Frame::Busy`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Saturated`] if the server stays busy for the
+    /// give-up window (60 s); transport and server errors pass through.
+    pub fn send_chunk(&mut self, bytes: &[u8]) -> Result<u64, ClientError> {
+        let deadline = std::time::Instant::now() + BUSY_GIVE_UP;
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            self.send(&Frame::Data(bytes.to_vec()))?;
+            match self.recv_response()? {
+                Frame::Ack { accepted } => {
+                    self.acked_bytes = accepted;
+                    return Ok(accepted);
+                }
+                Frame::Busy { .. } => {
+                    self.busy_retries += 1;
+                    if std::time::Instant::now() >= deadline {
+                        return Err(ClientError::Saturated);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                }
+                other => return Err(unexpected("ack or busy", &other)),
+            }
+        }
+    }
+
+    /// STB-encodes `trace` and streams it in `chunk_bytes`-sized data
+    /// frames (0 means [`DEFAULT_DATA_CHUNK`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeClient::send_chunk`] failures.
+    pub fn stream_trace(&mut self, trace: &Trace, chunk_bytes: usize) -> Result<u64, ClientError> {
+        let bytes = smarttrack_trace::binary::to_stb_bytes(trace);
+        self.stream_bytes(&bytes, chunk_bytes)
+    }
+
+    /// Streams pre-encoded STB bytes in `chunk_bytes`-sized data frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeClient::send_chunk`] failures.
+    pub fn stream_bytes(&mut self, bytes: &[u8], chunk_bytes: usize) -> Result<u64, ClientError> {
+        let chunk = if chunk_bytes == 0 {
+            DEFAULT_DATA_CHUNK
+        } else {
+            chunk_bytes
+        };
+        let mut accepted = self.acked_bytes;
+        for piece in bytes.chunks(chunk) {
+            accepted = self.send_chunk(piece)?;
+        }
+        Ok(accepted)
+    }
+
+    /// Mid-stream state query: per-lane event counts and footprints.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn query_snapshot(&mut self) -> Result<WireSnapshot, ClientError> {
+        self.send(&Frame::Query(QueryKind::Snapshot))?;
+        match self.recv_response()? {
+            Frame::Snapshot(s) => Ok(s),
+            other => Err(unexpected("snapshot", &other)),
+        }
+    }
+
+    /// Mid-stream race query: every race each lane has found so far.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn query_races(&mut self) -> Result<WireReport, ClientError> {
+        self.send(&Frame::Query(QueryKind::Races))?;
+        match self.recv_response()? {
+            Frame::Races(r) => Ok(r),
+            other => Err(unexpected("races", &other)),
+        }
+    }
+
+    /// Ends the stream and collects the final report. The session is gone
+    /// afterwards; the connection may hello again for a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::StreamFailed`] if the
+    /// stream was truncated or malformed.
+    pub fn finish(&mut self) -> Result<WireReport, ClientError> {
+        self.send(&Frame::Finish)?;
+        self.acked_bytes = 0;
+        self.resumed = false;
+        self.resumed_events = 0;
+        match self.recv_response()? {
+            Frame::Report(r) => Ok(r),
+            other => Err(unexpected("report", &other)),
+        }
+    }
+
+    /// Detaches, leaving the session resumable on the server until its
+    /// idle timeout.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; detach has no reply.
+    pub fn detach(&mut self) -> Result<(), ClientError> {
+        self.send(&Frame::Detach)
+    }
+
+    /// Hellos again on the same connection (after [`ServeClient::finish`]
+    /// or [`ServeClient::detach`]) for another session.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ServeClient::connect`].
+    pub fn hello_again(
+        &mut self,
+        tenant: &str,
+        session: &str,
+        resume: bool,
+    ) -> Result<(), ClientError> {
+        self.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            resume,
+            tenant: tenant.to_string(),
+            session: session.to_string(),
+        })?;
+        match self.recv_response()? {
+            Frame::Welcome {
+                resumed,
+                events,
+                lanes,
+            } => {
+                self.resumed = resumed;
+                self.resumed_events = events;
+                self.lanes = lanes;
+                self.acked_bytes = 0;
+                Ok(())
+            }
+            other => Err(unexpected("welcome", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Frame) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

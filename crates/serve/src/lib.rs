@@ -1,0 +1,35 @@
+//! Race detection as a service.
+//!
+//! This crate turns the offline SmartTrack analysis engine into a
+//! long-running daemon: clients stream STB-encoded traces over TCP and
+//! get race reports back — final reports at end of stream, snapshots and
+//! race lists mid-stream, and individual race notices pushed the moment a
+//! lane detects them.
+//!
+//! Everything is plain `std`: `TcpListener` + threads, bounded
+//! `std::sync::mpsc` channels, no async runtime. See
+//! `docs/SERVE_PROTOCOL.md` for the byte-level frame specification.
+//!
+//! - [`Server`] — the daemon: session registry, sticky worker-owned
+//!   analysis sessions, byte-budget backpressure, graceful drain.
+//! - [`ServeClient`] — a blocking client driving one session at a time.
+//! - [`run_load`] — a load generator replaying a workload corpus over
+//!   many concurrent connections, validating against offline analysis.
+//! - [`protocol`] — the frame codec both sides share.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod protocol;
+pub mod server;
+mod wire;
+
+pub use client::{ClientError, ServeClient};
+pub use load::{run_load, LoadOptions, LoadReport};
+pub use protocol::{
+    ErrorCode, Frame, LaneInfo, ProtocolError, QueryKind, WireLane, WireLaneState, WireRace,
+    WireReport, WireSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{default_analyses, ServeError, Server, ServerConfig};
+pub use wire::WireError;

@@ -1,0 +1,336 @@
+//! A load generator for the serve daemon.
+//!
+//! [`run_load`] replays a workload corpus over `clients` concurrent
+//! connections, each streaming its share of the traces as back-to-back
+//! sessions on one connection. With validation on, every returned report
+//! is checked race-for-race against an offline [`analyze`] of the same
+//! trace, and every pushed race notice must appear in its session's final
+//! report — the server may drop pushes under pressure, but must never
+//! invent one.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use smarttrack_detect::{analyze, AnalysisConfig};
+use smarttrack_trace::Trace;
+
+use crate::client::{ClientError, ServeClient};
+use crate::protocol::WireRace;
+use crate::server::wire_race;
+
+/// Distinguishes concurrent [`run_load`] probes against one server.
+static PROBE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Knobs for [`run_load`].
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Data frame payload size (0 = protocol default).
+    pub chunk_bytes: usize,
+    /// Check every report against offline analysis of the same trace.
+    pub validate: bool,
+    /// Tenant name sessions are registered under.
+    pub tenant: String,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            clients: 4,
+            chunk_bytes: 0,
+            validate: true,
+            tenant: "load".to_string(),
+        }
+    }
+}
+
+/// What a [`run_load`] run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Connections opened.
+    pub clients: usize,
+    /// Sessions streamed to completion.
+    pub sessions: usize,
+    /// Events analyzed across all sessions (from the final reports).
+    pub events: u64,
+    /// STB bytes streamed.
+    pub bytes: u64,
+    /// Wall-clock time from first connect to last report.
+    pub elapsed: Duration,
+    /// Data frames that bounced with `Busy` before acceptance.
+    pub busy_retries: u64,
+    /// Dynamic races in the final reports, summed over lanes.
+    pub races: u64,
+    /// Race notices pushed over the sockets mid-stream.
+    pub pushed: u64,
+    /// Validation and transport failures, one line each.
+    pub failures: Vec<String>,
+}
+
+impl LoadReport {
+    /// Events per second of wall-clock time.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One session's races: per lane, the lane index and its sorted list.
+type LaneRaces = Vec<(u16, Vec<WireRace>)>;
+
+/// Sorted per-lane race lists, as the server would wire-encode them.
+fn offline_expected(trace: &Trace, lanes: &[(u16, AnalysisConfig)]) -> LaneRaces {
+    lanes
+        .iter()
+        .map(|&(lane, config)| {
+            let outcome = analyze(trace, config);
+            let mut races: Vec<WireRace> = outcome
+                .report
+                .races()
+                .iter()
+                .map(|r| wire_race(lane, r))
+                .collect();
+            races.sort();
+            (lane, races)
+        })
+        .collect()
+}
+
+struct ClientTally {
+    sessions: usize,
+    events: u64,
+    bytes: u64,
+    busy_retries: u64,
+    races: u64,
+    pushed: u64,
+    failures: Vec<String>,
+}
+
+fn drive_client(
+    addr: SocketAddr,
+    tenant: &str,
+    chunk_bytes: usize,
+    work: &[(usize, &str, &Trace)],
+    expected: Option<&[LaneRaces]>,
+) -> ClientTally {
+    let mut tally = ClientTally {
+        sessions: 0,
+        events: 0,
+        bytes: 0,
+        busy_retries: 0,
+        races: 0,
+        pushed: 0,
+        failures: Vec::new(),
+    };
+    let mut client: Option<ServeClient> = None;
+    for &(trace_idx, name, trace) in work {
+        let session_name = format!("load-{trace_idx}-{name}");
+        let attach = match client.as_mut() {
+            None => ServeClient::connect(addr, tenant, &session_name, false).map(|c| {
+                client = Some(c);
+            }),
+            Some(c) => c.hello_again(tenant, &session_name, false),
+        };
+        if let Err(e) = attach {
+            tally.failures.push(format!("{session_name}: hello: {e}"));
+            client = None;
+            continue;
+        }
+        let c = client.as_mut().expect("attached client");
+        let busy_before = c.busy_retries();
+        let result = stream_session(c, trace, chunk_bytes);
+        tally.busy_retries += c.busy_retries() - busy_before;
+        match result {
+            Ok((report_events, report_bytes, lanes, pushed)) => {
+                tally.sessions += 1;
+                tally.events += report_events;
+                tally.bytes += report_bytes;
+                tally.pushed += pushed.len() as u64;
+                tally.races += lanes.iter().map(|(_, r)| r.len() as u64).sum::<u64>();
+                if let Some(expected) = expected {
+                    validate_session(
+                        &session_name,
+                        &lanes,
+                        &pushed,
+                        &expected[trace_idx],
+                        &mut tally.failures,
+                    );
+                }
+            }
+            Err(e) => {
+                tally.failures.push(format!("{session_name}: {e}"));
+                // The session may be wedged server-side; drop the
+                // connection so the next session starts clean.
+                client = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Streams one trace as one session; returns (events, bytes, sorted
+/// per-lane races, pushed races).
+#[allow(clippy::type_complexity)]
+fn stream_session(
+    client: &mut ServeClient,
+    trace: &Trace,
+    chunk_bytes: usize,
+) -> Result<(u64, u64, Vec<(u16, Vec<WireRace>)>, Vec<WireRace>), ClientError> {
+    let stb = smarttrack_trace::binary::to_stb_bytes(trace);
+    let bytes = stb.len() as u64;
+    client.stream_bytes(&stb, chunk_bytes)?;
+    let report = client.finish()?;
+    let pushed = client.pushed_races();
+    let lanes = report
+        .lanes
+        .iter()
+        .enumerate()
+        .map(|(i, lane)| {
+            let mut races = lane.races.clone();
+            races.sort();
+            (i as u16, races)
+        })
+        .collect();
+    Ok((report.events, bytes, lanes, pushed))
+}
+
+fn validate_session(
+    session: &str,
+    got: &[(u16, Vec<WireRace>)],
+    pushed: &[WireRace],
+    expected: &[(u16, Vec<WireRace>)],
+    failures: &mut Vec<String>,
+) {
+    if got.len() != expected.len() {
+        failures.push(format!(
+            "{session}: server reported {} lanes, offline has {}",
+            got.len(),
+            expected.len()
+        ));
+        return;
+    }
+    for ((lane, races), (_, want)) in got.iter().zip(expected) {
+        if races != want {
+            failures.push(format!(
+                "{session}: lane {lane} diverges from offline analysis \
+                 ({} races vs {} offline)",
+                races.len(),
+                want.len()
+            ));
+        }
+    }
+    for race in pushed {
+        let genuine = got
+            .iter()
+            .any(|(lane, races)| *lane == race.lane && races.binary_search(race).is_ok());
+        if !genuine {
+            failures.push(format!(
+                "{session}: pushed race on lane {} absent from the final report",
+                race.lane
+            ));
+        }
+    }
+}
+
+/// Replays `traces` over `options.clients` concurrent connections against
+/// the serve daemon at `addr`.
+///
+/// Trace `i` goes to client `i % clients`; each client streams its traces
+/// as consecutive sessions on a single connection. Failures are collected
+/// in [`LoadReport::failures`] rather than aborting the run.
+///
+/// # Errors
+///
+/// [`ClientError`] only if the initial probe connection (which discovers
+/// the server's lane set) fails — per-session failures are reported, not
+/// returned.
+pub fn run_load(
+    addr: SocketAddr,
+    traces: &[(String, Trace)],
+    options: &LoadOptions,
+) -> Result<LoadReport, ClientError> {
+    let clients = options.clients.max(1);
+
+    // One probe session discovers the lane set (name + config per lane)
+    // so offline validation analyzes exactly what the server runs.
+    let probe_name = format!(
+        "load-probe-{}-{}",
+        std::process::id(),
+        PROBE_SEQ.fetch_add(1, Ordering::SeqCst)
+    );
+    let mut probe = ServeClient::connect(addr, &options.tenant, &probe_name, false)?;
+    let lane_infos = probe.lanes().to_vec();
+    probe.finish()?;
+    drop(probe);
+
+    let lane_configs: Vec<(u16, AnalysisConfig)> = lane_infos
+        .iter()
+        .enumerate()
+        .filter_map(|(i, info)| info.config.parse().ok().map(|c| (i as u16, c)))
+        .collect();
+
+    let expected: Option<Arc<Vec<LaneRaces>>> = if options.validate {
+        Some(Arc::new(
+            traces
+                .iter()
+                .map(|(_, trace)| offline_expected(trace, &lane_configs))
+                .collect(),
+        ))
+    } else {
+        None
+    };
+
+    let started = Instant::now();
+    let tallies: Arc<Mutex<Vec<ClientTally>>> = Arc::default();
+    std::thread::scope(|scope| {
+        for client_idx in 0..clients {
+            let work: Vec<(usize, &str, &Trace)> = traces
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == client_idx)
+                .map(|(i, (name, trace))| (i, name.as_str(), trace))
+                .collect();
+            if work.is_empty() {
+                continue;
+            }
+            let tallies = Arc::clone(&tallies);
+            let expected = expected.clone();
+            let tenant = options.tenant.clone();
+            let chunk_bytes = options.chunk_bytes;
+            scope.spawn(move || {
+                let tally = drive_client(
+                    addr,
+                    &tenant,
+                    chunk_bytes,
+                    &work,
+                    expected.as_deref().map(|e| &e[..]),
+                );
+                tallies.lock().expect("tally lock").push(tally);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport {
+        clients,
+        elapsed,
+        ..LoadReport::default()
+    };
+    for tally in tallies.lock().expect("tally lock").iter() {
+        report.sessions += tally.sessions;
+        report.events += tally.events;
+        report.bytes += tally.bytes;
+        report.busy_retries += tally.busy_retries;
+        report.races += tally.races;
+        report.pushed += tally.pushed;
+        report.failures.extend(tally.failures.iter().cloned());
+    }
+    Ok(report)
+}

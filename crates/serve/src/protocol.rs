@@ -1,0 +1,855 @@
+//! The serve framing protocol: typed, length-prefixed frames over a byte
+//! stream.
+//!
+//! Every frame is a 5-byte header — one type byte plus a `u32` (LE)
+//! payload length — followed by the payload. The byte-level layout of
+//! every payload is specified normatively in `docs/SERVE_PROTOCOL.md`;
+//! this module is its reference implementation, symmetric enough that the
+//! fuzz battery decodes whatever it encodes and vice versa.
+//!
+//! Decoding is incremental ([`FrameBuf`]) because the server reads sockets
+//! with a poll timeout and must tolerate frames arriving in arbitrary
+//! fragments; the blocking [`read_frame`] face serves the simpler client
+//! side.
+
+use std::io::{self, Read, Write};
+
+use crate::wire::{put_str, put_u16, put_u32, put_u64, put_u8, Cursor, WireError};
+
+/// Protocol version carried by [`Frame::Hello`]; servers refuse others.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on one frame's payload. Larger length prefixes are rejected
+/// *before* any allocation — a 4 GiB length prefix must not reserve 4 GiB.
+pub const MAX_FRAME_BYTES: u32 = 8 << 20;
+
+/// Recommended size for [`Frame::Data`] payloads: big enough to amortize
+/// framing, small enough to interleave with query responses.
+pub const DEFAULT_DATA_CHUNK: usize = 64 * 1024;
+
+// Frame type bytes. Client-originated frames use the low range,
+// server-originated frames set the high bit.
+pub(crate) const FT_HELLO: u8 = 0x01;
+pub(crate) const FT_DATA: u8 = 0x02;
+pub(crate) const FT_QUERY: u8 = 0x03;
+pub(crate) const FT_FINISH: u8 = 0x04;
+pub(crate) const FT_DETACH: u8 = 0x05;
+pub(crate) const FT_WELCOME: u8 = 0x81;
+pub(crate) const FT_ACK: u8 = 0x82;
+pub(crate) const FT_BUSY: u8 = 0x83;
+pub(crate) const FT_RACE: u8 = 0x84;
+pub(crate) const FT_REPORT: u8 = 0x85;
+pub(crate) const FT_SNAPSHOT: u8 = 0x86;
+pub(crate) const FT_RACES: u8 = 0x87;
+pub(crate) const FT_ERROR: u8 = 0x88;
+pub(crate) const FT_GOODBYE: u8 = 0x89;
+
+/// What a [`Frame::Query`] asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Full per-lane state: counts, footprint, events ([`Frame::Snapshot`]).
+    Snapshot,
+    /// The races found so far ([`Frame::Races`]).
+    Races,
+}
+
+/// Why the server refused a frame or closed a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The byte stream violated the framing protocol.
+    Protocol,
+    /// A non-resume hello named a session that already exists.
+    SessionExists,
+    /// A resume hello named a session another connection is driving.
+    SessionAttached,
+    /// The tenant/session pair is unknown (evicted or never opened).
+    UnknownSession,
+    /// The session's STB stream failed (corrupt, truncated, or malformed);
+    /// the session is poisoned and can only be finished or detached.
+    StreamFailed,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// An internal server failure (e.g. a panicked analysis).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::SessionExists => 2,
+            ErrorCode::SessionAttached => 3,
+            ErrorCode::UnknownSession => 4,
+            ErrorCode::StreamFailed => 5,
+            ErrorCode::ShuttingDown => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::SessionExists,
+            3 => ErrorCode::SessionAttached,
+            4 => ErrorCode::UnknownSession,
+            5 => ErrorCode::StreamFailed,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One analysis lane as advertised in [`Frame::Welcome`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneInfo {
+    /// Analysis name, as in the paper's tables (e.g. `ST-WDC`).
+    pub name: String,
+    /// The parseable configuration string (e.g. `st-wdc`), so a client can
+    /// reproduce the server's analysis offline.
+    pub config: String,
+}
+
+/// One dynamic race on the wire — the fields of
+/// [`RaceReport`](smarttrack_detect::RaceReport), with ids flattened to
+/// raw `u32`s and the detecting lane named by its [`Frame::Welcome`] index.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WireRace {
+    /// Index into the welcome frame's lane list.
+    pub lane: u16,
+    /// Trace index of the detecting access event.
+    pub event: u32,
+    /// Static program location of the detecting access.
+    pub loc: u32,
+    /// Thread of the detecting access.
+    pub tid: u32,
+    /// Variable raced on.
+    pub var: u32,
+    /// True when the detecting access is a write.
+    pub write: bool,
+    /// Threads of the prior conflicting accesses found unordered.
+    pub prior_tids: Vec<u32>,
+}
+
+/// One lane's final (or so-far) race list inside a [`WireReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireLane {
+    /// Analysis name.
+    pub name: String,
+    /// Parseable configuration string.
+    pub config: String,
+    /// Statically distinct race count (distinct locations).
+    pub static_count: u32,
+    /// Every dynamic race, in detection order.
+    pub races: Vec<WireRace>,
+}
+
+/// The per-lane race lists of one session ([`Frame::Report`] at finish,
+/// [`Frame::Races`] mid-stream).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireReport {
+    /// Events analyzed.
+    pub events: u64,
+    /// One entry per lane, in welcome order.
+    pub lanes: Vec<WireLane>,
+}
+
+/// One lane's counters inside a [`WireSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireLaneState {
+    /// Analysis name.
+    pub name: String,
+    /// Dynamic races so far.
+    pub dynamic: u64,
+    /// Statically distinct races so far.
+    pub static_count: u64,
+    /// Exact live metadata bytes.
+    pub footprint_bytes: u64,
+    /// Peak sampled metadata bytes.
+    pub peak_footprint_bytes: u64,
+    /// Events this lane has processed.
+    pub events: u64,
+}
+
+/// Mid-stream session state ([`Frame::Snapshot`]), the wire shape of
+/// [`SessionSnapshot`](smarttrack_detect::SessionSnapshot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Events ingested so far.
+    pub events: u64,
+    /// Heap bytes held by the session's id interner.
+    pub interner_bytes: u64,
+    /// One entry per lane, in welcome order.
+    pub lanes: Vec<WireLaneState>,
+}
+
+/// Every frame of the serve protocol. See `docs/SERVE_PROTOCOL.md` for the
+/// normative byte layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: open (or resume) a session.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Reattach to an existing detached session instead of failing
+        /// with [`ErrorCode::SessionExists`]; creates the session if it
+        /// does not exist.
+        resume: bool,
+        /// Tenant namespace (registry key half one).
+        tenant: String,
+        /// Session name, unique per tenant (registry key half two).
+        session: String,
+    },
+    /// Client → server: raw STB stream bytes, split anywhere.
+    Data(Vec<u8>),
+    /// Client → server: ask for mid-stream state.
+    Query(QueryKind),
+    /// Client → server: end of stream; finish the session and return its
+    /// [`Frame::Report`].
+    Finish,
+    /// Client → server: detach, leaving the session resumable until the
+    /// idle timeout evicts it.
+    Detach,
+    /// Server → client: the hello was accepted.
+    Welcome {
+        /// True when an existing session was resumed.
+        resumed: bool,
+        /// Events the session had already ingested before this hello.
+        events: u64,
+        /// The analysis lanes this server runs, in lane-index order.
+        lanes: Vec<LaneInfo>,
+    },
+    /// Server → client: a [`Frame::Data`] payload was accepted.
+    Ack {
+        /// Total stream bytes accepted so far (across resumes).
+        accepted: u64,
+    },
+    /// Server → client: the session's ingest queue is full; the data frame
+    /// was **dropped** — back off and resend it.
+    Busy {
+        /// Bytes currently queued for analysis.
+        queued: u64,
+        /// The per-session queue capacity.
+        capacity: u64,
+    },
+    /// Server → client: a race, pushed as it was detected.
+    Race(WireRace),
+    /// Server → client: the final report; the session is closed.
+    Report(WireReport),
+    /// Server → client: answer to [`QueryKind::Snapshot`].
+    Snapshot(WireSnapshot),
+    /// Server → client: answer to [`QueryKind::Races`]; the session
+    /// continues.
+    Races(WireReport),
+    /// Server → client: a refusal or failure.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Server → client: the server is closing this connection (shutdown
+    /// drain); any session was detached and remains resumable.
+    Goodbye {
+        /// Why the connection is closing.
+        reason: String,
+    },
+}
+
+/// A framing violation. The connection that produced it cannot continue —
+/// there is no way to resynchronize a length-prefixed stream after a bad
+/// header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A frame header declared a payload larger than [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The declared type byte.
+        frame: u8,
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The type byte names no known frame.
+    UnknownFrameType(u8),
+    /// The payload of a known frame type failed to decode.
+    Malformed {
+        /// The frame's type byte.
+        frame: u8,
+        /// The field-level failure.
+        source: WireError,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversized { frame, len } => write!(
+                f,
+                "frame {frame:#04x} declares a {len}-byte payload, over the \
+                 {MAX_FRAME_BYTES}-byte cap"
+            ),
+            ProtocolError::UnknownFrameType(t) => write!(f, "unknown frame type {t:#04x}"),
+            ProtocolError::Malformed { frame, source } => {
+                write!(f, "malformed frame {frame:#04x}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn race_body(out: &mut Vec<u8>, race: &WireRace) {
+    put_u32(out, race.event);
+    put_u32(out, race.loc);
+    put_u32(out, race.tid);
+    put_u32(out, race.var);
+    put_u8(out, race.write as u8);
+    put_u16(out, race.prior_tids.len() as u16);
+    for &tid in &race.prior_tids {
+        put_u32(out, tid);
+    }
+}
+
+fn decode_race_body(c: &mut Cursor<'_>, lane: u16) -> Result<WireRace, WireError> {
+    let event = c.u32("race event id")?;
+    let loc = c.u32("race location")?;
+    let tid = c.u32("race thread id")?;
+    let var = c.u32("race variable")?;
+    let write = match c.u8("race access kind")? {
+        0 => false,
+        1 => true,
+        _ => {
+            return Err(WireError {
+                offset: 0,
+                what: "race access kind (not 0/1)",
+            })
+        }
+    };
+    let nprior = c.u16("race prior count")?;
+    let mut prior_tids = Vec::with_capacity(nprior as usize);
+    for _ in 0..nprior {
+        prior_tids.push(c.u32("race prior thread")?);
+    }
+    Ok(WireRace {
+        lane,
+        event,
+        loc,
+        tid,
+        var,
+        write,
+        prior_tids,
+    })
+}
+
+fn report_body(out: &mut Vec<u8>, report: &WireReport) {
+    put_u64(out, report.events);
+    put_u16(out, report.lanes.len() as u16);
+    for lane in &report.lanes {
+        put_str(out, &lane.name);
+        put_str(out, &lane.config);
+        put_u32(out, lane.static_count);
+        put_u32(out, lane.races.len() as u32);
+        for race in &lane.races {
+            race_body(out, race);
+        }
+    }
+}
+
+fn decode_report_body(c: &mut Cursor<'_>) -> Result<WireReport, WireError> {
+    let events = c.u64("report events")?;
+    let nlanes = c.u16("report lane count")?;
+    let mut lanes = Vec::with_capacity(nlanes as usize);
+    for lane_index in 0..nlanes {
+        let name = c.str("lane name")?;
+        let config = c.str("lane config")?;
+        let static_count = c.u32("lane static count")?;
+        let nraces = c.u32("lane race count")?;
+        let mut races = Vec::new();
+        for _ in 0..nraces {
+            races.push(decode_race_body(c, lane_index)?);
+        }
+        lanes.push(WireLane {
+            name,
+            config,
+            static_count,
+            races,
+        });
+    }
+    Ok(WireReport { events, lanes })
+}
+
+/// Serializes one frame: 5-byte header plus payload.
+///
+/// # Panics
+///
+/// Panics if the payload would exceed [`MAX_FRAME_BYTES`] — the caller
+/// controls every variable-length field and must chunk its data.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let ty = match frame {
+        Frame::Hello {
+            version,
+            resume,
+            tenant,
+            session,
+        } => {
+            put_u16(&mut payload, *version);
+            put_u8(&mut payload, *resume as u8);
+            put_str(&mut payload, tenant);
+            put_str(&mut payload, session);
+            FT_HELLO
+        }
+        Frame::Data(bytes) => {
+            payload.extend_from_slice(bytes);
+            FT_DATA
+        }
+        Frame::Query(kind) => {
+            put_u8(
+                &mut payload,
+                match kind {
+                    QueryKind::Snapshot => 0,
+                    QueryKind::Races => 1,
+                },
+            );
+            FT_QUERY
+        }
+        Frame::Finish => FT_FINISH,
+        Frame::Detach => FT_DETACH,
+        Frame::Welcome {
+            resumed,
+            events,
+            lanes,
+        } => {
+            put_u8(&mut payload, *resumed as u8);
+            put_u64(&mut payload, *events);
+            put_u16(&mut payload, lanes.len() as u16);
+            for lane in lanes {
+                put_str(&mut payload, &lane.name);
+                put_str(&mut payload, &lane.config);
+            }
+            FT_WELCOME
+        }
+        Frame::Ack { accepted } => {
+            put_u64(&mut payload, *accepted);
+            FT_ACK
+        }
+        Frame::Busy { queued, capacity } => {
+            put_u64(&mut payload, *queued);
+            put_u64(&mut payload, *capacity);
+            FT_BUSY
+        }
+        Frame::Race(race) => {
+            put_u16(&mut payload, race.lane);
+            race_body(&mut payload, race);
+            FT_RACE
+        }
+        Frame::Report(report) => {
+            report_body(&mut payload, report);
+            FT_REPORT
+        }
+        Frame::Races(report) => {
+            report_body(&mut payload, report);
+            FT_RACES
+        }
+        Frame::Snapshot(snapshot) => {
+            put_u64(&mut payload, snapshot.events);
+            put_u64(&mut payload, snapshot.interner_bytes);
+            put_u16(&mut payload, snapshot.lanes.len() as u16);
+            for lane in &snapshot.lanes {
+                put_str(&mut payload, &lane.name);
+                put_u64(&mut payload, lane.dynamic);
+                put_u64(&mut payload, lane.static_count);
+                put_u64(&mut payload, lane.footprint_bytes);
+                put_u64(&mut payload, lane.peak_footprint_bytes);
+                put_u64(&mut payload, lane.events);
+            }
+            FT_SNAPSHOT
+        }
+        Frame::Error { code, message } => {
+            put_u16(&mut payload, code.to_u16());
+            put_str(&mut payload, message);
+            FT_ERROR
+        }
+        Frame::Goodbye { reason } => {
+            put_str(&mut payload, reason);
+            FT_GOODBYE
+        }
+    };
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES as usize,
+        "frame {ty:#04x} payload of {} bytes exceeds MAX_FRAME_BYTES",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(ty);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one payload whose header named `ty`.
+fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
+    let malformed = |source| ProtocolError::Malformed { frame: ty, source };
+    let mut c = Cursor::new(payload);
+    let frame = match ty {
+        FT_HELLO => Frame::Hello {
+            version: c.u16("hello version").map_err(malformed)?,
+            resume: c.u8("hello resume flag").map_err(malformed)? != 0,
+            tenant: c.str("hello tenant").map_err(malformed)?,
+            session: c.str("hello session").map_err(malformed)?,
+        },
+        FT_DATA => Frame::Data(c.rest().to_vec()),
+        FT_QUERY => match c.u8("query kind").map_err(malformed)? {
+            0 => Frame::Query(QueryKind::Snapshot),
+            1 => Frame::Query(QueryKind::Races),
+            _ => {
+                return Err(malformed(WireError {
+                    offset: 0,
+                    what: "query kind (not 0/1)",
+                }))
+            }
+        },
+        FT_FINISH => Frame::Finish,
+        FT_DETACH => Frame::Detach,
+        FT_WELCOME => {
+            let resumed = c.u8("welcome resumed flag").map_err(malformed)? != 0;
+            let events = c.u64("welcome events").map_err(malformed)?;
+            let nlanes = c.u16("welcome lane count").map_err(malformed)?;
+            let mut lanes = Vec::with_capacity(nlanes as usize);
+            for _ in 0..nlanes {
+                let name = c.str("welcome lane name").map_err(malformed)?;
+                let config = c.str("welcome lane config").map_err(malformed)?;
+                lanes.push(LaneInfo { name, config });
+            }
+            Frame::Welcome {
+                resumed,
+                events,
+                lanes,
+            }
+        }
+        FT_ACK => Frame::Ack {
+            accepted: c.u64("ack accepted bytes").map_err(malformed)?,
+        },
+        FT_BUSY => Frame::Busy {
+            queued: c.u64("busy queued bytes").map_err(malformed)?,
+            capacity: c.u64("busy capacity").map_err(malformed)?,
+        },
+        FT_RACE => {
+            let lane = c.u16("race lane").map_err(malformed)?;
+            Frame::Race(decode_race_body(&mut c, lane).map_err(malformed)?)
+        }
+        FT_REPORT => Frame::Report(decode_report_body(&mut c).map_err(malformed)?),
+        FT_RACES => Frame::Races(decode_report_body(&mut c).map_err(malformed)?),
+        FT_SNAPSHOT => {
+            let events = c.u64("snapshot events").map_err(malformed)?;
+            let interner_bytes = c.u64("snapshot interner bytes").map_err(malformed)?;
+            let nlanes = c.u16("snapshot lane count").map_err(malformed)?;
+            let mut lanes = Vec::with_capacity(nlanes as usize);
+            for _ in 0..nlanes {
+                lanes.push(WireLaneState {
+                    name: c.str("snapshot lane name").map_err(malformed)?,
+                    dynamic: c.u64("snapshot dynamic count").map_err(malformed)?,
+                    static_count: c.u64("snapshot static count").map_err(malformed)?,
+                    footprint_bytes: c.u64("snapshot footprint").map_err(malformed)?,
+                    peak_footprint_bytes: c.u64("snapshot peak footprint").map_err(malformed)?,
+                    events: c.u64("snapshot lane events").map_err(malformed)?,
+                });
+            }
+            Frame::Snapshot(WireSnapshot {
+                events,
+                interner_bytes,
+                lanes,
+            })
+        }
+        FT_ERROR => {
+            let raw = c.u16("error code").map_err(malformed)?;
+            let code = ErrorCode::from_u16(raw).ok_or(malformed(WireError {
+                offset: 0,
+                what: "error code (unknown)",
+            }))?;
+            Frame::Error {
+                code,
+                message: c.str("error message").map_err(malformed)?,
+            }
+        }
+        FT_GOODBYE => Frame::Goodbye {
+            reason: c.str("goodbye reason").map_err(malformed)?,
+        },
+        other => return Err(ProtocolError::UnknownFrameType(other)),
+    };
+    c.finish().map_err(malformed)?;
+    Ok(frame)
+}
+
+/// Attempts to decode one frame from the front of `buf`. Returns the frame
+/// and the bytes it consumed, or `None` when `buf` holds only a partial
+/// frame.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtocolError> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let ty = buf[0];
+    let len = u32::from_le_bytes(buf[1..5].try_into().expect("four bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized { frame: ty, len });
+    }
+    let total = 5 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame = decode_payload(ty, &buf[5..total])?;
+    Ok(Some((frame, total)))
+}
+
+/// An incremental frame accumulator: push raw socket bytes in, pull whole
+/// frames out. The server's connection loops feed it from reads with a
+/// poll timeout, so a frame may arrive across many reads.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `None` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on a framing violation; the stream cannot be
+    /// resynchronized afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        match decode_frame(&self.buf[self.start..])? {
+            Some((frame, consumed)) => {
+                self.start += consumed;
+                if self.start == self.buf.len() || self.start >= 64 * 1024 {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+/// Writes one frame to a blocking transport.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame from a blocking transport (the client side, where reads
+/// have no poll timeout). Returns `None` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors, or a [`ProtocolError`] (as `InvalidData`) on framing
+/// violations — including EOF inside a frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; 5];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let ty = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("four bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ProtocolError::Oversized { frame: ty, len }.to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(ty, &payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                resume: true,
+                tenant: "acme".into(),
+                session: "run-42".into(),
+            },
+            Frame::Data(vec![0x89, 0x53, 0x54, 0x42, 1, 0]),
+            Frame::Query(QueryKind::Snapshot),
+            Frame::Query(QueryKind::Races),
+            Frame::Finish,
+            Frame::Detach,
+            Frame::Welcome {
+                resumed: false,
+                events: 7,
+                lanes: vec![
+                    LaneInfo {
+                        name: "ST-WDC".into(),
+                        config: "st-wdc".into(),
+                    },
+                    LaneInfo {
+                        name: "FTO-HB".into(),
+                        config: "fto-hb".into(),
+                    },
+                ],
+            },
+            Frame::Ack { accepted: 1 << 40 },
+            Frame::Busy {
+                queued: 9,
+                capacity: 10,
+            },
+            Frame::Race(WireRace {
+                lane: 1,
+                event: 5,
+                loc: u32::MAX,
+                tid: 2,
+                var: 0,
+                write: true,
+                prior_tids: vec![0, 1],
+            }),
+            Frame::Report(WireReport {
+                events: 100,
+                lanes: vec![WireLane {
+                    name: "ST-WDC".into(),
+                    config: "st-wdc".into(),
+                    static_count: 1,
+                    races: vec![WireRace {
+                        lane: 0,
+                        event: 9,
+                        loc: 3,
+                        tid: 1,
+                        var: 4,
+                        write: false,
+                        prior_tids: vec![0],
+                    }],
+                }],
+            }),
+            Frame::Races(WireReport {
+                events: 1,
+                lanes: vec![],
+            }),
+            Frame::Snapshot(WireSnapshot {
+                events: 50,
+                interner_bytes: 1024,
+                lanes: vec![WireLaneState {
+                    name: "FT2".into(),
+                    dynamic: 2,
+                    static_count: 1,
+                    footprint_bytes: 4096,
+                    peak_footprint_bytes: 8192,
+                    events: 50,
+                }],
+            }),
+            Frame::Error {
+                code: ErrorCode::StreamFailed,
+                message: "truncated at byte 17".into(),
+            },
+            Frame::Goodbye {
+                reason: "shutting down".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (decoded, consumed) = decode_frame(&bytes).expect("decodes").expect("complete");
+            assert_eq!(consumed, bytes.len(), "{frame:?}");
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn framebuf_reassembles_split_streams() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&encode_frame(frame));
+        }
+        for step in [1, 2, 7, 64, stream.len()] {
+            let mut buf = FrameBuf::new();
+            let mut decoded = Vec::new();
+            for piece in stream.chunks(step) {
+                buf.push(piece);
+                while let Some(frame) = buf.next_frame().expect("valid stream") {
+                    decoded.push(frame);
+                }
+            }
+            assert_eq!(decoded, frames, "step {step}");
+            assert_eq!(buf.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = vec![FT_DATA];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&bytes).unwrap_err();
+        assert!(matches!(err, ProtocolError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_and_trailing_bytes_are_rejected() {
+        let mut bytes = vec![0x7f];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            ProtocolError::UnknownFrameType(0x7f)
+        ));
+
+        // A Finish frame with a non-empty payload violates the layout.
+        let mut bytes = vec![FT_FINISH];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            ProtocolError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn blocking_read_frame_matches_decode() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&encode_frame(frame));
+        }
+        let mut r = &stream[..];
+        let mut decoded = Vec::new();
+        while let Some(frame) = read_frame(&mut r).expect("valid stream") {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, frames);
+    }
+}

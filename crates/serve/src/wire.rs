@@ -1,0 +1,166 @@
+//! Little-endian wire primitives shared by every frame codec.
+//!
+//! The serve protocol (see `docs/SERVE_PROTOCOL.md`) uses fixed-width
+//! little-endian integers and `u16`-length-prefixed UTF-8 strings — no
+//! varints, so a frame's layout is computable from its type alone and a
+//! fuzzer's bit flips land on well-defined field boundaries.
+
+use std::fmt;
+
+/// A decode failure inside one frame payload: the byte offset (within the
+/// payload) and what was being read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Offset within the frame payload where decoding failed.
+    pub offset: usize,
+    /// The field being decoded.
+    pub what: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload byte {}: bad {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a string as `u16` byte length + UTF-8 bytes. Longer strings are
+/// a caller bug — the protocol has no business shipping them.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("protocol strings fit in u16");
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over one frame payload.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let start = self.pos;
+        let end = start.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                self.pos = end;
+                Ok(&self.bytes[start..end])
+            }
+            None => Err(WireError {
+                offset: start,
+                what,
+            }),
+        }
+    }
+
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("two bytes"),
+        ))
+    }
+
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("four bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("eight bytes"),
+        ))
+    }
+
+    pub(crate) fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let offset = self.pos;
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError { offset, what })
+    }
+
+    /// The unread remainder of the payload.
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let rest = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        rest
+    }
+
+    /// Asserts the payload was consumed exactly — trailing bytes are a
+    /// protocol violation, not padding.
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError {
+                offset: self.pos,
+                what: "end of payload (trailing bytes)",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u16(&mut out, 0xBEEF);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_str(&mut out, "tenant/α");
+
+        let mut c = Cursor::new(&out);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u16("b").unwrap(), 0xBEEF);
+        assert_eq!(c.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(c.str("e").unwrap(), "tenant/α");
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_and_trailing_bytes_are_errors() {
+        let mut c = Cursor::new(&[1, 2]);
+        assert_eq!(c.u32("field").unwrap_err().what, "field");
+
+        let mut c = Cursor::new(&[1, 2, 3]);
+        c.u16("ok").unwrap();
+        let err = c.finish().unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut c = Cursor::new(&[2, 0, 0xff, 0xfe]);
+        assert!(c.str("name").is_err());
+    }
+}

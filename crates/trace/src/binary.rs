@@ -1053,6 +1053,367 @@ impl<R: Read> Iterator for StbReader<R> {
 }
 
 // ---------------------------------------------------------------------------
+// Push-style assembler.
+
+/// How far an [`StbAssembler`] parse attempt got.
+enum Advance {
+    /// Consumed a header or chunk; try again.
+    Progress,
+    /// The buffered bytes end mid-structure; wait for more input.
+    NeedMore,
+    /// The end-of-stream terminator was consumed.
+    Done,
+}
+
+/// Maps "ran out of buffered bytes" to [`Advance::NeedMore`] unless the
+/// caller has declared end of input, in which case the underlying
+/// [`StbError::Truncated`] (with its precise offset and context) stands.
+fn or_need_more<T>(r: Result<T, StbError>, eof: bool) -> Result<Option<T>, StbError> {
+    match r {
+        Ok(v) => Ok(Some(v)),
+        Err(StbError::Truncated { .. }) if !eof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// A push-style incremental STB decoder: the inverse control flow of
+/// [`StbReader`].
+///
+/// [`StbReader`] *pulls* from an `impl Read` and blocks until bytes arrive;
+/// that is the right shape for files and dedicated sockets, but a server
+/// multiplexing many streams over a shared worker pool cannot afford to
+/// park a worker thread inside `read`. `StbAssembler` inverts the flow:
+/// the owner [`push`es](StbAssembler::push) byte slices as they arrive (cut
+/// at *arbitrary* points — mid-header, mid-varint, mid-chunk) and drains
+/// decoded events with [`next_event`](StbAssembler::next_event); when the
+/// input ends, [`close`](StbAssembler::close) either confirms a
+/// well-terminated stream or reports the same precise
+/// [`Truncated`](StbError::Truncated) error `StbReader` would have raised.
+///
+/// Memory stays bounded: at most one chunk frame (≤ 64 MiB payload cap,
+/// typically a few KiB) is buffered before it decodes, and decode errors
+/// are latched — after the first error the assembler refuses further input
+/// rather than resynchronizing on garbage.
+///
+/// Unlike `StbReader`, which stops at the terminator and leaves any
+/// trailing bytes to the underlying reader, the assembler owns its whole
+/// input and rejects bytes after the terminator as
+/// [`Corrupt`](StbError::Corrupt).
+///
+/// # Examples
+///
+/// ```
+/// use smarttrack_trace::{binary, paper};
+///
+/// let trace = paper::figure1();
+/// let bytes = binary::to_stb_bytes(&trace);
+///
+/// // Feed the stream one byte at a time, as a socket might deliver it.
+/// let mut assembler = binary::StbAssembler::new();
+/// let mut events = Vec::new();
+/// for b in &bytes {
+///     assembler.push(std::slice::from_ref(b))?;
+///     while let Some(event) = assembler.next_event() {
+///         events.push(event);
+///     }
+/// }
+/// assembler.close()?;
+/// assert_eq!(events, trace.events());
+/// # Ok::<(), binary::StbError>(())
+/// ```
+pub struct StbAssembler {
+    /// Raw bytes not yet parsed; `buf[start..]` is live, the prefix is
+    /// already-consumed garbage awaiting compaction.
+    buf: Vec<u8>,
+    start: usize,
+    /// Absolute stream offset of `buf[start]` — keeps error offsets
+    /// identical to what `StbReader` reports on the same byte stream.
+    consumed: u64,
+    header: Option<StbHeader>,
+    /// Decoded events awaiting [`next_event`](StbAssembler::next_event).
+    events: std::collections::VecDeque<Event>,
+    position: u64,
+    done: bool,
+    poisoned: bool,
+}
+
+impl Default for StbAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StbAssembler {
+    /// An assembler expecting the start of an STB stream.
+    pub fn new() -> Self {
+        StbAssembler {
+            buf: Vec::new(),
+            start: 0,
+            consumed: 0,
+            header: None,
+            events: std::collections::VecDeque::new(),
+            position: 0,
+            done: false,
+            poisoned: false,
+        }
+    }
+
+    /// The decoded header, once enough bytes have arrived to parse it.
+    pub fn header(&self) -> Option<&StbHeader> {
+        self.header.as_ref()
+    }
+
+    /// Number of events decoded so far (queued or already drained).
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// True once the end-of-stream terminator has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Bytes pushed but not yet parsed (bounded by one chunk frame plus
+    /// whatever the owner pushes between chunks).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Appends `bytes` (split anywhere) and decodes every complete
+    /// structure they finish. Decoded events queue up for
+    /// [`next_event`](StbAssembler::next_event).
+    ///
+    /// # Errors
+    ///
+    /// Any header or chunk error [`StbReader`] would raise at the same
+    /// offset, plus [`Corrupt`](StbError::Corrupt) for bytes after the
+    /// terminator. Errors are latched: every later call fails too.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<(), StbError> {
+        self.check_poison()?;
+        if self.done && !bytes.is_empty() {
+            return self.poison(trailing_error(self.consumed, bytes.len()));
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.advance(false) {
+                Ok(Advance::Progress) => {}
+                Ok(Advance::NeedMore) => return Ok(()),
+                Ok(Advance::Done) => {
+                    let trailing = self.buf.len() - self.start;
+                    if trailing > 0 {
+                        return self.poison(trailing_error(self.consumed, trailing));
+                    }
+                    return Ok(());
+                }
+                Err(e) => return self.poison(e),
+            }
+        }
+    }
+
+    /// Pops the next decoded event, or `None` if decoding is waiting on
+    /// more input (or the stream is finished).
+    pub fn next_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    /// Declares end of input. On a well-terminated stream this returns the
+    /// total decoded event count; on a stream cut mid-structure it returns
+    /// the precise [`Truncated`](StbError::Truncated) error, naming the
+    /// byte offset and what was being read when the bytes ran out.
+    ///
+    /// # Errors
+    ///
+    /// [`Truncated`](StbError::Truncated) (or any latched earlier error).
+    pub fn close(&mut self) -> Result<u64, StbError> {
+        self.check_poison()?;
+        loop {
+            match self.advance(true) {
+                Ok(Advance::Progress) => {}
+                Ok(Advance::NeedMore) => unreachable!("advance(eof) never defers"),
+                Ok(Advance::Done) => {
+                    let trailing = self.buf.len() - self.start;
+                    if trailing > 0 {
+                        return self.poison(trailing_error(self.consumed, trailing));
+                    }
+                    return Ok(self.position);
+                }
+                Err(e) => return self.poison(e),
+            }
+        }
+    }
+
+    fn check_poison(&self) -> Result<(), StbError> {
+        if self.poisoned {
+            return Err(StbError::Corrupt {
+                offset: self.consumed,
+                message: "assembler already failed; the stream cannot continue".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn poison<T>(&mut self, e: StbError) -> Result<T, StbError> {
+        self.poisoned = true;
+        Err(e)
+    }
+
+    /// Marks `n` bytes as parsed and compacts the buffer once the dead
+    /// prefix is worth reclaiming.
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        self.consumed += n as u64;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Attempts to parse one structure (header, chunk, or terminator) from
+    /// the buffered bytes. With `eof` set, incomplete input is an error
+    /// instead of [`Advance::NeedMore`].
+    fn advance(&mut self, eof: bool) -> Result<Advance, StbError> {
+        if self.done {
+            return Ok(Advance::Done);
+        }
+        if self.header.is_none() {
+            return self.advance_header(eof);
+        }
+        self.advance_chunk(eof)
+    }
+
+    fn advance_header(&mut self, eof: bool) -> Result<Advance, StbError> {
+        let bytes = &self.buf[self.start..];
+        let base = self.consumed;
+        if bytes.len() < 4 {
+            if eof {
+                return Err(StbError::Truncated {
+                    offset: base + bytes.len() as u64,
+                    context: "magic",
+                });
+            }
+            return Ok(Advance::NeedMore);
+        }
+        let magic: [u8; 4] = bytes[..4].try_into().expect("four bytes");
+        if magic != STB_MAGIC {
+            return Err(StbError::BadMagic { found: magic });
+        }
+        if bytes.len() < 6 {
+            if eof {
+                return Err(StbError::Truncated {
+                    offset: base + bytes.len() as u64,
+                    context: "version and flags",
+                });
+            }
+            return Ok(Advance::NeedMore);
+        }
+        let (version, flags) = (bytes[4], bytes[5]);
+        if version != STB_VERSION && version != STB_VERSION_2 {
+            return Err(StbError::UnsupportedVersion(version));
+        }
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(StbError::UnknownFlags(flags));
+        }
+        let mut pos = 6usize;
+        let hint = if flags & FLAG_HAS_HINT != 0 {
+            let mut fields = [0u64; 7];
+            let count = if version >= STB_VERSION_2 { 7 } else { 5 };
+            for field in fields.iter_mut().take(count) {
+                match or_need_more(read_varint(bytes, &mut pos, base, "header hint"), eof)? {
+                    Some(v) => *field = v,
+                    None => return Ok(Advance::NeedMore),
+                }
+            }
+            Some(StbHint {
+                events: fields[0],
+                threads: fields[1],
+                vars: fields[2],
+                locks: fields[3],
+                volatiles: fields[4],
+                condvars: fields[5],
+                barriers: fields[6],
+            })
+        } else {
+            None
+        };
+        self.header = Some(StbHeader { version, hint });
+        self.consume(pos);
+        Ok(Advance::Progress)
+    }
+
+    fn advance_chunk(&mut self, eof: bool) -> Result<Advance, StbError> {
+        let bytes = &self.buf[self.start..];
+        let base = self.consumed;
+        let mut pos = 0usize;
+        if eof && bytes.is_empty() {
+            // Clean end at a frame boundary without the terminator: the
+            // same strict error `StbReader` raises.
+            return Err(StbError::Truncated {
+                offset: base,
+                context: "chunk length (missing end-of-stream terminator)",
+            });
+        }
+        let Some(len) = or_need_more(read_varint(bytes, &mut pos, base, "chunk length"), eof)?
+        else {
+            return Ok(Advance::NeedMore);
+        };
+        if len == 0 {
+            self.done = true;
+            self.consume(pos);
+            return Ok(Advance::Done);
+        }
+        if len > MAX_CHUNK_BYTES {
+            return Err(StbError::Corrupt {
+                offset: base + pos as u64,
+                message: format!(
+                    "chunk payload of {len} bytes exceeds the {MAX_CHUNK_BYTES}-byte cap"
+                ),
+            });
+        }
+        let Some(count) =
+            or_need_more(read_varint(bytes, &mut pos, base, "chunk event count"), eof)?
+        else {
+            return Ok(Advance::NeedMore);
+        };
+        if count == 0 {
+            return Err(StbError::Corrupt {
+                offset: base + pos as u64,
+                message: "chunk declares zero events".to_string(),
+            });
+        }
+        let len = len as usize;
+        if bytes.len() - pos < len {
+            if eof {
+                return Err(StbError::Truncated {
+                    offset: base + bytes.len() as u64,
+                    context: "chunk payload",
+                });
+            }
+            return Ok(Advance::NeedMore);
+        }
+        let payload_base = base + pos as u64;
+        let version = self.header.as_ref().expect("header parsed").version;
+        let mut decoded = Vec::with_capacity(count as usize);
+        decode_chunk(&bytes[pos..pos + len], version, count, payload_base, |e| {
+            decoded.push(e)
+        })?;
+        self.events.extend(decoded);
+        self.position += count;
+        self.consume(pos + len);
+        Ok(Advance::Progress)
+    }
+}
+
+fn trailing_error(offset: u64, trailing: usize) -> StbError {
+    StbError::Corrupt {
+        offset,
+        message: format!("{trailing} byte(s) after the end-of-stream terminator"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Eager faces.
 
 /// Writes `trace` to `out` as an STB stream, header hint included.
@@ -1535,5 +1896,139 @@ mod tests {
         if let Ok(decoded) = from_stb_bytes(&bytes) {
             assert_ne!(decoded, tr, "grammars must differ");
         } // Err: expected — truncated hint / corrupt chunk under v1 rules.
+    }
+
+    /// Drains an assembler fed `bytes` in `step`-sized pushes.
+    fn assemble(bytes: &[u8], step: usize) -> Result<Vec<Event>, StbError> {
+        let mut asm = StbAssembler::new();
+        let mut events = Vec::new();
+        for piece in bytes.chunks(step.max(1)) {
+            asm.push(piece)?;
+            while let Some(e) = asm.next_event() {
+                events.push(e);
+            }
+        }
+        asm.close()?;
+        assert!(asm.is_done());
+        assert_eq!(asm.position(), events.len() as u64);
+        assert_eq!(asm.buffered_bytes(), 0);
+        Ok(events)
+    }
+
+    #[test]
+    fn assembler_matches_reader_at_every_split_granularity() {
+        for tr in [paper::figure1(), sync_trace()] {
+            let mut w = StbWriter::with_hint(Vec::new(), StbHint::of_trace(&tr)).chunk_events(3);
+            for e in tr.events() {
+                w.write(e).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            for step in [1, 2, 3, 7, 64, bytes.len()] {
+                let events = assemble(&bytes, step).expect("assembles");
+                assert_eq!(events, tr.events(), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_exposes_the_header_once_parsed() {
+        let tr = sync_trace();
+        let bytes = to_stb_bytes(&tr);
+        let mut asm = StbAssembler::new();
+        assert!(asm.header().is_none());
+        asm.push(&bytes).unwrap();
+        let header = asm.header().expect("header parsed");
+        assert_eq!(header.version, STB_VERSION_2);
+        assert_eq!(header.hint.unwrap().events, tr.len() as u64);
+    }
+
+    #[test]
+    fn assembler_truncation_anywhere_matches_reader_errors() {
+        let tr = sync_trace();
+        let bytes = to_stb_bytes(&tr);
+        for cut in 0..bytes.len() {
+            let reader_err = (|| -> Result<u64, StbError> {
+                let mut n = 0;
+                for e in StbReader::new(&bytes[..cut])? {
+                    e?;
+                    n += 1;
+                }
+                Err(StbError::Truncated {
+                    offset: 0,
+                    context: "reader finished a truncated stream",
+                })
+                .map(|()| n)
+            })();
+            let asm_err = (|| -> Result<u64, StbError> {
+                let mut asm = StbAssembler::new();
+                asm.push(&bytes[..cut])?;
+                asm.close()
+            })();
+            let reader_err = reader_err.expect_err("cut streams must fail");
+            let asm_err = asm_err.unwrap_err();
+            // The reader reads the terminator lazily, so some cuts surface
+            // as different *variants* only when the reader never looked at
+            // the tail; offsets and contexts must agree whenever both
+            // raise Truncated.
+            if let (
+                StbError::Truncated {
+                    offset: ro,
+                    context: rc,
+                },
+                StbError::Truncated {
+                    offset: ao,
+                    context: ac,
+                },
+            ) = (&reader_err, &asm_err)
+            {
+                assert_eq!((ro, rc), (ao, ac), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_trailing_bytes_and_latches_errors() {
+        let bytes = to_stb_bytes(&paper::figure1());
+        let mut asm = StbAssembler::new();
+        asm.push(&bytes).unwrap();
+        let err = asm.push(&[0x00]).unwrap_err();
+        assert!(matches!(err, StbError::Corrupt { .. }), "{err}");
+        // Latched: even a now-harmless call keeps failing.
+        let err = asm.close().unwrap_err();
+        assert!(err.to_string().contains("already failed"), "{err}");
+    }
+
+    #[test]
+    fn assembler_rejects_bad_magic_and_oversized_chunks_eagerly() {
+        let mut asm = StbAssembler::new();
+        let err = asm.push(b"GARB").unwrap_err();
+        assert!(matches!(err, StbError::BadMagic { .. }), "{err}");
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STB_MAGIC);
+        bytes.push(STB_VERSION);
+        bytes.push(0); // no hint
+        push_varint(&mut bytes, MAX_CHUNK_BYTES + 1);
+        let mut asm = StbAssembler::new();
+        let err = asm.push(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds"),
+            "oversized length must be rejected before buffering: {err}"
+        );
+    }
+
+    #[test]
+    fn assembler_empty_close_is_a_magic_truncation() {
+        let err = StbAssembler::new().close().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StbError::Truncated {
+                    offset: 0,
+                    context: "magic"
+                }
+            ),
+            "{err}"
+        );
     }
 }

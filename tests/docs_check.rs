@@ -127,4 +127,42 @@ fn docs_exist_and_cover_every_format() {
     ] {
         assert!(text.contains(needle), "ARCHITECTURE.md lost `{needle}`");
     }
+    let serve_doc = Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/SERVE_PROTOCOL.md");
+    let text = std::fs::read_to_string(serve_doc).expect("docs/SERVE_PROTOCOL.md exists");
+    for needle in [
+        "Hello",
+        "Welcome",
+        "Busy",
+        "Report",
+        "MAX_FRAME_BYTES",
+        "u32 LE",
+        "StbAssembler",
+    ] {
+        assert!(text.contains(needle), "SERVE_PROTOCOL.md lost `{needle}`");
+    }
+}
+
+/// The serve/load help text must document the wire-facing knobs the
+/// protocol spec references, so `smarttrack serve --help` cannot drift
+/// from `docs/SERVE_PROTOCOL.md`.
+#[test]
+fn serve_and_load_help_cover_their_knobs() {
+    for (cmd, needles) in [
+        (
+            "serve",
+            &["--listen", "--workers", "--idle-timeout", "--analysis"][..],
+        ),
+        ("load", &["--clients", "--scale", "--chunk-bytes"][..]),
+    ] {
+        let mut out = Vec::new();
+        smarttrack_cli::run(&["help".to_string(), cmd.to_string()], &mut out)
+            .unwrap_or_else(|e| panic!("help {cmd}: {e:?}"));
+        let help = String::from_utf8(out).expect("utf-8 help");
+        for needle in needles {
+            assert!(
+                help.contains(needle),
+                "`smarttrack {cmd}` help lost `{needle}`"
+            );
+        }
+    }
 }

@@ -1,0 +1,251 @@
+//! End-to-end serving-layer equivalence.
+//!
+//! The daemon is only correct if serving is *invisible* to the analysis:
+//! a trace streamed over TCP through chunked frames, interleaved with
+//! seven other clients, must produce bit-identical races to an offline
+//! [`smarttrack::analyze`] of the same trace — whatever the server's
+//! worker count, and even across a detach/resume in the middle of the
+//! stream. Pushed race notices must be genuine: every one appears in the
+//! session's final report.
+
+use std::net::SocketAddr;
+
+use smarttrack::{analyze, AnalysisConfig};
+use smarttrack_serve::{ServeClient, Server, ServerConfig, WireRace};
+use smarttrack_trace::gen::RandomTraceSpec;
+use smarttrack_trace::Trace;
+
+/// The lanes every test server runs: the HB baseline plus the strongest
+/// SmartTrack predictive analysis.
+const LANES: &[&str] = &["fto-hb", "st-wdc"];
+
+fn test_server(workers: usize) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            analyses: LANES.iter().map(|n| n.parse().unwrap()).collect(),
+            workers: Some(workers),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind test server")
+}
+
+fn corpus(n: usize) -> Vec<Trace> {
+    (0..n)
+        .map(|i| {
+            RandomTraceSpec {
+                threads: 3 + (i as u32 % 3),
+                events: 400 + i * 97,
+                vars: 6,
+                locks: 2,
+                acquire_prob: 0.15,
+                release_prob: 0.2,
+                ..RandomTraceSpec::default()
+            }
+            .generate(0xC0FFEE + i as u64)
+        })
+        .collect()
+}
+
+/// Offline ground truth for one trace: per-lane sorted wire races.
+fn offline_races(trace: &Trace) -> Vec<Vec<WireRace>> {
+    LANES
+        .iter()
+        .enumerate()
+        .map(|(lane, name)| {
+            let outcome = analyze(trace, name.parse::<AnalysisConfig>().unwrap());
+            let mut races: Vec<WireRace> = outcome
+                .report
+                .races()
+                .iter()
+                .map(|r| WireRace {
+                    lane: lane as u16,
+                    event: r.event.raw(),
+                    loc: r.loc.raw(),
+                    tid: r.tid.raw(),
+                    var: r.var.raw(),
+                    write: matches!(r.kind, smarttrack::AccessKind::Write),
+                    prior_tids: r.prior_threads.iter().map(|t| t.raw()).collect(),
+                })
+                .collect();
+            races.sort();
+            races
+        })
+        .collect()
+}
+
+/// Streams one trace as one session and returns (per-lane sorted races,
+/// pushed races, reported event count).
+fn serve_one(
+    addr: SocketAddr,
+    tenant: &str,
+    session: &str,
+    trace: &Trace,
+    chunk: usize,
+) -> (Vec<Vec<WireRace>>, Vec<WireRace>, u64) {
+    let mut client = ServeClient::connect(addr, tenant, session, false).expect("connect");
+    client.stream_trace(trace, chunk).expect("stream");
+    let report = client.finish().expect("finish");
+    let pushed = client.pushed_races();
+    let lanes = report
+        .lanes
+        .iter()
+        .map(|lane| {
+            let mut races = lane.races.clone();
+            races.sort();
+            races
+        })
+        .collect();
+    (lanes, pushed, report.events)
+}
+
+fn assert_session_matches_offline(tag: &str, trace: &Trace, addr: SocketAddr, chunk: usize) {
+    let (lanes, pushed, events) = serve_one(addr, "e2e", tag, trace, chunk);
+    assert_eq!(events, trace.len() as u64, "{tag}: event count");
+    let expected = offline_races(trace);
+    assert_eq!(lanes.len(), expected.len(), "{tag}: lane count");
+    for (lane, (got, want)) in lanes.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "{tag}: lane {lane} diverges from offline");
+    }
+    // Every pushed notice is a race the final report also contains, and
+    // with a dedicated reader per connection none should have dropped:
+    // the push stream *is* the dynamic race stream.
+    let dynamic_total: usize = expected.iter().map(Vec::len).sum();
+    assert_eq!(pushed.len(), dynamic_total, "{tag}: pushed race count");
+    for race in &pushed {
+        assert!(
+            expected[race.lane as usize].binary_search(race).is_ok(),
+            "{tag}: pushed race not in the final report"
+        );
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_each_match_offline_analysis() {
+    let server = test_server(4);
+    let addr = server.local_addr();
+    let traces = corpus(8);
+    std::thread::scope(|scope| {
+        for (i, trace) in traces.iter().enumerate() {
+            scope.spawn(move || {
+                // Mixed chunk sizes so clients interleave at different
+                // granularities, including cuts inside STB chunks.
+                let chunk = [64, 256, 1024, 0][i % 4];
+                assert_session_matches_offline(&format!("client-{i}"), trace, addr, chunk);
+            });
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn reports_are_identical_across_server_worker_counts() {
+    let traces = corpus(4);
+    let mut by_workers = Vec::new();
+    for workers in [1, 4] {
+        let server = test_server(workers);
+        let addr = server.local_addr();
+        let results: Vec<_> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| serve_one(addr, "workers", &format!("w{workers}-{i}"), trace, 512).0)
+            .collect();
+        by_workers.push(results);
+        server.shutdown();
+    }
+    assert_eq!(
+        by_workers[0], by_workers[1],
+        "worker count must not change any report"
+    );
+}
+
+#[test]
+fn detach_and_resume_mid_stream_is_invisible_to_the_analysis() {
+    let server = test_server(2);
+    let addr = server.local_addr();
+    let trace = &corpus(1)[0];
+    let stb = smarttrack_trace::binary::to_stb_bytes(trace);
+    // Cut inside the stream — and (almost surely) inside an STB chunk.
+    let half = stb.len() / 2;
+
+    let mut first = ServeClient::connect(addr, "e2e", "resumable", false).expect("connect");
+    assert!(!first.resumed());
+    first.stream_bytes(&stb[..half], 128).expect("first half");
+    first.detach().expect("detach");
+    drop(first);
+
+    // The server processes the detach asynchronously; retry briefly if
+    // the reconnect races ahead of it.
+    let mut second = {
+        let mut attempt = 0;
+        loop {
+            match ServeClient::connect(addr, "e2e", "resumable", true) {
+                Ok(client) => break client,
+                Err(smarttrack_serve::ClientError::Server {
+                    code: smarttrack_serve::ErrorCode::SessionAttached,
+                    ..
+                }) if attempt < 200 => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(e) => panic!("reconnect: {e}"),
+            }
+        }
+    };
+    assert!(second.resumed(), "hello with resume reattaches");
+    second.stream_bytes(&stb[half..], 128).expect("second half");
+    let report = second.finish().expect("finish");
+    assert_eq!(report.events, trace.len() as u64);
+
+    let expected = offline_races(trace);
+    for (lane, want) in expected.iter().enumerate() {
+        let mut got = report.lanes[lane].races.clone();
+        got.sort();
+        assert_eq!(&got, want, "lane {lane} after resume");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn one_connection_can_stream_many_sessions_back_to_back() {
+    let server = test_server(2);
+    let addr = server.local_addr();
+    let traces = corpus(3);
+
+    let mut client = ServeClient::connect(addr, "e2e", "serial-0", false).expect("connect");
+    for (i, trace) in traces.iter().enumerate() {
+        if i > 0 {
+            client
+                .hello_again("e2e", &format!("serial-{i}"), false)
+                .expect("hello again");
+        }
+        client.stream_trace(trace, 300).expect("stream");
+        let report = client.finish().expect("finish");
+        assert_eq!(report.events, trace.len() as u64, "session {i}");
+        let expected = offline_races(trace);
+        for (lane, want) in expected.iter().enumerate() {
+            let mut got = report.lanes[lane].races.clone();
+            got.sort();
+            assert_eq!(&got, want, "session {i} lane {lane}");
+        }
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn second_connection_to_an_attached_session_is_refused() {
+    let server = test_server(1);
+    let addr = server.local_addr();
+    let _first = ServeClient::connect(addr, "e2e", "contested", false).expect("connect");
+    let refused = ServeClient::connect(addr, "e2e", "contested", true);
+    match refused {
+        Err(smarttrack_serve::ClientError::Server { code, .. }) => {
+            assert_eq!(code, smarttrack_serve::ErrorCode::SessionAttached);
+        }
+        Err(other) => panic!("expected SessionAttached refusal, got {other}"),
+        Ok(_) => panic!("expected SessionAttached refusal, got a welcome"),
+    }
+    server.shutdown();
+}

@@ -1,0 +1,227 @@
+//! Serve protocol fuzz battery.
+//!
+//! A public-facing framed protocol must treat the wire as hostile: every
+//! truncation, bit flip, oversized length prefix, garbage hello, and
+//! out-of-place frame has to produce a clean protocol error on that one
+//! connection — never a panic, a hang, or a poisoned worker. Each case
+//! here throws malformed bytes at a live server and then proves the
+//! server still analyzes correctly for a well-behaved client
+//! (mirroring the corruption battery in `stb_compat.rs`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use smarttrack::AnalysisConfig;
+use smarttrack_serve::{
+    protocol::{encode_frame, Frame, QueryKind, MAX_FRAME_BYTES, PROTOCOL_VERSION},
+    ServeClient, Server, ServerConfig,
+};
+use smarttrack_trace::paper;
+
+fn test_server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            analyses: vec!["st-wdc".parse::<AnalysisConfig>().unwrap()],
+            workers: Some(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind test server")
+}
+
+/// Proves the server is alive and sane: a fresh well-behaved client
+/// streams figure1 and gets the full report back.
+fn assert_server_live(server: &Server, tag: &str) {
+    let trace = paper::figure1();
+    let mut client = ServeClient::connect(
+        server.local_addr(),
+        "fuzz-liveness",
+        &format!("ok-{tag}"),
+        false,
+    )
+    .unwrap_or_else(|e| panic!("server dead after {tag}: {e}"));
+    client.stream_trace(&trace, 7).expect("stream");
+    let report = client.finish().expect("finish");
+    assert_eq!(report.events, trace.len() as u64, "after {tag}");
+    assert_eq!(report.lanes.len(), 1, "after {tag}");
+}
+
+/// Writes raw bytes at the server and drains whatever comes back until
+/// the server closes or goes quiet. Returns the reply bytes.
+fn poke(server: &Server, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(150)))
+        .unwrap();
+    // The server may close mid-write on garbage; that's fine.
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    reply
+}
+
+/// A valid one-session conversation: hello, the trace in small data
+/// frames, a query, finish.
+fn good_conversation(session: &str) -> Vec<u8> {
+    let mut bytes = encode_frame(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        resume: false,
+        tenant: "fuzz".to_string(),
+        session: session.to_string(),
+    });
+    let stb = smarttrack_trace::binary::to_stb_bytes(&paper::figure1());
+    for piece in stb.chunks(5) {
+        bytes.extend_from_slice(&encode_frame(&Frame::Data(piece.to_vec())));
+    }
+    bytes.extend_from_slice(&encode_frame(&Frame::Query(QueryKind::Races)));
+    bytes.extend_from_slice(&encode_frame(&Frame::Finish));
+    bytes
+}
+
+#[test]
+fn garbage_hellos_get_a_clean_error_and_leave_the_server_up() {
+    let server = test_server();
+    let cases: &[&[u8]] = &[
+        b"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"\x00\x00\x00\x00\x00",
+        b"\x89STB\x01\x01",                 // an STB header is not a frame
+        &[0x01, 0xff, 0xff, 0xff],          // hello type, truncated length
+        &[0x42, 0x04, 0, 0, 0, 1, 2, 3, 4], // unknown frame type
+        &[0x81, 0x00, 0, 0, 0],             // server-originated type from client
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        poke(&server, case);
+        assert_server_live(&server, &format!("garbage-{i}"));
+    }
+}
+
+#[test]
+fn wrong_protocol_version_is_refused_politely() {
+    let server = test_server();
+    let hello = encode_frame(&Frame::Hello {
+        version: PROTOCOL_VERSION + 9,
+        resume: false,
+        tenant: "fuzz".to_string(),
+        session: "v9".to_string(),
+    });
+    let reply = poke(&server, &hello);
+    // The reply must itself be a well-formed Error frame.
+    let (frame, _) = smarttrack_serve::protocol::decode_frame(&reply)
+        .expect("reply decodes")
+        .expect("reply is complete");
+    match frame {
+        Frame::Error { message, .. } => assert!(message.contains("version")),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    assert_server_live(&server, "bad-version");
+}
+
+#[test]
+fn oversized_length_prefixes_are_rejected_without_allocation() {
+    let server = test_server();
+    // Frame header claiming a payload just over the cap, and one claiming
+    // u32::MAX; a naive server would try to allocate 4 GiB.
+    for huge in [MAX_FRAME_BYTES + 1, u32::MAX] {
+        let mut bytes = vec![0x02]; // data frame type
+        bytes.extend_from_slice(&huge.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        poke(&server, &bytes);
+        assert_server_live(&server, &format!("oversized-{huge}"));
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_conversation_is_survivable() {
+    let server = test_server();
+    let conversation = good_conversation("trunc");
+    // Every cut that lands inside the first few frames, then a coarser
+    // stride across the rest — each truncated prefix is one connection
+    // that drops mid-protocol.
+    let mut cuts: Vec<usize> = (0..conversation.len().min(40)).collect();
+    cuts.extend((40..conversation.len()).step_by(17));
+    for cut in cuts {
+        poke(&server, &conversation[..cut]);
+    }
+    assert_server_live(&server, "truncations");
+}
+
+#[test]
+fn queries_mid_chunk_answer_from_live_session_state() {
+    let server = test_server();
+    let trace = paper::figure2();
+    let stb = smarttrack_trace::binary::to_stb_bytes(&trace);
+    let mut client =
+        ServeClient::connect(server.local_addr(), "fuzz", "mid-chunk", false).expect("connect");
+
+    // Send roughly half the stream — deliberately cutting inside an STB
+    // chunk — then query while the session is mid-decode.
+    let half = stb.len() / 2;
+    client.send_chunk(&stb[..half]).expect("first half");
+    let snapshot = client.query_snapshot().expect("snapshot mid-chunk");
+    assert_eq!(snapshot.lanes.len(), 1);
+    let races_so_far = client.query_races().expect("races mid-chunk");
+    assert!(races_so_far.events <= trace.len() as u64);
+
+    client.send_chunk(&stb[half..]).expect("second half");
+    let report = client.finish().expect("finish");
+    assert_eq!(report.events, trace.len() as u64);
+
+    let offline = smarttrack::analyze(&trace, "st-wdc".parse::<AnalysisConfig>().unwrap());
+    assert_eq!(
+        report.lanes[0].races.len(),
+        offline.report.races().len(),
+        "split-mid-chunk stream must analyze identically to offline"
+    );
+}
+
+#[test]
+fn corrupt_stb_payload_fails_the_session_not_the_server() {
+    let server = test_server();
+    let mut stb = smarttrack_trace::binary::to_stb_bytes(&paper::figure1());
+    // Trash the magic so the assembler rejects the stream immediately.
+    stb[0] ^= 0xff;
+    let mut client =
+        ServeClient::connect(server.local_addr(), "fuzz", "corrupt", false).expect("connect");
+    // The data frame itself is well-formed protocol; the error surfaces
+    // on a later exchange once the worker has seen the bytes.
+    let failed = client.send_chunk(&stb).is_err()
+        || client.query_snapshot().is_err()
+        || client.finish().is_err();
+    assert!(failed, "a corrupt STB stream must fail its session");
+    assert_server_live(&server, "corrupt-stb");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random bit flips anywhere in a valid conversation: the connection
+    /// may fail any way it likes, the server may not.
+    #[test]
+    fn bit_flips_never_kill_the_server(byte_idx in 0usize..400, bit in 0u8..8, case in 0u32..1000) {
+        let server = test_server();
+        let mut conversation = good_conversation(&format!("flip-{case}"));
+        let idx = byte_idx % conversation.len();
+        conversation[idx] ^= 1 << bit;
+        poke(&server, &conversation);
+        assert_server_live(&server, &format!("flip-{idx}-{bit}"));
+    }
+
+    /// Pure random byte blobs as the opening bytes of a connection.
+    #[test]
+    fn random_blobs_never_kill_the_server(blob in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 1..300)) {
+        let server = test_server();
+        poke(&server, &blob);
+        assert_server_live(&server, "blob");
+    }
+}
