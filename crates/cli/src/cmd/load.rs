@@ -35,12 +35,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(CliError::Usage("`--scale` must be positive".to_string()));
     }
+    let chunk_bytes: usize = opts.parsed_or("chunk-bytes", 0usize)?;
+    if chunk_bytes > smarttrack_serve::MAX_FRAME_BYTES as usize {
+        return Err(CliError::Usage(format!(
+            "`--chunk-bytes` must be at most {} (one data frame's payload)",
+            smarttrack_serve::MAX_FRAME_BYTES
+        )));
+    }
     let seed_list: Vec<u64> = (0..seeds.max(1)).collect();
     let traces = smarttrack_workloads::corpus(scale, &seed_list);
 
     let options = LoadOptions {
         clients: opts.parsed_or("clients", 4usize)?.max(1),
-        chunk_bytes: opts.parsed_or("chunk-bytes", 0usize)?,
+        chunk_bytes,
         validate: !opts.switch("no-validate"),
         tenant: opts.value("tenant").unwrap_or("load").to_string(),
     };
@@ -104,6 +111,20 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&args(&["not an address"]), &mut out).unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn oversized_chunk_bytes_is_a_usage_error_not_a_panic() {
+        // 10 MB exceeds the 8 MiB frame cap; pre-validation this reached
+        // encode_frame's assert and crashed the client.
+        let mut out = Vec::new();
+        let err = run(
+            &args(&["127.0.0.1:9", "--chunk-bytes", "10000000"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("chunk-bytes"), "{err}");
     }
 
     #[test]

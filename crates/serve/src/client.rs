@@ -14,7 +14,7 @@ use smarttrack_trace::Trace;
 
 use crate::protocol::{
     encode_frame, ErrorCode, Frame, FrameBuf, LaneInfo, QueryKind, WireRace, WireReport,
-    WireSnapshot, DEFAULT_DATA_CHUNK, PROTOCOL_VERSION,
+    WireSnapshot, DEFAULT_DATA_CHUNK, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 
 /// How long [`ServeClient::send_chunk`] keeps retrying around
@@ -242,13 +242,21 @@ impl ServeClient {
     ///
     /// # Errors
     ///
-    /// Propagates [`ServeClient::send_chunk`] failures.
+    /// [`ClientError::Protocol`] if `chunk_bytes` exceeds
+    /// [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES) (no frame
+    /// could carry such a chunk); otherwise propagates
+    /// [`ServeClient::send_chunk`] failures.
     pub fn stream_bytes(&mut self, bytes: &[u8], chunk_bytes: usize) -> Result<u64, ClientError> {
         let chunk = if chunk_bytes == 0 {
             DEFAULT_DATA_CHUNK
         } else {
             chunk_bytes
         };
+        if chunk > MAX_FRAME_BYTES as usize {
+            return Err(ClientError::Protocol(format!(
+                "data chunk of {chunk} bytes exceeds the {MAX_FRAME_BYTES}-byte frame cap"
+            )));
+        }
         let mut accepted = self.acked_bytes;
         for piece in bytes.chunks(chunk) {
             accepted = self.send_chunk(piece)?;

@@ -21,12 +21,19 @@
 //! [`StbAssembler`], so workers
 //! never block on a socket: bytes in, events out.
 //!
-//! Ingest is bounded end to end: a per-session byte budget is debited by
-//! the reader loop and credited back by the worker; a data frame that
-//! would overflow it is **dropped** and answered with [`Frame::Busy`]
-//! (the client backs off and resends). A slow *consumer* (a client not
-//! draining its race pushes) costs only dropped race notices, never
-//! memory: pushes go through the bounded writer channel with `try_send`.
+//! Ingest is bounded end to end: a per-session byte budget covers both
+//! the worker's inbound channel and the assembler's reassembly buffer —
+//! debited by the reader loop, re-measured by the worker after each
+//! frame it digests — and a data frame that would overflow it is
+//! **dropped** and answered with [`Frame::Busy`] (the client backs off
+//! and resends). Declared STB chunks larger than
+//! [`ServerConfig::max_chunk_bytes`] fail their session outright, so a
+//! hostile stream cannot demand a 64 MiB reassembly buffer the budget
+//! would never admit. Worst-case memory per session is therefore
+//! `session_queue_bytes + max_chunk_bytes` plus one in-flight frame. A
+//! slow *consumer* (a client not draining its race pushes) costs only
+//! dropped race notices, never memory: pushes go through the bounded
+//! writer channel with `try_send`.
 
 use std::collections::HashMap;
 use std::io::{BufWriter, Read};
@@ -74,10 +81,20 @@ pub struct ServerConfig {
     pub workers: Option<usize>,
     /// Detached sessions idle longer than this are evicted.
     pub idle_timeout: Duration,
-    /// Per-session ingest budget in bytes: data frames beyond it bounce
-    /// with [`Frame::Busy`]. A frame is always admitted when the queue is
-    /// empty, so progress is possible whatever the frame size.
+    /// Per-session ingest budget in bytes, covering both data frames
+    /// queued at the worker and bytes the session's assembler holds for
+    /// an incomplete STB chunk: data frames beyond it bounce with
+    /// [`Frame::Busy`]. A frame is always admitted when the worker queue
+    /// is empty, so progress is possible whatever the frame size.
     pub session_queue_bytes: usize,
+    /// Largest STB chunk a streamed session accepts, in bytes. The
+    /// format allows chunks up to 64 MiB, each of which must be
+    /// reassembled contiguously before it can decode; a multiplexing
+    /// server caps the declared size (default 8 MiB — one data frame's
+    /// worth) so a hostile stream cannot pin a 64 MiB buffer per
+    /// session. A chunk declaring more fails that session with
+    /// [`ErrorCode::StreamFailed`].
+    pub max_chunk_bytes: usize,
     /// Outbound frame queue per connection (replies + race pushes); race
     /// pushes beyond it are counted and dropped.
     pub outbound_queue: usize,
@@ -90,6 +107,7 @@ impl Default for ServerConfig {
             workers: None,
             idle_timeout: Duration::from_secs(60),
             session_queue_bytes: 4 << 20,
+            max_chunk_bytes: 8 << 20,
             outbound_queue: 1024,
         }
     }
@@ -137,6 +155,10 @@ struct SessionShared {
     worker: usize,
     /// Bytes admitted but not yet analyzed (the backpressure budget).
     queued_bytes: AtomicUsize,
+    /// Bytes the assembler holds for an incomplete STB chunk
+    /// (worker-updated after each digested frame; counted against the
+    /// same budget so mid-chunk reassembly cannot outgrow it).
+    buffered_bytes: AtomicUsize,
     /// Total stream bytes admitted, across resumes (the `Ack` counter).
     accepted_bytes: AtomicU64,
     /// Events analyzed so far (worker-updated; shown in `Welcome` on
@@ -172,6 +194,10 @@ enum WorkItem {
     Attach {
         uid: u64,
         tx: SyncSender<Frame>,
+        /// Answered with the session's analyzed-event count *after* the
+        /// worker has drained every data frame admitted before the
+        /// detach, so the resume `Welcome` reports an exact figure.
+        reply: Sender<u64>,
     },
     Detach {
         uid: u64,
@@ -271,6 +297,7 @@ impl Server {
         let local = listener.local_addr()?;
 
         let workers_n = worker_count(config.workers);
+        let chunk_cap = config.max_chunk_bytes.max(1) as u64;
         let mut worker_txs = Vec::with_capacity(workers_n);
         let mut worker_handles = Vec::with_capacity(workers_n);
         for i in 0..workers_n {
@@ -282,7 +309,7 @@ impl Server {
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(engine, lanes, lane_index, rx))
+                    .spawn(move || worker_loop(engine, lanes, lane_index, rx, chunk_cap))
                     .expect("spawn worker"),
             );
         }
@@ -628,6 +655,7 @@ fn worker_loop(
     lanes: Vec<LaneInfo>,
     lane_index: Arc<HashMap<String, u16>>,
     rx: Receiver<WorkItem>,
+    chunk_cap: u64,
 ) {
     let mut entries: HashMap<u64, Entry> = HashMap::new();
     while let Ok(item) = rx.recv() {
@@ -646,16 +674,19 @@ fn worker_loop(
                     shared.uid,
                     Entry {
                         session,
-                        asm: StbAssembler::new(),
+                        asm: StbAssembler::new().with_chunk_cap(chunk_cap),
                         shared,
                         outbound,
                     },
                 );
             }
-            WorkItem::Attach { uid, tx } => {
+            WorkItem::Attach { uid, tx, reply } => {
+                let mut events = 0;
                 if let Some(entry) = entries.get(&uid) {
                     *entry.outbound.lock().expect("outbound lock") = Some(tx);
+                    events = entry.session.events() as u64;
                 }
+                let _ = reply.send(events);
             }
             WorkItem::Detach { uid } => {
                 if let Some(entry) = entries.get(&uid) {
@@ -671,6 +702,13 @@ fn worker_loop(
                             Err(_) => fail_session(entry, "analysis panicked".to_string()),
                         }
                     }
+                    // Publish the reassembly backlog before crediting the
+                    // queue: a racing reader then at worst over-counts
+                    // (a spurious Busy), never under-counts the budget.
+                    entry
+                        .shared
+                        .buffered_bytes
+                        .store(entry.asm.buffered_bytes(), Ordering::SeqCst);
                     entry
                         .shared
                         .queued_bytes
@@ -822,11 +860,18 @@ impl Conn<'_> {
             let shared_session = Arc::clone(existing);
             shared_session.attached.store(true, Ordering::SeqCst);
             drop(registry);
+            let (reply_tx, reply_rx) = mpsc::channel();
             let _ = self.shared.worker_txs[shared_session.worker].send(WorkItem::Attach {
                 uid: shared_session.uid,
                 tx: self.out_tx.clone(),
+                reply: reply_tx,
             });
-            let events = shared_session.events.load(Ordering::SeqCst);
+            // The worker answers only after draining every data frame
+            // admitted before the detach (its channel is FIFO), so this
+            // count is exact, not a racy snapshot of the atomic.
+            let events = reply_rx
+                .recv()
+                .unwrap_or_else(|_| shared_session.events.load(Ordering::SeqCst));
             self.attached = Some(Attached {
                 key,
                 shared: shared_session,
@@ -844,6 +889,7 @@ impl Conn<'_> {
             uid,
             worker,
             queued_bytes: AtomicUsize::new(0),
+            buffered_bytes: AtomicUsize::new(0),
             accepted_bytes: AtomicU64::new(0),
             events: AtomicU64::new(0),
             attached: AtomicBool::new(true),
@@ -887,12 +933,18 @@ impl Conn<'_> {
                 }
                 let len = bytes.len();
                 let queued = att.shared.queued_bytes.load(Ordering::SeqCst);
+                let buffered = att.shared.buffered_bytes.load(Ordering::SeqCst);
                 let capacity = self.shared.session_queue_bytes;
                 // Admit any frame into an empty queue so progress is
-                // always possible; otherwise enforce the byte budget.
-                if queued > 0 && queued + len > capacity {
+                // always possible (a partial chunk only drains with more
+                // input); otherwise enforce the byte budget over
+                // everything the session holds — frames still queued at
+                // the worker plus bytes its assembler has buffered for
+                // an incomplete chunk.
+                let pending = queued + buffered;
+                if queued > 0 && pending + len > capacity {
                     return self.reply(Frame::Busy {
-                        queued: queued as u64,
+                        queued: pending as u64,
                         capacity: capacity as u64,
                     });
                 }

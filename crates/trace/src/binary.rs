@@ -91,7 +91,9 @@ pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
 
 /// Upper bound accepted for a single chunk's payload, so a corrupt length
 /// prefix produces a precise error instead of an allocation blow-up.
-const MAX_CHUNK_BYTES: u64 = 64 << 20;
+/// [`StbAssembler::with_chunk_cap`] can lower (never raise) it for one
+/// consumer.
+pub const MAX_CHUNK_BYTES: u64 = 64 << 20;
 
 /// Largest chunk size [`StbWriter::chunk_events`] accepts. A worst-case
 /// event costs at most 50 encoded bytes (a 20-byte run header plus a
@@ -99,6 +101,26 @@ const MAX_CHUNK_BYTES: u64 = 64 << 20;
 /// 10-byte location delta), so chunks of this many events cannot exceed
 /// the readers' 64 MiB payload cap.
 pub const MAX_CHUNK_EVENTS: usize = (MAX_CHUNK_BYTES / 64) as usize;
+
+/// Rejects a declared chunk event count that cannot be honest *before*
+/// anything is sized from it. Every encoded event occupies at least one
+/// payload byte (its run's head varint), so `count > len` is provably
+/// corrupt, and no conforming writer exceeds [`MAX_CHUNK_EVENTS`].
+/// Without this check a ~20-byte crafted frame declaring `count = 1 << 40`
+/// would make `Vec::with_capacity` request terabytes — an allocator abort
+/// that no `catch_unwind` can contain.
+fn check_chunk_count(count: u64, len: u64, offset: u64) -> Result<(), StbError> {
+    if count > len || count > MAX_CHUNK_EVENTS as u64 {
+        return Err(StbError::Corrupt {
+            offset,
+            message: format!(
+                "chunk declares {count} events in a {len}-byte payload (at most one \
+                 event per payload byte, {MAX_CHUNK_EVENTS} events per chunk)"
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Stream metadata carried by the STB header when known at write time.
 ///
@@ -964,6 +986,7 @@ impl<R: Read> StbReader<R> {
                 message: "chunk declares zero events".to_string(),
             });
         }
+        check_chunk_count(count, len, self.input.offset())?;
         let base = self.input.offset();
         let mut payload = vec![0u8; len as usize];
         self.input.read_exact(&mut payload, "chunk payload")?;
@@ -1091,7 +1114,9 @@ fn or_need_more<T>(r: Result<T, StbError>, eof: bool) -> Result<Option<T>, StbEr
 /// [`Truncated`](StbError::Truncated) error `StbReader` would have raised.
 ///
 /// Memory stays bounded: at most one chunk frame (≤ 64 MiB payload cap,
-/// typically a few KiB) is buffered before it decodes, and decode errors
+/// typically a few KiB; [`with_chunk_cap`](StbAssembler::with_chunk_cap)
+/// lowers the bound for untrusted peers) is buffered before it decodes,
+/// and decode errors
 /// are latched — after the first error the assembler refuses further input
 /// rather than resynchronizing on garbage.
 ///
@@ -1135,6 +1160,9 @@ pub struct StbAssembler {
     position: u64,
     done: bool,
     poisoned: bool,
+    /// Largest chunk payload this consumer accepts (≤ [`MAX_CHUNK_BYTES`]),
+    /// and therefore the most it will ever buffer awaiting a decode.
+    chunk_cap: u64,
 }
 
 impl Default for StbAssembler {
@@ -1155,7 +1183,21 @@ impl StbAssembler {
             position: 0,
             done: false,
             poisoned: false,
+            chunk_cap: MAX_CHUNK_BYTES,
         }
+    }
+
+    /// Lowers the accepted per-chunk payload size below the format's
+    /// [`MAX_CHUNK_BYTES`] ceiling (the value is clamped to that range —
+    /// the cap can never be raised). A server multiplexing many untrusted
+    /// streams sets this near its per-session ingest budget, so no single
+    /// stream can pin a 64 MiB reassembly buffer: a chunk declaring more
+    /// is rejected as [`Corrupt`](StbError::Corrupt) the moment its
+    /// length prefix parses, before any payload is buffered.
+    #[must_use]
+    pub fn with_chunk_cap(mut self, cap: u64) -> Self {
+        self.chunk_cap = cap.clamp(1, MAX_CHUNK_BYTES);
+        self
     }
 
     /// The decoded header, once enough bytes have arrived to parse it.
@@ -1364,11 +1406,12 @@ impl StbAssembler {
             self.consume(pos);
             return Ok(Advance::Done);
         }
-        if len > MAX_CHUNK_BYTES {
+        if len > self.chunk_cap {
             return Err(StbError::Corrupt {
                 offset: base + pos as u64,
                 message: format!(
-                    "chunk payload of {len} bytes exceeds the {MAX_CHUNK_BYTES}-byte cap"
+                    "chunk payload of {len} bytes exceeds the {}-byte cap",
+                    self.chunk_cap
                 ),
             });
         }
@@ -1383,6 +1426,7 @@ impl StbAssembler {
                 message: "chunk declares zero events".to_string(),
             });
         }
+        check_chunk_count(count, len, base + pos as u64)?;
         let len = len as usize;
         if bytes.len() - pos < len {
             if eof {
@@ -2015,6 +2059,65 @@ mod tests {
             err.to_string().contains("exceeds"),
             "oversized length must be rejected before buffering: {err}"
         );
+    }
+
+    #[test]
+    fn huge_declared_event_counts_are_rejected_before_allocation() {
+        // A ~15-byte frame declaring 2^40 events must yield a Corrupt
+        // error, not a terabyte `Vec::with_capacity` (an allocator abort
+        // that no catch_unwind can contain). Reader and assembler must
+        // agree byte-for-byte on the diagnosis.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STB_MAGIC);
+        bytes.push(STB_VERSION);
+        bytes.push(0); // no hint
+        push_varint(&mut bytes, 8); // chunk payload length
+        push_varint(&mut bytes, 1 << 40); // declared event count
+        bytes.extend_from_slice(&[0u8; 8]); // payload
+        bytes.push(0); // terminator
+
+        let reader_err = StbReader::new(&bytes[..])
+            .expect("header parses")
+            .find_map(Result::err)
+            .expect("reader must reject the count");
+        assert!(matches!(reader_err, StbError::Corrupt { .. }), "{reader_err}");
+
+        let mut asm = StbAssembler::new();
+        let asm_err = asm.push(&bytes).unwrap_err();
+        assert_eq!(asm_err.to_string(), reader_err.to_string());
+    }
+
+    #[test]
+    fn event_counts_beyond_the_per_chunk_cap_are_rejected() {
+        // `count <= len` alone would still let a dense 64 MiB declaration
+        // pre-size a 64 Mi-event buffer; the event cap bounds it. The
+        // check fires as soon as the two varints parse — no payload needed.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&STB_MAGIC);
+        bytes.push(STB_VERSION);
+        bytes.push(0);
+        push_varint(&mut bytes, MAX_CHUNK_BYTES);
+        push_varint(&mut bytes, MAX_CHUNK_EVENTS as u64 + 1);
+        let mut asm = StbAssembler::new();
+        let err = asm.push(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("events"),
+            "event-count cap must be enforced: {err}"
+        );
+    }
+
+    #[test]
+    fn assembler_chunk_cap_bounds_reassembly_buffering() {
+        let bytes = to_stb_bytes(&paper::figure1());
+        // figure1's single chunk is tiny; a generous cap accepts it…
+        let mut asm = StbAssembler::new().with_chunk_cap(1 << 16);
+        asm.push(&bytes).unwrap();
+        asm.close().unwrap();
+        // …and a 4-byte cap rejects the declared length before buffering
+        // a single payload byte.
+        let mut tight = StbAssembler::new().with_chunk_cap(4);
+        let err = tight.push(&bytes).unwrap_err();
+        assert!(err.to_string().contains("4-byte cap"), "{err}");
     }
 
     #[test]

@@ -208,6 +208,53 @@ fn detach_and_resume_mid_stream_is_invisible_to_the_analysis() {
 }
 
 #[test]
+fn resume_welcome_reports_the_exact_ingested_event_count() {
+    // A quick detach/resume used to read the session's event counter
+    // before the worker had drained data admitted pre-detach, so the
+    // welcome could under-report. It now answers from a worker
+    // round-trip, so it must agree exactly with a query taken before any
+    // further data is sent.
+    let server = test_server(2);
+    let addr = server.local_addr();
+    let trace = &corpus(1)[0];
+    let stb = smarttrack_trace::binary::to_stb_bytes(trace);
+    let half = stb.len() / 2;
+
+    let mut first = ServeClient::connect(addr, "e2e", "exact-count", false).expect("connect");
+    first.stream_bytes(&stb[..half], 128).expect("first half");
+    first.detach().expect("detach");
+    drop(first);
+
+    let mut second = {
+        let mut attempt = 0;
+        loop {
+            match ServeClient::connect(addr, "e2e", "exact-count", true) {
+                Ok(client) => break client,
+                Err(smarttrack_serve::ClientError::Server {
+                    code: smarttrack_serve::ErrorCode::SessionAttached,
+                    ..
+                }) if attempt < 200 => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(e) => panic!("reconnect: {e}"),
+            }
+        }
+    };
+    assert!(second.resumed());
+    let snapshot = second.query_snapshot().expect("snapshot");
+    assert_eq!(
+        second.resumed_events(),
+        snapshot.events,
+        "the welcome's event count must cover all data admitted before the detach"
+    );
+    second.stream_bytes(&stb[half..], 128).expect("second half");
+    let report = second.finish().expect("finish");
+    assert_eq!(report.events, trace.len() as u64);
+    server.shutdown();
+}
+
+#[test]
 fn one_connection_can_stream_many_sessions_back_to_back() {
     let server = test_server(2);
     let addr = server.local_addr();

@@ -185,6 +185,70 @@ fn queries_mid_chunk_answer_from_live_session_state() {
     );
 }
 
+/// LEB128, as the STB chunk framing encodes its length and count fields.
+fn varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A valid STB header (v1, no hint) to hang hostile chunk framing off.
+fn stb_header() -> Vec<u8> {
+    vec![0x89, b'S', b'T', b'B', 0x01, 0x00]
+}
+
+#[test]
+fn absurd_stb_event_counts_fail_the_session_not_the_server() {
+    // A ~20-byte data frame whose STB chunk declares 2^40 events. Before
+    // the decoder validated the count, this made `Vec::with_capacity`
+    // request terabytes — an allocator *abort* (SIGABRT) that no
+    // catch_unwind contains, killing the daemon and every tenant on it.
+    let server = test_server();
+    let mut stb = stb_header();
+    varint(8, &mut stb); // chunk payload length: 8 bytes
+    varint(1 << 40, &mut stb); // declared event count: ~10^12
+    stb.extend_from_slice(&[0u8; 8]); // the 8 payload bytes
+
+    let mut client =
+        ServeClient::connect(server.local_addr(), "fuzz", "count-bomb", false).expect("connect");
+    let failed = client.send_chunk(&stb).is_err() || client.finish().is_err();
+    assert!(failed, "an absurd event count must fail its session");
+    assert_server_live(&server, "count-bomb");
+}
+
+#[test]
+fn chunks_beyond_the_server_chunk_cap_fail_the_session_not_the_server() {
+    // The STB format allows 64 MiB chunks, all of which must buffer
+    // contiguously before decoding; a serving daemon caps the declared
+    // size (`max_chunk_bytes`) so one stream cannot pin a reassembly
+    // buffer far beyond its ingest budget. The rejection happens when
+    // the length prefix parses — no payload is ever buffered.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            analyses: vec!["st-wdc".parse::<AnalysisConfig>().unwrap()],
+            workers: Some(2),
+            max_chunk_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind test server");
+    let mut stb = stb_header();
+    varint(60 << 20, &mut stb); // declared chunk: 60 MiB, legal STB
+
+    let mut client =
+        ServeClient::connect(server.local_addr(), "fuzz", "fat-chunk", false).expect("connect");
+    let failed = client.send_chunk(&stb).is_err() || client.finish().is_err();
+    assert!(failed, "a chunk beyond the server cap must fail its session");
+    assert_server_live(&server, "fat-chunk");
+}
+
 #[test]
 fn corrupt_stb_payload_fails_the_session_not_the_server() {
     let server = test_server();
