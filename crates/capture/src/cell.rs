@@ -1,0 +1,125 @@
+//! Captured data accesses: volatiles ([`AtomicU32`]) and plain shared
+//! variables ([`Shared`]).
+//!
+//! Real Rust forbids genuinely racy plain accesses (UB), so both wrappers
+//! hide a `std::sync::Mutex` that makes the *execution* well-defined while
+//! the *recorded model* sees exactly what the program meant: volatile
+//! reads/writes for [`AtomicU32`] (synchronization accesses, §5.1 of the
+//! paper), unordered plain reads/writes for [`Shared`]. The hidden mutex is
+//! invisible to the model — it contributes no events, so it adds no edges —
+//! and it orders each object's stamps with its real access order, which is
+//! all the recording protocol needs.
+
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+use smarttrack_trace::{Op, VarId};
+
+use crate::session::CaptureSession;
+
+/// An instrumented `AtomicU32`-style volatile: every access records a
+/// `vrd`/`vwr` event, which the analyses treat as a synchronization access
+/// (a release-publish on write, an acquire-join on read).
+pub struct AtomicU32 {
+    session: CaptureSession,
+    id: VarId,
+    inner: StdMutex<u32>,
+}
+
+impl AtomicU32 {
+    /// A captured volatile with a fresh stable [`VarId`] (volatiles and
+    /// plain variables are interned in separate namespaces, matching the
+    /// analyses' interner).
+    pub fn new(session: &CaptureSession, value: u32) -> AtomicU32 {
+        AtomicU32 {
+            session: session.clone(),
+            id: session.alloc_volatile(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// The stable trace id of this volatile.
+    pub fn id(&self) -> VarId {
+        self.id
+    }
+
+    /// Volatile read.
+    #[track_caller]
+    pub fn load(&self) -> u32 {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::VolatileRead(self.id), loc);
+        *guard
+    }
+
+    /// Volatile write.
+    #[track_caller]
+    pub fn store(&self, value: u32) {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::VolatileWrite(self.id), loc);
+        *guard = value;
+    }
+
+    /// Atomic add; recorded as a volatile write (the read side of the
+    /// read-modify-write is subsumed — the write's publish joins the
+    /// object's clock first, so no ordering is lost).
+    #[track_caller]
+    pub fn fetch_add(&self, delta: u32) -> u32 {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::VolatileWrite(self.id), loc);
+        let prior = *guard;
+        *guard = prior.wrapping_add(delta);
+        prior
+    }
+}
+
+/// An instrumented plain shared variable: `get`/`set` record ordinary
+/// `rd`/`wr` events — the accesses race detection is *about*. The value
+/// itself lives behind a hidden mutex so the host execution stays
+/// UB-free even when the model finds the accesses unordered.
+pub struct Shared<T: Copy> {
+    session: CaptureSession,
+    id: VarId,
+    inner: StdMutex<T>,
+}
+
+impl<T: Copy> Shared<T> {
+    /// A captured plain variable with a fresh stable [`VarId`].
+    pub fn new(session: &CaptureSession, value: T) -> Shared<T> {
+        Shared {
+            session: session.clone(),
+            id: session.alloc_var(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// The stable trace id of this variable.
+    pub fn id(&self) -> VarId {
+        self.id
+    }
+
+    /// Plain read.
+    #[track_caller]
+    pub fn get(&self) -> T {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::Read(self.id), loc);
+        *guard
+    }
+
+    /// Plain write.
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::Write(self.id), loc);
+        *guard = value;
+    }
+}

@@ -1,0 +1,208 @@
+//! Live capture frontend: record *real* Rust executions into SmartTrack's
+//! binary trace format.
+//!
+//! Everything the analyses consume elsewhere in this workspace is
+//! synthetic — generated workloads, paper figures, proptest randomness.
+//! SmartTrack's point (Roemer, Genç, Bond, PLDI 2020 §5.1) is *online*
+//! analysis of real program executions, so this crate provides drop-in
+//! instrumented `std::sync` wrappers that perform the real operation and
+//! record the matching trace event:
+//!
+//! * [`Mutex`] / [`RwLock`] — `acq`/`rel` (rwlocks serialize until
+//!   read-acquires land in the model; see the type docs),
+//! * [`Condvar`] — `rel`/`acq`/`wait` expansion plus `ntf`/`nfa`,
+//! * [`Barrier`] — `bent`/`bext` round discipline via a double rendezvous,
+//! * [`AtomicU32`] — `vrd`/`vwr` volatile synchronization accesses,
+//! * [`Shared`] — plain `rd`/`wr` data accesses (the ones races are about),
+//! * [`CaptureSession::spawn`] / [`JoinHandle::join`] — `fork`/`join` edges.
+//!
+//! Ids (`ThreadId`, `LockId`, `VarId`, `CondId`, `BarrierId`, `Loc`) are
+//! interned stably at first use. Events land in lock-free per-thread
+//! buffers (a thread-local `Vec` with epoch flushes — no global lock on
+//! the hot path) and funnel through one [`CaptureSession`] emitter into an
+//! STB [`StbWriter`](smarttrack_trace::binary::StbWriter) over a
+//! [`CaptureSink`]: a file, memory, a live
+//! [`ServeClient`](smarttrack_serve::ServeClient) socket feeding the serve
+//! daemon, or a tee of several.
+//!
+//! # Ordering soundness
+//!
+//! The recorded stream must be a linearization the stream validator
+//! accepts. Each wrapper therefore stamps its event *while the underlying
+//! primitive is held or ordered by that very operation* — wasmgrind-style —
+//! and the session merges per-thread buffers back into global stamp order
+//! before writing. See the [`session`] module and `docs/CAPTURE.md` for
+//! the full argument.
+//!
+//! # Panic and poison behavior
+//!
+//! Wrappers absorb `std` lock poisoning (`PoisonError::into_inner`): a
+//! panicking captured thread still records its releases while unwinding
+//! (guards record on drop) and flushes its buffer before exiting, so the
+//! capture of a crashed run is a validator-clean prefix of the execution.
+
+#![warn(missing_docs)]
+
+mod cell;
+mod session;
+mod sink;
+mod sync;
+pub mod twins;
+
+pub use cell::{AtomicU32, Shared};
+pub use session::{CaptureConfig, CaptureError, CaptureReport, CaptureSession, JoinHandle, Nudge};
+pub use sink::CaptureSink;
+pub use sync::{Barrier, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use smarttrack_detect::AnalysisConfig;
+    use smarttrack_trace::binary::from_stb_bytes;
+    use smarttrack_trace::Op;
+
+    use super::twins::{run_twin, TwinKind};
+    use super::*;
+
+    fn capture_bytes(f: impl FnOnce(&CaptureSession)) -> Vec<u8> {
+        let (sink, bytes) = CaptureSink::memory();
+        let session = CaptureSession::new(sink, CaptureConfig::default());
+        f(&session);
+        session.finish().expect("finish");
+        let out = bytes.lock().unwrap().clone();
+        out
+    }
+
+    #[test]
+    fn lock_events_are_recorded_in_order() {
+        let bytes = capture_bytes(|session| {
+            let m = Mutex::new(session, 0u32);
+            for _ in 0..2 {
+                *m.lock() += 1;
+            }
+            *m.lock() += 1;
+        });
+        let trace = from_stb_bytes(&bytes).expect("validator-clean");
+        let ops: Vec<_> = trace.events().iter().map(|e| e.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Acquire(m(0)),
+                Op::Release(m(0)),
+                Op::Acquire(m(0)),
+                Op::Release(m(0)),
+                Op::Acquire(m(0)),
+                Op::Release(m(0)),
+            ]
+        );
+        // Repetitions of one source line intern to one stable site (the
+        // release is stamped at its acquire's site); distinct lines differ.
+        let locs: Vec<_> = trace.events().iter().map(|e| e.loc).collect();
+        assert_eq!(locs[0], locs[1]);
+        assert_eq!(locs[0], locs[2]);
+        assert_ne!(locs[0], locs[4]);
+        fn m(i: u32) -> smarttrack_trace::LockId {
+            smarttrack_trace::LockId::new(i)
+        }
+    }
+
+    #[test]
+    fn fork_join_edges_bracket_child_events() {
+        let bytes = capture_bytes(|session| {
+            let x = Arc::new(Shared::new(session, 0u32));
+            let child = {
+                let x = x.clone();
+                session.spawn(move || x.set(1))
+            };
+            child.join().unwrap();
+            let _ = x.get();
+        });
+        let trace = from_stb_bytes(&bytes).expect("validator-clean");
+        let ops: Vec<_> = trace.events().iter().map(|e| (e.tid.raw(), e.op)).collect();
+        use smarttrack_trace::VarId;
+        let x = VarId::new(0);
+        let t1 = smarttrack_clock::ThreadId::new(1);
+        assert_eq!(
+            ops,
+            vec![
+                (0, Op::Fork(t1)),
+                (1, Op::Write(x)),
+                (0, Op::Join(t1)),
+                (0, Op::Read(x)),
+            ]
+        );
+    }
+
+    #[test]
+    fn tiny_buffers_force_mid_run_epoch_flushes() {
+        let (sink, bytes) = CaptureSink::memory();
+        let config = CaptureConfig {
+            buffer_events: 1,
+            chunk_events: 2,
+            ..CaptureConfig::default()
+        };
+        let report = run_twin(TwinKind::LockProtected, sink, config).expect("twin");
+        let trace = from_stb_bytes(&bytes.lock().unwrap()).expect("validator-clean");
+        assert_eq!(trace.len() as u64, report.events);
+        assert_eq!(report.threads, 3);
+    }
+
+    #[test]
+    fn finish_rejects_unjoined_threads() {
+        let (sink, _bytes) = CaptureSink::memory();
+        let session = CaptureSession::new(sink, CaptureConfig::default());
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let child = {
+            let gate = gate.clone();
+            session.spawn(move || gate.wait())
+        };
+        assert!(matches!(
+            session.finish(),
+            Err(CaptureError::ThreadsActive(1))
+        ));
+        gate.wait();
+        child.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_thread_leaves_a_validator_clean_prefix() {
+        let (sink, bytes) = CaptureSink::memory();
+        let session = CaptureSession::new(sink, CaptureConfig::default());
+        let m = Arc::new(Mutex::new(&session, 0u32));
+        let child = {
+            let m = m.clone();
+            session.spawn(move || {
+                let _g = m.lock();
+                panic!("captured panic");
+            })
+        };
+        assert!(child.join().is_err());
+        // The poisoned lock is still usable and still recorded.
+        *m.lock() += 1;
+        session.finish().expect("finish");
+        let trace = from_stb_bytes(&bytes.lock().unwrap()).expect("validator-clean");
+        // fork, child acq+rel (release recorded during unwinding), join,
+        // parent acq+rel.
+        assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn every_twin_matches_expectation_under_every_cell() {
+        for kind in TwinKind::ALL {
+            let (sink, bytes) = CaptureSink::memory();
+            run_twin(kind, sink, CaptureConfig::default()).expect("twin");
+            let trace = from_stb_bytes(&bytes.lock().unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            for config in AnalysisConfig::table1() {
+                let outcome = smarttrack_detect::analyze(&trace, config);
+                assert_eq!(
+                    outcome.report.static_count(),
+                    kind.expected_static(),
+                    "{} under {config}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Where a capture's STB bytes go: a file, an in-memory buffer, a live
+//! serve-daemon connection, or a tee across several of those.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use smarttrack_serve::protocol::DEFAULT_DATA_CHUNK;
+use smarttrack_serve::{ClientError, ServeClient, WireReport};
+
+use crate::session::CaptureError;
+
+/// Destination of a capture's STB stream.
+///
+/// The session's emitter writes STB bytes verbatim into the sink — the
+/// PR 6 wire protocol streams STB unchanged, so the serve variant is plain
+/// chunking, not a second codec. [`CaptureSink::tee`] duplicates the stream
+/// (e.g. record to a file *and* a live daemon in one run, which is how the
+/// e2e battery proves the two paths agree).
+pub enum CaptureSink {
+    /// Any byte sink (files, sockets, `Vec<u8>` behind a lock, …).
+    Writer(Box<dyn Write + Send>),
+    /// Live streaming into a serve daemon session. Bytes accumulate in
+    /// `buf` and ship as one `Data` frame per [`DEFAULT_DATA_CHUNK`].
+    Serve {
+        /// The attached client (already past the hello handshake).
+        client: Box<ServeClient>,
+        /// Unsent remainder below one wire chunk.
+        buf: Vec<u8>,
+    },
+    /// Duplicates every byte into both sinks.
+    Tee(Box<CaptureSink>, Box<CaptureSink>),
+}
+
+fn client_io(e: ClientError) -> io::Error {
+    io::Error::other(format!("serve client: {e}"))
+}
+
+impl CaptureSink {
+    /// Buffered file sink at `path` (created/truncated).
+    pub fn file<P: AsRef<Path>>(path: P) -> io::Result<CaptureSink> {
+        let file = File::create(path)?;
+        Ok(CaptureSink::Writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// In-memory sink; the returned handle sees the bytes after
+    /// [`CaptureSession::finish`](crate::CaptureSession::finish).
+    pub fn memory() -> (CaptureSink, Arc<Mutex<Vec<u8>>>) {
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let sink = CaptureSink::Writer(Box::new(SharedVec(bytes.clone())));
+        (sink, bytes)
+    }
+
+    /// Live socket sink over an attached [`ServeClient`].
+    pub fn serve(client: ServeClient) -> CaptureSink {
+        CaptureSink::Serve {
+            client: Box::new(client),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Duplicates the stream into both sinks.
+    pub fn tee(a: CaptureSink, b: CaptureSink) -> CaptureSink {
+        CaptureSink::Tee(Box::new(a), Box::new(b))
+    }
+
+    /// Completes the sink after the STB terminator has been written:
+    /// serve sinks flush their remainder and collect the daemon's final
+    /// [`WireReport`]; tees complete both sides in order.
+    pub fn complete(self) -> Result<Vec<WireReport>, CaptureError> {
+        match self {
+            CaptureSink::Writer(mut w) => {
+                w.flush().map_err(CaptureError::Sink)?;
+                Ok(Vec::new())
+            }
+            CaptureSink::Serve { mut client, buf } => {
+                if !buf.is_empty() {
+                    client
+                        .send_chunk(&buf)
+                        .map_err(|e| CaptureError::Sink(client_io(e)))?;
+                }
+                let report = client
+                    .finish()
+                    .map_err(|e| CaptureError::Sink(client_io(e)))?;
+                Ok(vec![report])
+            }
+            CaptureSink::Tee(a, b) => {
+                let mut reports = a.complete()?;
+                reports.extend(b.complete()?);
+                Ok(reports)
+            }
+        }
+    }
+}
+
+impl Write for CaptureSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        match self {
+            CaptureSink::Writer(w) => return w.write(data),
+            CaptureSink::Serve { client, buf } => {
+                buf.extend_from_slice(data);
+                while buf.len() >= DEFAULT_DATA_CHUNK {
+                    let rest = buf.split_off(DEFAULT_DATA_CHUNK);
+                    client.send_chunk(buf).map_err(client_io)?;
+                    *buf = rest;
+                }
+            }
+            CaptureSink::Tee(a, b) => {
+                a.write_all(data)?;
+                b.write_all(data)?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            CaptureSink::Writer(w) => w.flush(),
+            // Serve chunks are flushed on completion (sub-chunk flushes
+            // would fragment the wire stream for no benefit).
+            CaptureSink::Serve { .. } => Ok(()),
+            CaptureSink::Tee(a, b) => {
+                a.flush()?;
+                b.flush()
+            }
+        }
+    }
+}
+
+/// `Vec<u8>` behind a lock, so the memory sink's bytes outlive the session.
+struct SharedVec(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedVec {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("memory sink").extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,298 @@
+//! Drop-in instrumented `std::sync` primitives: each wrapper performs the
+//! real operation *and* records the matching trace event while the
+//! primitive itself orders the stamp (see the crate docs for the soundness
+//! argument).
+
+use std::panic::Location;
+use std::sync::{
+    Barrier as StdBarrier, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    PoisonError,
+};
+
+use smarttrack_trace::{BarrierId, CondId, Loc, LockId, Op};
+
+use crate::session::CaptureSession;
+
+/// An instrumented [`std::sync::Mutex`]: `lock()` records `acq` under the
+/// freshly-taken lock; dropping the guard records `rel` just before the
+/// real unlock. Poisoning is absorbed (`PoisonError::into_inner`): a
+/// panicking captured thread must still be able to release and record, so
+/// the trace stays a clean prefix.
+pub struct Mutex<T> {
+    session: CaptureSession,
+    id: LockId,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a captured mutex with a fresh stable [`LockId`].
+    pub fn new(session: &CaptureSession, value: T) -> Mutex<T> {
+        Mutex {
+            session: session.clone(),
+            id: session.alloc_lock(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// The stable trace id of this lock.
+    pub fn id(&self) -> LockId {
+        self.id
+    }
+
+    /// Locks, recording the acquire at the caller's source location.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Stamped while the lock is held: the ticket order over this lock's
+        // acq/rel events matches its real acquisition order.
+        self.session.record(Op::Acquire(self.id), loc);
+        MutexGuard {
+            mutex: self,
+            loc,
+            inner: Some(guard),
+        }
+    }
+}
+
+/// Guard of a captured [`Mutex`]; records the release on drop.
+pub struct MutexGuard<'a, T> {
+    pub(crate) mutex: &'a Mutex<T>,
+    pub(crate) loc: Loc,
+    /// `None` after [`Condvar::wait`] disarms the guard (the wait records
+    /// the release itself).
+    pub(crate) inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard disarmed")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard disarmed")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Record while still holding, then let the std guard unlock. Runs
+        // during unwinding too, keeping a panicking thread's trace clean.
+        if self.inner.is_some() {
+            self.mutex
+                .session
+                .record(Op::Release(self.mutex.id), self.loc);
+            self.inner = None;
+        }
+    }
+}
+
+/// An instrumented reader-writer lock.
+///
+/// Until read-acquires land in the trace model (ROADMAP item 3), both
+/// `read()` and `write()` map to plain `acq`/`rel` on one [`LockId`] — the
+/// wrapper is backed by a captured [`Mutex`], so concurrent readers
+/// *serialize*. That is a sound over-approximation for race detection
+/// (extra mutual exclusion only removes interleavings, and the recorded
+/// edges match what really happened), at the cost of reader parallelism.
+pub struct RwLock<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a captured rwlock with a fresh stable [`LockId`].
+    pub fn new(session: &CaptureSession, value: T) -> RwLock<T> {
+        RwLock {
+            inner: Mutex::new(session, value),
+        }
+    }
+
+    /// The stable trace id of this lock.
+    pub fn id(&self) -> LockId {
+        self.inner.id()
+    }
+
+    /// Takes a (serializing) read lock; recorded as a plain acquire.
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.inner.lock())
+    }
+
+    /// Takes the write lock; recorded as a plain acquire.
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.inner.lock())
+    }
+}
+
+/// Shared-access guard of a captured [`RwLock`].
+pub struct RwLockReadGuard<'a, T>(MutexGuard<'a, T>);
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Exclusive guard of a captured [`RwLock`].
+pub struct RwLockWriteGuard<'a, T>(MutexGuard<'a, T>);
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// An instrumented [`std::sync::Condvar`].
+///
+/// `wait` expands to the event sequence the validator expects from a real
+/// monitor wait: `rel(m)` stamped while the lock is still held, the real
+/// blocking wait (other threads' acquires interleave here, exactly as they
+/// did at runtime), then `acq(m)` under the reacquired lock followed by
+/// `wait(c, m)`. Notifies are stamped *before* the real notify, so a woken
+/// waiter's `wait` event always follows its notify in ticket order.
+pub struct Condvar {
+    session: CaptureSession,
+    id: CondId,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// A captured condvar with a fresh stable [`CondId`].
+    pub fn new(session: &CaptureSession) -> Condvar {
+        Condvar {
+            session: session.clone(),
+            id: session.alloc_cond(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// The stable trace id of this condvar.
+    pub fn id(&self) -> CondId {
+        self.id
+    }
+
+    /// Blocks on the condvar, releasing (and re-recording) the monitor.
+    /// Spurious wakeups surface exactly as with `std` — pair with
+    /// [`wait_while`](Condvar::wait_while) or re-check the predicate.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let loc = self.session.intern_loc(Location::caller());
+        let mutex = guard.mutex;
+        self.session.nudge();
+        // Release stamped while the lock is really held; nobody can slip an
+        // acquire ticket in before it.
+        self.session.record(Op::Release(mutex.id), loc);
+        let std_guard = guard.inner.take().expect("guard disarmed");
+        drop(guard); // disarmed: records nothing
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        // Reacquired: stamp the acquire, then the wait edge, both under the
+        // lock (the validator requires the monitor held at `wait`).
+        self.session.record(Op::Acquire(mutex.id), loc);
+        self.session.record(Op::Wait(self.id, mutex.id), loc);
+        MutexGuard {
+            mutex,
+            loc,
+            inner: Some(std_guard),
+        }
+    }
+
+    /// Waits until `condition` returns `false` (same contract as
+    /// [`std::sync::Condvar::wait_while`]).
+    #[track_caller]
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut *guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes one waiter; the notify event is stamped before the real wakeup.
+    #[track_caller]
+    pub fn notify_one(&self) {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        self.session.record(Op::Notify(self.id), loc);
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters; the notify event is stamped before the real wakeup.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        self.session.record(Op::NotifyAll(self.id), loc);
+        self.inner.notify_all();
+    }
+}
+
+/// An instrumented [`std::sync::Barrier`].
+///
+/// One captured `wait()` performs a *double* rendezvous on the underlying
+/// (cyclic) std barrier: `enter` is stamped before the first rendezvous —
+/// so every party's enter ticket precedes every exit ticket — and `exit`
+/// between the two, with the second rendezvous guaranteeing all exit
+/// tickets are drawn before any party re-enters. That is exactly the
+/// gather-then-drain round discipline the validator enforces.
+pub struct Barrier {
+    session: CaptureSession,
+    id: BarrierId,
+    inner: StdBarrier,
+}
+
+impl Barrier {
+    /// A captured barrier for `parties` threads, with a fresh stable
+    /// [`BarrierId`].
+    pub fn new(session: &CaptureSession, parties: usize) -> Barrier {
+        Barrier {
+            session: session.clone(),
+            id: session.alloc_barrier(),
+            inner: StdBarrier::new(parties),
+        }
+    }
+
+    /// The stable trace id of this barrier.
+    pub fn id(&self) -> BarrierId {
+        self.id
+    }
+
+    /// Rendezvous; returns `true` on the leader (as
+    /// [`std::sync::BarrierWaitResult::is_leader`]).
+    #[track_caller]
+    pub fn wait(&self) -> bool {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        self.session.record(Op::BarrierEnter(self.id), loc);
+        let result = self.inner.wait();
+        self.session.record(Op::BarrierExit(self.id), loc);
+        // Second rendezvous: no party may start the next round's enter
+        // until every party has stamped this round's exit.
+        self.inner.wait();
+        result.is_leader()
+    }
+}

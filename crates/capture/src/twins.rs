@@ -1,0 +1,289 @@
+//! Executable twins of the workload race patterns: real threaded programs
+//! built from the capture wrappers, with *schedule-robust* expectations.
+//!
+//! Each twin is chosen so its statically-distinct race count is identical
+//! under every Table-1 relation (HB, WCP, DC, WDC) **and** under every
+//! schedule the OS may pick — that is what lets the differential battery
+//! (`tests/capture_differential.rs`) assert exact counts across repeated
+//! nudged runs. The generator's `Predictive`/`DcOnly` figures are
+//! deliberately *not* mirrored here: their HB-detectability depends on the
+//! observed critical-section order, so a live capture of them has
+//! schedule-dependent expectations.
+//!
+//! One subtlety versus the synthetic generator: the generator's
+//! `CondvarHandoff` orders the consumer purely through the notify edge,
+//! but a real consumer may find the predicate already true and never
+//! block. The twins therefore keep the handoff flag in a captured
+//! [`Shared`] read *under the monitor*, so the skip-wait schedule is still
+//! ordered for every relation through the conflicting critical sections
+//! (and the waited schedule additionally through the notify→wait edge).
+
+use std::sync::Arc;
+
+use crate::cell::{AtomicU32, Shared};
+use crate::session::{CaptureConfig, CaptureError, CaptureReport, CaptureSession};
+use crate::sink::CaptureSink;
+use crate::sync::{Barrier, Condvar, Mutex, RwLock};
+
+/// The executable pattern twins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TwinKind {
+    /// Both threads mutate shared data under one mutex: race-free.
+    LockProtected,
+    /// Both threads write the same variable with no synchronization at one
+    /// static site: exactly one statically-distinct race.
+    UnsyncRace,
+    /// Producer-consumer condvar handoff (flag under the monitor):
+    /// race-free whether or not the consumer ever blocks.
+    CondvarHandoff,
+    /// The producer writes *after* its notifying critical section: one
+    /// race in every schedule.
+    CondvarRace,
+    /// Barrier-phased double-buffering: race-free.
+    BarrierPhase,
+    /// Both threads touch one variable in the same post-rendezvous phase:
+    /// one race.
+    BarrierRace,
+    /// Message-passing through a volatile flag, data written before the
+    /// publishing store: race-free.
+    VolatileHandoff,
+    /// Data written *after* the publishing store: one race.
+    VolatileRace,
+    /// Reads and writes under a captured rwlock: race-free.
+    RwLockGuarded,
+}
+
+impl TwinKind {
+    /// Every twin, in a stable order.
+    pub const ALL: [TwinKind; 9] = [
+        TwinKind::LockProtected,
+        TwinKind::UnsyncRace,
+        TwinKind::CondvarHandoff,
+        TwinKind::CondvarRace,
+        TwinKind::BarrierPhase,
+        TwinKind::BarrierRace,
+        TwinKind::VolatileHandoff,
+        TwinKind::VolatileRace,
+        TwinKind::RwLockGuarded,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TwinKind::LockProtected => "lock-protected",
+            TwinKind::UnsyncRace => "unsync-race",
+            TwinKind::CondvarHandoff => "condvar-handoff",
+            TwinKind::CondvarRace => "condvar-race",
+            TwinKind::BarrierPhase => "barrier-phase",
+            TwinKind::BarrierRace => "barrier-race",
+            TwinKind::VolatileHandoff => "volatile-handoff",
+            TwinKind::VolatileRace => "volatile-race",
+            TwinKind::RwLockGuarded => "rwlock-guarded",
+        }
+    }
+
+    /// Statically-distinct races any Table-1 cell must report on any
+    /// schedule of this twin (the same count for HB, WCP, DC, and WDC —
+    /// that invariance is the twin selection criterion).
+    pub fn expected_static(self) -> usize {
+        match self {
+            TwinKind::LockProtected
+            | TwinKind::CondvarHandoff
+            | TwinKind::BarrierPhase
+            | TwinKind::VolatileHandoff
+            | TwinKind::RwLockGuarded => 0,
+            TwinKind::UnsyncRace
+            | TwinKind::CondvarRace
+            | TwinKind::BarrierRace
+            | TwinKind::VolatileRace => 1,
+        }
+    }
+}
+
+/// Shared-site accessors: both worker threads call through these plain
+/// helpers, so the conflicting accesses of a racy twin share one static
+/// [`Loc`](smarttrack_trace::Loc) and `Report::static_count()` is
+/// schedule-independent.
+fn bump(x: &Shared<u32>) {
+    let v = x.get();
+    x.set(v.wrapping_add(1));
+}
+
+fn poke(x: &Shared<u32>) {
+    x.set(1);
+}
+
+/// Runs one twin end to end: a fresh [`CaptureSession`] over `sink`, two
+/// captured worker threads executing the pattern, then
+/// [`finish`](CaptureSession::finish).
+pub fn run_twin(
+    kind: TwinKind,
+    sink: CaptureSink,
+    config: CaptureConfig,
+) -> Result<CaptureReport, CaptureError> {
+    let session = CaptureSession::new(sink, config);
+    match kind {
+        TwinKind::LockProtected => {
+            let m = Arc::new(Mutex::new(&session, ()));
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (m, x) = (m.clone(), x.clone());
+                    session.spawn(move || {
+                        for _ in 0..4 {
+                            let _g = m.lock();
+                            bump(&x);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("twin worker");
+            }
+        }
+        TwinKind::UnsyncRace => {
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let x = x.clone();
+                    session.spawn(move || poke(&x))
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("twin worker");
+            }
+        }
+        TwinKind::CondvarHandoff | TwinKind::CondvarRace => {
+            let m = Arc::new(Mutex::new(&session, ()));
+            let flag = Arc::new(Shared::new(&session, false));
+            let cv = Arc::new(Condvar::new(&session));
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let producer = {
+                let (m, flag, cv, x) = (m.clone(), flag.clone(), cv.clone(), x.clone());
+                session.spawn(move || {
+                    if kind == TwinKind::CondvarHandoff {
+                        // Data written before the publishing critical
+                        // section: the handoff orders it.
+                        x.set(42);
+                    }
+                    {
+                        let _g = m.lock();
+                        flag.set(true);
+                        cv.notify_one();
+                    }
+                    if kind == TwinKind::CondvarRace {
+                        // Written after the notify and after the release:
+                        // nothing orders it before the consumer's read.
+                        x.set(42);
+                    }
+                })
+            };
+            let consumer = {
+                let (m, flag, cv, x) = (m, flag, cv, x);
+                session.spawn(move || {
+                    let mut g = m.lock();
+                    while !flag.get() {
+                        g = cv.wait(g);
+                    }
+                    drop(g);
+                    let _ = x.get();
+                })
+            };
+            producer.join().expect("twin producer");
+            consumer.join().expect("twin consumer");
+        }
+        TwinKind::BarrierPhase => {
+            let bar = Arc::new(Barrier::new(&session, 2));
+            let a = Arc::new(Shared::new(&session, 0u32));
+            let b = Arc::new(Shared::new(&session, 0u32));
+            let w0 = {
+                let (bar, a, b) = (bar.clone(), a.clone(), b.clone());
+                session.spawn(move || {
+                    a.set(1);
+                    bar.wait();
+                    let _ = b.get();
+                })
+            };
+            let w1 = {
+                let (bar, a, b) = (bar, a, b);
+                session.spawn(move || {
+                    b.set(1);
+                    bar.wait();
+                    let _ = a.get();
+                })
+            };
+            w0.join().expect("twin worker");
+            w1.join().expect("twin worker");
+        }
+        TwinKind::BarrierRace => {
+            let bar = Arc::new(Barrier::new(&session, 2));
+            let y = Arc::new(Shared::new(&session, 0u32));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (bar, y) = (bar.clone(), y.clone());
+                    session.spawn(move || {
+                        bar.wait();
+                        // Same phase, same site, no ordering between the
+                        // parties after the rendezvous.
+                        poke(&y);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("twin worker");
+            }
+        }
+        TwinKind::VolatileHandoff | TwinKind::VolatileRace => {
+            let flag = Arc::new(AtomicU32::new(&session, 0));
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let producer = {
+                let (flag, x) = (flag.clone(), x.clone());
+                session.spawn(move || {
+                    if kind == TwinKind::VolatileHandoff {
+                        x.set(7);
+                    }
+                    flag.store(1);
+                    if kind == TwinKind::VolatileRace {
+                        x.set(7);
+                    }
+                })
+            };
+            let consumer = {
+                let (flag, x) = (flag, x);
+                session.spawn(move || {
+                    while flag.load() == 0 {
+                        std::thread::yield_now();
+                    }
+                    let _ = x.get();
+                })
+            };
+            producer.join().expect("twin producer");
+            consumer.join().expect("twin consumer");
+        }
+        TwinKind::RwLockGuarded => {
+            let rw = Arc::new(RwLock::new(&session, ()));
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let writer = {
+                let (rw, x) = (rw.clone(), x.clone());
+                session.spawn(move || {
+                    for _ in 0..2 {
+                        let _g = rw.write();
+                        bump(&x);
+                    }
+                })
+            };
+            let reader = {
+                let (rw, x) = (rw, x);
+                session.spawn(move || {
+                    for _ in 0..2 {
+                        let _g = rw.read();
+                        let _ = x.get();
+                    }
+                })
+            };
+            writer.join().expect("twin writer");
+            reader.join().expect("twin reader");
+        }
+    }
+    session.finish()
+}

@@ -6,18 +6,35 @@
 //! returned report race-for-race against offline analysis of the same
 //! trace (`--no-validate` skips the offline pass for pure throughput
 //! runs). Any divergence or transport failure makes the exit nonzero.
+//!
+//! `--captured` switches from synthetic corpus replay to *live capture*:
+//! each executable pattern twin from `smarttrack-capture` runs as a real
+//! threaded program whose execution streams to the daemon while a teed
+//! in-memory copy is analyzed offline — every daemon lane must agree with
+//! the offline count, which must match the twin's expectation. `--nudge
+//! PERIOD[/PHASE]` injects schedule-perturbing yields into the wrappers.
 
 use std::io::Write;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 
-use smarttrack_serve::{run_load, LoadOptions};
+use smarttrack_capture::twins::{run_twin, TwinKind};
+use smarttrack_capture::{CaptureConfig, CaptureSink, Nudge};
+use smarttrack_serve::{run_load, LoadOptions, ServeClient};
 
 use crate::{write_out, CliError, Opts};
 
 const USAGE: &str = "smarttrack load <addr> [--clients N] [--scale F] [--seeds N] \
-                     [--chunk-bytes N] [--tenant NAME] [--no-validate]";
-const SWITCHES: &[&str] = &["no-validate"];
-const VALUES: &[&str] = &["clients", "scale", "seeds", "chunk-bytes", "tenant"];
+                     [--chunk-bytes N] [--tenant NAME] [--no-validate] \
+                     [--captured] [--nudge PERIOD[/PHASE]]";
+const SWITCHES: &[&str] = &["no-validate", "captured"];
+const VALUES: &[&str] = &[
+    "clients",
+    "scale",
+    "seeds",
+    "chunk-bytes",
+    "tenant",
+    "nudge",
+];
 
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = Opts::parse(args, SWITCHES, VALUES)?;
@@ -29,6 +46,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::Usage(format!("invalid address `{addr_text}`: {e}")))?
         .next()
         .ok_or_else(|| CliError::Usage(format!("address `{addr_text}` resolved to nothing")))?;
+
+    if opts.switch("captured") {
+        return run_captured(addr, addr_text, &opts, out);
+    }
 
     let scale: f64 = opts.parsed_or("scale", 2e-5)?;
     let seeds: u64 = opts.parsed_or("seeds", 1)?;
@@ -91,6 +112,104 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     write_out(out, &buf)
 }
 
+/// `PERIOD` or `PERIOD/PHASE` (e.g. `3` or `3/1`).
+fn parse_nudge(text: &str) -> Result<Nudge, CliError> {
+    let bad = || CliError::Usage(format!("invalid `--nudge {text}`; expected PERIOD[/PHASE]"));
+    let (period, phase) = match text.split_once('/') {
+        Some((p, ph)) => (p, ph),
+        None => (text, "0"),
+    };
+    let period: u32 = period.parse().map_err(|_| bad())?;
+    let phase: u32 = phase.parse().map_err(|_| bad())?;
+    if period == 0 {
+        return Err(CliError::Usage(
+            "`--nudge` period must be positive".to_string(),
+        ));
+    }
+    Ok(Nudge { period, phase })
+}
+
+/// The `--captured` path: run every pattern twin as a real threaded
+/// program streaming live to the daemon, and cross-check three ways —
+/// daemon lane vs offline analysis of the teed file-sink copy vs the
+/// twin's schedule-independent expectation.
+fn run_captured(
+    addr: SocketAddr,
+    addr_text: &str,
+    opts: &Opts,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let nudge = opts.value("nudge").map(parse_nudge).transpose()?;
+    let tenant = opts.value("tenant").unwrap_or("capture");
+    let config = CaptureConfig {
+        nudge,
+        ..CaptureConfig::default()
+    };
+    let mut buf = String::new();
+    let mut failures = Vec::new();
+    let mut total_events = 0u64;
+    for kind in TwinKind::ALL {
+        let client = ServeClient::connect(addr, tenant, kind.name(), false)
+            .map_err(|e| CliError::Invalid(format!("{addr_text}: {e}")))?;
+        let (memory, bytes) = CaptureSink::memory();
+        let sink = CaptureSink::tee(memory, CaptureSink::serve(client));
+        let report = run_twin(kind, sink, config)
+            .map_err(|e| CliError::Invalid(format!("{}: {e}", kind.name())))?;
+        total_events += report.events;
+        let wire = report
+            .serve_reports
+            .first()
+            .ok_or_else(|| CliError::Invalid(format!("{}: no daemon report", kind.name())))?;
+        let stb = bytes.lock().expect("memory sink").clone();
+        let trace = smarttrack_trace::binary::from_stb_bytes(&stb).map_err(|e| {
+            CliError::Invalid(format!("{}: captured stream invalid: {e}", kind.name()))
+        })?;
+        let expected = kind.expected_static();
+        buf.push_str(&format!(
+            "  {}: {} event(s), expected {} static race(s)\n",
+            kind.name(),
+            report.events,
+            expected
+        ));
+        for lane in &wire.lanes {
+            let lane_config = lane
+                .config
+                .parse()
+                .map_err(|e| CliError::Invalid(format!("lane `{}`: {e}", lane.name)))?;
+            let offline = smarttrack::analyze(&trace, lane_config)
+                .report
+                .static_count();
+            let live = lane.static_count as usize;
+            if live != offline || offline != expected {
+                failures.push(format!(
+                    "{} / {}: daemon {live}, offline {offline}, expected {expected}",
+                    kind.name(),
+                    lane.name
+                ));
+            }
+        }
+    }
+    buf.push_str(&format!(
+        "captured: {} twin(s), {} event(s) streamed live\n",
+        TwinKind::ALL.len(),
+        total_events
+    ));
+    if failures.is_empty() {
+        buf.push_str("  validation: daemon lanes match offline analysis and expectations\n");
+        write_out(out, &buf)
+    } else {
+        buf.push_str(&format!("  {} divergence(s):\n", failures.len()));
+        for failure in &failures {
+            buf.push_str(&format!("    {failure}\n"));
+        }
+        write_out(out, &buf)?;
+        Err(CliError::Invalid(format!(
+            "{} captured twin lane(s) diverged",
+            failures.len()
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +267,50 @@ mod tests {
         .expect("load run succeeds against live server");
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("validation: reports match offline analysis"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn nudge_parses_period_and_phase() {
+        assert_eq!(
+            parse_nudge("3").unwrap(),
+            Nudge {
+                period: 3,
+                phase: 0
+            }
+        );
+        assert_eq!(
+            parse_nudge("5/2").unwrap(),
+            Nudge {
+                period: 5,
+                phase: 2
+            }
+        );
+        assert_eq!(parse_nudge("0").unwrap_err().exit_code(), 2);
+        assert_eq!(parse_nudge("x/y").unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn captured_twins_round_trip_against_a_live_server() {
+        let server = smarttrack_serve::Server::bind(
+            "127.0.0.1:0",
+            smarttrack_serve::ServerConfig {
+                analyses: vec!["fto-hb".parse().unwrap(), "st-wdc".parse().unwrap()],
+                workers: Some(2),
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let mut out = Vec::new();
+        run(&args(&[&addr, "--captured", "--nudge", "2/1"]), &mut out)
+            .expect("captured load run succeeds against live server");
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("validation: daemon lanes match offline analysis and expectations"),
+            "{text}"
+        );
         server.shutdown();
     }
 }

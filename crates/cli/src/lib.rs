@@ -128,9 +128,13 @@ COMMANDS:
               run the race-detection daemon: clients stream STB traces
               over TCP (docs/SERVE_PROTOCOL.md) into pooled sessions
     load      <addr> [--clients N] [--scale F] [--seeds N] [--chunk-bytes N]
-              [--tenant NAME] [--no-validate]
+              [--tenant NAME] [--no-validate] [--captured] [--nudge PERIOD[/PHASE]]
               replay a generated corpus against a running serve daemon
-              over N connections, validating reports against offline runs
+              over N connections, validating reports against offline runs;
+              --captured instead records real threaded pattern-twin
+              executions (smarttrack-capture) streamed live to the daemon,
+              cross-checked against offline analysis and expectations, with
+              --nudge injecting schedule-perturbing yields (docs/CAPTURE.md)
     figure    <figure1|figure2|figure3|figure4a..figure4d> [--out FILE] [--format FMT]
               emit one of the paper's example executions
     list      available analyses, workload profiles, and figures

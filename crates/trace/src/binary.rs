@@ -663,6 +663,21 @@ fn decode_chunk(
 /// [`DEFAULT_CHUNK_EVENTS`]) and flushed a chunk at a time, so memory stays
 /// bounded however long the stream runs.
 ///
+/// # Concurrency posture
+///
+/// `StbWriter` is **single-writer**: it is not `Sync`-aware, holds
+/// cross-call encoder state (delta registers, the pending chunk), and
+/// assumes one caller issues every `write` in stream order. Concurrent
+/// recorders — the live capture frontend's per-thread buffers, say — must
+/// funnel through one serializing owner (`smarttrack-capture` wraps the
+/// writer in its session's emit mutex and merges per-thread buffers into
+/// global order before writing; see `docs/CAPTURE.md`). What the format
+/// does *not* require is any global thread contiguity: events of different
+/// threads may alternate arbitrarily between (and within) chunks — a
+/// same-thread run header just starts a new run, and each chunk's delta
+/// state is self-contained — so out-of-order cross-thread flush
+/// interleavings cost only encoding density, never decodability.
+///
 /// # Examples
 ///
 /// ```
@@ -1610,6 +1625,60 @@ mod tests {
     }
 
     #[test]
+    fn cross_thread_flush_interleavings_stay_decodable_and_validator_clean() {
+        // The single-writer posture (see the StbWriter docs) promises that
+        // arbitrary cross-thread alternation — the worst case a capture
+        // session's out-of-order per-thread flushes can funnel into the
+        // writer — costs only density, never decodability: run headers
+        // never assume global thread contiguity, and each chunk's delta
+        // state is self-contained. Interleave singleton same-thread runs
+        // from many threads across tiny v2 chunks and round-trip.
+        let mut b = crate::TraceBuilder::new();
+        let threads = 5u32;
+        for t in 0..threads {
+            b.push(ThreadId::new(0), Op::Fork(ThreadId::new(t + 1)))
+                .unwrap();
+        }
+        // Every event switches threads, so every same-thread run is a
+        // singleton; each thread works its own lock to keep the stream
+        // lock-discipline clean. Rounds mix v1 ops with v2 condvar and
+        // barrier ops.
+        for round in 0..12u32 {
+            for phase in 0..4u32 {
+                for t in 1..=threads {
+                    let tid = ThreadId::new(t);
+                    let own = crate::LockId::new(t);
+                    match phase {
+                        0 => b.push(tid, Op::Acquire(own)).unwrap(),
+                        1 => b.push(tid, Op::Write(VarId::new((round + t) % 7))).unwrap(),
+                        2 => b.push(tid, Op::Release(own)).unwrap(),
+                        _ => b.push(tid, Op::Notify(crate::CondId::new(t % 2))).unwrap(),
+                    };
+                }
+            }
+            // A full rendezvous with interleaved enters and exits.
+            let bar = crate::BarrierId::new(round % 2);
+            for t in 1..=threads {
+                b.push(ThreadId::new(t), Op::BarrierEnter(bar)).unwrap();
+            }
+            for t in 1..=threads {
+                b.push(ThreadId::new(t), Op::BarrierExit(bar)).unwrap();
+            }
+        }
+        let tr = b.finish();
+        for chunk in [1, 2, 7, 64] {
+            let mut w = StbWriter::v2(Vec::new()).chunk_events(chunk);
+            for e in tr.events() {
+                w.write(e).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            // from_stb_bytes replays the stream through TraceBuilder, so a
+            // successful decode is also a validator-clean certificate.
+            assert_eq!(from_stb_bytes(&bytes).expect("decode"), tr, "chunk {chunk}");
+        }
+    }
+
+    #[test]
     fn same_thread_runs_cost_a_few_bytes_per_event() {
         // A single-thread burst with clustered variables and locations: the
         // motivating case. Budget: header + ~3 bytes/event.
@@ -2080,7 +2149,10 @@ mod tests {
             .expect("header parses")
             .find_map(Result::err)
             .expect("reader must reject the count");
-        assert!(matches!(reader_err, StbError::Corrupt { .. }), "{reader_err}");
+        assert!(
+            matches!(reader_err, StbError::Corrupt { .. }),
+            "{reader_err}"
+        );
 
         let mut asm = StbAssembler::new();
         let asm_err = asm.push(&bytes).unwrap_err();

@@ -100,6 +100,23 @@ impl PatternKind {
             _ => 0,
         }
     }
+
+    /// Statically distinct races one instance of this pattern contributes
+    /// under each relation, as `(HB, WCP, DC, WDC)`. This is the per-site
+    /// decomposition of [`RaceMix::expected_static`], exposed so external
+    /// batteries (e.g. the live-capture differential tests) can pin a
+    /// single pattern's expectation without assembling a whole mix.
+    pub fn expected_static_races(self) -> (u32, u32, u32, u32) {
+        match self {
+            PatternKind::HbRace | PatternKind::CondvarRace | PatternKind::BarrierRace => {
+                (1, 1, 1, 1)
+            }
+            PatternKind::Predictive => (0, 1, 1, 1),
+            PatternKind::DcOnly => (0, 0, 1, 1),
+            PatternKind::WdcFalse => (0, 0, 0, 1),
+            PatternKind::CondvarHandoff | PatternKind::BarrierPhase => (0, 0, 0, 0),
+        }
+    }
 }
 
 /// The statically distinct race mix of one workload, derived from Table 7
@@ -416,5 +433,37 @@ mod tests {
         idx.sort_unstable();
         idx.dedup();
         assert_eq!(idx.len(), 17);
+    }
+
+    #[test]
+    fn per_pattern_expectations_decompose_the_mix() {
+        // Summing every emitted site's per-pattern expectation must equal
+        // the mix-level expectation, for any mix shape.
+        for mix in [
+            RaceMix {
+                hb: 2,
+                predictive: 3,
+                dc_only: 1,
+                wdc_false: 2,
+                condvar: 2,
+                barrier: 1,
+                condvar_handoff: 4,
+                barrier_phase: 4,
+                repeats_per_site: 5,
+            },
+            RaceMix {
+                condvar: 1,
+                barrier_phase: 2,
+                repeats_per_site: 1,
+                ..RaceMix::default()
+            },
+        ] {
+            let mut sum = (0, 0, 0, 0);
+            for (kind, _) in mix.sites() {
+                let (hb, wcp, dc, wdc) = kind.expected_static_races();
+                sum = (sum.0 + hb, sum.1 + wcp, sum.2 + dc, sum.3 + wdc);
+            }
+            assert_eq!(sum, mix.expected_static(), "{mix:?}");
+        }
     }
 }

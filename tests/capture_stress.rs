@@ -1,0 +1,213 @@
+//! Capture robustness battery (ISSUE 7): release-mode soak across many
+//! threads × many objects × forced mid-run epoch flushes, plus
+//! panic-mid-pattern recovery. The soak is `#[ignore]`d in debug builds
+//! (like the batch soak) — unoptimized schedules interleave unrealistically
+//! slowly; CI runs it under `--release`.
+
+use std::sync::Arc;
+
+use smarttrack::{analyze, AnalysisConfig};
+use smarttrack_capture::twins::{run_twin, TwinKind};
+use smarttrack_capture::{
+    AtomicU32, Barrier, CaptureConfig, CaptureSession, CaptureSink, Mutex, Nudge, Shared,
+};
+use smarttrack_trace::binary::from_stb_bytes;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only soak (run with --release)")]
+fn soak_many_threads_many_objects_forced_flushes() {
+    const THREADS: usize = 8;
+    const OBJECTS: usize = 6;
+    const ITERS: usize = 300;
+
+    let (sink, bytes) = CaptureSink::memory();
+    // One-event buffers force an epoch flush on every record; tiny STB
+    // chunks force constant chunk turnover under that load.
+    let config = CaptureConfig {
+        buffer_events: 1,
+        chunk_events: 16,
+        nudge: Some(Nudge {
+            period: 7,
+            phase: 3,
+        }),
+    };
+    let session = CaptureSession::new(sink, config);
+
+    let mutexes: Vec<_> = (0..OBJECTS)
+        .map(|_| Arc::new(Mutex::new(&session, 0u64)))
+        .collect();
+    let shareds: Vec<_> = (0..OBJECTS)
+        .map(|_| Arc::new(Shared::new(&session, 0u32)))
+        .collect();
+    let volatiles: Vec<_> = (0..OBJECTS)
+        .map(|_| Arc::new(AtomicU32::new(&session, 0)))
+        .collect();
+    let rendezvous = Arc::new(Barrier::new(&session, THREADS));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let session = session.clone();
+            let mutexes = mutexes.clone();
+            let shareds = shareds.clone();
+            let volatiles = volatiles.clone();
+            let rendezvous = rendezvous.clone();
+            session.clone().spawn(move || {
+                for i in 0..ITERS {
+                    let k = (i * 31 + t * 7) % OBJECTS;
+                    match i % 4 {
+                        0 | 1 => {
+                            // Guarded read-modify-write: every shared[k]
+                            // access happens under mutexes[k].
+                            let mut g = mutexes[k].lock();
+                            *g += 1;
+                            let v = shareds[k].get();
+                            shareds[k].set(v.wrapping_add(1));
+                            drop(g);
+                        }
+                        2 => {
+                            volatiles[k].fetch_add(1);
+                            let _ = volatiles[k].load();
+                        }
+                        _ => {
+                            if i % 60 == 3 {
+                                // All threads reach the same wait count:
+                                // i cycles identically in every worker.
+                                rendezvous.wait();
+                            }
+                            if i % 37 == 7 {
+                                session.flush_thread();
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("soak worker");
+    }
+
+    let report = session.finish().expect("finish soak");
+    assert_eq!(report.threads as usize, THREADS + 1);
+    let stb = bytes.lock().expect("memory sink").clone();
+    let trace = from_stb_bytes(&stb).expect("soak capture is validator-clean");
+    assert_eq!(trace.len() as u64, report.events);
+    // Everything is guarded (mutexes), synchronization-only (volatiles,
+    // barrier), or fork/join ordered: no analysis may report a race.
+    for config in AnalysisConfig::table1() {
+        let outcome = analyze(&trace, config);
+        assert_eq!(outcome.report.static_count(), 0, "under {config}");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only soak (run with --release)")]
+fn soak_every_twin_under_heavy_flush_pressure() {
+    for kind in TwinKind::ALL {
+        for round in 0..10u32 {
+            let (sink, bytes) = CaptureSink::memory();
+            let config = CaptureConfig {
+                buffer_events: 1,
+                chunk_events: 4,
+                nudge: Some(Nudge {
+                    period: (round % 4) + 1,
+                    phase: round,
+                }),
+            };
+            run_twin(kind, sink, config).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let trace = from_stb_bytes(&bytes.lock().unwrap())
+                .unwrap_or_else(|e| panic!("{} round {round}: {e}", kind.name()));
+            for config in AnalysisConfig::table1() {
+                assert_eq!(
+                    analyze(&trace, config).report.static_count(),
+                    kind.expected_static(),
+                    "{} round {round} under {config}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn panic_mid_pattern_yields_validator_clean_prefix() {
+    let (sink, bytes) = CaptureSink::memory();
+    let session = CaptureSession::new(sink, CaptureConfig::default());
+    let m = Arc::new(Mutex::new(&session, 0u32));
+    let x = Arc::new(Shared::new(&session, 0u32));
+
+    let crasher = {
+        let (m, x) = (m.clone(), x.clone());
+        session.spawn(move || {
+            let _g = m.lock();
+            x.set(1);
+            panic!("mid-pattern crash");
+        })
+    };
+    let survivor = {
+        let (m, x) = (m.clone(), x.clone());
+        session.spawn(move || {
+            let _g = m.lock();
+            let v = x.get();
+            x.set(v + 1);
+        })
+    };
+    assert!(crasher.join().is_err(), "crasher must panic");
+    survivor.join().expect("survivor");
+
+    let report = session.finish().expect("finish after panic");
+    let stb = bytes.lock().expect("memory sink").clone();
+    let trace = from_stb_bytes(&stb).expect("panic capture is a validator-clean prefix");
+    assert_eq!(trace.len() as u64, report.events);
+    // The crasher's release was recorded during unwinding (guard drop),
+    // so the lock discipline is intact and all x accesses stay guarded.
+    for config in AnalysisConfig::table1() {
+        assert_eq!(
+            analyze(&trace, config).report.static_count(),
+            0,
+            "under {config}"
+        );
+    }
+}
+
+#[test]
+fn mid_run_flush_interleavings_stay_decodable() {
+    // Threads flushing at unsynchronized moments produce out-of-order
+    // cross-thread handoffs to the emitter; the watermark protocol must
+    // still emit a globally ordered, decodable stream.
+    let (sink, bytes) = CaptureSink::memory();
+    let config = CaptureConfig {
+        buffer_events: 3,
+        chunk_events: 5,
+        nudge: Some(Nudge {
+            period: 2,
+            phase: 0,
+        }),
+    };
+    let session = CaptureSession::new(sink, config);
+    let m = Arc::new(Mutex::new(&session, 0u64));
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let session = session.clone();
+            let m = m.clone();
+            session.clone().spawn(move || {
+                for i in 0..50 {
+                    *m.lock() += 1;
+                    if i % (t + 2) == 0 {
+                        session.flush_thread();
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    assert_eq!(*m.lock(), 200);
+    let report = session.finish().expect("finish");
+    let trace = from_stb_bytes(&bytes.lock().unwrap()).expect("decodable");
+    // 4 threads × 50 × (acq+rel) + 4 forks + 4 joins + the final checking
+    // lock on the main thread.
+    assert_eq!(trace.len(), 4 * 50 * 2 + 8 + 2);
+    assert_eq!(report.events, trace.len() as u64);
+}

@@ -140,6 +140,19 @@ fn docs_exist_and_cover_every_format() {
     ] {
         assert!(text.contains(needle), "SERVE_PROTOCOL.md lost `{needle}`");
     }
+    let capture_doc = Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/CAPTURE.md");
+    let text = std::fs::read_to_string(capture_doc).expect("docs/CAPTURE.md exists");
+    for needle in [
+        "CaptureSession",
+        "CaptureSink",
+        "watermark",
+        "#[track_caller]",
+        "--captured",
+        "--nudge",
+        "twins",
+    ] {
+        assert!(text.contains(needle), "CAPTURE.md lost `{needle}`");
+    }
 }
 
 /// The serve/load help text must document the wire-facing knobs the
@@ -152,7 +165,16 @@ fn serve_and_load_help_cover_their_knobs() {
             "serve",
             &["--listen", "--workers", "--idle-timeout", "--analysis"][..],
         ),
-        ("load", &["--clients", "--scale", "--chunk-bytes"][..]),
+        (
+            "load",
+            &[
+                "--clients",
+                "--scale",
+                "--chunk-bytes",
+                "--captured",
+                "--nudge",
+            ][..],
+        ),
     ] {
         let mut out = Vec::new();
         smarttrack_cli::run(&["help".to_string(), cmd.to_string()], &mut out)

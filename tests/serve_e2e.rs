@@ -282,6 +282,71 @@ fn one_connection_can_stream_many_sessions_back_to_back() {
 }
 
 #[test]
+fn captured_execution_streams_live_and_matches_its_file_sink_capture() {
+    // A *real* multithreaded execution (the capture crate's pattern twins)
+    // streams to the daemon over loopback while the identical byte stream
+    // is teed into a file sink. One run, two sinks: the daemon's report
+    // must equal, race for race, the offline analysis of the file capture.
+    // Nudged-deterministic per twin, but no determinism is assumed across
+    // runs — both sinks see the *same* schedule by construction.
+    use smarttrack_capture::twins::{run_twin, TwinKind};
+    use smarttrack_capture::{CaptureConfig, CaptureSink, Nudge};
+
+    let server = test_server(2);
+    let addr = server.local_addr();
+    let dir = std::env::temp_dir().join(format!("serve_e2e_capture_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    for kind in TwinKind::ALL {
+        let path = dir.join(format!("{}.stb", kind.name()));
+        let client = ServeClient::connect(addr, "e2e", kind.name(), false).expect("connect");
+        let file = CaptureSink::file(&path).expect("file sink");
+        let sink = CaptureSink::tee(file, CaptureSink::serve(client));
+        let config = CaptureConfig {
+            nudge: Some(Nudge {
+                period: 2,
+                phase: 1,
+            }),
+            buffer_events: 4,
+            ..CaptureConfig::default()
+        };
+        let report =
+            run_twin(kind, sink, config).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let wire = &report.serve_reports[0];
+
+        let stb = std::fs::read(&path).expect("read file capture");
+        let trace = smarttrack_trace::binary::from_stb_bytes(&stb)
+            .unwrap_or_else(|e| panic!("{}: file capture invalid: {e}", kind.name()));
+        assert_eq!(
+            wire.events,
+            trace.len() as u64,
+            "{}: event count",
+            kind.name()
+        );
+
+        let expected = offline_races(&trace);
+        assert_eq!(
+            wire.lanes.len(),
+            expected.len(),
+            "{}: lane count",
+            kind.name()
+        );
+        for (lane, want) in expected.iter().enumerate() {
+            let mut got = wire.lanes[lane].races.clone();
+            got.sort();
+            assert_eq!(
+                &got,
+                want,
+                "{}: lane {lane} diverges from offline analysis of the file capture",
+                kind.name()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    server.shutdown();
+}
+
+#[test]
 fn second_connection_to_an_attached_session_is_refused() {
     let server = test_server(1);
     let addr = server.local_addr();

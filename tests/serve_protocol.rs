@@ -245,7 +245,10 @@ fn chunks_beyond_the_server_chunk_cap_fail_the_session_not_the_server() {
     let mut client =
         ServeClient::connect(server.local_addr(), "fuzz", "fat-chunk", false).expect("connect");
     let failed = client.send_chunk(&stb).is_err() || client.finish().is_err();
-    assert!(failed, "a chunk beyond the server cap must fail its session");
+    assert!(
+        failed,
+        "a chunk beyond the server cap must fail its session"
+    );
     assert_server_live(&server, "fat-chunk");
 }
 
