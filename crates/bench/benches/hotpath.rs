@@ -299,6 +299,14 @@ fn main() {
         "condsync".to_string(),
         smarttrack_workloads::profiles::condsync().trace(scale, 11),
     ));
+    // The reader/writer-lock-heavy lane: mostly-read-mode sections with a
+    // trylock-failure sprinkle, exercising the acqr/acqw/tryf clock rules
+    // (read-clock aggregates, rule (b) read-mode peeks) on every analysis
+    // hot path, so a regression in the rwlock handlers is caught by --check.
+    point_corpus.push((
+        "rwmix".to_string(),
+        smarttrack_workloads::profiles::rwmix().trace(scale, 11),
+    ));
     let events: usize = corpus.iter().map(|(_, t)| t.len()).sum();
     let cores = smarttrack_parallel::worker_count(None);
     println!(

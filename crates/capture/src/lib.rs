@@ -8,8 +8,10 @@
 //! instrumented `std::sync` wrappers that perform the real operation and
 //! record the matching trace event:
 //!
-//! * [`Mutex`] / [`RwLock`] — `acq`/`rel` (rwlocks serialize until
-//!   read-acquires land in the model; see the type docs),
+//! * [`Mutex`] — `acq`/`rel`, with `try_lock` recording `tryf` on failure,
+//! * [`RwLock`] — `acqr`/`acqw`/`rel` over a real `std::sync::RwLock`
+//!   (concurrent readers run — and are recorded — in parallel), plus
+//!   `try_read`/`try_write`,
 //! * [`Condvar`] — `rel`/`acq`/`wait` expansion plus `ntf`/`nfa`,
 //! * [`Barrier`] — `bent`/`bext` round discipline via a double rendezvous,
 //! * [`AtomicU32`] — `vrd`/`vwr` volatile synchronization accesses,
@@ -31,7 +33,7 @@
 //! accepts. Each wrapper therefore stamps its event *while the underlying
 //! primitive is held or ordered by that very operation* — wasmgrind-style —
 //! and the session merges per-thread buffers back into global stamp order
-//! before writing. See the [`session`] module and `docs/CAPTURE.md` for
+//! before writing. See the `session` module and `docs/CAPTURE.md` for
 //! the full argument.
 //!
 //! # Panic and poison behavior
@@ -185,6 +187,69 @@ mod tests {
         // fork, child acq+rel (release recorded during unwinding), join,
         // parent acq+rel.
         assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn rwlock_records_read_and_write_modes() {
+        let bytes = capture_bytes(|session| {
+            let rw = RwLock::new(session, 0u32);
+            *rw.write() = 1;
+            let _ = *rw.read();
+            let _ = *rw.try_read().expect("uncontended try_read succeeds");
+            let _ = *rw.try_write().expect("uncontended try_write succeeds");
+        });
+        let trace = from_stb_bytes(&bytes).expect("validator-clean");
+        let ops: Vec<_> = trace.events().iter().map(|e| e.op).collect();
+        let m = smarttrack_trace::LockId::new(0);
+        assert_eq!(
+            ops,
+            vec![
+                Op::AcqWrite(m),
+                Op::Release(m),
+                Op::AcqRead(m),
+                Op::Release(m),
+                Op::AcqRead(m),
+                Op::Release(m),
+                Op::AcqWrite(m),
+                Op::Release(m),
+            ]
+        );
+    }
+
+    #[test]
+    fn contended_trylocks_record_failures() {
+        let bytes = capture_bytes(|session| {
+            let rw = Arc::new(RwLock::new(session, 0u32));
+            let m = Arc::new(Mutex::new(session, 0u32));
+            // Main holds the write lock and the mutex across the child's
+            // whole lifetime (it joins before dropping), so every child
+            // attempt deterministically fails.
+            let wg = rw.write();
+            let mg = m.lock();
+            let child = {
+                let (rw, m) = (rw.clone(), m.clone());
+                session.spawn(move || {
+                    assert!(rw.try_read().is_none(), "write lock excludes readers");
+                    assert!(rw.try_write().is_none());
+                    assert!(m.try_lock().is_none());
+                })
+            };
+            child.join().expect("child");
+            drop(wg);
+            drop(mg);
+        });
+        let trace = from_stb_bytes(&bytes).expect("validator-clean");
+        let fails = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.op, Op::TryAcqFail(_)))
+            .count();
+        assert_eq!(fails, 3);
+        // Failed trylocks order nothing and race with nothing.
+        for config in AnalysisConfig::table1() {
+            let outcome = smarttrack_detect::analyze(&trace, config);
+            assert_eq!(outcome.report.static_count(), 0, "under {config}");
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 use std::panic::Location;
 use std::sync::{
     Barrier as StdBarrier, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard,
-    PoisonError,
+    PoisonError, RwLock as StdRwLock, RwLockReadGuard as StdRwLockReadGuard,
+    RwLockWriteGuard as StdRwLockWriteGuard, TryLockError,
 };
 
 use smarttrack_trace::{BarrierId, CondId, Loc, LockId, Op};
@@ -54,6 +55,29 @@ impl<T> Mutex<T> {
             inner: Some(guard),
         }
     }
+
+    /// Attempts the lock without blocking. A failure records `tryf` — which
+    /// establishes no ordering in any direction — so the analysis sees
+    /// exactly the contended fast paths the execution really took.
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.session.record(Op::TryAcqFail(self.id), loc);
+                return None;
+            }
+        };
+        self.session.record(Op::Acquire(self.id), loc);
+        Some(MutexGuard {
+            mutex: self,
+            loc,
+            inner: Some(guard),
+        })
+    }
 }
 
 /// Guard of a captured [`Mutex`]; records the release on drop.
@@ -92,69 +116,165 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
-/// An instrumented reader-writer lock.
+/// An instrumented [`std::sync::RwLock`]: `read()` records `acqr`,
+/// `write()` records `acqw`, and either guard records `rel` on drop.
+/// Concurrent readers really run in parallel, and their overlapping
+/// sections are recorded as overlapping — the analyses know two read
+/// sections never exclude each other, so reader/reader interleavings are
+/// explored instead of hidden.
 ///
-/// Until read-acquires land in the trace model (ROADMAP item 3), both
-/// `read()` and `write()` map to plain `acq`/`rel` on one [`LockId`] — the
-/// wrapper is backed by a captured [`Mutex`], so concurrent readers
-/// *serialize*. That is a sound over-approximation for race detection
-/// (extra mutual exclusion only removes interleavings, and the recorded
-/// edges match what really happened), at the cost of reader parallelism.
+/// The stamping discipline is the same as [`Mutex`]'s: acquires are stamped
+/// while the real lock is held, releases just before the real unlock. Read
+/// stamps of concurrent readers may interleave arbitrarily in ticket order,
+/// which is sound because read sections don't conflict; every *conflicting*
+/// pair (write section vs. anything) is still stamped in its real order.
+/// Poisoning is absorbed exactly as for [`Mutex`].
 pub struct RwLock<T> {
-    inner: Mutex<T>,
+    session: CaptureSession,
+    id: LockId,
+    inner: StdRwLock<T>,
 }
 
 impl<T> RwLock<T> {
     /// Wraps `value` in a captured rwlock with a fresh stable [`LockId`].
     pub fn new(session: &CaptureSession, value: T) -> RwLock<T> {
         RwLock {
-            inner: Mutex::new(session, value),
+            session: session.clone(),
+            id: session.alloc_lock(),
+            inner: StdRwLock::new(value),
         }
     }
 
     /// The stable trace id of this lock.
     pub fn id(&self) -> LockId {
-        self.inner.id()
+        self.id
     }
 
-    /// Takes a (serializing) read lock; recorded as a plain acquire.
+    /// Takes a shared read lock, recording `acqr`; concurrent readers
+    /// proceed in parallel.
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.inner.lock())
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::AcqRead(self.id), loc);
+        RwLockReadGuard {
+            lock: self,
+            loc,
+            inner: Some(guard),
+        }
     }
 
-    /// Takes the write lock; recorded as a plain acquire.
+    /// Takes the exclusive write lock, recording `acqw`.
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.inner.lock())
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        self.session.record(Op::AcqWrite(self.id), loc);
+        RwLockWriteGuard {
+            lock: self,
+            loc,
+            inner: Some(guard),
+        }
+    }
+
+    /// Attempts a read lock without blocking; a failure records `tryf`.
+    #[track_caller]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.session.record(Op::TryAcqFail(self.id), loc);
+                return None;
+            }
+        };
+        self.session.record(Op::AcqRead(self.id), loc);
+        Some(RwLockReadGuard {
+            lock: self,
+            loc,
+            inner: Some(guard),
+        })
+    }
+
+    /// Attempts the write lock without blocking; a failure records `tryf`.
+    #[track_caller]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let loc = self.session.intern_loc(Location::caller());
+        self.session.nudge();
+        let guard = match self.inner.try_write() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.session.record(Op::TryAcqFail(self.id), loc);
+                return None;
+            }
+        };
+        self.session.record(Op::AcqWrite(self.id), loc);
+        Some(RwLockWriteGuard {
+            lock: self,
+            loc,
+            inner: Some(guard),
+        })
     }
 }
 
-/// Shared-access guard of a captured [`RwLock`].
-pub struct RwLockReadGuard<'a, T>(MutexGuard<'a, T>);
+/// Shared-access guard of a captured [`RwLock`]; records `rel` on drop.
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    loc: Loc,
+    inner: Option<StdRwLockReadGuard<'a, T>>,
+}
 
 impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        &self.0
+        self.inner.as_ref().expect("guard present until drop")
     }
 }
 
-/// Exclusive guard of a captured [`RwLock`].
-pub struct RwLockWriteGuard<'a, T>(MutexGuard<'a, T>);
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // Record while the read hold is still real, then unlock.
+        self.lock
+            .session
+            .record(Op::Release(self.lock.id), self.loc);
+        self.inner = None;
+    }
+}
+
+/// Exclusive guard of a captured [`RwLock`]; records `rel` on drop.
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    loc: Loc,
+    inner: Option<StdRwLockWriteGuard<'a, T>>,
+}
 
 impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        &self.0
+        self.inner.as_ref().expect("guard present until drop")
     }
 }
 
 impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.inner.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // Record while still holding exclusively, then unlock.
+        self.lock
+            .session
+            .record(Op::Release(self.lock.id), self.loc);
+        self.inner = None;
     }
 }
 

@@ -51,11 +51,16 @@ pub enum TwinKind {
     VolatileRace,
     /// Reads and writes under a captured rwlock: race-free.
     RwLockGuarded,
+    /// One thread *writes* shared data under a mere read lock while another
+    /// reads it under its own read lock: read sections never exclude each
+    /// other, so exactly one race — in every relation and every schedule.
+    /// (The misuse pattern a serializing rwlock wrapper can never surface.)
+    ReaderOverlap,
 }
 
 impl TwinKind {
     /// Every twin, in a stable order.
-    pub const ALL: [TwinKind; 9] = [
+    pub const ALL: [TwinKind; 10] = [
         TwinKind::LockProtected,
         TwinKind::UnsyncRace,
         TwinKind::CondvarHandoff,
@@ -65,6 +70,7 @@ impl TwinKind {
         TwinKind::VolatileHandoff,
         TwinKind::VolatileRace,
         TwinKind::RwLockGuarded,
+        TwinKind::ReaderOverlap,
     ];
 
     /// Stable display name.
@@ -79,6 +85,7 @@ impl TwinKind {
             TwinKind::VolatileHandoff => "volatile-handoff",
             TwinKind::VolatileRace => "volatile-race",
             TwinKind::RwLockGuarded => "rwlock-guarded",
+            TwinKind::ReaderOverlap => "reader-overlap",
         }
     }
 
@@ -95,7 +102,8 @@ impl TwinKind {
             TwinKind::UnsyncRace
             | TwinKind::CondvarRace
             | TwinKind::BarrierRace
-            | TwinKind::VolatileRace => 1,
+            | TwinKind::VolatileRace
+            | TwinKind::ReaderOverlap => 1,
         }
     }
 }
@@ -283,6 +291,41 @@ pub fn run_twin(
             };
             writer.join().expect("twin writer");
             reader.join().expect("twin reader");
+        }
+        TwinKind::ReaderOverlap => {
+            let rw = Arc::new(RwLock::new(&session, ()));
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let y = Arc::new(Shared::new(&session, 0u32));
+            // Writes `x` under a *read* lock: mutual exclusion the code
+            // seems to rely on simply isn't there.
+            let writer = {
+                let (rw, x) = (rw.clone(), x.clone());
+                session.spawn(move || {
+                    let _g = rw.read();
+                    poke(&x);
+                })
+            };
+            // Reads `x` under its own read lock — nothing orders it against
+            // the writer in any relation, on any schedule: one race.
+            let reader = {
+                let (rw, x) = (rw.clone(), x.clone());
+                session.spawn(move || {
+                    let _g = rw.read();
+                    let _ = x.get();
+                })
+            };
+            // A second reader on unrelated data: read sections really
+            // overlap (no serialization), but it adds no race.
+            let bystander = {
+                let (rw, y) = (rw, y);
+                session.spawn(move || {
+                    let _g = rw.read();
+                    let _ = y.get();
+                })
+            };
+            writer.join().expect("twin writer");
+            reader.join().expect("twin reader");
+            bystander.join().expect("twin bystander");
         }
     }
     session.finish()

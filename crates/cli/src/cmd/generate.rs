@@ -138,6 +138,28 @@ mod tests {
     }
 
     #[test]
+    fn rwmix_profile_emits_reader_writer_ops_as_stb_v3() {
+        use smarttrack_trace::Op;
+        let path =
+            std::env::temp_dir().join(format!("smarttrack-cli-rwmix-{}.stb", std::process::id()));
+        let path_str = path.display().to_string();
+        let text = capture(run, &["rwmix", "--scale", "5e-5", "--out", &path_str]).unwrap();
+        assert!(text.contains("wrote rwmix"), "{text}");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[4], 3, "reader/writer op tags require STB v3");
+        let trace = smarttrack_trace::binary::read_stb_file(&path).unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.op, Op::AcqRead(_))));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.op, Op::TryAcqFail(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn out_flag_writes_a_loadable_file() {
         let path =
             std::env::temp_dir().join(format!("smarttrack-cli-gen-{}.trace", std::process::id()));

@@ -23,17 +23,32 @@ pub type ReleaseClock = Rc<RefCell<VectorClock>>;
 pub struct CsEntry {
     /// The lock of the critical section.
     pub lock: LockId,
+    /// Whether the section holds the lock exclusively (plain acquires and
+    /// write-mode rwlock acquires). Read-mode sections only conflict with
+    /// write-involved holds — two read sections on the same lock never do.
+    pub write: bool,
     /// Reference to the (possibly still pending) release-time clock.
     pub release: ReleaseClock,
 }
 
 impl CsEntry {
-    /// Creates a pending entry for an acquire by `owner` (release time `∞`).
+    /// Creates a pending *exclusive* entry for an acquire by `owner`
+    /// (release time `∞`).
     pub fn pending(lock: LockId, owner: ThreadId) -> Self {
+        Self::pending_mode(lock, owner, true)
+    }
+
+    /// Creates a pending *read-mode* entry for a shared acquire by `owner`.
+    pub fn pending_read(lock: LockId, owner: ThreadId) -> Self {
+        Self::pending_mode(lock, owner, false)
+    }
+
+    fn pending_mode(lock: LockId, owner: ThreadId, write: bool) -> Self {
         let mut vc = VectorClock::new();
         vc.set(owner, INFINITY);
         CsEntry {
             lock,
+            write,
             release: Rc::new(RefCell::new(vc)),
         }
     }
@@ -151,9 +166,13 @@ impl LrMeta {
 /// Per-lock extra CCS entries of one thread: a tiny association list
 /// (threads hold a handful of locks; linear scans beat hashing at this
 /// size, and iteration order — insertion order — is deterministic).
+///
+/// Entries are keyed by `(lock, mode)` — a thread can stash both a
+/// read-mode and a write-mode residual section on the same rwlock, and only
+/// write-involved pairs conflict when a later access absorbs them.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct ExtraLocks {
-    entries: Vec<(LockId, ReleaseClock)>,
+    entries: Vec<(LockId, bool, ReleaseClock)>,
 }
 
 impl ExtraLocks {
@@ -161,20 +180,32 @@ impl ExtraLocks {
         self.entries.is_empty()
     }
 
-    pub fn get(&self, m: LockId) -> Option<&ReleaseClock> {
-        self.entries.iter().find(|(l, _)| *l == m).map(|(_, rc)| rc)
-    }
-
-    /// Inserts or replaces the entry for `m`.
-    pub fn insert(&mut self, m: LockId, rc: ReleaseClock) {
-        match self.entries.iter_mut().find(|(l, _)| *l == m) {
-            Some(entry) => entry.1 = rc,
-            None => self.entries.push((m, rc)),
+    /// Inserts or replaces the entry for `(m, write)`.
+    pub fn insert(&mut self, m: LockId, write: bool, rc: ReleaseClock) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|(l, w, _)| *l == m && *w == write)
+        {
+            Some(entry) => entry.2 = rc,
+            None => self.entries.push((m, write, rc)),
         }
     }
 
-    pub fn remove(&mut self, m: LockId) {
-        self.entries.retain(|(l, _)| *l != m);
+    /// The stashed sections on `m` that conflict with a hold of mode
+    /// `held_write` (write-involved pairs only).
+    pub fn conflicting(&self, m: LockId, held_write: bool) -> impl Iterator<Item = &ReleaseClock> {
+        self.entries
+            .iter()
+            .filter(move |(l, w, _)| *l == m && (*w || held_write))
+            .map(|(_, _, rc)| rc)
+    }
+
+    /// Drops the entries [`Self::conflicting`] would yield for `(m,
+    /// held_write)` — they have been absorbed into the current clock.
+    pub fn remove_conflicting(&mut self, m: LockId, held_write: bool) {
+        self.entries
+            .retain(|(l, w, _)| !(*l == m && (*w || held_write)));
     }
 
     pub fn clear(&mut self) {
@@ -182,11 +213,11 @@ impl ExtraLocks {
     }
 
     pub fn clocks(&self) -> impl Iterator<Item = &ReleaseClock> {
-        self.entries.iter().map(|(_, rc)| rc)
+        self.entries.iter().map(|(_, _, rc)| rc)
     }
 
     pub fn heap_bytes(&self) -> usize {
-        self.entries.capacity() * std::mem::size_of::<(LockId, ReleaseClock)>()
+        self.entries.capacity() * std::mem::size_of::<(LockId, bool, ReleaseClock)>()
     }
 }
 
@@ -263,8 +294,9 @@ impl Extras {
 /// Traverses `list` outermost-to-innermost looking for a critical section of
 /// the list's owner that is either already ordered before `now` (subsumes
 /// everything inner *and* the race check) or on a lock `held` by the current
-/// thread (a conflicting critical section: its release time is joined into
-/// `now`, adding rule (a) ordering). Entries that are neither become the
+/// thread in a conflicting mode — at least one side write-involved — (a
+/// conflicting critical section: its release time is joined into `now`,
+/// adding rule (a) ordering). Entries that are neither become the
 /// *residual* `E`, and only if no entry matched is the race check against
 /// `check` performed.
 ///
@@ -275,7 +307,7 @@ impl Extras {
 /// Returns `(residual, raced)`.
 pub(crate) fn multi_check(
     now: &mut VectorClock,
-    held: &[LockId],
+    held: &[(LockId, bool)],
     list: Option<&CsList>,
     check: Epoch,
     ordered_race_check: impl Fn(Epoch, &VectorClock) -> bool,
@@ -287,7 +319,12 @@ pub(crate) fn multi_check(
             if rel.get(l.owner) <= now.get(l.owner) {
                 return (residual, false);
             }
-            if held.contains(&entry.lock) {
+            // Write-involved pairs only: a read-mode entry against a
+            // read-mode hold of the same rwlock is not a conflicting pair.
+            if held
+                .iter()
+                .any(|&(l, w)| l == entry.lock && (w || entry.write))
+            {
                 debug_assert_ne!(
                     rel.get(l.owner),
                     INFINITY,
@@ -320,7 +357,7 @@ pub(crate) fn stash_residual(
         map.clear();
     }
     for e in residual {
-        map.insert(e.lock, e.release);
+        map.insert(e.lock, e.write, e.release);
     }
 }
 
@@ -413,7 +450,7 @@ mod tests {
         let mut now: VectorClock = [(t(1), 1)].into_iter().collect();
         let (residual, raced) = multi_check(
             &mut now,
-            &[m(2)],
+            &[(m(2), true)],
             Some(&list),
             Epoch::new(t(0), 9),
             dc_check,
@@ -431,7 +468,7 @@ mod tests {
         let mut now: VectorClock = [(t(1), 3)].into_iter().collect();
         let (residual, raced) = multi_check(
             &mut now,
-            &[m(1)],
+            &[(m(1), true)],
             Some(&list),
             Epoch::new(t(0), 2),
             dc_check,
@@ -447,6 +484,68 @@ mod tests {
         assert!(!ok);
         let (_, raced) = multi_check(&mut now, &[], None, Epoch::new(t(0), 6), dc_check);
         assert!(raced);
+    }
+
+    #[test]
+    fn read_read_pairs_are_not_conflicting() {
+        // Prior section held m2 in *read* mode; current thread also holds
+        // m2 in read mode. No write involved: the entry must fall through
+        // to residual + race check instead of joining the release time.
+        let entry = CsEntry::pending_read(m(2), t(0));
+        *entry.release.borrow_mut() = [(t(0), 7)].into_iter().collect();
+        let list = list_with(t(0), vec![entry]);
+        let mut now: VectorClock = [(t(1), 1)].into_iter().collect();
+        let (residual, raced) = multi_check(
+            &mut now,
+            &[(m(2), false)],
+            Some(&list),
+            Epoch::new(t(0), 9),
+            dc_check,
+        );
+        assert_eq!(residual.len(), 1, "read-read entry becomes residual");
+        assert!(raced, "no rule (a) edge between two read sections");
+        assert_eq!(now.get(t(0)), 0, "release time not joined");
+    }
+
+    #[test]
+    fn write_involved_pairs_still_join() {
+        // Read-mode entry vs write-mode hold, and write-mode entry vs
+        // read-mode hold, both conflict.
+        for (entry_write, held_write) in [(false, true), (true, false)] {
+            let entry = CsEntry::pending_mode(m(2), t(0), entry_write);
+            *entry.release.borrow_mut() = [(t(0), 7)].into_iter().collect();
+            let list = list_with(t(0), vec![entry]);
+            let mut now: VectorClock = [(t(1), 1)].into_iter().collect();
+            let (residual, raced) = multi_check(
+                &mut now,
+                &[(m(2), held_write)],
+                Some(&list),
+                Epoch::new(t(0), 9),
+                dc_check,
+            );
+            assert!(residual.is_empty());
+            assert!(!raced);
+            assert_eq!(now.get(t(0)), 7, "release time joined");
+        }
+    }
+
+    #[test]
+    fn extras_key_by_lock_and_mode() {
+        let mut ex = ExtraLocks::default();
+        let rc =
+            |v: u32| -> ReleaseClock { Rc::new(RefCell::new([(t(0), v)].into_iter().collect())) };
+        ex.insert(m(0), false, rc(3));
+        ex.insert(m(0), true, rc(5));
+        assert_eq!(ex.clocks().count(), 2, "read and write entries coexist");
+        assert_eq!(
+            ex.conflicting(m(0), false).count(),
+            1,
+            "read hold conflicts only with the write entry"
+        );
+        assert_eq!(ex.conflicting(m(0), true).count(), 2);
+        ex.remove_conflicting(m(0), false);
+        assert_eq!(ex.clocks().count(), 1, "write entry absorbed");
+        assert_eq!(ex.conflicting(m(0), true).count(), 1);
     }
 
     #[test]

@@ -15,10 +15,12 @@ pub fn slot<T: Default>(v: &mut Vec<T>, i: usize) -> &mut T {
 }
 
 /// Tracks the set of locks held by each thread, in acquisition order
-/// (`HeldLocks(t)` in the paper's algorithms).
+/// (`HeldLocks(t)` in the paper's algorithms), with the hold *mode*: `true`
+/// for exclusive/write holds (plain acquires and `acqw`), `false` for
+/// read-mode rwlock holds (`acqr`).
 #[derive(Clone, Debug, Default)]
 pub struct HeldLocks {
-    held: Vec<Vec<LockId>>,
+    held: Vec<Vec<(LockId, bool)>>,
 }
 
 impl HeldLocks {
@@ -27,23 +29,30 @@ impl HeldLocks {
         HeldLocks::default()
     }
 
-    /// Records an acquire.
+    /// Records an exclusive (or write-mode) acquire.
     pub fn acquire(&mut self, t: ThreadId, m: LockId) {
-        slot(&mut self.held, t.index()).push(m);
+        slot(&mut self.held, t.index()).push((m, true));
     }
 
-    /// Records a release. Releases of unheld locks are ignored (the trace
-    /// layer already guarantees well-formedness).
-    pub fn release(&mut self, t: ThreadId, m: LockId) {
+    /// Records a read-mode acquire of an rwlock.
+    pub fn acquire_read(&mut self, t: ThreadId, m: LockId) {
+        slot(&mut self.held, t.index()).push((m, false));
+    }
+
+    /// Records a release and returns whether the ended hold was write-mode.
+    /// Releases of unheld locks are ignored (the trace layer already
+    /// guarantees well-formedness) and reported as write-mode.
+    pub fn release(&mut self, t: ThreadId, m: LockId) -> bool {
         if let Some(h) = self.held.get_mut(t.index()) {
-            if let Some(pos) = h.iter().rposition(|&l| l == m) {
-                h.remove(pos);
+            if let Some(pos) = h.iter().rposition(|&(l, _)| l == m) {
+                return h.remove(pos).1;
             }
         }
+        true
     }
 
-    /// The locks held by `t`, outermost first.
-    pub fn of(&self, t: ThreadId) -> &[LockId] {
+    /// The `(lock, write-mode)` holds of `t`, outermost first.
+    pub fn of(&self, t: ThreadId) -> &[(LockId, bool)] {
         self.held
             .get(t.index())
             .map(Vec::as_slice)
@@ -54,9 +63,9 @@ impl HeldLocks {
     pub fn footprint_bytes(&self) -> usize {
         self.held
             .iter()
-            .map(|h| h.capacity() * std::mem::size_of::<LockId>())
+            .map(|h| h.capacity() * std::mem::size_of::<(LockId, bool)>())
             .sum::<usize>()
-            + self.held.capacity() * std::mem::size_of::<Vec<LockId>>()
+            + self.held.capacity() * std::mem::size_of::<Vec<(LockId, bool)>>()
     }
 }
 
@@ -405,6 +414,178 @@ impl LockVarTable {
     }
 }
 
+/// Per-lock state of [`ReadSectionTable`]: the ongoing *read-mode* critical
+/// sections (several can be open at once — that is the point of an rwlock,
+/// and why [`LockVarTable`]'s one-generation-per-lock protocol cannot host
+/// them) plus the folded access times of completed read sections.
+#[derive(Clone, Debug, Default)]
+struct ReadLockState {
+    /// Open read sections: `(thread, vars read, vars written)`. Vars are
+    /// deduplicated by linear scan — read sections are short and rare
+    /// relative to accesses.
+    ongoing: Vec<(ThreadId, Vec<VarId>, Vec<VarId>)>,
+    /// `Lr_r(m,x)`: per variable, the joined release times of completed
+    /// read-mode sections that read it.
+    read_times: Vec<(VarId, LTime)>,
+    /// `Lw_r(m,x)`: likewise for writes (a read-mode section may well
+    /// contain writes — that is exactly the captured-RwLock bug shape).
+    write_times: Vec<(VarId, LTime)>,
+}
+
+impl ReadLockState {
+    fn fold(
+        into: &mut Vec<(VarId, LTime)>,
+        vars: &[VarId],
+        now: &VectorClock,
+        source: Option<(ThreadId, EventId)>,
+    ) {
+        for &x in vars {
+            match into.iter_mut().find(|(v, _)| *v == x) {
+                Some((_, lt)) => lt.absorb(now, source),
+                None => {
+                    let mut lt = LTime::default();
+                    lt.absorb(now, source);
+                    into.push((x, lt));
+                }
+            }
+        }
+    }
+}
+
+/// Rule (a) metadata for *read-mode* critical sections, the read-side
+/// counterpart of [`LockVarTable`]. Kept separate because the mutex table's
+/// generation protocol assumes at most one ongoing section per lock, while
+/// read sections overlap by design.
+///
+/// Queries are gated by the *current* hold mode at the access site: a
+/// write-mode section conflicts with every prior section, but a read-mode
+/// section conflicts only with prior write-mode sections — two read sections
+/// on the same lock can overlap in a reordering, so rule (a) must not order
+/// them (Genç et al., arXiv:1904.13088).
+#[derive(Clone, Debug, Default)]
+pub struct ReadSectionTable {
+    per_lock: Vec<ReadLockState>,
+    /// Whether any read section was ever opened — lets the non-rwlock hot
+    /// path skip every query with one branch.
+    any: bool,
+    track_sources: bool,
+}
+
+impl ReadSectionTable {
+    /// Creates a table; `track_sources` enables graph-edge recording.
+    pub fn new(track_sources: bool) -> Self {
+        ReadSectionTable {
+            track_sources,
+            ..ReadSectionTable::default()
+        }
+    }
+
+    /// `true` while no read-mode section has ever been opened.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !self.any
+    }
+
+    /// Opens a read section on `m` by `t` (at `acqr`).
+    pub fn open(&mut self, t: ThreadId, m: LockId) {
+        self.any = true;
+        let st = slot(&mut self.per_lock, m.index());
+        if !st.ongoing.iter().any(|(u, ..)| *u == t) {
+            st.ongoing.push((t, Vec::new(), Vec::new()));
+        }
+    }
+
+    /// Marks `x` as read in `t`'s ongoing read section on `m`.
+    pub fn mark_read(&mut self, t: ThreadId, m: LockId, x: VarId) {
+        let st = slot(&mut self.per_lock, m.index());
+        if let Some((_, reads, _)) = st.ongoing.iter_mut().find(|(u, ..)| *u == t) {
+            if !reads.contains(&x) {
+                reads.push(x);
+            }
+        }
+    }
+
+    /// Marks `x` as written in `t`'s ongoing read section on `m`.
+    pub fn mark_write(&mut self, t: ThreadId, m: LockId, x: VarId) {
+        let st = slot(&mut self.per_lock, m.index());
+        if let Some((.., writes)) = st.ongoing.iter_mut().find(|(u, ..)| *u == t) {
+            if !writes.contains(&x) {
+                writes.push(x);
+            }
+        }
+    }
+
+    /// Closes `t`'s read section on `m` at time `now`, folding its accessed
+    /// variables into the completed-section times.
+    pub fn close(&mut self, t: ThreadId, m: LockId, now: &VectorClock, release_event: EventId) {
+        let source = self.track_sources.then_some((t, release_event));
+        let st = slot(&mut self.per_lock, m.index());
+        if let Some(pos) = st.ongoing.iter().position(|(u, ..)| *u == t) {
+            let (_, reads, writes) = st.ongoing.remove(pos);
+            ReadLockState::fold(&mut st.read_times, &reads, now, source);
+            ReadLockState::fold(&mut st.write_times, &writes, now, source);
+        }
+    }
+
+    /// `Lr_r(m,x)` — joined release times of completed read sections on `m`
+    /// that read `x`.
+    #[inline]
+    pub fn read_time(&self, m: LockId, x: VarId) -> Option<&LTime> {
+        self.per_lock
+            .get(m.index())?
+            .read_times
+            .iter()
+            .find(|(v, _)| *v == x)
+            .map(|(_, lt)| lt)
+    }
+
+    /// `Lw_r(m,x)` — likewise for writes performed under read-mode holds.
+    #[inline]
+    pub fn write_time(&self, m: LockId, x: VarId) -> Option<&LTime> {
+        self.per_lock
+            .get(m.index())?
+            .write_times
+            .iter()
+            .find(|(v, _)| *v == x)
+            .map(|(_, lt)| lt)
+    }
+
+    /// Exact heap bytes including per-entry clock spill.
+    pub fn footprint_bytes(&self) -> usize {
+        self.resident_bytes()
+            + self
+                .per_lock
+                .iter()
+                .flat_map(|st| st.read_times.iter().chain(st.write_times.iter()))
+                .map(|(_, lt)| {
+                    lt.clock.heap_bytes()
+                        + lt.sources.capacity() * std::mem::size_of::<(ThreadId, EventId)>()
+                })
+                .sum::<usize>()
+    }
+
+    /// Cheap resident bytes (capacities only).
+    pub fn resident_bytes(&self) -> usize {
+        self.per_lock.capacity() * std::mem::size_of::<ReadLockState>()
+            + self
+                .per_lock
+                .iter()
+                .map(|st| {
+                    (st.read_times.capacity() + st.write_times.capacity())
+                        * std::mem::size_of::<(VarId, LTime)>()
+                        + st.ongoing.capacity()
+                            * std::mem::size_of::<(ThreadId, Vec<VarId>, Vec<VarId>)>()
+                        + st.ongoing
+                            .iter()
+                            .map(|(_, r, w)| {
+                                (r.capacity() + w.capacity()) * std::mem::size_of::<VarId>()
+                            })
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
 /// Per-barrier rendezvous clock state shared by every detector family.
 ///
 /// A barrier round is an all-to-all release/acquire: every
@@ -517,10 +698,54 @@ mod tests {
         let mut h = HeldLocks::new();
         h.acquire(t(0), m(0));
         h.acquire(t(0), m(1));
-        assert_eq!(h.of(t(0)), &[m(0), m(1)]);
-        h.release(t(0), m(0)); // non-LIFO release allowed
-        assert_eq!(h.of(t(0)), &[m(1)]);
+        assert_eq!(h.of(t(0)), &[(m(0), true), (m(1), true)]);
+        assert!(h.release(t(0), m(0)), "non-LIFO release allowed");
+        assert_eq!(h.of(t(0)), &[(m(1), true)]);
         assert!(h.of(t(1)).is_empty());
+    }
+
+    #[test]
+    fn held_locks_report_read_mode_holds() {
+        let mut h = HeldLocks::new();
+        h.acquire_read(t(0), m(0));
+        h.acquire(t(0), m(1));
+        assert_eq!(h.of(t(0)), &[(m(0), false), (m(1), true)]);
+        assert!(!h.release(t(0), m(0)), "read-mode hold ends as read-mode");
+        assert!(h.release(t(0), m(1)));
+    }
+
+    #[test]
+    fn read_section_table_folds_overlapping_sections() {
+        let mut rt = ReadSectionTable::new(false);
+        assert!(rt.is_empty());
+        // Two overlapping read sections on m0, one writing x0, one reading.
+        rt.open(t(0), m(0));
+        rt.open(t(1), m(0));
+        assert!(!rt.is_empty());
+        rt.mark_write(t(0), m(0), x(0));
+        rt.mark_read(t(1), m(0), x(0));
+        assert!(rt.write_time(m(0), x(0)).is_none(), "not folded yet");
+        let now0: VectorClock = [(t(0), 4)].into_iter().collect();
+        rt.close(t(0), m(0), &now0, EventId::new(5));
+        let now1: VectorClock = [(t(1), 6)].into_iter().collect();
+        rt.close(t(1), m(0), &now1, EventId::new(8));
+        assert_eq!(rt.write_time(m(0), x(0)).unwrap().clock.get(t(0)), 4);
+        let read = rt.read_time(m(0), x(0)).unwrap();
+        assert_eq!(read.clock.get(t(1)), 6);
+        assert_eq!(read.clock.get(t(0)), 0, "sections fold independently");
+    }
+
+    #[test]
+    fn read_section_table_records_sources_in_graph_mode() {
+        let mut rt = ReadSectionTable::new(true);
+        rt.open(t(0), m(0));
+        rt.mark_read(t(0), m(0), x(1));
+        let now: VectorClock = [(t(0), 2)].into_iter().collect();
+        rt.close(t(0), m(0), &now, EventId::new(7));
+        assert_eq!(
+            rt.read_time(m(0), x(1)).unwrap().sources,
+            vec![(t(0), EventId::new(7))]
+        );
     }
 
     #[test]

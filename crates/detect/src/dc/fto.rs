@@ -5,7 +5,7 @@
 use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
-use crate::common::{slot, HeldLocks, LockVarTable};
+use crate::common::{slot, HeldLocks, LockVarTable, ReadSectionTable};
 use crate::counters::{FtoCase, FtoCaseCounters};
 use crate::dc::DcClocks;
 use crate::queues::{AcqEntry, DcRuleBQueues};
@@ -30,6 +30,7 @@ pub struct FtoDcLike<const RULE_B: bool> {
     clocks: DcClocks,
     held: HeldLocks,
     lockvar: LockVarTable,
+    read_sections: ReadSectionTable,
     queues: DcRuleBQueues,
     vars: Vec<VarState>,
     report: Report,
@@ -54,6 +55,7 @@ impl<const RULE_B: bool> FtoDcLike<RULE_B> {
             clocks: DcClocks::new(),
             held: HeldLocks::new(),
             lockvar: LockVarTable::new(false),
+            read_sections: ReadSectionTable::new(false),
             queues: DcRuleBQueues::new(),
             vars: Vec::new(),
             report: Report::new(),
@@ -69,8 +71,10 @@ impl<const RULE_B: bool> FtoDcLike<RULE_B> {
     /// Rule (a) joins (Algorithm 2 lines 16–19 / 29–31). At writes, joins
     /// `Lr ⊔ Lw` and marks both sets; at reads, joins `Lw` and marks `Rm`
     /// (which in FTO represents reads-and-writes).
+    /// Rwlock gating: prior *read-mode* section times apply only when the
+    /// current hold is write-mode (read/read section pairs never conflict).
     fn rule_a(&mut self, t: ThreadId, x: VarId, now: &mut VectorClock, write: bool) {
-        for &m in self.held.of(t) {
+        for &(m, held_write) in self.held.of(t) {
             if write {
                 if let Some(lt) = self.lockvar.read_time(m, x) {
                     now.join(&lt.clock);
@@ -79,9 +83,26 @@ impl<const RULE_B: bool> FtoDcLike<RULE_B> {
             if let Some(lt) = self.lockvar.write_time(m, x) {
                 now.join(&lt.clock);
             }
-            self.lockvar.mark_read(m, x);
-            if write {
-                self.lockvar.mark_write(m, x);
+            if !self.read_sections.is_empty() && held_write {
+                if write {
+                    if let Some(lt) = self.read_sections.read_time(m, x) {
+                        now.join(&lt.clock);
+                    }
+                }
+                if let Some(lt) = self.read_sections.write_time(m, x) {
+                    now.join(&lt.clock);
+                }
+            }
+            if held_write {
+                self.lockvar.mark_read(m, x);
+                if write {
+                    self.lockvar.mark_write(m, x);
+                }
+            } else {
+                self.read_sections.mark_read(t, m, x);
+                if write {
+                    self.read_sections.mark_write(t, m, x);
+                }
             }
         }
     }
@@ -193,19 +214,34 @@ impl<const RULE_B: bool> FtoDcLike<RULE_B> {
     fn acquire(&mut self, t: ThreadId, m: LockId) {
         if RULE_B {
             let entry = AcqEntry::Vc(self.clocks.clock(t).clone());
-            self.queues.on_acquire(m, t, &entry);
+            self.queues.on_acquire(m, t, &entry, true);
         }
         self.held.acquire(t, m);
         self.clocks.increment(t);
     }
 
+    fn acquire_read(&mut self, t: ThreadId, m: LockId) {
+        if RULE_B {
+            let entry = AcqEntry::Vc(self.clocks.clock(t).clone());
+            self.queues.on_acquire(m, t, &entry, false);
+        }
+        self.held.acquire_read(t, m);
+        self.read_sections.open(t, m);
+        self.clocks.increment(t);
+    }
+
     fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
+        let write_mode = self.held.release(t, m);
         let mut now = self.clocks.clock(t).clone();
         if RULE_B {
-            self.queues.on_release(m, t, &mut now, id, |_| {});
+            self.queues
+                .on_release(m, t, &mut now, id, write_mode, |_| {});
         }
-        self.lockvar.on_release(t, m, &now, id);
-        self.held.release(t, m);
+        if write_mode {
+            self.lockvar.on_release(t, m, &now, id);
+        } else {
+            self.read_sections.close(t, m, &now, id);
+        }
         self.clocks.clock(t).assign(&now);
         self.clocks.increment(t);
     }
@@ -251,8 +287,11 @@ impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
         match event.op {
             Op::Read(x) => self.read(id, t, x, event.loc),
             Op::Write(x) => self.write(id, t, x, event.loc),
-            Op::Acquire(m) => self.acquire(t, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(t, m),
+            Op::AcqRead(m) => self.acquire_read(t, m),
             Op::Release(m) => self.release(id, t, m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Fork(u) => self.clocks.fork(t, u),
             Op::Join(u) => self.clocks.join(t, u),
             Op::VolatileRead(v) => self.clocks.volatile_read(t, v),
@@ -280,6 +319,7 @@ impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
         self.clocks.footprint_bytes()
             + self.held.footprint_bytes()
             + self.lockvar.footprint_bytes()
+            + self.read_sections.footprint_bytes()
             + self.queues.footprint_bytes()
             + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self
@@ -294,6 +334,7 @@ impl<const RULE_B: bool> Detector for FtoDcLike<RULE_B> {
         self.clocks.resident_bytes()
             + self.held.footprint_bytes()
             + self.lockvar.resident_bytes()
+            + self.read_sections.resident_bytes()
             + self.queues.resident_bytes()
             + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self.report.footprint_bytes()
@@ -349,6 +390,23 @@ mod tests {
                 ..RandomTraceSpec::default()
             }
             .generate(seed);
+            assert_eq!(
+                first_race(FtoDc::new(), &tr),
+                first_race(UnoptDc::new(), &tr),
+                "DC seed {seed}"
+            );
+            assert_eq!(
+                first_race(FtoWdc::new(), &tr),
+                first_race(UnoptWdc::new(), &tr),
+                "WDC seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rwlock_traces_first_race_matches_unopt() {
+        for seed in 0..120 {
+            let tr = RandomTraceSpec::tiny_rw().generate(seed);
             assert_eq!(
                 first_race(FtoDc::new(), &tr),
                 first_race(UnoptDc::new(), &tr),

@@ -100,9 +100,9 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
         self.clocks.clock_ref(t)
     }
 
-    fn held_of(ht: &[Vec<CsEntry>], t: ThreadId) -> Vec<LockId> {
+    fn held_of(ht: &[Vec<CsEntry>], t: ThreadId) -> Vec<(LockId, bool)> {
         ht.get(t.index())
-            .map(|l| l.iter().map(|e| e.lock).collect())
+            .map(|l| l.iter().map(|e| (e.lock, e.write)).collect())
             .unwrap_or_default()
     }
 
@@ -126,24 +126,41 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
     fn acquire(&mut self, t: ThreadId, m: LockId) {
         if RULE_B {
             let local = self.clocks.clock(t).get(t);
-            self.queues.on_acquire(m, t, &AcqEntry::Epoch(local));
+            self.queues.on_acquire(m, t, &AcqEntry::Epoch(local), true);
         }
         slot(&mut self.ht, t.index()).push(CsEntry::pending(m, t));
         *slot(&mut self.ht_cache, t.index()) = None;
         self.clocks.increment(t);
     }
 
-    fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
-        let mut now = self.clocks.clock(t).clone();
+    fn acquire_read(&mut self, t: ThreadId, m: LockId) {
         if RULE_B {
-            self.queues.on_release(m, t, &mut now, id, |_| {});
+            let local = self.clocks.clock(t).get(t);
+            self.queues.on_acquire(m, t, &AcqEntry::Epoch(local), false);
         }
-        // Resolve the deferred release time (Algorithm 3 lines 13–15);
-        // searched from the innermost end to tolerate non-LIFO unlocking.
+        slot(&mut self.ht, t.index()).push(CsEntry::pending_read(m, t));
+        *slot(&mut self.ht_cache, t.index()) = None;
+        self.clocks.increment(t);
+    }
+
+    fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
+        // Pop the innermost section on `m` first — its mode gates the
+        // rule (b) consumption; searched from the innermost end to tolerate
+        // non-LIFO unlocking.
         *slot(&mut self.ht_cache, t.index()) = None;
         let stack = slot(&mut self.ht, t.index());
-        if let Some(pos) = stack.iter().rposition(|e| e.lock == m) {
-            let entry = stack.remove(pos);
+        let entry = stack
+            .iter()
+            .rposition(|e| e.lock == m)
+            .map(|pos| stack.remove(pos));
+        let write_mode = entry.as_ref().is_none_or(|e| e.write);
+        let mut now = self.clocks.clock(t).clone();
+        if RULE_B {
+            self.queues
+                .on_release(m, t, &mut now, id, write_mode, |_| {});
+        }
+        // Resolve the deferred release time (Algorithm 3 lines 13–15).
+        if let Some(entry) = entry {
             *entry.release.borrow_mut() = now.clone();
         }
         self.clocks.clock(t).assign(&now);
@@ -167,10 +184,10 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
         if !(er_nonempty || (strict && ew_nonempty)) {
             return;
         }
-        for &m in &held {
+        for &(m, held_write) in &held {
             for (u, map) in ex.read.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(m) {
+                    for rc in map.conflicting(m, held_write) {
                         now.join(&rc.borrow());
                     }
                 }
@@ -178,7 +195,7 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
             if strict {
                 for (u, map) in ex.write.iter() {
                     if u != t {
-                        if let Some(rc) = map.get(m) {
+                        for rc in map.conflicting(m, held_write) {
                             now.join(&rc.borrow());
                         }
                     }
@@ -186,12 +203,12 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
             }
             for (u, map) in ex.read.iter_mut() {
                 if u != t {
-                    map.remove(m);
+                    map.remove_conflicting(m, held_write);
                 }
             }
             for (u, map) in ex.write.iter_mut() {
                 if u != t {
-                    map.remove(m);
+                    map.remove_conflicting(m, held_write);
                 }
             }
         }
@@ -214,10 +231,10 @@ impl<const RULE_B: bool> SmartTrackDcLike<RULE_B> {
         if ex.write.is_empty() {
             return;
         }
-        for &m in &held {
+        for &(m, held_write) in &held {
             for (u, map) in ex.write.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(m) {
+                    for rc in map.conflicting(m, held_write) {
                         now.join(&rc.borrow());
                     }
                 }
@@ -480,8 +497,11 @@ impl<const RULE_B: bool> Detector for SmartTrackDcLike<RULE_B> {
         match event.op {
             Op::Read(x) => self.read(id, t, x, event.loc),
             Op::Write(x) => self.write(id, t, x, event.loc),
-            Op::Acquire(m) => self.acquire(t, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(t, m),
+            Op::AcqRead(m) => self.acquire_read(t, m),
             Op::Release(m) => self.release(id, t, m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Fork(u) => self.clocks.fork(t, u),
             Op::Join(u) => self.clocks.join(t, u),
             Op::VolatileRead(v) => self.clocks.volatile_read(t, v),
@@ -686,6 +706,23 @@ mod tests {
                 ..RandomTraceSpec::default()
             }
             .generate(seed);
+            assert_eq!(
+                first_race(SmartTrackDc::new(), &tr),
+                first_race(FtoDc::new(), &tr),
+                "DC seed {seed}"
+            );
+            assert_eq!(
+                first_race(SmartTrackWdc::new(), &tr),
+                first_race(FtoWdc::new(), &tr),
+                "WDC seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rwlock_traces_first_race_matches_fto() {
+        for seed in 0..120 {
+            let tr = RandomTraceSpec::tiny_rw().generate(seed);
             assert_eq!(
                 first_race(SmartTrackDc::new(), &tr),
                 first_race(FtoDc::new(), &tr),

@@ -7,7 +7,9 @@ use std::collections::HashMap;
 use smarttrack_clock::{ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
-use crate::common::{slot, vc_table_bytes, vc_table_resident_bytes, HeldLocks, LockVarTable};
+use crate::common::{
+    slot, vc_table_bytes, vc_table_resident_bytes, HeldLocks, LockVarTable, ReadSectionTable,
+};
 use crate::counters::PathCounters;
 use crate::dc::DcClocks;
 use crate::graph::{ConstraintGraph, EdgeKind};
@@ -27,6 +29,7 @@ pub struct UnoptDcLike<const RULE_B: bool> {
     clocks: DcClocks,
     held: HeldLocks,
     lockvar: LockVarTable,
+    read_sections: ReadSectionTable,
     queues: DcRuleBQueues,
     write_vc: Vec<VectorClock>,
     read_vc: Vec<VectorClock>,
@@ -104,6 +107,7 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
             clocks: DcClocks::new(),
             held: HeldLocks::new(),
             lockvar: LockVarTable::new(with_graph),
+            read_sections: ReadSectionTable::new(with_graph),
             queues: DcRuleBQueues::new(),
             write_vc: Vec::new(),
             read_vc: Vec::new(),
@@ -143,7 +147,7 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
     /// recorded conflicting-critical-section times (Algorithm 1 lines 14–16 /
     /// 21–23).
     fn rule_a(&mut self, id: EventId, t: ThreadId, x: VarId, now: &mut VectorClock, write: bool) {
-        for &m in self.held.of(t) {
+        for &(m, held_write) in self.held.of(t) {
             if write {
                 if let Some(lt) = self.lockvar.read_time(m, x) {
                     now.join(&lt.clock);
@@ -162,10 +166,38 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
                     }
                 }
             }
-            if write {
-                self.lockvar.mark_write(m, x);
+            // Prior *read-mode* sections on `m` conflict only when the
+            // current hold is write-involved (read/read pairs never do).
+            if !self.read_sections.is_empty() && held_write {
+                if write {
+                    if let Some(lt) = self.read_sections.read_time(m, x) {
+                        now.join(&lt.clock);
+                        if let Some(g) = self.graph.as_mut() {
+                            for &(_, src) in &lt.sources {
+                                g.add_edge(src, id, EdgeKind::RuleA);
+                            }
+                        }
+                    }
+                }
+                if let Some(lt) = self.read_sections.write_time(m, x) {
+                    now.join(&lt.clock);
+                    if let Some(g) = self.graph.as_mut() {
+                        for &(_, src) in &lt.sources {
+                            g.add_edge(src, id, EdgeKind::RuleA);
+                        }
+                    }
+                }
+            }
+            if held_write {
+                if write {
+                    self.lockvar.mark_write(m, x);
+                } else {
+                    self.lockvar.mark_read(m, x);
+                }
+            } else if write {
+                self.read_sections.mark_write(t, m, x);
             } else {
-                self.lockvar.mark_read(m, x);
+                self.read_sections.mark_read(t, m, x);
             }
         }
     }
@@ -232,24 +264,39 @@ impl<const RULE_B: bool> UnoptDcLike<RULE_B> {
     fn acquire(&mut self, t: ThreadId, m: LockId) {
         if RULE_B {
             let entry = AcqEntry::Vc(self.clocks.clock(t).clone());
-            self.queues.on_acquire(m, t, &entry);
+            self.queues.on_acquire(m, t, &entry, true);
         }
         self.held.acquire(t, m);
         self.clocks.increment(t);
     }
 
+    fn acquire_read(&mut self, t: ThreadId, m: LockId) {
+        if RULE_B {
+            let entry = AcqEntry::Vc(self.clocks.clock(t).clone());
+            self.queues.on_acquire(m, t, &entry, false);
+        }
+        self.held.acquire_read(t, m);
+        self.read_sections.open(t, m);
+        self.clocks.increment(t);
+    }
+
     fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
+        let write_mode = self.held.release(t, m);
         let mut now = self.clocks.clock(t).clone();
         if RULE_B {
             let graph = &mut self.graph;
-            self.queues.on_release(m, t, &mut now, id, |src| {
-                if let Some(g) = graph.as_mut() {
-                    g.add_edge(src, id, EdgeKind::RuleB);
-                }
-            });
+            self.queues
+                .on_release(m, t, &mut now, id, write_mode, |src| {
+                    if let Some(g) = graph.as_mut() {
+                        g.add_edge(src, id, EdgeKind::RuleB);
+                    }
+                });
         }
-        self.lockvar.on_release(t, m, &now, id);
-        self.held.release(t, m);
+        if write_mode {
+            self.lockvar.on_release(t, m, &now, id);
+        } else {
+            self.read_sections.close(t, m, &now, id);
+        }
         self.clocks.clock(t).assign(&now);
         self.clocks.increment(t);
     }
@@ -299,8 +346,11 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
         match event.op {
             Op::Read(x) => self.read(id, t, x, event.loc),
             Op::Write(x) => self.write(id, t, x, event.loc),
-            Op::Acquire(m) => self.acquire(t, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(t, m),
+            Op::AcqRead(m) => self.acquire_read(t, m),
             Op::Release(m) => self.release(id, t, m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Fork(u) => {
                 if self.graph.is_some() {
                     self.pending_fork.insert(u, id);
@@ -392,6 +442,7 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
         self.clocks.footprint_bytes()
             + self.held.footprint_bytes()
             + self.lockvar.footprint_bytes()
+            + self.read_sections.footprint_bytes()
             + self.queues.footprint_bytes()
             + vc_table_bytes(&self.write_vc)
             + vc_table_bytes(&self.read_vc)
@@ -406,6 +457,7 @@ impl<const RULE_B: bool> Detector for UnoptDcLike<RULE_B> {
         self.clocks.resident_bytes()
             + self.held.footprint_bytes()
             + self.lockvar.resident_bytes()
+            + self.read_sections.resident_bytes()
             + self.queues.resident_bytes()
             + vc_table_resident_bytes(&self.write_vc)
             + vc_table_resident_bytes(&self.read_vc)

@@ -22,6 +22,13 @@ pub(crate) struct HbSyncState {
     /// Per condition variable: the join of the notifiers' clocks (`Nc`).
     condvars: Vec<VectorClock>,
     barriers: Vec<BarrierRendezvous>,
+    /// Per lock: the reader-aggregate clock `LRm` — the join of the release
+    /// times of *read-mode* critical sections on `m`. Empty for plain
+    /// mutexes, so the non-rwlock paths never pay for it.
+    read_locks: Vec<VectorClock>,
+    /// Per thread: rwlocks currently held in *read* mode (write-mode holds
+    /// are indistinguishable from plain mutex holds and are not tracked).
+    rw_held: Vec<Vec<LockId>>,
 }
 
 impl HbSyncState {
@@ -45,16 +52,46 @@ impl HbSyncState {
         self.clock(t).get(t)
     }
 
-    /// `acq(m)`: `Ct ← Ct ⊔ Lm`.
+    /// `acq(m)` (exclusive, including write-mode on an rwlock):
+    /// `Ct ← Ct ⊔ Lm ⊔ LRm`. A writer is ordered after the last exclusive
+    /// release *and* after every completed read section (`LRm` is empty for
+    /// plain mutexes, so this degenerates to the classic rule).
     pub fn acquire(&mut self, t: ThreadId, m: LockId) {
         let lm = slot(&mut self.locks, m.index()).clone();
-        self.clock(t).join(&lm);
+        let lrm = slot(&mut self.read_locks, m.index()).clone();
+        let ct = self.clock(t);
+        ct.join(&lm);
+        ct.join(&lrm);
     }
 
-    /// `rel(m)`: `Lm ← Ct; Ct(t) += 1`.
+    /// `acqr(m)` (read mode): `Ct ← Ct ⊔ Lm` only. A reader is ordered
+    /// after the last write release but **not** after other read sections —
+    /// concurrent readers are the point of a reader-writer lock.
+    pub fn acquire_read(&mut self, t: ThreadId, m: LockId) {
+        let lm = slot(&mut self.locks, m.index()).clone();
+        self.clock(t).join(&lm);
+        slot(&mut self.rw_held, t.index()).push(m);
+    }
+
+    /// `rel(m)`: an exclusive release assigns `Lm ← Ct`; a *read-mode*
+    /// release instead joins into the reader aggregate (`LRm ← LRm ⊔ Ct`) —
+    /// assignment would let one reader's release erase another's, losing the
+    /// reader→writer edge. Both modes increment `Ct(t)`.
     pub fn release(&mut self, t: ThreadId, m: LockId) {
         let ct = self.clock(t).clone();
-        slot(&mut self.locks, m.index()).assign(&ct);
+        let read_mode = self
+            .rw_held
+            .get_mut(t.index())
+            .and_then(|h| h.iter().rposition(|&l| l == m))
+            .is_some_and(|pos| {
+                self.rw_held[t.index()].remove(pos);
+                true
+            });
+        if read_mode {
+            slot(&mut self.read_locks, m.index()).join(&ct);
+        } else {
+            slot(&mut self.locks, m.index()).assign(&ct);
+        }
         self.clock(t).increment(t);
     }
 
@@ -129,6 +166,12 @@ impl HbSyncState {
             + vc_table_bytes(&self.volatiles)
             + vc_table_bytes(&self.condvars)
             + barrier_table_bytes(&self.barriers)
+            + vc_table_bytes(&self.read_locks)
+            + self
+                .rw_held
+                .iter()
+                .map(|h| h.capacity() * std::mem::size_of::<LockId>())
+                .sum::<usize>()
     }
 
     /// Cheap resident bytes (capacities only, O(1)).
@@ -138,6 +181,8 @@ impl HbSyncState {
             + vc_table_resident_bytes(&self.volatiles)
             + vc_table_resident_bytes(&self.condvars)
             + barrier_table_resident_bytes(&self.barriers)
+            + vc_table_resident_bytes(&self.read_locks)
+            + self.rw_held.capacity() * std::mem::size_of::<Vec<LockId>>()
     }
 
     /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,
@@ -191,6 +236,52 @@ mod tests {
         s.clock(t(1)).set(t(1), 9);
         s.join(t(0), t(1));
         assert_eq!(s.clock(t(0)).get(t(1)), 9);
+    }
+
+    #[test]
+    fn readers_order_with_writers_but_not_each_other() {
+        let mut s = HbSyncState::default();
+        let m = LockId::new(0);
+        // Writer publishes 5, then two concurrent readers.
+        s.clock(t(0)).set(t(0), 5);
+        s.acquire(t(0), m);
+        s.release(t(0), m);
+        s.clock(t(1)).set(t(1), 7);
+        s.acquire_read(t(1), m);
+        assert_eq!(s.clock(t(1)).get(t(0)), 5, "reader after write release");
+        s.clock(t(2)).set(t(2), 9);
+        s.acquire_read(t(2), m);
+        s.release(t(1), m);
+        assert_eq!(
+            s.clock(t(2)).get(t(1)),
+            0,
+            "concurrent readers stay unordered"
+        );
+        s.release(t(2), m);
+        // The next writer is ordered after both read sections.
+        s.acquire(t(3), m);
+        assert_eq!(s.clock(t(3)).get(t(1)), 7);
+        assert_eq!(s.clock(t(3)).get(t(2)), 9);
+        assert_eq!(s.clock(t(3)).get(t(0)), 5);
+        // And a later reader sees only the write release, not the readers.
+        s.acquire_read(t(4), m);
+        assert_eq!(s.clock(t(4)).get(t(1)), 0);
+    }
+
+    #[test]
+    fn read_release_joins_instead_of_assigning() {
+        let mut s = HbSyncState::default();
+        let m = LockId::new(0);
+        s.clock(t(0)).set(t(0), 3);
+        s.acquire_read(t(0), m);
+        s.release(t(0), m);
+        s.clock(t(1)).set(t(1), 4);
+        s.acquire_read(t(1), m);
+        s.release(t(1), m);
+        // Both read releases survive in the aggregate.
+        s.acquire(t(2), m);
+        assert_eq!(s.clock(t(2)).get(t(0)), 3);
+        assert_eq!(s.clock(t(2)).get(t(1)), 4);
     }
 
     #[test]

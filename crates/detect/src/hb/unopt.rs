@@ -133,8 +133,11 @@ impl Detector for UnoptHb {
         match event.op {
             Op::Read(x) => self.read(id, t, x, event.loc),
             Op::Write(x) => self.write(id, t, x, event.loc),
-            Op::Acquire(m) => self.sync.acquire(t, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.sync.acquire(t, m),
+            Op::AcqRead(m) => self.sync.acquire_read(t, m),
             Op::Release(m) => self.sync.release(t, m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Fork(u) => self.sync.fork(t, u),
             Op::Join(u) => self.sync.join(t, u),
             Op::VolatileRead(v) => self.sync.volatile_read(t, v),

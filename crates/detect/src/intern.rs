@@ -143,6 +143,9 @@ impl Interner {
             Op::Read(x) => Op::Read(VarId::new(self.vars.intern(x.raw()))),
             Op::Write(x) => Op::Write(VarId::new(self.vars.intern(x.raw()))),
             Op::Acquire(m) => Op::Acquire(LockId::new(self.locks.intern(m.raw()))),
+            Op::AcqRead(m) => Op::AcqRead(LockId::new(self.locks.intern(m.raw()))),
+            Op::AcqWrite(m) => Op::AcqWrite(LockId::new(self.locks.intern(m.raw()))),
+            Op::TryAcqFail(m) => Op::TryAcqFail(LockId::new(self.locks.intern(m.raw()))),
             Op::Release(m) => Op::Release(LockId::new(self.locks.intern(m.raw()))),
             Op::VolatileRead(v) => Op::VolatileRead(VarId::new(self.volatiles.intern(v.raw()))),
             Op::VolatileWrite(v) => Op::VolatileWrite(VarId::new(self.volatiles.intern(v.raw()))),

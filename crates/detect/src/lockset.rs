@@ -115,13 +115,17 @@ impl EraserLockset {
     /// is exactly where its false positives come from.
     pub fn process(&mut self, id: EventId, event: &Event) {
         match event.op {
-            Op::Acquire(m) => self.held.acquire(event.tid, m),
-            Op::Release(m) => self.held.release(event.tid, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.held.acquire(event.tid, m),
+            Op::AcqRead(m) => self.held.acquire_read(event.tid, m),
+            Op::Release(m) => {
+                self.held.release(event.tid, m);
+            }
             Op::Read(x) => self.access(id, event, x, AccessKind::Read),
             Op::Write(x) => self.access(id, event, x, AccessKind::Write),
             // Wait keeps its monitor held (atomic release-and-reacquire),
-            // so the held set is unchanged; Eraser tracks no ordering, so
-            // notify and barrier operations are ignored like fork/join.
+            // so the held set is unchanged; a failed trylock changes
+            // nothing at all; Eraser tracks no ordering, so notify and
+            // barrier operations are ignored like fork/join.
             Op::Fork(_)
             | Op::Join(_)
             | Op::VolatileRead(_)
@@ -130,7 +134,8 @@ impl EraserLockset {
             | Op::Notify(_)
             | Op::NotifyAll(_)
             | Op::BarrierEnter(_)
-            | Op::BarrierExit(_) => {}
+            | Op::BarrierExit(_)
+            | Op::TryAcqFail(_) => {}
         }
     }
 
@@ -165,7 +170,17 @@ impl EraserLockset {
 
     fn access(&mut self, id: EventId, event: &Event, x: VarId, kind: AccessKind) {
         let t = event.tid;
-        let held = self.held.of(t).to_vec();
+        // Eraser's rwlock refinement (Savage et al. §2.3): a read is
+        // protected by any-mode holds (`locks_held`), a write only by
+        // write-mode holds (`write_locks_held`) — a read-mode hold does not
+        // exclude concurrent readers of the candidate set's variable.
+        let held: Vec<LockId> = self
+            .held
+            .of(t)
+            .iter()
+            .filter(|&&(_, w)| w || kind == AccessKind::Read)
+            .map(|&(l, _)| l)
+            .collect();
         let state = slot(&mut self.states, x.index());
         *state = match std::mem::take(state) {
             VarState::Virgin => VarState::Exclusive(t),
@@ -384,6 +399,41 @@ mod tests {
         let mut hb = crate::FtoHb::new();
         crate::run_detector(&mut hb, &trace);
         assert_eq!(hb.report().dynamic_count(), 1, "HB analysis reports it");
+    }
+
+    #[test]
+    fn rwlock_discipline_splits_read_and_write_locksets() {
+        // Writers take the rwlock in write mode, readers in read mode:
+        // consistent discipline, no violation.
+        let mut b = TraceBuilder::new();
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let x = VarId::new(0);
+        let m = LockId::new(0);
+        b.push(t0, Op::AcqWrite(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqRead(m)).unwrap();
+        b.push(t1, Op::Read(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        b.push(t0, Op::AcqWrite(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        assert_eq!(run(&b.finish()), 0, "write-mode writes + read-mode reads");
+
+        // A write under a *read-mode* hold does not count as protected:
+        // the write lockset empties and the violation is reported.
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::AcqWrite(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqRead(m)).unwrap();
+        b.push(t1, Op::Write(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        assert_eq!(
+            run(&b.finish()),
+            1,
+            "read-mode hold does not protect writes"
+        );
     }
 
     #[test]

@@ -68,6 +68,9 @@ struct CsLog {
     base: usize,
     acq: Vec<AcqEntry>,
     rel: Vec<RelEntry>,
+    /// Hold mode per entry, aligned with `acq`: `true` for exclusive/write
+    /// sections, `false` for read-mode rwlock sections.
+    write: Vec<bool>,
 }
 
 impl CsLog {
@@ -79,6 +82,7 @@ impl CsLog {
     fn resident_bytes(&self) -> usize {
         self.acq.capacity() * std::mem::size_of::<AcqEntry>()
             + self.rel.capacity() * std::mem::size_of::<RelEntry>()
+            + self.write.capacity() * std::mem::size_of::<bool>()
     }
 
     fn footprint_bytes(&self) -> usize {
@@ -121,14 +125,25 @@ impl DcRuleBQueues {
     }
 
     /// Handles `acq(m)` by `t` (Algorithm 1 line 2 / Algorithm 3 line 2).
-    pub fn on_acquire(&mut self, m: LockId, t: ThreadId, entry: &AcqEntry) {
-        self.log_mut(m, t).acq.push(entry.clone());
+    /// `write` is the hold mode: `false` for read-mode rwlock sections.
+    pub fn on_acquire(&mut self, m: LockId, t: ThreadId, entry: &AcqEntry, write: bool) {
+        let log = self.log_mut(m, t);
+        log.acq.push(entry.clone());
+        log.write.push(write);
     }
 
     /// Handles `rel(m)` by `t` (Algorithm 1 lines 4–8): consumes every other
     /// thread's acquires that are ordered before `now`, joining the matching
     /// release times into `now`; then appends `now` as `t`'s own release
     /// entry.
+    ///
+    /// `write_mode` is the mode of the section being released. A write-mode
+    /// release conflicts with every prior section and consumes as usual; a
+    /// *read-mode* release conflicts only with prior write-mode sections, so
+    /// it joins only those — and it never advances the consumption cursor,
+    /// because skipped read-mode entries may still be needed by a later
+    /// write-mode release of the same thread (rule (b) applies only to
+    /// write-involved section pairs; Genç et al., arXiv:1904.13088).
     ///
     /// Calls `on_rule_b(release_event)` for each rule (b) join, so
     /// graph-building variants can record edges.
@@ -138,6 +153,7 @@ impl DcRuleBQueues {
         t: ThreadId,
         now: &mut VectorClock,
         release_event: EventId,
+        write_mode: bool,
         mut on_rule_b: impl FnMut(EventId),
     ) {
         let lock_logs = slot(&mut self.logs, m.index());
@@ -162,18 +178,37 @@ impl DcRuleBQueues {
             if *cursor < log.base {
                 *cursor = log.base;
             }
-            while *cursor < log.len_total() {
-                let i = *cursor - log.base;
-                if !log.acq[i].ordered_before(owner, now) {
-                    break;
+            if write_mode {
+                while *cursor < log.len_total() {
+                    let i = *cursor - log.base;
+                    if !log.acq[i].ordered_before(owner, now) {
+                        break;
+                    }
+                    let rel = log
+                        .rel
+                        .get(i)
+                        .expect("matching release precedes this release (well-formed trace)");
+                    now.join(&rel.clock);
+                    on_rule_b(rel.event);
+                    *cursor += 1;
                 }
-                let rel = log
-                    .rel
-                    .get(i)
-                    .expect("matching release precedes this release (well-formed trace)");
-                now.join(&rel.clock);
-                on_rule_b(rel.event);
-                *cursor += 1;
+            } else {
+                // Non-destructive peek: join write-mode entries only, and
+                // leave the cursor alone. An open section (acquire without a
+                // matching release yet — possible for a concurrently-held
+                // read section) ends the prefix.
+                let mut i = *cursor - log.base;
+                while i < log.acq.len() {
+                    if !log.acq[i].ordered_before(owner, now) {
+                        break;
+                    }
+                    let Some(rel) = log.rel.get(i) else { break };
+                    if log.write[i] {
+                        now.join(&rel.clock);
+                        on_rule_b(rel.event);
+                    }
+                    i += 1;
+                }
             }
         }
         // Publish t's own release (matching its oldest un-released acquire).
@@ -222,6 +257,7 @@ impl DcRuleBQueues {
                 let n = drop_to - log.base;
                 log.acq.drain(..n);
                 log.rel.drain(..n);
+                log.write.drain(..n);
                 log.base = drop_to;
             }
         }
@@ -280,8 +316,11 @@ impl WcpRuleBQueues {
     }
 
     /// Records `acq(m)` by `t` with local HB clock value `local`.
-    pub fn on_acquire(&mut self, m: LockId, t: ThreadId, local: ClockValue) {
-        self.log_mut(m, t).acq.push(AcqEntry::Epoch(local));
+    /// `write` is the hold mode: `false` for read-mode rwlock sections.
+    pub fn on_acquire(&mut self, m: LockId, t: ThreadId, local: ClockValue, write: bool) {
+        let log = self.log_mut(m, t);
+        log.acq.push(AcqEntry::Epoch(local));
+        log.write.push(write);
     }
 
     /// Records the release time matching the oldest un-matched acquire of `m`
@@ -299,14 +338,19 @@ impl WcpRuleBQueues {
     /// WCP-ordered before the current release (checked against the releaser's
     /// WCP clock `wcp`), joining the matching releases' HB clocks into `wcp`.
     ///
-    /// Consumption is destructive across releasers; that is sound for WCP
-    /// because a later release of the same lock is HB-after this one and WCP
-    /// left/right-composes with HB (footnote 6).
+    /// For a *write-mode* release, consumption is destructive across
+    /// releasers; that is sound for WCP because a later section of the same
+    /// lock (read or write mode) is HB-after a write release and WCP
+    /// left/right-composes with HB (footnote 6). A *read-mode* release
+    /// conflicts only with prior write-mode sections and is **not** HB-before
+    /// later sections, so it peeks without draining: it joins the ordered
+    /// prefix's write-mode entries and leaves everything in place.
     pub fn consume(
         &mut self,
         m: LockId,
         t: ThreadId,
         wcp: &mut VectorClock,
+        write_mode: bool,
         mut on_rule_b: impl FnMut(EventId),
     ) {
         let lock = slot(&mut self.per_lock, m.index());
@@ -321,13 +365,16 @@ impl WcpRuleBQueues {
             let limit = log.acq.len().min(log.rel.len());
             while consumed < limit && log.acq[consumed].ordered_before(owner, wcp) {
                 let rel = &log.rel[consumed];
-                wcp.join(&rel.clock);
-                on_rule_b(rel.event);
+                if write_mode || log.write[consumed] {
+                    wcp.join(&rel.clock);
+                    on_rule_b(rel.event);
+                }
                 consumed += 1;
             }
-            if consumed > 0 {
+            if write_mode && consumed > 0 {
                 log.acq.drain(..consumed);
                 log.rel.drain(..consumed);
+                log.write.drain(..consumed);
             }
         }
     }
@@ -369,15 +416,17 @@ mod tests {
     fn dc_queue_joins_matching_release_when_acquire_ordered() {
         let mut q = DcRuleBQueues::new();
         // T0 acquires m at time [1,0]; releases at [3,0].
-        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])));
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])), true);
         let mut rel0 = vc(&[(0, 3)]);
-        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), |_| {});
+        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), true, |_| {});
         // T1 releases m with a clock that dominates T0's acquire: rule (b)
         // fires and T1 absorbs T0's release time.
-        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 4)])));
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 4)])), true);
         let mut now = vc(&[(0, 2), (1, 5)]);
         let mut fired = Vec::new();
-        q.on_release(m(0), t(1), &mut now, EventId::new(7), |e| fired.push(e));
+        q.on_release(m(0), t(1), &mut now, EventId::new(7), true, |e| {
+            fired.push(e)
+        });
         assert_eq!(fired, vec![EventId::new(2)]);
         assert_eq!(now.get(t(0)), 3, "absorbed T0's release time");
     }
@@ -385,14 +434,14 @@ mod tests {
     #[test]
     fn dc_queue_leaves_unordered_acquires() {
         let mut q = DcRuleBQueues::new();
-        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 4)])));
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 4)])), true);
         let mut rel0 = vc(&[(0, 5)]);
-        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), |_| {});
+        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), true, |_| {});
         // T1's clock does not dominate the acquire time: no join.
-        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 8)])));
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 8)])), true);
         let mut now = vc(&[(1, 9)]);
         let mut fired = 0;
-        q.on_release(m(0), t(1), &mut now, EventId::new(8), |_| fired += 1);
+        q.on_release(m(0), t(1), &mut now, EventId::new(8), true, |_| fired += 1);
         assert_eq!(fired, 0);
         assert_eq!(now.get(t(0)), 0);
     }
@@ -400,20 +449,24 @@ mod tests {
     #[test]
     fn dc_queue_consumption_is_per_releaser() {
         let mut q = DcRuleBQueues::new();
-        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])));
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])), true);
         let mut rel0 = vc(&[(0, 3)]);
-        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), |_| {});
+        q.on_release(m(0), t(0), &mut rel0, EventId::new(2), true, |_| {});
         // T1 consumes the entry.
-        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 4)])));
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 4)])), true);
         let mut now1 = vc(&[(0, 2), (1, 5)]);
         let mut fired1 = 0;
-        q.on_release(m(0), t(1), &mut now1, EventId::new(7), |_| fired1 += 1);
+        q.on_release(m(0), t(1), &mut now1, EventId::new(7), true, |_| {
+            fired1 += 1
+        });
         assert_eq!(fired1, 1);
         // T2 must *also* see the entry (DC has no HB composition to rely on).
-        q.on_acquire(m(0), t(2), &AcqEntry::Vc(vc(&[(2, 3)])));
+        q.on_acquire(m(0), t(2), &AcqEntry::Vc(vc(&[(2, 3)])), true);
         let mut now2 = vc(&[(0, 2), (2, 4)]);
         let mut fired2 = 0;
-        q.on_release(m(0), t(2), &mut now2, EventId::new(11), |_| fired2 += 1);
+        q.on_release(m(0), t(2), &mut now2, EventId::new(11), true, |_| {
+            fired2 += 1
+        });
         assert_eq!(
             fired2, 1,
             "per-pair queues: each releaser consumes independently"
@@ -427,17 +480,17 @@ mod tests {
         // with the full VC check on join-closed clocks.
         let mut qv = DcRuleBQueues::new();
         let mut qe = DcRuleBQueues::new();
-        qv.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 2)])));
-        qe.on_acquire(m(0), t(0), &AcqEntry::Epoch(2));
+        qv.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 2)])), true);
+        qe.on_acquire(m(0), t(0), &AcqEntry::Epoch(2), true);
         let mut r1 = vc(&[(0, 4)]);
         let mut r2 = r1.clone();
-        qv.on_release(m(0), t(0), &mut r1, EventId::new(1), |_| {});
-        qe.on_release(m(0), t(0), &mut r2, EventId::new(1), |_| {});
+        qv.on_release(m(0), t(0), &mut r1, EventId::new(1), true, |_| {});
+        qe.on_release(m(0), t(0), &mut r2, EventId::new(1), true, |_| {});
         for (q, name) in [(&mut qv, "vc"), (&mut qe, "epoch")] {
-            q.on_acquire(m(0), t(1), &AcqEntry::Epoch(2));
+            q.on_acquire(m(0), t(1), &AcqEntry::Epoch(2), true);
             let mut now = vc(&[(0, 2), (1, 3)]);
             let mut fired = 0;
-            q.on_release(m(0), t(1), &mut now, EventId::new(5), |_| fired += 1);
+            q.on_release(m(0), t(1), &mut now, EventId::new(5), true, |_| fired += 1);
             assert_eq!(fired, 1, "{name}");
         }
     }
@@ -445,19 +498,68 @@ mod tests {
     #[test]
     fn wcp_queue_is_shared_across_releasers() {
         let mut q = WcpRuleBQueues::new();
-        q.on_acquire(m(0), t(0), 1);
+        q.on_acquire(m(0), t(0), 1, true);
         q.on_release_publish(m(0), t(0), &vc(&[(0, 2)]), EventId::new(3));
         // T1 releases with WCP knowledge of T0 up to 1: consumes the entry.
         let mut wcp1 = vc(&[(0, 1)]);
         let mut fired = 0;
-        q.consume(m(0), t(1), &mut wcp1, |_| fired += 1);
+        q.consume(m(0), t(1), &mut wcp1, true, |_| fired += 1);
         assert_eq!(fired, 1);
         assert_eq!(wcp1.get(t(0)), 2);
         // Entry is gone for T2 (WCP relies on HB composition instead).
         let mut wcp2 = vc(&[(0, 1)]);
         let mut fired2 = 0;
-        q.consume(m(0), t(2), &mut wcp2, |_| fired2 += 1);
+        q.consume(m(0), t(2), &mut wcp2, true, |_| fired2 += 1);
         assert_eq!(fired2, 0);
+    }
+
+    #[test]
+    fn dc_read_release_peeks_write_entries_without_consuming() {
+        let mut q = DcRuleBQueues::new();
+        // T0: a read-mode section, then a write-mode section.
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 1)])), false);
+        let mut r = vc(&[(0, 2)]);
+        q.on_release(m(0), t(0), &mut r, EventId::new(1), false, |_| {});
+        q.on_acquire(m(0), t(0), &AcqEntry::Vc(vc(&[(0, 3)])), true);
+        let mut r = vc(&[(0, 4)]);
+        q.on_release(m(0), t(0), &mut r, EventId::new(3), true, |_| {});
+        // T1 releases a *read* section ordered after both: only the
+        // write-mode entry joins (read/read section pairs do not conflict).
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 2)])), false);
+        let mut now = vc(&[(0, 5), (1, 3)]);
+        let mut fired = Vec::new();
+        q.on_release(m(0), t(1), &mut now, EventId::new(6), false, |e| {
+            fired.push(e)
+        });
+        assert_eq!(fired, vec![EventId::new(3)]);
+        // Nothing was consumed: a later *write* release of T1 still sees
+        // both entries.
+        q.on_acquire(m(0), t(1), &AcqEntry::Vc(vc(&[(1, 5)])), true);
+        let mut now = vc(&[(0, 5), (1, 6)]);
+        let mut fired2 = Vec::new();
+        q.on_release(m(0), t(1), &mut now, EventId::new(9), true, |e| {
+            fired2.push(e)
+        });
+        assert_eq!(fired2, vec![EventId::new(1), EventId::new(3)]);
+    }
+
+    #[test]
+    fn wcp_read_release_peeks_without_draining() {
+        let mut q = WcpRuleBQueues::new();
+        q.on_acquire(m(0), t(0), 1, false);
+        q.on_release_publish(m(0), t(0), &vc(&[(0, 2)]), EventId::new(1));
+        q.on_acquire(m(0), t(0), 3, true);
+        q.on_release_publish(m(0), t(0), &vc(&[(0, 4)]), EventId::new(3));
+        // A read-mode release joins only the write entry and drains nothing.
+        let mut wcp = vc(&[(0, 4)]);
+        let mut fired = Vec::new();
+        q.consume(m(0), t(1), &mut wcp, false, |e| fired.push(e));
+        assert_eq!(fired, vec![EventId::new(3)]);
+        // A later write-mode release still consumes both.
+        let mut wcp = vc(&[(0, 4)]);
+        let mut fired2 = Vec::new();
+        q.consume(m(0), t(2), &mut wcp, true, |e| fired2.push(e));
+        assert_eq!(fired2, vec![EventId::new(1), EventId::new(3)]);
     }
 
     #[test]
@@ -465,14 +567,16 @@ mod tests {
         let mut q = DcRuleBQueues::new();
         // 100 critical sections by T0, none ordered for T1.
         for i in 0..100u32 {
-            q.on_acquire(m(0), t(0), &AcqEntry::Epoch(1_000 + i));
+            q.on_acquire(m(0), t(0), &AcqEntry::Epoch(1_000 + i), true);
             let mut now = vc(&[(0, 1_000 + i)]);
-            q.on_release(m(0), t(0), &mut now, EventId::new(i), |_| {});
+            q.on_release(m(0), t(0), &mut now, EventId::new(i), true, |_| {});
         }
-        q.on_acquire(m(0), t(1), &AcqEntry::Epoch(2));
+        q.on_acquire(m(0), t(1), &AcqEntry::Epoch(2), true);
         let mut now = vc(&[(0, 1_050), (1, 3)]);
         let mut fired = 0;
-        q.on_release(m(0), t(1), &mut now, EventId::new(200), |_| fired += 1);
+        q.on_release(m(0), t(1), &mut now, EventId::new(200), true, |_| {
+            fired += 1
+        });
         assert_eq!(fired, 51, "entries up to local time 1050 are ordered");
     }
 }

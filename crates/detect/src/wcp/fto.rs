@@ -5,7 +5,7 @@
 use smarttrack_clock::{Epoch, ReadMeta, SameEpoch, ThreadId, VectorClock};
 use smarttrack_trace::{Event, EventId, Loc, LockId, Op, VarId};
 
-use crate::common::{slot, HeldLocks, LockVarTable};
+use crate::common::{slot, HeldLocks, LockVarTable, ReadSectionTable};
 use crate::counters::{FtoCase, FtoCaseCounters};
 use crate::queues::WcpRuleBQueues;
 use crate::report::{AccessKind, RaceReport, Report};
@@ -27,6 +27,7 @@ pub struct FtoWcp {
     clocks: WcpClocks,
     held: HeldLocks,
     lockvar: LockVarTable,
+    read_sections: ReadSectionTable,
     queues: WcpRuleBQueues,
     vars: Vec<VarState>,
     report: Report,
@@ -39,8 +40,10 @@ impl FtoWcp {
         FtoWcp::default()
     }
 
+    /// Rwlock gating: prior *read-mode* section times apply only when the
+    /// current hold is write-mode (read/read section pairs never conflict).
     fn rule_a(&mut self, t: ThreadId, x: VarId, p: &mut VectorClock, write: bool) {
-        for &m in self.held.of(t) {
+        for &(m, held_write) in self.held.of(t) {
             if write {
                 if let Some(lt) = self.lockvar.read_time(m, x) {
                     p.join(&lt.clock);
@@ -49,9 +52,26 @@ impl FtoWcp {
             if let Some(lt) = self.lockvar.write_time(m, x) {
                 p.join(&lt.clock);
             }
-            self.lockvar.mark_read(m, x);
-            if write {
-                self.lockvar.mark_write(m, x);
+            if !self.read_sections.is_empty() && held_write {
+                if write {
+                    if let Some(lt) = self.read_sections.read_time(m, x) {
+                        p.join(&lt.clock);
+                    }
+                }
+                if let Some(lt) = self.read_sections.write_time(m, x) {
+                    p.join(&lt.clock);
+                }
+            }
+            if held_write {
+                self.lockvar.mark_read(m, x);
+                if write {
+                    self.lockvar.mark_write(m, x);
+                }
+            } else {
+                self.read_sections.mark_read(t, m, x);
+                if write {
+                    self.read_sections.mark_write(t, m, x);
+                }
             }
         }
     }
@@ -162,20 +182,33 @@ impl FtoWcp {
 
     fn acquire(&mut self, t: ThreadId, m: LockId) {
         let local = self.clocks.hb(t).get(t);
-        self.queues.on_acquire(m, t, local);
+        self.queues.on_acquire(m, t, local, true);
         self.clocks.acquire(t, m);
         self.held.acquire(t, m);
     }
 
+    fn acquire_read(&mut self, t: ThreadId, m: LockId) {
+        let local = self.clocks.hb(t).get(t);
+        self.queues.on_acquire(m, t, local, false);
+        self.clocks.acquire_read(t, m);
+        self.held.acquire_read(t, m);
+        self.read_sections.open(t, m);
+    }
+
     fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
+        let write_mode = self.held.release(t, m);
         let mut p = self.clocks.wcp(t).clone();
-        self.queues.consume(m, t, &mut p, |_| {});
+        self.queues.consume(m, t, &mut p, write_mode, |_| {});
         self.clocks.wcp(t).assign(&p);
         let hb = self.clocks.hb(t).clone();
         self.queues.on_release_publish(m, t, &hb, id);
-        self.lockvar.on_release(t, m, &hb, id);
-        self.held.release(t, m);
-        self.clocks.release_publish(t, m);
+        if write_mode {
+            self.lockvar.on_release(t, m, &hb, id);
+            self.clocks.release_publish(t, m);
+        } else {
+            self.read_sections.close(t, m, &hb, id);
+            self.clocks.release_publish_read(t, m);
+        }
     }
 }
 
@@ -206,8 +239,11 @@ impl Detector for FtoWcp {
         match event.op {
             Op::Read(x) => self.read(id, t, x, event.loc),
             Op::Write(x) => self.write(id, t, x, event.loc),
-            Op::Acquire(m) => self.acquire(t, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(t, m),
+            Op::AcqRead(m) => self.acquire_read(t, m),
             Op::Release(m) => self.release(id, t, m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Fork(u) => self.clocks.fork(t, u),
             Op::Join(u) => self.clocks.join(t, u),
             Op::VolatileRead(v) => self.clocks.volatile_read(t, v),
@@ -235,6 +271,7 @@ impl Detector for FtoWcp {
         self.clocks.footprint_bytes()
             + self.held.footprint_bytes()
             + self.lockvar.footprint_bytes()
+            + self.read_sections.footprint_bytes()
             + self.queues.footprint_bytes()
             + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self
@@ -249,6 +286,7 @@ impl Detector for FtoWcp {
         self.clocks.resident_bytes()
             + self.held.footprint_bytes()
             + self.lockvar.resident_bytes()
+            + self.read_sections.resident_bytes()
             + self.queues.resident_bytes()
             + self.vars.capacity() * std::mem::size_of::<VarState>()
             + self.report.footprint_bytes()

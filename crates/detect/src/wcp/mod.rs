@@ -46,6 +46,12 @@ pub(crate) struct WcpClocks {
     /// like fork and volatile reads).
     hb_cond: Vec<VectorClock>,
     barriers: Vec<BarrierRendezvous>,
+    /// Per lock: reader-aggregate HB clock `HRm` — the join of the HB
+    /// release times of *read-mode* critical sections. Empty for plain
+    /// mutexes.
+    hb_read_lock: Vec<VectorClock>,
+    /// Per lock: reader-aggregate WCP clock `PRm`.
+    wcp_read_lock: Vec<VectorClock>,
 }
 
 impl WcpClocks {
@@ -78,10 +84,27 @@ impl WcpClocks {
         self.hb(t).get(t)
     }
 
-    /// `acq(m)`: `Ht ⊔= Hm; Pt ⊔= Pm` (right HB composition through the
-    /// lock), then increment (predictive analyses increment at acquires,
-    /// §5.1).
+    /// `acq(m)` (exclusive, including write-mode on an rwlock):
+    /// `Ht ⊔= Hm ⊔ HRm; Pt ⊔= Pm ⊔ PRm` (right HB composition through the
+    /// lock; a writer is HB-after every completed read section), then
+    /// increment (predictive analyses increment at acquires, §5.1).
     pub fn acquire(&mut self, t: ThreadId, m: LockId) {
+        let hm = slot(&mut self.hb_lock, m.index()).clone();
+        let pm = slot(&mut self.wcp_lock, m.index()).clone();
+        let hrm = slot(&mut self.hb_read_lock, m.index()).clone();
+        let prm = slot(&mut self.wcp_read_lock, m.index()).clone();
+        let ht = self.hb(t);
+        ht.join(&hm);
+        ht.join(&hrm);
+        let pt = self.wcp(t);
+        pt.join(&pm);
+        pt.join(&prm);
+        self.increment(t);
+    }
+
+    /// `acqr(m)` (read mode): `Ht ⊔= Hm; Pt ⊔= Pm` only — a reader is
+    /// ordered after the last write release but not after other readers.
+    pub fn acquire_read(&mut self, t: ThreadId, m: LockId) {
         let hm = slot(&mut self.hb_lock, m.index()).clone();
         let pm = slot(&mut self.wcp_lock, m.index()).clone();
         self.hb(t).join(&hm);
@@ -96,6 +119,17 @@ impl WcpClocks {
         let pt = self.wcp(t).clone();
         slot(&mut self.hb_lock, m.index()).assign(&ht);
         slot(&mut self.wcp_lock, m.index()).assign(&pt);
+        self.increment(t);
+    }
+
+    /// Publishes a *read-mode* release: joins into the reader aggregates
+    /// (`HRm ⊔= Ht; PRm ⊔= Pt`) instead of assigning the exclusive lock
+    /// clocks — assignment would let one reader's release erase another's.
+    pub fn release_publish_read(&mut self, t: ThreadId, m: LockId) {
+        let ht = self.hb(t).clone();
+        let pt = self.wcp(t).clone();
+        slot(&mut self.hb_read_lock, m.index()).join(&ht);
+        slot(&mut self.wcp_read_lock, m.index()).join(&pt);
         self.increment(t);
     }
 
@@ -184,6 +218,8 @@ impl WcpClocks {
             + vc_table_bytes(&self.hb_vol)
             + vc_table_bytes(&self.hb_cond)
             + barrier_table_bytes(&self.barriers)
+            + vc_table_bytes(&self.hb_read_lock)
+            + vc_table_bytes(&self.wcp_read_lock)
     }
 
     /// Cheap resident bytes (capacities only, O(1)).
@@ -195,6 +231,8 @@ impl WcpClocks {
             + vc_table_resident_bytes(&self.hb_vol)
             + vc_table_resident_bytes(&self.hb_cond)
             + barrier_table_resident_bytes(&self.barriers)
+            + vc_table_resident_bytes(&self.hb_read_lock)
+            + vc_table_resident_bytes(&self.wcp_read_lock)
     }
 
     /// Pre-sizes the clock tables from a [`crate::StreamHint`] (clamped,

@@ -83,9 +83,9 @@ impl SmartTrackWcp {
         }
     }
 
-    fn held_of(ht: &[Vec<CsEntry>], t: ThreadId) -> Vec<LockId> {
+    fn held_of(ht: &[Vec<CsEntry>], t: ThreadId) -> Vec<(LockId, bool)> {
         ht.get(t.index())
-            .map(|l| l.iter().map(|e| e.lock).collect())
+            .map(|l| l.iter().map(|e| (e.lock, e.write)).collect())
             .unwrap_or_default()
     }
 
@@ -104,27 +104,45 @@ impl SmartTrackWcp {
 
     fn acquire(&mut self, t: ThreadId, m: LockId) {
         let local = self.clocks.hb(t).get(t);
-        self.queues.on_acquire(m, t, local);
+        self.queues.on_acquire(m, t, local, true);
         slot(&mut self.ht, t.index()).push(CsEntry::pending(m, t));
         *slot(&mut self.ht_cache, t.index()) = None;
         self.clocks.acquire(t, m);
     }
 
+    fn acquire_read(&mut self, t: ThreadId, m: LockId) {
+        let local = self.clocks.hb(t).get(t);
+        self.queues.on_acquire(m, t, local, false);
+        slot(&mut self.ht, t.index()).push(CsEntry::pending_read(m, t));
+        *slot(&mut self.ht_cache, t.index()) = None;
+        self.clocks.acquire_read(t, m);
+    }
+
     fn release(&mut self, id: EventId, t: ThreadId, m: LockId) {
+        // Pop the innermost section on `m` first — its mode gates both the
+        // rule (b) consumption and the clock publication below.
+        *slot(&mut self.ht_cache, t.index()) = None;
+        let stack = slot(&mut self.ht, t.index());
+        let entry = stack
+            .iter()
+            .rposition(|e| e.lock == m)
+            .map(|pos| stack.remove(pos));
+        let write_mode = entry.as_ref().is_none_or(|e| e.write);
         let mut p = self.clocks.wcp(t).clone();
-        self.queues.consume(m, t, &mut p, |_| {});
+        self.queues.consume(m, t, &mut p, write_mode, |_| {});
         self.clocks.wcp(t).assign(&p);
         let hb = self.clocks.hb(t).clone();
         self.queues.on_release_publish(m, t, &hb, id);
         // Resolve the deferred release time with the *HB* clock: rule (a)
         // for WCP joins HB release times.
-        *slot(&mut self.ht_cache, t.index()) = None;
-        let stack = slot(&mut self.ht, t.index());
-        if let Some(pos) = stack.iter().rposition(|e| e.lock == m) {
-            let entry = stack.remove(pos);
+        if let Some(entry) = entry {
             *entry.release.borrow_mut() = hb.clone();
         }
-        self.clocks.release_publish(t, m);
+        if write_mode {
+            self.clocks.release_publish(t, m);
+        } else {
+            self.clocks.release_publish_read(t, m);
+        }
     }
 
     fn absorb_extras_at_write(&mut self, t: ThreadId, x: VarId, p: &mut VectorClock) {
@@ -141,10 +159,10 @@ impl SmartTrackWcp {
         if !(er_nonempty || (strict && ew_nonempty)) {
             return;
         }
-        for &m in &held {
+        for &(m, held_write) in &held {
             for (u, map) in ex.read.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(m) {
+                    for rc in map.conflicting(m, held_write) {
                         p.join(&rc.borrow());
                     }
                 }
@@ -152,7 +170,7 @@ impl SmartTrackWcp {
             if strict {
                 for (u, map) in ex.write.iter() {
                     if u != t {
-                        if let Some(rc) = map.get(m) {
+                        for rc in map.conflicting(m, held_write) {
                             p.join(&rc.borrow());
                         }
                     }
@@ -160,12 +178,12 @@ impl SmartTrackWcp {
             }
             for (u, map) in ex.read.iter_mut() {
                 if u != t {
-                    map.remove(m);
+                    map.remove_conflicting(m, held_write);
                 }
             }
             for (u, map) in ex.write.iter_mut() {
                 if u != t {
-                    map.remove(m);
+                    map.remove_conflicting(m, held_write);
                 }
             }
         }
@@ -187,10 +205,10 @@ impl SmartTrackWcp {
         if ex.write.is_empty() {
             return;
         }
-        for &m in &held {
+        for &(m, held_write) in &held {
             for (u, map) in ex.write.iter() {
                 if u != t {
-                    if let Some(rc) = map.get(m) {
+                    for rc in map.conflicting(m, held_write) {
                         p.join(&rc.borrow());
                     }
                 }
@@ -415,8 +433,11 @@ impl Detector for SmartTrackWcp {
         match event.op {
             Op::Read(x) => self.read(id, t, x, event.loc),
             Op::Write(x) => self.write(id, t, x, event.loc),
-            Op::Acquire(m) => self.acquire(t, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(t, m),
+            Op::AcqRead(m) => self.acquire_read(t, m),
             Op::Release(m) => self.release(id, t, m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Fork(u) => self.clocks.fork(t, u),
             Op::Join(u) => self.clocks.join(t, u),
             Op::VolatileRead(v) => self.clocks.volatile_read(t, v),
@@ -549,6 +570,20 @@ mod tests {
                 first_race(SmartTrackWcp::new(), &tr),
                 first_race(FtoWcp::new(), &tr),
                 "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rwlock_traces_first_race_matches_fto_and_unopt() {
+        for seed in 0..120 {
+            let tr = RandomTraceSpec::tiny_rw().generate(seed);
+            let st = first_race(SmartTrackWcp::new(), &tr);
+            assert_eq!(st, first_race(FtoWcp::new(), &tr), "ST vs FTO seed {seed}");
+            assert_eq!(
+                st,
+                first_race(UnoptWcp::new(), &tr),
+                "ST vs Unopt seed {seed}"
             );
         }
     }

@@ -28,14 +28,28 @@ pub(crate) type ReleaseCell = Arc<OnceLock<VectorClock>>;
 pub struct SharedCsEntry {
     /// The lock of the critical section.
     pub lock: LockId,
+    /// Write-mode hold? Exclusive acquires and `AcqWrite` are write-mode;
+    /// `AcqRead` sections are read-mode and conflict only with write-mode
+    /// holds of the same lock.
+    pub write: bool,
     release: ReleaseCell,
 }
 
 impl SharedCsEntry {
-    /// Creates a pending entry (release time `∞`).
+    /// Creates a pending write-mode entry (release time `∞`).
     pub fn pending(lock: LockId) -> Self {
         SharedCsEntry {
             lock,
+            write: true,
+            release: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Creates a pending read-mode entry (release time `∞`).
+    pub fn pending_read(lock: LockId) -> Self {
+        SharedCsEntry {
+            lock,
+            write: false,
             release: Arc::new(OnceLock::new()),
         }
     }
@@ -108,40 +122,52 @@ impl SharedCsList {
 ///
 /// * a *resolved* entry whose owner component is `≤ now`'s subsumes
 ///   everything inner and the race check;
-/// * a *resolved* entry on a held lock is a conflicting critical section —
-///   its release time joins into `now` (rule (a));
+/// * a *resolved* entry on a *conflicting* held lock — same lock, at least
+///   one of the two holds write-mode — is a conflicting critical section:
+///   its release time joins into `now` (rule (a)). Read-mode entries on
+///   locks held only in read mode never conflict and become residual;
 /// * a *pending* entry is never ordered and (by the real-lock argument in the
-///   module docs) never on a held lock, so it always falls into the residual.
+///   module docs) never on a conflicting held lock, so it always falls into
+///   the residual.
+///
+/// `held` pairs each held lock with its write-mode flag.
 ///
 /// Returns `(residual, raced)`.
 pub(crate) fn multi_check_shared(
     now: &mut VectorClock,
-    held: &[LockId],
+    held: &[(LockId, bool)],
     list: Option<&SharedCsList>,
     check: Epoch,
 ) -> (Vec<SharedCsEntry>, bool) {
     let mut residual = Vec::new();
     if let Some(l) = list {
         for entry in l.entries.iter() {
+            let conflicts = held
+                .iter()
+                .any(|&(lk, w)| lk == entry.lock && (w || entry.write));
             match entry.release_clock() {
                 Some(rel) => {
                     if rel.get(l.owner) <= now.get(l.owner) {
                         return (residual, false);
                     }
-                    if held.contains(&entry.lock) {
+                    if conflicts {
                         now.join(rel);
                         return (residual, false);
                     }
                 }
                 None => {
-                    // A pending entry on a lock the current thread holds is
-                    // unreachable: cross-thread, the real mutex forces the
-                    // owner's release hook first; same-thread, an ordered
-                    // outer entry always short-circuits the traversal first
-                    // (a thread's own resolved release is ≤ its own clock).
+                    // A pending entry on a conflicting held lock is
+                    // unreachable: cross-thread, the real lock forces the
+                    // owner's release hook first (write-involved holds
+                    // mutually exclude); same-thread, an ordered outer entry
+                    // always short-circuits the traversal first (a thread's
+                    // own resolved release is ≤ its own clock). A pending
+                    // *read* entry on a lock held only in read mode is
+                    // reachable — concurrent read sections overlap — and
+                    // rightly lands in the residual.
                     debug_assert!(
-                        !held.contains(&entry.lock),
-                        "cannot hold a lock whose critical section is still pending"
+                        !conflicts,
+                        "cannot hold a lock whose conflicting critical section is still pending"
                     );
                 }
             }
@@ -192,7 +218,7 @@ mod tests {
         let list = SharedCsList::from_entries(t(0), vec![entry]);
         let mut now: VectorClock = [(t(1), 1)].into_iter().collect();
         let (residual, raced) =
-            multi_check_shared(&mut now, &[m(2)], Some(&list), Epoch::new(t(0), 9));
+            multi_check_shared(&mut now, &[(m(2), true)], Some(&list), Epoch::new(t(0), 9));
         assert!(residual.is_empty());
         assert!(!raced);
         assert_eq!(now.get(t(0)), 7);
@@ -204,7 +230,7 @@ mod tests {
         let list = SharedCsList::from_entries(t(0), vec![SharedCsEntry::pending(m(0))]);
         let mut now: VectorClock = [(t(1), 3)].into_iter().collect();
         let (residual, raced) =
-            multi_check_shared(&mut now, &[m(1)], Some(&list), Epoch::new(t(0), 2));
+            multi_check_shared(&mut now, &[(m(1), true)], Some(&list), Epoch::new(t(0), 2));
         assert_eq!(residual.len(), 1);
         assert!(raced);
     }

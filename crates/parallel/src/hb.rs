@@ -63,6 +63,10 @@ struct ShadowVar {
 pub struct ConcurrentFtoHb {
     vars: Vec<ShadowVar>,
     locks: Vec<Mutex<VectorClock>>,
+    /// `LRm`: per-lock aggregate of reader release times. Write-mode
+    /// acquires join it (a writer orders after every prior reader); read
+    /// releases *join into* it (readers do not order each other).
+    read_locks: Vec<Mutex<VectorClock>>,
     volatiles: Vec<Mutex<VectorClock>>,
     condvars: Vec<Mutex<VectorClock>>,
     barriers: Vec<Mutex<OnlineBarrier>>,
@@ -77,6 +81,7 @@ impl ConcurrentFtoHb {
         ConcurrentFtoHb {
             vars: table(spec.vars),
             locks: table(spec.locks),
+            read_locks: table(spec.locks),
             volatiles: table(spec.volatiles),
             condvars: table(spec.condvars),
             barriers: table(spec.barriers),
@@ -113,6 +118,7 @@ impl OnlineAnalysis for ConcurrentFtoHb {
         HbCtx {
             t,
             clock,
+            read_held: Vec::new(),
             barrier_round: Vec::new(),
             shared: self,
         }
@@ -132,6 +138,9 @@ impl OnlineAnalysis for ConcurrentFtoHb {
 pub struct HbCtx<'a> {
     t: ThreadId,
     clock: VectorClock,
+    /// Locks this thread currently holds in read mode (innermost last):
+    /// a release of one of these is a read-mode release.
+    read_held: Vec<LockId>,
     /// Per barrier: the rendezvous round this thread last entered.
     barrier_round: Vec<u64>,
     shared: &'a ConcurrentFtoHb,
@@ -258,12 +267,33 @@ impl HbCtx<'_> {
     }
 
     fn acquire(&mut self, m: LockId) {
-        let lm = self.shared.locks[m.index()].lock();
-        self.clock.join(&lm);
+        {
+            let lm = self.shared.locks[m.index()].lock();
+            self.clock.join(&lm);
+        }
+        // A write-involved acquire also orders after every prior reader.
+        let lrm = self.shared.read_locks[m.index()].lock();
+        self.clock.join(&lrm);
+    }
+
+    fn acquire_read(&mut self, m: LockId) {
+        // Readers order after the last writer only — not after each other.
+        {
+            let lm = self.shared.locks[m.index()].lock();
+            self.clock.join(&lm);
+        }
+        self.read_held.push(m);
     }
 
     fn release(&mut self, m: LockId) {
-        self.shared.locks[m.index()].lock().assign(&self.clock);
+        if let Some(pos) = self.read_held.iter().rposition(|&l| l == m) {
+            self.read_held.remove(pos);
+            // Join (not assign): concurrent readers' times accumulate so
+            // the next writer orders after all of them.
+            self.shared.read_locks[m.index()].lock().join(&self.clock);
+        } else {
+            self.shared.locks[m.index()].lock().assign(&self.clock);
+        }
         self.clock.increment(self.t);
     }
 
@@ -322,7 +352,10 @@ impl OnlineCtx for HbCtx<'_> {
         match op {
             Op::Read(x) => self.read(id, x, loc),
             Op::Write(x) => self.write(id, x, loc),
-            Op::Acquire(m) => self.acquire(m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(m),
+            Op::AcqRead(m) => self.acquire_read(m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Release(m) => self.release(m),
             Op::Fork(u) => {
                 self.shared.handoff.offer_start(u, &self.clock);

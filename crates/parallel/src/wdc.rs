@@ -41,7 +41,10 @@ impl Default for SharedLr {
     }
 }
 
-type SharedExtraMap = HashMap<ThreadId, HashMap<LockId, ReleaseCell>>;
+/// Extras keyed per `(lock, write-mode)`: a read-mode residual must not be
+/// absorbed by a later read-mode hold (read/read pairs never conflict), so
+/// the hold-mode gate needs both the lock and the stashed section's mode.
+type SharedExtraMap = HashMap<ThreadId, HashMap<(LockId, bool), ReleaseCell>>;
 
 /// `Erx`/`Ewx` fall-back metadata (paper §4.2, "Using extra metadata").
 #[derive(Debug, Default)]
@@ -65,8 +68,15 @@ fn stash(side: &mut SharedExtraMap, owner: ThreadId, residual: Vec<SharedCsEntry
     let map = side.entry(owner).or_default();
     for e in residual {
         let cell = e.cell().clone();
-        map.insert(e.lock, cell);
+        map.insert((e.lock, e.write), cell);
     }
+}
+
+/// The extras keys a hold of `m` (write-mode iff `held_write`) conflicts
+/// with: write-mode sections always, read-mode sections only under a
+/// write-mode hold.
+fn conflicting_keys(m: LockId, held_write: bool) -> impl Iterator<Item = (LockId, bool)> {
+    std::iter::once((m, true)).chain(held_write.then_some((m, false)))
 }
 
 /// Authoritative per-variable metadata (guarded by the variable's mutex).
@@ -186,8 +196,8 @@ pub struct WdcCtx<'a> {
 }
 
 impl WdcCtx<'_> {
-    fn held(&self) -> Vec<LockId> {
-        self.ht.iter().map(|e| e.lock).collect()
+    fn held(&self) -> Vec<(LockId, bool)> {
+        self.ht.iter().map(|e| (e.lock, e.write)).collect()
     }
 
     fn snapshot_ht(&mut self) -> SharedCsList {
@@ -203,6 +213,12 @@ impl WdcCtx<'_> {
         self.clock.increment(self.t);
     }
 
+    fn acquire_read(&mut self, m: LockId) {
+        self.ht.push(SharedCsEntry::pending_read(m));
+        self.ht_cache = None;
+        self.clock.increment(self.t);
+    }
+
     fn release(&mut self, m: LockId) {
         self.ht_cache = None;
         // Innermost-first search tolerates non-LIFO unlocking, like the
@@ -214,10 +230,13 @@ impl WdcCtx<'_> {
         self.clock.increment(self.t);
     }
 
-    /// Algorithm 3 lines 19–23 plus the Strict write-side absorption.
+    /// Algorithm 3 lines 19–23 plus the Strict write-side absorption. Only
+    /// stashed sections *conflicting* with a current hold are absorbed and
+    /// removed: read-mode residuals survive read-mode holds for a later
+    /// write-involved pair.
     fn absorb_extras_at_write(
         meta: &mut StMeta,
-        held: &[LockId],
+        held: &[(LockId, bool)],
         t: ThreadId,
         now: &mut VectorClock,
     ) {
@@ -227,29 +246,31 @@ impl WdcCtx<'_> {
         if ex.is_empty() {
             return;
         }
-        for &m in held {
-            for (&u, map) in ex.read.iter() {
-                if u != t {
-                    if let Some(cell) = map.get(&m) {
-                        now.join(resolved(cell));
+        for &(m, held_write) in held {
+            for key in conflicting_keys(m, held_write) {
+                for (&u, map) in ex.read.iter() {
+                    if u != t {
+                        if let Some(cell) = map.get(&key) {
+                            now.join(resolved(cell));
+                        }
                     }
                 }
-            }
-            for (&u, map) in ex.write.iter() {
-                if u != t {
-                    if let Some(cell) = map.get(&m) {
-                        now.join(resolved(cell));
+                for (&u, map) in ex.write.iter() {
+                    if u != t {
+                        if let Some(cell) = map.get(&key) {
+                            now.join(resolved(cell));
+                        }
                     }
                 }
-            }
-            for (&u, map) in ex.read.iter_mut() {
-                if u != t {
-                    map.remove(&m);
+                for (&u, map) in ex.read.iter_mut() {
+                    if u != t {
+                        map.remove(&key);
+                    }
                 }
-            }
-            for (&u, map) in ex.write.iter_mut() {
-                if u != t {
-                    map.remove(&m);
+                for (&u, map) in ex.write.iter_mut() {
+                    if u != t {
+                        map.remove(&key);
+                    }
                 }
             }
         }
@@ -261,18 +282,25 @@ impl WdcCtx<'_> {
     }
 
     /// Algorithm 3 lines 4–6: absorb write-side extras at a read.
-    fn absorb_extras_at_read(meta: &StMeta, held: &[LockId], t: ThreadId, now: &mut VectorClock) {
+    fn absorb_extras_at_read(
+        meta: &StMeta,
+        held: &[(LockId, bool)],
+        t: ThreadId,
+        now: &mut VectorClock,
+    ) {
         let Some(ex) = meta.extras.as_ref() else {
             return;
         };
         if ex.write.values().all(HashMap::is_empty) {
             return;
         }
-        for &m in held {
-            for (&u, map) in ex.write.iter() {
-                if u != t {
-                    if let Some(cell) = map.get(&m) {
-                        now.join(resolved(cell));
+        for &(m, held_write) in held {
+            for key in conflicting_keys(m, held_write) {
+                for (&u, map) in ex.write.iter() {
+                    if u != t {
+                        if let Some(cell) = map.get(&key) {
+                            now.join(resolved(cell));
+                        }
                     }
                 }
             }
@@ -572,7 +600,10 @@ impl OnlineCtx for WdcCtx<'_> {
         match op {
             Op::Read(x) => self.read(id, x, loc),
             Op::Write(x) => self.write(id, x, loc),
-            Op::Acquire(m) => self.acquire(m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.acquire(m),
+            Op::AcqRead(m) => self.acquire_read(m),
+            // A failed trylock establishes no ordering in any direction.
+            Op::TryAcqFail(_) => {}
             Op::Release(m) => self.release(m),
             Op::Fork(u) => {
                 self.shared.handoff.offer_start(u, &self.clock);

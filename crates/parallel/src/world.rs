@@ -91,7 +91,11 @@ impl WorldSpec {
     fn see_op(&mut self, op: &Op) {
         match op {
             Op::Read(x) | Op::Write(x) => self.vars = self.vars.max(x.index() + 1),
-            Op::Acquire(m) | Op::Release(m) => self.locks = self.locks.max(m.index() + 1),
+            Op::Acquire(m)
+            | Op::AcqRead(m)
+            | Op::AcqWrite(m)
+            | Op::TryAcqFail(m)
+            | Op::Release(m) => self.locks = self.locks.max(m.index() + 1),
             Op::VolatileRead(v) | Op::VolatileWrite(v) => {
                 self.volatiles = self.volatiles.max(v.index() + 1)
             }

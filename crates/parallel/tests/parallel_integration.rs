@@ -105,6 +105,21 @@ fn sync_op_feeds_match_sequential() {
     }
 }
 
+/// Property 1 over rwlock-bearing traces: read/write acquires and failed
+/// trylocks drive the online reader-aggregate clocks (HB) and read-mode CS
+/// entries (WDC) to exactly the sequential verdicts and case counters.
+#[test]
+fn rwlock_feeds_match_sequential() {
+    for seed in 0..24u64 {
+        let tr = RandomTraceSpec {
+            events: 160,
+            ..RandomTraceSpec::tiny_rw()
+        }
+        .generate(seed);
+        assert_feed_matches_sequential(&tr, &format!("tiny_rw seed {seed}"));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

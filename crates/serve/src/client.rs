@@ -243,7 +243,7 @@ impl ServeClient {
     /// # Errors
     ///
     /// [`ClientError::Protocol`] if `chunk_bytes` exceeds
-    /// [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES) (no frame
+    /// [`MAX_FRAME_BYTES`] (no frame
     /// could carry such a chunk); otherwise propagates
     /// [`ServeClient::send_chunk`] failures.
     pub fn stream_bytes(&mut self, bytes: &[u8], chunk_bytes: usize) -> Result<u64, ClientError> {

@@ -81,6 +81,13 @@ pub const STB_VERSION: u8 = 1;
 /// unchanged from v1.
 pub const STB_VERSION_2: u8 = 2;
 
+/// STB revision 3: three more 4-bit op tags for the reader-writer-lock
+/// operations (`acqr`/`acqw`) and failed trylocks (`tryf`), filling the
+/// 4-bit tag space exactly. The header layout (including the seven-field
+/// v2 hint) and everything else are unchanged from v2; a trace without the
+/// new operations still writes its v1 or v2 bytes.
+pub const STB_VERSION_3: u8 = 3;
+
 /// Header flag bit: an [`StbHint`] follows the flags byte.
 const FLAG_HAS_HINT: u8 = 0b0000_0001;
 /// All flag bits a version-1 reader understands.
@@ -173,7 +180,8 @@ impl StbHint {
 /// The decoded STB header: version, flags, and the optional [`StbHint`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StbHeader {
-    /// The format version ([`STB_VERSION`] or [`STB_VERSION_2`]).
+    /// The format version ([`STB_VERSION`], [`STB_VERSION_2`], or
+    /// [`STB_VERSION_3`]).
     pub version: u8,
     /// Stream metadata, when the writer knew it.
     pub hint: Option<StbHint>,
@@ -225,7 +233,7 @@ impl fmt::Display for StbError {
             StbError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported STB version {v} (this reader understands 1 and 2)"
+                    "unsupported STB version {v} (this reader understands 1 through 3)"
                 )
             }
             StbError::UnknownFlags(flags) => {
@@ -438,6 +446,12 @@ const TAG_NOTIFY_ALL: u8 = 10;
 const TAG_BARRIER_ENTER: u8 = 11;
 const TAG_BARRIER_EXIT: u8 = 12;
 const MAX_TAG_V2: u8 = TAG_BARRIER_EXIT;
+// Version-3 tags: the reader-writer-lock operations, delta-coded against
+// the lock register like `acq`/`rel`. They fill the 4-bit tag space.
+const TAG_ACQ_READ: u8 = 13;
+const TAG_ACQ_WRITE: u8 = 14;
+const TAG_TRY_FAIL: u8 = 15;
+const MAX_TAG_V3: u8 = TAG_TRY_FAIL;
 
 /// Returns `true` for operations only the v2 chunk grammar can encode.
 fn op_needs_v2(op: &Op) -> bool {
@@ -445,6 +459,36 @@ fn op_needs_v2(op: &Op) -> bool {
         op,
         Op::Wait(..) | Op::Notify(_) | Op::NotifyAll(_) | Op::BarrierEnter(_) | Op::BarrierExit(_)
     )
+}
+
+/// Returns `true` for operations only the v3 chunk grammar can encode.
+fn op_needs_v3(op: &Op) -> bool {
+    matches!(op, Op::AcqRead(_) | Op::AcqWrite(_) | Op::TryAcqFail(_))
+}
+
+/// The lowest STB version whose chunk grammar can express every event in
+/// `events` — the writer's "lowest expressible version" invariant, which
+/// keeps recordings of old traces byte-identical across revisions.
+fn needed_version(events: &[Event]) -> u8 {
+    let mut version = STB_VERSION;
+    for e in events {
+        if op_needs_v3(&e.op) {
+            return STB_VERSION_3;
+        }
+        if op_needs_v2(&e.op) {
+            version = STB_VERSION_2;
+        }
+    }
+    version
+}
+
+/// The largest op tag a version's chunk grammar defines.
+fn max_tag(version: u8) -> u8 {
+    match version {
+        STB_VERSION => TAG_VWRITE,
+        STB_VERSION_2 => MAX_TAG_V2,
+        _ => MAX_TAG_V3,
+    }
 }
 
 /// Delta-compression state, reset at every chunk boundary so chunks decode
@@ -480,13 +524,18 @@ impl DeltaState {
             Op::NotifyAll(c) => (TAG_NOTIFY_ALL, &mut self.condvar, c.raw()),
             Op::BarrierEnter(b) => (TAG_BARRIER_ENTER, &mut self.barrier, b.raw()),
             Op::BarrierExit(b) => (TAG_BARRIER_EXIT, &mut self.barrier, b.raw()),
+            Op::AcqRead(m) => (TAG_ACQ_READ, &mut self.lock, m.raw()),
+            Op::AcqWrite(m) => (TAG_ACQ_WRITE, &mut self.lock, m.raw()),
+            Op::TryAcqFail(m) => (TAG_TRY_FAIL, &mut self.lock, m.raw()),
         }
     }
 
     fn register_for(&mut self, tag: u8) -> &mut u32 {
         match tag {
             TAG_READ | TAG_WRITE => &mut self.var,
-            TAG_ACQUIRE | TAG_RELEASE => &mut self.lock,
+            TAG_ACQUIRE | TAG_RELEASE | TAG_ACQ_READ | TAG_ACQ_WRITE | TAG_TRY_FAIL => {
+                &mut self.lock
+            }
             TAG_FORK | TAG_JOIN => &mut self.thread,
             TAG_VREAD | TAG_VWRITE => &mut self.volatile,
             TAG_WAIT | TAG_NOTIFY | TAG_NOTIFY_ALL => &mut self.condvar,
@@ -521,7 +570,7 @@ fn encode_run(
     push_varint(out, events.len() as u64);
     for e in events {
         let (tag, prev, target) = state.op_parts(&e.op);
-        debug_assert!(version >= STB_VERSION_2 || tag <= TAG_VWRITE);
+        debug_assert!(tag <= max_tag(version));
         let delta = i64::from(target) - i64::from(*prev);
         *prev = target;
         let has_loc = u64::from(!e.loc.is_unknown());
@@ -561,11 +610,7 @@ fn decode_chunk(
     mut sink: impl FnMut(Event),
 ) -> Result<(), StbError> {
     let bits = tag_bits(version);
-    let max_tag = if version >= STB_VERSION_2 {
-        MAX_TAG_V2
-    } else {
-        TAG_VWRITE
-    };
+    let max_tag = max_tag(version);
     let mut state = DeltaState::default();
     let mut pos = 0usize;
     let mut decoded: u64 = 0;
@@ -625,7 +670,10 @@ fn decode_chunk(
                 TAG_NOTIFY => Op::Notify(CondId::new(target)),
                 TAG_NOTIFY_ALL => Op::NotifyAll(CondId::new(target)),
                 TAG_BARRIER_ENTER => Op::BarrierEnter(BarrierId::new(target)),
-                _ => Op::BarrierExit(BarrierId::new(target)),
+                TAG_BARRIER_EXIT => Op::BarrierExit(BarrierId::new(target)),
+                TAG_ACQ_READ => Op::AcqRead(LockId::new(target)),
+                TAG_ACQ_WRITE => Op::AcqWrite(LockId::new(target)),
+                _ => Op::TryAcqFail(LockId::new(target)),
             };
             let loc = if has_loc {
                 let loc_delta = unzigzag(read_varint(payload, &mut pos, base, "location delta")?);
@@ -734,12 +782,29 @@ impl<W: Write> StbWriter<W> {
         Self::start(out, None, Some(STB_VERSION_2))
     }
 
+    /// Starts an STB stream pinned to version 3: for live recordings that
+    /// may see a reader-writer-lock or failed-trylock operation (or any
+    /// v2-only operation) after the first chunk was flushed.
+    pub fn v3(out: W) -> Self {
+        Self::start(out, None, Some(STB_VERSION_3))
+    }
+
     /// Starts an STB stream whose header carries `hint` (use when totals
     /// are known up front, e.g. when re-encoding a recorded trace). A hint
     /// declaring condvars or barriers pins the stream to v2.
     pub fn with_hint(out: W, hint: StbHint) -> Self {
         let version = hint.needs_v2().then_some(STB_VERSION_2);
         Self::start(out, Some(hint), version)
+    }
+
+    /// Raises the version floor to at least `version` (never lowers a floor
+    /// already pinned). [`write_stb`], which sees the whole trace, uses
+    /// this to pin v3 when the trace contains reader-writer-lock operations
+    /// — the hint's cardinalities cannot express that need, since rwlocks
+    /// share the lock id space.
+    fn pin_version(mut self, version: u8) -> Self {
+        self.version = Some(self.version.map_or(version, |v| v.max(version)));
+        self
     }
 
     fn start(out: W, hint: Option<StbHint>, version: Option<u8>) -> Self {
@@ -806,18 +871,24 @@ impl<W: Write> StbWriter<W> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let needs_v2 = self.pending.iter().any(|e| op_needs_v2(&e.op));
-        if !self.header_written && self.version.is_none() {
-            self.version = Some(if needs_v2 { STB_VERSION_2 } else { STB_VERSION });
+        let needed = needed_version(&self.pending);
+        if !self.header_written {
+            // Until header bytes reach the sink, a pinned floor may still be
+            // raised by the events themselves (a pinned-v2 recorder seeing a
+            // rwlock op before its first flush upgrades to v3 cleanly).
+            self.version = Some(self.version.map_or(needed, |v| v.max(needed)));
         }
         let version = self.version.unwrap_or(STB_VERSION);
-        if needs_v2 && version < STB_VERSION_2 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
+        if needed > version {
+            let message = if needed >= STB_VERSION_3 {
+                "reader-writer-lock/trylock operations need STB v3, but a lower-version \
+                 header was already written; construct the recorder with StbWriter::v3"
+            } else {
                 "condvar/barrier operations need STB v2, but a v1 header was already \
                  written; construct the recorder with StbWriter::v2 (or a hint that \
-                 declares the condvar/barrier cardinalities)",
-            ));
+                 declares the condvar/barrier cardinalities)"
+            };
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, message));
         }
         if !self.header_written {
             self.push_header(version);
@@ -921,7 +992,7 @@ impl<R: Read> StbReader<R> {
         let mut version_flags = [0u8; 2];
         input.read_exact(&mut version_flags, "version and flags")?;
         let [version, flags] = version_flags;
-        if version != STB_VERSION && version != STB_VERSION_2 {
+        if !matches!(version, STB_VERSION | STB_VERSION_2 | STB_VERSION_3) {
             return Err(StbError::UnsupportedVersion(version));
         }
         if flags & !KNOWN_FLAGS != 0 {
@@ -1367,7 +1438,7 @@ impl StbAssembler {
             return Ok(Advance::NeedMore);
         }
         let (version, flags) = (bytes[4], bytes[5]);
-        if version != STB_VERSION && version != STB_VERSION_2 {
+        if !matches!(version, STB_VERSION | STB_VERSION_2 | STB_VERSION_3) {
             return Err(StbError::UnsupportedVersion(version));
         }
         if flags & !KNOWN_FLAGS != 0 {
@@ -1493,6 +1564,12 @@ fn trailing_error(offset: u64, trailing: usize) -> StbError {
 /// ```
 pub fn write_stb<W: Write>(trace: &Trace, out: W) -> io::Result<W> {
     let mut writer = StbWriter::with_hint(out, StbHint::of_trace(trace));
+    // The hint cannot express v3-need (rwlocks share the lock id space), and
+    // a v3 op may first appear past the first chunk — scan the whole trace
+    // and pin the version up front.
+    if trace.events().iter().any(|e| op_needs_v3(&e.op)) {
+        writer = writer.pin_version(STB_VERSION_3);
+    }
     for event in trace.events() {
         writer.write(event)?;
     }
@@ -1991,6 +2068,139 @@ mod tests {
         let bytes = w.finish().unwrap();
         assert_eq!(bytes[4], STB_VERSION_2);
         assert_eq!(StbReader::new(&bytes[..]).unwrap().count(), 2);
+    }
+
+    /// A small trace exercising every v3-only op tag (plus exclusive locks,
+    /// so the shared lock register sees both op families).
+    fn rw_trace() -> Trace {
+        let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+        let m = LockId::new(0);
+        let mut b = crate::TraceBuilder::new();
+        b.push(t0, Op::AcqWrite(m)).unwrap();
+        b.push(t0, Op::Write(VarId::new(0))).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqRead(m)).unwrap();
+        b.push(t2, Op::AcqRead(m)).unwrap();
+        b.push_at(t0, Op::TryAcqFail(m), Loc::new(3)).unwrap();
+        b.push(t1, Op::Read(VarId::new(0))).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        b.push(t2, Op::Release(m)).unwrap();
+        b.push(t0, Op::Acquire(LockId::new(1))).unwrap();
+        b.push(t0, Op::Release(LockId::new(1))).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn v3_ops_round_trip_and_write_a_v3_header() {
+        let tr = rw_trace();
+        let bytes = to_stb_bytes(&tr);
+        assert_eq!(bytes[4], STB_VERSION_3);
+        assert_eq!(from_stb_bytes(&bytes).unwrap(), tr);
+        for chunk in [1, 2, 5, 4096] {
+            let mut w =
+                StbWriter::with_hint(Vec::new(), StbHint::of_trace(&tr)).chunk_events(chunk);
+            w = w.pin_version(STB_VERSION_3);
+            for e in tr.events() {
+                w.write(e).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            assert_eq!(from_stb_bytes(&bytes).expect("round trip"), tr, "{chunk}");
+        }
+    }
+
+    #[test]
+    fn v3_truncation_anywhere_is_a_precise_error_not_a_panic() {
+        let bytes = to_stb_bytes(&rw_trace());
+        for cut in 0..bytes.len() {
+            match from_stb_bytes(&bytes[..cut]) {
+                Err(StbError::Truncated { offset, .. }) => {
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                }
+                Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+                Ok(_) => panic!("cut at {cut}: truncated stream decoded"),
+            }
+        }
+    }
+
+    #[test]
+    fn condvar_only_traces_still_write_v2_not_v3() {
+        let bytes = to_stb_bytes(&sync_trace());
+        assert_eq!(bytes[4], STB_VERSION_2);
+    }
+
+    #[test]
+    fn adaptive_streaming_writer_upgrades_to_v3_before_the_first_flush() {
+        let tr = rw_trace();
+        let mut w = StbWriter::new(Vec::new());
+        for e in tr.events() {
+            w.write(e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], STB_VERSION_3);
+        // A pinned-v2 writer likewise upgrades while its header is unsent.
+        let mut w = StbWriter::v2(Vec::new());
+        for e in tr.events() {
+            w.write(e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], STB_VERSION_3);
+        let events: Result<Vec<_>, _> = StbReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(events.unwrap(), tr.events());
+    }
+
+    #[test]
+    fn late_v3_op_after_a_lower_header_is_a_clear_error() {
+        // Chunk size 1 flushes a v1 header with the first (v1) event.
+        let mut w = StbWriter::new(Vec::new()).chunk_events(1);
+        w.write(&Event::new(ThreadId::new(0), Op::Write(VarId::new(0))))
+            .unwrap();
+        let err = w
+            .write(&Event::new(ThreadId::new(1), Op::AcqRead(LockId::new(0))))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("StbWriter::v3"), "{err}");
+        // The pinned-v3 constructor handles the same stream fine.
+        let mut w = StbWriter::v3(Vec::new()).chunk_events(1);
+        w.write(&Event::new(ThreadId::new(0), Op::Write(VarId::new(0))))
+            .unwrap();
+        w.write(&Event::new(ThreadId::new(1), Op::AcqRead(LockId::new(0))))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], STB_VERSION_3);
+        assert_eq!(StbReader::new(&bytes[..]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn v3_tags_in_a_v2_stream_are_rejected_as_corrupt() {
+        // Flip the version byte of a v3 stream down to 2: tags 13–15 are
+        // outside the v2 grammar and must decode as Corrupt (never as some
+        // other op — both grammars use 4-bit tags, so the bit layout is
+        // identical and only the max-tag check distinguishes them).
+        let mut bytes = to_stb_bytes(&rw_trace());
+        assert_eq!(bytes[4], STB_VERSION_3);
+        bytes[4] = STB_VERSION_2;
+        match from_stb_bytes(&bytes).unwrap_err() {
+            StbError::Corrupt { message, .. } => {
+                assert!(message.contains("unknown op tag"), "{message}")
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn assembler_decodes_v3_streams_at_every_split_granularity() {
+        let tr = rw_trace();
+        let mut w = StbWriter::with_hint(Vec::new(), StbHint::of_trace(&tr))
+            .pin_version(STB_VERSION_3)
+            .chunk_events(3);
+        for e in tr.events() {
+            w.write(e).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        for step in [1, 2, 3, 7, bytes.len()] {
+            let events = assemble(&bytes, step).expect("assembles");
+            assert_eq!(events, tr.events(), "step {step}");
+        }
     }
 
     #[test]

@@ -54,10 +54,34 @@ pub enum Op {
     Read(VarId),
     /// `wr(x)` — write the shared variable `x`.
     Write(VarId),
-    /// `acq(m)` — acquire the lock `m`.
+    /// `acq(m)` — acquire the lock `m` exclusively (a plain mutex
+    /// acquisition; [`Op::AcqWrite`] is the reader-writer spelling of the
+    /// same exclusive hold).
     Acquire(LockId),
-    /// `rel(m)` — release the lock `m`.
+    /// `rel(m)` — release the lock `m` (whatever mode it was acquired in;
+    /// the holder state determines whether a write- or read-mode section
+    /// ends).
     Release(LockId),
+    /// `acqr(m)` — acquire the reader-writer lock `m` in *read* (shared)
+    /// mode. Any number of threads may hold `m` in read mode at once; a
+    /// read acquisition is ordered after the preceding write-mode release
+    /// only (two read critical sections on the same lock do not order each
+    /// other — that non-ordering is exactly what the mutex-backed interim
+    /// capture wrapper used to fabricate away).
+    AcqRead(LockId),
+    /// `acqw(m)` — acquire the reader-writer lock `m` in *write*
+    /// (exclusive) mode: ordered after every preceding release of `m`,
+    /// read- or write-mode. Semantically an exclusive hold like
+    /// [`Op::Acquire`]; kept distinct for trace fidelity (the detectors
+    /// treat them identically).
+    AcqWrite(LockId),
+    /// `tryf(m)` — a *failed* `try_lock`/`try_read`/`try_write` on `m`.
+    /// No acquisition happened, so the event has no ordering effect on any
+    /// relation; it is recorded so lock-free fallback paths stay visible
+    /// in traces. Well-formedness only requires that the thread does not
+    /// itself hold `m` (a thread's own trylock cannot fail against its own
+    /// hold in the non-reentrant model).
+    TryAcqFail(LockId),
     /// Fork the given thread (establishes order to the child's first event).
     Fork(ThreadId),
     /// Join the given thread (establishes order from the child's last event).
@@ -132,6 +156,9 @@ impl fmt::Display for Op {
             Op::Write(x) => write!(f, "wr({x})"),
             Op::Acquire(m) => write!(f, "acq({m})"),
             Op::Release(m) => write!(f, "rel({m})"),
+            Op::AcqRead(m) => write!(f, "acqr({m})"),
+            Op::AcqWrite(m) => write!(f, "acqw({m})"),
+            Op::TryAcqFail(m) => write!(f, "tryf({m})"),
             Op::Fork(t) => write!(f, "fork({t})"),
             Op::Join(t) => write!(f, "join({t})"),
             Op::VolatileRead(v) => write!(f, "vrd({v})"),
@@ -230,5 +257,15 @@ mod tests {
         let e = Event::new(t(1), Op::Acquire(LockId::new(2)));
         assert_eq!(e.to_string(), "T1:acq(m2)");
         assert_eq!(Op::VolatileWrite(VarId::new(3)).to_string(), "vwr(x3)");
+        assert_eq!(Op::AcqRead(LockId::new(0)).to_string(), "acqr(m0)");
+        assert_eq!(Op::AcqWrite(LockId::new(1)).to_string(), "acqw(m1)");
+        assert_eq!(Op::TryAcqFail(LockId::new(2)).to_string(), "tryf(m2)");
+    }
+
+    #[test]
+    fn rwlock_ops_are_sync() {
+        assert!(Op::AcqRead(LockId::new(0)).is_sync());
+        assert!(Op::AcqWrite(LockId::new(0)).is_sync());
+        assert!(Op::TryAcqFail(LockId::new(0)).is_sync());
     }
 }

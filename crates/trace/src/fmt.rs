@@ -79,6 +79,9 @@ fn render_event(out: &mut String, e: &Event) {
         Op::Write(x) => write!(out, "T{} wr x{}", e.tid.raw(), x.raw()),
         Op::Acquire(m) => write!(out, "T{} acq m{}", e.tid.raw(), m.raw()),
         Op::Release(m) => write!(out, "T{} rel m{}", e.tid.raw(), m.raw()),
+        Op::AcqRead(m) => write!(out, "T{} acqr m{}", e.tid.raw(), m.raw()),
+        Op::AcqWrite(m) => write!(out, "T{} acqw m{}", e.tid.raw(), m.raw()),
+        Op::TryAcqFail(m) => write!(out, "T{} tryf m{}", e.tid.raw(), m.raw()),
         Op::Fork(t) => write!(out, "T{} fork T{}", e.tid.raw(), t.raw()),
         Op::Join(t) => write!(out, "T{} join T{}", e.tid.raw(), t.raw()),
         Op::VolatileRead(v) => write!(out, "T{} vrd v{}", e.tid.raw(), v.raw()),
@@ -150,6 +153,9 @@ pub fn parse(text: &str) -> Result<Trace, ParseError> {
             "wr" => Op::Write(VarId::new(parse_prefixed(arg_tok, 'x', line_no)?)),
             "acq" => Op::Acquire(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
             "rel" => Op::Release(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
+            "acqr" => Op::AcqRead(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
+            "acqw" => Op::AcqWrite(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
+            "tryf" => Op::TryAcqFail(LockId::new(parse_prefixed(arg_tok, 'm', line_no)?)),
             "fork" => Op::Fork(ThreadId::new(parse_prefixed(arg_tok, 'T', line_no)?)),
             "join" => Op::Join(ThreadId::new(parse_prefixed(arg_tok, 'T', line_no)?)),
             "vrd" => Op::VolatileRead(VarId::new(parse_prefixed(arg_tok, 'v', line_no)?)),
@@ -302,6 +308,15 @@ mod tests {
         let tr = parse(text).expect("parses");
         assert_eq!(tr.num_condvars(), 2);
         assert_eq!(tr.num_barriers(), 1);
+        assert_eq!(parse(&render(&tr)).unwrap(), tr);
+    }
+
+    #[test]
+    fn rwlock_ops_round_trip() {
+        let text = "T0 acqw m0\nT0 rel m0\nT1 acqr m0\nT2 acqr m0\nT0 tryf m0\n\
+                    T1 rel m0\nT2 rel m0\n";
+        let tr = parse(text).expect("parses");
+        assert_eq!(tr.num_locks(), 1);
         assert_eq!(parse(&render(&tr)).unwrap(), tr);
     }
 

@@ -161,6 +161,9 @@ fn event_from_parts(
         "w" | "write" => Op::Write(VarId::new(interners.vars.resolve(target, 'v'))),
         "acq" | "acquire" => Op::Acquire(LockId::new(interners.locks.resolve(target, 'l'))),
         "rel" | "release" => Op::Release(LockId::new(interners.locks.resolve(target, 'l'))),
+        "acqr" => Op::AcqRead(LockId::new(interners.locks.resolve(target, 'l'))),
+        "acqw" => Op::AcqWrite(LockId::new(interners.locks.resolve(target, 'l'))),
+        "tryf" => Op::TryAcqFail(LockId::new(interners.locks.resolve(target, 'l'))),
         "fork" => Op::Fork(ThreadId::new(interners.threads.resolve(target, 't'))),
         "join" => Op::Join(ThreadId::new(interners.threads.resolve(target, 't'))),
         "vr" => Op::VolatileRead(VarId::new(interners.volatiles.resolve(target, 'v'))),
@@ -270,6 +273,9 @@ fn std_op(op: &Op) -> (&'static str, String) {
         Op::Write(x) => ("w", format!("V{}", x.raw())),
         Op::Acquire(m) => ("acq", format!("L{}", m.raw())),
         Op::Release(m) => ("rel", format!("L{}", m.raw())),
+        Op::AcqRead(m) => ("acqr", format!("L{}", m.raw())),
+        Op::AcqWrite(m) => ("acqw", format!("L{}", m.raw())),
+        Op::TryAcqFail(m) => ("tryf", format!("L{}", m.raw())),
         Op::Fork(t) => ("fork", format!("T{}", t.raw())),
         Op::Join(t) => ("join", format!("T{}", t.raw())),
         Op::VolatileRead(v) => ("vr", format!("V{}", v.raw())),
@@ -742,6 +748,27 @@ mod tests {
                     "{format} seed {seed}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn rwlock_ops_round_trip_all_formats() {
+        let text = "T0|acqw(L0)|1\nT0|rel(L0)|2\nT1|acqr(L0)|3\nT2|acqr(L0)|4\n\
+                    T0|tryf(L0)|5\nT1|rel(L0)|6\nT2|rel(L0)|7\n";
+        let tr = parse_std(text).expect("parses");
+        assert_eq!(tr.num_locks(), 1);
+        for format in [
+            TraceFormat::Native,
+            TraceFormat::Std,
+            TraceFormat::Csv,
+            TraceFormat::Stb,
+        ] {
+            let bytes = render_bytes(&tr, format);
+            assert_eq!(
+                parse_bytes(&bytes, format).expect("round trip"),
+                tr,
+                "{format}"
+            );
         }
     }
 

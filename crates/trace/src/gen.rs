@@ -75,6 +75,20 @@ pub struct RandomTraceSpec {
     /// threads enters (in random order) and then exits (in random order),
     /// keeping the parties of every round matched by construction.
     pub barrier_prob: f64,
+    /// Number of reader-writer locks (0 disables rwlock events). Rwlocks
+    /// share the lock id space, numbered above the plain locks
+    /// (`LockId::new(locks + k)`).
+    pub rwlocks: u32,
+    /// Probability a step read-acquires a random rwlock the thread may
+    /// share (no writer, not already read-held by this thread).
+    pub rw_read_prob: f64,
+    /// Probability a step write-acquires a random free rwlock.
+    pub rw_write_prob: f64,
+    /// Probability a step releases this thread's most recent rwlock hold.
+    pub rw_release_prob: f64,
+    /// Probability a step records a failed trylock (`tryf`) on a random
+    /// rwlock the thread does not itself hold.
+    pub try_fail_prob: f64,
 }
 
 impl Default for RandomTraceSpec {
@@ -98,6 +112,11 @@ impl Default for RandomTraceSpec {
             condvar_prob: 0.0,
             barriers: 0,
             barrier_prob: 0.0,
+            rwlocks: 0,
+            rw_read_prob: 0.0,
+            rw_write_prob: 0.0,
+            rw_release_prob: 0.0,
+            try_fail_prob: 0.0,
         }
     }
 }
@@ -125,6 +144,11 @@ impl RandomTraceSpec {
             condvar_prob: 0.0,
             barriers: 0,
             barrier_prob: 0.0,
+            rwlocks: 0,
+            rw_read_prob: 0.0,
+            rw_write_prob: 0.0,
+            rw_release_prob: 0.0,
+            try_fail_prob: 0.0,
         }
     }
 
@@ -136,6 +160,20 @@ impl RandomTraceSpec {
             condvar_prob: 0.15,
             barriers: 1,
             barrier_prob: 0.06,
+            ..RandomTraceSpec::tiny()
+        }
+    }
+
+    /// The tiny preset with reader-writer lock events mixed in (shared read
+    /// sections, exclusive write sections, failed trylocks), for
+    /// oracle-checkable rwlock traces.
+    pub fn tiny_rw() -> Self {
+        RandomTraceSpec {
+            rwlocks: 2,
+            rw_read_prob: 0.18,
+            rw_write_prob: 0.10,
+            rw_release_prob: 0.30,
+            try_fail_prob: 0.05,
             ..RandomTraceSpec::tiny()
         }
     }
@@ -159,6 +197,14 @@ impl RandomTraceSpec {
         let mut burst: Vec<Option<(VarId, usize)>> = vec![None; nthreads];
         let mut lock_free = vec![true; self.locks as usize];
 
+        // Rwlocks share the lock id space above the plain locks. Per rwlock
+        // we mirror the holder state (one writer xor any readers); per thread
+        // we keep the open rwlock sections as `(rwlock index, write mode)`.
+        let rw_id = |k: usize| LockId::new(self.locks + k as u32);
+        let mut rw_writer: Vec<Option<usize>> = vec![None; self.rwlocks as usize];
+        let mut rw_readers: Vec<Vec<usize>> = vec![Vec::new(); self.rwlocks as usize];
+        let mut rw_held: Vec<Vec<(usize, bool)>> = vec![Vec::new(); nthreads];
+
         if self.fork_join {
             for child in 1..self.threads {
                 b.push_at(
@@ -169,6 +215,14 @@ impl RandomTraceSpec {
                 .expect("fork of fresh thread is well-formed");
             }
         }
+
+        // Cumulative probability mass of the non-rwlock sync branches; the
+        // rwlock branches slot in after them in the roll cascade.
+        let sync5 = self.acquire_prob
+            + self.release_prob
+            + self.volatile_prob
+            + self.condvar_prob
+            + self.barrier_prob;
 
         while b.len() < self.events {
             let ti = rng.gen_range(0..nthreads);
@@ -263,6 +317,65 @@ impl RandomTraceSpec {
                     b.push_at(ThreadId::new(p), Op::BarrierExit(bar), loc)
                         .expect("round exits are well-formed");
                 }
+            } else if roll < sync5 + self.rw_read_prob
+                && self.rwlocks > 0
+                && held[ti].len() + rw_held[ti].len() < self.max_nesting
+                && (0..rw_writer.len())
+                    .any(|k| rw_writer[k].is_none() && !rw_readers[k].contains(&ti))
+            {
+                // Read-acquire any rwlock with no writer that this thread is
+                // not already reading; concurrent readers are the point.
+                let sharable: Vec<usize> = (0..rw_writer.len())
+                    .filter(|&k| rw_writer[k].is_none() && !rw_readers[k].contains(&ti))
+                    .collect();
+                let k = sharable[rng.gen_range(0..sharable.len())];
+                rw_readers[k].push(ti);
+                rw_held[ti].push((k, false));
+                b.push_at(tid, Op::AcqRead(rw_id(k)), loc)
+                    .expect("read acquire of a writer-free rwlock is well-formed");
+            } else if roll < sync5 + self.rw_read_prob + self.rw_write_prob
+                && self.rwlocks > 0
+                && held[ti].len() + rw_held[ti].len() < self.max_nesting
+                && (0..rw_writer.len()).any(|k| rw_writer[k].is_none() && rw_readers[k].is_empty())
+            {
+                let free: Vec<usize> = (0..rw_writer.len())
+                    .filter(|&k| rw_writer[k].is_none() && rw_readers[k].is_empty())
+                    .collect();
+                let k = free[rng.gen_range(0..free.len())];
+                rw_writer[k] = Some(ti);
+                rw_held[ti].push((k, true));
+                b.push_at(tid, Op::AcqWrite(rw_id(k)), loc)
+                    .expect("write acquire of a free rwlock is well-formed");
+            } else if roll < sync5 + self.rw_read_prob + self.rw_write_prob + self.rw_release_prob
+                && !rw_held[ti].is_empty()
+            {
+                let (k, write) = rw_held[ti].pop().expect("nonempty");
+                if write {
+                    rw_writer[k] = None;
+                } else {
+                    rw_readers[k].retain(|&r| r != ti);
+                }
+                b.push_at(tid, Op::Release(rw_id(k)), loc)
+                    .expect("release of a held rwlock is well-formed");
+            } else if roll
+                < sync5
+                    + self.rw_read_prob
+                    + self.rw_write_prob
+                    + self.rw_release_prob
+                    + self.try_fail_prob
+                && self.rwlocks > 0
+                && (0..rw_writer.len())
+                    .any(|k| rw_writer[k] != Some(ti) && !rw_readers[k].contains(&ti))
+            {
+                // A failed trylock only requires that this thread does not
+                // itself hold the target (the contender may have released
+                // before this event serialized).
+                let targets: Vec<usize> = (0..rw_writer.len())
+                    .filter(|&k| rw_writer[k] != Some(ti) && !rw_readers[k].contains(&ti))
+                    .collect();
+                let k = targets[rng.gen_range(0..targets.len())];
+                b.push_at(tid, Op::TryAcqFail(rw_id(k)), loc)
+                    .expect("failed trylock on an unheld rwlock is well-formed");
             } else {
                 let var = self.pick_var(&mut rng);
                 let len = 1 + rng.gen_range(0..=(2 * self.mean_burst.max(1)).saturating_sub(1));
@@ -284,6 +397,17 @@ impl RandomTraceSpec {
                 lock_free[lock.index()] = true;
                 b.push(ThreadId::new(ti as u32), Op::Release(lock))
                     .expect("closing releases are well-formed");
+            }
+        }
+        for (ti, holds) in rw_held.iter_mut().enumerate() {
+            while let Some((k, write)) = holds.pop() {
+                if write {
+                    rw_writer[k] = None;
+                } else {
+                    rw_readers[k].retain(|&r| r != ti);
+                }
+                b.push(ThreadId::new(ti as u32), Op::Release(rw_id(k)))
+                    .expect("closing rwlock releases are well-formed");
             }
         }
 
@@ -375,6 +499,55 @@ mod tests {
             .iter()
             .any(|e| matches!(e.op, Op::VolatileRead(_) | Op::VolatileWrite(_))));
         assert_eq!(tr.num_volatiles(), 2);
+    }
+
+    #[test]
+    fn rw_probs_emit_rwlock_ops_that_revalidate() {
+        for seed in 0..20 {
+            let tr = RandomTraceSpec::tiny_rw().generate(seed);
+            Trace::from_events(tr.events().iter().copied()).expect("well-formed");
+        }
+        let spec = RandomTraceSpec {
+            rwlocks: 2,
+            rw_read_prob: 0.10,
+            rw_write_prob: 0.06,
+            rw_release_prob: 0.20,
+            try_fail_prob: 0.04,
+            events: 800,
+            ..RandomTraceSpec::default()
+        };
+        let tr = spec.generate(9);
+        Trace::from_events(tr.events().iter().copied()).expect("well-formed");
+        assert!(tr.events().iter().any(|e| matches!(e.op, Op::AcqRead(_))));
+        assert!(tr.events().iter().any(|e| matches!(e.op, Op::AcqWrite(_))));
+        assert!(tr
+            .events()
+            .iter()
+            .any(|e| matches!(e.op, Op::TryAcqFail(_))));
+        // Rwlock ids are numbered above the plain locks.
+        assert!(tr.events().iter().all(|e| match e.op {
+            Op::AcqRead(m) | Op::AcqWrite(m) | Op::TryAcqFail(m) => m.raw() >= spec.locks,
+            Op::Acquire(m) => m.raw() < spec.locks,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn zero_rw_probs_leave_old_seeds_unchanged() {
+        // The rwlock branches must not draw from the rng unless they fire,
+        // so a spec with rwlocks but zero mass generates the same trace.
+        let plain = RandomTraceSpec::default();
+        let with_idle_rwlocks = RandomTraceSpec {
+            rwlocks: 0,
+            rw_read_prob: 0.5,
+            rw_write_prob: 0.5,
+            rw_release_prob: 0.5,
+            try_fail_prob: 0.5,
+            ..RandomTraceSpec::default()
+        };
+        for seed in 0..10 {
+            assert_eq!(plain.generate(seed), with_idle_rwlocks.generate(seed));
+        }
     }
 
     #[test]

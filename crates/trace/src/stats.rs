@@ -118,10 +118,15 @@ impl TraceStats {
                         read_meta.insert(x, AccessMeta::Epoch(e.tid, cur));
                     }
                 }
-                Op::Acquire(m) => {
+                Op::Acquire(m) | Op::AcqRead(m) | Op::AcqWrite(m) => {
                     stats.sync_count += 1;
                     held[ti].push(m.raw());
                     sync_epoch[ti] += 1;
+                }
+                Op::TryAcqFail(_) => {
+                    // No acquisition happened: nothing is held and no
+                    // detector bumps a clock here, so the epoch stands.
+                    stats.sync_count += 1;
                 }
                 Op::Release(m) => {
                     stats.sync_count += 1;
@@ -257,6 +262,24 @@ mod tests {
         assert_eq!(s.nsea_holding, [3, 2, 1]);
         assert!((s.pct_nsea_holding(1) - 100.0).abs() < 1e-9);
         assert!((s.pct_nsea_holding(3) - 33.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn rwlock_holds_count_and_try_fail_keeps_the_epoch() {
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::AcqRead(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // NSEA, 1 lock
+        b.push(t(0), Op::TryAcqFail(m(1))).unwrap(); // no epoch bump
+        b.push(t(0), Op::Write(x(0))).unwrap(); // still same epoch
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        b.push(t(0), Op::AcqWrite(m(0))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // NSEA, 1 lock
+        b.push(t(0), Op::Release(m(0))).unwrap();
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.access_count, 3);
+        assert_eq!(s.nsea_count, 2);
+        assert_eq!(s.nsea_holding, [2, 0, 0]);
+        assert_eq!(s.sync_count, 5);
     }
 
     #[test]

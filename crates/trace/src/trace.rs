@@ -23,6 +23,18 @@ pub enum TraceError {
         /// Current holder.
         holder: ThreadId,
     },
+    /// A thread recorded a failed trylock on a lock it itself holds (in
+    /// read or write mode). A thread's own `try_lock` cannot fail against
+    /// its own hold in the non-reentrant model, so such an event can only
+    /// come from a corrupted or mis-merged recording.
+    TryAcqFailHeldLock {
+        /// Index of the offending event.
+        at: usize,
+        /// The thread whose trylock "failed".
+        tid: ThreadId,
+        /// The lock it already holds.
+        lock: LockId,
+    },
     /// A thread released a lock it does not hold.
     ReleaseUnheldLock {
         /// Index of the offending event.
@@ -104,6 +116,12 @@ impl fmt::Display for TraceError {
                 f,
                 "event {at}: {tid} acquires {lock} already held by {holder}"
             ),
+            TraceError::TryAcqFailHeldLock { at, tid, lock } => {
+                write!(
+                    f,
+                    "event {at}: {tid} records a failed trylock on {lock} it already holds"
+                )
+            }
             TraceError::ReleaseUnheldLock { at, tid, lock } => {
                 write!(f, "event {at}: {tid} releases {lock} it does not hold")
             }
@@ -290,7 +308,7 @@ impl Trace {
         for e in &self.events {
             let h = &mut held[e.tid.index()];
             match e.op {
-                Op::Acquire(m) => {
+                Op::Acquire(m) | Op::AcqRead(m) | Op::AcqWrite(m) => {
                     h.push(m);
                     out.push(h.clone());
                 }

@@ -13,6 +13,36 @@ use smarttrack_clock::ThreadId;
 
 use crate::{BarrierId, Event, EventId, LockId, Op, TraceError};
 
+/// Current ownership of one lock: exclusive (a plain `acq` or an `acqw`)
+/// or shared by any number of read-mode holders. A lock with no entry in
+/// the holder table is free. Dual-mode holds by one thread (read while
+/// writing, or vice versa) are malformed, as is re-entrant read-acquisition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LockHolder {
+    /// Held exclusively by one thread.
+    Writer(ThreadId),
+    /// Held in read (shared) mode by these threads (non-empty, no dups).
+    Readers(Vec<ThreadId>),
+}
+
+impl LockHolder {
+    /// A thread to blame in `AcquireHeldLock` errors.
+    fn representative(&self) -> ThreadId {
+        match self {
+            LockHolder::Writer(t) => *t,
+            LockHolder::Readers(ts) => ts[0],
+        }
+    }
+
+    /// Whether `t` holds the lock in any mode.
+    fn held_by(&self, t: ThreadId) -> bool {
+        match self {
+            LockHolder::Writer(w) => *w == t,
+            LockHolder::Readers(ts) => ts.contains(&t),
+        }
+    }
+}
+
 /// Per-barrier party accounting for the round rules (see [`Op::BarrierEnter`]):
 /// a round *gathers* entering threads until the first exit, then *drains* —
 /// every gathered thread must exit exactly once before anyone may enter
@@ -48,7 +78,7 @@ struct BarrierParties {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct StreamValidator {
-    lock_holder: HashMap<LockId, ThreadId>,
+    lock_holder: HashMap<LockId, LockHolder>,
     barriers: HashMap<BarrierId, BarrierParties>,
     started: Vec<bool>,
     forked: Vec<bool>,
@@ -99,18 +129,55 @@ impl StreamValidator {
             return Err(TraceError::InvalidJoin { at, target: e.tid });
         }
         match e.op {
-            Op::Acquire(m) => {
-                if let Some(&holder) = self.lock_holder.get(&m) {
+            Op::Acquire(m) | Op::AcqWrite(m) => {
+                if let Some(holder) = self.lock_holder.get(&m) {
                     return Err(TraceError::AcquireHeldLock {
                         at,
                         tid: e.tid,
                         lock: m,
-                        holder,
+                        holder: holder.representative(),
+                    });
+                }
+            }
+            Op::AcqRead(m) => {
+                // Read-acquisition is compatible with other readers, but not
+                // with a writer and not re-entrantly with itself.
+                match self.lock_holder.get(&m) {
+                    Some(LockHolder::Writer(w)) => {
+                        return Err(TraceError::AcquireHeldLock {
+                            at,
+                            tid: e.tid,
+                            lock: m,
+                            holder: *w,
+                        });
+                    }
+                    Some(LockHolder::Readers(ts)) if ts.contains(&e.tid) => {
+                        return Err(TraceError::AcquireHeldLock {
+                            at,
+                            tid: e.tid,
+                            lock: m,
+                            holder: e.tid,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            Op::TryAcqFail(m) => {
+                // A failed trylock is a no-op, but a thread's own trylock
+                // cannot fail against its own (non-reentrant) hold. We do
+                // NOT require the lock to be held by someone else: the
+                // contender may have released it between the failure and
+                // the moment the failure was serialized into the trace.
+                if self.lock_holder.get(&m).is_some_and(|h| h.held_by(e.tid)) {
+                    return Err(TraceError::TryAcqFailHeldLock {
+                        at,
+                        tid: e.tid,
+                        lock: m,
                     });
                 }
             }
             Op::Release(m) => {
-                if self.lock_holder.get(&m) != Some(&e.tid) {
+                if !self.lock_holder.get(&m).is_some_and(|h| h.held_by(e.tid)) {
                     return Err(TraceError::ReleaseUnheldLock {
                         at,
                         tid: e.tid,
@@ -136,8 +203,9 @@ impl StreamValidator {
             }
             Op::Wait(_, m) => {
                 // Wait is an atomic release-and-reacquire of the monitor:
-                // the thread must hold it (and still holds it afterwards).
-                if self.lock_holder.get(&m) != Some(&e.tid) {
+                // the thread must hold it exclusively (a read-mode hold is
+                // not a monitor) and still holds it afterwards.
+                if self.lock_holder.get(&m) != Some(&LockHolder::Writer(e.tid)) {
                     return Err(TraceError::WaitWithoutLock {
                         at,
                         tid: e.tid,
@@ -187,12 +255,37 @@ impl StreamValidator {
         // Admission phase: the event is valid, record its effects.
         self.mark_thread(e.tid);
         match e.op {
-            Op::Acquire(m) => {
-                self.lock_holder.insert(m, e.tid);
+            Op::Acquire(m) | Op::AcqWrite(m) => {
+                self.lock_holder.insert(m, LockHolder::Writer(e.tid));
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::AcqRead(m) => {
+                match self
+                    .lock_holder
+                    .entry(m)
+                    .or_insert_with(|| LockHolder::Readers(Vec::new()))
+                {
+                    LockHolder::Readers(ts) => ts.push(e.tid),
+                    LockHolder::Writer(_) => unreachable!("validated above"),
+                }
+                self.num_locks = self.num_locks.max(m.index() + 1);
+            }
+            Op::TryAcqFail(m) => {
+                // No ownership change; only the id-space bound widens.
                 self.num_locks = self.num_locks.max(m.index() + 1);
             }
             Op::Release(m) => {
-                self.lock_holder.remove(&m);
+                let drop_entry = match self.lock_holder.get_mut(&m) {
+                    Some(LockHolder::Writer(_)) => true,
+                    Some(LockHolder::Readers(ts)) => {
+                        ts.retain(|&t| t != e.tid);
+                        ts.is_empty()
+                    }
+                    None => unreachable!("validated above"),
+                };
+                if drop_entry {
+                    self.lock_holder.remove(&m);
+                }
                 self.num_locks = self.num_locks.max(m.index() + 1);
             }
             Op::Read(x) | Op::Write(x) => {
@@ -372,6 +465,82 @@ mod tests {
         v.admit(&Event::new(t(2), Op::BarrierEnter(b))).unwrap();
         v.admit(&Event::new(t(2), Op::BarrierExit(b))).unwrap();
         assert_eq!(v.num_barriers(), 1);
+    }
+
+    #[test]
+    fn readers_share_and_writers_exclude() {
+        use crate::TraceError;
+        let m = LockId::new(0);
+        let mut v = StreamValidator::new();
+        // Two concurrent readers are fine.
+        v.admit(&Event::new(t(0), Op::AcqRead(m))).unwrap();
+        v.admit(&Event::new(t(1), Op::AcqRead(m))).unwrap();
+        // A writer (either spelling) cannot break in while readers hold.
+        assert!(matches!(
+            v.admit(&Event::new(t(2), Op::AcqWrite(m))),
+            Err(TraceError::AcquireHeldLock { .. })
+        ));
+        assert!(v.admit(&Event::new(t(2), Op::Acquire(m))).is_err());
+        // Re-entrant read-acquisition by a holder is malformed.
+        assert!(matches!(
+            v.admit(&Event::new(t(0), Op::AcqRead(m))),
+            Err(TraceError::AcquireHeldLock { holder, .. }) if holder == t(0)
+        ));
+        // A non-holder cannot release; each reader releases once.
+        assert!(v.admit(&Event::new(t(2), Op::Release(m))).is_err());
+        v.admit(&Event::new(t(0), Op::Release(m))).unwrap();
+        assert!(v.admit(&Event::new(t(0), Op::Release(m))).is_err());
+        v.admit(&Event::new(t(1), Op::Release(m))).unwrap();
+        // Fully drained: a writer may now take the lock, excluding readers.
+        v.admit(&Event::new(t(2), Op::AcqWrite(m))).unwrap();
+        assert!(matches!(
+            v.admit(&Event::new(t(0), Op::AcqRead(m))),
+            Err(TraceError::AcquireHeldLock { holder, .. }) if holder == t(2)
+        ));
+        v.admit(&Event::new(t(2), Op::Release(m))).unwrap();
+        assert_eq!(v.num_locks(), 1);
+    }
+
+    #[test]
+    fn try_fail_rejected_only_for_own_hold() {
+        use crate::TraceError;
+        let m = LockId::new(0);
+        let mut v = StreamValidator::new();
+        // Failing against a free lock is tolerated (the contender may have
+        // released between the failure and its serialization).
+        v.admit(&Event::new(t(0), Op::TryAcqFail(m))).unwrap();
+        v.admit(&Event::new(t(1), Op::AcqRead(m))).unwrap();
+        // Another thread's failure against a held lock is the normal case.
+        v.admit(&Event::new(t(0), Op::TryAcqFail(m))).unwrap();
+        // The holder's own trylock cannot fail, in either mode.
+        assert!(matches!(
+            v.admit(&Event::new(t(1), Op::TryAcqFail(m))),
+            Err(TraceError::TryAcqFailHeldLock { .. })
+        ));
+        v.admit(&Event::new(t(1), Op::Release(m))).unwrap();
+        v.admit(&Event::new(t(1), Op::Acquire(m))).unwrap();
+        assert!(v.admit(&Event::new(t(1), Op::TryAcqFail(m))).is_err());
+        // Rejections left the state intact.
+        v.admit(&Event::new(t(1), Op::Release(m))).unwrap();
+        assert_eq!(v.num_locks(), 1);
+    }
+
+    #[test]
+    fn wait_requires_an_exclusive_hold() {
+        use crate::{CondId, TraceError};
+        let c = CondId::new(0);
+        let m = LockId::new(0);
+        let mut v = StreamValidator::new();
+        v.admit(&Event::new(t(0), Op::AcqRead(m))).unwrap();
+        // A read-mode hold is not a monitor.
+        assert!(matches!(
+            v.admit(&Event::new(t(0), Op::Wait(c, m))),
+            Err(TraceError::WaitWithoutLock { .. })
+        ));
+        v.admit(&Event::new(t(0), Op::Release(m))).unwrap();
+        v.admit(&Event::new(t(0), Op::AcqWrite(m))).unwrap();
+        v.admit(&Event::new(t(0), Op::Wait(c, m))).unwrap();
+        v.admit(&Event::new(t(0), Op::Release(m))).unwrap();
     }
 
     #[test]

@@ -219,19 +219,28 @@ impl<'a> PredictableRaceOracle<'a> {
     /// each returned thread's next event acquires a lock held by the next
     /// thread in the cycle. Such threads are permanently stuck — holders
     /// can only release once unblocked, and every one of them is blocked.
+    ///
+    /// An exclusive acquire waits on any holder of the lock; a read-mode
+    /// acquire waits only on a write-mode holder (readers admit readers).
     fn lock_cycle(&self, state: &State) -> Option<Vec<ThreadId>> {
         let nthreads = self.projections.len();
         // waits_on[t] = thread holding the lock t's next event acquires.
         let waits_on: Vec<Option<usize>> = (0..nthreads)
             .map(|t| {
                 let &id = self.projections[t].get(state.positions[t])?;
-                let Op::Acquire(m) = self.trace.event(id).op else {
-                    return None;
+                let (m, exclusive) = match self.trace.event(id).op {
+                    Op::Acquire(m) | Op::AcqWrite(m) => (m, true),
+                    Op::AcqRead(m) => (m, false),
+                    _ => return None,
                 };
                 if !self.fork_ready(state, ThreadId::new(t as u32), state.positions[t]) {
                     return None;
                 }
-                self.holder(state, m)
+                if exclusive {
+                    self.holder(state, m)
+                } else {
+                    self.write_holder(state, m)
+                }
             })
             .collect();
         // Follow wait edges from each thread; a repeat within the walk is a
@@ -255,19 +264,36 @@ impl<'a> PredictableRaceOracle<'a> {
         None
     }
 
-    /// The thread currently holding lock `m`, if any.
-    fn holder(&self, state: &State, m: LockId) -> Option<usize> {
-        (0..self.projections.len()).find(|&t| {
-            let mut depth = 0i32;
-            for &id in &self.projections[t][..state.positions[t]] {
-                match self.trace.event(id).op {
-                    Op::Acquire(l) if l == m => depth += 1,
-                    Op::Release(l) if l == m => depth -= 1,
-                    _ => {}
+    /// The (lock, write-mode) holds of thread `t`'s consumed prefix:
+    /// exclusive and write-mode acquires push write-mode holds, read-mode
+    /// acquires push read-mode holds, releases pop the innermost hold of
+    /// their lock regardless of mode.
+    fn holds(&self, state: &State, t: usize) -> Vec<(LockId, bool)> {
+        let mut held: Vec<(LockId, bool)> = Vec::new();
+        for &id in &self.projections[t][..state.positions[t]] {
+            match self.trace.event(id).op {
+                Op::Acquire(l) | Op::AcqWrite(l) => held.push((l, true)),
+                Op::AcqRead(l) => held.push((l, false)),
+                Op::Release(l) => {
+                    if let Some(pos) = held.iter().rposition(|&(h, _)| h == l) {
+                        held.remove(pos);
+                    }
                 }
+                _ => {}
             }
-            depth > 0
-        })
+        }
+        held
+    }
+
+    /// The thread currently holding lock `m` in any mode, if any.
+    fn holder(&self, state: &State, m: LockId) -> Option<usize> {
+        (0..self.projections.len()).find(|&t| self.holds(state, t).iter().any(|&(l, _)| l == m))
+    }
+
+    /// The thread currently holding lock `m` in *write* mode, if any.
+    fn write_holder(&self, state: &State, m: LockId) -> Option<usize> {
+        (0..self.projections.len())
+            .find(|&t| self.holds(state, t).iter().any(|&(l, w)| l == m && w))
     }
 
     /// The state reached by executing every event before `lo` in observed
@@ -373,7 +399,15 @@ impl<'a> PredictableRaceOracle<'a> {
                 self.last_writers.get(&id).copied().unwrap_or(None) == state.last_writer[x.index()]
             }
             Op::Write(_) => true,
-            Op::Acquire(m) => self.lock_free(state, m),
+            Op::Acquire(m) | Op::AcqWrite(m) => self.lock_free(state, m),
+            // A read section may overlap other read sections of the same
+            // rwlock but never a write-mode section.
+            Op::AcqRead(m) => self.write_holder(state, m).is_none(),
+            // A failed trylock takes nothing and orders nothing: it is
+            // executable whenever its thread is (dropping the constraint
+            // that the lock be held mirrors the detectors, which give
+            // TryAcqFail no ordering in any direction).
+            Op::TryAcqFail(_) => true,
             Op::Release(_) => true,
             Op::Fork(u) => {
                 // The child must not have started (always true: the child's
@@ -427,22 +461,9 @@ impl<'a> PredictableRaceOracle<'a> {
     }
 
     fn lock_free(&self, state: &State, m: LockId) -> bool {
-        // A lock is held iff some thread's consumed prefix has an unmatched
-        // acquire of it.
-        for (t, proj) in self.projections.iter().enumerate() {
-            let mut depth = 0i32;
-            for &id in &proj[..state.positions[t]] {
-                match self.trace.event(id).op {
-                    Op::Acquire(l) if l == m => depth += 1,
-                    Op::Release(l) if l == m => depth -= 1,
-                    _ => {}
-                }
-            }
-            if depth > 0 {
-                return false;
-            }
-        }
-        true
+        // A lock is exclusively acquirable iff no thread's consumed prefix
+        // has an unmatched acquire of it in *any* mode.
+        self.holder(state, m).is_none()
     }
 
     fn step(&self, state: &State, t: usize, id: EventId) -> State {
@@ -520,6 +541,63 @@ mod tests {
         b.push(t0, Op::Write(VarId::new(0))).unwrap();
         let oracle_trace = b.finish();
         let oracle = PredictableRaceOracle::new(&oracle_trace);
+        assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace);
+    }
+
+    #[test]
+    fn overlapping_read_sections_expose_a_race_a_mutex_would_hide() {
+        // T0 writes x inside a *read-mode* section; T1 reads x inside its
+        // own read section. Read sections may overlap, so the accesses can
+        // be made consecutive — a predictable race. (With exclusive
+        // acquires instead, the sections serialize and rule (a) orders the
+        // accesses: no race.)
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (m, x) = (LockId::new(0), VarId::new(0));
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::AcqRead(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqRead(m)).unwrap();
+        b.push(t1, Op::Read(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        let tr = b.finish();
+        let oracle = PredictableRaceOracle::new(&tr);
+        assert!(matches!(
+            oracle.any_predictable_race(),
+            OracleResult::Race(..)
+        ));
+
+        // The exclusive-acquire lowering of the same shape has no race.
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::Acquire(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::Acquire(m)).unwrap();
+        b.push(t1, Op::Read(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        let tr = b.finish();
+        let oracle = PredictableRaceOracle::new(&tr);
+        assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace);
+    }
+
+    #[test]
+    fn read_sections_cannot_overlap_a_write_section() {
+        // Writer publishes x under a write-mode hold; reader reads under a
+        // read-mode hold. The sections cannot overlap, so rule-(a)-style
+        // ordering is real: no predictable race.
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (m, x) = (LockId::new(0), VarId::new(0));
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::AcqWrite(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqRead(m)).unwrap();
+        b.push(t1, Op::Read(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        let tr = b.finish();
+        let oracle = PredictableRaceOracle::new(&tr);
         assert_eq!(oracle.any_predictable_race(), OracleResult::NoRace);
     }
 

@@ -457,45 +457,53 @@ impl<'a> Vindicator<'a> {
         true
     }
 
-    /// Critical sections on one lock must be totally ordered and
-    /// non-overlapping; open critical sections (release outside the support)
-    /// must come after every complete one.
+    /// Write-involved critical sections on one lock must be totally ordered
+    /// and non-overlapping; open critical sections (release outside the
+    /// support) must come after every complete one. Two read-mode sections of
+    /// the same lock never exclude each other and may overlap freely in the
+    /// reordering, so no ordering edge is forced between them.
     fn lock_constraints(&mut self, changed: &mut bool) -> bool {
-        // Collect critical sections (acquire, Option<release>) with events in
-        // the support or racing pair.
-        let mut sections: HashMap<LockId, Vec<(EventId, Option<EventId>)>> = HashMap::new();
+        // Collect critical sections (acquire, Option<release>, write-mode)
+        // with events in the support or racing pair.
+        let mut sections: HashMap<LockId, Vec<(EventId, Option<EventId>, bool)>> = HashMap::new();
         let in_set = |id: EventId, s: &Self| s.support.contains(&id) || id == s.e1 || id == s.e2;
         for t in 0..self.projections.len() {
-            let mut open: Vec<(LockId, EventId)> = Vec::new();
+            let mut open: Vec<(LockId, EventId, bool)> = Vec::new();
             for &id in &self.projections[t] {
                 if !in_set(id, self) {
                     continue;
                 }
                 match self.trace.event(id).op {
-                    Op::Acquire(m) => open.push((m, id)),
+                    Op::Acquire(m) | Op::AcqWrite(m) => open.push((m, id, true)),
+                    Op::AcqRead(m) => open.push((m, id, false)),
                     Op::Release(m) => {
-                        if let Some(pos) = open.iter().rposition(|&(l, _)| l == m) {
-                            let (_, acq) = open.remove(pos);
-                            sections.entry(m).or_default().push((acq, Some(id)));
+                        if let Some(pos) = open.iter().rposition(|&(l, _, _)| l == m) {
+                            let (_, acq, write) = open.remove(pos);
+                            sections.entry(m).or_default().push((acq, Some(id), write));
                         }
                     }
                     _ => {}
                 }
             }
-            for (m, acq) in open {
-                sections.entry(m).or_default().push((acq, None));
+            for (m, acq, write) in open {
+                sections.entry(m).or_default().push((acq, None, write));
             }
         }
         for (_, css) in sections {
-            // At most one open critical section per lock.
-            let open_count = css.iter().filter(|(_, r)| r.is_none()).count();
-            if open_count > 1 {
+            // Multiple concurrently-open read sections are legal; an open
+            // write section excludes every other open section on the lock.
+            let open_write = css.iter().filter(|(_, r, w)| r.is_none() && *w).count();
+            let open_total = css.iter().filter(|(_, r, _)| r.is_none()).count();
+            if open_write > 1 || (open_write == 1 && open_total > 1) {
                 return false;
             }
             for i in 0..css.len() {
                 for j in (i + 1)..css.len() {
-                    let (a1, r1) = css[i];
-                    let (a2, r2) = css[j];
+                    let (a1, r1, w1) = css[i];
+                    let (a2, r2, w2) = css[j];
+                    if !w1 && !w2 {
+                        continue;
+                    }
                     if !self.order_sections(a1, r1, a2, r2, changed) {
                         return false;
                     }
@@ -667,6 +675,47 @@ mod tests {
         let tr = paper::figure3();
         let (e1, e2) = first_pair(&tr).expect("WDC reports a (false) race");
         assert_eq!(vindicate_pair(&tr, e1, e2), VindicationResult::Unknown);
+    }
+
+    #[test]
+    fn read_sections_may_overlap_in_the_witness() {
+        // T0 writes x inside a read-mode section of m; T1 reads x inside its
+        // own read-mode section. Read sections never exclude each other, so
+        // vindication must not force an ordering edge between them and the
+        // pair is a vindicated race. The exclusive lowering of the same
+        // shape serializes the sections and must not vindicate.
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (m, x) = (LockId::new(0), VarId::new(0));
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::AcqRead(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqRead(m)).unwrap();
+        b.push(t1, Op::Read(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        let tr = b.finish();
+        let (e1, e2) = (EventId::new(1), EventId::new(4));
+        match vindicate_pair(&tr, e1, e2) {
+            VindicationResult::Race(w) => {
+                validate_witness(&tr, &w.order, (e1, e2)).expect("witness validates");
+            }
+            VindicationResult::Unknown => panic!("read/read overlap must vindicate"),
+        }
+
+        // Same shape, write-mode sections: mutual exclusion is real.
+        let mut b = TraceBuilder::new();
+        b.push(t0, Op::AcqWrite(m)).unwrap();
+        b.push(t0, Op::Write(x)).unwrap();
+        b.push(t0, Op::Release(m)).unwrap();
+        b.push(t1, Op::AcqWrite(m)).unwrap();
+        b.push(t1, Op::Read(x)).unwrap();
+        b.push(t1, Op::Release(m)).unwrap();
+        let tr = b.finish();
+        assert_eq!(
+            vindicate_pair(&tr, EventId::new(1), EventId::new(4)),
+            VindicationResult::Unknown
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   barrier: cross-phase accesses ordered by the rendezvous, race-free.
 //! * [`PatternKind::BarrierRace`] — same-phase accesses after a rendezvous
 //!   are unordered: detected by every relation.
+//! * [`PatternKind::ReaderOverlap`] — a write inside a read-mode rwlock
+//!   section vs overlapping readers: detected by every relation (and hidden
+//!   entirely if read-acquires are lowered to exclusive ones).
 
 use smarttrack_clock::ThreadId;
 use smarttrack_trace::{BarrierId, CondId, Loc, LockId, Op, TraceBuilder, VarId};
@@ -47,6 +50,12 @@ pub enum PatternKind {
     /// Unordered same-phase accesses after a rendezvous: detected by every
     /// relation.
     BarrierRace,
+    /// A write inside a *read-mode* rwlock section races with two
+    /// overlapping readers' reads of the same variable: read sections never
+    /// exclude each other, so every relation detects it. Lowering the
+    /// read-acquires to exclusive acquires masks the race completely —
+    /// the regression the captured-`RwLock` fix pins.
+    ReaderOverlap,
 }
 
 impl PatternKind {
@@ -59,7 +68,7 @@ impl PatternKind {
             | PatternKind::CondvarRace
             | PatternKind::BarrierPhase
             | PatternKind::BarrierRace => 2,
-            PatternKind::DcOnly | PatternKind::WdcFalse => 3,
+            PatternKind::DcOnly | PatternKind::WdcFalse | PatternKind::ReaderOverlap => 3,
         }
     }
 
@@ -69,7 +78,8 @@ impl PatternKind {
             PatternKind::HbRace
             | PatternKind::CondvarHandoff
             | PatternKind::CondvarRace
-            | PatternKind::BarrierRace => 1,
+            | PatternKind::BarrierRace
+            | PatternKind::ReaderOverlap => 1,
             PatternKind::Predictive | PatternKind::WdcFalse => 3,
             PatternKind::DcOnly | PatternKind::BarrierPhase => 2,
         }
@@ -79,7 +89,10 @@ impl PatternKind {
     pub fn locks_needed(self) -> u32 {
         match self {
             PatternKind::HbRace | PatternKind::BarrierPhase | PatternKind::BarrierRace => 0,
-            PatternKind::Predictive | PatternKind::CondvarHandoff | PatternKind::CondvarRace => 1,
+            PatternKind::Predictive
+            | PatternKind::CondvarHandoff
+            | PatternKind::CondvarRace
+            | PatternKind::ReaderOverlap => 1,
             PatternKind::DcOnly => 2,
             PatternKind::WdcFalse => 3,
         }
@@ -108,9 +121,10 @@ impl PatternKind {
     /// single pattern's expectation without assembling a whole mix.
     pub fn expected_static_races(self) -> (u32, u32, u32, u32) {
         match self {
-            PatternKind::HbRace | PatternKind::CondvarRace | PatternKind::BarrierRace => {
-                (1, 1, 1, 1)
-            }
+            PatternKind::HbRace
+            | PatternKind::CondvarRace
+            | PatternKind::BarrierRace
+            | PatternKind::ReaderOverlap => (1, 1, 1, 1),
             PatternKind::Predictive => (0, 1, 1, 1),
             PatternKind::DcOnly => (0, 0, 1, 1),
             PatternKind::WdcFalse => (0, 0, 0, 1),
@@ -143,6 +157,9 @@ pub struct RaceMix {
     pub condvar_handoff: u32,
     /// Race-free barrier phases ([`PatternKind::BarrierPhase`]).
     pub barrier_phase: u32,
+    /// Races between a write in a read-mode rwlock section and overlapping
+    /// readers ([`PatternKind::ReaderOverlap`]); detected by every relation.
+    pub reader_overlap: u32,
     /// Dynamic repetitions per static race site.
     pub repeats_per_site: u32,
 }
@@ -151,9 +168,9 @@ impl RaceMix {
     /// Expected statically distinct races under each relation
     /// `(HB, WCP, DC, WDC)`.
     pub fn expected_static(&self) -> (u32, u32, u32, u32) {
-        // Condvar and barrier races are unsynchronized under every
-        // relation, so they count like plain HB races.
-        let hb = self.hb + self.condvar + self.barrier;
+        // Condvar, barrier, and reader-overlap races are unsynchronized
+        // under every relation, so they count like plain HB races.
+        let hb = self.hb + self.condvar + self.barrier + self.reader_overlap;
         let wcp = hb + self.predictive;
         let dc = wcp + self.dc_only;
         let wdc = dc + self.wdc_false;
@@ -182,6 +199,7 @@ impl RaceMix {
         for (kind, count) in [
             (PatternKind::CondvarRace, self.condvar),
             (PatternKind::BarrierRace, self.barrier),
+            (PatternKind::ReaderOverlap, self.reader_overlap),
             (PatternKind::CondvarHandoff, self.condvar_handoff),
             (PatternKind::BarrierPhase, self.barrier_phase),
         ] {
@@ -371,6 +389,28 @@ pub(crate) fn emit(
             b.push_at(ta, Op::Write(x), loc(4)).expect("well-formed");
             b.push_at(tb, Op::Read(x), loc(5)).expect("well-formed");
         }
+        PatternKind::ReaderOverlap => {
+            // A buggy writer mutates x inside a *read-mode* section; two
+            // readers read x in literally overlapping read sections. Read
+            // sections never exclude each other, so nothing orders the
+            // write before either read: every relation reports. Both reads
+            // share one static site, so the pattern contributes exactly one
+            // statically-distinct race. Lowering the three `acqr`s to plain
+            // `acq` serializes the sections and rule (a)/HB hides the race
+            // entirely (pinned by the capture differential battery).
+            let tc = threads[2];
+            let x = var(alloc);
+            let m = lock(alloc);
+            b.push_at(ta, Op::AcqRead(m), loc(0)).expect("well-formed");
+            b.push_at(ta, Op::Write(x), loc(1)).expect("well-formed");
+            b.push_at(ta, Op::Release(m), loc(2)).expect("well-formed");
+            b.push_at(tb, Op::AcqRead(m), loc(3)).expect("well-formed");
+            b.push_at(tc, Op::AcqRead(m), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Read(x), loc(5)).expect("well-formed");
+            b.push_at(tc, Op::Read(x), loc(5)).expect("well-formed");
+            b.push_at(tb, Op::Release(m), loc(6)).expect("well-formed");
+            b.push_at(tc, Op::Release(m), loc(7)).expect("well-formed");
+        }
     }
 }
 
@@ -404,6 +444,7 @@ mod tests {
             PatternKind::CondvarRace,
             PatternKind::BarrierPhase,
             PatternKind::BarrierRace,
+            PatternKind::ReaderOverlap,
         ] {
             let tr = emit_one(kind);
             Trace::from_events(tr.events().iter().copied())
@@ -422,17 +463,18 @@ mod tests {
             barrier: 1,
             condvar_handoff: 4,
             barrier_phase: 4,
+            reader_overlap: 2,
             repeats_per_site: 5,
         };
-        assert_eq!(mix.sites().len(), 17);
-        // Condvar/barrier races count under every relation, like HB races;
-        // the handoff/phase sites add no races.
-        assert_eq!(mix.expected_static(), (5, 8, 9, 9));
+        assert_eq!(mix.sites().len(), 19);
+        // Condvar/barrier/reader-overlap races count under every relation,
+        // like HB races; the handoff/phase sites add no races.
+        assert_eq!(mix.expected_static(), (7, 10, 11, 11));
         // Site indices are globally unique.
         let mut idx: Vec<u32> = mix.sites().iter().map(|&(_, i)| i).collect();
         idx.sort_unstable();
         idx.dedup();
-        assert_eq!(idx.len(), 17);
+        assert_eq!(idx.len(), 19);
     }
 
     #[test]
@@ -449,6 +491,7 @@ mod tests {
                 barrier: 1,
                 condvar_handoff: 4,
                 barrier_phase: 4,
+                reader_overlap: 1,
                 repeats_per_site: 5,
             },
             RaceMix {

@@ -39,6 +39,12 @@ pub struct Workload {
     pub races: RaceMix,
     /// Fraction of synthetic accesses that are writes.
     pub write_frac: f64,
+    /// Fraction of locked body blocks that take their outermost lock as a
+    /// reader-writer lock (mostly read-mode, with calibrated write-mode and
+    /// failed-trylock traffic). 0 for the DaCapo profiles — the Java
+    /// benchmarks' monitors are exclusive — and positive for [`profiles::
+    /// rwmix`].
+    pub rw_frac: f64,
 }
 
 impl Workload {
@@ -122,6 +128,7 @@ pub mod profiles {
             paper: row(7, 7, 1_400.0, 140.0, 5.89, 0.1, 0.0),
             races: mix(6, 0, 0, 12),
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -135,6 +142,7 @@ pub mod profiles {
                 ..RaceMix::default()
             },
             write_frac: 0.4,
+            rw_frac: 0.0,
         }
     }
 
@@ -146,6 +154,7 @@ pub mod profiles {
             paper: row(10, 9, 3_800.0, 300.0, 82.8, 80.1, 0.17),
             races: mix(13, 0, 0, 10),
             write_frac: 0.3,
+            rw_frac: 0.0,
         }
     }
 
@@ -162,6 +171,7 @@ pub mod profiles {
             paper: row(2, 2, 730.0, 170.0, 3.82, 0.23, 0.1),
             races: mix(21, 1, 0, 1),
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -172,6 +182,7 @@ pub mod profiles {
             paper: row(3, 3, 400.0, 41.0, 25.8, 25.4, 25.3),
             races: mix(1, 0, 0, 1),
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -185,6 +196,7 @@ pub mod profiles {
                 ..RaceMix::default()
             },
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -195,6 +207,7 @@ pub mod profiles {
             paper: row(9, 9, 200.0, 7.9, 1.13, 0.0, 0.0),
             races: mix(6, 0, 4, 20),
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -205,6 +218,7 @@ pub mod profiles {
             paper: row(17, 16, 9_700.0, 3.5, 0.78, 0.1, 0.0),
             races: mix(6, 12, 1, 3),
             write_frac: 0.4,
+            rw_frac: 0.0,
         }
     }
 
@@ -215,6 +229,7 @@ pub mod profiles {
             paper: row(37, 37, 49.0, 11.0, 14.0, 8.45, 3.95),
             races: mix(120, 3, 4, 25),
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -226,6 +241,7 @@ pub mod profiles {
             paper: row(9, 9, 630.0, 240.0, 99.9, 99.7, 1.27),
             races: mix(8, 55, 11, 8),
             write_frac: 0.35,
+            rw_frac: 0.0,
         }
     }
 
@@ -251,6 +267,35 @@ pub mod profiles {
                 ..RaceMix::default()
             },
             write_frac: 0.35,
+            rw_frac: 0.0,
+        }
+    }
+
+    /// rwmix: a reproduction-specific reader-writer-lock contention profile
+    /// (not one of the paper's ten — the DaCapo monitors are exclusive).
+    /// Calibrated on the shapes rwlock microbenchmark suites converge on:
+    /// a handful of hot shared maps guarded by rwlocks, ~90% read-mode
+    /// acquisitions against ~10% write-mode, trylock fall-back paths that
+    /// fail under contention, and a worker pool several times larger than
+    /// the lock count. Most locked body blocks take the outermost lock in
+    /// read mode; the race mix injects
+    /// [`PatternKind::ReaderOverlap`](crate::patterns::PatternKind::ReaderOverlap)
+    /// sites
+    /// (the write-under-read-lock bug class exclusive lowering masks) atop
+    /// plain HB races. Exercises `acqr`/`acqw`/`tryf` on every analysis hot
+    /// path; surfaced by `generate`/`list` and the hotpath bench lanes.
+    pub fn rwmix() -> Workload {
+        Workload {
+            name: "rwmix",
+            paper: row(12, 12, 150.0, 30.0, 60.0, 5.0, 0.0),
+            races: RaceMix {
+                hb: 2,
+                reader_overlap: 4,
+                repeats_per_site: 10,
+                ..RaceMix::default()
+            },
+            write_frac: 0.3,
+            rw_frac: 0.8,
         }
     }
 
@@ -271,11 +316,12 @@ pub mod profiles {
     }
 
     /// The paper's ten profiles plus the reproduction-specific extensions
-    /// (currently [`condsync`]) — the single list the CLI's `generate` and
-    /// `list` surfaces present, so the two can never drift apart.
+    /// ([`condsync`] and [`rwmix`]) — the single list the CLI's `generate`
+    /// and `list` surfaces present, so the two can never drift apart.
     pub fn extended() -> Vec<Workload> {
         let mut out = all();
         out.push(condsync());
+        out.push(rwmix());
         out
     }
 }

@@ -86,6 +86,7 @@ fn twin_expectations_agree_with_generator_metadata() {
         (TwinKind::CondvarRace, PatternKind::CondvarRace),
         (TwinKind::BarrierPhase, PatternKind::BarrierPhase),
         (TwinKind::BarrierRace, PatternKind::BarrierRace),
+        (TwinKind::ReaderOverlap, PatternKind::ReaderOverlap),
     ];
     for (twin, pattern) in mirrors {
         let (hb, wcp, dc, wdc) = pattern.expected_static_races();
@@ -102,6 +103,46 @@ fn twin_expectations_agree_with_generator_metadata() {
                 twin.name()
             );
         }
+    }
+}
+
+#[test]
+fn mutex_lowering_hid_the_reader_overlap_race() {
+    // Regression pin for the bug this twin exists to catch: the old wrapper
+    // lowered `read()` to a plain mutex acquire, which *serialized* the two
+    // read sections and made every cell report 0 races for this shape. The
+    // real read-mode events leave the sections unordered: every cell must
+    // report exactly 1. (Built at the trace level — the exclusive lowering
+    // of genuinely overlapping sections could not even execute live.)
+    use smarttrack_clock::ThreadId;
+    use smarttrack_trace::{Loc, LockId, Op, TraceBuilder, VarId};
+
+    let shape = |acq: fn(LockId) -> Op| {
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (m, x) = (LockId::new(0), VarId::new(0));
+        let mut b = TraceBuilder::new();
+        b.push_at(t0, Op::Fork(t1), Loc::new(0)).unwrap();
+        b.push_at(t0, acq(m), Loc::new(1)).unwrap();
+        b.push_at(t0, Op::Write(x), Loc::new(2)).unwrap();
+        b.push_at(t0, Op::Release(m), Loc::new(3)).unwrap();
+        b.push_at(t1, acq(m), Loc::new(4)).unwrap();
+        b.push_at(t1, Op::Read(x), Loc::new(5)).unwrap();
+        b.push_at(t1, Op::Release(m), Loc::new(6)).unwrap();
+        b.finish()
+    };
+    let rwlock = shape(Op::AcqRead);
+    let lowered = shape(Op::Acquire);
+    for config in AnalysisConfig::table1() {
+        assert_eq!(
+            analyze(&rwlock, config).report.static_count(),
+            1,
+            "read sections never exclude each other under {config}"
+        );
+        assert_eq!(
+            analyze(&lowered, config).report.static_count(),
+            0,
+            "the old mutex lowering serialized the sections under {config}"
+        );
     }
 }
 

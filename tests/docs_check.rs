@@ -113,7 +113,18 @@ fn docs_code_fences_name_real_cli_subcommands() {
 fn docs_exist_and_cover_every_format() {
     let formats_doc = Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/TRACE_FORMATS.md");
     let text = std::fs::read_to_string(formats_doc).expect("docs/TRACE_FORMATS.md exists");
-    for needle in ["STB", "native", "CSV", "STD", "89 53 54 42", "varint"] {
+    for needle in [
+        "STB",
+        "native",
+        "CSV",
+        "STD",
+        "89 53 54 42",
+        "varint",
+        "acqr",
+        "acqw",
+        "tryf",
+        "0x03",
+    ] {
         assert!(text.contains(needle), "TRACE_FORMATS.md lost `{needle}`");
     }
     let arch_doc = Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/ARCHITECTURE.md");
@@ -124,6 +135,10 @@ fn docs_exist_and_cover_every_format() {
         "Engine",
         "Session",
         "StbReader",
+        "acqr",
+        "read section",
+        "rwlock_differential",
+        "rwmix",
     ] {
         assert!(text.contains(needle), "ARCHITECTURE.md lost `{needle}`");
     }
@@ -150,6 +165,10 @@ fn docs_exist_and_cover_every_format() {
         "--captured",
         "--nudge",
         "twins",
+        "AcqRead",
+        "AcqWrite",
+        "TryAcqFail",
+        "reader-overlap",
     ] {
         assert!(text.contains(needle), "CAPTURE.md lost `{needle}`");
     }
