@@ -15,8 +15,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut buf = String::new();
 
     let _ = writeln!(buf, "analyses (Table 1):");
-    for config in AnalysisConfig::table1() {
-        let _ = writeln!(buf, "  {config}");
+    let table1 = AnalysisConfig::table1();
+    for config in AnalysisConfig::extended() {
+        let marker = if table1.contains(&config) {
+            ""
+        } else {
+            "  [repro extension, not a Table 1 cell]"
+        };
+        let _ = writeln!(buf, "  {config}{marker}");
     }
 
     let _ = writeln!(buf, "\nworkload profiles (Table 2 calibration targets):");
@@ -50,6 +56,7 @@ mod tests {
     fn lists_all_three_catalogs() {
         let text = capture(run, &[]).unwrap();
         assert!(text.contains("ST-WDC"));
+        assert!(text.contains("SyncP  [repro extension"));
         assert!(text.contains("xalan"));
         assert!(text.contains("figure4d"));
     }

@@ -143,6 +143,8 @@ COMMANDS:
 ANALYSES (CFG):
     ft2, unopt-hb, fto-hb, and <unopt|fto|st>-<wcp|dc|wdc>;
     append +g for the graph-recording variants (unopt-dc+g, unopt-wdc+g).
+    Beyond Table 1: syncp, the sync-preserving race predictor (sound by
+    construction; every report carries a lock-order-preserving witness).
 
 TRACE FILES (FMT: native|std|csv|stb):
     input format is auto-detected — magic-byte sniffing first (the STB

@@ -15,10 +15,19 @@ pub enum Relation {
     Dc,
     /// Weak-doesn't-commute (this paper's §3: DC without rule (b)).
     Wdc,
+    /// Sync-preserving race prediction (Mathur et al. 2021, arXiv
+    /// 2010.16385): races with a witness that keeps every lock acquisition
+    /// in its observed order. Sound by construction (every report carries a
+    /// valid reordering); strictly more predictive than HB. A repro
+    /// extension, not a Table 1 row — see [`Relation::ALL`].
+    SyncP,
 }
 
 impl Relation {
-    /// All relations, strongest to weakest (Table 1 row order).
+    /// The paper's Table 1 rows, strongest to weakest. [`Relation::SyncP`]
+    /// is deliberately absent: Table 1 is the source paper's matrix, and
+    /// the SyncP row is this repro's extension (listed by
+    /// [`crate::AnalysisConfig::extended`] instead).
     pub const ALL: [Relation; 4] = [Relation::Hb, Relation::Wcp, Relation::Dc, Relation::Wdc];
 }
 
@@ -29,6 +38,7 @@ impl fmt::Display for Relation {
             Relation::Wcp => write!(f, "WCP"),
             Relation::Dc => write!(f, "DC"),
             Relation::Wdc => write!(f, "WDC"),
+            Relation::SyncP => write!(f, "SyncP"),
         }
     }
 }

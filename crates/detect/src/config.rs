@@ -68,12 +68,26 @@ impl AnalysisConfig {
             })
             .collect()
     }
+
+    /// [`AnalysisConfig::table1`] plus this repro's extension rows that are
+    /// not cells of the source paper's matrix (currently the sync-preserving
+    /// `SyncP` analysis). The `list` subcommand and tooling that wants "every
+    /// runnable analysis" should use this; Table-1-shaped consumers (the
+    /// paper-table benches, `analyze_all`) stay on [`AnalysisConfig::table1`].
+    pub fn extended() -> Vec<AnalysisConfig> {
+        let mut all = AnalysisConfig::table1();
+        all.push(AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt));
+        all
+    }
 }
 
 impl fmt::Display for AnalysisConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let base = match (self.relation, self.level) {
             (Relation::Hb, OptLevel::Epochs) => "FT2".to_string(),
+            // The SyncP row has one implementation, not a Table 1 opt
+            // column, so it goes by the bare relation name.
+            (Relation::SyncP, _) => "SyncP".to_string(),
             (r, l) => format!("{l}-{r}"),
         };
         if self.graph {
@@ -94,7 +108,7 @@ impl fmt::Display for ParseAnalysisConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown analysis `{}` (expected ft2 or <unopt|fto|st>-<hb|wcp|dc|wdc>, \
+            "unknown analysis `{}` (expected ft2, syncp, or <unopt|fto|st>-<hb|wcp|dc|wdc>, \
              optionally +g for graph recording; st-hb and <unopt-*>+g outside dc/wdc \
              are N/A cells of Table 1)",
             self.input
@@ -139,6 +153,8 @@ impl std::str::FromStr for AnalysisConfig {
         }
         let config = if norm == "ft2" {
             AnalysisConfig::new(Relation::Hb, OptLevel::Epochs)
+        } else if norm == "syncp" || norm == "sync-preserving" {
+            AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt)
         } else {
             let (level, relation) = norm.split_once('-').ok_or_else(err)?;
             let level = match level {

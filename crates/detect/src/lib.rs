@@ -11,6 +11,14 @@
 //! | DC       | [`UnoptDc`]            | —      | [`FtoDc`]   | [`SmartTrackDc`]    |
 //! | WDC      | [`UnoptWdc`]           | —      | [`FtoWdc`]  | [`SmartTrackWdc`]   |
 //!
+//! Plus one extension row beyond the paper's matrix: [`SyncP`], the
+//! sync-preserving race predictor of Mathur, Pavlogiannis & Viswanathan
+//! (arXiv 2010.16385) — sound by construction (every reported race carries
+//! a witness reordering that keeps lock acquisitions in observed order)
+//! and strictly more predictive than HB. It is configured as
+//! `AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt)` / parsed from
+//! `"syncp"`, and listed by [`AnalysisConfig::extended`].
+//!
 //! All detectors implement the incremental [`Detector`] trait. The one
 //! event-ingestion code path is the streaming [`Engine`]/[`Session`] API
 //! ([`engine`] module): sessions validate the stream, fan any number of
@@ -66,6 +74,7 @@ mod ccs;
 mod dc;
 mod hb;
 mod lockset;
+mod syncp;
 mod wcp;
 
 pub use api::{
@@ -88,6 +97,7 @@ pub use pool::{
     JobOutcome, JobSuccess, PoolStats,
 };
 pub use report::{AccessKind, RaceReport, Report};
+pub use syncp::{syncp_pair_ideal, SyncP};
 pub use wcp::{FtoWcp, SmartTrackWcp, UnoptWcp};
 
 /// Constructs a boxed detector for a (relation, optimization level) pair.
@@ -118,6 +128,10 @@ pub fn make_detector(
         (Wdc, Unopt, g) => Some(Box::new(UnoptWdc::with_graph_recording(g))),
         (Wdc, Fto, false) => Some(Box::new(FtoWdc::new())),
         (Wdc, SmartTrack, false) => Some(Box::new(SmartTrackWdc::new())),
+        // The sync-preserving row (a repro extension, not a Table 1 cell)
+        // has a single implementation; it is addressed as (SyncP, Unopt)
+        // and ignores the Table 1 opt columns.
+        (SyncP, Unopt, false) => Some(Box::new(syncp::SyncP::new())),
         _ => None,
     }
 }

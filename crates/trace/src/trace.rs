@@ -23,18 +23,6 @@ pub enum TraceError {
         /// Current holder.
         holder: ThreadId,
     },
-    /// A thread recorded a failed trylock on a lock it itself holds (in
-    /// read or write mode). A thread's own `try_lock` cannot fail against
-    /// its own hold in the non-reentrant model, so such an event can only
-    /// come from a corrupted or mis-merged recording.
-    TryAcqFailHeldLock {
-        /// Index of the offending event.
-        at: usize,
-        /// The thread whose trylock "failed".
-        tid: ThreadId,
-        /// The lock it already holds.
-        lock: LockId,
-    },
     /// A thread released a lock it does not hold.
     ReleaseUnheldLock {
         /// Index of the offending event.
@@ -116,12 +104,6 @@ impl fmt::Display for TraceError {
                 f,
                 "event {at}: {tid} acquires {lock} already held by {holder}"
             ),
-            TraceError::TryAcqFailHeldLock { at, tid, lock } => {
-                write!(
-                    f,
-                    "event {at}: {tid} records a failed trylock on {lock} it already holds"
-                )
-            }
             TraceError::ReleaseUnheldLock { at, tid, lock } => {
                 write!(f, "event {at}: {tid} releases {lock} it does not hold")
             }

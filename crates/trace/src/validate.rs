@@ -163,18 +163,16 @@ impl StreamValidator {
                 }
             }
             Op::TryAcqFail(m) => {
-                // A failed trylock is a no-op, but a thread's own trylock
-                // cannot fail against its own (non-reentrant) hold. We do
-                // NOT require the lock to be held by someone else: the
-                // contender may have released it between the failure and
-                // the moment the failure was serialized into the trace.
-                if self.lock_holder.get(&m).is_some_and(|h| h.held_by(e.tid)) {
-                    return Err(TraceError::TryAcqFailHeldLock {
-                        at,
-                        tid: e.tid,
-                        lock: m,
-                    });
-                }
+                // A failed trylock is a no-op and carries no precondition at
+                // all. We do NOT require the lock to be held by someone
+                // else (the contender may have released it between the
+                // failure and the moment the failure was serialized), and
+                // we do NOT reject a failure against the thread's *own*
+                // hold: in the non-reentrant model that is exactly the
+                // probe that fails — a holder's re-`try_lock` returns
+                // `WouldBlock`, as does a read-holder's `try_write`
+                // upgrade attempt — and live captures record both.
+                let _ = m;
             }
             Op::Release(m) => {
                 if !self.lock_holder.get(&m).is_some_and(|h| h.held_by(e.tid)) {
@@ -502,8 +500,7 @@ mod tests {
     }
 
     #[test]
-    fn try_fail_rejected_only_for_own_hold() {
-        use crate::TraceError;
+    fn try_fail_carries_no_precondition() {
         let m = LockId::new(0);
         let mut v = StreamValidator::new();
         // Failing against a free lock is tolerated (the contender may have
@@ -512,15 +509,14 @@ mod tests {
         v.admit(&Event::new(t(1), Op::AcqRead(m))).unwrap();
         // Another thread's failure against a held lock is the normal case.
         v.admit(&Event::new(t(0), Op::TryAcqFail(m))).unwrap();
-        // The holder's own trylock cannot fail, in either mode.
-        assert!(matches!(
-            v.admit(&Event::new(t(1), Op::TryAcqFail(m))),
-            Err(TraceError::TryAcqFailHeldLock { .. })
-        ));
+        // The holder's own probe fails too in the non-reentrant model: a
+        // read-holder's try_write upgrade attempt, or a mutex holder's
+        // re-try_lock, both return WouldBlock and both get recorded.
+        v.admit(&Event::new(t(1), Op::TryAcqFail(m))).unwrap();
         v.admit(&Event::new(t(1), Op::Release(m))).unwrap();
         v.admit(&Event::new(t(1), Op::Acquire(m))).unwrap();
-        assert!(v.admit(&Event::new(t(1), Op::TryAcqFail(m))).is_err());
-        // Rejections left the state intact.
+        v.admit(&Event::new(t(1), Op::TryAcqFail(m))).unwrap();
+        // Holds are untouched by any of the probes.
         v.admit(&Event::new(t(1), Op::Release(m))).unwrap();
         assert_eq!(v.num_locks(), 1);
     }

@@ -146,9 +146,18 @@ impl WindowedReport {
 /// a longer prefix, and their larger horizon adds no reachable races for
 /// this pair — every event needed (transitively) to enable the pair has a
 /// smaller trace index than the pair itself (a read's observed last writer
-/// precedes it, a lock's release precedes its re-acquisition, a child
-/// thread finishes before its join), so events past the first window's
-/// horizon can always be dropped from a hypothetical witness.
+/// precedes it, a lock's release — mutex or either rwlock mode — precedes
+/// its re-acquisition, a wait's wake-up notifies precede it, a barrier
+/// exit's round of enters precedes it, a child thread finishes before its
+/// join, and a failed trylock needs nothing at all), so events past the
+/// first window's horizon can always be dropped from a hypothetical
+/// witness. A window cut that lands *inside* a synchronization region is
+/// likewise safe, because the oracle derives lock/monitor state from each
+/// thread's full consumed prefix: a read-mode hold opened before the cut
+/// still blocks write acquires (while admitting readers) after it, a
+/// notify frozen in the prefix still satisfies an in-window wait, and an
+/// open barrier round's frozen enters still count toward its in-window
+/// exits.
 pub struct WindowedDetector {
     config: WindowedConfig,
     buffer: TraceBuilder,

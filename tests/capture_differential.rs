@@ -246,6 +246,120 @@ fn nudge_injection_perturbs_schedules_not_results() {
 }
 
 #[test]
+fn poisoned_mutex_try_lock_recovers_and_stays_validator_clean() {
+    use smarttrack_trace::{LockId, Op};
+
+    let (sink, bytes) = CaptureSink::memory();
+    let session = CaptureSession::new(sink, CaptureConfig::default());
+    let m = Arc::new(Mutex::new(&session, 0u32));
+
+    // A holder that panics mid-section: its release is recorded while
+    // unwinding and the std mutex is left poisoned.
+    let child = {
+        let m = m.clone();
+        session.spawn(move || {
+            let _g = m.lock();
+            panic!("holder dies mid-section");
+        })
+    };
+    assert!(child.join().is_err());
+
+    // Uncontended try_lock on the poisoned mutex: the poison is absorbed,
+    // the acquire is recorded, and the data is still reachable.
+    *m.try_lock().expect("poisoned but free: recovery succeeds") += 1;
+
+    // Contended try_lock — probed while a second (also doomed) holder is
+    // mid-section: the failure records `tryf`, which needs no release.
+    let hold = Arc::new(std::sync::Barrier::new(2));
+    let done = Arc::new(std::sync::Barrier::new(2));
+    let child = {
+        let (m, hold, done) = (m.clone(), hold.clone(), done.clone());
+        session.spawn(move || {
+            let _g = m.lock();
+            hold.wait();
+            done.wait();
+            panic!("second holder dies too");
+        })
+    };
+    hold.wait();
+    assert!(m.try_lock().is_none(), "held: the probe must fail");
+    done.wait();
+    assert!(child.join().is_err());
+    *m.lock() += 1;
+
+    session.finish().expect("finish");
+    let trace = from_stb_bytes(&bytes.lock().unwrap()).expect("validator-clean");
+    let ops: Vec<Op> = trace.events().iter().map(|e| e.op).collect();
+    let l = LockId::new(0);
+    let acqs = ops.iter().filter(|o| **o == Op::Acquire(l)).count();
+    let rels = ops.iter().filter(|o| **o == Op::Release(l)).count();
+    assert_eq!(acqs, 4, "two doomed holders, one recovery, one final lock");
+    assert_eq!(
+        acqs, rels,
+        "every acquire got its release, unwinding included"
+    );
+    assert_eq!(
+        ops.iter().filter(|o| **o == Op::TryAcqFail(l)).count(),
+        1,
+        "exactly the one contended probe"
+    );
+}
+
+#[test]
+fn poisoned_rwlock_recovery_across_modes_stays_validator_clean() {
+    use smarttrack_capture::RwLock;
+    use smarttrack_trace::{LockId, Op, ThreadId};
+
+    let (sink, bytes) = CaptureSink::memory();
+    let session = CaptureSession::new(sink, CaptureConfig::default());
+    let rw = Arc::new(RwLock::new(&session, 0u32));
+
+    // A write holder that panics: release recorded while unwinding, std
+    // rwlock poisoned.
+    let child = {
+        let rw = rw.clone();
+        session.spawn(move || {
+            let _g = rw.write();
+            panic!("write holder dies mid-section");
+        })
+    };
+    assert!(child.join().is_err());
+
+    // Every mode recovers from the poison; a try_write under a live read
+    // hold still fails as `tryf`. All single-threaded from here, so the
+    // recorded tail is deterministic and pinned exactly.
+    {
+        let g = rw.try_read().expect("poisoned but free: try_read recovers");
+        assert!(rw.try_write().is_none(), "read-held: try_write must fail");
+        let _ = *g;
+    }
+    *rw.try_write().expect("free again: try_write recovers") = 1;
+    assert_eq!(*rw.read(), 1, "blocking read absorbs the poison too");
+
+    session.finish().expect("finish");
+    let trace = from_stb_bytes(&bytes.lock().unwrap()).expect("validator-clean");
+    let ops: Vec<Op> = trace.events().iter().map(|e| e.op).collect();
+    let l = LockId::new(0);
+    let t1 = ThreadId::new(1);
+    assert_eq!(
+        ops,
+        vec![
+            Op::Fork(t1),
+            Op::AcqWrite(l),
+            Op::Release(l), // recorded during the child's unwind
+            Op::Join(t1),
+            Op::AcqRead(l),
+            Op::TryAcqFail(l),
+            Op::Release(l),
+            Op::AcqWrite(l),
+            Op::Release(l),
+            Op::AcqRead(l),
+            Op::Release(l),
+        ]
+    );
+}
+
+#[test]
 fn finish_surfaces_unjoined_captured_threads() {
     let (sink, _bytes) = CaptureSink::memory();
     let session = CaptureSession::new(sink, CaptureConfig::default());

@@ -139,6 +139,9 @@ fn docs_exist_and_cover_every_format() {
         "read section",
         "rwlock_differential",
         "rwmix",
+        "SyncP",
+        "sync-preserving",
+        "syncp_differential",
     ] {
         assert!(text.contains(needle), "ARCHITECTURE.md lost `{needle}`");
     }

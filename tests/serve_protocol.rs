@@ -74,19 +74,46 @@ fn poke(server: &Server, bytes: &[u8]) -> Vec<u8> {
 /// A valid one-session conversation: hello, the trace in small data
 /// frames, a query, finish.
 fn good_conversation(session: &str) -> Vec<u8> {
+    conversation_for(session, &paper::figure1())
+}
+
+fn conversation_for(session: &str, trace: &smarttrack_trace::Trace) -> Vec<u8> {
     let mut bytes = encode_frame(&Frame::Hello {
         version: PROTOCOL_VERSION,
         resume: false,
         tenant: "fuzz".to_string(),
         session: session.to_string(),
     });
-    let stb = smarttrack_trace::binary::to_stb_bytes(&paper::figure1());
+    let stb = smarttrack_trace::binary::to_stb_bytes(trace);
     for piece in stb.chunks(5) {
         bytes.extend_from_slice(&encode_frame(&Frame::Data(piece.to_vec())));
     }
     bytes.extend_from_slice(&encode_frame(&Frame::Query(QueryKind::Races)));
     bytes.extend_from_slice(&encode_frame(&Frame::Finish));
     bytes
+}
+
+/// A deterministic trace carrying every v3 STB tag — read-mode and
+/// write-mode rwlock acquires plus failed trylocks, including a
+/// self-held upgrade probe — so its binary stream pins the v3 wire
+/// format end to end.
+fn v3_trace() -> smarttrack_trace::Trace {
+    use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+    let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+    let (r, x) = (LockId::new(0), VarId::new(0));
+    let mut b = TraceBuilder::new();
+    b.push(t0, Op::AcqRead(r)).unwrap();
+    b.push(t0, Op::Read(x)).unwrap();
+    b.push(t0, Op::TryAcqFail(r)).unwrap(); // self-held upgrade probe
+    b.push(t1, Op::AcqRead(r)).unwrap();
+    b.push(t1, Op::Read(x)).unwrap();
+    b.push(t1, Op::Release(r)).unwrap();
+    b.push(t0, Op::Release(r)).unwrap();
+    b.push(t1, Op::AcqWrite(r)).unwrap();
+    b.push(t1, Op::Write(x)).unwrap();
+    b.push(t1, Op::Release(r)).unwrap();
+    b.push(t0, Op::TryAcqFail(r)).unwrap();
+    b.finish()
 }
 
 #[test]
@@ -154,6 +181,85 @@ fn every_truncation_of_a_valid_conversation_is_survivable() {
         poke(&server, &conversation[..cut]);
     }
     assert_server_live(&server, "truncations");
+}
+
+#[test]
+fn every_truncation_of_a_v3_conversation_is_survivable() {
+    // Same sweep as above, but the payload carries every v3 STB tag
+    // (acqr/acqw/tryf), so cuts land inside v3-encoded events too.
+    let server = test_server();
+    let conversation = conversation_for("trunc-v3", &v3_trace());
+    let mut cuts: Vec<usize> = (0..conversation.len().min(40)).collect();
+    cuts.extend((40..conversation.len()).step_by(13));
+    for cut in cuts {
+        poke(&server, &conversation[..cut]);
+    }
+    assert_server_live(&server, "truncations-v3");
+}
+
+#[test]
+fn detach_and_resume_across_a_pinned_v3_stream_keeps_decoding() {
+    // A session whose already-ingested Data frames carry v3 tags must
+    // keep decoding after a detach/resume: the decoder state pinned to
+    // the v3 stream (including a chunk cut in half across the detach)
+    // survives the reattach. The server also runs the syncp extension
+    // lane, so `--analysis syncp` serving is exercised end to end.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            analyses: vec![
+                "st-wdc".parse::<AnalysisConfig>().unwrap(),
+                "syncp".parse::<AnalysisConfig>().unwrap(),
+            ],
+            workers: Some(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind test server");
+    let addr = server.local_addr();
+    let trace = v3_trace();
+    let stb = smarttrack_trace::binary::to_stb_bytes(&trace);
+    let half = stb.len() / 2;
+
+    let mut first = ServeClient::connect(addr, "fuzz", "v3-resume", false).expect("connect");
+    first.stream_bytes(&stb[..half], 16).expect("first half");
+    first.detach().expect("detach");
+    drop(first);
+
+    // The server processes the detach asynchronously; retry briefly if
+    // the reconnect races ahead of it.
+    let mut second = {
+        let mut attempt = 0;
+        loop {
+            match ServeClient::connect(addr, "fuzz", "v3-resume", true) {
+                Ok(client) => break client,
+                Err(smarttrack_serve::ClientError::Server {
+                    code: smarttrack_serve::ErrorCode::SessionAttached,
+                    ..
+                }) if attempt < 200 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("reconnect: {e}"),
+            }
+        }
+    };
+    assert!(second.resumed(), "hello with resume reattaches");
+    second.stream_bytes(&stb[half..], 16).expect("second half");
+    let report = second.finish().expect("finish");
+    assert_eq!(report.events, trace.len() as u64);
+    assert_eq!(report.lanes.len(), 2);
+    for lane in &report.lanes {
+        let config: AnalysisConfig = lane.config.parse().expect("lane config");
+        let offline = smarttrack::analyze(&trace, config);
+        assert_eq!(
+            lane.static_count as usize,
+            offline.report.static_count(),
+            "lane {} must match offline across the resume",
+            lane.name
+        );
+    }
+    server.shutdown();
 }
 
 #[test]
@@ -273,11 +379,16 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Random bit flips anywhere in a valid conversation: the connection
-    /// may fail any way it likes, the server may not.
+    /// may fail any way it likes, the server may not. Odd cases flip a
+    /// conversation whose payload carries every v3 STB tag.
     #[test]
     fn bit_flips_never_kill_the_server(byte_idx in 0usize..400, bit in 0u8..8, case in 0u32..1000) {
         let server = test_server();
-        let mut conversation = good_conversation(&format!("flip-{case}"));
+        let mut conversation = if case % 2 == 0 {
+            good_conversation(&format!("flip-{case}"))
+        } else {
+            conversation_for(&format!("flip-{case}"), &v3_trace())
+        };
         let idx = byte_idx % conversation.len();
         conversation[idx] ^= 1 << bit;
         poke(&server, &conversation);
