@@ -145,6 +145,8 @@ ANALYSES (CFG):
     append +g for the graph-recording variants (unopt-dc+g, unopt-wdc+g).
     Beyond Table 1: syncp, the sync-preserving race predictor (sound by
     construction; every report carries a lock-order-preserving witness).
+    syncp has no +g variant, and it buffers the trace — state grows with
+    events, so keep serve sessions carrying a syncp lane bounded.
 
 TRACE FILES (FMT: native|std|csv|stb):
     input format is auto-detected — magic-byte sniffing first (the STB

@@ -102,10 +102,16 @@ impl fmt::Display for AnalysisConfig {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseAnalysisConfigError {
     input: String,
+    /// A targeted explanation for inputs that name a real analysis but an
+    /// unavailable variant of it (e.g. `syncp+g`).
+    detail: Option<&'static str>,
 }
 
 impl fmt::Display for ParseAnalysisConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(detail) = self.detail {
+            return write!(f, "analysis `{}`: {detail}", self.input);
+        }
         write!(
             f,
             "unknown analysis `{}` (expected ft2, syncp, or <unopt|fto|st>-<hb|wcp|dc|wdc>, \
@@ -141,6 +147,7 @@ impl std::str::FromStr for AnalysisConfig {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseAnalysisConfigError {
             input: s.to_string(),
+            detail: None,
         };
         let mut norm = s.trim().to_ascii_lowercase();
         let mut graph = false;
@@ -154,6 +161,18 @@ impl std::str::FromStr for AnalysisConfig {
         let config = if norm == "ft2" {
             AnalysisConfig::new(Relation::Hb, OptLevel::Epochs)
         } else if norm == "syncp" || norm == "sync-preserving" {
+            if graph {
+                // Fail here with a targeted message rather than via the
+                // generic is_available() check, whose error only explains
+                // the Table 1 N/A cells.
+                return Err(ParseAnalysisConfigError {
+                    input: s.to_string(),
+                    detail: Some(
+                        "syncp has no graph-recording (+g) variant — constraint \
+                         graphs belong to the Unopt DC/WDC rows",
+                    ),
+                });
+            }
             AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt)
         } else {
             let (level, relation) = norm.split_once('-').ok_or_else(err)?;
@@ -282,6 +301,20 @@ mod tests {
             "SmartTrack-DC".parse::<AnalysisConfig>().unwrap(),
             AnalysisConfig::new(Relation::Dc, OptLevel::SmartTrack)
         );
+    }
+
+    #[test]
+    fn syncp_graph_variant_is_rejected_with_a_targeted_message() {
+        for bad in ["syncp+g", "SyncP w/g", "sync-preserving+g"] {
+            let err = bad.parse::<AnalysisConfig>().unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("no graph-recording"),
+                "{bad:?} should explain the missing +g variant, got: {msg}"
+            );
+        }
+        // The plain name still parses.
+        assert!("syncp".parse::<AnalysisConfig>().is_ok());
     }
 
     #[test]

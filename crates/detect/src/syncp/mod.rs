@@ -36,8 +36,13 @@
 //!    a failed trylock (`tryf`) constrains nothing in any direction.
 //! 4. **Condvar/barrier** — a `wait` in `I` keeps the notifies that
 //!    preceded it (latest per notifying thread); a barrier exit keeps its
-//!    round's enters; a barrier enter keeps the *previous* round's exits
-//!    (the trace model forbids gathering while a round drains).
+//!    round's enters. Consecutive rounds order *conditionally*: when any
+//!    event of round `r` and an enter of round `r + 1` are both in `I`,
+//!    round `r`'s exits join `I` (the trace model forbids gathering a new
+//!    round while one drains, so a witness interleaving them is invalid).
+//!    Wholly-absent rounds stay droppable — an unconditional
+//!    enter → previous-exits edge would out-order the rendezvous clocks
+//!    and break HB ⊆ SyncP on thread-disjoint consecutive rounds.
 //! 5. **Fork/join** — a forked thread's first event keeps its fork; a
 //!    `join` keeps the joined thread's entire projection.
 //!
@@ -52,7 +57,15 @@
 //! unconditional closure rule, and no lock edges) and a common-lock check
 //! (both accesses holding one lock in conflicting modes). Only pairs that
 //! survive both run the worklist closure, with an epoch-style cache
-//! skipping repeated accesses under an unchanged synchronization context.
+//! skipping repeated accesses under an unchanged synchronization context
+//! (the cache skips only the checks — the per-variable candidate still
+//! advances, because plain writes publish reads-from edges without
+//! changing the context).
+//!
+//! Buffering the stream means state is O(events), not O(threads × vars):
+//! fine for bounded inputs (`analyze`/`batch`), but a long-running
+//! `serve` session carrying a SyncP lane grows without limit — bound the
+//! session's lifetime, or run SyncP offline via the windowed pipeline.
 //!
 //! # OSR seam
 //!
@@ -157,23 +170,12 @@ impl Default for VarState {
 struct BarrierState {
     /// Enter event indexes of the round currently gathering.
     gather: Vec<u32>,
-    /// Prereq-pool index of the draining round's enters ([`NONE`] = none).
-    drain_enters: u32,
     drain_remaining: u32,
-    /// Exits of the draining round (becomes the next round's enter prereq).
-    cur_exits: Vec<u32>,
-    /// Prereq-pool index of the previous completed round's exits.
-    prev_exits: u32,
-}
-
-impl BarrierState {
-    fn new() -> Self {
-        BarrierState {
-            drain_enters: NONE,
-            prev_exits: NONE,
-            ..BarrierState::default()
-        }
-    }
+    /// Sealed rounds, in rendezvous order: `(enters, exits)` prereq-pool
+    /// indexes. The exits pool fills in as the round drains. Barrier
+    /// event `aux` is a round index into this table (for an enter of a
+    /// round that never seals, the index is one past the end).
+    rounds: Vec<(u32, u32)>,
 }
 
 /// Reusable scratch for one closure check; per-lock entries are generation
@@ -188,6 +190,7 @@ struct ClosureScratch {
     dirty: Vec<u32>,
     gen: u32,
     locks: Vec<LockScratch>,
+    barriers: Vec<BarrierScratch>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -199,6 +202,20 @@ struct LockScratch {
     max_w: u32,
     /// Included sections whose release is not yet scheduled.
     pending: Vec<u32>,
+}
+
+/// Per-barrier closure scratch for the conditional cross-round rule: a
+/// round partially in the ideal must finish draining before a later
+/// round's enter (the trace model forbids gathering while a round
+/// drains), but wholly-absent rounds are droppable.
+#[derive(Clone, Debug, Default)]
+struct BarrierScratch {
+    /// Per round: stamped with the closure gen once any event of the
+    /// round is in the ideal.
+    touched: Vec<u32>,
+    /// Per round `r`: stamped with the closure gen once an enter of
+    /// round `r + 1` is in the ideal.
+    enter_next: Vec<u32>,
 }
 
 /// The buffered trace metadata plus the closure engine. Split from
@@ -302,25 +319,31 @@ impl SyncPCore {
                 }
                 NONE
             }
+            // Barrier aux is a round index into `BarrierState::rounds`.
+            // An enter constrains nothing unconditionally: whole rounds
+            // are droppable, and surviving rounds keep their grouping and
+            // ordering via the closure's exit rule and conditional
+            // cross-round rule (an unconditional enter → previous-exits
+            // edge would order thread-disjoint consecutive rounds,
+            // breaking HB ⊆ SyncP).
             Op::BarrierEnter(b) => {
                 if self.barriers.len() <= b.index() {
-                    self.barriers.resize_with(b.index() + 1, BarrierState::new);
+                    self.barriers
+                        .resize_with(b.index() + 1, BarrierState::default);
                 }
                 let bs = &mut self.barriers[b.index()];
                 if bs.drain_remaining > 0 {
                     // Out-of-protocol enter while draining (impossible on
                     // validated streams): start a fresh round benignly.
                     bs.drain_remaining = 0;
-                    let exits = std::mem::take(&mut bs.cur_exits);
-                    self.prereqs.push(exits);
-                    bs.prev_exits = (self.prereqs.len() - 1) as u32;
                 }
                 bs.gather.push(idx);
-                bs.prev_exits
+                bs.rounds.len() as u32
             }
             Op::BarrierExit(b) => {
                 if self.barriers.len() <= b.index() {
-                    self.barriers.resize_with(b.index() + 1, BarrierState::new);
+                    self.barriers
+                        .resize_with(b.index() + 1, BarrierState::default);
                 }
                 let bs = &mut self.barriers[b.index()];
                 if bs.drain_remaining == 0 {
@@ -328,18 +351,14 @@ impl SyncPCore {
                     let enters = std::mem::take(&mut bs.gather);
                     bs.drain_remaining = enters.len().max(1) as u32;
                     self.prereqs.push(enters);
-                    bs.drain_enters = (self.prereqs.len() - 1) as u32;
-                    bs.cur_exits.clear();
+                    self.prereqs.push(Vec::new());
+                    let n = self.prereqs.len() as u32;
+                    bs.rounds.push((n - 2, n - 1));
                 }
-                let aux = bs.drain_enters;
-                bs.cur_exits.push(idx);
+                let r = bs.rounds.len() as u32 - 1;
+                self.prereqs[bs.rounds[r as usize].1 as usize].push(idx);
                 bs.drain_remaining -= 1;
-                if bs.drain_remaining == 0 {
-                    let exits = std::mem::take(&mut bs.cur_exits);
-                    self.prereqs.push(exits);
-                    bs.prev_exits = (self.prereqs.len() - 1) as u32;
-                }
-                aux
+                r
             }
         };
         let ts = self.thread(t);
@@ -429,10 +448,53 @@ impl SyncPCore {
                         let lw = self.meta[m.aux as usize];
                         ordered |= raise(scratch, ma, mb, lw.tid, lw.tpos + 1);
                     }
-                    Op::Wait(..) | Op::BarrierExit(_) | Op::BarrierEnter(_) if m.aux != NONE => {
+                    Op::Wait(..) if m.aux != NONE => {
                         for &p in &self.prereqs[m.aux as usize] {
                             let pm = self.meta[p as usize];
                             ordered |= raise(scratch, ma, mb, pm.tid, pm.tpos + 1);
+                        }
+                    }
+                    // Rule 4's barrier half. `m.aux` is the event's round
+                    // index; an exit pulls its round's enters, and the
+                    // conditional cross-round rule pulls round r's exits
+                    // once both some event of round r and an enter of
+                    // round r + 1 are included (whichever lands second
+                    // fires the pull).
+                    Op::BarrierEnter(b) | Op::BarrierExit(b) => {
+                        let rounds = &self.barriers[b.index()].rounds;
+                        let r = m.aux as usize;
+                        let gen = scratch.gen;
+                        let bsc = slot(&mut scratch.barriers, b.index());
+                        if bsc.touched.len() < rounds.len() {
+                            bsc.touched.resize(rounds.len(), 0);
+                            bsc.enter_next.resize(rounds.len(), 0);
+                        }
+                        // Collect the prereq pools to pull, then raise
+                        // (split borrows, as in the lock rule).
+                        let mut pull: Vec<u32> = Vec::new();
+                        if matches!(m.op, Op::BarrierExit(_)) {
+                            pull.push(rounds[r].0);
+                        }
+                        // An enter of a still-gathering round has
+                        // `r == rounds.len()`: nothing to mark or pull
+                        // for its own round yet.
+                        if r < rounds.len() {
+                            bsc.touched[r] = gen;
+                            if bsc.enter_next[r] == gen {
+                                pull.push(rounds[r].1);
+                            }
+                        }
+                        if matches!(m.op, Op::BarrierEnter(_)) && r > 0 {
+                            bsc.enter_next[r - 1] = gen;
+                            if bsc.touched[r - 1] == gen {
+                                pull.push(rounds[r - 1].1);
+                            }
+                        }
+                        for pool in pull {
+                            for &p in &self.prereqs[pool as usize] {
+                                let pm = self.meta[p as usize];
+                                ordered |= raise(scratch, ma, mb, pm.tid, pm.tpos + 1);
+                            }
                         }
                     }
                     Op::Join(u) => {
@@ -552,7 +614,10 @@ impl SyncPCore {
             + self
                 .barriers
                 .iter()
-                .map(|b| (b.gather.capacity() + b.cur_exits.capacity()) * size_of::<u32>())
+                .map(|b| {
+                    b.gather.capacity() * size_of::<u32>()
+                        + b.rounds.capacity() * size_of::<(u32, u32)>()
+                })
                 .sum::<usize>()
     }
 }
@@ -616,8 +681,31 @@ impl SyncP {
         };
         if cached == key {
             // Same thread, unchanged sync context, unchanged candidates:
-            // the outcome would repeat — the epoch-style fast path.
+            // the race-check outcome would repeat — the epoch-style fast
+            // path skips the closure work. The candidate entry must still
+            // advance to *this* event, though: plain writes to other
+            // variables publish reads-from edges without bumping `ctx`, so
+            // a peer's strong clock can come to cover the stale candidate
+            // while this thread's true latest access still races.
             self.paths.fast += 1;
+            let vs = &mut self.vars[x.index()];
+            let list = if is_write {
+                &mut vs.writes
+            } else {
+                &mut vs.reads
+            };
+            let c = list
+                .iter_mut()
+                .find(|c| c.tid == t as u32)
+                .expect("a matching cache key implies a stored candidate");
+            c.idx = idx;
+            vs.version += 1;
+            let key = (t as u32, self.core.threads[t].ctx, vs.version);
+            if is_write {
+                vs.write_check = key;
+            } else {
+                vs.read_check = key;
+            }
             return;
         }
         self.paths.slow += 1;
@@ -1023,6 +1111,30 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_refreshes_candidate_past_rf_publishing_writes() {
+        // t0's second wr(x0) takes the epoch fast path (same ctx,
+        // unchanged candidates for x0). The wr(x1) in between publishes a
+        // reads-from edge without bumping ctx; t1's rd(x1) absorbs it,
+        // which strong-orders t0's *first* wr(x0) but not the second. A
+        // fast path that leaves the candidate stale would dismiss t1's
+        // wr(x0) as ordered, violating HB ⊆ SyncP.
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::Write(x(1))).unwrap();
+        b.push(t(0), Op::Write(x(0))).unwrap(); // epoch fast path
+        b.push(t(1), Op::Read(x(1))).unwrap(); // rf: covers t0 up to wr(x1)
+        b.push(t(1), Op::Write(x(0))).unwrap(); // races with the 2nd wr(x0)
+        let r = run(b);
+        assert!(
+            r.races()
+                .iter()
+                .any(|race| race.var == x(0) && race.tid == t(1)),
+            "t1's wr(x0) must race with t0's latest wr(x0): {:?}",
+            r.races()
+        );
+    }
+
+    #[test]
     fn fork_join_order() {
         let mut b = TraceBuilder::new();
         b.push(t(0), Op::Write(x(0))).unwrap();
@@ -1095,6 +1207,68 @@ mod tests {
         b.push(t(1), Op::BarrierExit(bar)).unwrap();
         b.push(t(1), Op::Read(x(0))).unwrap();
         assert!(run(b).is_empty(), "the exit pins the round's enters");
+    }
+
+    #[test]
+    fn disjoint_barrier_rounds_do_not_order() {
+        // Round 1 rendezvouses t0/t1, round 2 rendezvouses t2/t3 — no
+        // shared thread. t0's pre-round-1 write still races with t2's
+        // post-round-2 read: round 1 is droppable wholesale, so an
+        // unconditional enter → previous-round-exits edge would be wrong
+        // (HB reports this race; the exhaustive oracle confirms it).
+        use smarttrack_trace::BarrierId;
+        let bar = BarrierId::new(0);
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::Write(x(0))).unwrap();
+        b.push(t(0), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(0), Op::BarrierExit(bar)).unwrap();
+        b.push(t(1), Op::BarrierExit(bar)).unwrap();
+        b.push(t(2), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(3), Op::BarrierEnter(bar)).unwrap();
+        b.push(t(2), Op::BarrierExit(bar)).unwrap();
+        b.push(t(3), Op::BarrierExit(bar)).unwrap();
+        b.push(t(2), Op::Read(x(0))).unwrap();
+        let r = run(b);
+        assert_eq!(r.dynamic_count(), 1, "disjoint rounds do not order");
+        assert_eq!(r.races()[0].event, EventId::new(9));
+    }
+
+    #[test]
+    fn partially_kept_round_finishes_draining_before_the_next_enter() {
+        // Round 0 rendezvouses t0/t1, round 1 rendezvouses t1/t2. t0's
+        // post-round-0 write races with t2's post-round-1 write (no HB
+        // path: t0 sits out round 1), but the witness must include t0's
+        // round-0 exit: round 0 is partially in the ideal through t1,
+        // round 1's enter is too, and replay forbids gathering a new
+        // round while one drains. Dropping the whole of round 0 is not
+        // an option either — t1's kept exit pins its enters.
+        use smarttrack_trace::BarrierId;
+        let bar = BarrierId::new(0);
+        let mut b = TraceBuilder::new();
+        b.push(t(0), Op::BarrierEnter(bar)).unwrap(); // 0
+        b.push(t(1), Op::BarrierEnter(bar)).unwrap(); // 1
+        b.push(t(1), Op::BarrierExit(bar)).unwrap(); // 2
+        b.push(t(0), Op::BarrierExit(bar)).unwrap(); // 3
+        b.push(t(0), Op::Write(x(0))).unwrap(); // 4
+        b.push(t(1), Op::BarrierEnter(bar)).unwrap(); // 5
+        b.push(t(2), Op::BarrierEnter(bar)).unwrap(); // 6
+        b.push(t(1), Op::BarrierExit(bar)).unwrap(); // 7
+        b.push(t(2), Op::BarrierExit(bar)).unwrap(); // 8
+        b.push(t(2), Op::Write(x(0))).unwrap(); // 9
+        let tr = b.finish();
+        let mut det = SyncP::new();
+        run_detector(&mut det, &tr);
+        assert_eq!(det.report().dynamic_count(), 1);
+        assert_eq!(det.report().races()[0].event, EventId::new(9));
+        let order =
+            syncp_pair_ideal(&tr, EventId::new(4), EventId::new(9)).expect("the pair races");
+        let ids: Vec<usize> = order.iter().map(|e| e.index()).collect();
+        assert!(
+            ids.contains(&3),
+            "t0's round-0 exit must be pulled into the witness, got {ids:?}"
+        );
+        assert_eq!(ids, vec![0, 1, 2, 3, 5, 6, 8, 4, 9]);
     }
 
     #[test]

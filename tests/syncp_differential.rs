@@ -81,22 +81,36 @@ fn assert_hb_subset_syncp(trace: &Trace, label: &str) -> Report {
     report
 }
 
-/// Recovers the racing pairs behind one reported race: for each prior
-/// thread, that thread's latest earlier conflicting access.
+/// Recovers the racing pairs behind one reported race. The detector
+/// checks, per prior thread, that thread's latest *write* and latest
+/// *read* candidates — and the latest conflicting access alone can be
+/// synchronization-ordered while the older opposite-kind candidate races
+/// (e.g. a lock-protected latest write over an unprotected earlier read),
+/// so the recovery mirrors the candidate scheme and keeps whichever pair
+/// the offline closure confirms.
 fn racing_pairs(trace: &Trace, report: &Report) -> Vec<(EventId, EventId)> {
+    use smarttrack_trace::Op;
     let mut pairs = Vec::new();
     for race in report.races() {
         let e2 = race.event;
         let later: &Event = trace.event(e2);
         for &prior in &race.prior_threads {
-            let e1 = trace
-                .iter()
-                .filter(|(id, e)| {
-                    id.index() < e2.index() && e.tid == prior && e.conflicts_with(later)
-                })
-                .map(|(id, _)| id)
-                .last()
-                .unwrap_or_else(|| panic!("no prior conflicting access by {prior:?}"));
+            let (mut latest_write, mut latest_read) = (None, None);
+            for (id, e) in trace.iter() {
+                if id.index() < e2.index() && e.tid == prior && e.conflicts_with(later) {
+                    match e.op {
+                        Op::Write(_) | Op::VolatileWrite(_) => latest_write = Some(id),
+                        _ => latest_read = Some(id),
+                    }
+                }
+            }
+            let e1 = [latest_write, latest_read]
+                .into_iter()
+                .flatten()
+                .find(|&e1| syncp_pair_ideal(trace, e1, e2).is_some())
+                .unwrap_or_else(|| {
+                    panic!("no candidate pair by {prior:?} at {e2:?} reproduces offline")
+                });
             pairs.push((e1, e2));
         }
     }
@@ -248,6 +262,90 @@ fn figure1_witness_is_the_paper_reordering() {
     let ids: Vec<usize> = order.iter().map(|e| e.index()).collect();
     assert_eq!(ids, vec![4, 5, 6, 0, 7]);
     validate_witness(&trace, &order, (EventId::new(0), EventId::new(7))).expect("valid");
+}
+
+/// Family 2 + 4 on the thread-disjoint consecutive-barrier-round shape: an
+/// unconditional enter → previous-round-exits closure edge would order
+/// rounds that share no threads, silently dropping the HB race here (the
+/// shape the proptest generator emits only occasionally — pinned so the
+/// battery catches a regression deterministically).
+#[test]
+fn disjoint_barrier_rounds_keep_the_hb_race() {
+    use smarttrack_trace::{BarrierId, Op, ThreadId, TraceBuilder, VarId};
+    let (bar, x) = (BarrierId::new(0), VarId::new(0));
+    let t = ThreadId::new;
+    let mut b = TraceBuilder::new();
+    b.push(t(0), Op::Write(x)).unwrap();
+    b.push(t(0), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(0), Op::BarrierExit(bar)).unwrap();
+    b.push(t(1), Op::BarrierExit(bar)).unwrap();
+    b.push(t(2), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(3), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(2), Op::BarrierExit(bar)).unwrap();
+    b.push(t(3), Op::BarrierExit(bar)).unwrap();
+    b.push(t(2), Op::Read(x)).unwrap();
+    let trace = b.finish();
+    let report = assert_hb_subset_syncp(&trace, "disjoint-rounds");
+    assert_eq!(report.first_race_event(), Some(EventId::new(9)));
+    assert_vindicated(&trace, &report, "disjoint-rounds");
+}
+
+/// The conditional half of the barrier rule: round 0 rendezvouses t0/t1,
+/// round 1 rendezvouses t1/t2, and t0's post-round-0 write races t2's
+/// post-round-1 write (t0 sits out round 1, so no HB path). Round 0 is
+/// partially in the ideal through t1, so its exits must finish draining
+/// before round 1's enter — a witness missing t0's exit is rejected by
+/// the replay validator (no gathering while a round drains).
+#[test]
+fn partially_kept_barrier_round_yields_a_valid_witness() {
+    use smarttrack_trace::{BarrierId, Op, ThreadId, TraceBuilder, VarId};
+    let (bar, x) = (BarrierId::new(0), VarId::new(0));
+    let t = ThreadId::new;
+    let mut b = TraceBuilder::new();
+    b.push(t(0), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(1), Op::BarrierExit(bar)).unwrap();
+    b.push(t(0), Op::BarrierExit(bar)).unwrap();
+    b.push(t(0), Op::Write(x)).unwrap();
+    b.push(t(1), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(2), Op::BarrierEnter(bar)).unwrap();
+    b.push(t(1), Op::BarrierExit(bar)).unwrap();
+    b.push(t(2), Op::BarrierExit(bar)).unwrap();
+    b.push(t(2), Op::Write(x)).unwrap();
+    let trace = b.finish();
+    let report = assert_hb_subset_syncp(&trace, "partial-round");
+    assert_eq!(report.first_race_event(), Some(EventId::new(9)));
+    assert_vindicated(&trace, &report, "partial-round");
+}
+
+/// Family 2 + 4 on the epoch-fast-path shape: t0's second wr(x) repeats
+/// under an unchanged sync context (fast path), while the wr(y) in between
+/// publishes a reads-from edge t1 later absorbs. A fast path that does not
+/// advance the per-variable candidate leaves t1's wr(x) checked against
+/// t0's *first* write — strong-ordered via the rf edge — and silently
+/// drops the race on the latest one.
+#[test]
+fn fast_path_candidate_shape_keeps_the_hb_race() {
+    use smarttrack_trace::{Op, ThreadId, TraceBuilder, VarId};
+    let (x, y) = (VarId::new(0), VarId::new(1));
+    let t = ThreadId::new;
+    let mut b = TraceBuilder::new();
+    b.push(t(0), Op::Write(x)).unwrap();
+    b.push(t(0), Op::Write(y)).unwrap();
+    b.push(t(0), Op::Write(x)).unwrap(); // epoch fast path
+    b.push(t(1), Op::Read(y)).unwrap(); // rf: covers t0 through wr(y)
+    b.push(t(1), Op::Write(x)).unwrap(); // races with t0's second wr(x)
+    let trace = b.finish();
+    let report = assert_hb_subset_syncp(&trace, "fast-path-candidate");
+    assert!(
+        report
+            .races()
+            .iter()
+            .any(|r| r.event == EventId::new(4) && r.var == x),
+        "t1's wr(x) must race with t0's latest wr(x): {report}"
+    );
+    assert_vindicated(&trace, &report, "fast-path-candidate");
 }
 
 /// Family 2 + 3 on the calibrated profiles: HB ⊆ SyncP everywhere, and the
