@@ -48,7 +48,7 @@ const ANALYSES: [&str; 4] = ["fto-hb", "st-wcp", "st-dc", "st-wdc"];
 /// Beyond-Table-1 lanes measured per workload alongside the defaults.
 /// Not part of the mixed headline, which stays the CLI's default 4-analysis
 /// fan-out so `speedup_vs_pr3` remains comparable across PRs.
-const EXTENDED_ANALYSES: [&str; 1] = ["syncp"];
+const EXTENDED_ANALYSES: [&str; 2] = ["syncp", "osr"];
 
 struct Point {
     workload: String,

@@ -56,11 +56,19 @@ pub enum TwinKind {
     /// other, so exactly one race — in every relation and every schedule.
     /// (The misuse pattern a serializing rwlock wrapper can never surface.)
     ReaderOverlap,
+    /// A race hidden behind a same-lock critical-section *reversal* (the
+    /// `reversal` workload pattern's executable twin): thread A writes `x`
+    /// inside its section, thread B writes `x` after its own section, and
+    /// both sections write `y` so neither is droppable. An *unrecorded*
+    /// `std::sync::Barrier` pins A's section before B's on every schedule,
+    /// so the captured trace is always the canonical shape: 0 races under
+    /// every Table 1 relation and under SyncP, exactly 1 under OSR.
+    Reversal,
 }
 
 impl TwinKind {
     /// Every twin, in a stable order.
-    pub const ALL: [TwinKind; 10] = [
+    pub const ALL: [TwinKind; 11] = [
         TwinKind::LockProtected,
         TwinKind::UnsyncRace,
         TwinKind::CondvarHandoff,
@@ -71,6 +79,7 @@ impl TwinKind {
         TwinKind::VolatileRace,
         TwinKind::RwLockGuarded,
         TwinKind::ReaderOverlap,
+        TwinKind::Reversal,
     ];
 
     /// Stable display name.
@@ -86,6 +95,7 @@ impl TwinKind {
             TwinKind::VolatileRace => "volatile-race",
             TwinKind::RwLockGuarded => "rwlock-guarded",
             TwinKind::ReaderOverlap => "reader-overlap",
+            TwinKind::Reversal => "reversal",
         }
     }
 
@@ -94,11 +104,15 @@ impl TwinKind {
     /// that invariance is the twin selection criterion).
     pub fn expected_static(self) -> usize {
         match self {
+            // The reversal twin's race is invisible to every Table 1
+            // relation (only the OSR extension row sees it — pinned by a
+            // dedicated capture-differential test).
             TwinKind::LockProtected
             | TwinKind::CondvarHandoff
             | TwinKind::BarrierPhase
             | TwinKind::VolatileHandoff
-            | TwinKind::RwLockGuarded => 0,
+            | TwinKind::RwLockGuarded
+            | TwinKind::Reversal => 0,
             TwinKind::UnsyncRace
             | TwinKind::CondvarRace
             | TwinKind::BarrierRace
@@ -326,6 +340,41 @@ pub fn run_twin(
             writer.join().expect("twin writer");
             reader.join().expect("twin reader");
             bystander.join().expect("twin bystander");
+        }
+        TwinKind::Reversal => {
+            let m = Arc::new(Mutex::new(&session, ()));
+            let x = Arc::new(Shared::new(&session, 0u32));
+            let y = Arc::new(Shared::new(&session, 0u32));
+            // The rendezvous is a *raw* std barrier, invisible to the
+            // captured trace (precedent: the poisoned-mutex battery). It
+            // pins the real schedule — A's whole section before B's — so
+            // the capture is the canonical reversal shape every run, while
+            // the recorded events claim no such ordering.
+            let gate = Arc::new(std::sync::Barrier::new(2));
+            let a = {
+                let (m, x, y, gate) = (m.clone(), x.clone(), y.clone(), gate.clone());
+                session.spawn(move || {
+                    {
+                        let _g = m.lock();
+                        poke(&y);
+                        poke(&x); // e1: inside the section
+                    }
+                    gate.wait();
+                })
+            };
+            let b = {
+                let (m, x, y, gate) = (m, x, y, gate);
+                session.spawn(move || {
+                    gate.wait();
+                    {
+                        let _g = m.lock();
+                        poke(&y);
+                    }
+                    poke(&x); // e2: after the section — races only reversed
+                })
+            };
+            a.join().expect("twin worker");
+            b.join().expect("twin worker");
         }
     }
     session.finish()

@@ -57,6 +57,7 @@ mod tests {
         let text = capture(run, &[]).unwrap();
         assert!(text.contains("ST-WDC"));
         assert!(text.contains("SyncP  [repro extension"));
+        assert!(text.contains("OSR  [repro extension"));
         assert!(text.contains("xalan"));
         assert!(text.contains("figure4d"));
     }

@@ -144,9 +144,12 @@ ANALYSES (CFG):
     ft2, unopt-hb, fto-hb, and <unopt|fto|st>-<wcp|dc|wdc>;
     append +g for the graph-recording variants (unopt-dc+g, unopt-wdc+g).
     Beyond Table 1: syncp, the sync-preserving race predictor (sound by
-    construction; every report carries a lock-order-preserving witness).
-    syncp has no +g variant, and it buffers the trace — state grows with
-    events, so keep serve sessions carrying a syncp lane bounded.
+    construction; every report carries a lock-order-preserving witness),
+    and osr, the optimistic sync-reversal predictor (a strict superset of
+    syncp: it may reorder same-lock critical sections, and every report
+    carries a replay-validated reversal-tolerant witness). Neither has a
+    +g variant, and both buffer the trace — state grows with events, so
+    keep serve sessions carrying a syncp or osr lane bounded.
 
 TRACE FILES (FMT: native|std|csv|stb):
     input format is auto-detected — magic-byte sniffing first (the STB

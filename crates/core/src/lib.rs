@@ -84,12 +84,13 @@
 pub mod two_phase;
 
 pub use smarttrack_detect::{
-    analyze, analyze_all, make_detector, run_detector, syncp_pair_ideal, worker_count, AccessKind,
-    AnalysisConfig, AnalysisOutcome, BatchJob, CcsFidelity, CorpusAnalysisTotal, CorpusRace,
-    CorpusReport, Detector, Engine, EngineBuilder, EngineError, EnginePool, EraserLockset, FtoCase,
-    FtoCaseCounters, HotPathStats, JobError, JobOutcome, JobSuccess, LTime, LaneSnapshot,
-    LockVarTable, OptLevel, ParseAnalysisConfigError, PoolStats, RaceNotice, RaceReport, RaceSink,
-    Relation, Report, RunSummary, Session, SessionSnapshot, StreamHint, SyncP,
+    analyze, analyze_all, make_detector, osr_pair_witness, run_detector, syncp_pair_ideal,
+    worker_count, AccessKind, AnalysisConfig, AnalysisOutcome, BatchJob, CcsFidelity,
+    CorpusAnalysisTotal, CorpusRace, CorpusReport, Detector, Engine, EngineBuilder, EngineError,
+    EnginePool, EraserLockset, FtoCase, FtoCaseCounters, HotPathStats, JobError, JobOutcome,
+    JobSuccess, LTime, LaneSnapshot, LockVarTable, OptLevel, Osr, ParseAnalysisConfigError,
+    PoolStats, RaceNotice, RaceReport, RaceSink, Relation, Report, RunSummary, Session,
+    SessionSnapshot, StreamHint, SyncP,
 };
 
 /// Trace model, generators, statistics, and the paper's example executions.

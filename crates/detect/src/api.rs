@@ -21,13 +21,20 @@ pub enum Relation {
     /// valid reordering); strictly more predictive than HB. A repro
     /// extension, not a Table 1 row — see [`Relation::ALL`].
     SyncP,
+    /// Optimistic synchronization-reversal race prediction (Shi, Mathur &
+    /// Pavlogiannis, arXiv 2401.05642): like [`Relation::SyncP`] but
+    /// witness reorderings may additionally *reverse* critical sections on
+    /// one lock, found by a bounded abort-and-commit search. Sound by
+    /// construction (every report carries a replay-scheduled witness);
+    /// SyncP ⊆ OSR. A repro extension, not a Table 1 row.
+    Osr,
 }
 
 impl Relation {
     /// The paper's Table 1 rows, strongest to weakest. [`Relation::SyncP`]
-    /// is deliberately absent: Table 1 is the source paper's matrix, and
-    /// the SyncP row is this repro's extension (listed by
-    /// [`crate::AnalysisConfig::extended`] instead).
+    /// and [`Relation::Osr`] are deliberately absent: Table 1 is the source
+    /// paper's matrix, and those rows are this repro's extensions (listed
+    /// by [`crate::AnalysisConfig::extended`] instead).
     pub const ALL: [Relation; 4] = [Relation::Hb, Relation::Wcp, Relation::Dc, Relation::Wdc];
 }
 
@@ -39,6 +46,7 @@ impl fmt::Display for Relation {
             Relation::Dc => write!(f, "DC"),
             Relation::Wdc => write!(f, "WDC"),
             Relation::SyncP => write!(f, "SyncP"),
+            Relation::Osr => write!(f, "OSR"),
         }
     }
 }

@@ -70,13 +70,15 @@ impl AnalysisConfig {
     }
 
     /// [`AnalysisConfig::table1`] plus this repro's extension rows that are
-    /// not cells of the source paper's matrix (currently the sync-preserving
-    /// `SyncP` analysis). The `list` subcommand and tooling that wants "every
-    /// runnable analysis" should use this; Table-1-shaped consumers (the
-    /// paper-table benches, `analyze_all`) stay on [`AnalysisConfig::table1`].
+    /// not cells of the source paper's matrix (the sync-preserving `SyncP`
+    /// analysis and its synchronization-reversal refinement `OSR`). The
+    /// `list` subcommand and tooling that wants "every runnable analysis"
+    /// should use this; Table-1-shaped consumers (the paper-table benches,
+    /// `analyze_all`) stay on [`AnalysisConfig::table1`].
     pub fn extended() -> Vec<AnalysisConfig> {
         let mut all = AnalysisConfig::table1();
         all.push(AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt));
+        all.push(AnalysisConfig::new(Relation::Osr, OptLevel::Unopt));
         all
     }
 }
@@ -85,9 +87,10 @@ impl fmt::Display for AnalysisConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let base = match (self.relation, self.level) {
             (Relation::Hb, OptLevel::Epochs) => "FT2".to_string(),
-            // The SyncP row has one implementation, not a Table 1 opt
-            // column, so it goes by the bare relation name.
+            // The SyncP and OSR rows have one implementation each, not a
+            // Table 1 opt column, so they go by the bare relation name.
             (Relation::SyncP, _) => "SyncP".to_string(),
+            (Relation::Osr, _) => "OSR".to_string(),
             (r, l) => format!("{l}-{r}"),
         };
         if self.graph {
@@ -114,9 +117,9 @@ impl fmt::Display for ParseAnalysisConfigError {
         }
         write!(
             f,
-            "unknown analysis `{}` (expected ft2, syncp, or <unopt|fto|st>-<hb|wcp|dc|wdc>, \
-             optionally +g for graph recording; st-hb and <unopt-*>+g outside dc/wdc \
-             are N/A cells of Table 1)",
+            "unknown analysis `{}` (expected ft2, syncp, osr, or \
+             <unopt|fto|st>-<hb|wcp|dc|wdc>, optionally +g for graph recording; \
+             st-hb and <unopt-*>+g outside dc/wdc are N/A cells of Table 1)",
             self.input
         )
     }
@@ -174,6 +177,19 @@ impl std::str::FromStr for AnalysisConfig {
                 });
             }
             AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt)
+        } else if norm == "osr" || norm == "sync-reversal" {
+            if graph {
+                // Same targeted treatment as syncp+g: name the real reason
+                // instead of the generic Table 1 N/A explanation.
+                return Err(ParseAnalysisConfigError {
+                    input: s.to_string(),
+                    detail: Some(
+                        "osr has no graph-recording (+g) variant — constraint \
+                         graphs belong to the Unopt DC/WDC rows",
+                    ),
+                });
+            }
+            AnalysisConfig::new(Relation::Osr, OptLevel::Unopt)
         } else {
             let (level, relation) = norm.split_once('-').ok_or_else(err)?;
             let level = match level {
@@ -315,6 +331,34 @@ mod tests {
         }
         // The plain name still parses.
         assert!("syncp".parse::<AnalysisConfig>().is_ok());
+    }
+
+    #[test]
+    fn osr_graph_variant_is_rejected_with_a_targeted_message() {
+        for bad in ["osr+g", "OSR w/g", "sync-reversal+g"] {
+            let err = bad.parse::<AnalysisConfig>().unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("no graph-recording"),
+                "{bad:?} should explain the missing +g variant, got: {msg}"
+            );
+        }
+        assert!("osr".parse::<AnalysisConfig>().is_ok());
+    }
+
+    #[test]
+    fn extended_rows_display_and_round_trip() {
+        let extended = AnalysisConfig::extended();
+        assert_eq!(extended.len(), 16, "Table 1 plus SyncP and OSR");
+        for cfg in &extended[14..] {
+            assert!(cfg.is_available(), "{cfg}");
+            let round_tripped: AnalysisConfig = cfg.to_string().parse().unwrap();
+            assert_eq!(round_tripped, *cfg, "{cfg}");
+        }
+        assert_eq!(
+            AnalysisConfig::new(Relation::Osr, OptLevel::Unopt).to_string(),
+            "OSR"
+        );
     }
 
     #[test]

@@ -224,9 +224,9 @@ impl EngineBuilder {
         if let Some(relation) = self.relation {
             let level = self.level.unwrap_or(match relation {
                 Relation::Hb => OptLevel::Fto,
-                // The SyncP extension row has a single implementation,
-                // addressed as Unopt (no Table 1 opt columns).
-                Relation::SyncP => OptLevel::Unopt,
+                // The SyncP/OSR extension rows have a single implementation
+                // each, addressed as Unopt (no Table 1 opt columns).
+                Relation::SyncP | Relation::Osr => OptLevel::Unopt,
                 _ => OptLevel::SmartTrack,
             });
             let mut primary = AnalysisConfig::new(relation, level);

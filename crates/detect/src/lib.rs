@@ -11,13 +11,18 @@
 //! | DC       | [`UnoptDc`]            | —      | [`FtoDc`]   | [`SmartTrackDc`]    |
 //! | WDC      | [`UnoptWdc`]           | —      | [`FtoWdc`]  | [`SmartTrackWdc`]   |
 //!
-//! Plus one extension row beyond the paper's matrix: [`SyncP`], the
+//! Plus two extension rows beyond the paper's matrix: [`SyncP`], the
 //! sync-preserving race predictor of Mathur, Pavlogiannis & Viswanathan
 //! (arXiv 2010.16385) — sound by construction (every reported race carries
 //! a witness reordering that keeps lock acquisitions in observed order)
-//! and strictly more predictive than HB. It is configured as
+//! and strictly more predictive than HB — and [`Osr`], the optimistic
+//! synchronization-reversal predictor of Shi, Mathur & Pavlogiannis
+//! (arXiv 2401.05642), which additionally permits bounded critical-section
+//! reversals (SyncP ⊆ OSR; every report carries a replay-scheduled
+//! witness). They are configured as
 //! `AnalysisConfig::new(Relation::SyncP, OptLevel::Unopt)` / parsed from
-//! `"syncp"`, and listed by [`AnalysisConfig::extended`].
+//! `"syncp"` (resp. `Relation::Osr` / `"osr"`), and listed by
+//! [`AnalysisConfig::extended`].
 //!
 //! All detectors implement the incremental [`Detector`] trait. The one
 //! event-ingestion code path is the streaming [`Engine`]/[`Session`] API
@@ -74,6 +79,7 @@ mod ccs;
 mod dc;
 mod hb;
 mod lockset;
+mod osr;
 mod syncp;
 mod wcp;
 
@@ -96,6 +102,7 @@ pub use pool::{
     worker_count, BatchJob, CorpusAnalysisTotal, CorpusRace, CorpusReport, EnginePool, JobError,
     JobOutcome, JobSuccess, PoolStats,
 };
+pub use osr::{osr_pair_witness, Osr};
 pub use report::{AccessKind, RaceReport, Report};
 pub use syncp::{syncp_pair_ideal, SyncP};
 pub use wcp::{FtoWcp, SmartTrackWcp, UnoptWcp};
@@ -130,8 +137,10 @@ pub fn make_detector(
         (Wdc, SmartTrack, false) => Some(Box::new(SmartTrackWdc::new())),
         // The sync-preserving row (a repro extension, not a Table 1 cell)
         // has a single implementation; it is addressed as (SyncP, Unopt)
-        // and ignores the Table 1 opt columns.
+        // and ignores the Table 1 opt columns. Same for its optimistic
+        // synchronization-reversal refinement, (Osr, Unopt).
         (SyncP, Unopt, false) => Some(Box::new(syncp::SyncP::new())),
+        (Osr, Unopt, false) => Some(Box::new(osr::Osr::new())),
         _ => None,
     }
 }

@@ -69,14 +69,15 @@
 //!
 //! # OSR seam
 //!
-//! Optimal-reordering prediction (Shi, Mathur & Pavlogiannis, arXiv
-//! 2401.05642) relaxes rule 3's observed-acquisition-order constraint with
-//! a bounded search over acquisition commutations. It would slot in as a
-//! second implementation of [`SyncPCore::check_pair`]'s rule table — the
-//! metadata this module maintains (sections, observation edges, rendezvous
-//! rounds) is exactly the input that search consumes.
+//! Optimistic synchronization-reversal prediction (Shi, Mathur &
+//! Pavlogiannis, arXiv 2401.05642) relaxes rule 3's
+//! observed-acquisition-order constraint with a bounded search over
+//! acquisition commutations. It is implemented in the sibling
+//! [`crate::Osr`] module as a second rule table over this module's
+//! metadata ([`SyncPCore`]: sections, observation edges, rendezvous
+//! rounds) — exactly the input that search consumes.
 
-mod strong;
+pub(crate) mod strong;
 
 use smarttrack_clock::ThreadId;
 use smarttrack_trace::{Event, EventId, Op, Trace, VarId};
@@ -88,68 +89,68 @@ use crate::{Detector, HotPathStats, OptLevel, Relation};
 
 use strong::StrongState;
 
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Per-event metadata retained for closure checks. `aux` is op-specific:
 /// the observed last writer (reads), the prerequisite list index
 /// (wait/barrier ops), or the section index (lock ops).
 #[derive(Clone, Copy, Debug)]
-struct EventMeta {
-    tid: u32,
+pub(crate) struct EventMeta {
+    pub(crate) tid: u32,
     /// Position within the thread's projection.
-    tpos: u32,
-    op: Op,
-    aux: u32,
+    pub(crate) tpos: u32,
+    pub(crate) op: Op,
+    pub(crate) aux: u32,
 }
 
 /// One critical section on one lock.
 #[derive(Clone, Copy, Debug)]
-struct Section {
-    lock: u32,
+pub(crate) struct Section {
+    pub(crate) lock: u32,
     /// Event index of the acquisition.
-    acq: u32,
+    pub(crate) acq: u32,
     /// Event index of the matching release ([`NONE`] while open).
-    rel: u32,
+    pub(crate) rel: u32,
     /// Exclusive (`acq`/`acqw`) vs read-mode (`acqr`).
-    write: bool,
+    pub(crate) write: bool,
 }
 
 #[derive(Clone, Debug, Default)]
-struct ThreadState {
+pub(crate) struct ThreadState {
     /// Event indexes of this thread's events, in order.
-    proj: Vec<u32>,
+    pub(crate) proj: Vec<u32>,
     /// Currently held locks: `(lock, write-mode, section index)`.
-    held: Vec<(u32, bool, u32)>,
+    pub(crate) held: Vec<(u32, bool, u32)>,
     /// Event index of the fork that created this thread ([`NONE`] = root).
-    fork: u32,
+    pub(crate) fork: u32,
     /// Bumped at every synchronization op by this thread; part of the
     /// epoch-style cache key that lets unchanged-context re-accesses skip
     /// the race checks entirely.
-    ctx: u32,
+    pub(crate) ctx: u32,
 }
 
 /// The latest access to one variable by one thread, with the lock holds at
 /// the access (for the common-lock prefilter). The holds vector is reused
 /// in place across updates, so steady-state accesses allocate nothing.
 #[derive(Clone, Debug, Default)]
-struct Candidate {
-    tid: u32,
-    idx: u32,
-    holds: Vec<(u32, bool)>,
+pub(crate) struct Candidate {
+    pub(crate) tid: u32,
+    pub(crate) idx: u32,
+    pub(crate) holds: Vec<(u32, bool)>,
 }
 
 #[derive(Clone, Debug)]
-struct VarState {
+pub(crate) struct VarState {
     /// Latest write per thread (insertion order — small).
-    writes: Vec<Candidate>,
+    pub(crate) writes: Vec<Candidate>,
     /// Latest read per thread.
-    reads: Vec<Candidate>,
+    pub(crate) reads: Vec<Candidate>,
     /// Bumped whenever either candidate list changes.
-    version: u32,
+    pub(crate) version: u32,
     /// `(tid, thread ctx, table version)` of the last completed read /
     /// write check — a repeat with identical context is a fast-path skip.
-    read_check: (u32, u32, u32),
-    write_check: (u32, u32, u32),
+    pub(crate) read_check: (u32, u32, u32),
+    pub(crate) write_check: (u32, u32, u32),
 }
 
 impl Default for VarState {
@@ -167,15 +168,15 @@ impl Default for VarState {
 }
 
 #[derive(Clone, Debug, Default)]
-struct BarrierState {
+pub(crate) struct BarrierState {
     /// Enter event indexes of the round currently gathering.
-    gather: Vec<u32>,
-    drain_remaining: u32,
+    pub(crate) gather: Vec<u32>,
+    pub(crate) drain_remaining: u32,
     /// Sealed rounds, in rendezvous order: `(enters, exits)` prereq-pool
     /// indexes. The exits pool fills in as the round drains. Barrier
     /// event `aux` is a round index into this table (for an enter of a
     /// round that never seals, the index is one past the end).
-    rounds: Vec<(u32, u32)>,
+    pub(crate) rounds: Vec<(u32, u32)>,
 }
 
 /// Reusable scratch for one closure check; per-lock entries are generation
@@ -222,23 +223,23 @@ struct BarrierScratch {
 /// [`SyncP`] so a check can borrow the metadata immutably while mutating
 /// only the scratch.
 #[derive(Clone, Debug, Default)]
-struct SyncPCore {
-    meta: Vec<EventMeta>,
-    threads: Vec<ThreadState>,
-    sections: Vec<Section>,
+pub(crate) struct SyncPCore {
+    pub(crate) meta: Vec<EventMeta>,
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) sections: Vec<Section>,
     /// Wait / barrier prerequisite lists (and previous-round exit lists).
-    prereqs: Vec<Vec<u32>>,
+    pub(crate) prereqs: Vec<Vec<u32>>,
     /// Latest notify per (condvar, thread): `(tid, event index)`.
-    cond_notifies: Vec<Vec<(u32, u32)>>,
-    barriers: Vec<BarrierState>,
+    pub(crate) cond_notifies: Vec<Vec<(u32, u32)>>,
+    pub(crate) barriers: Vec<BarrierState>,
     /// Latest plain / volatile write per variable (event indexes).
-    var_lw: Vec<u32>,
-    vol_lw: Vec<u32>,
+    pub(crate) var_lw: Vec<u32>,
+    pub(crate) vol_lw: Vec<u32>,
 }
 
 /// Grows-and-indexes for the last-writer tables, whose empty slots must be
 /// [`NONE`] (a defaulted `0` would alias event 0 — `slot()` is wrong here).
-fn lw_slot(v: &mut Vec<u32>, i: usize) -> &mut u32 {
+pub(crate) fn lw_slot(v: &mut Vec<u32>, i: usize) -> &mut u32 {
     if i >= v.len() {
         v.resize(i + 1, NONE);
     }
@@ -246,7 +247,7 @@ fn lw_slot(v: &mut Vec<u32>, i: usize) -> &mut u32 {
 }
 
 impl SyncPCore {
-    fn thread(&mut self, t: usize) -> &mut ThreadState {
+    pub(crate) fn thread(&mut self, t: usize) -> &mut ThreadState {
         if t >= self.threads.len() {
             self.threads.resize_with(t + 1, || ThreadState {
                 fork: NONE,
@@ -258,7 +259,7 @@ impl SyncPCore {
 
     /// Records `event` (already assigned index `idx`) into the metadata
     /// tables and returns its meta entry.
-    fn ingest(&mut self, idx: u32, event: &Event) -> EventMeta {
+    pub(crate) fn ingest(&mut self, idx: u32, event: &Event) -> EventMeta {
         let t = event.tid.index();
         let aux = match event.op {
             Op::Read(x) => self.var_lw.get(x.index()).copied().unwrap_or(NONE),
@@ -578,7 +579,7 @@ impl SyncPCore {
         out
     }
 
-    fn resident_bytes(&self) -> usize {
+    pub(crate) fn resident_bytes(&self) -> usize {
         use std::mem::size_of;
         self.meta.capacity() * size_of::<EventMeta>()
             + self.sections.capacity() * size_of::<Section>()
@@ -596,7 +597,7 @@ impl SyncPCore {
             + self.vol_lw.capacity() * size_of::<u32>()
     }
 
-    fn footprint_bytes(&self) -> usize {
+    pub(crate) fn footprint_bytes(&self) -> usize {
         use std::mem::size_of;
         self.resident_bytes()
             + self

@@ -17,7 +17,7 @@ use crate::common::{
 };
 
 #[derive(Clone, Debug, Default)]
-pub(super) struct StrongState {
+pub(crate) struct StrongState {
     threads: Vec<VectorClock>,
     /// Clock *at* the latest plain write, per variable (reads-from edge).
     var_w: Vec<VectorClock>,
@@ -29,87 +29,87 @@ pub(super) struct StrongState {
 }
 
 impl StrongState {
-    pub(super) fn reserve_threads(&mut self, additional: usize) {
+    pub(crate) fn reserve_threads(&mut self, additional: usize) {
         self.threads.reserve(additional);
     }
 
-    pub(super) fn thread_count(&self) -> usize {
+    pub(crate) fn thread_count(&self) -> usize {
         self.threads.len()
     }
 
     /// Is the event at position `tpos` of thread `tid` strong-ordered
     /// before the current point of thread `t`?
     #[inline]
-    pub(super) fn ordered_before(&self, t: usize, tid: ThreadId, tpos: u32) -> bool {
+    pub(crate) fn ordered_before(&self, t: usize, tid: ThreadId, tpos: u32) -> bool {
         self.threads[t].get(tid) > tpos
     }
 
     /// Stamps thread `t`'s own position component — the event's slot in
     /// the strong clock. Runs before any edge for the event is absorbed.
-    pub(super) fn stamp(&mut self, t: ThreadId, tpos: u32) {
+    pub(crate) fn stamp(&mut self, t: ThreadId, tpos: u32) {
         slot(&mut self.threads, t.index()).set(t, tpos + 1);
     }
 
     /// Reads-from: a plain read absorbs the clock at its observed writer.
-    pub(super) fn absorb_read_from(&mut self, t: ThreadId, x: usize) {
+    pub(crate) fn absorb_read_from(&mut self, t: ThreadId, x: usize) {
         let wclock = slot(&mut self.var_w, x).clone();
         self.threads[t.index()].join(&wclock);
     }
 
     /// A plain write becomes the variable's latest-writer clock.
-    pub(super) fn stamp_last_write(&mut self, t: ThreadId, x: usize) {
+    pub(crate) fn stamp_last_write(&mut self, t: ThreadId, x: usize) {
         let now = self.threads[t.index()].clone();
         slot(&mut self.var_w, x).assign(&now);
     }
 
     /// Volatile reads-from: unconditional (a volatile read always observes
     /// the latest volatile write in a correct reordering).
-    pub(super) fn absorb_volatile(&mut self, t: ThreadId, v: usize) {
+    pub(crate) fn absorb_volatile(&mut self, t: ThreadId, v: usize) {
         let vclock = slot(&mut self.vol_w, v).clone();
         self.threads[t.index()].join(&vclock);
     }
 
-    pub(super) fn stamp_volatile(&mut self, t: ThreadId, v: usize) {
+    pub(crate) fn stamp_volatile(&mut self, t: ThreadId, v: usize) {
         let now = self.threads[t.index()].clone();
         slot(&mut self.vol_w, v).assign(&now);
     }
 
     /// Fork: the child's clock starts after the parent's fork point.
-    pub(super) fn fork(&mut self, t: ThreadId, u: ThreadId) {
+    pub(crate) fn fork(&mut self, t: ThreadId, u: ThreadId) {
         let now = self.threads[t.index()].clone();
         slot(&mut self.threads, u.index()).join(&now);
     }
 
     /// Join: the parent absorbs the joined child's full clock.
-    pub(super) fn join_child(&mut self, t: ThreadId, u: ThreadId) {
+    pub(crate) fn join_child(&mut self, t: ThreadId, u: ThreadId) {
         let cu = slot(&mut self.threads, u.index()).clone();
         self.threads[t.index()].join(&cu);
     }
 
     /// A wait absorbs the join of all prior notifier clocks on its condvar.
-    pub(super) fn absorb_notifies(&mut self, t: ThreadId, c: usize) {
+    pub(crate) fn absorb_notifies(&mut self, t: ThreadId, c: usize) {
         let nc = slot(&mut self.conds, c).clone();
         self.threads[t.index()].join(&nc);
     }
 
-    pub(super) fn publish_notify(&mut self, t: ThreadId, c: usize) {
+    pub(crate) fn publish_notify(&mut self, t: ThreadId, c: usize) {
         let now = self.threads[t.index()].clone();
         slot(&mut self.conds, c).join(&now);
     }
 
     /// Barrier rendezvous: enters accumulate into the open round; an exit
     /// absorbs the whole round's accumulated clock.
-    pub(super) fn barrier_enter(&mut self, t: ThreadId, b: usize) {
+    pub(crate) fn barrier_enter(&mut self, t: ThreadId, b: usize) {
         let now = self.threads[t.index()].clone();
         slot(&mut self.barriers, b).enter(&now);
     }
 
-    pub(super) fn barrier_exit(&mut self, t: ThreadId, b: usize) {
+    pub(crate) fn barrier_exit(&mut self, t: ThreadId, b: usize) {
         let open = slot(&mut self.barriers, b).exit().clone();
         self.threads[t.index()].join(&open);
     }
 
-    pub(super) fn footprint_bytes(&self) -> usize {
+    pub(crate) fn footprint_bytes(&self) -> usize {
         vc_table_bytes(&self.threads)
             + vc_table_bytes(&self.var_w)
             + vc_table_bytes(&self.vol_w)
@@ -117,7 +117,7 @@ impl StrongState {
             + barrier_table_bytes(&self.barriers)
     }
 
-    pub(super) fn resident_bytes(&self) -> usize {
+    pub(crate) fn resident_bytes(&self) -> usize {
         vc_table_resident_bytes(&self.threads)
             + vc_table_resident_bytes(&self.var_w)
             + vc_table_resident_bytes(&self.vol_w)

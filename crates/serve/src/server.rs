@@ -76,13 +76,14 @@ const PUSH_WAIT: Duration = Duration::from_millis(100);
 pub struct ServerConfig {
     /// The analysis lanes every session runs (deduplicated, in order).
     ///
-    /// Note on `syncp`: the sync-preserving analysis buffers the trace,
-    /// so its per-session state grows with the number of events streamed
-    /// (unlike the vector-clock lanes, whose state is bounded by threads
-    /// × variables). A deployment that enables a `syncp` lane should
-    /// bound session length — finish and reopen sessions periodically —
-    /// rather than stream one session indefinitely; `state_bytes` in the
-    /// stats frame reports the growth honestly.
+    /// Note on `syncp` and `osr`: both extension rows buffer the trace,
+    /// so their per-session state grows with the number of events
+    /// streamed (unlike the vector-clock lanes, whose state is bounded
+    /// by threads × variables). A deployment that enables a `syncp` or
+    /// `osr` lane should bound session length — finish and reopen
+    /// sessions periodically — rather than stream one session
+    /// indefinitely; `state_bytes` in the stats frame reports the growth
+    /// honestly.
     pub analyses: Vec<AnalysisConfig>,
     /// Worker pool size; `None` defers to `SMARTTRACK_WORKERS` and then
     /// detected parallelism, exactly like [`worker_count`].

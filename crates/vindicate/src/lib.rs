@@ -51,4 +51,6 @@ pub use vindicate::{
     find_prior_access, vindicate_first_race, vindicate_pair, VindicationResult, Witness,
 };
 pub use window::{WindowedConfig, WindowedDetector, WindowedRaceAnalysis, WindowedReport};
-pub use witness::{validate_witness, WitnessError};
+pub use witness::{
+    validate_reversal_witness, validate_sync_preserving_witness, validate_witness, WitnessError,
+};

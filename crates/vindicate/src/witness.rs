@@ -110,6 +110,17 @@ pub enum WitnessError {
         /// The missing enter of its round.
         enter: EventId,
     },
+    /// Two acquisitions of one lock appear in reversed order relative to
+    /// the original trace. Only the *sync-preserving* checker
+    /// ([`validate_sync_preserving_witness`]) reports this: the base
+    /// well-formedness conditions and the reversal-tolerant checker
+    /// ([`validate_reversal_witness`]) deliberately allow it.
+    LockOrderReversed {
+        /// The acquisition that came first in the original trace.
+        earlier: EventId,
+        /// The trace-later acquisition scheduled before it in the witness.
+        later: EventId,
+    },
 }
 
 impl fmt::Display for WitnessError {
@@ -137,6 +148,12 @@ impl fmt::Display for WitnessError {
             }
             WitnessError::BarrierRoundBroken { exit, enter } => {
                 write!(f, "barrier exit {exit} before enter {enter} of its round")
+            }
+            WitnessError::LockOrderReversed { earlier, later } => {
+                write!(
+                    f,
+                    "same-lock acquisitions reversed: {later} scheduled before {earlier}"
+                )
             }
         }
     }
@@ -329,6 +346,74 @@ pub fn validate_witness(
     Ok(())
 }
 
+/// The **reversal-tolerant** witness checker — the normative validator for
+/// OSR reports (`smarttrack-detect`'s `osr_pair_witness` orders pass it by
+/// construction).
+///
+/// It enforces every condition of [`validate_witness`] — per-thread prefix
+/// property, last-writer preservation (racing pair exempt), well-formed
+/// locking (mutual exclusion via replay), wait/notify and barrier-round
+/// prerequisites, join-after-termination, racing pair last and adjacent —
+/// but, like the §2.2 base conditions themselves, it does **not** require
+/// same-lock critical sections to keep their observed acquisition order:
+/// a reversed section pair is fine as long as replay stays well formed.
+///
+/// Strictness ordering: every witness accepted by
+/// [`validate_sync_preserving_witness`] is accepted here; the converse
+/// fails exactly on reversal-carrying witnesses.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn validate_reversal_witness(
+    trace: &Trace,
+    order: &[EventId],
+    racing: (EventId, EventId),
+) -> Result<(), WitnessError> {
+    validate_witness(trace, order, racing)
+}
+
+/// The **sync-preserving** witness checker: [`validate_witness`] plus the
+/// requirement that acquisitions of each lock appear in their original
+/// trace order (read-mode acquisitions included — a sync-preserving
+/// reordering commutes no two acquisitions of one lock).
+///
+/// SyncP witnesses (`syncp_pair_ideal` orders, which are trace-ordered)
+/// pass; an OSR witness that reverses a section pair fails with
+/// [`WitnessError::LockOrderReversed`] here while passing
+/// [`validate_reversal_witness`] — that strictness gap *is* the OSR/SyncP
+/// semantic difference, pinned by test.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn validate_sync_preserving_witness(
+    trace: &Trace,
+    order: &[EventId],
+    racing: (EventId, EventId),
+) -> Result<(), WitnessError> {
+    validate_witness(trace, order, racing)?;
+    // Per lock: the trace-latest acquisition placed so far. Any later
+    // placement of a trace-earlier acquisition is an inversion.
+    let mut latest_placed: HashMap<u32, EventId> = HashMap::new();
+    for &id in order {
+        match trace.event(id).op {
+            Op::Acquire(l) | Op::AcqWrite(l) | Op::AcqRead(l) => {
+                let entry = latest_placed.entry(l.raw()).or_insert(id);
+                if entry.index() > id.index() {
+                    return Err(WitnessError::LockOrderReversed {
+                        earlier: id,
+                        later: *entry,
+                    });
+                }
+                *entry = id;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +492,63 @@ mod tests {
             validate_witness(&tr, &order, (EventId::new(0), EventId::new(7))),
             Err(WitnessError::BadRacingPair)
         );
+    }
+
+    /// The canonical OSR reversal trace (two same-lock sections; the race
+    /// needs them scheduled in reverse).
+    fn reversal_trace() -> Trace {
+        use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+        let (t1, t2) = (ThreadId::new(0), ThreadId::new(1));
+        let (l, x, y) = (LockId::new(0), VarId::new(0), VarId::new(1));
+        let mut b = TraceBuilder::new();
+        b.push(t1, Op::Acquire(l)).unwrap(); // 0
+        b.push(t1, Op::Write(y)).unwrap(); // 1
+        b.push(t1, Op::Write(x)).unwrap(); // 2: e1
+        b.push(t1, Op::Release(l)).unwrap(); // 3
+        b.push(t2, Op::Acquire(l)).unwrap(); // 4
+        b.push(t2, Op::Write(y)).unwrap(); // 5
+        b.push(t2, Op::Release(l)).unwrap(); // 6
+        b.push(t2, Op::Write(x)).unwrap(); // 7: e2
+        b.finish()
+    }
+
+    #[test]
+    fn strictness_ordering_is_pinned() {
+        // SyncP-style witness (figure 1(b), trace-ordered): passes BOTH
+        // checkers — sync-preserving is the stricter one.
+        let tr = paper::figure1();
+        let order: Vec<EventId> = [4, 5, 6, 0, 7].map(EventId::new).to_vec();
+        let pair = (EventId::new(0), EventId::new(7));
+        validate_sync_preserving_witness(&tr, &order, pair).expect("strict accepts SyncP witness");
+        validate_reversal_witness(&tr, &order, pair).expect("relaxed accepts SyncP witness");
+
+        // OSR reversal witness: t2's section scheduled before t1's. The
+        // relaxed checker accepts it; the strict one pinpoints the
+        // reversed acquisition pair.
+        let tr = reversal_trace();
+        let order: Vec<EventId> = [4, 5, 6, 0, 1, 2, 7].map(EventId::new).to_vec();
+        let pair = (EventId::new(2), EventId::new(7));
+        validate_reversal_witness(&tr, &order, pair).expect("relaxed accepts the reversal");
+        assert_eq!(
+            validate_sync_preserving_witness(&tr, &order, pair),
+            Err(WitnessError::LockOrderReversed {
+                earlier: EventId::new(0),
+                later: EventId::new(4),
+            })
+        );
+    }
+
+    #[test]
+    fn reversal_checker_still_rejects_mutual_exclusion_violations() {
+        // Reversal tolerance is not anything-goes: overlapping sections of
+        // one lock stay rejected by both checkers.
+        let tr = reversal_trace();
+        let order: Vec<EventId> = [0, 1, 4].map(EventId::new).to_vec();
+        let pair = (EventId::new(2), EventId::new(7));
+        assert!(matches!(
+            validate_reversal_witness(&tr, &order, pair),
+            Err(WitnessError::IllFormedLocking(_))
+        ));
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`PatternKind::ReaderOverlap`] — a write inside a read-mode rwlock
 //!   section vs overlapping readers: detected by every relation (and hidden
 //!   entirely if read-acquires are lowered to exclusive ones).
+//! * [`PatternKind::Reversal`] — a race exposed only by *reversing* two
+//!   same-lock critical sections: invisible to every Table 1 relation and
+//!   to SyncP, detected exactly once by the OSR extension row.
 
 use smarttrack_clock::ThreadId;
 use smarttrack_trace::{BarrierId, CondId, Loc, LockId, Op, TraceBuilder, VarId};
@@ -56,6 +59,14 @@ pub enum PatternKind {
     /// read-acquires to exclusive acquires masks the race completely —
     /// the regression the captured-`RwLock` fix pins.
     ReaderOverlap,
+    /// A race hidden behind a same-lock critical-section *reversal*: the
+    /// first thread writes `x` inside its section, the second writes `x`
+    /// right after its own section of the same lock, and the sections
+    /// conflict on a second variable so neither can be dropped. Only
+    /// scheduling the second section *before* the first exposes the pair —
+    /// invisible to HB/WCP/DC/WDC *and* SyncP (rule 3 forces the
+    /// endpoint), reported exactly once by OSR.
+    Reversal,
 }
 
 impl PatternKind {
@@ -67,7 +78,8 @@ impl PatternKind {
             | PatternKind::CondvarHandoff
             | PatternKind::CondvarRace
             | PatternKind::BarrierPhase
-            | PatternKind::BarrierRace => 2,
+            | PatternKind::BarrierRace
+            | PatternKind::Reversal => 2,
             PatternKind::DcOnly | PatternKind::WdcFalse | PatternKind::ReaderOverlap => 3,
         }
     }
@@ -81,7 +93,7 @@ impl PatternKind {
             | PatternKind::BarrierRace
             | PatternKind::ReaderOverlap => 1,
             PatternKind::Predictive | PatternKind::WdcFalse => 3,
-            PatternKind::DcOnly | PatternKind::BarrierPhase => 2,
+            PatternKind::DcOnly | PatternKind::BarrierPhase | PatternKind::Reversal => 2,
         }
     }
 
@@ -92,7 +104,8 @@ impl PatternKind {
             PatternKind::Predictive
             | PatternKind::CondvarHandoff
             | PatternKind::CondvarRace
-            | PatternKind::ReaderOverlap => 1,
+            | PatternKind::ReaderOverlap
+            | PatternKind::Reversal => 1,
             PatternKind::DcOnly => 2,
             PatternKind::WdcFalse => 3,
         }
@@ -128,7 +141,13 @@ impl PatternKind {
             PatternKind::Predictive => (0, 1, 1, 1),
             PatternKind::DcOnly => (0, 0, 1, 1),
             PatternKind::WdcFalse => (0, 0, 0, 1),
-            PatternKind::CondvarHandoff | PatternKind::BarrierPhase => (0, 0, 0, 0),
+            // The reversal pattern's race is invisible to every Table 1
+            // relation (and to SyncP): only OSR's reversal-permitting
+            // closure reports it — exactly once, pinned by the capture
+            // differential and `tests/osr_differential.rs`.
+            PatternKind::CondvarHandoff | PatternKind::BarrierPhase | PatternKind::Reversal => {
+                (0, 0, 0, 0)
+            }
         }
     }
 }
@@ -411,6 +430,24 @@ pub(crate) fn emit(
             b.push_at(tb, Op::Release(m), loc(6)).expect("well-formed");
             b.push_at(tc, Op::Release(m), loc(7)).expect("well-formed");
         }
+        PatternKind::Reversal => {
+            // The canonical OSR-beats-SyncP shape: both sections write y
+            // (so neither is droppable), ta's x-write sits *inside* its
+            // section, tb's sits *after* its own. In trace order rule 3
+            // forces ta's release before its x-write — SyncP (and every
+            // Table 1 relation) stays silent; reversing the sections runs
+            // tb's section first and makes the two x-writes adjacent.
+            let (x, y) = (var(alloc), var(alloc));
+            let m = lock(alloc);
+            b.push_at(ta, Op::Acquire(m), loc(0)).expect("well-formed");
+            b.push_at(ta, Op::Write(y), loc(1)).expect("well-formed");
+            b.push_at(ta, Op::Write(x), loc(2)).expect("well-formed");
+            b.push_at(ta, Op::Release(m), loc(3)).expect("well-formed");
+            b.push_at(tb, Op::Acquire(m), loc(4)).expect("well-formed");
+            b.push_at(tb, Op::Write(y), loc(5)).expect("well-formed");
+            b.push_at(tb, Op::Release(m), loc(6)).expect("well-formed");
+            b.push_at(tb, Op::Write(x), loc(7)).expect("well-formed");
+        }
     }
 }
 
@@ -445,6 +482,7 @@ mod tests {
             PatternKind::BarrierPhase,
             PatternKind::BarrierRace,
             PatternKind::ReaderOverlap,
+            PatternKind::Reversal,
         ] {
             let tr = emit_one(kind);
             Trace::from_events(tr.events().iter().copied())

@@ -87,6 +87,7 @@ fn twin_expectations_agree_with_generator_metadata() {
         (TwinKind::BarrierPhase, PatternKind::BarrierPhase),
         (TwinKind::BarrierRace, PatternKind::BarrierRace),
         (TwinKind::ReaderOverlap, PatternKind::ReaderOverlap),
+        (TwinKind::Reversal, PatternKind::Reversal),
     ];
     for (twin, pattern) in mirrors {
         let (hb, wcp, dc, wdc) = pattern.expected_static_races();
@@ -101,6 +102,39 @@ fn twin_expectations_agree_with_generator_metadata() {
                 expected as usize,
                 "{} vs {pattern:?} under {relation:?}",
                 twin.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reversal_twin_is_osr_only_on_every_schedule() {
+    // The reversal twin's raw (unrecorded) barrier pins thread A's critical
+    // section before thread B's on every schedule, so the captured trace is
+    // always the canonical reversal shape: 0 statically-distinct races
+    // under every Table 1 relation and under SyncP, exactly 1 under OSR —
+    // the one race in this repo only the reversal-permitting closure sees.
+    let syncp = AnalysisConfig::new(Relation::SyncP, smarttrack::OptLevel::Unopt);
+    let osr = AnalysisConfig::new(Relation::Osr, smarttrack::OptLevel::Unopt);
+    for nudge in NUDGES {
+        for round in 0..ROUNDS {
+            let trace = capture_to_memory(TwinKind::Reversal, nudge);
+            for config in AnalysisConfig::table1() {
+                assert_eq!(
+                    analyze(&trace, config).report.static_count(),
+                    0,
+                    "round {round} nudge {nudge:?} under {config}"
+                );
+            }
+            assert_eq!(
+                analyze(&trace, syncp).report.static_count(),
+                0,
+                "round {round} nudge {nudge:?}: SyncP cannot reverse the sections"
+            );
+            assert_eq!(
+                analyze(&trace, osr).report.static_count(),
+                1,
+                "round {round} nudge {nudge:?}: OSR must expose the reversal race"
             );
         }
     }

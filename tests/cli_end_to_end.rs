@@ -258,6 +258,81 @@ fn batch_corpus_pipeline() {
 }
 
 #[test]
+fn osr_analyze_and_batch_pipeline() {
+    // The extension-row workflow: a recorded trace whose only race needs a
+    // critical-section reversal flows through `analyze` and `batch` with
+    // the osr lane beside syncp — osr sees the race, syncp must not, and
+    // the batch report is invariant under the job count.
+    use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+    let (m, x, y) = (LockId::new(0), VarId::new(0), VarId::new(1));
+    let t = ThreadId::new;
+    let mut b = TraceBuilder::new();
+    b.push(t(0), Op::Acquire(m)).unwrap();
+    b.push(t(0), Op::Write(y)).unwrap();
+    b.push(t(0), Op::Write(x)).unwrap();
+    b.push(t(0), Op::Release(m)).unwrap();
+    b.push(t(1), Op::Acquire(m)).unwrap();
+    b.push(t(1), Op::Write(y)).unwrap();
+    b.push(t(1), Op::Release(m)).unwrap();
+    b.push(t(1), Op::Write(x)).unwrap();
+    let reversal = b.finish();
+
+    let dir = std::env::temp_dir().join(format!("smarttrack-e2e-{}-osr", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str = dir.display().to_string();
+    let trace_path = format!("{dir_str}/reversal.stb");
+    std::fs::write(
+        &trace_path,
+        smarttrack_trace::binary::to_stb_bytes(&reversal),
+    )
+    .unwrap();
+    cli(&["figure", "figure1", "--out", &format!("{dir_str}/fig1.trace")]);
+
+    // analyze: the syncp/osr split on one file.
+    let text = cli(&[
+        "analyze",
+        &trace_path,
+        "--analysis",
+        "syncp",
+        "--analysis",
+        "osr",
+    ]);
+    let count = |name: &str| -> usize {
+        let line = text
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .unwrap_or_else(|| panic!("no {name} row in: {text}"));
+        line.split_whitespace().nth(1).unwrap().parse().unwrap()
+    };
+    assert_eq!(count("SyncP"), 0, "{text}");
+    assert_eq!(count("OSR"), 1, "{text}");
+
+    // batch: both extension lanes over the corpus, job-count invariant.
+    let solo = cli(&[
+        "batch", &dir_str, "--analysis", "syncp", "--analysis", "osr", "--jobs", "1", "--json",
+    ]);
+    let two = cli(&[
+        "batch", &dir_str, "--analysis", "syncp", "--analysis", "osr", "--jobs", "2", "--json",
+    ]);
+    assert_eq!(solo, two, "job count must not change the osr batch report");
+    json::assert_valid_json(&solo);
+    assert!(solo.contains("\"succeeded\": 2"), "{solo}");
+    assert!(solo.contains("reversal.stb"), "{solo}");
+
+    // osr+g is a usage error with the targeted explanation, exit code 2.
+    let args: Vec<String> = ["analyze", &trace_path, "--analysis", "osr+g"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let err = run(&args, &mut out).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    assert!(err.to_string().contains("no graph-recording"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn interchange_format_round_trip_pipeline() {
     // A trace leaves this toolchain as STD, is "edited by another tool"
     // (we re-read it), comes back, and analyzes identically — the

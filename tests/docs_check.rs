@@ -142,6 +142,11 @@ fn docs_exist_and_cover_every_format() {
         "SyncP",
         "sync-preserving",
         "syncp_differential",
+        "OSR",
+        "abort-and-commit",
+        "validate_reversal_witness",
+        "LockOrderReversed",
+        "osr_differential",
     ] {
         assert!(text.contains(needle), "ARCHITECTURE.md lost `{needle}`");
     }

@@ -347,6 +347,77 @@ fn captured_execution_streams_live_and_matches_its_file_sink_capture() {
 }
 
 #[test]
+fn osr_lane_matches_offline_across_worker_counts() {
+    // A daemon carrying the extension rows: the syncp and osr lanes must
+    // agree with offline analysis on every session — including one whose
+    // only race is OSR-only (the canonical reversal trace, where the
+    // syncp lane must stay empty while the osr lane reports the x-write
+    // pair) — and the worker count must not change any report.
+    use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+    let (m, x, y) = (LockId::new(0), VarId::new(0), VarId::new(1));
+    let t = ThreadId::new;
+    let mut b = TraceBuilder::new();
+    b.push(t(0), Op::Acquire(m)).unwrap();
+    b.push(t(0), Op::Write(y)).unwrap();
+    b.push(t(0), Op::Write(x)).unwrap();
+    b.push(t(0), Op::Release(m)).unwrap();
+    b.push(t(1), Op::Acquire(m)).unwrap();
+    b.push(t(1), Op::Write(y)).unwrap();
+    b.push(t(1), Op::Release(m)).unwrap();
+    b.push(t(1), Op::Write(x)).unwrap();
+    let reversal = b.finish();
+
+    let lanes = ["syncp", "osr"];
+    let mut traces = corpus(3);
+    traces.push(reversal);
+    let mut by_workers = Vec::new();
+    for workers in [1, 4] {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                analyses: lanes.iter().map(|n| n.parse().unwrap()).collect(),
+                workers: Some(workers),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind osr server");
+        let addr = server.local_addr();
+        let results: Vec<_> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| serve_one(addr, "osr", &format!("w{workers}-{i}"), trace, 256).0)
+            .collect();
+        by_workers.push(results);
+        server.shutdown();
+    }
+    assert_eq!(
+        by_workers[0], by_workers[1],
+        "worker count must not change an extension-row report"
+    );
+    for (i, (trace, served)) in traces.iter().zip(&by_workers[0]).enumerate() {
+        for (lane, name) in lanes.iter().enumerate() {
+            let outcome = analyze(trace, name.parse::<AnalysisConfig>().unwrap());
+            assert_eq!(
+                served[lane].len(),
+                outcome.report.dynamic_count(),
+                "session {i}: {name} lane race count diverges from offline"
+            );
+            for race in &served[lane] {
+                assert!(
+                    outcome.report.races().iter().any(|r| r.event.raw() == race.event),
+                    "session {i}: {name} lane pushed a race offline analysis lacks"
+                );
+            }
+        }
+    }
+    // The reversal session is the OSR-only split: lane 0 empty, lane 1 one.
+    let last = by_workers[0].last().expect("reversal session");
+    assert!(last[0].is_empty(), "syncp lane must miss the reversal race");
+    assert_eq!(last[1].len(), 1, "osr lane must report the reversal race");
+    assert_eq!(last[1][0].event, 7, "the racing endpoint is the final x-write");
+}
+
+#[test]
 fn second_connection_to_an_attached_session_is_refused() {
     let server = test_server(1);
     let addr = server.local_addr();

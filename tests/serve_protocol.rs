@@ -375,6 +375,63 @@ fn corrupt_stb_payload_fails_the_session_not_the_server() {
     assert_server_live(&server, "corrupt-stb");
 }
 
+#[test]
+fn corrupt_stb_on_an_osr_lane_fails_the_session_not_the_server() {
+    // The OSR row buffers the whole stream (O(events)) behind the same
+    // session ingest path as every other lane, so hostile bytes must die
+    // at the decoder *before* the reversal machinery sees them — one
+    // failed session, never a poisoned worker. Afterwards a well-behaved
+    // client on the same server must still get the reversal race back.
+    use smarttrack_trace::{LockId, Op, ThreadId, TraceBuilder, VarId};
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            analyses: vec!["osr".parse::<AnalysisConfig>().unwrap()],
+            workers: Some(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind osr server");
+
+    let (m, x, y) = (LockId::new(0), VarId::new(0), VarId::new(1));
+    let t = ThreadId::new;
+    let mut b = TraceBuilder::new();
+    b.push(t(0), Op::Acquire(m)).unwrap();
+    b.push(t(0), Op::Write(y)).unwrap();
+    b.push(t(0), Op::Write(x)).unwrap();
+    b.push(t(0), Op::Release(m)).unwrap();
+    b.push(t(1), Op::Acquire(m)).unwrap();
+    b.push(t(1), Op::Write(y)).unwrap();
+    b.push(t(1), Op::Release(m)).unwrap();
+    b.push(t(1), Op::Write(x)).unwrap();
+    let reversal = b.finish();
+
+    let mut stb = smarttrack_trace::binary::to_stb_bytes(&reversal);
+    // Trash a payload byte mid-stream so decoding fails after ingest began.
+    let idx = stb.len() / 2;
+    stb[idx] ^= 0xff;
+    let mut client =
+        ServeClient::connect(server.local_addr(), "fuzz", "osr-corrupt", false).expect("connect");
+    let failed = client.send_chunk(&stb).is_err()
+        || client.query_snapshot().is_err()
+        || client.finish().is_err();
+    assert!(failed, "a corrupt STB stream must fail its osr session");
+
+    let mut clean =
+        ServeClient::connect(server.local_addr(), "fuzz", "osr-clean", false).expect("reconnect");
+    clean.stream_trace(&reversal, 7).expect("stream");
+    let report = clean.finish().expect("finish");
+    assert_eq!(report.events, reversal.len() as u64, "after osr-corrupt");
+    assert_eq!(report.lanes.len(), 1, "after osr-corrupt");
+    assert_eq!(
+        report.lanes[0].races.len(),
+        1,
+        "the osr lane must still see the reversal race after a failed session"
+    );
+    assert_eq!(report.lanes[0].races[0].event, 7);
+    server.shutdown();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
